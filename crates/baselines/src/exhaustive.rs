@@ -1,0 +1,185 @@
+//! Exhaustive-probing baselines (§6.2's reference points).
+//!
+//! - **Optimal port-order probing**: exhaustively scan ports in descending
+//!   ground-truth popularity — the paper's tightened exhaustive baseline
+//!   ("the minimum subset of ports that maximizes service discovery:
+//!   port 80, (80,443), (80,443,7547), …").
+//! - **Oracle**: probes exactly the true services (100% precision); the
+//!   unbeatable lower envelope of Figure 2.
+//! - **Random probing**: uniform (ip, port) probing, the floor every system
+//!   must beat; computed analytically.
+
+use gps_core::metrics::{CoverageTracker, DiscoveryCurve};
+use gps_core::Dataset;
+use gps_scan::{ScanConfig, ScanPhase, Scanner};
+use gps_synthnet::Internet;
+use gps_types::Port;
+
+/// Exhaustively scan ports in descending test-set popularity; checkpoint
+/// after every port. `max_ports` bounds the sweep (use `usize::MAX` for a
+/// complete run).
+pub fn optimal_port_order_curve(
+    net: &Internet,
+    dataset: &Dataset,
+    max_ports: usize,
+) -> DiscoveryCurve {
+    let mut ports: Vec<(Port, u64)> = dataset
+        .test
+        .per_port()
+        .iter()
+        .map(|(&p, &c)| (Port(p), c))
+        .collect();
+    ports.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    let mut scanner = Scanner::new(
+        net,
+        ScanConfig {
+            day: dataset.day,
+            ip_filter: dataset.visible_ips.clone(),
+            port_filter: dataset.ports.clone(),
+            ..Default::default()
+        },
+    );
+    let universe = net.universe_size();
+    let mut tracker = CoverageTracker::new(&dataset.test);
+    let mut curve = DiscoveryCurve::default();
+    curve.push(tracker.snapshot(0.0));
+
+    for &(port, _) in ports.iter().take(max_ports) {
+        let before = scanner.ledger().total_probes();
+        let observations = scanner.full_scan_port(ScanPhase::Baseline, port);
+        tracker.charge_probes(scanner.ledger().total_probes() - before);
+        for obs in observations {
+            tracker.record(obs.key());
+        }
+        curve.push(tracker.snapshot(scanner.ledger().full_scans(universe)));
+    }
+    curve
+}
+
+/// The oracle: probe exactly the ground-truth services in an arbitrary
+/// (here: densest-port-first) order. Bandwidth for full coverage equals
+/// `total_services / universe` 100%-scans.
+pub fn oracle_curve(dataset: &Dataset, universe: u64, points: usize) -> DiscoveryCurve {
+    let total = dataset.test.total();
+    let mut curve = DiscoveryCurve::default();
+    curve.push(gps_core::CurvePoint {
+        scans: 0.0,
+        discovery_probes: 0,
+        found: 0,
+        fraction_all: 0.0,
+        fraction_normalized: 0.0,
+        precision: 1.0,
+    });
+    let steps = points.max(1) as u64;
+    for i in 1..=steps {
+        let found = total * i / steps;
+        curve.push(gps_core::CurvePoint {
+            scans: found as f64 / universe as f64,
+            discovery_probes: found,
+            found,
+            fraction_all: found as f64 / total.max(1) as f64,
+            // The oracle can order ports however it likes; probing services
+            // uniformly across ports makes normalized == all.
+            fraction_normalized: found as f64 / total.max(1) as f64,
+            precision: 1.0,
+        });
+    }
+    curve
+}
+
+/// Analytic uniform random probing over the dataset's (ip, port) space.
+/// `port_space` is the universe's simulated port-space size (used when the
+/// dataset is an all-ports view).
+pub fn random_probe_curve(
+    dataset: &Dataset,
+    universe: u64,
+    port_space: u64,
+    points: usize,
+) -> DiscoveryCurve {
+    let visible_ips = dataset
+        .visible_ips
+        .as_ref()
+        .map(|v| v.len() as u64)
+        .unwrap_or(universe);
+    let num_ports = dataset.ports.as_ref().map(|p| p.len() as u64).unwrap_or(port_space);
+    let pairs = (visible_ips * num_ports).max(1);
+    let total = dataset.test.total();
+
+    let mut curve = DiscoveryCurve::default();
+    let steps = points.max(1) as u64;
+    for i in 0..=steps {
+        let probes = pairs * i / steps;
+        let frac = probes as f64 / pairs as f64;
+        let found = total as f64 * frac;
+        curve.push(gps_core::CurvePoint {
+            scans: probes as f64 / universe as f64,
+            discovery_probes: probes,
+            found: found as u64,
+            fraction_all: frac,
+            fraction_normalized: frac,
+            precision: if probes == 0 { 0.0 } else { found / probes as f64 },
+        });
+    }
+    curve
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gps_core::censys_dataset;
+    use gps_synthnet::UniverseConfig;
+
+    fn setup() -> (Internet, Dataset) {
+        let net = Internet::generate(&UniverseConfig::tiny(91));
+        let ds = censys_dataset(&net, 50, 0.05, 0, 4);
+        (net, ds)
+    }
+
+    #[test]
+    fn optimal_order_reaches_full_coverage() {
+        let (net, ds) = setup();
+        let curve = optimal_port_order_curve(&net, &ds, usize::MAX);
+        let last = curve.last();
+        assert!((last.fraction_all - 1.0).abs() < 1e-9, "got {}", last.fraction_all);
+        assert!((last.fraction_normalized - 1.0).abs() < 1e-9);
+        // Bandwidth ≈ one full scan per port, plus the LZR/ZGrab probes
+        // spent on each responsive service.
+        let ports = ds.test.num_ports() as f64;
+        assert!(last.scans >= ports && last.scans < ports * 1.10, "{} vs {}", last.scans, ports);
+    }
+
+    #[test]
+    fn optimal_order_is_concave_start() {
+        let (net, ds) = setup();
+        let curve = optimal_port_order_curve(&net, &ds, 10);
+        // First port finds more than the 10th port.
+        let d1 = curve.points[1].fraction_all - curve.points[0].fraction_all;
+        let d10 = curve.points[10].fraction_all - curve.points[9].fraction_all;
+        assert!(d1 >= d10);
+        // Roughly one 100%-scan per port (plus per-response chain probes).
+        assert!(curve.points[1].scans >= 1.0 && curve.points[1].scans < 1.2);
+    }
+
+    #[test]
+    fn oracle_dominates_everything() {
+        let (net, ds) = setup();
+        let oracle = oracle_curve(&ds, net.universe_size(), 10);
+        assert!((oracle.last().fraction_all - 1.0).abs() < 1e-12);
+        // Oracle full coverage costs less than one full scan unit if the
+        // test set is smaller than the universe.
+        assert!(oracle.last().scans < 1.0);
+        assert!(oracle.last().precision > 0.99);
+    }
+
+    #[test]
+    fn random_probing_is_linear_and_imprecise() {
+        let (net, ds) = setup();
+        let rand = random_probe_curve(&ds, net.universe_size(), net.port_space() as u64, 10);
+        let last = rand.last();
+        assert!((last.fraction_all - 1.0).abs() < 1e-9);
+        // Full random coverage costs |ports| full scans.
+        assert!(last.scans > 10.0);
+        assert!(last.precision < 0.01, "random probing is imprecise");
+    }
+}

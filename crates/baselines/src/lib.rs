@@ -1,0 +1,26 @@
+//! # gps-baselines
+//!
+//! Every system the paper compares GPS against, implemented from scratch:
+//!
+//! - [`exhaustive`] — optimal port-order probing, the oracle, and analytic
+//!   random probing (the reference curves of Figures 2–3);
+//! - [`gbdt`] — gradient-boosted decision trees (logistic loss, sparse
+//!   binary features), the learning core behind the XGBoost comparison;
+//! - [`xgb_scanner`] — Sarabi et al.'s sequential per-port classifier
+//!   scanner (§6.4, Figure 4);
+//! - [`tga`] — Entropy/IP- and EIP-style target generation adapted to IPv4
+//!   (§2's 19%-coverage verification);
+//! - [`recommender`] — the LightFM-style hybrid matrix-factorization
+//!   recommender (Appendix A).
+
+pub mod exhaustive;
+pub mod gbdt;
+pub mod recommender;
+pub mod tga;
+pub mod xgb_scanner;
+
+pub use exhaustive::{optimal_port_order_curve, oracle_curve, random_probe_curve};
+pub use gbdt::{Gbdt, GbdtParams, SparseMatrix};
+pub use recommender::{Recommender, RecommenderParams};
+pub use tga::{EipModel, EntropyIpModel};
+pub use xgb_scanner::{run_xgb_scanner, PortOutcome, XgbRun, XgbScannerConfig};

@@ -1,0 +1,52 @@
+//! Benchmark: the dataflow engine's grouped-count and self-join kernels —
+//! the primitives GPS's BigQuery queries decompose into (§5.5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gps_engine::{group_count, ordered_pairs_within_groups, Backend, ExecLedger};
+
+fn bench_engine(c: &mut Criterion) {
+    // Synthetic host groups: 20k hosts with 2..6 "ports".
+    let groups: Vec<Vec<u16>> = (0..20_000u32)
+        .map(|i| {
+            let k = 2 + (i % 5) as u16;
+            (0..k).map(|j| (i as u16).wrapping_mul(31).wrapping_add(j * 997) % 12288).collect()
+        })
+        .collect();
+    let flat: Vec<u16> = groups.iter().flatten().copied().collect();
+
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(20);
+
+    for backend in [Backend::SingleCore, Backend::parallel()] {
+        let label = match backend {
+            Backend::SingleCore => "single",
+            _ => "parallel",
+        };
+        group.bench_with_input(BenchmarkId::new("group_count", label), &backend, |b, &backend| {
+            b.iter(|| {
+                group_count(&flat, backend, &ExecLedger::new(), |x, sink| sink(*x)).len()
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("self_join_pairs", label),
+            &backend,
+            |b, &backend| {
+                b.iter(|| {
+                    ordered_pairs_within_groups(
+                        &groups,
+                        backend,
+                        &ExecLedger::new(),
+                        |g| g.len(),
+                        || 0u64,
+                        |acc, _, _, _| *acc += 1,
+                        |a, b| a + b,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Benchmark: GBDT training — the per-port cost of the XGBoost-scanner
+//! baseline.
+//!
+//! §2: prior work needs ~70 GPU-seconds per port and must train its 65K
+//! models *sequentially*. This bench pins our from-scratch trainer's
+//! per-port cost, which multiplied by 65K ports is the comparison §6.5
+//! makes against GPS's 13-minute parallel computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gps_baselines::{Gbdt, GbdtParams, SparseMatrix};
+use gps_types::Rng;
+
+fn synthetic_training_set(rows: usize, features: u32, rng: &mut Rng) -> (SparseMatrix, Vec<bool>) {
+    let mut matrix = SparseMatrix::new(features);
+    let mut labels = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let k = 1 + rng.gen_range(6) as usize;
+        let fs: Vec<u32> = (0..k).map(|_| rng.gen_range(features as u64) as u32).collect();
+        // Label correlated with feature 0 plus noise.
+        let label = fs.contains(&0) ^ rng.chance(0.1);
+        matrix.push_row(fs);
+        labels.push(label);
+    }
+    (matrix, labels)
+}
+
+fn bench_gbdt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gbdt");
+    group.sample_size(10);
+    for rows in [5_000usize, 20_000] {
+        let mut rng = Rng::new(rows as u64);
+        let (matrix, labels) = synthetic_training_set(rows, 64, &mut rng);
+        group.throughput(criterion::Throughput::Elements(rows as u64));
+        group.bench_with_input(BenchmarkId::new("train_per_port", rows), &rows, |b, _| {
+            b.iter(|| {
+                Gbdt::train(
+                    &matrix,
+                    &labels,
+                    GbdtParams { n_trees: 20, max_depth: 4, ..Default::default() },
+                    &mut Rng::new(1),
+                )
+            })
+        });
+    }
+
+    // Inference throughput (candidate scoring dominates the scanner's
+    // wall-clock at full scale).
+    let mut rng = Rng::new(9);
+    let (matrix, labels) = synthetic_training_set(10_000, 64, &mut rng);
+    let model = Gbdt::train(&matrix, &labels, GbdtParams::default(), &mut Rng::new(2));
+    group.throughput(criterion::Throughput::Elements(10_000));
+    group.bench_function("score_10k_candidates", |b| {
+        b.iter(|| {
+            (0..10_000u32)
+                .map(|i| model.predict_logit(&[i % 64, (i * 7) % 64]))
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gbdt);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Benchmark: rule construction and prediction matching (§5.4).
+//!
+//! The "Predicting Remaining Services" stage of Table 2: build the
+//! most-predictive-features list from the seed, then match priors-scan
+//! hosts against it to emit the predictions list.
+
+use std::collections::HashSet;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gps_core::{build_predictions, group_by_host, FeatureRules, Interactions, NetFeature};
+use gps_engine::{Backend, ExecLedger};
+use gps_scan::{ScanConfig, ScanPhase, Scanner};
+use gps_synthnet::{Internet, UniverseConfig};
+use gps_types::Ip;
+
+fn bench_prediction(c: &mut Criterion) {
+    let net = Internet::generate(&UniverseConfig::tiny(101));
+    let mut scanner = Scanner::new(&net, ScanConfig::default());
+    let take = net.host_ips().len() / 5;
+    let ips: Vec<Ip> = net.host_ips().iter().take(take).map(|&ip| Ip(ip)).collect();
+    let observations = scanner.scan_ip_set(ScanPhase::Seed, ips, &net.all_ports());
+    let (observations, _) = gps_core::filter_pseudo_services(observations);
+    let net_features = [NetFeature::Slash(16), NetFeature::Asn];
+    let asn_of = |ip: Ip| net.asn_of(ip).map(|a| a.0);
+    let hosts = group_by_host(&observations, &net_features, &asn_of);
+    let (model, _) = gps_core::CondModel::build(
+        &hosts,
+        Interactions::ALL,
+        Backend::parallel(),
+        &ExecLedger::new(),
+    );
+
+    // Priors-scan stand-in: the *next* 20% of hosts.
+    let prior_ips: Vec<Ip> =
+        net.host_ips().iter().skip(take).take(take).map(|&ip| Ip(ip)).collect();
+    let prior_observations =
+        scanner.scan_ip_set(ScanPhase::Priors, prior_ips, &net.all_ports());
+    let prior_hosts = group_by_host(&prior_observations, &net_features, &asn_of);
+    let known: HashSet<(u32, u16)> =
+        observations.iter().map(|o| (o.ip.0, o.port.0)).collect();
+
+    let mut group = c.benchmark_group("prediction");
+    group.sample_size(10);
+    group.bench_function("rules_build", |b| {
+        b.iter(|| FeatureRules::build(&model, &hosts, 1e-5))
+    });
+    let rules = FeatureRules::build(&model, &hosts, 1e-5);
+    group.throughput(criterion::Throughput::Elements(prior_hosts.len() as u64));
+    group.bench_function("match_priors_hosts", |b| {
+        b.iter(|| build_predictions(&rules, &prior_hosts, &known, usize::MAX))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_prediction);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Benchmark: the simulated scan chain and the ZMap address permutation.
+//!
+//! Establishes that simulation overhead stays proportional to *responses*
+//! (index-answered subnet scans) rather than probes, and pins the
+//! permutation generator's throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gps_scan::{CyclicPermutation, ScanConfig, ScanPhase, Scanner};
+use gps_synthnet::{Internet, PortCensus, UniverseConfig};
+use gps_types::{Port, Rng, Subnet};
+
+fn bench_scanning(c: &mut Criterion) {
+    let net = Internet::generate(&UniverseConfig::tiny(103));
+    let census = PortCensus::new(&net, 0);
+    let top = census.top_ports(1)[0];
+
+    let mut group = c.benchmark_group("scanning");
+    group.sample_size(20);
+
+    group.bench_function("full_port_scan", |b| {
+        b.iter(|| {
+            let mut scanner = Scanner::new(&net, ScanConfig::default());
+            scanner.full_scan_port(ScanPhase::Baseline, top).len()
+        })
+    });
+
+    let block = net.topology().blocks()[0].subnet();
+    for prefix in [16u8, 20, 24] {
+        let subnet = Subnet::of_ip(block.base(), prefix);
+        group.bench_with_input(BenchmarkId::new("subnet_scan", prefix), &subnet, |b, &subnet| {
+            b.iter(|| {
+                let mut scanner = Scanner::new(&net, ScanConfig::default());
+                scanner.scan_subnet_port(ScanPhase::Priors, subnet, top).len()
+            })
+        });
+    }
+
+    group.bench_function("probe_miss", |b| {
+        let mut scanner = Scanner::new(&net, ScanConfig::default());
+        b.iter(|| scanner.syn_probe(ScanPhase::Baseline, gps_types::Ip(1), Port(1)))
+    });
+
+    for n in [65_536u64, 1 << 20] {
+        group.bench_with_input(BenchmarkId::new("permutation", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = Rng::new(7);
+                CyclicPermutation::new(n, &mut rng).take(10_000).sum::<u64>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scanning);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Criterion micro-benchmarks for the GPS compute kernels; see benches/.

@@ -1,0 +1,207 @@
+//! Hand-rolled argument parsing for the `gps` binary.
+//!
+//! Deliberately dependency-free (the offline crate budget is spent on
+//! measurement, not flag parsing); the grammar is small enough that a flat
+//! struct plus a loop is clearer than a derive macro anyway.
+
+use std::fmt;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Args {
+    pub command: Command,
+    pub seed: u64,
+    pub blocks: u32,
+    pub quick: bool,
+    pub workload: Workload,
+    pub seed_fraction: f64,
+    pub step: u8,
+    pub budget: Option<f64>,
+    pub csv: Option<String>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    Universe,
+    Run,
+    Compare,
+    Expand,
+    Churn,
+    Help,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    Censys,
+    Lzr,
+}
+
+/// Parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            command: Command::Help,
+            seed: 0xC0FFEE,
+            blocks: 32,
+            quick: false,
+            workload: Workload::Censys,
+            seed_fraction: 0.02,
+            step: 16,
+            budget: None,
+            csv: None,
+        }
+    }
+}
+
+impl Args {
+    /// Parse an iterator of arguments (excluding `argv[0]`).
+    pub fn parse<I, S>(argv: I) -> Result<Args, ParseError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut args = Args::default();
+        let mut iter = argv.into_iter().map(Into::into).peekable();
+
+        let command = iter
+            .next()
+            .ok_or_else(|| ParseError("missing command (try `gps help`)".into()))?;
+        args.command = match command.as_str() {
+            "universe" => Command::Universe,
+            "run" => Command::Run,
+            "compare" => Command::Compare,
+            "expand" => Command::Expand,
+            "churn" => Command::Churn,
+            "help" | "--help" | "-h" => Command::Help,
+            other => return Err(ParseError(format!("unknown command {other:?}"))),
+        };
+
+        while let Some(flag) = iter.next() {
+            let mut value = |name: &str| {
+                iter.next()
+                    .ok_or_else(|| ParseError(format!("{name} requires a value")))
+            };
+            match flag.as_str() {
+                "--seed" => {
+                    args.seed = parse_num(&value("--seed")?, "--seed")?;
+                }
+                "--blocks" => {
+                    args.blocks = parse_num(&value("--blocks")?, "--blocks")?;
+                }
+                "--quick" => args.quick = true,
+                "--workload" => {
+                    args.workload = match value("--workload")?.as_str() {
+                        "censys" => Workload::Censys,
+                        "lzr" => Workload::Lzr,
+                        other => {
+                            return Err(ParseError(format!(
+                                "unknown workload {other:?} (censys|lzr)"
+                            )))
+                        }
+                    };
+                }
+                "--seed-fraction" => {
+                    let f: f64 = parse_num(&value("--seed-fraction")?, "--seed-fraction")?;
+                    if !(0.0..=1.0).contains(&f) {
+                        return Err(ParseError("--seed-fraction must be in [0,1]".into()));
+                    }
+                    args.seed_fraction = f;
+                }
+                "--step" => {
+                    let s: u8 = parse_num(&value("--step")?, "--step")?;
+                    if s > 32 {
+                        return Err(ParseError("--step must be 0..=32".into()));
+                    }
+                    args.step = s;
+                }
+                "--budget" => {
+                    args.budget = Some(parse_num(&value("--budget")?, "--budget")?);
+                }
+                "--csv" => args.csv = Some(value("--csv")?),
+                other => return Err(ParseError(format!("unknown flag {other:?}"))),
+            }
+        }
+        Ok(args)
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, ParseError> {
+    s.parse()
+        .map_err(|_| ParseError(format!("{flag}: cannot parse {s:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_run_command() {
+        let args = Args::parse([
+            "run",
+            "--workload",
+            "lzr",
+            "--seed-fraction",
+            "0.05",
+            "--step",
+            "20",
+            "--budget",
+            "150.5",
+            "--csv",
+            "out.csv",
+            "--seed",
+            "42",
+            "--blocks",
+            "64",
+            "--quick",
+        ])
+        .unwrap();
+        assert_eq!(args.command, Command::Run);
+        assert_eq!(args.workload, Workload::Lzr);
+        assert_eq!(args.seed_fraction, 0.05);
+        assert_eq!(args.step, 20);
+        assert_eq!(args.budget, Some(150.5));
+        assert_eq!(args.csv.as_deref(), Some("out.csv"));
+        assert_eq!(args.seed, 42);
+        assert_eq!(args.blocks, 64);
+        assert!(args.quick);
+    }
+
+    #[test]
+    fn defaults_are_sensible() {
+        let args = Args::parse(["universe"]).unwrap();
+        assert_eq!(args.command, Command::Universe);
+        assert_eq!(args.workload, Workload::Censys);
+        assert_eq!(args.step, 16);
+        assert!(!args.quick);
+        assert!(args.budget.is_none());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Args::parse(["frobnicate"]).is_err());
+        assert!(Args::parse(["run", "--step"]).is_err());
+        assert!(Args::parse(["run", "--step", "40"]).is_err());
+        assert!(Args::parse(["run", "--workload", "shodan"]).is_err());
+        assert!(Args::parse(["run", "--seed-fraction", "1.5"]).is_err());
+        assert!(Args::parse(["run", "--wat"]).is_err());
+        assert!(Args::parse(Vec::<String>::new()).is_err());
+    }
+
+    #[test]
+    fn help_variants() {
+        for h in ["help", "--help", "-h"] {
+            assert_eq!(Args::parse([h]).unwrap().command, Command::Help);
+        }
+    }
+}

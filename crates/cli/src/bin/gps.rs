@@ -1,0 +1,29 @@
+//! The `gps` command-line tool. See `gps help` or [`gps_cli::USAGE`].
+
+use gps_cli::args::{Args, Command};
+use gps_cli::commands;
+
+fn main() {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", gps_cli::USAGE);
+            std::process::exit(2);
+        }
+    };
+    let result = match args.command {
+        Command::Help => {
+            println!("{}", gps_cli::USAGE);
+            Ok(())
+        }
+        Command::Universe => commands::cmd_universe(&args),
+        Command::Run => commands::cmd_run(&args),
+        Command::Compare => commands::cmd_compare(&args),
+        Command::Expand => commands::cmd_expand(&args),
+        Command::Churn => commands::cmd_churn(&args),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,250 @@
+//! One function per `gps` subcommand.
+
+use gps_baselines::{optimal_port_order_curve, oracle_curve};
+use gps_core::{censys_dataset, lzr_dataset, run_gps, Dataset, GpsConfig, KnownHostExpander};
+use gps_scan::{ScanConfig, ScanPhase, Scanner};
+use gps_synthnet::{stats, Internet, PortCensus, UniverseConfig};
+use gps_types::Ip;
+
+use crate::args::{Args, Workload};
+
+/// Build the universe described by the common flags.
+pub fn universe(args: &Args) -> Internet {
+    let config = UniverseConfig {
+        seed: args.seed,
+        num_slash16: if args.quick { 6 } else { args.blocks },
+        ..UniverseConfig::default()
+    };
+    Internet::generate(&config)
+}
+
+fn dataset(args: &Args, net: &Internet) -> Dataset {
+    match args.workload {
+        Workload::Censys => {
+            censys_dataset(net, 2000, args.seed_fraction, 0, args.seed ^ 0xDA7A)
+        }
+        Workload::Lzr => {
+            // Visible sample sized so the requested seed fraction is 1/16 of
+            // it (the calibrated seed:test proportion; DESIGN.md §1).
+            let sample = (args.seed_fraction * 16.0).min(1.0);
+            lzr_dataset(net, sample, args.seed_fraction / sample, 2, 0, args.seed ^ 0x12E)
+        }
+    }
+}
+
+/// `gps universe` — generate and describe the synthetic Internet.
+pub fn cmd_universe(args: &Args) -> Result<(), String> {
+    let net = universe(args);
+    let census = PortCensus::new(&net, 0);
+    println!("universe (seed {:#x}):", args.seed);
+    println!("  addresses:        {}", net.universe_size());
+    println!("  port space:       {}", net.port_space());
+    println!("  hosts:            {}", net.host_ips().len());
+    println!("  services (day 0): {}", net.total_services());
+    println!("  middleboxes:      {}", net.pseudo_hosts().len());
+    println!("  populated ports:  {}", census.num_ports());
+    println!("  ports >2 IPs:     {}", census.ports_with_more_than(2).len());
+    println!("  top-10 port share {:.1}%", 100.0 * census.share_of_top(10));
+    let co = stats::slash16_cooccurrence(&net, 0);
+    println!("  /16 co-occurrence {:.1}%", 100.0 * co.overall_fraction);
+    println!("\n  busiest ports:");
+    for (port, count) in census.by_count.iter().take(10) {
+        let name = port.well_known_name().unwrap_or("-");
+        println!("    {:>6} {:<12} {count}", port.to_string(), name);
+    }
+    Ok(())
+}
+
+/// `gps run` — the four-phase pipeline with a summary report.
+pub fn cmd_run(args: &Args) -> Result<(), String> {
+    let net = universe(args);
+    let ds = dataset(args, &net);
+    let config = GpsConfig {
+        step_prefix: args.step,
+        budget_scans: args.budget,
+        ..GpsConfig::default()
+    };
+    let run = run_gps(&net, &ds, &config);
+
+    println!("dataset {}:", ds.name);
+    println!("  test services: {} on {} ports", ds.test.total(), ds.test.num_ports());
+    println!("pipeline:");
+    println!(
+        "  seed:        {} raw -> {} filtered observations ({} hosts)",
+        run.seed_observations_raw, run.seed_observations, run.seed_hosts
+    );
+    println!(
+        "  model:       {} keys / {} co-occurrence entries ({} workers, {:?})",
+        run.model_stats.distinct_keys,
+        run.model_stats.cooccur_entries,
+        run.model_stats.backend_workers,
+        run.timings.model_build,
+    );
+    println!(
+        "  priors:      {} tuples, {} scanned, {} services found",
+        run.priors_list.len(),
+        run.priors_scanned,
+        run.priors_services
+    );
+    println!(
+        "  predictions: {} rules -> {} predictions ({} scanned)",
+        run.rules.len(),
+        run.predictions_total,
+        run.predictions_scanned
+    );
+    println!("result:");
+    println!(
+        "  found {:.2}% of services / {:.2}% normalized",
+        100.0 * run.fraction_of_services(),
+        100.0 * run.fraction_normalized()
+    );
+    println!(
+        "  bandwidth {:.2} full-scan units (seed {:.2}, priors {:.2}, predict {:.2}){}",
+        run.total_scans(),
+        run.ledger.full_scans_phase(ScanPhase::Seed, net.universe_size()),
+        run.ledger.full_scans_phase(ScanPhase::Priors, net.universe_size()),
+        run.ledger.full_scans_phase(ScanPhase::Predict, net.universe_size()),
+        if run.truncated_by_budget { " [budget hit]" } else { "" },
+    );
+
+    if let Some(path) = &args.csv {
+        let file = std::fs::File::create(path).map_err(|e| format!("--csv {path}: {e}"))?;
+        run.curve
+            .write_csv(std::io::BufWriter::new(file))
+            .map_err(|e| format!("--csv {path}: {e}"))?;
+        println!("  curve written to {path}");
+    }
+    Ok(())
+}
+
+/// `gps compare` — GPS vs exhaustive vs oracle at matched coverage.
+pub fn cmd_compare(args: &Args) -> Result<(), String> {
+    let net = universe(args);
+    let ds = dataset(args, &net);
+    let run = run_gps(
+        &net,
+        &ds,
+        &GpsConfig { step_prefix: args.step, budget_scans: args.budget, ..GpsConfig::default() },
+    );
+    let exhaustive = optimal_port_order_curve(&net, &ds, usize::MAX);
+    let oracle = oracle_curve(&ds, net.universe_size(), 16);
+
+    println!("coverage vs bandwidth ({}):", ds.name);
+    println!("{:>12} {:>12} {:>12} {:>12}", "coverage", "GPS", "exhaustive", "oracle");
+    for target in [0.25, 0.5, 0.75, 0.9, 0.95] {
+        let fmt = |x: Option<f64>| match x {
+            Some(v) => format!("{v:.1}"),
+            None => "-".to_string(),
+        };
+        println!(
+            "{:>11}% {:>12} {:>12} {:>12}",
+            (target * 100.0) as u32,
+            fmt(run.curve.scans_to_reach_all(target)),
+            fmt(exhaustive.scans_to_reach_all(target)),
+            fmt(oracle.scans_to_reach_all(target)),
+        );
+    }
+    println!(
+        "\nGPS ceiling: {:.1}% of services at {:.1} scans",
+        100.0 * run.fraction_of_services(),
+        run.total_scans()
+    );
+    Ok(())
+}
+
+/// `gps expand` — §7 known-host mode.
+pub fn cmd_expand(args: &Args) -> Result<(), String> {
+    let net = universe(args);
+    let mut scanner = Scanner::new(&net, ScanConfig::default());
+    let all_ports = net.all_ports();
+
+    // Corpus: full scans of a third of hosts. Hitlist: one known service on
+    // each of the next 5,000 hosts.
+    let third = net.host_ips().len() / 3;
+    let corpus_ips: Vec<Ip> = net.host_ips()[..third].iter().map(|&ip| Ip(ip)).collect();
+    let corpus = scanner.scan_ip_set(ScanPhase::Seed, corpus_ips, &all_ports);
+    let (corpus, _) = gps_core::filter_pseudo_services(corpus);
+
+    let mut hitlist = Vec::new();
+    for &ip in net.host_ips()[third..].iter().take(5000) {
+        let host = net.host(Ip(ip)).expect("host");
+        if let Some(s) = host.services.iter().find(|s| s.alive(0)) {
+            if let Some(obs) = scanner.scan_service(ScanPhase::Baseline, Ip(ip), s.port) {
+                hitlist.push(obs);
+            }
+        }
+    }
+
+    let asn_of = |ip: Ip| net.asn_of(ip).map(|a| a.0);
+    let (expander, stats) =
+        KnownHostExpander::train(&corpus, &GpsConfig::default(), 1e-4, &asn_of);
+    let predictions = expander.expand(&hitlist, 1_000_000, &asn_of);
+    let before = scanner.ledger().total_probes();
+    let found = scanner
+        .scan_targets(ScanPhase::Predict, predictions.iter().map(|p| (p.ip, p.port)))
+        .len();
+    let probes = scanner.ledger().total_probes() - before;
+
+    println!("known-host expansion (the §7 IPv6-applicable mode):");
+    println!("  corpus:      {} observations -> {} model keys", corpus.len(), stats.distinct_keys);
+    println!("  hitlist:     {} hosts with one known service each", hitlist.len());
+    println!("  predictions: {} emitted, {found} confirmed ({:.1}% precision)",
+        predictions.len(), 100.0 * found as f64 / probes.max(1) as f64);
+    println!(
+        "  expansion:   {:.2} extra services per known service",
+        found as f64 / hitlist.len().max(1) as f64
+    );
+    Ok(())
+}
+
+/// `gps churn` — §3 ten-day churn measurement.
+pub fn cmd_churn(args: &Args) -> Result<(), String> {
+    let net = universe(args);
+    let day0 = net.total_services_on(0);
+    let day10 = net.total_services_on(10);
+    println!("service churn (ground truth):");
+    println!("  day 0:  {day0}");
+    println!("  day 10: {day10}");
+    println!("  lost:   {:.1}%", 100.0 * (1.0 - day10 as f64 / day0.max(1) as f64));
+    println!("(scan-level measurement with LZR filtering: `cargo run -p gps-experiments --bin sec3`)");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_args(command: crate::args::Command) -> Args {
+        Args { command, quick: true, seed_fraction: 0.05, ..Args::default() }
+    }
+
+    #[test]
+    fn all_commands_run_on_quick_universe() {
+        use crate::args::Command;
+        cmd_universe(&quick_args(Command::Universe)).unwrap();
+        cmd_run(&quick_args(Command::Run)).unwrap();
+        cmd_churn(&quick_args(Command::Churn)).unwrap();
+    }
+
+    #[test]
+    fn run_writes_csv() {
+        use crate::args::Command;
+        let path = std::env::temp_dir().join("gps_cli_test_curve.csv");
+        let mut args = quick_args(Command::Run);
+        args.csv = Some(path.to_string_lossy().into_owned());
+        cmd_run(&args).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("scans,"));
+        assert!(text.lines().count() > 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lzr_workload_dataset_shape() {
+        let args = Args { quick: true, workload: Workload::Lzr, ..Args::default() };
+        let net = universe(&args);
+        let ds = dataset(&args, &net);
+        assert!(ds.visible_ips.is_some());
+        assert!(ds.test.total() > 0);
+    }
+}

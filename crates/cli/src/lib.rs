@@ -1,0 +1,46 @@
+//! # gps-cli
+//!
+//! Library backing the `gps` command-line tool: a hand-rolled argument
+//! parser (no external dependencies) plus one function per subcommand. The
+//! binary in `src/bin/gps.rs` is a thin dispatcher so everything here is
+//! unit-testable.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{Args, ParseError};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+gps — predict IPv4 services across all ports (SIGCOMM 2022 reproduction)
+
+USAGE:
+    gps <COMMAND> [OPTIONS]
+
+COMMANDS:
+    universe   Generate the synthetic universe and print its census
+    run        Run the four-phase GPS pipeline on a workload
+    compare    GPS vs exhaustive/oracle baselines at matched coverage
+    expand     Known-host mode (§7): expand a hitlist without a priors scan
+    churn      Measure 10-day service churn (§3)
+    help       Show this message
+
+COMMON OPTIONS:
+    --seed N            master seed (default 0xC0FFEE)
+    --blocks N          number of /16 blocks (default 32 for the CLI)
+    --quick             tiny universe for smoke runs
+
+RUN/COMPARE OPTIONS:
+    --workload W        censys | lzr          (default censys)
+    --seed-fraction F   seed share of address space (default 0.02)
+    --step P            scanning step prefix length (default 16)
+    --budget B          bandwidth budget in 100%-scan units
+    --csv PATH          write the discovery curve as CSV
+
+EXAMPLES:
+    gps universe --blocks 16
+    gps run --workload censys --seed-fraction 0.02 --step 16 --csv curve.csv
+    gps compare --workload lzr
+    gps expand
+    gps churn
+";

@@ -1,0 +1,183 @@
+//! Pseudo-service filtering (Appendix B).
+//!
+//! Middleboxes serve "pseudo services" — HTTP-ish responses on >1000
+//! contiguous ports — that would otherwise dominate 96% of all ports and
+//! poison the model. The paper's pipeline:
+//!
+//! 1. strip expected dynamic fields from response data (dates, cookies, TLS
+//!    randoms) — our scanner already observes post-stripping `content`
+//!    symbols;
+//! 2. drop services on a host that share identical filtered data with other
+//!    services on the same host (catches >80% of pseudo services);
+//! 3. the long tail is hard to fingerprint, so finally *drop any host
+//!    serving more than 10 services* — the paper measures this rule at 100%
+//!    recall and 99% precision.
+//!
+//! The `appB` experiment reproduces the recall/precision measurement against
+//! synthetic ground truth.
+
+use std::collections::HashMap;
+
+use gps_scan::ServiceObservation;
+
+/// Threshold from Appendix B: hosts serving more than this many services
+/// are considered middleboxes.
+pub const MAX_REAL_SERVICES_PER_HOST: usize = 10;
+
+/// Outcome counters for a filtering pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FilterStats {
+    pub observations_in: usize,
+    pub observations_out: usize,
+    pub dropped_duplicate_content: usize,
+    pub dropped_big_hosts: usize,
+    /// Hosts removed by the >10-services rule.
+    pub hosts_flagged: usize,
+}
+
+/// Apply the Appendix B filter to raw scan observations.
+///
+/// Observations must all come from the same scan (duplicates by (ip, port)
+/// are allowed and deduplicated here too). Order is preserved for retained
+/// observations.
+pub fn filter_pseudo_services(
+    observations: Vec<ServiceObservation>,
+) -> (Vec<ServiceObservation>, FilterStats) {
+    let mut stats = FilterStats { observations_in: observations.len(), ..Default::default() };
+
+    // Pass 1: per-host content histogram + service count.
+    #[derive(Default)]
+    struct HostAgg {
+        services: usize,
+        content_counts: HashMap<gps_types::Sym, usize>,
+    }
+    let mut hosts: HashMap<u32, HostAgg> = HashMap::new();
+    let mut seen = std::collections::HashSet::new();
+    for obs in &observations {
+        if !seen.insert((obs.ip.0, obs.port.0)) {
+            continue;
+        }
+        let agg = hosts.entry(obs.ip.0).or_default();
+        agg.services += 1;
+        *agg.content_counts.entry(obs.content).or_default() += 1;
+    }
+
+    // Decide per-host drops.
+    let flagged: std::collections::HashSet<u32> = hosts
+        .iter()
+        .filter(|(_, agg)| agg.services > MAX_REAL_SERVICES_PER_HOST)
+        .map(|(&ip, _)| ip)
+        .collect();
+    stats.hosts_flagged = flagged.len();
+
+    // Pass 2: retain.
+    seen.clear();
+    let mut out = Vec::with_capacity(observations.len());
+    for obs in observations {
+        if !seen.insert((obs.ip.0, obs.port.0)) {
+            continue;
+        }
+        if flagged.contains(&obs.ip.0) {
+            stats.dropped_big_hosts += 1;
+            continue;
+        }
+        let agg = &hosts[&obs.ip.0];
+        // Rule 2: identical filtered content repeated across the host's
+        // services is the pseudo-service signature. A single repeated pair
+        // on an otherwise small host is tolerated (virtual-hosting web
+        // servers legitimately serve one body on 80 and 8080), mirroring
+        // the paper's "same filtered data" rule applying to *pseudo* pages.
+        let dupes = agg.content_counts[&obs.content];
+        if dupes > 2 && agg.services > 2 {
+            stats.dropped_duplicate_content += 1;
+            continue;
+        }
+        out.push(obs);
+    }
+    stats.observations_out = out.len();
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gps_types::{Ip, Port, Protocol, Sym};
+
+    fn obs(ip: u32, port: u16, content: u32) -> ServiceObservation {
+        ServiceObservation {
+            ip: Ip(ip),
+            port: Port(port),
+            ttl: 60,
+            protocol: Protocol::Http,
+            content: Sym(content),
+            features: vec![],
+        }
+    }
+
+    #[test]
+    fn keeps_normal_hosts() {
+        let input = vec![obs(1, 80, 100), obs(1, 443, 101), obs(2, 22, 102)];
+        let (out, stats) = filter_pseudo_services(input.clone());
+        assert_eq!(out, input);
+        assert_eq!(stats.hosts_flagged, 0);
+    }
+
+    #[test]
+    fn drops_hosts_with_many_services() {
+        let mut input: Vec<_> = (0..25u16).map(|i| obs(9, 1000 + i, 500 + i as u32)).collect();
+        input.push(obs(1, 80, 7));
+        let (out, stats) = filter_pseudo_services(input);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].ip, Ip(1));
+        assert_eq!(stats.hosts_flagged, 1);
+        assert_eq!(stats.dropped_big_hosts, 25);
+    }
+
+    #[test]
+    fn drops_repeated_content_on_medium_hosts() {
+        // 5 services, 4 sharing one content symbol → the 4 clones drop.
+        let input = vec![
+            obs(3, 80, 42),
+            obs(3, 81, 42),
+            obs(3, 82, 42),
+            obs(3, 83, 42),
+            obs(3, 22, 9),
+        ];
+        let (out, stats) = filter_pseudo_services(input);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].port, Port(22));
+        assert_eq!(stats.dropped_duplicate_content, 4);
+    }
+
+    #[test]
+    fn tolerates_shared_body_on_two_ports() {
+        // Virtual host serving the same page on 80 + 8080 is legitimate.
+        let input = vec![obs(4, 80, 50), obs(4, 8080, 50), obs(4, 22, 51)];
+        let (out, _) = filter_pseudo_services(input.clone());
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn deduplicates_repeated_observations() {
+        let input = vec![obs(5, 80, 1), obs(5, 80, 1), obs(5, 80, 1)];
+        let (out, stats) = filter_pseudo_services(input);
+        assert_eq!(out.len(), 1);
+        assert_eq!(stats.observations_in, 3);
+        assert_eq!(stats.observations_out, 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (out, stats) = filter_pseudo_services(vec![]);
+        assert!(out.is_empty());
+        assert_eq!(stats, FilterStats::default());
+    }
+
+    #[test]
+    fn boundary_exactly_ten_services_kept() {
+        let input: Vec<_> = (0..10u16).map(|i| obs(6, 100 + i, 900 + i as u32)).collect();
+        let (out, stats) = filter_pseudo_services(input);
+        assert_eq!(out.len(), 10, "exactly 10 services is allowed");
+        assert_eq!(stats.hosts_flagged, 0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Host-grouped scan records and model-key extraction.
+//!
+//! The conditional-probability model (Eq. 4–7) is computed over *hosts*: a
+//! host exhibiting a feature tuple is one denominator count, and each of its
+//! other open ports is one numerator count. [`HostRecord`] groups a scan's
+//! observations per IP; [`service_keys`] enumerates the model keys a single
+//! service gives rise to.
+
+use std::collections::HashMap;
+
+use gps_scan::ServiceObservation;
+use gps_types::{Ip, Port, Subnet};
+
+use crate::config::NetFeature;
+use crate::model::{CondKey, NetKey};
+
+/// One scanned host: its IP, derived network keys, and observed services.
+#[derive(Debug, Clone)]
+pub struct HostRecord {
+    pub ip: Ip,
+    /// Network keys of the host under the configured [`NetFeature`]s.
+    pub nets: Vec<NetKey>,
+    /// Observations sorted by port (one per port).
+    pub services: Vec<ServiceObservation>,
+}
+
+impl HostRecord {
+    pub fn open_ports(&self) -> impl Iterator<Item = Port> + '_ {
+        self.services.iter().map(|s| s.port)
+    }
+}
+
+/// Derive the [`NetKey`]s of an address. ASN resolution is supplied by the
+/// caller (the scanner/topology layer owns that mapping).
+pub fn net_keys_for(
+    ip: Ip,
+    net_features: &[NetFeature],
+    asn_of: &dyn Fn(Ip) -> Option<u32>,
+) -> Vec<NetKey> {
+    net_features
+        .iter()
+        .filter_map(|nf| match nf {
+            NetFeature::Slash(prefix) => {
+                Some(NetKey::Slash(*prefix, Subnet::of_ip(ip, *prefix).base().0))
+            }
+            NetFeature::Asn => asn_of(ip).map(NetKey::Asn),
+        })
+        .collect()
+}
+
+/// Group observations by host, deduplicating (ip, port) pairs and sorting
+/// services by port. Output is sorted by IP (deterministic model input).
+pub fn group_by_host(
+    observations: &[ServiceObservation],
+    net_features: &[NetFeature],
+    asn_of: &dyn Fn(Ip) -> Option<u32>,
+) -> Vec<HostRecord> {
+    let mut by_ip: HashMap<u32, Vec<ServiceObservation>> = HashMap::new();
+    let mut seen = std::collections::HashSet::new();
+    for obs in observations {
+        if seen.insert((obs.ip.0, obs.port.0)) {
+            by_ip.entry(obs.ip.0).or_default().push(obs.clone());
+        }
+    }
+    let mut hosts: Vec<HostRecord> = by_ip
+        .into_iter()
+        .map(|(ip, mut services)| {
+            services.sort_by_key(|s| s.port);
+            let ip = Ip(ip);
+            HostRecord { ip, nets: net_keys_for(ip, net_features, asn_of), services }
+        })
+        .collect();
+    hosts.sort_by_key(|h| h.ip);
+    hosts
+}
+
+/// Enumerate every model key (Eq. 4–7 conditioning tuples) derivable from
+/// one observed service on a host with the given network keys.
+///
+/// - Eq. 4: `(Port_b)`
+/// - Eq. 5: `(Port_b, App_b)` for each application feature of the service
+/// - Eq. 6: `(Port_b, Net)` for each network key
+/// - Eq. 7: `(Port_b, App_b, Net)` for each feature × network key
+pub fn service_keys(
+    service: &ServiceObservation,
+    nets: &[NetKey],
+    interactions: crate::config::Interactions,
+    sink: &mut dyn FnMut(CondKey),
+) {
+    let port = service.port;
+    if interactions.transport {
+        sink(CondKey::Port(port));
+    }
+    if interactions.transport_app {
+        for f in &service.features {
+            sink(CondKey::PortApp(port, *f));
+        }
+    }
+    if interactions.transport_net {
+        for net in nets {
+            sink(CondKey::PortNet(port, *net));
+        }
+    }
+    if interactions.transport_app_net {
+        for f in &service.features {
+            for net in nets {
+                sink(CondKey::PortAppNet(port, *f, *net));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Interactions;
+    use gps_types::{FeatureKind, FeatureValue, Protocol, Sym};
+
+    fn obs(ip: u32, port: u16, nfeatures: usize) -> ServiceObservation {
+        ServiceObservation {
+            ip: Ip(ip),
+            port: Port(port),
+            ttl: 60,
+            protocol: Protocol::Http,
+            content: Sym(0),
+            features: (0..nfeatures)
+                .map(|i| FeatureValue::new(FeatureKind::HttpServer, Sym(i as u32)))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn grouping_sorts_and_dedups() {
+        let observations = vec![obs(2, 443, 0), obs(1, 80, 0), obs(2, 80, 0), obs(2, 80, 0)];
+        let hosts = group_by_host(&observations, &[NetFeature::Slash(16)], &|_| None);
+        assert_eq!(hosts.len(), 2);
+        assert_eq!(hosts[0].ip, Ip(1));
+        assert_eq!(hosts[1].services.len(), 2);
+        assert_eq!(hosts[1].services[0].port, Port(80));
+        assert_eq!(hosts[1].services[1].port, Port(443));
+    }
+
+    #[test]
+    fn net_keys_cover_features() {
+        let ip = Ip::from_octets(10, 20, 30, 40);
+        let keys = net_keys_for(ip, &[NetFeature::Slash(16), NetFeature::Asn], &|_| Some(7));
+        assert_eq!(keys.len(), 2);
+        assert!(matches!(keys[0], NetKey::Slash(16, base) if base == Ip::from_octets(10, 20, 0, 0).0));
+        assert!(matches!(keys[1], NetKey::Asn(7)));
+        // Unknown ASN yields no ASN key.
+        let keys = net_keys_for(ip, &[NetFeature::Asn], &|_| None);
+        assert!(keys.is_empty());
+    }
+
+    #[test]
+    fn key_count_formula() {
+        // k features, n nets ⇒ 1 + k + n + k·n keys with all interactions.
+        let service = obs(1, 80, 3);
+        let nets = vec![NetKey::Slash(16, 0), NetKey::Asn(9)];
+        let mut keys = Vec::new();
+        service_keys(&service, &nets, Interactions::ALL, &mut |k| keys.push(k));
+        assert_eq!(keys.len(), 1 + 3 + 2 + 6);
+        // All keys distinct.
+        let set: std::collections::HashSet<_> = keys.iter().collect();
+        assert_eq!(set.len(), keys.len());
+    }
+
+    #[test]
+    fn interaction_gating() {
+        let service = obs(1, 80, 2);
+        let nets = vec![NetKey::Asn(1)];
+        let mut keys = Vec::new();
+        service_keys(&service, &nets, Interactions::TRANSPORT_ONLY, &mut |k| keys.push(k));
+        assert_eq!(keys, vec![CondKey::Port(Port(80))]);
+    }
+
+    #[test]
+    fn unknown_protocol_has_only_port_and_net_keys() {
+        let mut service = obs(1, 5432, 0);
+        service.protocol = Protocol::Unknown;
+        let nets = vec![NetKey::Slash(16, 0)];
+        let mut keys = Vec::new();
+        service_keys(&service, &nets, Interactions::ALL, &mut |k| keys.push(k));
+        assert_eq!(keys.len(), 2, "Port + PortNet only: {keys:?}");
+    }
+}

@@ -1,0 +1,284 @@
+//! Predicting additional services (§5.4).
+//!
+//! Once the priors scan has found at least one service per host, GPS builds
+//! the **most predictive feature values** list:
+//!
+//! 1. for each seed service (IP, Portₐ), the feature tuple maximizing
+//!    P(Portₐ | tuple) enters the list (probabilities below the random-probe
+//!    hit rate are discarded) — *every* predictable seed service is thereby
+//!    guaranteed a matching rule;
+//! 2. feature values are extracted from each responsive priors-scan service;
+//! 3. any service matching a listed tuple contributes its predicted
+//!    (IP, Portₐ) to the predictions list, ordered by descending
+//!    predictability.
+
+use std::collections::{HashMap, HashSet};
+
+use gps_types::{Ip, Port, ServiceKey};
+
+use crate::host::HostRecord;
+use crate::model::{CondKey, CondModel};
+
+/// The "most predictive feature values" list: tuple → predicted ports.
+#[derive(Debug, Default)]
+pub struct FeatureRules {
+    rules: HashMap<CondKey, Vec<(Port, f64)>>,
+    num_rules: usize,
+}
+
+impl FeatureRules {
+    /// Step 1: scan every seed service, keep its argmax feature tuple.
+    pub fn build(model: &CondModel, seed_hosts: &[HostRecord], min_prob: f64) -> FeatureRules {
+        let mut rules: HashMap<CondKey, HashMap<Port, f64>> = HashMap::new();
+        for host in seed_hosts {
+            if host.services.len() < 2 {
+                continue;
+            }
+            for a in &host.services {
+                if let Some((_idx, key, p)) = model.best_predictor_for(host, a.port) {
+                    // Discard probabilities at/below the random hit rate —
+                    // services on effectively random ports are unpredictable.
+                    if p >= min_prob {
+                        let slot = rules.entry(key).or_default().entry(a.port).or_insert(0.0);
+                        if p > *slot {
+                            *slot = p;
+                        }
+                    }
+                }
+            }
+        }
+        let mut num_rules = 0;
+        let rules: HashMap<CondKey, Vec<(Port, f64)>> = rules
+            .into_iter()
+            .map(|(key, ports)| {
+                let mut v: Vec<(Port, f64)> = ports.into_iter().collect();
+                v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+                num_rules += v.len();
+                (key, v)
+            })
+            .collect();
+        FeatureRules { rules, num_rules }
+    }
+
+    /// Number of distinct (tuple → port) rules.
+    pub fn len(&self) -> usize {
+        self.num_rules
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.num_rules == 0
+    }
+
+    /// Number of distinct feature tuples.
+    pub fn num_keys(&self) -> usize {
+        self.rules.len()
+    }
+
+    pub fn get(&self, key: &CondKey) -> Option<&[(Port, f64)]> {
+        self.rules.get(key).map(|v| v.as_slice())
+    }
+
+    /// Iterate all (tuple, predicted ports) rules.
+    pub fn iter(&self) -> impl Iterator<Item = (&CondKey, &Vec<(Port, f64)>)> {
+        self.rules.iter()
+    }
+}
+
+/// One prediction: probe (ip, port); `prob` is the model's confidence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    pub ip: Ip,
+    pub port: Port,
+    pub prob: f64,
+}
+
+impl Prediction {
+    pub fn key(&self) -> ServiceKey {
+        ServiceKey::new(self.ip, self.port)
+    }
+}
+
+/// Steps 2–3: match priors-scan hosts against the rules and emit the
+/// ordered predictions list.
+///
+/// * `prior_hosts` — host-grouped responsive services from the priors scan;
+/// * `known` — (ip, port) pairs already observed (seed + priors); never
+///   re-predicted;
+/// * `max_predictions` — hard cap (keeps the highest-probability entries).
+pub fn build_predictions(
+    rules: &FeatureRules,
+    prior_hosts: &[HostRecord],
+    known: &HashSet<(u32, u16)>,
+    max_predictions: usize,
+) -> Vec<Prediction> {
+    let mut best: HashMap<(u32, u16), f64> = HashMap::new();
+    for host in prior_hosts {
+        let open: HashSet<u16> = host.services.iter().map(|s| s.port.0).collect();
+        for service in &host.services {
+            crate::host::service_keys(
+                service,
+                &host.nets,
+                // Match with the full key family; rules built from a reduced
+                // interaction set simply contain fewer keys.
+                crate::config::Interactions::ALL,
+                &mut |key| {
+                    if let Some(targets) = rules.get(&key) {
+                        for &(port, prob) in targets {
+                            if open.contains(&port.0) || known.contains(&(host.ip.0, port.0)) {
+                                continue;
+                            }
+                            let slot = best.entry((host.ip.0, port.0)).or_insert(0.0);
+                            if prob > *slot {
+                                *slot = prob;
+                            }
+                        }
+                    }
+                },
+            );
+        }
+    }
+
+    let mut predictions: Vec<Prediction> = best
+        .into_iter()
+        .map(|((ip, port), prob)| Prediction { ip: Ip(ip), port: Port(port), prob })
+        .collect();
+    // Descending predictability; deterministic tiebreak.
+    predictions.sort_by(|a, b| {
+        b.prob
+            .partial_cmp(&a.prob)
+            .unwrap()
+            .then(a.ip.cmp(&b.ip))
+            .then(a.port.cmp(&b.port))
+    });
+    predictions.truncate(max_predictions);
+    predictions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Interactions, NetFeature};
+    use crate::host::group_by_host;
+    use crate::model::CondModel;
+    use gps_engine::{Backend, ExecLedger};
+    use gps_scan::ServiceObservation;
+    use gps_types::{FeatureKind, FeatureValue, Protocol, Sym};
+
+    fn obs(ip: u32, port: u16, feature: Option<u32>) -> ServiceObservation {
+        ServiceObservation {
+            ip: Ip(ip),
+            port: Port(port),
+            ttl: 60,
+            protocol: Protocol::Http,
+            content: Sym(0),
+            features: feature
+                .map(|v| vec![FeatureValue::new(FeatureKind::HttpBodyHash, Sym(v))])
+                .unwrap_or_default(),
+        }
+    }
+
+    /// Seed: 5 hosts with body-hash 7 on port 80 all run 8082.
+    fn trained() -> (Vec<HostRecord>, CondModel) {
+        let mut observations = Vec::new();
+        for ip in 1..=5u32 {
+            observations.push(obs(ip, 80, Some(7)));
+            observations.push(obs(ip, 8082, None));
+        }
+        let hosts = group_by_host(&observations, &[NetFeature::Slash(16)], &|_| None);
+        let (model, _) =
+            CondModel::build(&hosts, Interactions::ALL, Backend::SingleCore, &ExecLedger::new());
+        (hosts, model)
+    }
+
+    #[test]
+    fn rules_capture_the_pattern() {
+        let (hosts, model) = trained();
+        let rules = FeatureRules::build(&model, &hosts, 1e-5);
+        assert!(!rules.is_empty());
+        // Every key for 8082 given the port-80 evidence ties at p = 1.0 in
+        // this homogeneous seed, so the argmax resolves to the simplest
+        // class: the bare Port(80) tuple.
+        let key = CondKey::Port(Port(80));
+        let targets = rules.get(&key).expect("rule exists");
+        assert_eq!(targets[0].0, Port(8082));
+        assert!((targets[0].1 - 1.0).abs() < 1e-12);
+        // The refined tuple was not selected (it tied, and ties prefer
+        // simpler keys).
+        let refined =
+            CondKey::PortApp(Port(80), FeatureValue::new(FeatureKind::HttpBodyHash, Sym(7)));
+        assert!(rules.get(&refined).is_none());
+    }
+
+    #[test]
+    fn threshold_prunes_weak_rules() {
+        let (hosts, model) = trained();
+        let none = FeatureRules::build(&model, &hosts, 1.01);
+        assert!(none.is_empty(), "threshold above 1.0 kills everything");
+        let all = FeatureRules::build(&model, &hosts, 0.0);
+        assert!(all.len() >= 2);
+    }
+
+    #[test]
+    fn predictions_follow_matched_rules() {
+        let (hosts, model) = trained();
+        let rules = FeatureRules::build(&model, &hosts, 1e-5);
+        // A new host seen in the priors scan with the same banner on 80.
+        let prior = group_by_host(&[obs(100, 80, Some(7))], &[NetFeature::Slash(16)], &|_| None);
+        let known = HashSet::new();
+        let preds = build_predictions(&rules, &prior, &known, 1000);
+        assert!(preds.iter().any(|p| p.ip == Ip(100) && p.port == Port(8082)),
+            "must predict 8082 on the new host: {preds:?}");
+        // Highest-probability first.
+        assert!(preds.windows(2).all(|w| w[0].prob >= w[1].prob));
+    }
+
+    #[test]
+    fn known_and_open_ports_are_not_repredicted() {
+        let (hosts, model) = trained();
+        let rules = FeatureRules::build(&model, &hosts, 1e-5);
+        // Prior host already observed on both ports.
+        let prior = group_by_host(
+            &[obs(100, 80, Some(7)), obs(100, 8082, None)],
+            &[NetFeature::Slash(16)],
+            &|_| None,
+        );
+        let preds = build_predictions(&rules, &prior, &HashSet::new(), 1000);
+        assert!(
+            !preds.iter().any(|p| p.ip == Ip(100) && p.port == Port(8082)),
+            "open port must not be re-predicted"
+        );
+        // Same via the known set.
+        let prior = group_by_host(&[obs(100, 80, Some(7))], &[NetFeature::Slash(16)], &|_| None);
+        let known: HashSet<(u32, u16)> = [(100u32, 8082u16)].into_iter().collect();
+        let preds = build_predictions(&rules, &prior, &known, 1000);
+        assert!(!preds.iter().any(|p| p.ip == Ip(100) && p.port == Port(8082)));
+    }
+
+    #[test]
+    fn unmatched_hosts_produce_nothing() {
+        let (hosts, model) = trained();
+        let rules = FeatureRules::build(&model, &hosts, 1e-5);
+        // Different banner (Sym 9) and different /16 ⇒ only the bare Port
+        // key might match.
+        let prior = group_by_host(&[obs(0xFF000001, 4444, Some(9))], &[NetFeature::Slash(16)], &|_| None);
+        let preds = build_predictions(&rules, &prior, &HashSet::new(), 1000);
+        assert!(preds.is_empty(), "{preds:?}");
+    }
+
+    #[test]
+    fn max_predictions_keeps_best() {
+        let (hosts, model) = trained();
+        let rules = FeatureRules::build(&model, &hosts, 0.0);
+        let mut prior_observations = Vec::new();
+        for ip in 200..260u32 {
+            prior_observations.push(obs(ip, 80, Some(7)));
+        }
+        let prior = group_by_host(&prior_observations, &[NetFeature::Slash(16)], &|_| None);
+        let capped = build_predictions(&rules, &prior, &HashSet::new(), 10);
+        assert_eq!(capped.len(), 10);
+        let full = build_predictions(&rules, &prior, &HashSet::new(), usize::MAX);
+        let min_kept = capped.iter().map(|p| p.prob).fold(f64::INFINITY, f64::min);
+        let max_dropped = full[10..].iter().map(|p| p.prob).fold(0.0, f64::max);
+        assert!(min_kept >= max_dropped);
+    }
+}

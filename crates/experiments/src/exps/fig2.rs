@@ -1,0 +1,158 @@
+//! Figure 2 — Finding services: GPS vs optimal-port-order exhaustive
+//! probing vs the oracle, on both workloads and both metrics.
+//!
+//! Panels: (a) Censys all-services, (b) LZR all-services, (c) Censys
+//! normalized, (d) LZR normalized. The paper's headline: GPS finds 92.5% of
+//! all services (LZR, ports with >2 responsive IPs) and up to 94–98% on the
+//! Censys workload, using order(s)-of-magnitude less bandwidth than optimal
+//! port-order probing at low-to-mid coverage, with the saving shrinking as
+//! coverage approaches the predictability ceiling.
+
+use gps_baselines::{optimal_port_order_curve, oracle_curve};
+use gps_core::{run_gps, DiscoveryCurve, GpsConfig, GpsRun};
+use gps_synthnet::Internet;
+
+use crate::{print_series, ratio, Report, Scenario};
+
+pub struct Fig2Output {
+    pub censys_run: GpsRun,
+    pub censys_exhaustive: DiscoveryCurve,
+    pub lzr_run: GpsRun,
+    pub lzr_exhaustive: DiscoveryCurve,
+    pub report: Report,
+}
+
+pub fn run(scenario: &Scenario, net: &Internet) -> Fig2Output {
+    let mut report = Report::new();
+
+    // ---------------------------------------------------- Censys workload
+    let censys = scenario.censys(net, 0.02);
+    let censys_run = run_gps(net, &censys, &GpsConfig { step_prefix: 16, ..Default::default() });
+    let censys_ex = optimal_port_order_curve(net, &censys, usize::MAX);
+    let oracle = oracle_curve(&censys, net.universe_size(), 16);
+
+    println!("== Figure 2a/2c: Censys workload ({}) ==", censys.name);
+    print_series(
+        "GPS (bandwidth, fraction of services)",
+        &censys_run.curve.points.iter().map(|p| (p.scans, p.fraction_all)).collect::<Vec<_>>(),
+        16,
+    );
+    print_series(
+        "exhaustive optimal order (bandwidth, fraction)",
+        &censys_ex.points.iter().map(|p| (p.scans, p.fraction_all)).collect::<Vec<_>>(),
+        16,
+    );
+    print_series(
+        "oracle (bandwidth, fraction)",
+        &oracle.points.iter().map(|p| (p.scans, p.fraction_all)).collect::<Vec<_>>(),
+        4,
+    );
+    print_series(
+        "GPS (bandwidth, normalized services)",
+        &censys_run
+            .curve
+            .points
+            .iter()
+            .map(|p| (p.scans, p.fraction_normalized))
+            .collect::<Vec<_>>(),
+        16,
+    );
+
+    // Headline comparisons at the highest coverage GPS reaches.
+    let gps_max = censys_run.fraction_of_services();
+    let target = (gps_max - 0.002).max(0.5);
+    let gps_b = censys_run.curve.scans_to_reach_all(target).unwrap_or(f64::NAN);
+    let ex_b = censys_ex.scans_to_reach_all(target).unwrap_or(f64::NAN);
+    report.claim(
+        "fig2a",
+        format!("Censys: GPS finds {:.1}% of services cheaper than optimal port-order", 100.0 * target),
+        "94% of services at 21x less bandwidth (2K ports, 2% seed)",
+        format!("{:.1}% of services at {:.1}x less ({:.0} vs {:.0} scans)", 100.0 * target, ratio(ex_b, gps_b), gps_b, ex_b),
+        ratio(ex_b, gps_b) > 1.5,
+    );
+
+    let gps_norm_max = censys_run.fraction_normalized();
+    let norm_target = (gps_norm_max - 0.002).min(0.46).max(0.1);
+    let gps_nb = censys_run.curve.scans_to_reach_normalized(norm_target).unwrap_or(f64::NAN);
+    let ex_nb = censys_ex.scans_to_reach_normalized(norm_target).unwrap_or(f64::NAN);
+    report.claim(
+        "fig2c",
+        format!("Censys: GPS finds {:.0}% of normalized services cheaper", 100.0 * norm_target),
+        "46% of normalized services at 100x less bandwidth",
+        format!("{:.0}% at {:.1}x less ({:.0} vs {:.0} scans)", 100.0 * norm_target, ratio(ex_nb, gps_nb), gps_nb, ex_nb),
+        ratio(ex_nb, gps_nb) > 3.0,
+    );
+    // Savings collapse past the predictability ceiling (paper: 100x at 46%
+    // -> 1.5x at 67%): beyond its predictions GPS must fall back to random
+    // residual probing (§6.3), whose efficiency is the remaining-service
+    // density — compare it to exhaustive probing's marginal efficiency.
+    let remaining = censys.test.total() - censys_run.found.len() as u64;
+    let ports_count = censys.test.num_ports() as u64;
+    let residual_density = remaining as f64 / (net.universe_size() * ports_count) as f64;
+    let exhaustive_marginal = {
+        // Services per probe for the next unscanned port in the optimal
+        // order at GPS's ceiling.
+        let at = censys_ex
+            .points
+            .iter()
+            .position(|p| p.fraction_all >= gps_max)
+            .unwrap_or(censys_ex.points.len() - 1);
+        let window = &censys_ex.points[at.saturating_sub(1)..=at];
+        let d_found = window.last().unwrap().found - window.first().unwrap().found;
+        let d_probes =
+            window.last().unwrap().discovery_probes - window.first().unwrap().discovery_probes;
+        d_found as f64 / d_probes.max(1) as f64
+    };
+    report.claim(
+        "fig2-tail",
+        "past the predictability ceiling, GPS degrades to random probing and the savings vanish",
+        "normalized savings shrink from 100x (46%) to 1.5x (67%); 96% of services save only 10x vs 131x at 92%",
+        format!(
+            "residual efficiency {residual_density:.2e} services/probe vs exhaustive marginal {exhaustive_marginal:.2e}"
+        ),
+        residual_density < exhaustive_marginal,
+    );
+
+    // ------------------------------------------------------- LZR workload
+    let lzr = scenario.lzr(net, 0.40, 0.0625);
+    let lzr_run = run_gps(net, &lzr, &GpsConfig { step_prefix: 16, ..Default::default() });
+    let lzr_ex = optimal_port_order_curve(net, &lzr, usize::MAX);
+
+    println!("\n== Figure 2b/2d: LZR workload ({}) ==", lzr.name);
+    print_series(
+        "GPS (bandwidth, fraction of services)",
+        &lzr_run.curve.points.iter().map(|p| (p.scans, p.fraction_all)).collect::<Vec<_>>(),
+        16,
+    );
+    print_series(
+        "exhaustive optimal order (bandwidth, fraction)",
+        &lzr_ex.points.iter().map(|p| (p.scans, p.fraction_all)).collect::<Vec<_>>(),
+        16,
+    );
+
+    let lzr_max = lzr_run.fraction_of_services();
+    let lzr_target = (lzr_max - 0.002).max(0.5);
+    let g = lzr_run.curve.scans_to_reach_all(lzr_target).unwrap_or(f64::NAN);
+    let e = lzr_ex.scans_to_reach_all(lzr_target).unwrap_or(f64::NAN);
+    report.claim(
+        "fig2b",
+        format!("LZR (all ports, >2 IPs): GPS reaches {:.1}% of services cheaper", 100.0 * lzr_target),
+        "92.5% of services at 6x less bandwidth; 95% at 2x less",
+        format!("{:.1}% at {:.1}x less ({:.0} vs {:.0} scans)", 100.0 * lzr_target, ratio(e, g), g, e),
+        ratio(e, g) > 1.0,
+    );
+
+    let lzr_norm = lzr_run.fraction_normalized();
+    let nt = (lzr_norm - 0.002).max(0.05);
+    let g = lzr_run.curve.scans_to_reach_normalized(nt).unwrap_or(f64::NAN);
+    let e = lzr_ex.scans_to_reach_normalized(nt).unwrap_or(f64::NAN);
+    report.claim(
+        "fig2d",
+        format!("LZR: GPS reaches {:.0}% of normalized services cheaper", 100.0 * nt),
+        "17% of normalized services at 15x less; 38% at 1.7x less",
+        format!("{:.1}% at {:.1}x less ({:.0} vs {:.0} scans)", 100.0 * nt, ratio(e, g), g, e),
+        ratio(e, g) > 1.0,
+    );
+
+    Fig2Output { censys_run, censys_exhaustive: censys_ex, lzr_run, lzr_exhaustive: lzr_ex, report }
+}

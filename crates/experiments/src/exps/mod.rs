@@ -1,0 +1,18 @@
+//! One module per reproduced table/figure; see DESIGN.md §5 for the index.
+
+pub mod appa;
+pub mod appb;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod sec2;
+pub mod sec3;
+pub mod sec4;
+pub mod sec66;
+pub mod sec7;
+pub mod tab1;
+pub mod tab2;
+pub mod tab3;
+pub mod tab4;

@@ -1,0 +1,109 @@
+//! §6.6 — the most-predictive-feature census and its anecdotes.
+//!
+//! The paper: GPS selects 402K unique feature values as most predictive;
+//! HTTP-derived information contributes 45% of them; and the interactions
+//! surface network-vendor stories — Distributel hosts whose disabled-telnet
+//! banner on 23 predicts HTTP on 8082, and Bizland hosts whose IMAP
+//! STARTTLS banner predicts SSH on 2222. Both anecdotes have analogs planted
+//! in the synthetic universe; this experiment checks GPS actually finds
+//! them.
+
+use gps_core::{run_gps, GpsConfig};
+use gps_synthnet::Internet;
+use gps_types::{Port, Protocol};
+
+use crate::{Report, Scenario};
+
+pub fn run(scenario: &Scenario, net: &Internet) -> Report {
+    let mut report = Report::new();
+    let dataset = scenario.censys(net, 0.01);
+    let run = run_gps(net, &dataset, &GpsConfig { step_prefix: 16, ..Default::default() });
+
+    // Census of the selected rules.
+    let mut http = 0usize;
+    let mut with_app = 0usize;
+    for (key, targets) in run.rules.iter() {
+        if let Some(f) = key.app() {
+            with_app += targets.len();
+            if f.kind.source_protocol() == Some(Protocol::Http)
+                || f.kind == gps_types::FeatureKind::Protocol
+            {
+                http += targets.len();
+            }
+        }
+    }
+    println!("== §6.6: most-predictive feature census ==");
+    println!(
+        "selected rules: {} over {} distinct tuples ({} with app features; {:.1}% HTTP-derived of those)",
+        run.rules.len(),
+        run.rules.num_keys(),
+        with_app,
+        100.0 * http as f64 / with_app.max(1) as f64
+    );
+    report.claim(
+        "sec66-census",
+        "GPS selects a large most-predictive-features list; HTTP contributes the most",
+        "402K unique values selected; HTTP features contribute 45%",
+        format!(
+            "{} rules selected; HTTP-derived {:.0}% of app-feature rules",
+            run.rules.len(),
+            100.0 * http as f64 / with_app.max(1) as f64
+        ),
+        run.rules.len() > 1000 && http * 5 > with_app,
+    );
+
+    // The anecdotes are conditional probabilities the model learned; query
+    // them directly (the argmax rules list may route the same prediction
+    // through an equally-strong simpler key).
+    let model_prob = |port: u16, banner_substr: &str, target: u16| -> f64 {
+        let mut best = 0.0f64;
+        for (key, stats) in run.model.iter() {
+            if key.port() != Port(port) {
+                continue;
+            }
+            let Some(f) = key.app() else { continue };
+            if !net.interner().resolve(f.value).contains(banner_substr) {
+                continue;
+            }
+            best = best.max(stats.probability(Port(target)));
+        }
+        best
+    };
+    let telnet_p = model_prob(23, "Telnet service is disabled", 8082);
+    let imap_p = model_prob(143, "STARTTLS required", 2222);
+    println!(
+        "anecdote probabilities: P(8082 | 23, disabled-telnet banner) = {telnet_p:.2};          P(2222 | 143, STARTTLS banner) = {imap_p:.2}"
+    );
+    report.claim(
+        "sec66-anecdotes",
+        "network-vendor interaction patterns are learned (Distributel/Bizland analogs)",
+        "95% of AS1181 telnet-disabled hosts serve HTTP on 8082; 98% of Bizland IMAP hosts serve SSH on 2222",
+        format!("P(8082|banner)={:.0}%; P(2222|banner)={:.0}%", 100.0 * telnet_p, 100.0 * imap_p),
+        telnet_p > 0.8 && imap_p > 0.8,
+    );
+
+    // And the predictions actually cash in: count found services on 8082 /
+    // 2222.
+    let found_8082 = run.found.iter().filter(|k| k.port == Port(8082)).count();
+    let truth_8082 = dataset.test.port_count(Port(8082));
+    let found_2222 = run.found.iter().filter(|k| k.port == Port(2222)).count();
+    let truth_2222 = dataset.test.port_count(Port(2222));
+    println!(
+        "discovered: 8082 {found_8082}/{truth_8082}; 2222 {found_2222}/{truth_2222}"
+    );
+    report.claim(
+        "sec66-payoff",
+        "the anecdote rules translate into discovered services",
+        "uncommon vendor ports recovered at high coverage",
+        format!(
+            "8082: {:.0}% of {} services; 2222: {:.0}% of {}",
+            100.0 * found_8082 as f64 / truth_8082.max(1) as f64,
+            truth_8082,
+            100.0 * found_2222 as f64 / truth_2222.max(1) as f64,
+            truth_2222
+        ),
+        truth_8082 > 0 && found_8082 as f64 / truth_8082 as f64 > 0.5,
+    );
+
+    report
+}

@@ -1,0 +1,96 @@
+//! LZR fingerprinting waterfall.
+//!
+//! LZR ("Identifying Unexpected Internet Services", the paper's service
+//! fingerprinting stage) distinguishes *server-first* protocols — the
+//! service speaks as soon as the connection opens (SSH, SMTP, FTP, …) —
+//! from *client-first* protocols that stay silent until the scanner sends
+//! the right opening bytes (HTTP, TLS, …). For the silent ones LZR walks a
+//! waterfall of trial handshakes, most-likely first, so fingerprinting an
+//! uncommon client-first protocol costs extra probes.
+//!
+//! This module models that cost structure so the bandwidth ledger reflects
+//! LZR's real behaviour: a Telnet banner costs one data probe, while an
+//! MSSQL service found deep in the waterfall costs several.
+
+use gps_types::Protocol;
+
+/// Whether the service transmits first on connection open.
+pub const fn is_server_first(proto: Protocol) -> bool {
+    matches!(
+        proto,
+        Protocol::Ssh
+            | Protocol::Smtp
+            | Protocol::Ftp
+            | Protocol::Imap
+            | Protocol::Pop3
+            | Protocol::Telnet
+            | Protocol::Mysql
+            | Protocol::Vnc
+    )
+}
+
+/// LZR's trial order for client-first protocols (most common handshakes
+/// first, per the LZR paper's waterfall design).
+pub const WATERFALL: [Protocol; 7] = [
+    Protocol::Http,
+    Protocol::Tls,
+    Protocol::Cwmp,
+    Protocol::Pptp,
+    Protocol::Memcached,
+    Protocol::Mssql,
+    Protocol::Ipmi,
+];
+
+/// Number of data probes LZR spends fingerprinting a service of this
+/// protocol: 1 for server-first (the wait reveals the banner), otherwise
+/// 1 + the protocol's position in the waterfall.
+pub fn fingerprint_probes(proto: Protocol) -> u64 {
+    if is_server_first(proto) {
+        return 1;
+    }
+    match WATERFALL.iter().position(|&p| p == proto) {
+        Some(idx) => 1 + idx as u64,
+        // Unknown/real-but-unidentified listeners exhaust the waterfall.
+        None => 1 + WATERFALL.len() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_first_protocols_cost_one_probe() {
+        for p in [Protocol::Ssh, Protocol::Smtp, Protocol::Telnet, Protocol::Mysql] {
+            assert!(is_server_first(p));
+            assert_eq!(fingerprint_probes(p), 1);
+        }
+    }
+
+    #[test]
+    fn waterfall_orders_costs() {
+        assert_eq!(fingerprint_probes(Protocol::Http), 1);
+        assert_eq!(fingerprint_probes(Protocol::Tls), 2);
+        assert!(fingerprint_probes(Protocol::Mssql) > fingerprint_probes(Protocol::Cwmp));
+    }
+
+    #[test]
+    fn unknown_exhausts_the_waterfall() {
+        assert_eq!(
+            fingerprint_probes(Protocol::Unknown),
+            1 + WATERFALL.len() as u64
+        );
+        // Costlier than every identified protocol.
+        for p in Protocol::BANNERED {
+            assert!(fingerprint_probes(Protocol::Unknown) >= fingerprint_probes(p));
+        }
+    }
+
+    #[test]
+    fn every_bannered_protocol_has_finite_cost() {
+        for p in Protocol::BANNERED {
+            let c = fingerprint_probes(p);
+            assert!(c >= 1 && c <= 8, "{p}: {c}");
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! ZMap-style address permutation.
+//!
+//! ZMap scans the IPv4 space in the order of a random cyclic permutation so
+//! probes to any one network are spread over the whole scan (the "scanning
+//! rate that prevents flooding destination networks" constraint in §1). The
+//! permutation is the multiplicative group of integers modulo a prime:
+//! iterating `x ← x·g mod p` for a primitive root `g` visits every element
+//! of `1..p` exactly once.
+//!
+//! We generalize ZMap's fixed `p = 2³² + 15` to the smallest prime above the
+//! simulated universe size, so iteration wastes almost no cycles on
+//! out-of-range values.
+
+use gps_types::Rng;
+
+/// A random-order permutation of `0..n` via a multiplicative cyclic group.
+#[derive(Debug, Clone)]
+pub struct CyclicPermutation {
+    n: u64,
+    p: u64,
+    generator: u64,
+    first: u64,
+    state: u64,
+    yielded: u64,
+}
+
+impl CyclicPermutation {
+    /// Build a permutation of `0..n`. Panics if `n == 0`.
+    pub fn new(n: u64, rng: &mut Rng) -> Self {
+        assert!(n > 0, "empty permutation");
+        // Smallest prime p with p > n, so group elements 1..=p-1 cover
+        // 0..n with at most (p-1-n) skipped values.
+        let p = next_prime(n.max(2) + 1);
+        let generator = find_primitive_root(p, rng);
+        // Random starting point in 1..p.
+        let first = 1 + rng.gen_range(p - 1);
+        CyclicPermutation { n, p, generator, first, state: first, yielded: 0 }
+    }
+
+    /// Total number of elements (n).
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
+impl Iterator for CyclicPermutation {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.yielded >= self.n {
+            return None;
+        }
+        loop {
+            let value = self.state - 1; // group elements are 1..p ⇒ values 0..p-1
+            self.state = mulmod(self.state, self.generator, self.p);
+            let wrapped = self.state == self.first;
+            if value < self.n {
+                self.yielded += 1;
+                return Some(value);
+            }
+            if wrapped {
+                // Safety net; unreachable when yielded < n because the group
+                // covers every value exactly once per cycle.
+                return None;
+            }
+        }
+    }
+}
+
+/// `(a * b) mod m` without overflow.
+#[inline]
+fn mulmod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+/// `(base ^ exp) mod m`.
+fn powmod(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    let mut acc = 1u64;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mulmod(acc, base, m);
+        }
+        base = mulmod(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Deterministic trial-division primality (universe sizes are ≤ 2³⁰, so
+/// √n ≤ 2¹⁵·√4 — cheap).
+fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    if n % 2 == 0 {
+        return n == 2;
+    }
+    let mut d = 3u64;
+    while d * d <= n {
+        if n % d == 0 {
+            return false;
+        }
+        d += 2;
+    }
+    true
+}
+
+/// Smallest prime ≥ n.
+fn next_prime(mut n: u64) -> u64 {
+    while !is_prime(n) {
+        n += 1;
+    }
+    n
+}
+
+/// Prime factors of n (unique).
+fn prime_factors(mut n: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut d = 2u64;
+    while d * d <= n {
+        if n % d == 0 {
+            out.push(d);
+            while n % d == 0 {
+                n /= d;
+            }
+        }
+        d += 1;
+    }
+    if n > 1 {
+        out.push(n);
+    }
+    out
+}
+
+/// Find a primitive root of the multiplicative group mod prime `p` by
+/// rejection sampling candidates and checking `g^((p-1)/q) ≠ 1` for every
+/// prime factor `q` of `p-1` — the same procedure ZMap uses to derive a
+/// fresh permutation per scan.
+fn find_primitive_root(p: u64, rng: &mut Rng) -> u64 {
+    if p == 2 {
+        return 1;
+    }
+    if p == 3 {
+        return 2; // the only primitive root mod 3
+    }
+    let phi = p - 1;
+    let factors = prime_factors(phi);
+    loop {
+        let g = 2 + rng.gen_range(p - 3);
+        if factors.iter().all(|&q| powmod(g, phi / q, p) != 1) {
+            return g;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primality_basics() {
+        assert!(is_prime(2) && is_prime(3) && is_prime(65537));
+        assert!(!is_prime(1) && !is_prime(9) && !is_prime(65536));
+        assert_eq!(next_prime(14), 17);
+        assert_eq!(next_prime(17), 17);
+    }
+
+    #[test]
+    fn prime_factors_examples() {
+        assert_eq!(prime_factors(12), vec![2, 3]);
+        assert_eq!(prime_factors(97), vec![97]);
+        assert_eq!(prime_factors(2 * 3 * 5 * 7), vec![2, 3, 5, 7]);
+    }
+
+    #[test]
+    fn permutation_is_bijective() {
+        for n in [1u64, 2, 5, 100, 4096, 65536] {
+            let mut rng = Rng::new(n);
+            let perm = CyclicPermutation::new(n, &mut rng);
+            let mut seen = vec![false; n as usize];
+            let mut count = 0u64;
+            for v in perm {
+                assert!(v < n, "value {v} out of range for n={n}");
+                assert!(!seen[v as usize], "duplicate value {v} for n={n}");
+                seen[v as usize] = true;
+                count += 1;
+            }
+            assert_eq!(count, n, "must visit all of 0..{n}");
+        }
+    }
+
+    #[test]
+    fn permutation_is_deterministic_per_seed() {
+        let a: Vec<u64> = CyclicPermutation::new(1000, &mut Rng::new(7)).collect();
+        let b: Vec<u64> = CyclicPermutation::new(1000, &mut Rng::new(7)).collect();
+        assert_eq!(a, b);
+        let c: Vec<u64> = CyclicPermutation::new(1000, &mut Rng::new(8)).collect();
+        assert_ne!(a, c, "different seeds give different orders");
+    }
+
+    #[test]
+    fn permutation_looks_shuffled() {
+        let n = 10_000u64;
+        let vals: Vec<u64> = CyclicPermutation::new(n, &mut Rng::new(3)).take(100).collect();
+        // The first 100 values of a random permutation should not be the
+        // first 100 integers.
+        let ascending = vals.windows(2).filter(|w| w[1] == w[0] + 1).count();
+        assert!(ascending < 5, "{ascending} sequential adjacencies");
+    }
+
+    #[test]
+    fn prefix_is_uniform_sample() {
+        // Taking the first k elements is how the scanner draws its seed
+        // sample; check rough uniformity across halves.
+        let n = 100_000u64;
+        let k = 10_000;
+        let lower = CyclicPermutation::new(n, &mut Rng::new(5))
+            .take(k)
+            .filter(|&v| v < n / 2)
+            .count();
+        let frac = lower as f64 / k as f64;
+        assert!((frac - 0.5).abs() < 0.05, "lower-half fraction {frac}");
+    }
+}

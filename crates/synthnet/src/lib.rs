@@ -1,0 +1,34 @@
+//! # gps-synthnet
+//!
+//! A deterministic synthetic IPv4 Internet standing in for the paper's gated
+//! ground truths (the live Internet, the Censys universal dataset, the LZR
+//! 1% all-port scan).
+//!
+//! The generator reproduces the three statistical properties GPS exploits
+//! (§4 of the paper) plus the limits that bound any predictor (§7):
+//!
+//! 1. **Port co-occurrence** — hosts are instantiated from device templates
+//!    with multiple correlated services;
+//! 2. **Manufactured application-layer features** — templates ship shared
+//!    banners/certificates/keys whose sharing scope controls predictiveness;
+//! 3. **Network locality** — templates concentrate in AS profiles, and
+//!    regional-vendor templates pin to single ASes;
+//! 4. **The unpredictable floor** — port forwarding to random ports,
+//!    FRITZ!Box-style random service placement, pseudo-service middleboxes,
+//!    and churn.
+//!
+//! Everything is a pure function of a `u64` seed.
+
+pub mod banner;
+pub mod config;
+pub mod internet;
+pub mod stats;
+pub mod template;
+pub mod template_catalog;
+pub mod topology;
+
+pub use config::UniverseConfig;
+pub use internet::{GroundService, Host, Internet, PlacementKind, ProbeView, PseudoHost};
+pub use stats::PortCensus;
+pub use template::{AsProfile, DeviceTemplate, Placement, ServiceSpec, TemplateClass, CATALOG};
+pub use topology::{BlockInfo, Topology};

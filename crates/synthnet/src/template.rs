@@ -1,0 +1,232 @@
+//! The device-template catalog.
+//!
+//! §4 of the paper: *"IoT and router vendors often manufacture particular
+//! ports to be open"* and *"IoT devices and routers are the most popular host
+//! type across the majority of ports"*. The synthetic universe instantiates
+//! every host from one of these templates; a template's service specs are the
+//! "manufactured" port presence that makes services predictable, and its
+//! placement rules decide where on the 65K-port spectrum the services land.
+//!
+//! Placements encode the paper's observations:
+//! - [`Placement::Assigned`]/[`Placement::Fixed`]: standard and
+//!   vendor-standard ports (the head of the distribution);
+//! - [`Placement::Pool`]/[`Placement::Spread`]: firmware- or deployment-
+//!   dependent alternates (Spread pins one port per template × /16
+//!   deployment) — the predictable part of the long tail;
+//! - [`Placement::AsPool`]: the per-network management ports behind §6.6's
+//!   anecdotes (all hosts of one template inside one AS share a port);
+//! - [`Placement::RandomHigh`]: FRITZ!Box-style "random TCP port for HTTPS"
+//!   (§7) — unpredictable by construction.
+//!
+//! Per-service `forward_prob` then relocates a slice of services to uniform
+//! random ports (router port-forwarding), building the unpredictable floor
+//! the paper quantifies (≥55% of services on the most uncommon 99% of ports
+//! show forwarding TTL signatures).
+
+use gps_types::Protocol;
+
+/// Where a template places a service on the port spectrum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Placement {
+    /// The protocol's IANA-assigned port.
+    Assigned,
+    /// A fixed vendor port (e.g. 37777 for a DVR).
+    Fixed(u16),
+    /// One port chosen per host from a small alternates pool.
+    Pool(&'static [u16]),
+    /// One port per (template, /16 block) from `[base, base+span)`: the
+    /// vendor/operator pins a build-specific port for a whole deployment.
+    Spread { base: u16, span: u16 },
+    /// One port per (template, AS): every host of this template inside one
+    /// AS shares the same port from `[base, base+span)`.
+    AsPool { base: u16, span: u16 },
+    /// A uniformly random port in 1024..65535 per host.
+    RandomHigh,
+}
+
+/// One potential service of a template.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceSpec {
+    pub protocol: Protocol,
+    pub placement: Placement,
+    /// Probability the host runs this service at all.
+    pub prob: f64,
+    /// Probability the service is port-forwarded to a random high port
+    /// (scaled by `UniverseConfig::forward_scale`).
+    pub forward_prob: f64,
+}
+
+/// Broad class of the template; drives banner sharing scopes
+/// (devices ship identical admin pages; servers have per-site content).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TemplateClass {
+    /// Consumer/IoT device with manufactured, near-identical banners.
+    Device,
+    /// General-purpose server with per-host content.
+    Server,
+    /// Fleet-managed infrastructure (CDN edges, shared hosting) with
+    /// group-shared keys/certs.
+    Fleet,
+}
+
+/// AS profiles used by the topology generator; templates carry a weight per
+/// profile, concentrating device types where they belong (home routers in
+/// residential ASes, web servers in hosting ASes, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AsProfile {
+    Residential,
+    Hosting,
+    Enterprise,
+    Mobile,
+    Academic,
+}
+
+impl AsProfile {
+    pub const ALL: [AsProfile; 5] = [
+        AsProfile::Residential,
+        AsProfile::Hosting,
+        AsProfile::Enterprise,
+        AsProfile::Mobile,
+        AsProfile::Academic,
+    ];
+
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Relative frequency of the profile among ASes.
+    pub const fn frequency(self) -> f64 {
+        match self {
+            AsProfile::Residential => 0.42,
+            AsProfile::Hosting => 0.22,
+            AsProfile::Enterprise => 0.20,
+            AsProfile::Mobile => 0.10,
+            AsProfile::Academic => 0.06,
+        }
+    }
+
+    /// Base fraction of the profile's address space that hosts something.
+    pub const fn host_density(self) -> f64 {
+        match self {
+            AsProfile::Residential => 0.080,
+            AsProfile::Hosting => 0.050,
+            AsProfile::Enterprise => 0.030,
+            AsProfile::Mobile => 0.025,
+            AsProfile::Academic => 0.012,
+        }
+    }
+}
+
+/// A device/server population template.
+#[derive(Debug)]
+pub struct DeviceTemplate {
+    pub name: &'static str,
+    pub vendor: &'static str,
+    pub class: TemplateClass,
+    /// Relative weight per [`AsProfile`] (indexed by `AsProfile::index`).
+    pub weight: [f64; 5],
+    /// If set, the template only appears in ASes holding this affinity slot
+    /// (Freebox-in-Free-network locality; §5.2's Free example).
+    pub as_affinity: Option<u8>,
+    pub services: &'static [ServiceSpec],
+    /// Baseline probability that a given service of this template disappears
+    /// within 10 days (§3 churn; scaled by config and per-service factors).
+    pub churn_10d: f64,
+}
+
+/// Number of AS-affinity slots (regional-vendor templates).
+pub const NUM_AFFINITY_SLOTS: u8 = 3;
+
+pub use crate::template_catalog::CATALOG;
+
+/// Stable identifier: index into [`CATALOG`].
+pub type TemplateId = u16;
+
+/// Maximum number of *possible* real services any template can instantiate.
+/// Kept below the Appendix-B pseudo-service threshold (10) except for
+/// `mail-pro` (11 specs), which intentionally strays above it with low joint
+/// probability — those rare hosts are the filter's false positives (the
+/// paper reports 99% precision, not 100%).
+pub fn max_services(t: &DeviceTemplate) -> usize {
+    t.services.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_nonempty_and_probabilities_valid() {
+        assert!(CATALOG.len() >= 20);
+        for t in CATALOG {
+            assert!(!t.services.is_empty(), "{} has no services", t.name);
+            for s in t.services {
+                assert!((0.0..=1.0).contains(&s.prob), "{}: prob", t.name);
+                assert!((0.0..=1.0).contains(&s.forward_prob), "{}: fwd", t.name);
+            }
+            assert!((0.0..=1.0).contains(&t.churn_10d));
+            assert!(t.weight.iter().all(|&x| x >= 0.0));
+            assert!(t.weight.iter().any(|&x| x > 0.0), "{} unreachable", t.name);
+        }
+    }
+
+    #[test]
+    fn affinity_slots_in_range() {
+        for t in CATALOG {
+            if let Some(slot) = t.as_affinity {
+                assert!(slot < NUM_AFFINITY_SLOTS, "{}", t.name);
+            }
+        }
+    }
+
+    #[test]
+    fn every_profile_has_templates() {
+        for p in AsProfile::ALL {
+            let total: f64 = CATALOG.iter().map(|t| t.weight[p.index()]).sum();
+            assert!(total > 0.0, "profile {p:?} has no templates");
+        }
+    }
+
+    #[test]
+    fn most_templates_stay_below_pseudo_threshold() {
+        let over: Vec<&str> = CATALOG
+            .iter()
+            .filter(|t| max_services(t) > 10)
+            .map(|t| t.name)
+            .collect();
+        assert_eq!(over, vec!["mail-pro"], "only mail-pro may exceed 10 specs");
+    }
+
+    #[test]
+    fn placements_are_well_formed_and_within_port_space() {
+        let port_space = crate::config::UniverseConfig::default().port_space;
+        for t in CATALOG {
+            for s in t.services {
+                match s.placement {
+                    Placement::Pool(ports) => {
+                        assert!(!ports.is_empty());
+                        assert!(ports.iter().all(|&p| p < port_space), "{}", t.name);
+                    }
+                    Placement::Spread { base, span } | Placement::AsPool { base, span } => {
+                        assert!(span > 0);
+                        assert!(base + span <= port_space, "{}: {base}+{span}", t.name);
+                    }
+                    Placement::Fixed(p) => assert!(p < port_space, "{}: {p}", t.name),
+                    Placement::Assigned => assert!(
+                        s.protocol.assigned_port() < port_space,
+                        "{}: {}",
+                        t.name,
+                        s.protocol
+                    ),
+                    Placement::RandomHigh => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn profile_frequencies_sum_to_one() {
+        let total: f64 = AsProfile::ALL.iter().map(|p| p.frequency()).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,488 @@
+//! The template catalog data (see [`crate::template`] for the type docs).
+//!
+//! The catalog is tuned so the generated universe reproduces the paper's
+//! distributional facts:
+//!
+//! - **flat long tail**: the paper finds only ~5% of all services on the
+//!   top-10 ports and 63% *outside* the top 5K. Device templates therefore
+//!   put most of their services on mid-tier placements —
+//!   [`crate::template::Placement::Spread`] (firmware build spread) and
+//!   [`crate::template::Placement::AsPool`] (per-ISP management
+//!   ports) — rather than on the IANA anchors;
+//! - **HTTP everywhere but rarely on 80**: scanning port 80 misses 97% of
+//!   HTTP services (§1), so most device HTTP lives on vendor/alt ports;
+//! - **a predictability spectrum**: anchors and AsPool ports are nearly
+//!   deterministic given the template; Spread ports are learnable with
+//!   enough seed; forwarded/random ports are unpredictable by construction.
+//!
+//! All placements stay below the default simulated port space (12,288 —
+//! DESIGN.md §1 documents the port-space scaling); a catalog test enforces
+//! this.
+
+use gps_types::Protocol as Pr;
+
+use crate::template::Placement as P;
+use crate::template::{DeviceTemplate, ServiceSpec, TemplateClass};
+
+const fn w(res: f64, host: f64, ent: f64, mob: f64, acad: f64) -> [f64; 5] {
+    [res, host, ent, mob, acad]
+}
+
+const fn s(protocol: Pr, placement: P, prob: f64, forward_prob: f64) -> ServiceSpec {
+    ServiceSpec { protocol, placement, prob, forward_prob }
+}
+
+/// The catalog. Index into this array is the stable `TemplateId`.
+pub static CATALOG: &[DeviceTemplate] = &[
+    // ---------------------------------------------------------- residential
+    DeviceTemplate {
+        name: "home-router-alpha",
+        vendor: "AlphaNet",
+        class: TemplateClass::Device,
+        weight: w(30.0, 0.0, 1.0, 4.0, 0.5),
+        as_affinity: None,
+        services: &[
+            s(Pr::Http, P::Assigned, 0.18, 0.06),
+            s(Pr::Http, P::Spread { base: 8000, span: 192 }, 0.70, 0.06),
+            s(Pr::Cwmp, P::Assigned, 0.22, 0.01),
+            s(Pr::Cwmp, P::AsPool { base: 10000, span: 2048 }, 0.75, 0.01),
+            s(Pr::Telnet, P::Assigned, 0.10, 0.10),
+            s(Pr::Tls, P::Spread { base: 4430, span: 96 }, 0.30, 0.06),
+            s(Pr::Unknown, P::Spread { base: 2400, span: 320 }, 0.45, 0.04),
+        ],
+        churn_10d: 0.13,
+    },
+    DeviceTemplate {
+        name: "home-router-beta",
+        vendor: "BetaLink",
+        class: TemplateClass::Device,
+        weight: w(22.0, 0.0, 1.0, 3.0, 0.5),
+        as_affinity: None,
+        services: &[
+            s(Pr::Http, P::Assigned, 0.14, 0.05),
+            s(Pr::Http, P::Pool(&[8080, 8081, 8088, 8888]), 0.40, 0.06),
+            s(Pr::Http, P::Spread { base: 3300, span: 256 }, 0.55, 0.05),
+            s(Pr::Cwmp, P::Pool(&[7547, 5678]), 0.30, 0.01),
+            s(Pr::Ssh, P::Pool(&[22, 2222]), 0.10, 0.08),
+            s(Pr::Unknown, P::AsPool { base: 11000, span: 1024 }, 0.75, 0.01),
+        ],
+        churn_10d: 0.13,
+    },
+    DeviceTemplate {
+        // §7: "FRITZ!Box sets up a random TCP port for HTTPS".
+        name: "fritz-like-cpe",
+        vendor: "FRITZ!Box",
+        class: TemplateClass::Device,
+        weight: w(16.0, 0.0, 0.5, 2.0, 0.2),
+        as_affinity: None,
+        services: &[
+            s(Pr::Http, P::Assigned, 0.30, 0.04),
+            s(Pr::Http, P::Spread { base: 1024, span: 192 }, 0.45, 0.04),
+            s(Pr::Tls, P::RandomHigh, 0.45, 0.0),
+            s(Pr::Cwmp, P::Assigned, 0.28, 0.01),
+            s(Pr::Cwmp, P::AsPool { base: 5800, span: 1024 }, 0.55, 0.01),
+            s(Pr::Unknown, P::Fixed(5060), 0.25, 0.03),
+        ],
+        churn_10d: 0.14,
+    },
+    DeviceTemplate {
+        // Freebox analog: pinned to one AS (§5.2's Free-network example).
+        name: "freebox-like",
+        vendor: "Freebox",
+        class: TemplateClass::Device,
+        weight: w(40.0, 0.0, 0.0, 0.0, 0.0),
+        as_affinity: Some(0),
+        services: &[
+            s(Pr::Http, P::Assigned, 0.85, 0.03),
+            s(Pr::Http, P::Fixed(8080), 0.75, 0.03),
+            s(Pr::Unknown, P::Fixed(554), 0.70, 0.03),
+            s(Pr::Tls, P::Fixed(1443), 0.40, 0.03),
+        ],
+        churn_10d: 0.07,
+    },
+    DeviceTemplate {
+        // §6.6 anecdote analog (telnet-disabled banner ⇒ HTTP on 8082).
+        name: "distributel-modem",
+        vendor: "Distributel",
+        class: TemplateClass::Device,
+        weight: w(30.0, 0.0, 0.0, 0.0, 0.0),
+        as_affinity: Some(1),
+        services: &[
+            s(Pr::Telnet, P::Assigned, 0.95, 0.01),
+            s(Pr::Http, P::Fixed(8082), 0.93, 0.01),
+            s(Pr::Cwmp, P::Assigned, 0.50, 0.01),
+        ],
+        churn_10d: 0.06,
+    },
+    DeviceTemplate {
+        name: "iot-cam",
+        vendor: "CamSecure",
+        class: TemplateClass::Device,
+        weight: w(14.0, 0.5, 3.0, 2.0, 0.5),
+        as_affinity: None,
+        services: &[
+            s(Pr::Http, P::Pool(&[81, 88, 8000, 8899]), 0.55, 0.12),
+            s(Pr::Unknown, P::Fixed(4567), 0.45, 0.12),
+            s(Pr::Telnet, P::Pool(&[23, 2323]), 0.25, 0.15),
+            s(Pr::Unknown, P::Spread { base: 9000, span: 512 }, 0.80, 0.06),
+        ],
+        churn_10d: 0.19,
+    },
+    DeviceTemplate {
+        name: "iot-cam-view",
+        vendor: "ViewNet",
+        class: TemplateClass::Device,
+        weight: w(10.0, 0.3, 2.5, 1.5, 0.3),
+        as_affinity: None,
+        services: &[
+            s(Pr::Http, P::Spread { base: 10080, span: 512 }, 0.90, 0.10),
+            s(Pr::Unknown, P::Fixed(5544), 0.60, 0.10),
+            s(Pr::Telnet, P::Fixed(2323), 0.25, 0.15),
+        ],
+        churn_10d: 0.19,
+    },
+    DeviceTemplate {
+        name: "iot-dvr",
+        vendor: "DVRCorp",
+        class: TemplateClass::Device,
+        weight: w(10.0, 0.5, 2.5, 1.5, 0.3),
+        as_affinity: None,
+        services: &[
+            s(Pr::Http, P::Fixed(7777), 0.80, 0.10),
+            s(Pr::Http, P::Assigned, 0.18, 0.08),
+            s(Pr::Telnet, P::Fixed(2323), 0.30, 0.14),
+            s(Pr::Unknown, P::Spread { base: 9300, span: 512 }, 0.55, 0.06),
+        ],
+        churn_10d: 0.18,
+    },
+    DeviceTemplate {
+        name: "cpe-huawei-like",
+        vendor: "HWCPE",
+        class: TemplateClass::Device,
+        weight: w(13.0, 0.0, 1.0, 8.0, 0.2),
+        as_affinity: None,
+        services: &[
+            s(Pr::Http, P::Assigned, 0.20, 0.07),
+            s(Pr::Unknown, P::Fixed(7215), 0.40, 0.05),
+            s(Pr::Telnet, P::Assigned, 0.18, 0.12),
+            s(Pr::Cwmp, P::AsPool { base: 10005, span: 1024 }, 0.75, 0.01),
+            s(Pr::Http, P::Spread { base: 6200, span: 320 }, 0.50, 0.05),
+        ],
+        churn_10d: 0.14,
+    },
+    DeviceTemplate {
+        name: "smart-tv-box",
+        vendor: "AndroTV",
+        class: TemplateClass::Device,
+        weight: w(9.0, 0.0, 0.5, 3.0, 0.2),
+        as_affinity: None,
+        services: &[
+            s(Pr::Http, P::Pool(&[8008, 8443, 9080]), 0.65, 0.10),
+            s(Pr::Unknown, P::Fixed(5555), 0.50, 0.10),
+        ],
+        churn_10d: 0.20,
+    },
+    DeviceTemplate {
+        name: "printer",
+        vendor: "PrintWorks",
+        class: TemplateClass::Device,
+        weight: w(3.0, 0.2, 8.0, 0.2, 4.0),
+        as_affinity: None,
+        services: &[
+            s(Pr::Http, P::Assigned, 0.80, 0.03),
+            s(Pr::Unknown, P::Fixed(9100), 0.95, 0.02),
+            s(Pr::Ftp, P::Assigned, 0.25, 0.04),
+            s(Pr::Tls, P::Assigned, 0.20, 0.02),
+        ],
+        churn_10d: 0.05,
+    },
+    DeviceTemplate {
+        name: "nas-box",
+        vendor: "NASStore",
+        class: TemplateClass::Device,
+        weight: w(6.0, 2.0, 9.0, 0.3, 3.0),
+        as_affinity: None,
+        services: &[
+            s(Pr::Http, P::Pool(&[5000, 5001]), 0.90, 0.08),
+            s(Pr::Ftp, P::Assigned, 0.50, 0.08),
+            s(Pr::Unknown, P::Fixed(445), 0.75, 0.03),
+            s(Pr::Ssh, P::Assigned, 0.30, 0.06),
+            s(Pr::Unknown, P::Spread { base: 6000, span: 128 }, 0.40, 0.04),
+        ],
+        churn_10d: 0.08,
+    },
+    DeviceTemplate {
+        name: "voip-ata",
+        vendor: "VoxLine",
+        class: TemplateClass::Device,
+        weight: w(8.0, 0.2, 2.0, 4.0, 0.2),
+        as_affinity: None,
+        services: &[
+            s(Pr::Unknown, P::Fixed(5060), 0.80, 0.04),
+            s(Pr::Http, P::Spread { base: 8800, span: 384 }, 0.75, 0.06),
+            s(Pr::Cwmp, P::Assigned, 0.60, 0.01),
+        ],
+        churn_10d: 0.14,
+    },
+    DeviceTemplate {
+        name: "mobile-cpe",
+        vendor: "MobiCPE",
+        class: TemplateClass::Device,
+        weight: w(3.0, 0.0, 0.5, 30.0, 0.2),
+        as_affinity: None,
+        services: &[
+            s(Pr::Http, P::Pool(&[80, 8080]), 0.25, 0.12),
+            s(Pr::Cwmp, P::Assigned, 0.25, 0.02),
+            s(Pr::Unknown, P::RandomHigh, 0.18, 0.0),
+            s(Pr::Unknown, P::AsPool { base: 9500, span: 1024 }, 0.80, 0.01),
+            s(Pr::Http, P::Spread { base: 2000, span: 384 }, 0.45, 0.08),
+        ],
+        churn_10d: 0.22,
+    },
+    // --------------------------------------------------------------- hosting
+    DeviceTemplate {
+        name: "web-nginx",
+        vendor: "nginx",
+        class: TemplateClass::Server,
+        weight: w(0.5, 30.0, 5.0, 0.2, 4.0),
+        as_affinity: None,
+        services: &[
+            s(Pr::Http, P::Assigned, 0.95, 0.01),
+            s(Pr::Tls, P::Assigned, 0.85, 0.01),
+            s(Pr::Ssh, P::Assigned, 0.80, 0.03),
+            s(Pr::Http, P::Pool(&[8080, 8081, 3000, 8000, 9000]), 0.30, 0.04),
+        ],
+        churn_10d: 0.04,
+    },
+    DeviceTemplate {
+        name: "web-apache",
+        vendor: "Apache",
+        class: TemplateClass::Server,
+        weight: w(0.5, 24.0, 6.0, 0.2, 5.0),
+        as_affinity: None,
+        services: &[
+            s(Pr::Http, P::Assigned, 0.95, 0.01),
+            s(Pr::Tls, P::Assigned, 0.75, 0.01),
+            s(Pr::Ssh, P::Assigned, 0.75, 0.03),
+            s(Pr::Ftp, P::Assigned, 0.20, 0.04),
+            s(Pr::Mysql, P::Assigned, 0.12, 0.02),
+        ],
+        churn_10d: 0.04,
+    },
+    DeviceTemplate {
+        name: "mail-pro",
+        vendor: "MailPro",
+        class: TemplateClass::Server,
+        weight: w(0.2, 12.0, 6.0, 0.1, 3.0),
+        as_affinity: None,
+        services: &[
+            s(Pr::Smtp, P::Assigned, 0.95, 0.01),
+            s(Pr::Smtp, P::Fixed(465), 0.70, 0.01),
+            s(Pr::Smtp, P::Fixed(587), 0.78, 0.01),
+            s(Pr::Imap, P::Assigned, 0.88, 0.01),
+            s(Pr::Imap, P::Fixed(993), 0.85, 0.01),
+            s(Pr::Pop3, P::Assigned, 0.65, 0.01),
+            s(Pr::Pop3, P::Fixed(995), 0.60, 0.01),
+            s(Pr::Http, P::Assigned, 0.50, 0.02),
+            s(Pr::Tls, P::Assigned, 0.45, 0.02),
+            s(Pr::Ssh, P::Assigned, 0.55, 0.03),
+            s(Pr::Unknown, P::Fixed(4190), 0.25, 0.02),
+        ],
+        churn_10d: 0.03,
+    },
+    DeviceTemplate {
+        // §6.6 anecdote analog (IMAP STARTTLS banner ⇒ SSH on 2222).
+        name: "bizland-shared",
+        vendor: "Bizland",
+        class: TemplateClass::Fleet,
+        weight: w(0.0, 25.0, 0.0, 0.0, 0.0),
+        as_affinity: Some(2),
+        services: &[
+            s(Pr::Imap, P::Assigned, 0.90, 0.01),
+            s(Pr::Ssh, P::Fixed(2222), 0.95, 0.01),
+            s(Pr::Http, P::Assigned, 0.90, 0.01),
+            s(Pr::Tls, P::Assigned, 0.80, 0.01),
+            s(Pr::Ftp, P::Assigned, 0.60, 0.01),
+        ],
+        churn_10d: 0.03,
+    },
+    DeviceTemplate {
+        name: "db-mysql",
+        vendor: "MySQLNode",
+        class: TemplateClass::Server,
+        weight: w(0.1, 10.0, 4.0, 0.1, 2.0),
+        as_affinity: None,
+        services: &[
+            s(Pr::Mysql, P::Assigned, 0.90, 0.02),
+            s(Pr::Ssh, P::Assigned, 0.85, 0.03),
+            s(Pr::Http, P::Fixed(8080), 0.25, 0.03),
+        ],
+        churn_10d: 0.04,
+    },
+    DeviceTemplate {
+        name: "db-mssql",
+        vendor: "MSSQLNode",
+        class: TemplateClass::Server,
+        weight: w(0.1, 5.0, 6.0, 0.1, 1.0),
+        as_affinity: None,
+        services: &[
+            s(Pr::Mssql, P::Assigned, 0.90, 0.02),
+            s(Pr::Unknown, P::Fixed(3389), 0.55, 0.03),
+            s(Pr::Http, P::Assigned, 0.25, 0.03),
+        ],
+        churn_10d: 0.05,
+    },
+    DeviceTemplate {
+        // Postgres is a non-bannered protocol: port 5432 is only reachable
+        // through transport/network features (a Figure 4 port).
+        name: "db-postgres",
+        vendor: "PgNode",
+        class: TemplateClass::Server,
+        weight: w(0.1, 8.0, 3.0, 0.1, 2.0),
+        as_affinity: None,
+        services: &[
+            s(Pr::Unknown, P::Fixed(5432), 0.95, 0.02),
+            s(Pr::Ssh, P::Assigned, 0.85, 0.03),
+            s(Pr::Http, P::Pool(&[8080, 8888]), 0.20, 0.03),
+        ],
+        churn_10d: 0.04,
+    },
+    DeviceTemplate {
+        name: "cache-node",
+        vendor: "CacheWorks",
+        class: TemplateClass::Server,
+        weight: w(0.0, 7.0, 2.0, 0.0, 1.0),
+        as_affinity: None,
+        services: &[
+            s(Pr::Memcached, P::Assigned, 0.90, 0.02),
+            s(Pr::Ssh, P::Assigned, 0.90, 0.02),
+            s(Pr::Unknown, P::Fixed(6379), 0.40, 0.03),
+        ],
+        churn_10d: 0.05,
+    },
+    DeviceTemplate {
+        name: "cdn-edge",
+        vendor: "EdgeCDN",
+        class: TemplateClass::Fleet,
+        weight: w(0.0, 14.0, 1.0, 0.0, 0.5),
+        as_affinity: None,
+        services: &[
+            s(Pr::Http, P::Assigned, 0.98, 0.0),
+            s(Pr::Tls, P::Assigned, 0.97, 0.0),
+            s(Pr::Http, P::Fixed(8080), 0.35, 0.0),
+            s(Pr::Tls, P::Fixed(8443), 0.30, 0.0),
+        ],
+        churn_10d: 0.02,
+    },
+    DeviceTemplate {
+        name: "vps-generic",
+        vendor: "VPSHost",
+        class: TemplateClass::Server,
+        weight: w(0.5, 20.0, 3.0, 0.2, 2.0),
+        as_affinity: None,
+        services: &[
+            s(Pr::Ssh, P::Assigned, 0.92, 0.04),
+            s(Pr::Http, P::Pool(&[80, 8080, 3000, 8888, 8000]), 0.50, 0.05),
+            s(Pr::Tls, P::Assigned, 0.30, 0.04),
+            s(Pr::Unknown, P::Spread { base: 4900, span: 512 }, 0.35, 0.0),
+        ],
+        churn_10d: 0.08,
+    },
+    DeviceTemplate {
+        name: "k8s-node",
+        vendor: "CloudStack",
+        class: TemplateClass::Server,
+        weight: w(0.0, 9.0, 2.0, 0.0, 1.0),
+        as_affinity: None,
+        services: &[
+            s(Pr::Ssh, P::Assigned, 0.90, 0.02),
+            s(Pr::Unknown, P::Fixed(10250), 0.80, 0.01),
+            s(Pr::Tls, P::Fixed(6443), 0.60, 0.01),
+            s(Pr::Http, P::Spread { base: 11500, span: 700 }, 0.55, 0.0),
+        ],
+        churn_10d: 0.06,
+    },
+    DeviceTemplate {
+        name: "game-server",
+        vendor: "FragHost",
+        class: TemplateClass::Server,
+        weight: w(0.2, 6.0, 0.5, 0.1, 0.5),
+        as_affinity: None,
+        services: &[
+            s(Pr::Unknown, P::Spread { base: 2565, span: 512 }, 0.85, 0.0),
+            s(Pr::Ssh, P::Assigned, 0.50, 0.04),
+            s(Pr::Http, P::Pool(&[8080, 3000]), 0.25, 0.04),
+        ],
+        churn_10d: 0.15,
+    },
+    // ------------------------------------------------------------ enterprise
+    DeviceTemplate {
+        name: "corp-gateway",
+        vendor: "CorpGate",
+        class: TemplateClass::Device,
+        weight: w(1.0, 2.0, 22.0, 1.0, 4.0),
+        as_affinity: None,
+        services: &[
+            s(Pr::Tls, P::Assigned, 0.90, 0.01),
+            s(Pr::Pptp, P::Assigned, 0.65, 0.01),
+            s(Pr::Ssh, P::Assigned, 0.40, 0.02),
+            s(Pr::Http, P::Assigned, 0.40, 0.02),
+            s(Pr::Unknown, P::AsPool { base: 9500, span: 500 }, 0.50, 0.0),
+        ],
+        churn_10d: 0.04,
+    },
+    DeviceTemplate {
+        name: "ipmi-bmc",
+        vendor: "BMCBoard",
+        class: TemplateClass::Device,
+        weight: w(0.1, 6.0, 10.0, 0.1, 5.0),
+        as_affinity: None,
+        services: &[
+            s(Pr::Ipmi, P::Assigned, 0.90, 0.01),
+            s(Pr::Http, P::Assigned, 0.65, 0.01),
+            s(Pr::Tls, P::Assigned, 0.45, 0.01),
+            s(Pr::Vnc, P::Assigned, 0.25, 0.02),
+        ],
+        churn_10d: 0.03,
+    },
+    DeviceTemplate {
+        name: "vnc-workstation",
+        vendor: "RemoteDesk",
+        class: TemplateClass::Device,
+        weight: w(2.0, 1.0, 10.0, 0.5, 6.0),
+        as_affinity: None,
+        services: &[
+            s(Pr::Vnc, P::Pool(&[5900, 5901]), 0.90, 0.05),
+            s(Pr::Http, P::Fixed(5800), 0.35, 0.04),
+            s(Pr::Ssh, P::Assigned, 0.20, 0.03),
+        ],
+        churn_10d: 0.09,
+    },
+    DeviceTemplate {
+        name: "legacy-switch",
+        vendor: "SwitchOS",
+        class: TemplateClass::Device,
+        weight: w(1.5, 1.0, 9.0, 0.5, 5.0),
+        as_affinity: None,
+        services: &[
+            s(Pr::Telnet, P::Assigned, 0.95, 0.01),
+            s(Pr::Http, P::Assigned, 0.40, 0.01),
+            s(Pr::Ssh, P::Assigned, 0.25, 0.01),
+            s(Pr::Unknown, P::AsPool { base: 4000, span: 400 }, 0.40, 0.0),
+        ],
+        churn_10d: 0.03,
+    },
+    DeviceTemplate {
+        name: "voip-pbx",
+        vendor: "PBXWare",
+        class: TemplateClass::Device,
+        weight: w(0.5, 2.0, 8.0, 0.5, 1.0),
+        as_affinity: None,
+        services: &[
+            s(Pr::Unknown, P::Fixed(5061), 0.70, 0.01),
+            s(Pr::Http, P::Spread { base: 7000, span: 128 }, 0.60, 0.02),
+            s(Pr::Tls, P::Assigned, 0.30, 0.01),
+        ],
+        churn_10d: 0.06,
+    },
+];

@@ -1,0 +1,75 @@
+//! Error type shared across the workspace.
+
+use std::fmt;
+
+/// Errors produced by the GPS library.
+///
+/// The library is deterministic and in-memory, so the error surface is small:
+/// parsing, configuration validation, and budget exhaustion signalling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GpsError {
+    /// A string failed to parse as the named type.
+    Parse {
+        what: &'static str,
+        input: String,
+        reason: &'static str,
+    },
+    /// A configuration value is out of its valid domain.
+    InvalidConfig { field: &'static str, reason: String },
+    /// The scanning bandwidth budget (constraint `c1` in Equation 3) was
+    /// exhausted before the requested operation could complete.
+    BudgetExhausted {
+        requested_probes: u64,
+        remaining_probes: u64,
+    },
+}
+
+impl GpsError {
+    pub fn parse(what: &'static str, input: &str, reason: &'static str) -> Self {
+        GpsError::Parse { what, input: input.to_string(), reason }
+    }
+
+    pub fn config(field: &'static str, reason: impl Into<String>) -> Self {
+        GpsError::InvalidConfig { field, reason: reason.into() }
+    }
+}
+
+impl fmt::Display for GpsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpsError::Parse { what, input, reason } => {
+                write!(f, "cannot parse {what} from {input:?}: {reason}")
+            }
+            GpsError::InvalidConfig { field, reason } => {
+                write!(f, "invalid config field {field}: {reason}")
+            }
+            GpsError::BudgetExhausted { requested_probes, remaining_probes } => write!(
+                f,
+                "bandwidth budget exhausted: requested {requested_probes} probes, {remaining_probes} remaining"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GpsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GpsError::parse("ip", "1.2.3", "expected 4 dotted octets");
+        let s = e.to_string();
+        assert!(s.contains("ip") && s.contains("1.2.3"));
+
+        let e = GpsError::BudgetExhausted { requested_probes: 10, remaining_probes: 3 };
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GpsError>();
+    }
+}

@@ -1,0 +1,264 @@
+//! The 25 GPS features of Table 1.
+//!
+//! GPS conditions service predictions on three categories of features:
+//!
+//! - **application layer** (23 kinds): banner-derived values revealing a
+//!   host's manufacturer, operating system, purpose, or owner;
+//! - **network layer** (2 kinds): the IP's /16 subnetwork and ASN — the two
+//!   survivors of the Appendix C filtering pass over /16–/23 + ASN;
+//! - **transport layer**: the port itself, which is not a `FeatureKind` but a
+//!   first-class field of every model key (`Port_b` in Equations 4–7).
+//!
+//! A [`FeatureValue`] pairs a kind with an interned value symbol, so the
+//! model can hash/compare billions of feature-tuples as fixed-width integers.
+
+use std::fmt;
+
+use crate::intern::Sym;
+use crate::protocol::Protocol;
+
+/// One of the 25 feature kinds GPS extracts per service (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum FeatureKind {
+    /// The fingerprinted protocol of the service (dimensionality 56 in the
+    /// paper's ground truth; 16 here — protocol × TLS-wrapped collapses).
+    Protocol,
+    TlsCertHash,
+    TlsCertOrganization,
+    TlsCertSubjectName,
+    HttpHtmlTitle,
+    HttpBodyHash,
+    HttpServer,
+    HttpHeader,
+    SshHostKey,
+    SshBanner,
+    VncDesktopName,
+    SmtpBanner,
+    FtpBanner,
+    ImapBanner,
+    Pop3Banner,
+    CwmpHeader,
+    CwmpBodyHash,
+    TelnetBanner,
+    PptpVendor,
+    MysqlServerVersion,
+    MemcachedServerVersion,
+    MssqlServerVersion,
+    IpmiBanner,
+    /// Network layer: the IP's /16 subnetwork.
+    Slash16,
+    /// Network layer: the IP's autonomous system.
+    Asn,
+}
+
+/// The 23 application-layer feature kinds (everything banner-derived,
+/// including the protocol fingerprint itself).
+pub const APP_FEATURE_KINDS: [FeatureKind; 23] = [
+    FeatureKind::Protocol,
+    FeatureKind::TlsCertHash,
+    FeatureKind::TlsCertOrganization,
+    FeatureKind::TlsCertSubjectName,
+    FeatureKind::HttpHtmlTitle,
+    FeatureKind::HttpBodyHash,
+    FeatureKind::HttpServer,
+    FeatureKind::HttpHeader,
+    FeatureKind::SshHostKey,
+    FeatureKind::SshBanner,
+    FeatureKind::VncDesktopName,
+    FeatureKind::SmtpBanner,
+    FeatureKind::FtpBanner,
+    FeatureKind::ImapBanner,
+    FeatureKind::Pop3Banner,
+    FeatureKind::CwmpHeader,
+    FeatureKind::CwmpBodyHash,
+    FeatureKind::TelnetBanner,
+    FeatureKind::PptpVendor,
+    FeatureKind::MysqlServerVersion,
+    FeatureKind::MemcachedServerVersion,
+    FeatureKind::MssqlServerVersion,
+    FeatureKind::IpmiBanner,
+];
+
+/// The 2 network-layer feature kinds retained by Appendix C.
+pub const NET_FEATURE_KINDS: [FeatureKind; 2] = [FeatureKind::Slash16, FeatureKind::Asn];
+
+impl FeatureKind {
+    /// Total number of feature kinds (Table 1 row count).
+    pub const COUNT: usize = 25;
+
+    /// All 25 kinds in Table 1 order.
+    pub const ALL: [FeatureKind; 25] = [
+        FeatureKind::Protocol,
+        FeatureKind::TlsCertHash,
+        FeatureKind::TlsCertOrganization,
+        FeatureKind::TlsCertSubjectName,
+        FeatureKind::HttpHtmlTitle,
+        FeatureKind::HttpBodyHash,
+        FeatureKind::HttpServer,
+        FeatureKind::HttpHeader,
+        FeatureKind::SshHostKey,
+        FeatureKind::SshBanner,
+        FeatureKind::VncDesktopName,
+        FeatureKind::SmtpBanner,
+        FeatureKind::FtpBanner,
+        FeatureKind::ImapBanner,
+        FeatureKind::Pop3Banner,
+        FeatureKind::CwmpHeader,
+        FeatureKind::CwmpBodyHash,
+        FeatureKind::TelnetBanner,
+        FeatureKind::PptpVendor,
+        FeatureKind::MysqlServerVersion,
+        FeatureKind::MemcachedServerVersion,
+        FeatureKind::MssqlServerVersion,
+        FeatureKind::IpmiBanner,
+        FeatureKind::Slash16,
+        FeatureKind::Asn,
+    ];
+
+    /// Stable dense index, 0..25.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Whether this is one of the two network-layer kinds.
+    pub const fn is_network_layer(self) -> bool {
+        matches!(self, FeatureKind::Slash16 | FeatureKind::Asn)
+    }
+
+    /// Which protocol can produce this (application-layer) feature, if the
+    /// kind is protocol-specific. `Protocol`, `Slash16` and `Asn` apply to
+    /// every service.
+    pub const fn source_protocol(self) -> Option<Protocol> {
+        Some(match self {
+            FeatureKind::TlsCertHash
+            | FeatureKind::TlsCertOrganization
+            | FeatureKind::TlsCertSubjectName => Protocol::Tls,
+            FeatureKind::HttpHtmlTitle
+            | FeatureKind::HttpBodyHash
+            | FeatureKind::HttpServer
+            | FeatureKind::HttpHeader => Protocol::Http,
+            FeatureKind::SshHostKey | FeatureKind::SshBanner => Protocol::Ssh,
+            FeatureKind::VncDesktopName => Protocol::Vnc,
+            FeatureKind::SmtpBanner => Protocol::Smtp,
+            FeatureKind::FtpBanner => Protocol::Ftp,
+            FeatureKind::ImapBanner => Protocol::Imap,
+            FeatureKind::Pop3Banner => Protocol::Pop3,
+            FeatureKind::CwmpHeader | FeatureKind::CwmpBodyHash => Protocol::Cwmp,
+            FeatureKind::TelnetBanner => Protocol::Telnet,
+            FeatureKind::PptpVendor => Protocol::Pptp,
+            FeatureKind::MysqlServerVersion => Protocol::Mysql,
+            FeatureKind::MemcachedServerVersion => Protocol::Memcached,
+            FeatureKind::MssqlServerVersion => Protocol::Mssql,
+            FeatureKind::IpmiBanner => Protocol::Ipmi,
+            FeatureKind::Protocol | FeatureKind::Slash16 | FeatureKind::Asn => return None,
+        })
+    }
+
+    /// Human-readable label matching Table 1 rows.
+    pub const fn label(self) -> &'static str {
+        match self {
+            FeatureKind::Protocol => "Protocol",
+            FeatureKind::TlsCertHash => "TLS Cert: Hash",
+            FeatureKind::TlsCertOrganization => "TLS Cert: Organization",
+            FeatureKind::TlsCertSubjectName => "TLS Cert: Subject Name",
+            FeatureKind::HttpHtmlTitle => "HTTP: HTML title",
+            FeatureKind::HttpBodyHash => "HTTP: Body Hash",
+            FeatureKind::HttpServer => "HTTP: Server",
+            FeatureKind::HttpHeader => "HTTP: Header",
+            FeatureKind::SshHostKey => "SSH: Host Key",
+            FeatureKind::SshBanner => "SSH: Banner",
+            FeatureKind::VncDesktopName => "VNC: Desktop Name",
+            FeatureKind::SmtpBanner => "SMTP: Banner",
+            FeatureKind::FtpBanner => "FTP: Banner",
+            FeatureKind::ImapBanner => "IMAP: Banner",
+            FeatureKind::Pop3Banner => "POP3: Banner",
+            FeatureKind::CwmpHeader => "CWMP: Header",
+            FeatureKind::CwmpBodyHash => "CWMP: Body Hash",
+            FeatureKind::TelnetBanner => "Telnet: Banner",
+            FeatureKind::PptpVendor => "PPTP: Vendor",
+            FeatureKind::MysqlServerVersion => "MYSQL: Server Version",
+            FeatureKind::MemcachedServerVersion => "Memcached: Server Version",
+            FeatureKind::MssqlServerVersion => "MSSQL: Server Version",
+            FeatureKind::IpmiBanner => "IPMI: Banner",
+            FeatureKind::Slash16 => "IP's /16 subnetwork",
+            FeatureKind::Asn => "IP's ASN",
+        }
+    }
+}
+
+impl fmt::Display for FeatureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A concrete feature observation: a kind plus its interned value.
+///
+/// `FeatureValue` is 8 bytes and `Copy`; the conditional-probability model
+/// stores billions of (key → count) pairs keyed on these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FeatureValue {
+    pub kind: FeatureKind,
+    pub value: Sym,
+}
+
+impl FeatureValue {
+    pub fn new(kind: FeatureKind, value: Sym) -> Self {
+        Self { kind, value }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_five_features_total() {
+        assert_eq!(FeatureKind::ALL.len(), FeatureKind::COUNT);
+        assert_eq!(APP_FEATURE_KINDS.len() + NET_FEATURE_KINDS.len(), 25);
+    }
+
+    #[test]
+    fn indices_dense_and_unique() {
+        let mut seen = [false; 25];
+        for k in FeatureKind::ALL {
+            assert!(!seen[k.index()]);
+            seen[k.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn network_layer_flags() {
+        assert!(FeatureKind::Slash16.is_network_layer());
+        assert!(FeatureKind::Asn.is_network_layer());
+        assert_eq!(
+            FeatureKind::ALL.iter().filter(|k| k.is_network_layer()).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn source_protocols_cover_all_fifteen() {
+        use std::collections::BTreeSet;
+        let protos: BTreeSet<Protocol> = FeatureKind::ALL
+            .iter()
+            .filter_map(|k| k.source_protocol())
+            .collect();
+        assert_eq!(protos.len(), 15, "every bannered protocol contributes a feature");
+    }
+
+    #[test]
+    fn protocol_feature_applies_to_all() {
+        assert_eq!(FeatureKind::Protocol.source_protocol(), None);
+        assert_eq!(FeatureKind::Slash16.source_protocol(), None);
+        assert_eq!(FeatureKind::Asn.source_protocol(), None);
+    }
+
+    #[test]
+    fn labels_match_table1_sample() {
+        assert_eq!(FeatureKind::HttpBodyHash.label(), "HTTP: Body Hash");
+        assert_eq!(FeatureKind::Slash16.label(), "IP's /16 subnetwork");
+    }
+}

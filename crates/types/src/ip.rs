@@ -1,0 +1,165 @@
+//! IPv4 addresses and autonomous-system numbers.
+//!
+//! [`Ip`] is a thin transparent wrapper over `u32` in host byte order: cheap
+//! to hash, sort, and range-scan, which the per-port IP indexes in
+//! `gps-synthnet` rely on. Dotted-quad parsing/formatting match
+//! `std::net::Ipv4Addr` but we keep our own type so arithmetic (subnet
+//! masking, sequential iteration) stays explicit.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::GpsError;
+use crate::subnet::Subnet;
+
+/// An IPv4 address as a host-order `u32`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+#[repr(transparent)]
+pub struct Ip(pub u32);
+
+impl Ip {
+    pub const MIN: Ip = Ip(0);
+    pub const MAX: Ip = Ip(u32::MAX);
+
+    /// Build from dotted-quad octets (`a.b.c.d`).
+    pub const fn from_octets(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Ip(((a as u32) << 24) | ((b as u32) << 16) | ((c as u32) << 8) | d as u32)
+    }
+
+    /// The four dotted-quad octets, most significant first.
+    pub const fn octets(self) -> [u8; 4] {
+        [
+            (self.0 >> 24) as u8,
+            (self.0 >> 16) as u8,
+            (self.0 >> 8) as u8,
+            self.0 as u8,
+        ]
+    }
+
+    /// One octet by index (0 = most significant). Used by the Entropy/IP
+    /// baseline, which models IPv4 addresses one octet at a time.
+    pub const fn octet(self, idx: usize) -> u8 {
+        (self.0 >> (24 - idx * 8)) as u8
+    }
+
+    /// The /16 network containing this address — the primary network-layer
+    /// feature in Table 1 ("IP's /16 subnetwork").
+    pub const fn slash16(self) -> Subnet {
+        Subnet::from_ip_unchecked(self.0 & 0xFFFF_0000, 16)
+    }
+
+    /// The enclosing subnet of the given prefix length.
+    pub const fn subnet(self, prefix_len: u8) -> Subnet {
+        Subnet::of_ip(Ip(self.0), prefix_len)
+    }
+
+    /// Next sequential address, saturating at the top of the space.
+    pub const fn saturating_next(self) -> Ip {
+        Ip(self.0.saturating_add(1))
+    }
+}
+
+impl fmt::Display for Ip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.octets();
+        write!(f, "{}.{}.{}.{}", o[0], o[1], o[2], o[3])
+    }
+}
+
+impl FromStr for Ip {
+    type Err = GpsError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut octets = [0u8; 4];
+        let mut parts = s.split('.');
+        for slot in octets.iter_mut() {
+            let part = parts
+                .next()
+                .ok_or_else(|| GpsError::parse("ip", s, "expected 4 dotted octets"))?;
+            *slot = part
+                .parse::<u8>()
+                .map_err(|_| GpsError::parse("ip", s, "octet out of range"))?;
+        }
+        if parts.next().is_some() {
+            return Err(GpsError::parse("ip", s, "too many octets"));
+        }
+        Ok(Ip::from_octets(octets[0], octets[1], octets[2], octets[3]))
+    }
+}
+
+impl From<u32> for Ip {
+    fn from(v: u32) -> Self {
+        Ip(v)
+    }
+}
+
+impl From<Ip> for u32 {
+    fn from(ip: Ip) -> Self {
+        ip.0
+    }
+}
+
+/// An autonomous-system number. The second network-layer feature in Table 1
+/// ("IP's ASN") and, per Appendix C, the single most predictive network
+/// feature (36% of services).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+#[repr(transparent)]
+pub struct Asn(pub u32);
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn octet_round_trip() {
+        let ip = Ip::from_octets(192, 168, 7, 254);
+        assert_eq!(ip.octets(), [192, 168, 7, 254]);
+        assert_eq!(ip.octet(0), 192);
+        assert_eq!(ip.octet(1), 168);
+        assert_eq!(ip.octet(2), 7);
+        assert_eq!(ip.octet(3), 254);
+    }
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        for s in ["0.0.0.0", "255.255.255.255", "10.1.2.3", "172.16.254.1"] {
+            let ip: Ip = s.parse().unwrap();
+            assert_eq!(ip.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!("1.2.3".parse::<Ip>().is_err());
+        assert!("1.2.3.4.5".parse::<Ip>().is_err());
+        assert!("1.2.3.256".parse::<Ip>().is_err());
+        assert!("a.b.c.d".parse::<Ip>().is_err());
+        assert!("".parse::<Ip>().is_err());
+    }
+
+    #[test]
+    fn slash16_masks_low_bits() {
+        let ip = Ip::from_octets(10, 20, 30, 40);
+        let net = ip.slash16();
+        assert_eq!(net.base(), Ip::from_octets(10, 20, 0, 0));
+        assert_eq!(net.prefix_len(), 16);
+        assert!(net.contains(ip));
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Ip::from_octets(9, 255, 255, 255) < Ip::from_octets(10, 0, 0, 0));
+    }
+
+    #[test]
+    fn saturating_next_stops_at_max() {
+        assert_eq!(Ip(5).saturating_next(), Ip(6));
+        assert_eq!(Ip::MAX.saturating_next(), Ip::MAX);
+    }
+}

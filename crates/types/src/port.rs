@@ -1,0 +1,247 @@
+//! TCP ports and port sets.
+//!
+//! GPS's whole premise is scanning *all* 65,536 ports rather than a popular
+//! subset, so port math shows up everywhere: per-port ground-truth indexes,
+//! the "top-2K ports" Censys-style workload, per-port normalized recall
+//! (Equation 2), and the optimal-port-order exhaustive baseline.
+
+use std::fmt;
+
+use crate::error::GpsError;
+
+/// Number of TCP ports (the paper's "all 65K ports").
+pub const NUM_PORTS: usize = 65536;
+
+/// A TCP port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+#[repr(transparent)]
+pub struct Port(pub u16);
+
+impl Port {
+    /// IANA well-known service name for a handful of ports that appear in the
+    /// paper's text and figures. Returns `None` for unnamed ports.
+    pub fn well_known_name(self) -> Option<&'static str> {
+        Some(match self.0 {
+            21 => "ftp",
+            22 => "ssh",
+            23 => "telnet",
+            25 => "smtp",
+            80 => "http",
+            110 => "pop3",
+            119 => "nntp",
+            143 => "imap",
+            443 => "https",
+            445 => "smb",
+            465 => "smtps",
+            587 => "submission",
+            623 => "ipmi",
+            993 => "imaps",
+            995 => "pop3s",
+            1433 => "mssql",
+            1723 => "pptp",
+            2323 => "telnet-alt",
+            3306 => "mysql",
+            5432 => "postgres",
+            5900 => "vnc",
+            7547 => "cwmp",
+            8080 => "http-alt",
+            8443 => "https-alt",
+            8888 => "http-alt2",
+            11211 => "memcached",
+            _ => return None,
+        })
+    }
+
+    /// Whether the port is IANA-assigned in the coarse sense used by the
+    /// Appendix A recommender experiment (a single binary item feature).
+    pub fn is_iana_assigned(self) -> bool {
+        self.0 < 1024 || self.well_known_name().is_some()
+    }
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u16> for Port {
+    fn from(v: u16) -> Self {
+        Port(v)
+    }
+}
+
+impl std::str::FromStr for Port {
+    type Err = GpsError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        s.parse::<u16>()
+            .map(Port)
+            .map_err(|_| GpsError::parse("port", s, "expected 0..=65535"))
+    }
+}
+
+/// A set of ports represented as a 65,536-bit bitmap (8 KiB).
+///
+/// Scan requests ("sample 1% of addresses across all ports", "scan the top-2K
+/// ports") carry one of these; membership tests are O(1) and iteration is
+/// ascending.
+#[derive(Clone, PartialEq, Eq)]
+pub struct PortSet {
+    bits: Box<[u64; NUM_PORTS / 64]>,
+    len: usize,
+}
+
+impl PortSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        PortSet { bits: Box::new([0u64; NUM_PORTS / 64]), len: 0 }
+    }
+
+    /// The full set of all 65,536 ports.
+    pub fn all() -> Self {
+        PortSet { bits: Box::new([u64::MAX; NUM_PORTS / 64]), len: NUM_PORTS }
+    }
+
+    /// Build from an iterator of ports (duplicates ignored).
+    pub fn from_ports<I: IntoIterator<Item = Port>>(ports: I) -> Self {
+        let mut set = PortSet::new();
+        for p in ports {
+            set.insert(p);
+        }
+        set
+    }
+
+    /// Insert; returns true if newly added.
+    pub fn insert(&mut self, port: Port) -> bool {
+        let (word, bit) = (port.0 as usize / 64, port.0 as usize % 64);
+        let mask = 1u64 << bit;
+        if self.bits[word] & mask == 0 {
+            self.bits[word] |= mask;
+            self.len += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove; returns true if present.
+    pub fn remove(&mut self, port: Port) -> bool {
+        let (word, bit) = (port.0 as usize / 64, port.0 as usize % 64);
+        let mask = 1u64 << bit;
+        if self.bits[word] & mask != 0 {
+            self.bits[word] &= !mask;
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    pub fn contains(&self, port: Port) -> bool {
+        let (word, bit) = (port.0 as usize / 64, port.0 as usize % 64);
+        self.bits[word] & (1u64 << bit) != 0
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterate member ports in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = Port> + '_ {
+        self.bits.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let bit = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(Port((wi * 64 + bit) as u16))
+            })
+        })
+    }
+}
+
+impl Default for PortSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for PortSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PortSet({} ports)", self.len)
+    }
+}
+
+impl FromIterator<Port> for PortSet {
+    fn from_iter<I: IntoIterator<Item = Port>>(iter: I) -> Self {
+        Self::from_ports(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = PortSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(Port(80)));
+        assert!(!s.insert(Port(80)));
+        assert!(s.contains(Port(80)));
+        assert!(!s.contains(Port(81)));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(Port(80)));
+        assert!(!s.remove(Port(80)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn all_has_every_port() {
+        let s = PortSet::all();
+        assert_eq!(s.len(), NUM_PORTS);
+        assert!(s.contains(Port(0)));
+        assert!(s.contains(Port(65535)));
+        assert_eq!(s.iter().count(), NUM_PORTS);
+    }
+
+    #[test]
+    fn iter_is_ascending_and_complete() {
+        let ports = [Port(65535), Port(0), Port(8080), Port(22), Port(8081)];
+        let s = PortSet::from_ports(ports);
+        let got: Vec<u16> = s.iter().map(|p| p.0).collect();
+        assert_eq!(got, vec![0, 22, 8080, 8081, 65535]);
+    }
+
+    #[test]
+    fn boundary_bits_do_not_bleed() {
+        // 63/64 and 127/128 straddle word boundaries.
+        let s = PortSet::from_ports([Port(63), Port(64), Port(127), Port(128)]);
+        assert!(s.contains(Port(63)) && s.contains(Port(64)));
+        assert!(!s.contains(Port(62)) && !s.contains(Port(65)));
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn well_known_names() {
+        assert_eq!(Port(80).well_known_name(), Some("http"));
+        assert_eq!(Port(7547).well_known_name(), Some("cwmp"));
+        assert_eq!(Port(49152).well_known_name(), None);
+        assert!(Port(443).is_iana_assigned());
+        assert!(!Port(37215).is_iana_assigned());
+    }
+
+    #[test]
+    fn port_parse() {
+        assert_eq!("8080".parse::<Port>().unwrap(), Port(8080));
+        assert!("65536".parse::<Port>().is_err());
+        assert!("-1".parse::<Port>().is_err());
+    }
+}

@@ -1,0 +1,194 @@
+//! The 15 TCP protocols with an available banner on Censys (Table 1).
+//!
+//! GPS fingerprints the protocol actually *running* on a port (via the
+//! LZR-style stage) rather than trusting the IANA assignment — the paper's
+//! key observation is that most services live on unassigned ports. The
+//! protocol itself is a feature: Table 3 reports `(Port, Port_Protocol)` as
+//! the single most predictive feature tuple (18.7% of normalized services).
+
+use std::fmt;
+
+/// Application protocol spoken by a service, as fingerprinted by LZR/ZGrab.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Protocol {
+    Http,
+    Tls,
+    Ssh,
+    Vnc,
+    Smtp,
+    Ftp,
+    Imap,
+    Pop3,
+    Cwmp,
+    Telnet,
+    Pptp,
+    Mysql,
+    Memcached,
+    Mssql,
+    Ipmi,
+    /// A real TCP listener whose protocol is not one of the 15 banner
+    /// protocols (e.g. Postgres wire, custom IoT binary). Such services carry
+    /// no application-layer features — only transport- and network-layer
+    /// features can predict them.
+    Unknown,
+}
+
+impl Protocol {
+    /// The 15 banner protocols (excludes [`Protocol::Unknown`]).
+    pub const BANNERED: [Protocol; 15] = [
+        Protocol::Http,
+        Protocol::Tls,
+        Protocol::Ssh,
+        Protocol::Vnc,
+        Protocol::Smtp,
+        Protocol::Ftp,
+        Protocol::Imap,
+        Protocol::Pop3,
+        Protocol::Cwmp,
+        Protocol::Telnet,
+        Protocol::Pptp,
+        Protocol::Mysql,
+        Protocol::Memcached,
+        Protocol::Mssql,
+        Protocol::Ipmi,
+    ];
+
+    /// Every variant including `Unknown`.
+    pub const ALL: [Protocol; 16] = {
+        let mut all = [Protocol::Unknown; 16];
+        let mut i = 0;
+        while i < 15 {
+            all[i] = Protocol::BANNERED[i];
+            i += 1;
+        }
+        all
+    };
+
+    /// Stable dense index (0..16) for array-indexed per-protocol stats.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    pub const fn name(self) -> &'static str {
+        match self {
+            Protocol::Http => "HTTP",
+            Protocol::Tls => "TLS",
+            Protocol::Ssh => "SSH",
+            Protocol::Vnc => "VNC",
+            Protocol::Smtp => "SMTP",
+            Protocol::Ftp => "FTP",
+            Protocol::Imap => "IMAP",
+            Protocol::Pop3 => "POP3",
+            Protocol::Cwmp => "CWMP",
+            Protocol::Telnet => "Telnet",
+            Protocol::Pptp => "PPTP",
+            Protocol::Mysql => "MySQL",
+            Protocol::Memcached => "Memcached",
+            Protocol::Mssql => "MSSQL",
+            Protocol::Ipmi => "IPMI",
+            Protocol::Unknown => "unknown",
+        }
+    }
+
+    /// Whether ZGrab can pull application-layer features from this protocol.
+    pub const fn has_banner(self) -> bool {
+        !matches!(self, Protocol::Unknown)
+    }
+
+    /// Default IANA-style port for the protocol, used by device templates as
+    /// the *assigned* placement (templates may still place the service
+    /// elsewhere — that is the point of the paper).
+    pub const fn assigned_port(self) -> u16 {
+        match self {
+            Protocol::Http => 80,
+            Protocol::Tls => 443,
+            Protocol::Ssh => 22,
+            Protocol::Vnc => 5900,
+            Protocol::Smtp => 25,
+            Protocol::Ftp => 21,
+            Protocol::Imap => 143,
+            Protocol::Pop3 => 110,
+            Protocol::Cwmp => 7547,
+            Protocol::Telnet => 23,
+            Protocol::Pptp => 1723,
+            Protocol::Mysql => 3306,
+            Protocol::Memcached => 11211,
+            Protocol::Mssql => 1433,
+            Protocol::Ipmi => 623,
+            Protocol::Unknown => 0,
+        }
+    }
+
+    /// Decode from the dense index; inverse of [`Protocol::index`].
+    pub const fn from_index(idx: usize) -> Option<Protocol> {
+        if idx < 16 {
+            Some(Protocol::ALL_BY_INDEX[idx])
+        } else {
+            None
+        }
+    }
+
+    const ALL_BY_INDEX: [Protocol; 16] = [
+        Protocol::Http,
+        Protocol::Tls,
+        Protocol::Ssh,
+        Protocol::Vnc,
+        Protocol::Smtp,
+        Protocol::Ftp,
+        Protocol::Imap,
+        Protocol::Pop3,
+        Protocol::Cwmp,
+        Protocol::Telnet,
+        Protocol::Pptp,
+        Protocol::Mysql,
+        Protocol::Memcached,
+        Protocol::Mssql,
+        Protocol::Ipmi,
+        Protocol::Unknown,
+    ];
+}
+
+impl fmt::Display for Protocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifteen_bannered_protocols() {
+        assert_eq!(Protocol::BANNERED.len(), 15);
+        assert!(Protocol::BANNERED.iter().all(|p| p.has_banner()));
+        assert!(!Protocol::Unknown.has_banner());
+    }
+
+    #[test]
+    fn index_round_trip() {
+        for (i, p) in Protocol::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+            assert_eq!(Protocol::from_index(i), Some(*p));
+        }
+        assert_eq!(Protocol::from_index(16), None);
+    }
+
+    #[test]
+    fn indices_are_unique_and_dense() {
+        let mut seen = [false; 16];
+        for p in Protocol::ALL {
+            assert!(!seen[p.index()], "duplicate index for {p}");
+            seen[p.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn assigned_ports_match_well_known() {
+        assert_eq!(Protocol::Http.assigned_port(), 80);
+        assert_eq!(Protocol::Cwmp.assigned_port(), 7547);
+        assert_eq!(Protocol::Memcached.assigned_port(), 11211);
+    }
+}

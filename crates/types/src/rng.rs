@@ -1,0 +1,366 @@
+//! Deterministic random number generation.
+//!
+//! Every artifact in this repository — the synthetic Internet, seed-scan
+//! sampling, baseline training — must be exactly reproducible from a `u64`
+//! seed, across platforms and forever. We therefore vendor xoshiro256++
+//! (public domain, Blackman & Vigna) seeded through SplitMix64 rather than
+//! depend on a crate whose stream may change between versions.
+//!
+//! The helpers deliberately mirror the subset of `rand`'s API the codebase
+//! needs: ranges, floats, Bernoulli draws, shuffling, sampling, and a Zipf
+//! sampler (service counts across ports follow a heavy-tailed distribution;
+//! the paper notes 5% of all services live on the top 10 ports).
+
+/// SplitMix64 step — used for seeding and as a cheap stateless hash.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Stateless 64-bit mix of two values; used for per-entity deterministic
+/// choices (e.g. "does host H forward port P?") that must not depend on
+/// generation order.
+#[inline]
+pub fn mix64(a: u64, b: u64) -> u64 {
+    let mut s = a ^ b.rotate_left(32) ^ 0x9E37_79B9_7F4A_7C15;
+    splitmix64(&mut s)
+}
+
+/// xoshiro256++ deterministic PRNG.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Seed via SplitMix64 as recommended by the xoshiro authors.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s }
+    }
+
+    /// Derive an independent child stream. Children with different labels are
+    /// decorrelated from the parent and from each other, letting subsystems
+    /// (topology, hosts, churn, scanning) draw independently.
+    pub fn fork(&self, label: u64) -> Rng {
+        Rng::new(mix64(self.s[0] ^ self.s[2], label))
+    }
+
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = (self.s[0].wrapping_add(self.s[3]))
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform in `[0, n)` via Lemire's multiply-shift rejection method.
+    /// Panics if `n == 0`.
+    pub fn gen_range(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "gen_range(0)");
+        // Rejection sampling to remove modulo bias.
+        let threshold = n.wrapping_neg() % n;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(n as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range");
+        lo + self.gen_range((hi - lo) as u64) as usize
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.gen_range(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+
+    /// Pick one element uniformly. Panics on an empty slice.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.range_usize(0, xs.len())]
+    }
+
+    /// Weighted choice: returns an index with probability proportional to
+    /// `weights[i]`. Panics if all weights are zero or the slice is empty.
+    pub fn choose_weighted(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "all weights zero");
+        let mut x = self.f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            x -= w;
+            if x < 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+
+    /// Sample `k` distinct indices from `[0, n)` (Floyd's algorithm); returned
+    /// in unspecified order. Panics if `k > n`.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "sample larger than population");
+        use std::collections::HashSet;
+        let mut chosen: HashSet<usize> = HashSet::with_capacity(k);
+        let mut out = Vec::with_capacity(k);
+        for j in (n - k)..n {
+            let t = self.range_usize(0, j + 1);
+            let pick = if chosen.contains(&t) { j } else { t };
+            chosen.insert(pick);
+            out.push(pick);
+        }
+        out
+    }
+
+    /// Geometric-ish draw: number of consecutive successes with probability
+    /// `p`, capped at `max`. Used for burst lengths in banner generation.
+    pub fn geometric(&mut self, p: f64, max: u32) -> u32 {
+        let mut n = 0;
+        while n < max && self.chance(p) {
+            n += 1;
+        }
+        n
+    }
+}
+
+/// A precomputed Zipf(α) sampler over ranks `0..n` via inverse-CDF binary
+/// search. Rank 0 is the most popular.
+///
+/// Port popularity on the Internet is heavy-tailed; the synthetic universe
+/// uses this both to size per-template populations and to scatter long-tail
+/// forwarded ports.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the sampler. Panics if `n == 0` or `alpha < 0`.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0 && alpha >= 0.0);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 0..n {
+            acc += 1.0 / ((rank + 1) as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in cdf.iter_mut() {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draw a rank in `0..n`.
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let u = rng.f64();
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+            Ok(i) | Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Probability mass of a rank.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        let lo = if rank == 0 { 0.0 } else { self.cdf[rank - 1] };
+        self.cdf[rank] - lo
+    }
+
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn known_xoshiro_vector() {
+        // Reference: xoshiro256++ seeded from SplitMix64(0) per the
+        // generators' reference C code. Pins the stream forever: if this
+        // test breaks, every experiment in the repo changes.
+        let mut r = Rng::new(0);
+        let first: Vec<u64> = (0..3).map(|_| r.next_u64()).collect();
+        let mut r2 = Rng::new(0);
+        let again: Vec<u64> = (0..3).map(|_| r2.next_u64()).collect();
+        assert_eq!(first, again);
+        // Golden values captured at vendoring time.
+        assert_eq!(first[0], 5987356902031041503);
+    }
+
+    #[test]
+    fn fork_decorrelates() {
+        let root = Rng::new(7);
+        let mut a = root.fork(1);
+        let mut b = root.fork(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same <= 1);
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut r = Rng::new(3);
+        for _ in 0..1000 {
+            let x = r.gen_range(7);
+            assert!(x < 7);
+        }
+        // n=1 must always return 0.
+        assert_eq!(r.gen_range(1), 0);
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut r = Rng::new(9);
+        let mut counts = [0usize; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[r.gen_range(10) as usize] += 1;
+        }
+        for &c in &counts {
+            let expected = n / 10;
+            assert!((c as i64 - expected as i64).unsigned_abs() < (expected / 10) as u64,
+                "bucket count {c} too far from {expected}");
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng::new(11);
+        for _ in 0..1000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Rng::new(13);
+        let mut xs: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(xs, (0..100).collect::<Vec<_>>(), "astronomically unlikely to be identity");
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut r = Rng::new(17);
+        let sample = r.sample_indices(1000, 50);
+        assert_eq!(sample.len(), 50);
+        let set: std::collections::HashSet<_> = sample.iter().collect();
+        assert_eq!(set.len(), 50);
+        assert!(sample.iter().all(|&i| i < 1000));
+        // Edge cases.
+        assert!(r.sample_indices(5, 0).is_empty());
+        let all = r.sample_indices(5, 5);
+        let set: std::collections::HashSet<_> = all.into_iter().collect();
+        assert_eq!(set.len(), 5);
+    }
+
+    #[test]
+    fn choose_weighted_respects_weights() {
+        let mut r = Rng::new(19);
+        let mut hits = [0usize; 3];
+        for _ in 0..30_000 {
+            hits[r.choose_weighted(&[1.0, 0.0, 3.0])] += 1;
+        }
+        assert_eq!(hits[1], 0);
+        assert!(hits[2] > hits[0] * 2, "{hits:?}");
+    }
+
+    #[test]
+    fn zipf_is_heavy_tailed() {
+        let z = Zipf::new(1000, 1.1);
+        let mut r = Rng::new(23);
+        let mut rank0 = 0;
+        let n = 50_000;
+        for _ in 0..n {
+            if z.sample(&mut r) == 0 {
+                rank0 += 1;
+            }
+        }
+        // Rank 0 should dominate any deep-tail rank by orders of magnitude.
+        assert!(rank0 as f64 / n as f64 > 0.05, "rank0 frequency {rank0}");
+        let pmf_sum: f64 = (0..1000).map(|k| z.pmf(k)).sum();
+        assert!((pmf_sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mix64_is_order_free() {
+        // mix64 must be a pure function of its arguments.
+        assert_eq!(mix64(1, 2), mix64(1, 2));
+        assert_ne!(mix64(1, 2), mix64(2, 1));
+    }
+
+    #[test]
+    fn geometric_capped() {
+        let mut r = Rng::new(29);
+        for _ in 0..100 {
+            assert!(r.geometric(0.9, 5) <= 5);
+        }
+        assert_eq!(r.geometric(0.0, 10), 0);
+    }
+}

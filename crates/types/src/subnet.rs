@@ -1,0 +1,266 @@
+//! CIDR subnets.
+//!
+//! Subnets appear in two roles in GPS:
+//!
+//! 1. **Network-layer features** (Table 1 / Appendix C): the /16 of an IP is
+//!    one of the 25 features the model conditions on; Appendix C sweeps
+//!    /16–/23.
+//! 2. **Scanning step sizes** (§5.3): the priors scan exhaustively probes the
+//!    subnet of a seed service at a user-chosen prefix length — the central
+//!    bandwidth/coverage trade-off of Figure 5 (step sizes /0, /4, …, /20).
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::GpsError;
+use crate::ip::Ip;
+
+/// An IPv4 CIDR block: base address plus prefix length (0–32).
+///
+/// Invariant: the base address has all host bits zero. Constructors enforce
+/// this by masking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Subnet {
+    base: u32,
+    prefix_len: u8,
+}
+
+impl Subnet {
+    /// The whole IPv4 space, `0.0.0.0/0` — the paper's largest step size
+    /// (§7 uses /0 to maximize normalized-service discovery).
+    pub const ALL: Subnet = Subnet { base: 0, prefix_len: 0 };
+
+    /// Construct from a base IP and a prefix length, masking host bits.
+    ///
+    /// Returns an error if `prefix_len > 32`.
+    pub fn new(base: Ip, prefix_len: u8) -> Result<Self, GpsError> {
+        if prefix_len > 32 {
+            return Err(GpsError::parse(
+                "subnet",
+                &format!("{base}/{prefix_len}"),
+                "prefix length must be 0..=32",
+            ));
+        }
+        Ok(Self::of_ip(base, prefix_len))
+    }
+
+    /// The subnet of the given prefix length that contains `ip`.
+    pub const fn of_ip(ip: Ip, prefix_len: u8) -> Self {
+        Subnet {
+            base: ip.0 & Self::mask(prefix_len),
+            prefix_len,
+        }
+    }
+
+    /// Internal `const` constructor used where the caller has already masked.
+    pub(crate) const fn from_ip_unchecked(base: u32, prefix_len: u8) -> Self {
+        Subnet { base, prefix_len }
+    }
+
+    /// The network mask for a prefix length (`/0` → all-zeros mask).
+    pub const fn mask(prefix_len: u8) -> u32 {
+        if prefix_len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - prefix_len)
+        }
+    }
+
+    pub const fn base(self) -> Ip {
+        Ip(self.base)
+    }
+
+    pub const fn prefix_len(self) -> u8 {
+        self.prefix_len
+    }
+
+    /// Number of addresses in the block (2^(32-prefix)).
+    pub const fn size(self) -> u64 {
+        1u64 << (32 - self.prefix_len)
+    }
+
+    /// First address of the block (== base).
+    pub const fn first(self) -> Ip {
+        Ip(self.base)
+    }
+
+    /// Last address of the block.
+    pub const fn last(self) -> Ip {
+        Ip(self.base | !Self::mask(self.prefix_len))
+    }
+
+    /// Whether `ip` falls inside the block.
+    pub const fn contains(self, ip: Ip) -> bool {
+        (ip.0 & Self::mask(self.prefix_len)) == self.base
+    }
+
+    /// Whether `other` is entirely contained in `self`.
+    pub const fn contains_subnet(self, other: Subnet) -> bool {
+        other.prefix_len >= self.prefix_len && self.contains(Ip(other.base))
+    }
+
+    /// Iterate every address in the block in ascending order.
+    ///
+    /// The priors scan uses this to exhaustively probe a (port, subnet) tuple.
+    pub fn iter(self) -> SubnetIter {
+        SubnetIter {
+            next: self.base as u64,
+            end: self.base as u64 + self.size(),
+        }
+    }
+
+    /// Split into the two child subnets one prefix bit longer, or `None` for
+    /// a /32.
+    pub fn split(self) -> Option<(Subnet, Subnet)> {
+        if self.prefix_len >= 32 {
+            return None;
+        }
+        let child_len = self.prefix_len + 1;
+        let high_bit = 1u32 << (32 - child_len);
+        Some((
+            Subnet { base: self.base, prefix_len: child_len },
+            Subnet { base: self.base | high_bit, prefix_len: child_len },
+        ))
+    }
+}
+
+impl fmt::Display for Subnet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", Ip(self.base), self.prefix_len)
+    }
+}
+
+impl FromStr for Subnet {
+    type Err = GpsError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (ip_part, len_part) = s
+            .split_once('/')
+            .ok_or_else(|| GpsError::parse("subnet", s, "expected ip/prefix"))?;
+        let ip: Ip = ip_part.parse()?;
+        let prefix_len: u8 = len_part
+            .parse()
+            .map_err(|_| GpsError::parse("subnet", s, "bad prefix length"))?;
+        Subnet::new(ip, prefix_len)
+    }
+}
+
+/// Ascending iterator over the addresses of a subnet.
+///
+/// Uses a `u64` cursor so iterating `0.0.0.0/0` terminates correctly.
+#[derive(Debug, Clone)]
+pub struct SubnetIter {
+    next: u64,
+    end: u64,
+}
+
+impl Iterator for SubnetIter {
+    type Item = Ip;
+
+    fn next(&mut self) -> Option<Ip> {
+        if self.next >= self.end {
+            return None;
+        }
+        let ip = Ip(self.next as u32);
+        self.next += 1;
+        Some(ip)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = (self.end - self.next) as usize;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for SubnetIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_host_bits_on_construction() {
+        let s = Subnet::new(Ip::from_octets(10, 1, 2, 3), 24).unwrap();
+        assert_eq!(s.base(), Ip::from_octets(10, 1, 2, 0));
+        assert_eq!(s.to_string(), "10.1.2.0/24");
+    }
+
+    #[test]
+    fn rejects_prefix_over_32() {
+        assert!(Subnet::new(Ip(0), 33).is_err());
+    }
+
+    #[test]
+    fn size_and_bounds() {
+        let s: Subnet = "192.168.0.0/16".parse().unwrap();
+        assert_eq!(s.size(), 65536);
+        assert_eq!(s.first(), Ip::from_octets(192, 168, 0, 0));
+        assert_eq!(s.last(), Ip::from_octets(192, 168, 255, 255));
+        assert_eq!(Subnet::ALL.size(), 1u64 << 32);
+    }
+
+    #[test]
+    fn containment() {
+        let s: Subnet = "10.0.0.0/8".parse().unwrap();
+        assert!(s.contains(Ip::from_octets(10, 255, 0, 1)));
+        assert!(!s.contains(Ip::from_octets(11, 0, 0, 0)));
+        let inner: Subnet = "10.3.0.0/16".parse().unwrap();
+        assert!(s.contains_subnet(inner));
+        assert!(!inner.contains_subnet(s));
+        assert!(s.contains_subnet(s));
+    }
+
+    #[test]
+    fn slash_zero_contains_everything() {
+        assert!(Subnet::ALL.contains(Ip::MIN));
+        assert!(Subnet::ALL.contains(Ip::MAX));
+        assert_eq!(Subnet::mask(0), 0);
+    }
+
+    #[test]
+    fn iter_small_block() {
+        let s: Subnet = "10.0.0.4/30".parse().unwrap();
+        let ips: Vec<Ip> = s.iter().collect();
+        assert_eq!(
+            ips,
+            vec![
+                Ip::from_octets(10, 0, 0, 4),
+                Ip::from_octets(10, 0, 0, 5),
+                Ip::from_octets(10, 0, 0, 6),
+                Ip::from_octets(10, 0, 0, 7),
+            ]
+        );
+        assert_eq!(s.iter().len(), 4);
+    }
+
+    #[test]
+    fn iter_slash32_is_single() {
+        let s: Subnet = "1.2.3.4/32".parse().unwrap();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![Ip::from_octets(1, 2, 3, 4)]);
+    }
+
+    #[test]
+    fn iter_top_of_space_terminates() {
+        let s: Subnet = "255.255.255.252/30".parse().unwrap();
+        assert_eq!(s.iter().count(), 4);
+        assert_eq!(s.last(), Ip::MAX);
+    }
+
+    #[test]
+    fn split_halves() {
+        let s: Subnet = "10.0.0.0/24".parse().unwrap();
+        let (lo, hi) = s.split().unwrap();
+        assert_eq!(lo.to_string(), "10.0.0.0/25");
+        assert_eq!(hi.to_string(), "10.0.0.128/25");
+        assert_eq!(lo.size() + hi.size(), s.size());
+        let leaf: Subnet = "1.1.1.1/32".parse().unwrap();
+        assert!(leaf.split().is_none());
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!("10.0.0.0".parse::<Subnet>().is_err());
+        assert!("10.0.0.0/x".parse::<Subnet>().is_err());
+        assert!("10.0.0/8".parse::<Subnet>().is_err());
+    }
+}

@@ -1,0 +1,45 @@
+//! Service churn and stale predictions (§3).
+//!
+//! The paper measures 9% of services (15% normalized) disappearing within
+//! ten days — the reason GPS constrains prediction wall-time. This example
+//! trains GPS on day 0 and scans its predictions on later days, showing the
+//! prediction hit rate decaying as the Internet drifts away from the model.
+//!
+//! ```sh
+//! cargo run --release --example churn_tracking
+//! ```
+
+use gps::prelude::*;
+use gps::scan::ScanPhase;
+
+fn main() {
+    let net = Internet::generate(&UniverseConfig::standard(42));
+    let dataset = censys_dataset(&net, 2000, 0.02, 0, 7);
+
+    // Train and predict on day 0.
+    let run = run_gps(&net, &dataset, &GpsConfig { step_prefix: 16, ..GpsConfig::default() });
+    let day0_found = run.found.len();
+    println!(
+        "day 0: GPS discovered {day0_found} test services ({:.1}%)",
+        100.0 * run.fraction_of_services()
+    );
+
+    // Replay the *discovered* service list against older snapshots: how many
+    // of the day-0 discoveries still answer on day d?
+    println!("\nstaleness of the day-0 result set:");
+    println!("{:>6}  {:>12}  {:>10}", "day", "still alive", "decay");
+    for day in [0u16, 2, 5, 10] {
+        let mut scanner = Scanner::new(&net, ScanConfig { day, ..ScanConfig::default() });
+        let alive = scanner
+            .scan_targets(ScanPhase::Baseline, run.found.iter().map(|k| (k.ip, k.port)))
+            .len();
+        println!(
+            "{day:>6}  {alive:>12}  {:>9.1}%",
+            100.0 * (1.0 - alive as f64 / day0_found.max(1) as f64)
+        );
+    }
+
+    println!("\nA scan plan computed slowly is a scan plan of a vanished Internet —");
+    println!("GPS's 13-minute prediction time (vs 53 GPU-days for per-port models)");
+    println!("is what keeps the predictions actionable (§3, §6.5).");
+}

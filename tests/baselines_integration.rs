@@ -1,0 +1,165 @@
+//! Integration of the baseline systems against the same universe GPS runs
+//! on: the comparisons the paper's §2 and §6.4 rest on.
+
+use gps::baselines::{
+    run_xgb_scanner, EipModel, EntropyIpModel, GbdtParams, Recommender, RecommenderParams,
+    XgbScannerConfig,
+};
+use gps::prelude::*;
+use gps::types::{Ip, Rng};
+
+fn universe() -> Internet {
+    Internet::generate(&UniverseConfig::tiny(4242))
+}
+
+#[test]
+fn xgb_scanner_runs_and_reaches_targets() {
+    let net = universe();
+    let dataset = censys_dataset(&net, 100, 0.10, 0, 9);
+    let run = run_xgb_scanner(
+        &net,
+        &dataset,
+        &XgbScannerConfig {
+            ports: vec![Port(80), Port(443), Port(22)],
+            target_coverage: 0.7,
+            gbdt: GbdtParams { n_trees: 10, max_depth: 3, ..Default::default() },
+            seed: 11,
+        },
+    );
+    assert_eq!(run.outcomes.len(), 3);
+    for o in &run.outcomes {
+        assert!(o.coverage >= 0.7, "port {} at {:.2}", o.port, o.coverage);
+    }
+    // Sequential structure: prior bandwidth accumulates.
+    assert!(run.outcomes.windows(2).all(|w| w[1].prior_scans >= w[0].prior_scans));
+}
+
+#[test]
+fn gps_beats_xgb_on_prior_bandwidth_for_late_ports() {
+    // The paper's central §6.4 finding: to predict a late-sequence port, the
+    // XGBoost scanner must first scan every earlier port; GPS just scans
+    // the minimum predictive set.
+    let net = universe();
+    let dataset = censys_dataset(&net, 100, 0.10, 0, 9);
+    let ports = vec![Port(80), Port(443), Port(22), Port(7547), Port(2323)];
+    let xgb = run_xgb_scanner(
+        &net,
+        &dataset,
+        &XgbScannerConfig {
+            ports: ports.clone(),
+            target_coverage: 0.7,
+            gbdt: GbdtParams { n_trees: 10, max_depth: 3, ..Default::default() },
+            seed: 11,
+        },
+    );
+    let late = xgb.outcomes.last().unwrap();
+    // GPS's whole run (seed + priors + predictions) on the same dataset:
+    let gps = run_gps(
+        &net,
+        &dataset,
+        &GpsConfig { step_prefix: 16, curve_points: 16, ..GpsConfig::default() },
+    );
+    assert!(
+        late.prior_scans > 0.5,
+        "late port should require substantial prior scanning: {}",
+        late.prior_scans
+    );
+    // GPS discovers services on far more ports than the 5 the sequential
+    // scanner was pointed at — the paper's core scaling argument.
+    let gps_ports: std::collections::HashSet<u16> =
+        gps.found.iter().map(|k| k.port.0).collect();
+    assert!(
+        gps_ports.len() > ports.len() * 4,
+        "GPS covered only {} ports",
+        gps_ports.len()
+    );
+}
+
+#[test]
+fn tgas_underperform_gps_substantially() {
+    let net = universe();
+    let dataset = lzr_dataset(&net, 0.4, 0.25, 2, 0, 13);
+
+    // TGA coverage over the top ports.
+    let mut rng = Rng::new(17);
+    let mut ports: Vec<(Port, u64)> =
+        dataset.test.per_port().iter().map(|(&p, &c)| (Port(p), c)).collect();
+    ports.sort_by(|a, b| b.1.cmp(&a.1));
+    let mut tga_found = 0u64;
+    let mut truth = 0u64;
+    for &(port, count) in ports.iter().take(30) {
+        truth += count;
+        let train: Vec<Ip> = net
+            .ips_on_port(port)
+            .iter()
+            .filter(|ip| dataset.seed_ips.contains(ip))
+            .take(1000)
+            .map(|&ip| Ip(ip))
+            .collect();
+        if train.len() < 3 {
+            continue;
+        }
+        let entropy = EntropyIpModel::train(&train);
+        let eip = EipModel::train(&train);
+        let mut candidates: std::collections::HashSet<Ip> =
+            entropy.generate(300, &mut rng).into_iter().collect();
+        candidates.extend(eip.generate(300, &mut rng));
+        tga_found += candidates
+            .iter()
+            .filter(|&&ip| dataset.test.contains(&ServiceKey::new(ip, port)))
+            .count() as u64;
+    }
+    let tga_cov = tga_found as f64 / truth.max(1) as f64;
+
+    let gps = run_gps(
+        &net,
+        &dataset,
+        &GpsConfig { step_prefix: 16, curve_points: 16, ..GpsConfig::default() },
+    );
+    assert!(
+        gps.fraction_of_services() > tga_cov + 0.2,
+        "GPS ({:.2}) must clearly beat TGAs ({:.2})",
+        gps.fraction_of_services(),
+        tga_cov
+    );
+}
+
+#[test]
+fn recommender_cannot_reach_uncommon_ports() {
+    let net = universe();
+    let dataset = lzr_dataset(&net, 0.4, 0.25, 2, 0, 13);
+    let interactions: Vec<(Ip, Port, Option<u32>)> = dataset
+        .seed_ips
+        .iter()
+        .filter_map(|&ip| net.host(Ip(ip)).map(|h| (Ip(ip), h)))
+        .flat_map(|(ip, host)| {
+            let asn = net.asn_of(ip).map(|a| a.0);
+            host.services
+                .iter()
+                .filter(|s| s.alive(0))
+                .map(move |s| (ip, s.port, asn))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let model = Recommender::train(
+        &interactions,
+        RecommenderParams { epochs: 3, ..Default::default() },
+        &mut Rng::new(23),
+    );
+    // Sample some test hosts; check per-port recall concentrates on popular
+    // ports.
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for key in dataset.test.services().iter().take(400) {
+        total += 1;
+        let top = model.top_ports(key.ip, net.asn_of(key.ip).map(|a| a.0), 20);
+        if top.contains(&key.port) {
+            hits += 1;
+        }
+    }
+    let coverage = hits as f64 / total.max(1) as f64;
+    assert!(
+        coverage < 0.9,
+        "a network-features-only recommender should not solve all-port prediction ({coverage})"
+    );
+}

@@ -1,0 +1,141 @@
+//! End-to-end integration: the full GPS pipeline against baselines on a
+//! small universe.
+
+use gps::prelude::*;
+
+fn universe() -> Internet {
+    Internet::generate(&UniverseConfig::tiny(1234))
+}
+
+fn quick_config() -> GpsConfig {
+    GpsConfig { step_prefix: 16, curve_points: 32, ..GpsConfig::default() }
+}
+
+#[test]
+fn gps_finds_majority_of_censys_services() {
+    let net = universe();
+    let dataset = censys_dataset(&net, 200, 0.05, 0, 1);
+    let run = run_gps(&net, &dataset, &quick_config());
+    assert!(
+        run.fraction_of_services() > 0.5,
+        "GPS must find most services; got {:.3}",
+        run.fraction_of_services()
+    );
+    // Everything it claims to have found is real and in the test set.
+    for key in run.found.iter().take(500) {
+        assert!(dataset.in_test(key));
+        assert!(net.service(key.ip, key.port, 0).is_some());
+    }
+}
+
+#[test]
+fn gps_beats_exhaustive_at_equal_coverage() {
+    let net = universe();
+    let dataset = censys_dataset(&net, 200, 0.05, 0, 1);
+    let run = run_gps(&net, &dataset, &quick_config());
+    let exhaustive = optimal_port_order_curve(&net, &dataset, usize::MAX);
+
+    // At a mid-coverage point both systems reach, GPS must be cheaper.
+    let target = (run.fraction_of_services() * 0.9).max(0.3);
+    let gps_cost = run.curve.scans_to_reach_all(target).expect("GPS reaches target");
+    let ex_cost = exhaustive.scans_to_reach_all(target).expect("exhaustive reaches target");
+    assert!(
+        gps_cost < ex_cost,
+        "GPS ({gps_cost:.1}) must beat exhaustive ({ex_cost:.1}) at {target:.2} coverage"
+    );
+}
+
+#[test]
+fn oracle_dominates_gps_dominates_random() {
+    let net = universe();
+    let dataset = censys_dataset(&net, 200, 0.05, 0, 1);
+    let run = run_gps(&net, &dataset, &quick_config());
+    let oracle = oracle_curve(&dataset, net.universe_size(), 16);
+    let random = random_probe_curve(&dataset, net.universe_size(), net.port_space() as u64, 16);
+
+    let target = (run.fraction_of_services() * 0.9).max(0.3);
+    let gps_cost = run.curve.scans_to_reach_all(target).unwrap();
+    let oracle_cost = oracle.scans_to_reach_all(target).unwrap();
+    let random_cost = random.scans_to_reach_all(target).unwrap();
+    assert!(oracle_cost < gps_cost, "oracle must dominate GPS");
+    assert!(gps_cost < random_cost, "GPS must dominate random probing");
+}
+
+#[test]
+fn lzr_workload_with_port_filter() {
+    let net = universe();
+    let dataset = lzr_dataset(&net, 0.4, 0.25, 2, 0, 3);
+    // Every test port has >2 responsive IPs (the paper's filter).
+    for (&port, &count) in dataset.test.per_port() {
+        assert!(count > 2, "port {port} kept with {count} IPs");
+    }
+    let run = run_gps(&net, &dataset, &quick_config());
+    assert!(run.fraction_of_services() > 0.3, "got {}", run.fraction_of_services());
+}
+
+#[test]
+fn budget_constrains_total_probes() {
+    let net = universe();
+    let dataset = censys_dataset(&net, 200, 0.05, 0, 1);
+    let free = run_gps(&net, &dataset, &quick_config());
+    let seed_cost = free.ledger.full_scans_phase(ScanPhase::Seed, net.universe_size());
+    let budget = seed_cost + (free.total_scans() - seed_cost) / 2.0;
+    let capped = run_gps(
+        &net,
+        &dataset,
+        &GpsConfig { budget_scans: Some(budget), ..quick_config() },
+    );
+    assert!(capped.truncated_by_budget);
+    assert!(capped.total_scans() <= budget * 1.05 + 0.05);
+    assert!(capped.found.len() <= free.found.len());
+    assert!(capped.found.is_subset(&free.found), "budget must only remove discoveries");
+}
+
+#[test]
+fn runs_are_deterministic_across_backends_and_repeats() {
+    let net = universe();
+    let dataset = censys_dataset(&net, 150, 0.05, 0, 2);
+    let a = run_gps(&net, &dataset, &quick_config());
+    let b = run_gps(&net, &dataset, &quick_config());
+    let single = run_gps(
+        &net,
+        &dataset,
+        &GpsConfig { backend: Backend::SingleCore, ..quick_config() },
+    );
+    assert_eq!(a.found, b.found);
+    assert_eq!(a.ledger.total_probes(), b.ledger.total_probes());
+    assert_eq!(a.found, single.found, "parallel and single-core must agree");
+}
+
+#[test]
+fn discovery_curve_is_monotone() {
+    let net = universe();
+    let dataset = censys_dataset(&net, 200, 0.05, 0, 1);
+    let run = run_gps(&net, &dataset, &quick_config());
+    let pts = &run.curve.points;
+    assert!(pts.len() > 4);
+    assert!(pts.windows(2).all(|w| w[0].scans <= w[1].scans + 1e-12));
+    assert!(pts.windows(2).all(|w| w[0].found <= w[1].found));
+    assert!(pts
+        .windows(2)
+        .all(|w| w[0].fraction_normalized <= w[1].fraction_normalized + 1e-12));
+    for p in pts {
+        assert!((0.0..=1.0).contains(&p.fraction_all));
+        assert!((0.0..=1.0).contains(&p.fraction_normalized));
+        assert!(p.precision >= 0.0);
+    }
+}
+
+#[test]
+fn predictions_never_reprobe_known_services() {
+    let net = universe();
+    let dataset = censys_dataset(&net, 200, 0.05, 0, 1);
+    let run = run_gps(&net, &dataset, &quick_config());
+    // Found services (test side) must not include seed IPs.
+    for key in &run.found {
+        assert!(
+            !dataset.seed_ips.contains(&key.ip.0),
+            "seed host {key} counted as a discovery"
+        );
+    }
+}

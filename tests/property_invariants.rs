@@ -1,0 +1,158 @@
+//! Property-based tests over the core data structures and invariants.
+
+use std::collections::HashSet;
+
+use gps::core::metrics::{CoverageTracker, GroundTruth};
+use gps::core::{CondKey, CondModel, Interactions, NetFeature};
+use gps::engine::{Backend, ExecLedger};
+use gps::scan::{CyclicPermutation, ServiceObservation};
+use gps::types::rng::Rng;
+use gps::types::{Ip, Port, ServiceKey, Subnet, Sym};
+use proptest::prelude::*;
+
+fn arb_services(max: usize) -> impl Strategy<Value = Vec<(u32, u16)>> {
+    proptest::collection::vec((0u32..50_000, 1u16..2000), 1..max)
+}
+
+proptest! {
+    #[test]
+    fn subnet_contains_its_members(ip in any::<u32>(), prefix in 0u8..=32) {
+        let subnet = Subnet::of_ip(Ip(ip), prefix);
+        prop_assert!(subnet.contains(Ip(ip)));
+        prop_assert!(subnet.first() <= Ip(ip) && Ip(ip) <= subnet.last());
+        // The base is masked.
+        prop_assert_eq!(subnet.base().0 & !Subnet::mask(prefix), 0);
+    }
+
+    #[test]
+    fn subnet_split_partitions(ip in any::<u32>(), prefix in 0u8..32) {
+        let parent = Subnet::of_ip(Ip(ip), prefix);
+        let (lo, hi) = parent.split().unwrap();
+        prop_assert_eq!(lo.size() + hi.size(), parent.size());
+        prop_assert!(parent.contains_subnet(lo) && parent.contains_subnet(hi));
+        prop_assert!(!lo.contains_subnet(hi) && !hi.contains_subnet(lo));
+        // Membership goes to exactly one child.
+        prop_assert!(lo.contains(Ip(ip)) ^ hi.contains(Ip(ip)));
+    }
+
+    #[test]
+    fn permutation_is_bijection(n in 1u64..5000, seed in any::<u64>()) {
+        let mut rng = Rng::new(seed);
+        let seen: HashSet<u64> = CyclicPermutation::new(n, &mut rng).collect();
+        prop_assert_eq!(seen.len() as u64, n);
+        prop_assert!(seen.iter().all(|&v| v < n));
+    }
+
+    #[test]
+    fn coverage_metrics_bounded(services in arb_services(200), probes in 1u64..10_000) {
+        let keys: Vec<ServiceKey> = services
+            .iter()
+            .map(|&(ip, port)| ServiceKey::new(Ip(ip), Port(port)))
+            .collect();
+        let ground = GroundTruth::from_services(keys.clone());
+        let mut tracker = CoverageTracker::new(&ground);
+        tracker.charge_probes(probes);
+        // Record a prefix of the ground truth plus some junk.
+        for key in keys.iter().take(keys.len() / 2) {
+            tracker.record(*key);
+        }
+        tracker.record(ServiceKey::new(Ip(u32::MAX), Port(65535)));
+        prop_assert!((0.0..=1.0).contains(&tracker.fraction_of_services()));
+        prop_assert!((0.0..=1.0).contains(&tracker.normalized_fraction()));
+        prop_assert!(tracker.precision() >= 0.0);
+        prop_assert!(tracker.found_count() <= ground.total());
+    }
+
+    #[test]
+    fn full_recording_reaches_exactly_one(services in arb_services(100)) {
+        let keys: Vec<ServiceKey> = services
+            .iter()
+            .map(|&(ip, port)| ServiceKey::new(Ip(ip), Port(port)))
+            .collect();
+        let ground = GroundTruth::from_services(keys.clone());
+        let mut tracker = CoverageTracker::new(&ground);
+        for key in &keys {
+            tracker.record(*key);
+        }
+        prop_assert!((tracker.fraction_of_services() - 1.0).abs() < 1e-9);
+        prop_assert!((tracker.normalized_fraction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn model_probabilities_are_probabilities(services in arb_services(120)) {
+        // Build host records from random (ip, port) pairs.
+        let observations: Vec<ServiceObservation> = services
+            .iter()
+            .map(|&(ip, port)| ServiceObservation {
+                ip: Ip(ip % 500), // force co-located hosts
+                port: Port(port),
+                ttl: 64,
+                protocol: gps::types::Protocol::Http,
+                content: Sym(0),
+                features: vec![],
+            })
+            .collect();
+        let hosts = gps::core::group_by_host(
+            &observations,
+            &[NetFeature::Slash(16), NetFeature::Asn],
+            &|_| Some(7),
+        );
+        let (model, stats) = CondModel::build(
+            &hosts,
+            Interactions::ALL,
+            Backend::SingleCore,
+            &ExecLedger::new(),
+        );
+        prop_assert_eq!(stats.hosts_in, hosts.len());
+        for (key, key_stats) in model.iter() {
+            prop_assert!(key_stats.hosts > 0);
+            for &(port, count) in &key_stats.targets {
+                prop_assert!(count <= key_stats.hosts, "P > 1 for {key:?}");
+                let p = model.probability(key, port);
+                prop_assert!((0.0..=1.0).contains(&p));
+            }
+        }
+        // Denominator consistency: hosts(Port(p)) equals the number of host
+        // records with p open.
+        for host in &hosts {
+            for service in &host.services {
+                let stats = model.stats(&CondKey::Port(service.port)).unwrap();
+                let actual = hosts
+                    .iter()
+                    .filter(|h| h.services.iter().any(|s| s.port == service.port))
+                    .count() as u32;
+                prop_assert_eq!(stats.hosts, actual);
+            }
+        }
+    }
+
+    #[test]
+    fn filter_is_idempotent(services in arb_services(150)) {
+        let observations: Vec<ServiceObservation> = services
+            .iter()
+            .map(|&(ip, port)| ServiceObservation {
+                ip: Ip(ip % 100),
+                port: Port(port),
+                ttl: 64,
+                protocol: gps::types::Protocol::Http,
+                content: Sym((ip % 13) as u32),
+                features: vec![],
+            })
+            .collect();
+        let (once, _) = gps::core::filter_pseudo_services(observations);
+        let (twice, stats2) = gps::core::filter_pseudo_services(once.clone());
+        prop_assert_eq!(once, twice);
+        prop_assert_eq!(stats2.dropped_big_hosts, 0);
+    }
+}
+
+#[test]
+fn interner_round_trips_arbitrary_strings() {
+    // Deterministic exhaustive-ish check complements the proptest suite.
+    let interner = gps::types::Interner::new();
+    let strings: Vec<String> = (0..500).map(|i| format!("value-{i}-\u{1F980}")).collect();
+    let syms: Vec<_> = strings.iter().map(|s| interner.intern(s)).collect();
+    for (s, sym) in strings.iter().zip(&syms) {
+        assert_eq!(&*interner.resolve(*sym), s.as_str());
+    }
+}
