@@ -102,7 +102,11 @@ pub fn random_probe_curve(
         .as_ref()
         .map(|v| v.len() as u64)
         .unwrap_or(universe);
-    let num_ports = dataset.ports.as_ref().map(|p| p.len() as u64).unwrap_or(port_space);
+    let num_ports = dataset
+        .ports
+        .as_ref()
+        .map(|p| p.len() as u64)
+        .unwrap_or(port_space);
     let pairs = (visible_ips * num_ports).max(1);
     let total = dataset.test.total();
 
@@ -118,7 +122,11 @@ pub fn random_probe_curve(
             found: found as u64,
             fraction_all: frac,
             fraction_normalized: frac,
-            precision: if probes == 0 { 0.0 } else { found / probes as f64 },
+            precision: if probes == 0 {
+                0.0
+            } else {
+                found / probes as f64
+            },
         });
     }
     curve
@@ -141,12 +149,21 @@ mod tests {
         let (net, ds) = setup();
         let curve = optimal_port_order_curve(&net, &ds, usize::MAX);
         let last = curve.last();
-        assert!((last.fraction_all - 1.0).abs() < 1e-9, "got {}", last.fraction_all);
+        assert!(
+            (last.fraction_all - 1.0).abs() < 1e-9,
+            "got {}",
+            last.fraction_all
+        );
         assert!((last.fraction_normalized - 1.0).abs() < 1e-9);
         // Bandwidth ≈ one full scan per port, plus the LZR/ZGrab probes
         // spent on each responsive service.
         let ports = ds.test.num_ports() as f64;
-        assert!(last.scans >= ports && last.scans < ports * 1.10, "{} vs {}", last.scans, ports);
+        assert!(
+            last.scans >= ports && last.scans < ports * 1.10,
+            "{} vs {}",
+            last.scans,
+            ports
+        );
     }
 
     #[test]

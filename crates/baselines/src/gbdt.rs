@@ -27,7 +27,10 @@ pub struct SparseMatrix {
 
 impl SparseMatrix {
     pub fn new(num_features: u32) -> Self {
-        SparseMatrix { rows: Vec::new(), num_features }
+        SparseMatrix {
+            rows: Vec::new(),
+            num_features,
+        }
     }
 
     /// Add a row; feature ids are sorted/deduped internally.
@@ -116,7 +119,11 @@ impl Tree {
             match &self.nodes[at] {
                 Node::Leaf { value } => return *value,
                 Node::Split { feature, on, off } => {
-                    at = if features.binary_search(feature).is_ok() { *on } else { *off };
+                    at = if features.binary_search(feature).is_ok() {
+                        *on
+                    } else {
+                        *off
+                    };
                 }
             }
         }
@@ -137,7 +144,12 @@ fn sigmoid(x: f64) -> f64 {
 
 impl Gbdt {
     /// Train on binary labels.
-    pub fn train(matrix: &SparseMatrix, labels: &[bool], params: GbdtParams, rng: &mut Rng) -> Gbdt {
+    pub fn train(
+        matrix: &SparseMatrix,
+        labels: &[bool],
+        params: GbdtParams,
+        rng: &mut Rng,
+    ) -> Gbdt {
         assert_eq!(matrix.num_rows(), labels.len());
         let n = matrix.num_rows();
         let positives = labels.iter().filter(|&&l| l).count().max(1);
@@ -157,7 +169,9 @@ impl Gbdt {
                 hess[i] = (p * (1.0 - p)).max(1e-12);
             }
             let rows: Vec<u32> = if params.subsample < 1.0 {
-                (0..n as u32).filter(|_| rng.chance(params.subsample)).collect()
+                (0..n as u32)
+                    .filter(|_| rng.chance(params.subsample))
+                    .collect()
             } else {
                 (0..n as u32).collect()
             };
@@ -165,12 +179,16 @@ impl Gbdt {
                 break;
             }
             let tree = grow_tree(matrix, &grad, &hess, rows, &params);
-            for i in 0..n {
-                scores[i] += params.learning_rate * tree.predict(matrix, i);
+            for (i, score) in scores.iter_mut().enumerate() {
+                *score += params.learning_rate * tree.predict(matrix, i);
             }
             trees.push(tree);
         }
-        Gbdt { trees, base_score, params }
+        Gbdt {
+            trees,
+            base_score,
+            params,
+        }
     }
 
     /// Raw additive score.
@@ -216,9 +234,9 @@ fn grow_tree(
     queue.push((0, rows, 0));
 
     while let Some((node_idx, rows, depth)) = queue.pop() {
-        let (g_total, h_total) = rows
-            .iter()
-            .fold((0.0, 0.0), |(g, h), &r| (g + grad[r as usize], h + hess[r as usize]));
+        let (g_total, h_total) = rows.iter().fold((0.0, 0.0), |(g, h), &r| {
+            (g + grad[r as usize], h + hess[r as usize])
+        });
 
         let leaf_value = -g_total / (h_total + params.lambda);
         if depth >= params.max_depth || rows.len() < 2 {
@@ -244,8 +262,8 @@ fn grow_tree(
             if h1 < params.min_child_weight || h0 < params.min_child_weight {
                 continue;
             }
-            let gain = g1 * g1 / (h1 + params.lambda) + g0 * g0 / (h0 + params.lambda)
-                - parent_score;
+            let gain =
+                g1 * g1 / (h1 + params.lambda) + g0 * g0 / (h0 + params.lambda) - parent_score;
             // Zero-gain splits are allowed (with a float-noise epsilon):
             // XOR-style interactions have no first-order gain at the root
             // and only resolve one level down (the classic greedy-tree
@@ -265,8 +283,9 @@ fn grow_tree(
         match best {
             None => nodes[node_idx] = Node::Leaf { value: leaf_value },
             Some((feature, _)) => {
-                let (on_rows, off_rows): (Vec<u32>, Vec<u32>) =
-                    rows.into_iter().partition(|&r| matrix.has(r as usize, feature));
+                let (on_rows, off_rows): (Vec<u32>, Vec<u32>) = rows
+                    .into_iter()
+                    .partition(|&r| matrix.has(r as usize, feature));
                 let on = nodes.len();
                 nodes.push(Node::Leaf { value: 0.0 });
                 let off = nodes.len();
@@ -331,10 +350,18 @@ mod tests {
         let model = Gbdt::train(
             &m,
             &y,
-            GbdtParams { n_trees: 40, max_depth: 3, ..Default::default() },
+            GbdtParams {
+                n_trees: 40,
+                max_depth: 3,
+                ..Default::default()
+            },
             &mut rng,
         );
-        assert!(model.predict_proba(&[0]) > 0.8, "{}", model.predict_proba(&[0]));
+        assert!(
+            model.predict_proba(&[0]) > 0.8,
+            "{}",
+            model.predict_proba(&[0])
+        );
         assert!(model.predict_proba(&[1]) > 0.8);
         assert!(model.predict_proba(&[0, 1]) < 0.2);
         assert!(model.predict_proba(&[]) < 0.2);
@@ -391,7 +418,11 @@ mod tests {
         let model = Gbdt::train(
             &m,
             &y,
-            GbdtParams { subsample: 0.5, n_trees: 60, ..Default::default() },
+            GbdtParams {
+                subsample: 0.5,
+                n_trees: 60,
+                ..Default::default()
+            },
             &mut Rng::new(11),
         );
         assert!(model.predict_proba(&[0]) > 0.85);

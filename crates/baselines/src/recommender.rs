@@ -29,7 +29,13 @@ pub struct RecommenderParams {
 
 impl Default for RecommenderParams {
     fn default() -> Self {
-        RecommenderParams { dims: 16, epochs: 12, learning_rate: 0.05, l2: 1e-5, negatives: 4 }
+        RecommenderParams {
+            dims: 16,
+            epochs: 12,
+            learning_rate: 0.05,
+            l2: 1e-5,
+            negatives: 4,
+        }
     }
 }
 
@@ -179,7 +185,16 @@ impl Recommender {
             }
         }
 
-        Recommender { user_space, item_space, user_emb, item_emb, item_bias, dims, asn_of, ports }
+        Recommender {
+            user_space,
+            item_space,
+            user_emb,
+            item_emb,
+            item_bias,
+            dims,
+            asn_of,
+            ports,
+        }
     }
 
     /// Score a port for an IP (cold-start capable: network features only).
@@ -243,10 +258,16 @@ mod tests {
         // A fresh IP in AS 1's /16 should rank web ports above telnet.
         let fresh = Ip(0x0A01_FF00);
         let top = model.top_ports(fresh, Some(1), 2);
-        assert!(top.contains(&Port(80)) && top.contains(&Port(443)), "{top:?}");
+        assert!(
+            top.contains(&Port(80)) && top.contains(&Port(443)),
+            "{top:?}"
+        );
         let fresh2 = Ip(0x0A02_FF00);
         let top2 = model.top_ports(fresh2, Some(2), 2);
-        assert!(top2.contains(&Port(23)) && top2.contains(&Port(7547)), "{top2:?}");
+        assert!(
+            top2.contains(&Port(23)) && top2.contains(&Port(7547)),
+            "{top2:?}"
+        );
     }
 
     #[test]
@@ -269,14 +290,16 @@ mod tests {
         let a = Recommender::train(&data, RecommenderParams::default(), &mut Rng::new(6));
         let b = Recommender::train(&data, RecommenderParams::default(), &mut Rng::new(6));
         let ip = Ip(0x0A01_0001);
-        assert_eq!(a.score(ip, Some(1), Port(80)), b.score(ip, Some(1), Port(80)));
+        assert_eq!(
+            a.score(ip, Some(1), Port(80)),
+            b.score(ip, Some(1), Port(80))
+        );
     }
 
     #[test]
     fn top_ports_k_bounds() {
         let data = synthetic_interactions();
-        let model =
-            Recommender::train(&data, RecommenderParams::default(), &mut Rng::new(7));
+        let model = Recommender::train(&data, RecommenderParams::default(), &mut Rng::new(7));
         assert_eq!(model.top_ports(Ip(1), None, 2).len(), 2);
         // k larger than known ports clamps.
         let all = model.top_ports(Ip(1), None, 100);

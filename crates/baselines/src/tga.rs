@@ -58,13 +58,19 @@ impl EntropyIpModel {
             let o = ip.octets();
             *first.entry(o[0]).or_default() += 1;
             for i in 0..3 {
-                *trans[i].entry(o[i]).or_default().entry(o[i + 1]).or_default() += 1;
+                *trans[i]
+                    .entry(o[i])
+                    .or_default()
+                    .entry(o[i + 1])
+                    .or_default() += 1;
             }
         }
         EntropyIpModel {
             first: normalize(first),
             transitions: trans.map(|t| {
-                t.into_iter().map(|(k, counts)| (k, normalize(counts))).collect()
+                t.into_iter()
+                    .map(|(k, counts)| (k, normalize(counts)))
+                    .collect()
             }),
         }
     }
@@ -140,8 +146,16 @@ impl EipModel {
         let (o3s, o4s) = &self.pools[&prefix];
         // Mix observed low octets with fresh ones (the generative step that
         // lets EIP leave the training sample).
-        let o3 = if rng.chance(0.7) { *rng.choose(o3s) } else { rng.gen_range(256) as u8 };
-        let o4 = if rng.chance(0.3) { *rng.choose(o4s) } else { rng.gen_range(256) as u8 };
+        let o3 = if rng.chance(0.7) {
+            *rng.choose(o3s)
+        } else {
+            rng.gen_range(256) as u8
+        };
+        let o4 = if rng.chance(0.3) {
+            *rng.choose(o4s)
+        } else {
+            rng.gen_range(256) as u8
+        };
         Ip(prefix | ((o3 as u32) << 8) | o4 as u32)
     }
 
@@ -206,7 +220,8 @@ mod tests {
         for ip in model.generate(500, &mut rng) {
             let prefix = ip.0 & 0xFFFF_0000;
             assert!(
-                prefix == Ip::from_octets(10, 1, 0, 0).0 || prefix == Ip::from_octets(10, 2, 0, 0).0,
+                prefix == Ip::from_octets(10, 1, 0, 0).0
+                    || prefix == Ip::from_octets(10, 2, 0, 0).0,
                 "candidate {ip} outside clusters"
             );
         }

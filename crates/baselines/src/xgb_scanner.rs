@@ -102,7 +102,10 @@ pub fn run_xgb_scanner(net: &Internet, dataset: &Dataset, config: &XgbScannerCon
         let mut asns: Vec<u32> = blocks.iter().map(|b| b.asn.0).collect();
         asns.sort_unstable();
         asns.dedup();
-        asns.into_iter().enumerate().map(|(i, a)| (a, asn_base + i as u32)).collect()
+        asns.into_iter()
+            .enumerate()
+            .map(|(i, a)| (a, asn_base + i as u32))
+            .collect()
     };
     let num_features = asn_base + asn_feature.len() as u32;
 
@@ -131,7 +134,11 @@ pub fn run_xgb_scanner(net: &Internet, dataset: &Dataset, config: &XgbScannerCon
                     .iter()
                     .filter(|s| s.alive(dataset.day))
                     .filter(|s| {
-                        dataset.ports.as_ref().map(|ps| ps.contains(s.port)).unwrap_or(true)
+                        dataset
+                            .ports
+                            .as_ref()
+                            .map(|ps| ps.contains(s.port))
+                            .unwrap_or(true)
                     })
                     .map(|s| s.port.0)
                     .collect();
@@ -214,10 +221,7 @@ pub fn run_xgb_scanner(net: &Internet, dataset: &Dataset, config: &XgbScannerCon
                 if tracker.record(ServiceKey::new(Ip(ip), port)) {
                     found_this_port += 1;
                 }
-                observed_open
-                    .entry(ip)
-                    .or_default()
-                    .push(seq_idx as u32);
+                observed_open.entry(ip).or_default().push(seq_idx as u32);
                 let _ = obs;
             } else {
                 tracker.charge_probes(scanner.ledger().total_probes() - before);
@@ -259,7 +263,11 @@ mod tests {
         let config = XgbScannerConfig {
             ports,
             target_coverage: target,
-            gbdt: GbdtParams { n_trees: 15, max_depth: 3, ..Default::default() },
+            gbdt: GbdtParams {
+                n_trees: 15,
+                max_depth: 3,
+                ..Default::default()
+            },
             seed: 3,
         };
         let run = run_xgb_scanner(&net, &ds, &config);

@@ -15,24 +15,33 @@ use gps_synthnet::{Internet, UniverseConfig};
 use gps_types::Ip;
 
 const CONFIGS: [(&str, Interactions); 4] = [
-    ("eq4_transport", Interactions {
-        transport: true,
-        transport_app: false,
-        transport_net: false,
-        transport_app_net: false,
-    }),
-    ("eq4+5_app", Interactions {
-        transport: true,
-        transport_app: true,
-        transport_net: false,
-        transport_app_net: false,
-    }),
-    ("eq4+6_net", Interactions {
-        transport: true,
-        transport_app: false,
-        transport_net: true,
-        transport_app_net: false,
-    }),
+    (
+        "eq4_transport",
+        Interactions {
+            transport: true,
+            transport_app: false,
+            transport_net: false,
+            transport_app_net: false,
+        },
+    ),
+    (
+        "eq4+5_app",
+        Interactions {
+            transport: true,
+            transport_app: true,
+            transport_net: false,
+            transport_app_net: false,
+        },
+    ),
+    (
+        "eq4+6_net",
+        Interactions {
+            transport: true,
+            transport_app: false,
+            transport_net: true,
+            transport_app_net: false,
+        },
+    ),
     ("eq4..7_all", Interactions::ALL),
 ];
 

@@ -9,7 +9,9 @@ fn bench_engine(c: &mut Criterion) {
     let groups: Vec<Vec<u16>> = (0..20_000u32)
         .map(|i| {
             let k = 2 + (i % 5) as u16;
-            (0..k).map(|j| (i as u16).wrapping_mul(31).wrapping_add(j * 997) % 12288).collect()
+            (0..k)
+                .map(|j| (i as u16).wrapping_mul(31).wrapping_add(j * 997) % 12288)
+                .collect()
         })
         .collect();
     let flat: Vec<u16> = groups.iter().flatten().copied().collect();
@@ -22,11 +24,13 @@ fn bench_engine(c: &mut Criterion) {
             Backend::SingleCore => "single",
             _ => "parallel",
         };
-        group.bench_with_input(BenchmarkId::new("group_count", label), &backend, |b, &backend| {
-            b.iter(|| {
-                group_count(&flat, backend, &ExecLedger::new(), |x, sink| sink(*x)).len()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("group_count", label),
+            &backend,
+            |b, &backend| {
+                b.iter(|| group_count(&flat, backend, &ExecLedger::new(), |x, sink| sink(*x)).len())
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("self_join_pairs", label),
             &backend,

@@ -15,7 +15,9 @@ fn synthetic_training_set(rows: usize, features: u32, rng: &mut Rng) -> (SparseM
     let mut labels = Vec::with_capacity(rows);
     for _ in 0..rows {
         let k = 1 + rng.gen_range(6) as usize;
-        let fs: Vec<u32> = (0..k).map(|_| rng.gen_range(features as u64) as u32).collect();
+        let fs: Vec<u32> = (0..k)
+            .map(|_| rng.gen_range(features as u64) as u32)
+            .collect();
         // Label correlated with feature 0 plus noise.
         let label = fs.contains(&0) ^ rng.chance(0.1);
         matrix.push_row(fs);
@@ -36,7 +38,11 @@ fn bench_gbdt(c: &mut Criterion) {
                 Gbdt::train(
                     &matrix,
                     &labels,
-                    GbdtParams { n_trees: 20, max_depth: 4, ..Default::default() },
+                    GbdtParams {
+                        n_trees: 20,
+                        max_depth: 4,
+                        ..Default::default()
+                    },
                     &mut Rng::new(1),
                 )
             })

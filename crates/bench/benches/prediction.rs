@@ -31,13 +31,16 @@ fn bench_prediction(c: &mut Criterion) {
     );
 
     // Priors-scan stand-in: the *next* 20% of hosts.
-    let prior_ips: Vec<Ip> =
-        net.host_ips().iter().skip(take).take(take).map(|&ip| Ip(ip)).collect();
-    let prior_observations =
-        scanner.scan_ip_set(ScanPhase::Priors, prior_ips, &net.all_ports());
+    let prior_ips: Vec<Ip> = net
+        .host_ips()
+        .iter()
+        .skip(take)
+        .take(take)
+        .map(|&ip| Ip(ip))
+        .collect();
+    let prior_observations = scanner.scan_ip_set(ScanPhase::Priors, prior_ips, &net.all_ports());
     let prior_hosts = group_by_host(&prior_observations, &net_features, &asn_of);
-    let known: HashSet<(u32, u16)> =
-        observations.iter().map(|o| (o.ip.0, o.port.0)).collect();
+    let known: HashSet<(u32, u16)> = observations.iter().map(|o| (o.ip.0, o.port.0)).collect();
 
     let mut group = c.benchmark_group("prediction");
     group.sample_size(10);

@@ -27,12 +27,18 @@ fn bench_scanning(c: &mut Criterion) {
     let block = net.topology().blocks()[0].subnet();
     for prefix in [16u8, 20, 24] {
         let subnet = Subnet::of_ip(block.base(), prefix);
-        group.bench_with_input(BenchmarkId::new("subnet_scan", prefix), &subnet, |b, &subnet| {
-            b.iter(|| {
-                let mut scanner = Scanner::new(&net, ScanConfig::default());
-                scanner.scan_subnet_port(ScanPhase::Priors, subnet, top).len()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("subnet_scan", prefix),
+            &subnet,
+            |b, &subnet| {
+                b.iter(|| {
+                    let mut scanner = Scanner::new(&net, ScanConfig::default());
+                    scanner
+                        .scan_subnet_port(ScanPhase::Priors, subnet, top)
+                        .len()
+                })
+            },
+        );
     }
 
     group.bench_function("probe_miss", |b| {
@@ -44,7 +50,9 @@ fn bench_scanning(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("permutation", n), &n, |b, &n| {
             b.iter(|| {
                 let mut rng = Rng::new(7);
-                CyclicPermutation::new(n, &mut rng).take(10_000).sum::<u64>()
+                CyclicPermutation::new(n, &mut rng)
+                    .take(10_000)
+                    .sum::<u64>()
             })
         });
     }

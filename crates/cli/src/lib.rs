@@ -18,29 +18,42 @@ USAGE:
     gps <COMMAND> [OPTIONS]
 
 COMMANDS:
-    universe   Generate the synthetic universe and print its census
-    run        Run the four-phase GPS pipeline on a workload
-    compare    GPS vs exhaustive/oracle baselines at matched coverage
-    expand     Known-host mode (§7): expand a hitlist without a priors scan
-    churn      Measure 10-day service churn (§3)
-    help       Show this message
+    universe      Generate the synthetic universe and print its census
+    run           Run the four-phase GPS pipeline on a workload
+    compare       GPS vs exhaustive/oracle baselines at matched coverage
+    expand        Known-host mode (§7): expand a hitlist without a priors scan
+    churn         Measure 10-day service churn (§3)
+    export-model  Train on a workload and save the artifacts as a snapshot
+    serve         Load a snapshot and answer prediction queries over TCP
+    query         Ask a running server for predictions on one IP
+    help          Show this message
 
 COMMON OPTIONS:
     --seed N            master seed (default 0xC0FFEE)
     --blocks N          number of /16 blocks (default 32 for the CLI)
     --quick             tiny universe for smoke runs
 
-RUN/COMPARE OPTIONS:
+RUN/COMPARE/EXPORT OPTIONS:
     --workload W        censys | lzr          (default censys)
     --seed-fraction F   seed share of address space (default 0.02)
     --step P            scanning step prefix length (default 16)
     --budget B          bandwidth budget in 100%-scan units
     --csv PATH          write the discovery curve as CSV
 
+SERVING OPTIONS:
+    --model PATH        snapshot file (default gps-model.json)
+    --addr A            TCP address (default 127.0.0.1:4615)
+    --shards N          serve worker shards (default: auto)
+    --ip A.B.C.D        query target
+    --open P1,P2        query evidence: ports known open on the target
+    --asn N             query evidence: the target's ASN
+    --top N             max predictions returned
+
 EXAMPLES:
     gps universe --blocks 16
     gps run --workload censys --seed-fraction 0.02 --step 16 --csv curve.csv
     gps compare --workload lzr
-    gps expand
-    gps churn
+    gps export-model --quick --model /tmp/gps-model.json
+    gps serve --model /tmp/gps-model.json --addr 127.0.0.1:4615 --shards 8
+    gps query --addr 127.0.0.1:4615 --ip 10.1.2.3 --open 80
 ";

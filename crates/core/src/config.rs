@@ -137,7 +137,10 @@ impl GpsConfig {
             }
         }
         if !self.interactions.any() {
-            return Err(GpsError::config("interactions", "at least one class required"));
+            return Err(GpsError::config(
+                "interactions",
+                "at least one class required",
+            ));
         }
         if self.curve_points == 0 {
             return Err(GpsError::config("curve_points", "must be > 0"));
@@ -157,11 +160,20 @@ mod tests {
 
     #[test]
     fn rejects_bad_values() {
-        let mut c = GpsConfig { seed_fraction: 0.0, ..Default::default() };
+        let mut c = GpsConfig {
+            seed_fraction: 0.0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        c = GpsConfig { step_prefix: 33, ..Default::default() };
+        c = GpsConfig {
+            step_prefix: 33,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        c = GpsConfig { min_prob: MinProb::Fixed(1.5), ..Default::default() };
+        c = GpsConfig {
+            min_prob: MinProb::Fixed(1.5),
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
         c = GpsConfig {
             interactions: Interactions {
@@ -177,9 +189,10 @@ mod tests {
 
     #[test]
     fn interaction_presets() {
-        assert!(Interactions::ALL.any());
-        assert!(Interactions::TRANSPORT_ONLY.any());
-        assert!(!Interactions::TRANSPORT_ONLY.transport_app);
+        let (all, transport_only) = (Interactions::ALL, Interactions::TRANSPORT_ONLY);
+        assert!(all.any());
+        assert!(transport_only.any());
+        assert!(!transport_only.transport_app);
     }
 
     #[test]

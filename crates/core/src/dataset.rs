@@ -83,8 +83,10 @@ fn apply_port_threshold(
         .filter(|&(_, &c)| c > min_ips_per_port)
         .map(|(&p, _)| p)
         .collect();
-    let filtered: Vec<ServiceKey> =
-        services.into_iter().filter(|s| keep.contains(&s.port.0)).collect();
+    let filtered: Vec<ServiceKey> = services
+        .into_iter()
+        .filter(|s| keep.contains(&s.port.0))
+        .collect();
     let n = keep.len();
     (filtered, n)
 }
@@ -139,8 +141,9 @@ pub fn lzr_dataset(
 ) -> Dataset {
     let sample_count = (net.universe_size() as f64 * sample_fraction).round() as u64;
     let sample: Vec<u32> = {
-        let mut v: Vec<u32> =
-            sample_universe_ips(net, sample_count, split_seed).into_iter().collect();
+        let mut v: Vec<u32> = sample_universe_ips(net, sample_count, split_seed)
+            .into_iter()
+            .collect();
         v.sort_unstable();
         v
     };

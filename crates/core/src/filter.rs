@@ -43,7 +43,10 @@ pub struct FilterStats {
 pub fn filter_pseudo_services(
     observations: Vec<ServiceObservation>,
 ) -> (Vec<ServiceObservation>, FilterStats) {
-    let mut stats = FilterStats { observations_in: observations.len(), ..Default::default() };
+    let mut stats = FilterStats {
+        observations_in: observations.len(),
+        ..Default::default()
+    };
 
     // Pass 1: per-host content histogram + service count.
     #[derive(Default)]
@@ -124,7 +127,9 @@ mod tests {
 
     #[test]
     fn drops_hosts_with_many_services() {
-        let mut input: Vec<_> = (0..25u16).map(|i| obs(9, 1000 + i, 500 + i as u32)).collect();
+        let mut input: Vec<_> = (0..25u16)
+            .map(|i| obs(9, 1000 + i, 500 + i as u32))
+            .collect();
         input.push(obs(1, 80, 7));
         let (out, stats) = filter_pseudo_services(input);
         assert_eq!(out.len(), 1);
@@ -175,7 +180,9 @@ mod tests {
 
     #[test]
     fn boundary_exactly_ten_services_kept() {
-        let input: Vec<_> = (0..10u16).map(|i| obs(6, 100 + i, 900 + i as u32)).collect();
+        let input: Vec<_> = (0..10u16)
+            .map(|i| obs(6, 100 + i, 900 + i as u32))
+            .collect();
         let (out, stats) = filter_pseudo_services(input);
         assert_eq!(out.len(), 10, "exactly 10 services is allowed");
         assert_eq!(stats.hosts_flagged, 0);

@@ -67,7 +67,11 @@ pub fn group_by_host(
         .map(|(ip, mut services)| {
             services.sort_by_key(|s| s.port);
             let ip = Ip(ip);
-            HostRecord { ip, nets: net_keys_for(ip, net_features, asn_of), services }
+            HostRecord {
+                ip,
+                nets: net_keys_for(ip, net_features, asn_of),
+                services,
+            }
         })
         .collect();
     hosts.sort_by_key(|h| h.ip);
@@ -145,7 +149,9 @@ mod tests {
         let ip = Ip::from_octets(10, 20, 30, 40);
         let keys = net_keys_for(ip, &[NetFeature::Slash(16), NetFeature::Asn], &|_| Some(7));
         assert_eq!(keys.len(), 2);
-        assert!(matches!(keys[0], NetKey::Slash(16, base) if base == Ip::from_octets(10, 20, 0, 0).0));
+        assert!(
+            matches!(keys[0], NetKey::Slash(16, base) if base == Ip::from_octets(10, 20, 0, 0).0)
+        );
         assert!(matches!(keys[1], NetKey::Asn(7)));
         // Unknown ASN yields no ASN key.
         let keys = net_keys_for(ip, &[NetFeature::Asn], &|_| None);
@@ -170,7 +176,9 @@ mod tests {
         let service = obs(1, 80, 2);
         let nets = vec![NetKey::Asn(1)];
         let mut keys = Vec::new();
-        service_keys(&service, &nets, Interactions::TRANSPORT_ONLY, &mut |k| keys.push(k));
+        service_keys(&service, &nets, Interactions::TRANSPORT_ONLY, &mut |k| {
+            keys.push(k)
+        });
         assert_eq!(keys, vec![CondKey::Port(Port(80))]);
     }
 

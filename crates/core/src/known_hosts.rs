@@ -45,8 +45,7 @@ impl KnownHostExpander {
     ) -> (KnownHostExpander, crate::model::BuildStats) {
         let hosts = group_by_host(corpus, &config.net_features, asn_of);
         let ledger = gps_engine::ExecLedger::new();
-        let (model, stats) =
-            CondModel::build(&hosts, config.interactions, config.backend, &ledger);
+        let (model, stats) = CondModel::build(&hosts, config.interactions, config.backend, &ledger);
         let rules = FeatureRules::build(&model, &hosts, min_prob);
         (
             KnownHostExpander {
@@ -73,8 +72,7 @@ impl KnownHostExpander {
         asn_of: &dyn Fn(Ip) -> Option<u32>,
     ) -> Vec<Prediction> {
         let hosts: Vec<HostRecord> = group_by_host(hitlist, &self.net_features, asn_of);
-        let known: HashSet<(u32, u16)> =
-            hitlist.iter().map(|o| (o.ip.0, o.port.0)).collect();
+        let known: HashSet<(u32, u16)> = hitlist.iter().map(|o| (o.ip.0, o.port.0)).collect();
         let _ = self.interactions; // rule keys already encode the classes
         build_predictions(&self.rules, &hosts, &known, max_predictions)
     }
@@ -140,7 +138,10 @@ mod tests {
             .filter(|p| hit_hosts.contains(&p.ip.0))
             .filter(|p| net.service(p.ip, p.port, 0).is_some())
             .count();
-        assert!(new_found > hitlist.len() / 4, "found {new_found} new services");
+        assert!(
+            new_found > hitlist.len() / 4,
+            "found {new_found} new services"
+        );
     }
 
     #[test]
@@ -148,8 +149,7 @@ mod tests {
         let net = Internet::generate(&UniverseConfig::tiny(314));
         let (corpus, hitlist) = corpus_and_hitlist(&net);
         let asn_of = |ip: Ip| net.asn_of(ip).map(|a| a.0);
-        let (expander, _) =
-            KnownHostExpander::train(&corpus, &GpsConfig::default(), 1e-4, &asn_of);
+        let (expander, _) = KnownHostExpander::train(&corpus, &GpsConfig::default(), 1e-4, &asn_of);
         let known: HashSet<(u32, u16)> = hitlist.iter().map(|o| (o.ip.0, o.port.0)).collect();
         for p in expander.expand(&hitlist, usize::MAX, &asn_of) {
             assert!(!known.contains(&(p.ip.0, p.port.0)));
@@ -161,11 +161,14 @@ mod tests {
         let net = Internet::generate(&UniverseConfig::tiny(314));
         let (corpus, hitlist) = corpus_and_hitlist(&net);
         let asn_of = |ip: Ip| net.asn_of(ip).map(|a| a.0);
-        let (expander, _) =
-            KnownHostExpander::train(&corpus, &GpsConfig::default(), 1e-4, &asn_of);
+        let (expander, _) = KnownHostExpander::train(&corpus, &GpsConfig::default(), 1e-4, &asn_of);
         let hosts: HashSet<u32> = hitlist.iter().map(|o| o.ip.0).collect();
         for p in expander.expand(&hitlist, usize::MAX, &asn_of) {
-            assert!(hosts.contains(&p.ip.0), "predicted off-hitlist host {}", p.ip);
+            assert!(
+                hosts.contains(&p.ip.0),
+                "predicted off-hitlist host {}",
+                p.ip
+            );
         }
     }
 }

@@ -52,6 +52,7 @@ pub mod model;
 pub mod pipeline;
 pub mod predict;
 pub mod priors;
+pub mod snapshot;
 
 pub use config::{GpsConfig, Interactions, MinProb, NetFeature};
 pub use dataset::{censys_dataset, lzr_dataset, Dataset};
@@ -63,3 +64,4 @@ pub use model::{BuildStats, CondKey, CondModel, KeyStats, NetKey};
 pub use pipeline::{run_gps, GpsRun, PhaseTimings};
 pub use predict::{build_predictions, FeatureRules, Prediction};
 pub use priors::{build_priors_list, PriorsEntry};
+pub use snapshot::{ModelManifest, ModelSnapshot, SnapshotError};

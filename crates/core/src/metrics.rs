@@ -31,7 +31,11 @@ impl GroundTruth {
             *per_port.entry(key.port.0).or_default() += 1;
         }
         let total = set.len() as u64;
-        GroundTruth { services: set, per_port, total }
+        GroundTruth {
+            services: set,
+            per_port,
+            total,
+        }
     }
 
     pub fn contains(&self, key: &ServiceKey) -> bool {
@@ -178,7 +182,10 @@ impl DiscoveryCurve {
 
     /// Smallest bandwidth at which `fraction_all ≥ target`, if reached.
     pub fn scans_to_reach_all(&self, target: f64) -> Option<f64> {
-        self.points.iter().find(|p| p.fraction_all >= target).map(|p| p.scans)
+        self.points
+            .iter()
+            .find(|p| p.fraction_all >= target)
+            .map(|p| p.scans)
     }
 
     /// Smallest bandwidth at which `fraction_normalized ≥ target`.
@@ -215,7 +222,12 @@ impl DiscoveryCurve {
             writeln!(
                 w,
                 "{:.6},{},{},{:.6},{:.6},{:.8}",
-                p.scans, p.discovery_probes, p.found, p.fraction_all, p.fraction_normalized, p.precision
+                p.scans,
+                p.discovery_probes,
+                p.found,
+                p.fraction_all,
+                p.fraction_normalized,
+                p.precision
             )?;
         }
         Ok(())
@@ -327,9 +339,15 @@ mod tests {
         assert_eq!(curve.scans_to_reach_all(0.4), Some(2.0));
         assert_eq!(curve.scans_to_reach_all(1.0), Some(5.0));
         assert_eq!(curve.scans_to_reach_all(1.1), None);
-        assert!((curve.all_at_scans(3.5) - 0.7).abs() < 1e-9, "interpolated midpoint");
+        assert!(
+            (curve.all_at_scans(3.5) - 0.7).abs() < 1e-9,
+            "interpolated midpoint"
+        );
         assert_eq!(curve.all_at_scans(0.5), 0.0, "before first point");
-        assert!((curve.all_at_scans(99.0) - 1.0).abs() < 1e-12, "past the end");
+        assert!(
+            (curve.all_at_scans(99.0) - 1.0).abs() < 1e-12,
+            "past the end"
+        );
     }
 
     #[test]

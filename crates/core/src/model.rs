@@ -41,7 +41,8 @@ impl std::fmt::Display for NetKey {
 
 /// A conditioning tuple: always anchored on an observed port (`Port_b`),
 /// optionally refined by an application feature value and/or a network key.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// The `Ord` impl gives snapshots a canonical key order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum CondKey {
     /// Eq. 4
     Port(Port),
@@ -127,13 +128,18 @@ pub struct BuildStats {
 }
 
 /// The trained model.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CondModel {
     keys: HashMap<CondKey, KeyStats>,
     interactions: Interactions,
 }
 
 impl CondModel {
+    /// Reassemble a model from its stored parts (snapshot deserialization).
+    pub fn from_parts(keys: HashMap<CondKey, KeyStats>, interactions: Interactions) -> CondModel {
+        CondModel { keys, interactions }
+    }
+
     /// Compute the co-occurrence model over host-grouped seed records.
     pub fn build(
         hosts: &[HostRecord],
@@ -196,7 +202,13 @@ impl CondModel {
                 cooccur_entries += targets.len() as u64;
                 let mut targets: Vec<(Port, u32)> = targets.into_iter().collect();
                 targets.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-                (key, KeyStats { hosts: host_count, targets })
+                (
+                    key,
+                    KeyStats {
+                        hosts: host_count,
+                        targets,
+                    },
+                )
             })
             .collect();
 
@@ -218,7 +230,10 @@ impl CondModel {
 
     /// `P(target | key)`; 0.0 for unseen keys.
     pub fn probability(&self, key: &CondKey, target: Port) -> f64 {
-        self.keys.get(key).map(|s| s.probability(target)).unwrap_or(0.0)
+        self.keys
+            .get(key)
+            .map(|s| s.probability(target))
+            .unwrap_or(0.0)
     }
 
     /// Iterate all keys (deterministic order NOT guaranteed).
@@ -266,9 +281,7 @@ impl CondModel {
                     // Port dominate the most-predictive-feature census.
                     let better = match &best {
                         None => true,
-                        Some((_, bk, bp)) => {
-                            p > *bp || (p == *bp && key.class() < bk.class())
-                        }
+                        Some((_, bk, bp)) => p > *bp || (p == *bp && key.class() < bk.class()),
                     };
                     if better {
                         best = Some((idx, key, p));
@@ -314,7 +327,13 @@ mod tests {
     }
 
     fn build(hosts: &[HostRecord]) -> CondModel {
-        CondModel::build(hosts, Interactions::ALL, Backend::SingleCore, &ExecLedger::new()).0
+        CondModel::build(
+            hosts,
+            Interactions::ALL,
+            Backend::SingleCore,
+            &ExecLedger::new(),
+        )
+        .0
     }
 
     #[test]
@@ -342,7 +361,10 @@ mod tests {
         assert!((p - 1.0).abs() < 1e-12);
         // Feature 8 host runs nothing else.
         let f8 = FeatureValue::new(FeatureKind::HttpServer, Sym(8));
-        assert_eq!(model.probability(&CondKey::PortApp(Port(80), f8), Port(443)), 0.0);
+        assert_eq!(
+            model.probability(&CondKey::PortApp(Port(80), f8), Port(443)),
+            0.0
+        );
     }
 
     #[test]
@@ -359,10 +381,13 @@ mod tests {
     fn backends_agree() {
         let hosts = simple_hosts();
         let ledger = ExecLedger::new();
-        let (single, _) =
-            CondModel::build(&hosts, Interactions::ALL, Backend::SingleCore, &ledger);
-        let (par, _) =
-            CondModel::build(&hosts, Interactions::ALL, Backend::Parallel { workers: 4 }, &ledger);
+        let (single, _) = CondModel::build(&hosts, Interactions::ALL, Backend::SingleCore, &ledger);
+        let (par, _) = CondModel::build(
+            &hosts,
+            Interactions::ALL,
+            Backend::Parallel { workers: 4 },
+            &ledger,
+        );
         assert_eq!(single.len(), par.len());
         for (key, stats) in single.iter() {
             let other = par.stats(key).expect("key in both");
@@ -418,8 +443,7 @@ mod tests {
     fn build_stats_are_plausible() {
         let hosts = simple_hosts();
         let ledger = ExecLedger::new();
-        let (_, stats) =
-            CondModel::build(&hosts, Interactions::ALL, Backend::SingleCore, &ledger);
+        let (_, stats) = CondModel::build(&hosts, Interactions::ALL, Backend::SingleCore, &ledger);
         assert_eq!(stats.hosts_in, 3);
         assert_eq!(stats.multi_service_hosts, 2);
         assert!(stats.distinct_keys > 0);

@@ -141,7 +141,8 @@ pub fn run_gps(net: &Internet, dataset: &Dataset, config: &GpsConfig) -> GpsRun 
         v.into_iter().map(Ip).collect()
     };
     let raw_seed = scanner.scan_ip_set(ScanPhase::Seed, seed_ips.iter().copied(), &ports);
-    let seed_scan_time = rate_model.scan_time(ScanPhase::Seed, scanner.ledger().bytes(ScanPhase::Seed));
+    let seed_scan_time =
+        rate_model.scan_time(ScanPhase::Seed, scanner.ledger().bytes(ScanPhase::Seed));
 
     // Appendix B filter, then the dataset's ports-with->N-IPs filter.
     let seed_observations_raw = raw_seed.len();
@@ -155,8 +156,12 @@ pub fn run_gps(net: &Internet, dataset: &Dataset, config: &GpsConfig) -> GpsRun 
     // ----------------------------------------------------- phase 2: model
     let engine_ledger = ExecLedger::new();
     let t0 = Instant::now();
-    let (model, model_stats) =
-        CondModel::build(&seed_hosts, config.interactions, config.backend, &engine_ledger);
+    let (model, model_stats) = CondModel::build(
+        &seed_hosts,
+        config.interactions,
+        config.backend,
+        &engine_ledger,
+    );
     let model_build = t0.elapsed();
 
     // ------------------------------------------------ phase 3: priors scan
@@ -168,8 +173,7 @@ pub fn run_gps(net: &Internet, dataset: &Dataset, config: &GpsConfig) -> GpsRun 
     let mut curve = DiscoveryCurve::default();
     curve.push(tracker.snapshot(scanner.ledger().full_scans(universe)));
 
-    let mut known: HashSet<(u32, u16)> =
-        filtered.iter().map(|o| (o.ip.0, o.port.0)).collect();
+    let mut known: HashSet<(u32, u16)> = filtered.iter().map(|o| (o.ip.0, o.port.0)).collect();
     let mut prior_observations: Vec<ServiceObservation> = Vec::new();
     let mut truncated = false;
     let mut priors_scanned = 0usize;
@@ -225,10 +229,7 @@ pub fn run_gps(net: &Internet, dataset: &Dataset, config: &GpsConfig) -> GpsRun 
             *predictions_per_port.entry(p.port.0).or_default() += 1;
         }
         let before = scanner.ledger().total_probes();
-        let found = scanner.scan_targets(
-            ScanPhase::Predict,
-            chunk.iter().map(|p| (p.ip, p.port)),
-        );
+        let found = scanner.scan_targets(ScanPhase::Predict, chunk.iter().map(|p| (p.ip, p.port)));
         tracker.charge_probes(scanner.ledger().total_probes() - before);
         for obs in found {
             tracker.record(obs.key());
@@ -237,8 +238,10 @@ pub fn run_gps(net: &Internet, dataset: &Dataset, config: &GpsConfig) -> GpsRun 
         predictions_scanned += chunk.len();
         curve.push(tracker.snapshot(scanner.ledger().full_scans(universe)));
     }
-    let predict_scan_time =
-        rate_model.scan_time(ScanPhase::Predict, scanner.ledger().bytes(ScanPhase::Predict));
+    let predict_scan_time = rate_model.scan_time(
+        ScanPhase::Predict,
+        scanner.ledger().bytes(ScanPhase::Predict),
+    );
 
     // ------------------------------------- optional §6.3 residual probing
     if config.residual_random && !truncated {
@@ -356,13 +359,14 @@ fn residual_random_phase(
         .map(|p| p.len() as u64)
         .unwrap_or(port_space);
     let total_pairs = visible_ips.saturating_mul(num_ports);
-    let remaining =
-        dataset.test.total().saturating_sub(tracker.found_count()) as f64;
+    let remaining = dataset.test.total().saturating_sub(tracker.found_count()) as f64;
     if remaining <= 0.0 || total_pairs == 0 {
         return;
     }
     let base_probes = ledger.total_probes();
-    let available = budget_probes.saturating_sub(base_probes).min(total_pairs * 4);
+    let available = budget_probes
+        .saturating_sub(base_probes)
+        .min(total_pairs * 4);
     let steps = 24u64;
     for i in 1..=steps {
         let extra = available / steps * i;
@@ -403,7 +407,11 @@ mod tests {
         let net = net();
         let ds = censys_dataset(&net, 200, 0.05, 0, 1);
         let run = run_gps(&net, &ds, &quick_config());
-        assert!(run.seed_observations > 100, "seed too small: {}", run.seed_observations);
+        assert!(
+            run.seed_observations > 100,
+            "seed too small: {}",
+            run.seed_observations
+        );
         assert!(run.model_stats.distinct_keys > 100);
         assert!(run.priors_scanned > 0);
         assert!(run.predictions_total > 0);
@@ -412,7 +420,9 @@ mod tests {
         // Curve is monotone in bandwidth and coverage.
         let pts = &run.curve.points;
         assert!(pts.windows(2).all(|w| w[0].scans <= w[1].scans));
-        assert!(pts.windows(2).all(|w| w[0].fraction_all <= w[1].fraction_all));
+        assert!(pts
+            .windows(2)
+            .all(|w| w[0].fraction_all <= w[1].fraction_all));
     }
 
     #[test]
@@ -432,19 +442,27 @@ mod tests {
         let ds = censys_dataset(&net, 200, 0.05, 0, 1);
         let unbounded = run_gps(&net, &ds, &quick_config());
         let total = unbounded.total_scans();
-        let seed = unbounded.ledger.full_scans_phase(ScanPhase::Seed, net.universe_size());
+        let seed = unbounded
+            .ledger
+            .full_scans_phase(ScanPhase::Seed, net.universe_size());
         assert!(total > seed, "discovery phases must cost something");
         // A budget halfway between the sunk seed cost and the full run must
         // cut discovery short.
         let budget = seed + (total - seed) * 0.5;
-        let config = GpsConfig { budget_scans: Some(budget), ..quick_config() };
+        let config = GpsConfig {
+            budget_scans: Some(budget),
+            ..quick_config()
+        };
         let bounded = run_gps(&net, &ds, &config);
         assert!(bounded.truncated_by_budget);
         // The budget gate pre-checks each work unit's SYN sweep; the
         // response chain (LZR+ZGrab ≈ 2 probes per responsive service) can
         // overshoot by a hair.
-        assert!(bounded.total_scans() <= budget * 1.05 + 0.05,
-            "{} vs budget {budget}", bounded.total_scans());
+        assert!(
+            bounded.total_scans() <= budget * 1.05 + 0.05,
+            "{} vs budget {budget}",
+            bounded.total_scans()
+        );
         assert!(bounded.fraction_of_services() <= unbounded.fraction_of_services());
     }
 
@@ -452,9 +470,16 @@ mod tests {
     fn lzr_run_works_on_all_ports() {
         let net = net();
         let ds = lzr_dataset(&net, 0.3, 0.5, 2, 0, 2);
-        let config = GpsConfig { seed_fraction: 0.15, ..quick_config() };
+        let config = GpsConfig {
+            seed_fraction: 0.15,
+            ..quick_config()
+        };
         let run = run_gps(&net, &ds, &config);
-        assert!(run.fraction_of_services() > 0.3, "got {}", run.fraction_of_services());
+        assert!(
+            run.fraction_of_services() > 0.3,
+            "got {}",
+            run.fraction_of_services()
+        );
         // Normalized is harder than raw coverage on all-port datasets.
         assert!(run.fraction_normalized() <= run.fraction_of_services() + 0.1);
     }
@@ -477,12 +502,18 @@ mod tests {
         let single = run_gps(
             &net,
             &ds,
-            &GpsConfig { backend: gps_engine::Backend::SingleCore, ..quick_config() },
+            &GpsConfig {
+                backend: gps_engine::Backend::SingleCore,
+                ..quick_config()
+            },
         );
         let parallel = run_gps(
             &net,
             &ds,
-            &GpsConfig { backend: gps_engine::Backend::parallel(), ..quick_config() },
+            &GpsConfig {
+                backend: gps_engine::Backend::parallel(),
+                ..quick_config()
+            },
         );
         assert_eq!(single.found, parallel.found);
         assert_eq!(single.predictions_total, parallel.predictions_total);
@@ -492,8 +523,22 @@ mod tests {
     fn smaller_step_uses_less_priors_bandwidth() {
         let net = net();
         let ds = censys_dataset(&net, 100, 0.05, 0, 9);
-        let big = run_gps(&net, &ds, &GpsConfig { step_prefix: 16, ..quick_config() });
-        let small = run_gps(&net, &ds, &GpsConfig { step_prefix: 24, ..quick_config() });
+        let big = run_gps(
+            &net,
+            &ds,
+            &GpsConfig {
+                step_prefix: 16,
+                ..quick_config()
+            },
+        );
+        let small = run_gps(
+            &net,
+            &ds,
+            &GpsConfig {
+                step_prefix: 24,
+                ..quick_config()
+            },
+        );
         assert!(
             small.ledger.probes(ScanPhase::Priors) < big.ledger.probes(ScanPhase::Priors),
             "/24 priors must cost less than /16"
@@ -521,7 +566,10 @@ mod tests {
         }
         let p = resolve_min_prob(MinProb::Auto, &observations, 1000);
         assert!((p - 3.0 / 1000.0).abs() < 1e-12);
-        assert_eq!(resolve_min_prob(MinProb::Fixed(0.5), &observations, 1000), 0.5);
+        assert_eq!(
+            resolve_min_prob(MinProb::Fixed(0.5), &observations, 1000),
+            0.5
+        );
         assert_eq!(resolve_min_prob(MinProb::Auto, &[], 1000), 1e-5);
     }
 }

@@ -20,13 +20,19 @@ use crate::host::HostRecord;
 use crate::model::{CondKey, CondModel};
 
 /// The "most predictive feature values" list: tuple → predicted ports.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct FeatureRules {
     rules: HashMap<CondKey, Vec<(Port, f64)>>,
     num_rules: usize,
 }
 
 impl FeatureRules {
+    /// Reassemble rules from stored parts (snapshot deserialization).
+    pub fn from_parts(rules: HashMap<CondKey, Vec<(Port, f64)>>) -> FeatureRules {
+        let num_rules = rules.values().map(Vec::len).sum();
+        FeatureRules { rules, num_rules }
+    }
+
     /// Step 1: scan every seed service, keep its argmax feature tuple.
     pub fn build(model: &CondModel, seed_hosts: &[HostRecord], min_prob: f64) -> FeatureRules {
         let mut rules: HashMap<CondKey, HashMap<Port, f64>> = HashMap::new();
@@ -140,7 +146,11 @@ pub fn build_predictions(
 
     let mut predictions: Vec<Prediction> = best
         .into_iter()
-        .map(|((ip, port), prob)| Prediction { ip: Ip(ip), port: Port(port), prob })
+        .map(|((ip, port), prob)| Prediction {
+            ip: Ip(ip),
+            port: Port(port),
+            prob,
+        })
         .collect();
     // Descending predictability; deterministic tiebreak.
     predictions.sort_by(|a, b| {
@@ -185,8 +195,12 @@ mod tests {
             observations.push(obs(ip, 8082, None));
         }
         let hosts = group_by_host(&observations, &[NetFeature::Slash(16)], &|_| None);
-        let (model, _) =
-            CondModel::build(&hosts, Interactions::ALL, Backend::SingleCore, &ExecLedger::new());
+        let (model, _) = CondModel::build(
+            &hosts,
+            Interactions::ALL,
+            Backend::SingleCore,
+            &ExecLedger::new(),
+        );
         (hosts, model)
     }
 
@@ -204,8 +218,10 @@ mod tests {
         assert!((targets[0].1 - 1.0).abs() < 1e-12);
         // The refined tuple was not selected (it tied, and ties prefer
         // simpler keys).
-        let refined =
-            CondKey::PortApp(Port(80), FeatureValue::new(FeatureKind::HttpBodyHash, Sym(7)));
+        let refined = CondKey::PortApp(
+            Port(80),
+            FeatureValue::new(FeatureKind::HttpBodyHash, Sym(7)),
+        );
         assert!(rules.get(&refined).is_none());
     }
 
@@ -223,11 +239,17 @@ mod tests {
         let (hosts, model) = trained();
         let rules = FeatureRules::build(&model, &hosts, 1e-5);
         // A new host seen in the priors scan with the same banner on 80.
-        let prior = group_by_host(&[obs(100, 80, Some(7))], &[NetFeature::Slash(16)], &|_| None);
+        let prior = group_by_host(&[obs(100, 80, Some(7))], &[NetFeature::Slash(16)], &|_| {
+            None
+        });
         let known = HashSet::new();
         let preds = build_predictions(&rules, &prior, &known, 1000);
-        assert!(preds.iter().any(|p| p.ip == Ip(100) && p.port == Port(8082)),
-            "must predict 8082 on the new host: {preds:?}");
+        assert!(
+            preds
+                .iter()
+                .any(|p| p.ip == Ip(100) && p.port == Port(8082)),
+            "must predict 8082 on the new host: {preds:?}"
+        );
         // Highest-probability first.
         assert!(preds.windows(2).all(|w| w[0].prob >= w[1].prob));
     }
@@ -244,14 +266,20 @@ mod tests {
         );
         let preds = build_predictions(&rules, &prior, &HashSet::new(), 1000);
         assert!(
-            !preds.iter().any(|p| p.ip == Ip(100) && p.port == Port(8082)),
+            !preds
+                .iter()
+                .any(|p| p.ip == Ip(100) && p.port == Port(8082)),
             "open port must not be re-predicted"
         );
         // Same via the known set.
-        let prior = group_by_host(&[obs(100, 80, Some(7))], &[NetFeature::Slash(16)], &|_| None);
+        let prior = group_by_host(&[obs(100, 80, Some(7))], &[NetFeature::Slash(16)], &|_| {
+            None
+        });
         let known: HashSet<(u32, u16)> = [(100u32, 8082u16)].into_iter().collect();
         let preds = build_predictions(&rules, &prior, &known, 1000);
-        assert!(!preds.iter().any(|p| p.ip == Ip(100) && p.port == Port(8082)));
+        assert!(!preds
+            .iter()
+            .any(|p| p.ip == Ip(100) && p.port == Port(8082)));
     }
 
     #[test]
@@ -260,7 +288,11 @@ mod tests {
         let rules = FeatureRules::build(&model, &hosts, 1e-5);
         // Different banner (Sym 9) and different /16 ⇒ only the bare Port
         // key might match.
-        let prior = group_by_host(&[obs(0xFF000001, 4444, Some(9))], &[NetFeature::Slash(16)], &|_| None);
+        let prior = group_by_host(
+            &[obs(0xFF000001, 4444, Some(9))],
+            &[NetFeature::Slash(16)],
+            &|_| None,
+        );
         let preds = build_predictions(&rules, &prior, &HashSet::new(), 1000);
         assert!(preds.is_empty(), "{preds:?}");
     }

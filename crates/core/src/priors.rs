@@ -45,7 +45,9 @@ pub fn build_priors_list(
         if host.services.len() == 1 {
             // Step 1: the sole service is the first (and only) service that
             // must be found.
-            *coverage.entry((host.services[0].port, step_subnet)).or_default() += 1;
+            *coverage
+                .entry((host.services[0].port, step_subnet))
+                .or_default() += 1;
             continue;
         }
         // Step 2: for every service, the most predictive sibling's port.
@@ -66,7 +68,11 @@ pub fn build_priors_list(
 
     let mut list: Vec<PriorsEntry> = coverage
         .into_iter()
-        .map(|((port, subnet), coverage)| PriorsEntry { port, subnet, coverage })
+        .map(|((port, subnet), coverage)| PriorsEntry {
+            port,
+            subnet,
+            coverage,
+        })
         .collect();
     // Step 4: descending coverage; deterministic tiebreak.
     list.sort_by(|a, b| {
@@ -101,8 +107,12 @@ mod tests {
 
     fn hosts_and_model(observations: Vec<ServiceObservation>) -> (Vec<HostRecord>, CondModel) {
         let hosts = group_by_host(&observations, &[NetFeature::Slash(16)], &|_| None);
-        let (model, _) =
-            CondModel::build(&hosts, Interactions::ALL, Backend::SingleCore, &ExecLedger::new());
+        let (model, _) = CondModel::build(
+            &hosts,
+            Interactions::ALL,
+            Backend::SingleCore,
+            &ExecLedger::new(),
+        );
         (hosts, model)
     }
 
@@ -130,12 +140,18 @@ mod tests {
         let (hosts, model) = hosts_and_model(observations);
         let list = build_priors_list(&model, &hosts, 16);
         // All IPs share one /16 ⇒ tuples keyed by port only here.
-        let port2222 = list.iter().find(|e| e.port == Port(2222)).expect("2222 chosen");
+        let port2222 = list
+            .iter()
+            .find(|e| e.port == Port(2222))
+            .expect("2222 chosen");
         // 2222 helps predict both (ip1, 80) and (ip2, 80), and is itself the
         // best-predicted service for nobody... coverage ≥ 2.
         assert!(port2222.coverage >= 2, "coverage {}", port2222.coverage);
         // Eight single-service hosts keep (80, net).
-        let port80 = list.iter().find(|e| e.port == Port(80)).expect("80 present");
+        let port80 = list
+            .iter()
+            .find(|e| e.port == Port(80))
+            .expect("80 present");
         assert!(port80.coverage >= 8);
     }
 
@@ -164,8 +180,7 @@ mod tests {
     #[test]
     fn distinct_subnets_make_distinct_tuples() {
         // Same port, two /16s → two tuples.
-        let (hosts, model) =
-            hosts_and_model(vec![obs(0x0A000001, 80), obs(0x0B000001, 80)]);
+        let (hosts, model) = hosts_and_model(vec![obs(0x0A000001, 80), obs(0x0B000001, 80)]);
         let list = build_priors_list(&model, &hosts, 16);
         assert_eq!(list.len(), 2);
         assert!(list.iter().all(|e| e.port == Port(80)));

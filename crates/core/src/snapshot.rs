@@ -1,0 +1,903 @@
+//! Persistent model artifacts.
+//!
+//! Everything `run_gps` trains — the conditional-probability model (Eq.
+//! 4–7), the "most predictive feature values" rules list (§5.4), and the
+//! priors scan list (§5.3) — can be saved to a single versioned snapshot
+//! file and reloaded later by the serving subsystem (`gps-serve`) without
+//! re-running the pipeline. This is what turns the repo from a one-shot
+//! batch reproduction into a servable system: train once with
+//! `gps export-model`, answer prediction queries for as long as the model
+//! stays fresh with `gps serve`.
+//!
+//! ## Format
+//!
+//! One JSON document (see `gps_types::json` for why JSON and not serde):
+//!
+//! ```text
+//! {"manifest": {format, universe_seed, dataset, config, stats, checksum},
+//!  "body": {"model": ..., "rules": ..., "priors": ...}}
+//! ```
+//!
+//! The manifest's `checksum` field is FNV-1a over the canonical
+//! serialization of the manifest (checksum zeroed) followed by the
+//! canonical serialization of `body`; `load` re-serializes the parsed
+//! document (the writer is deterministic, so this is byte-identical to
+//! what `save` hashed) and rejects mismatches — corrupting manifest
+//! fields that drive serving (step_prefix, net_features) fails the same
+//! check as body corruption. Version checks are split by field:
+//! a different `format` major is rejected, a newer minor is accepted
+//! (minor bumps may only add fields, which the parser ignores).
+//!
+//! Interned symbols (`Sym`) are stored as raw `u32`s: they are only
+//! meaningful together with the universe that produced them, which is
+//! itself a pure function of the recorded `universe_seed`.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::path::Path;
+
+use gps_types::json::{fnv64, u64_from_hex, u64_to_hex, Json};
+use gps_types::{FeatureKind, FeatureValue, GpsError, Port, Subnet, Sym};
+
+use crate::config::{GpsConfig, Interactions, NetFeature};
+use crate::model::{CondKey, CondModel, KeyStats, NetKey};
+use crate::pipeline::GpsRun;
+use crate::predict::FeatureRules;
+use crate::priors::PriorsEntry;
+
+/// Snapshot format version. Major changes break compatibility; minor
+/// changes only add fields.
+pub const FORMAT_MAJOR: u32 = 1;
+pub const FORMAT_MINOR: u32 = 0;
+
+/// Descriptive header of a snapshot: enough to decide whether to trust and
+/// how to query the artifact without deserializing the body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelManifest {
+    pub format: (u32, u32),
+    /// Seed of the synthetic universe the model was trained against.
+    pub universe_seed: u64,
+    pub dataset_name: String,
+    /// §5.3 scanning step: the prefix length priors entries are keyed on.
+    /// The serving layer maps query IPs to subnets of this length.
+    pub step_prefix: u8,
+    /// The resolved §5.4 discard threshold used at training time.
+    pub min_prob: f64,
+    pub interactions: Interactions,
+    pub net_features: Vec<NetFeature>,
+    /// Training-set size (model build input).
+    pub hosts_in: usize,
+    pub distinct_keys: usize,
+    pub cooccur_entries: u64,
+    pub num_rules: usize,
+    pub num_priors: usize,
+    /// FNV-1a over the canonical manifest (this field zeroed) + body
+    /// serializations.
+    pub checksum: u64,
+}
+
+/// A trained, persistable GPS model: manifest + the three artifacts.
+#[derive(Debug, Clone)]
+pub struct ModelSnapshot {
+    pub manifest: ModelManifest,
+    pub model: CondModel,
+    pub rules: FeatureRules,
+    pub priors: Vec<PriorsEntry>,
+}
+
+/// Errors from snapshot persistence.
+#[derive(Debug)]
+pub enum SnapshotError {
+    Io(std::io::Error),
+    Malformed(GpsError),
+    /// The file's major version is not this build's major version.
+    Version {
+        found: (u32, u32),
+        supported: (u32, u32),
+    },
+    Checksum {
+        expected: u64,
+        computed: u64,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot io error: {e}"),
+            SnapshotError::Malformed(e) => write!(f, "malformed snapshot: {e}"),
+            SnapshotError::Version { found, supported } => write!(
+                f,
+                "unsupported snapshot format {}.{} (this build supports {}.x)",
+                found.0, found.1, supported.0
+            ),
+            SnapshotError::Checksum { expected, computed } => write!(
+                f,
+                "snapshot checksum mismatch: manifest says {expected:016x}, body hashes to {computed:016x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+impl From<GpsError> for SnapshotError {
+    fn from(e: GpsError) -> Self {
+        SnapshotError::Malformed(e)
+    }
+}
+
+impl ModelSnapshot {
+    /// Package the artifacts of a finished [`GpsRun`] for persistence.
+    pub fn from_run(run: &GpsRun, config: &GpsConfig, universe_seed: u64) -> ModelSnapshot {
+        let mut snapshot = ModelSnapshot {
+            manifest: ModelManifest {
+                format: (FORMAT_MAJOR, FORMAT_MINOR),
+                universe_seed,
+                dataset_name: run.dataset_name.clone(),
+                step_prefix: config.step_prefix,
+                min_prob: run.min_prob_used,
+                interactions: config.interactions,
+                net_features: config.net_features.clone(),
+                hosts_in: run.model_stats.hosts_in,
+                distinct_keys: run.model_stats.distinct_keys,
+                cooccur_entries: run.model_stats.cooccur_entries,
+                num_rules: run.rules.len(),
+                num_priors: run.priors_list.len(),
+                checksum: 0,
+            },
+            model: run.model.clone(),
+            rules: run.rules.clone(),
+            priors: run.priors_list.clone(),
+        };
+        snapshot.manifest.checksum = checksum_of(&snapshot.manifest, &snapshot.body_text());
+        snapshot
+    }
+
+    /// Serialize the snapshot to its on-disk JSON text.
+    pub fn to_json_string(&self) -> String {
+        // The body is serialized exactly once and spliced in, so the bytes
+        // the checksum covers are the bytes written. The checksum is always
+        // recomputed here: the fields are public, so the snapshot may have
+        // been edited since construction and a stored stale checksum would
+        // produce a file that can never be loaded.
+        let body = self.body_text();
+        let manifest = manifest_to_json(&ModelManifest {
+            checksum: checksum_of(&self.manifest, &body),
+            ..self.manifest.clone()
+        });
+        let mut manifest_text = String::new();
+        manifest.write(&mut manifest_text);
+        format!("{{\"manifest\":{manifest_text},\"body\":{body}}}")
+    }
+
+    /// Parse a snapshot from its on-disk JSON text, verifying version and
+    /// checksum.
+    pub fn from_json_str(text: &str) -> Result<ModelSnapshot, SnapshotError> {
+        Self::from_json_impl(text, true)
+    }
+
+    fn from_json_impl(text: &str, with_model: bool) -> Result<ModelSnapshot, SnapshotError> {
+        let doc = Json::parse(text)?;
+        let manifest = manifest_from_json(doc.req("manifest")?)?;
+        if manifest.format.0 != FORMAT_MAJOR {
+            return Err(SnapshotError::Version {
+                found: manifest.format,
+                supported: (FORMAT_MAJOR, FORMAT_MINOR),
+            });
+        }
+        let body = doc.req("body")?;
+        let mut body_text = String::new();
+        body.write(&mut body_text);
+        let computed = checksum_of(&manifest, &body_text);
+        if computed != manifest.checksum {
+            return Err(SnapshotError::Checksum {
+                expected: manifest.checksum,
+                computed,
+            });
+        }
+
+        let interactions = manifest.interactions;
+        let mut keys: HashMap<CondKey, KeyStats> = HashMap::new();
+        if with_model {
+            let model_json = body.req("model")?;
+            let key_rows = model_json
+                .req("keys")?
+                .as_arr()
+                .ok_or_else(|| malformed("model keys must be an array"))?;
+            for entry in key_rows {
+                let row = entry
+                    .as_arr()
+                    .ok_or_else(|| malformed("model key row must be an array"))?;
+                if row.len() != 3 {
+                    return Err(malformed("model key row must be [key, hosts, targets]").into());
+                }
+                let key = key_from_json(&row[0])?;
+                let hosts = row[1].as_u64().ok_or_else(|| malformed("bad host count"))? as u32;
+                let targets = targets_from_json(&row[2])?
+                    .into_iter()
+                    .map(|(p, v)| (p, v as u32))
+                    .collect();
+                keys.insert(key, KeyStats { hosts, targets });
+            }
+        }
+        let model = CondModel::from_parts(keys, interactions);
+
+        let rule_rows = body
+            .req("rules")?
+            .as_arr()
+            .ok_or_else(|| malformed("rules must be an array"))?;
+        let mut rules: HashMap<CondKey, Vec<(Port, f64)>> = HashMap::new();
+        for entry in rule_rows {
+            let row = entry
+                .as_arr()
+                .ok_or_else(|| malformed("rule row must be an array"))?;
+            if row.len() != 2 {
+                return Err(malformed("rule row must be [key, targets]").into());
+            }
+            rules.insert(key_from_json(&row[0])?, targets_from_json(&row[1])?);
+        }
+        let rules = FeatureRules::from_parts(rules);
+
+        let prior_rows = body
+            .req("priors")?
+            .as_arr()
+            .ok_or_else(|| malformed("priors must be an array"))?;
+        let mut priors = Vec::new();
+        for entry in prior_rows {
+            let row = entry
+                .as_arr()
+                .ok_or_else(|| malformed("priors row must be an array"))?;
+            if row.len() != 4 {
+                return Err(malformed("priors row must be [port, base, prefix, coverage]").into());
+            }
+            let port = Port(
+                row[0]
+                    .as_u64()
+                    .and_then(|v| u16::try_from(v).ok())
+                    .ok_or_else(|| malformed("bad priors port"))?,
+            );
+            let base = row[1]
+                .as_u64()
+                .and_then(|v| u32::try_from(v).ok())
+                .ok_or_else(|| malformed("bad priors base"))?;
+            let prefix = row[2]
+                .as_u64()
+                .and_then(|v| u8::try_from(v).ok())
+                .filter(|&p| p <= 32)
+                .ok_or_else(|| malformed("bad priors prefix"))?;
+            let coverage = row[3]
+                .as_u64()
+                .ok_or_else(|| malformed("bad priors coverage"))?;
+            priors.push(PriorsEntry {
+                port,
+                subnet: Subnet::of_ip(gps_types::Ip(base), prefix),
+                coverage,
+            });
+        }
+
+        Ok(ModelSnapshot {
+            manifest,
+            model,
+            rules,
+            priors,
+        })
+    }
+
+    /// Write the snapshot to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+        // Write-then-rename so a crash mid-write (or a concurrent reader)
+        // never sees a truncated artifact and never loses the previous
+        // good one.
+        let path = path.as_ref();
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.to_json_string())?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Read, version-check, and checksum-verify a snapshot file.
+    pub fn load(path: impl AsRef<Path>) -> Result<ModelSnapshot, SnapshotError> {
+        let text = std::fs::read_to_string(path)?;
+        Self::from_json_str(&text)
+    }
+
+    /// Like [`load`](Self::load), but skips materializing the
+    /// co-occurrence model — usually the largest section, and unused by
+    /// the serving layer (which answers from rules + priors). The
+    /// checksum still covers the full file; the returned snapshot's
+    /// `model` is empty.
+    pub fn load_serving(path: impl AsRef<Path>) -> Result<ModelSnapshot, SnapshotError> {
+        let text = std::fs::read_to_string(path)?;
+        Self::from_json_impl(&text, false)
+    }
+
+    /// Canonical serialization of the three artifacts (the checksummed
+    /// bytes). Keys are sorted so identical models produce identical files.
+    fn body_text(&self) -> String {
+        let mut model_keys: Vec<(&CondKey, &KeyStats)> = self.model.iter().collect();
+        model_keys.sort_by_key(|(k, _)| **k);
+        let keys_json: Vec<Json> = model_keys
+            .into_iter()
+            .map(|(key, stats)| {
+                Json::Arr(vec![
+                    key_to_json(key),
+                    Json::Num(stats.hosts as f64),
+                    targets_to_json(stats.targets.iter().map(|&(p, c)| (p, c as f64))),
+                ])
+            })
+            .collect();
+        let mut model_json = Json::obj();
+        model_json.set("keys", keys_json);
+
+        let mut rule_rows: Vec<(&CondKey, &Vec<(Port, f64)>)> = self.rules.iter().collect();
+        rule_rows.sort_by_key(|(k, _)| **k);
+        let rules_json: Vec<Json> = rule_rows
+            .into_iter()
+            .map(|(key, targets)| {
+                Json::Arr(vec![
+                    key_to_json(key),
+                    targets_to_json(targets.iter().copied()),
+                ])
+            })
+            .collect();
+
+        let priors_json: Vec<Json> = self
+            .priors
+            .iter()
+            .map(|e| {
+                Json::Arr(vec![
+                    Json::Num(e.port.0 as f64),
+                    Json::Num(e.subnet.base().0 as f64),
+                    Json::Num(e.subnet.prefix_len() as f64),
+                    Json::Num(e.coverage as f64),
+                ])
+            })
+            .collect();
+
+        let mut body = Json::obj();
+        body.set("model", model_json)
+            .set("rules", rules_json)
+            .set("priors", priors_json);
+        let mut text = String::new();
+        body.write(&mut text);
+        text
+    }
+}
+
+fn malformed(reason: &'static str) -> GpsError {
+    GpsError::parse("snapshot", "", reason)
+}
+
+/// FNV-1a over the canonical manifest serialization (checksum field
+/// zeroed) followed by the canonical body serialization — so corruption
+/// of manifest fields that drive serving behavior (step_prefix,
+/// net_features, ...) is caught, not just body corruption.
+fn checksum_of(manifest: &ModelManifest, body_text: &str) -> u64 {
+    let mut input = String::new();
+    manifest_to_json(&ModelManifest {
+        checksum: 0,
+        ..manifest.clone()
+    })
+    .write(&mut input);
+    input.push_str(body_text);
+    fnv64(input.as_bytes())
+}
+
+fn manifest_to_json(m: &ModelManifest) -> Json {
+    let mut json = Json::obj();
+    json.set(
+        "format",
+        vec![Json::Num(m.format.0 as f64), Json::Num(m.format.1 as f64)],
+    )
+    .set("universe_seed", u64_to_hex(m.universe_seed))
+    .set("dataset", m.dataset_name.as_str())
+    .set("step_prefix", m.step_prefix)
+    .set("min_prob", m.min_prob)
+    .set(
+        "interactions",
+        vec![
+            Json::Bool(m.interactions.transport),
+            Json::Bool(m.interactions.transport_app),
+            Json::Bool(m.interactions.transport_net),
+            Json::Bool(m.interactions.transport_app_net),
+        ],
+    )
+    .set(
+        "net_features",
+        m.net_features
+            .iter()
+            .map(|nf| match nf {
+                NetFeature::Slash(p) => {
+                    Json::Arr(vec![Json::Str("s".into()), Json::Num(*p as f64)])
+                }
+                NetFeature::Asn => Json::Arr(vec![Json::Str("a".into())]),
+            })
+            .collect::<Vec<_>>(),
+    )
+    .set("hosts_in", m.hosts_in)
+    .set("distinct_keys", m.distinct_keys)
+    .set("cooccur_entries", Json::Num(m.cooccur_entries as f64))
+    .set("num_rules", m.num_rules)
+    .set("num_priors", m.num_priors)
+    .set("checksum", u64_to_hex(m.checksum));
+    json
+}
+
+fn manifest_from_json(json: &Json) -> Result<ModelManifest, GpsError> {
+    let format_arr = json
+        .req("format")?
+        .as_arr()
+        .ok_or_else(|| malformed("bad format"))?;
+    if format_arr.len() != 2 {
+        return Err(malformed("format must be [major, minor]"));
+    }
+    let format = (
+        format_arr[0]
+            .as_u64()
+            .ok_or_else(|| malformed("bad format major"))? as u32,
+        format_arr[1]
+            .as_u64()
+            .ok_or_else(|| malformed("bad format minor"))? as u32,
+    );
+    let inter = json
+        .req("interactions")?
+        .as_arr()
+        .ok_or_else(|| malformed("bad interactions"))?;
+    if inter.len() != 4 {
+        return Err(malformed("interactions must have 4 flags"));
+    }
+    let flag = |i: usize| {
+        inter[i]
+            .as_bool()
+            .ok_or_else(|| malformed("bad interaction flag"))
+    };
+    let mut net_features = Vec::new();
+    for nf in json
+        .req("net_features")?
+        .as_arr()
+        .ok_or_else(|| malformed("bad net_features"))?
+    {
+        let parts = nf.as_arr().ok_or_else(|| malformed("bad net feature"))?;
+        match parts.first().and_then(Json::as_str) {
+            Some("s") => net_features.push(NetFeature::Slash(
+                parts
+                    .get(1)
+                    .and_then(Json::as_u64)
+                    .and_then(|v| u8::try_from(v).ok())
+                    .filter(|&p| p <= 32)
+                    .ok_or_else(|| malformed("bad slash prefix"))?,
+            )),
+            Some("a") => net_features.push(NetFeature::Asn),
+            _ => return Err(malformed("unknown net feature tag")),
+        }
+    }
+    Ok(ModelManifest {
+        format,
+        universe_seed: u64_from_hex(
+            json.req("universe_seed")?
+                .as_str()
+                .ok_or_else(|| malformed("bad universe_seed"))?,
+        )?,
+        dataset_name: json
+            .req("dataset")?
+            .as_str()
+            .ok_or_else(|| malformed("bad dataset"))?
+            .to_string(),
+        step_prefix: json
+            .req("step_prefix")?
+            .as_u64()
+            .and_then(|v| u8::try_from(v).ok())
+            .filter(|&p| p <= 32)
+            .ok_or_else(|| malformed("bad step_prefix"))?,
+        min_prob: json
+            .req("min_prob")?
+            .as_f64()
+            .ok_or_else(|| malformed("bad min_prob"))?,
+        interactions: Interactions {
+            transport: flag(0)?,
+            transport_app: flag(1)?,
+            transport_net: flag(2)?,
+            transport_app_net: flag(3)?,
+        },
+        net_features,
+        hosts_in: json
+            .req("hosts_in")?
+            .as_u64()
+            .ok_or_else(|| malformed("bad hosts_in"))? as usize,
+        distinct_keys: json
+            .req("distinct_keys")?
+            .as_u64()
+            .ok_or_else(|| malformed("bad distinct_keys"))? as usize,
+        cooccur_entries: json
+            .req("cooccur_entries")?
+            .as_u64()
+            .ok_or_else(|| malformed("bad cooccur_entries"))?,
+        num_rules: json
+            .req("num_rules")?
+            .as_u64()
+            .ok_or_else(|| malformed("bad num_rules"))? as usize,
+        num_priors: json
+            .req("num_priors")?
+            .as_u64()
+            .ok_or_else(|| malformed("bad num_priors"))? as usize,
+        checksum: u64_from_hex(
+            json.req("checksum")?
+                .as_str()
+                .ok_or_else(|| malformed("bad checksum"))?,
+        )?,
+    })
+}
+
+/// Key encoding: `[class, port, ...]` with the Eq. class as discriminant.
+/// Class 5/7 append `[kind_index, sym]`; class 6/7 append either
+/// `["s", prefix, base]` or `["a", asn]`.
+fn key_to_json(key: &CondKey) -> Json {
+    let mut parts = vec![
+        Json::Num(key.class() as f64),
+        Json::Num(key.port().0 as f64),
+    ];
+    if let Some(f) = key.app() {
+        parts.push(Json::Num(f.kind.index() as f64));
+        parts.push(Json::Num(f.value.0 as f64));
+    }
+    if let Some(net) = key.net() {
+        match net {
+            NetKey::Slash(len, base) => {
+                parts.push(Json::Str("s".into()));
+                parts.push(Json::Num(len as f64));
+                parts.push(Json::Num(base as f64));
+            }
+            NetKey::Asn(n) => {
+                parts.push(Json::Str("a".into()));
+                parts.push(Json::Num(n as f64));
+            }
+        }
+    }
+    Json::Arr(parts)
+}
+
+fn key_from_json(json: &Json) -> Result<CondKey, GpsError> {
+    let parts = json
+        .as_arr()
+        .ok_or_else(|| malformed("key must be an array"))?;
+    let class = parts
+        .first()
+        .and_then(Json::as_u64)
+        .ok_or_else(|| malformed("bad key class"))?;
+    let port = Port(
+        parts
+            .get(1)
+            .and_then(Json::as_u64)
+            .and_then(|v| u16::try_from(v).ok())
+            .ok_or_else(|| malformed("bad key port"))?,
+    );
+    let app_at = |i: usize| -> Result<FeatureValue, GpsError> {
+        let kind_idx = parts
+            .get(i)
+            .and_then(Json::as_u64)
+            .and_then(|v| usize::try_from(v).ok())
+            .ok_or_else(|| malformed("bad feature kind"))?;
+        let kind = *FeatureKind::ALL
+            .get(kind_idx)
+            .ok_or_else(|| malformed("feature kind out of range"))?;
+        let sym = parts
+            .get(i + 1)
+            .and_then(Json::as_u64)
+            .and_then(|v| u32::try_from(v).ok())
+            .ok_or_else(|| malformed("bad feature sym"))?;
+        Ok(FeatureValue::new(kind, Sym(sym)))
+    };
+    let net_at = |i: usize| -> Result<NetKey, GpsError> {
+        match parts.get(i).and_then(Json::as_str) {
+            Some("s") => {
+                let len = parts
+                    .get(i + 1)
+                    .and_then(Json::as_u64)
+                    .and_then(|v| u8::try_from(v).ok())
+                    .filter(|&p| p <= 32)
+                    .ok_or_else(|| malformed("bad net prefix"))?;
+                let base = parts
+                    .get(i + 2)
+                    .and_then(Json::as_u64)
+                    .and_then(|v| u32::try_from(v).ok())
+                    .ok_or_else(|| malformed("bad net base"))?;
+                Ok(NetKey::Slash(len, base))
+            }
+            Some("a") => Ok(NetKey::Asn(
+                parts
+                    .get(i + 1)
+                    .and_then(Json::as_u64)
+                    .and_then(|v| u32::try_from(v).ok())
+                    .ok_or_else(|| malformed("bad asn"))?,
+            )),
+            _ => Err(malformed("bad net key tag")),
+        }
+    };
+    match class {
+        4 => Ok(CondKey::Port(port)),
+        5 => Ok(CondKey::PortApp(port, app_at(2)?)),
+        6 => Ok(CondKey::PortNet(port, net_at(2)?)),
+        7 => Ok(CondKey::PortAppNet(port, app_at(2)?, net_at(4)?)),
+        _ => Err(malformed("unknown key class")),
+    }
+}
+
+fn targets_to_json(targets: impl Iterator<Item = (Port, f64)>) -> Json {
+    Json::Arr(
+        targets
+            .map(|(port, v)| Json::Arr(vec![Json::Num(port.0 as f64), Json::Num(v)]))
+            .collect(),
+    )
+}
+
+fn targets_from_json(json: &Json) -> Result<Vec<(Port, f64)>, GpsError> {
+    json.as_arr()
+        .ok_or_else(|| malformed("targets must be an array"))?
+        .iter()
+        .map(|pair| {
+            let pair = pair
+                .as_arr()
+                .ok_or_else(|| malformed("target must be [port, value]"))?;
+            if pair.len() != 2 {
+                return Err(malformed("target must be [port, value]"));
+            }
+            let port = Port(
+                pair[0]
+                    .as_u64()
+                    .and_then(|v| u16::try_from(v).ok())
+                    .ok_or_else(|| malformed("bad target port"))?,
+            );
+            let value = pair[1]
+                .as_f64()
+                .ok_or_else(|| malformed("bad target value"))?;
+            Ok((port, value))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetFeature;
+    use crate::host::group_by_host;
+    use gps_engine::{Backend, ExecLedger};
+    use gps_scan::ServiceObservation;
+    use gps_types::{Ip, Protocol};
+
+    fn trained_snapshot() -> ModelSnapshot {
+        let mut observations = Vec::new();
+        for ip in 1..=6u32 {
+            observations.push(ServiceObservation {
+                ip: Ip(ip),
+                port: Port(80),
+                ttl: 60,
+                protocol: Protocol::Http,
+                content: Sym(0),
+                features: vec![FeatureValue::new(FeatureKind::HttpServer, Sym(7))],
+            });
+            observations.push(ServiceObservation {
+                ip: Ip(ip),
+                port: Port(443),
+                ttl: 60,
+                protocol: Protocol::Tls,
+                content: Sym(1),
+                features: vec![],
+            });
+        }
+        let hosts = group_by_host(
+            &observations,
+            &[NetFeature::Slash(16), NetFeature::Asn],
+            &|_| Some(9),
+        );
+        let (model, stats) = CondModel::build(
+            &hosts,
+            Interactions::ALL,
+            Backend::SingleCore,
+            &ExecLedger::new(),
+        );
+        let rules = FeatureRules::build(&model, &hosts, 1e-5);
+        let priors = crate::priors::build_priors_list(&model, &hosts, 16);
+        let mut snapshot = ModelSnapshot {
+            manifest: ModelManifest {
+                format: (FORMAT_MAJOR, FORMAT_MINOR),
+                universe_seed: 0xC0FFEE,
+                dataset_name: "unit".to_string(),
+                step_prefix: 16,
+                min_prob: 1e-5,
+                interactions: Interactions::ALL,
+                net_features: vec![NetFeature::Slash(16), NetFeature::Asn],
+                hosts_in: stats.hosts_in,
+                distinct_keys: stats.distinct_keys,
+                cooccur_entries: stats.cooccur_entries,
+                num_rules: rules.len(),
+                num_priors: priors.len(),
+                checksum: 0,
+            },
+            model,
+            rules,
+            priors,
+        };
+        snapshot.manifest.checksum = checksum_of(&snapshot.manifest, &snapshot.body_text());
+        snapshot
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let snapshot = trained_snapshot();
+        let text = snapshot.to_json_string();
+        let loaded = ModelSnapshot::from_json_str(&text).unwrap();
+        assert_eq!(loaded.manifest, snapshot.manifest);
+        assert_eq!(loaded.priors, snapshot.priors);
+        assert_eq!(loaded.model.len(), snapshot.model.len());
+        for (key, stats) in snapshot.model.iter() {
+            let other = loaded.model.stats(key).expect("key survives round trip");
+            assert_eq!(stats.hosts, other.hosts);
+            assert_eq!(stats.targets, other.targets);
+        }
+        assert_eq!(loaded.rules.len(), snapshot.rules.len());
+        for (key, targets) in snapshot.rules.iter() {
+            assert_eq!(loaded.rules.get(key), Some(targets.as_slice()));
+        }
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let a = trained_snapshot();
+        let b = trained_snapshot();
+        assert_eq!(a.to_json_string(), b.to_json_string());
+        // And stable across a round trip.
+        let loaded = ModelSnapshot::from_json_str(&a.to_json_string()).unwrap();
+        assert_eq!(loaded.to_json_string(), a.to_json_string());
+    }
+
+    #[test]
+    fn save_load_file() {
+        let snapshot = trained_snapshot();
+        let path = std::env::temp_dir().join("gps_snapshot_unit.json");
+        snapshot.save(&path).unwrap();
+        let loaded = ModelSnapshot::load(&path).unwrap();
+        assert_eq!(loaded.manifest, snapshot.manifest);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checksum_detects_corruption() {
+        let snapshot = trained_snapshot();
+        let text = snapshot.to_json_string();
+        // Flip a digit inside the body (a priors coverage count).
+        let idx = text.rfind("\"priors\":[[").unwrap() + 11;
+        let mut corrupt = text.clone();
+        let original = corrupt.as_bytes()[idx];
+        let replacement = if original == b'1' { '2' } else { '1' };
+        corrupt.replace_range(idx..idx + 1, &replacement.to_string());
+        match ModelSnapshot::from_json_str(&corrupt) {
+            Err(SnapshotError::Checksum { .. }) => {}
+            other => panic!("expected checksum failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checksum_covers_manifest_fields() {
+        // Corrupting a manifest field that drives serving behavior (the
+        // step prefix) must fail verification, not load silently.
+        let snapshot = trained_snapshot();
+        let text = snapshot
+            .to_json_string()
+            .replace("\"step_prefix\":16", "\"step_prefix\":20");
+        match ModelSnapshot::from_json_str(&text) {
+            Err(SnapshotError::Checksum { .. }) => {}
+            other => panic!("expected checksum failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_sections_are_rejected_not_emptied() {
+        // A wrong-typed section must be a Malformed error, not an empty
+        // model. The checksum is recomputed over the tampered body so
+        // only the type validation can reject it.
+        let snapshot = trained_snapshot();
+        for section in ["rules", "priors"] {
+            let mut doc = Json::parse(&snapshot.to_json_string()).unwrap();
+            let Json::Obj(fields) = &mut doc else {
+                unreachable!()
+            };
+            let body = &mut fields.iter_mut().find(|(k, _)| k == "body").unwrap().1;
+            let Json::Obj(body_fields) = body else {
+                unreachable!()
+            };
+            body_fields
+                .iter_mut()
+                .find(|(k, _)| k == section)
+                .unwrap()
+                .1 = Json::obj();
+            let mut body_text = String::new();
+            body.write(&mut body_text);
+            let mut manifest = snapshot.manifest.clone();
+            manifest.checksum = checksum_of(&manifest, &body_text);
+            let mut manifest_text = String::new();
+            manifest_to_json(&manifest).write(&mut manifest_text);
+            let text = format!("{{\"manifest\":{manifest_text},\"body\":{body_text}}}");
+            match ModelSnapshot::from_json_str(&text) {
+                Err(SnapshotError::Malformed(_)) => {}
+                other => panic!("object-typed {section} should be Malformed, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_foreign_major_version() {
+        let snapshot = trained_snapshot();
+        let text = snapshot
+            .to_json_string()
+            .replace("\"format\":[1,", "\"format\":[2,");
+        match ModelSnapshot::from_json_str(&text) {
+            Err(SnapshotError::Version { found, .. }) => assert_eq!(found.0, 2),
+            other => panic!("expected version failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn accepts_newer_minor_version() {
+        // A newer-minor writer computes its checksum over its own
+        // manifest, so simulate by re-serializing with the bumped minor
+        // (a raw text edit would — correctly — fail the checksum).
+        let mut snapshot = trained_snapshot();
+        snapshot.manifest.format = (FORMAT_MAJOR, 99);
+        let loaded = ModelSnapshot::from_json_str(&snapshot.to_json_string()).unwrap();
+        assert_eq!(loaded.manifest.format, (FORMAT_MAJOR, 99));
+    }
+
+    #[test]
+    fn load_serving_skips_model_but_verifies() {
+        let snapshot = trained_snapshot();
+        let path = std::env::temp_dir().join("gps_snapshot_serving_unit.json");
+        snapshot.save(&path).unwrap();
+        let served = ModelSnapshot::load_serving(&path).unwrap();
+        assert!(served.model.is_empty(), "model section skipped");
+        assert_eq!(served.manifest, snapshot.manifest);
+        assert_eq!(served.priors, snapshot.priors);
+        assert_eq!(served.rules.len(), snapshot.rules.len());
+        // Corruption is still caught on the serving path.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(
+            &path,
+            text.replace("\"step_prefix\":16", "\"step_prefix\":20"),
+        )
+        .unwrap();
+        assert!(matches!(
+            ModelSnapshot::load_serving(&path),
+            Err(SnapshotError::Checksum { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn from_run_packages_pipeline_output() {
+        use crate::dataset::censys_dataset;
+        use gps_synthnet::{Internet, UniverseConfig};
+        let net = Internet::generate(&UniverseConfig::tiny(77));
+        let ds = censys_dataset(&net, 200, 0.05, 0, 1);
+        let config = GpsConfig {
+            seed_fraction: 0.05,
+            step_prefix: 20,
+            ..GpsConfig::default()
+        };
+        let run = crate::pipeline::run_gps(&net, &ds, &config);
+        let snapshot = ModelSnapshot::from_run(&run, &config, 77);
+        assert_eq!(snapshot.manifest.num_priors, run.priors_list.len());
+        assert_eq!(
+            snapshot.manifest.distinct_keys,
+            run.model_stats.distinct_keys
+        );
+        assert!(snapshot.manifest.checksum != 0);
+        let loaded = ModelSnapshot::from_json_str(&snapshot.to_json_string()).unwrap();
+        assert_eq!(loaded.priors, snapshot.priors);
+    }
+}

@@ -146,8 +146,7 @@ mod tests {
     fn group_fold_set_accumulators() {
         use std::collections::HashSet;
         // Distinct-count style aggregation (used for Table 1 dimensionality).
-        let items: Vec<(u8, u32)> =
-            vec![(1, 10), (1, 10), (1, 11), (2, 10), (2, 10), (2, 10)];
+        let items: Vec<(u8, u32)> = vec![(1, 10), (1, 10), (1, 11), (2, 10), (2, 10), (2, 10)];
         let got = group_fold(
             &items,
             Backend::Parallel { workers: 4 },
@@ -166,9 +165,12 @@ mod tests {
     #[test]
     fn group_count_agrees_with_manual_count() {
         let items: Vec<u32> = vec![3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5];
-        let got = group_count(&items, Backend::Parallel { workers: 3 }, &test_ledger(), |x, sink| {
-            sink(*x)
-        });
+        let got = group_count(
+            &items,
+            Backend::Parallel { workers: 3 },
+            &test_ledger(),
+            |x, sink| sink(*x),
+        );
         assert_eq!(got[&5], 3);
         assert_eq!(got[&1], 2);
         assert_eq!(got[&9], 1);

@@ -27,7 +27,8 @@ impl ExecLedger {
     /// Record a kernel pass over `rows` rows of `row_bytes` bytes each.
     pub fn record_rows(&self, rows: u64, row_bytes: u64) {
         self.rows.fetch_add(rows, Ordering::Relaxed);
-        self.bytes.fetch_add(rows.saturating_mul(row_bytes), Ordering::Relaxed);
+        self.bytes
+            .fetch_add(rows.saturating_mul(row_bytes), Ordering::Relaxed);
         self.queries.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -46,8 +47,10 @@ impl ExecLedger {
 
     /// Fold another ledger's totals into this one.
     pub fn absorb(&self, other: &ExecLedger) {
-        self.rows.fetch_add(other.rows_processed(), Ordering::Relaxed);
-        self.bytes.fetch_add(other.bytes_processed(), Ordering::Relaxed);
+        self.rows
+            .fetch_add(other.rows_processed(), Ordering::Relaxed);
+        self.bytes
+            .fetch_add(other.bytes_processed(), Ordering::Relaxed);
         self.queries.fetch_add(other.queries(), Ordering::Relaxed);
     }
 
@@ -70,7 +73,9 @@ pub struct CostModel {
 
 impl Default for CostModel {
     fn default() -> Self {
-        CostModel { dollars_per_tb: 5.0 }
+        CostModel {
+            dollars_per_tb: 5.0,
+        }
     }
 }
 
@@ -94,7 +99,9 @@ pub struct Stopwatch {
 
 impl Stopwatch {
     pub fn start() -> Self {
-        Stopwatch { start: Instant::now() }
+        Stopwatch {
+            start: Instant::now(),
+        }
     }
 
     pub fn elapsed(&self) -> Duration {

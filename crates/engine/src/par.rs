@@ -14,7 +14,9 @@
 
 /// Number of workers to use when the caller asks for auto-detection.
 pub fn available_workers() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }
 
 /// Fold `items` in parallel and reduce the per-worker accumulators.
@@ -67,7 +69,10 @@ where
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("engine worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("engine worker panicked"))
+            .collect()
     })
     .expect("engine scope panicked");
 
@@ -113,13 +118,7 @@ mod tests {
         let items: Vec<u64> = (0..10_000).collect();
         let seq: u64 = items.iter().sum();
         for workers in [1, 2, 3, 8, 64] {
-            let got = par_fold_reduce(
-                &items,
-                workers,
-                || 0u64,
-                |acc, x| *acc += *x,
-                |a, b| a + b,
-            );
+            let got = par_fold_reduce(&items, workers, || 0u64, |acc, x| *acc += *x, |a, b| a + b);
             assert_eq!(got, seq, "workers={workers}");
         }
     }

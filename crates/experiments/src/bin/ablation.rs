@@ -13,30 +13,42 @@ use gps_core::{run_gps, GpsConfig, Interactions};
 use gps_experiments::{Scenario, Table};
 
 const CONFIGS: [(&str, Interactions); 5] = [
-    ("Eq4 (transport only)", Interactions {
-        transport: true,
-        transport_app: false,
-        transport_net: false,
-        transport_app_net: false,
-    }),
-    ("Eq4+5 (+app)", Interactions {
-        transport: true,
-        transport_app: true,
-        transport_net: false,
-        transport_app_net: false,
-    }),
-    ("Eq4+6 (+net)", Interactions {
-        transport: true,
-        transport_app: false,
-        transport_net: true,
-        transport_app_net: false,
-    }),
-    ("Eq4+5+6", Interactions {
-        transport: true,
-        transport_app: true,
-        transport_net: true,
-        transport_app_net: false,
-    }),
+    (
+        "Eq4 (transport only)",
+        Interactions {
+            transport: true,
+            transport_app: false,
+            transport_net: false,
+            transport_app_net: false,
+        },
+    ),
+    (
+        "Eq4+5 (+app)",
+        Interactions {
+            transport: true,
+            transport_app: true,
+            transport_net: false,
+            transport_app_net: false,
+        },
+    ),
+    (
+        "Eq4+6 (+net)",
+        Interactions {
+            transport: true,
+            transport_app: false,
+            transport_net: true,
+            transport_app_net: false,
+        },
+    ),
+    (
+        "Eq4+5+6",
+        Interactions {
+            transport: true,
+            transport_app: true,
+            transport_net: true,
+            transport_app_net: false,
+        },
+    ),
     ("Eq4..7 (GPS)", Interactions::ALL),
 ];
 
@@ -59,7 +71,11 @@ fn main() {
         let run = run_gps(
             &net,
             &dataset,
-            &GpsConfig { step_prefix: 16, interactions, ..Default::default() },
+            &GpsConfig {
+                step_prefix: 16,
+                interactions,
+                ..Default::default()
+            },
         );
         table.row([
             name.to_string(),

@@ -14,12 +14,27 @@ fn main() {
 
     println!("== universe shape ==");
     println!("distinct populated ports: {}", census.num_ports());
-    println!("ports with >2 IPs:        {}", census.ports_with_more_than(2).len());
-    println!("share of top-10 ports:    {:.1}%", 100.0 * census.share_of_top(10));
-    println!("share of top-100 ports:   {:.1}%", 100.0 * census.share_of_top(100));
-    println!("share of top-2000 ports:  {:.1}%", 100.0 * census.share_of_top(2000));
+    println!(
+        "ports with >2 IPs:        {}",
+        census.ports_with_more_than(2).len()
+    );
+    println!(
+        "share of top-10 ports:    {:.1}%",
+        100.0 * census.share_of_top(10)
+    );
+    println!(
+        "share of top-100 ports:   {:.1}%",
+        100.0 * census.share_of_top(100)
+    );
+    println!(
+        "share of top-2000 ports:  {:.1}%",
+        100.0 * census.share_of_top(2000)
+    );
     let co = stats::slash16_cooccurrence(&net, 0);
-    println!("/16 co-occurrence:        {:.1}%", 100.0 * co.overall_fraction);
+    println!(
+        "/16 co-occurrence:        {:.1}%",
+        100.0 * co.overall_fraction
+    );
     println!(
         "forwarded in tail:        {:.1}%",
         100.0 * stats::forwarded_fraction_uncommon(&net, 0, 50)
@@ -38,7 +53,11 @@ fn main() {
         let run = run_gps(
             &net,
             &ds,
-            &GpsConfig { seed_fraction: seed_frac, step_prefix: step, ..Default::default() },
+            &GpsConfig {
+                seed_fraction: seed_frac,
+                step_prefix: step,
+                ..Default::default()
+            },
         );
         let exhaustive = gps_baselines::optimal_port_order_curve(&net, &ds, usize::MAX);
         report(name, &net, &ds, &run, &exhaustive);
@@ -49,7 +68,11 @@ fn main() {
         let run = run_gps(
             &net,
             &ds,
-            &GpsConfig { seed_fraction: 0.025, step_prefix: 16, ..Default::default() },
+            &GpsConfig {
+                seed_fraction: 0.025,
+                step_prefix: 16,
+                ..Default::default()
+            },
         );
         let exhaustive = gps_baselines::optimal_port_order_curve(&net, &ds, usize::MAX);
         report("lzr 40%/2.5% seed /16", &net, &ds, &run, &exhaustive);
@@ -103,7 +126,9 @@ fn report(
                 continue;
             }
             total_missed += 1;
-            let svc = net.service(key.ip, key.port, ds.day).expect("test service exists");
+            let svc = net
+                .service(key.ip, key.port, ds.day)
+                .expect("test service exists");
             let kind = match svc.placement {
                 gps_synthnet::PlacementKind::Forwarded => "forwarded(random)",
                 gps_synthnet::PlacementKind::Random => "random-high",
@@ -120,9 +145,12 @@ fn report(
         }
         println!("  missed {total_missed} test services:");
         let mut rows: Vec<_> = missed.into_iter().collect();
-        rows.sort_by(|a, b| b.1.cmp(&a.1));
+        rows.sort_by_key(|&(_, v)| std::cmp::Reverse(v));
         for (k, v) in rows {
-            println!("    {k:<32} {v:>8}  ({:.1}%)", 100.0 * v as f64 / total_missed as f64);
+            println!(
+                "    {k:<32} {v:>8}  ({:.1}%)",
+                100.0 * v as f64 / total_missed as f64
+            );
         }
     }
     for target in [0.80, 0.90, 0.925, 0.95] {
@@ -130,9 +158,20 @@ fn report(
         let ex_b = exhaustive.scans_to_reach_all(target);
         match (gps_b, ex_b) {
             (Some(g), Some(e)) => {
-                println!("  all>={:.1}%: GPS {:.2} vs exhaustive {:.2} => {:.1}x less", 100.0*target, g, e, ratio(e, g));
+                println!(
+                    "  all>={:.1}%: GPS {:.2} vs exhaustive {:.2} => {:.1}x less",
+                    100.0 * target,
+                    g,
+                    e,
+                    ratio(e, g)
+                );
             }
-            (g, e) => println!("  all>={:.1}%: GPS {:?} vs exhaustive {:?}", 100.0*target, g, e),
+            (g, e) => println!(
+                "  all>={:.1}%: GPS {:?} vs exhaustive {:?}",
+                100.0 * target,
+                g,
+                e
+            ),
         }
     }
     for target in [0.2, 0.4, 0.6] {
@@ -140,9 +179,20 @@ fn report(
         let ex_b = exhaustive.scans_to_reach_normalized(target);
         match (gps_b, ex_b) {
             (Some(g), Some(e)) => {
-                println!("  norm>={:.0}%: GPS {:.2} vs exhaustive {:.2} => {:.1}x less", 100.0*target, g, e, ratio(e, g));
+                println!(
+                    "  norm>={:.0}%: GPS {:.2} vs exhaustive {:.2} => {:.1}x less",
+                    100.0 * target,
+                    g,
+                    e,
+                    ratio(e, g)
+                );
             }
-            (g, e) => println!("  norm>={:.0}%: GPS {:?} vs exhaustive {:?}", 100.0*target, g, e),
+            (g, e) => println!(
+                "  norm>={:.0}%: GPS {:?} vs exhaustive {:?}",
+                100.0 * target,
+                g,
+                e
+            ),
         }
     }
 }

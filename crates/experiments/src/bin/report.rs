@@ -32,7 +32,10 @@ fn main() {
         ("§6.6 anecdotes", exps::sec66::run(&scenario, &net)),
         ("§7 limits", exps::sec7::run(&scenario, &net)),
         ("Appendix A recommender", exps::appa::run(&scenario, &net)),
-        ("Appendix B pseudo-services", exps::appb::run(&scenario, &net)),
+        (
+            "Appendix B pseudo-services",
+            exps::appb::run(&scenario, &net),
+        ),
     ];
 
     println!("\n\n<!-- BEGIN GENERATED REPORT -->");

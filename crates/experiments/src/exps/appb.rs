@@ -47,11 +47,9 @@ pub fn run(scenario: &Scenario, net: &Internet) -> Report {
     let sampled_hosts: HashSet<u32> = raw.iter().map(|o| o.ip.0).collect();
     let (kept, stats) = filter_pseudo_services(raw);
     let kept_hosts: HashSet<u32> = kept.iter().map(|o| o.ip.0).collect();
-    let flagged: HashSet<u32> =
-        sampled_hosts.difference(&kept_hosts).copied().collect();
+    let flagged: HashSet<u32> = sampled_hosts.difference(&kept_hosts).copied().collect();
 
-    let sampled_pseudo: HashSet<u32> =
-        sampled_hosts.intersection(&pseudo_ips).copied().collect();
+    let sampled_pseudo: HashSet<u32> = sampled_hosts.intersection(&pseudo_ips).copied().collect();
     let true_positives = flagged.intersection(&sampled_pseudo).count();
     let recall = true_positives as f64 / sampled_pseudo.len().max(1) as f64;
     let precision = true_positives as f64 / flagged.len().max(1) as f64;
@@ -72,14 +70,23 @@ pub fn run(scenario: &Scenario, net: &Internet) -> Report {
         "appB-recall",
         "the >10-services rule catches every middlebox",
         "100% recall",
-        format!("{:.1}% recall ({}/{})", 100.0 * recall, true_positives, sampled_pseudo.len()),
+        format!(
+            "{:.1}% recall ({}/{})",
+            100.0 * recall,
+            true_positives,
+            sampled_pseudo.len()
+        ),
         recall > 0.999,
     );
     report.claim(
         "appB-precision",
         "almost everything the rule drops really is a middlebox",
         "99% precision",
-        format!("{:.1}% precision ({} flagged)", 100.0 * precision, flagged.len()),
+        format!(
+            "{:.1}% precision ({} flagged)",
+            100.0 * precision,
+            flagged.len()
+        ),
         precision > 0.9,
     );
     // Pseudo-services dominate the raw data (motivation for filtering).
@@ -87,7 +94,10 @@ pub fn run(scenario: &Scenario, net: &Internet) -> Report {
         "appB-dominance",
         "pseudo services dominate raw all-port scans before filtering",
         "most services on 96% of ports are pseudo services",
-        format!("{:.0}% of raw observations are pseudo", 100.0 * raw_pseudo as f64 / (raw_pseudo as f64 + kept.len() as f64)),
+        format!(
+            "{:.0}% of raw observations are pseudo",
+            100.0 * raw_pseudo as f64 / (raw_pseudo as f64 + kept.len() as f64)
+        ),
         raw_pseudo * 2 > kept.len(),
     );
 

@@ -27,24 +27,44 @@ pub fn run(scenario: &Scenario, net: &Internet) -> Fig2Output {
 
     // ---------------------------------------------------- Censys workload
     let censys = scenario.censys(net, 0.02);
-    let censys_run = run_gps(net, &censys, &GpsConfig { step_prefix: 16, ..Default::default() });
+    let censys_run = run_gps(
+        net,
+        &censys,
+        &GpsConfig {
+            step_prefix: 16,
+            ..Default::default()
+        },
+    );
     let censys_ex = optimal_port_order_curve(net, &censys, usize::MAX);
     let oracle = oracle_curve(&censys, net.universe_size(), 16);
 
     println!("== Figure 2a/2c: Censys workload ({}) ==", censys.name);
     print_series(
         "GPS (bandwidth, fraction of services)",
-        &censys_run.curve.points.iter().map(|p| (p.scans, p.fraction_all)).collect::<Vec<_>>(),
+        &censys_run
+            .curve
+            .points
+            .iter()
+            .map(|p| (p.scans, p.fraction_all))
+            .collect::<Vec<_>>(),
         16,
     );
     print_series(
         "exhaustive optimal order (bandwidth, fraction)",
-        &censys_ex.points.iter().map(|p| (p.scans, p.fraction_all)).collect::<Vec<_>>(),
+        &censys_ex
+            .points
+            .iter()
+            .map(|p| (p.scans, p.fraction_all))
+            .collect::<Vec<_>>(),
         16,
     );
     print_series(
         "oracle (bandwidth, fraction)",
-        &oracle.points.iter().map(|p| (p.scans, p.fraction_all)).collect::<Vec<_>>(),
+        &oracle
+            .points
+            .iter()
+            .map(|p| (p.scans, p.fraction_all))
+            .collect::<Vec<_>>(),
         4,
     );
     print_series(
@@ -61,25 +81,51 @@ pub fn run(scenario: &Scenario, net: &Internet) -> Fig2Output {
     // Headline comparisons at the highest coverage GPS reaches.
     let gps_max = censys_run.fraction_of_services();
     let target = (gps_max - 0.002).max(0.5);
-    let gps_b = censys_run.curve.scans_to_reach_all(target).unwrap_or(f64::NAN);
+    let gps_b = censys_run
+        .curve
+        .scans_to_reach_all(target)
+        .unwrap_or(f64::NAN);
     let ex_b = censys_ex.scans_to_reach_all(target).unwrap_or(f64::NAN);
     report.claim(
         "fig2a",
-        format!("Censys: GPS finds {:.1}% of services cheaper than optimal port-order", 100.0 * target),
+        format!(
+            "Censys: GPS finds {:.1}% of services cheaper than optimal port-order",
+            100.0 * target
+        ),
         "94% of services at 21x less bandwidth (2K ports, 2% seed)",
-        format!("{:.1}% of services at {:.1}x less ({:.0} vs {:.0} scans)", 100.0 * target, ratio(ex_b, gps_b), gps_b, ex_b),
+        format!(
+            "{:.1}% of services at {:.1}x less ({:.0} vs {:.0} scans)",
+            100.0 * target,
+            ratio(ex_b, gps_b),
+            gps_b,
+            ex_b
+        ),
         ratio(ex_b, gps_b) > 1.5,
     );
 
     let gps_norm_max = censys_run.fraction_normalized();
-    let norm_target = (gps_norm_max - 0.002).min(0.46).max(0.1);
-    let gps_nb = censys_run.curve.scans_to_reach_normalized(norm_target).unwrap_or(f64::NAN);
-    let ex_nb = censys_ex.scans_to_reach_normalized(norm_target).unwrap_or(f64::NAN);
+    let norm_target = (gps_norm_max - 0.002).clamp(0.1, 0.46);
+    let gps_nb = censys_run
+        .curve
+        .scans_to_reach_normalized(norm_target)
+        .unwrap_or(f64::NAN);
+    let ex_nb = censys_ex
+        .scans_to_reach_normalized(norm_target)
+        .unwrap_or(f64::NAN);
     report.claim(
         "fig2c",
-        format!("Censys: GPS finds {:.0}% of normalized services cheaper", 100.0 * norm_target),
+        format!(
+            "Censys: GPS finds {:.0}% of normalized services cheaper",
+            100.0 * norm_target
+        ),
         "46% of normalized services at 100x less bandwidth",
-        format!("{:.0}% at {:.1}x less ({:.0} vs {:.0} scans)", 100.0 * norm_target, ratio(ex_nb, gps_nb), gps_nb, ex_nb),
+        format!(
+            "{:.0}% at {:.1}x less ({:.0} vs {:.0} scans)",
+            100.0 * norm_target,
+            ratio(ex_nb, gps_nb),
+            gps_nb,
+            ex_nb
+        ),
         ratio(ex_nb, gps_nb) > 3.0,
     );
     // Savings collapse past the predictability ceiling (paper: 100x at 46%
@@ -115,44 +161,90 @@ pub fn run(scenario: &Scenario, net: &Internet) -> Fig2Output {
 
     // ------------------------------------------------------- LZR workload
     let lzr = scenario.lzr(net, 0.40, 0.0625);
-    let lzr_run = run_gps(net, &lzr, &GpsConfig { step_prefix: 16, ..Default::default() });
+    let lzr_run = run_gps(
+        net,
+        &lzr,
+        &GpsConfig {
+            step_prefix: 16,
+            ..Default::default()
+        },
+    );
     let lzr_ex = optimal_port_order_curve(net, &lzr, usize::MAX);
 
     println!("\n== Figure 2b/2d: LZR workload ({}) ==", lzr.name);
     print_series(
         "GPS (bandwidth, fraction of services)",
-        &lzr_run.curve.points.iter().map(|p| (p.scans, p.fraction_all)).collect::<Vec<_>>(),
+        &lzr_run
+            .curve
+            .points
+            .iter()
+            .map(|p| (p.scans, p.fraction_all))
+            .collect::<Vec<_>>(),
         16,
     );
     print_series(
         "exhaustive optimal order (bandwidth, fraction)",
-        &lzr_ex.points.iter().map(|p| (p.scans, p.fraction_all)).collect::<Vec<_>>(),
+        &lzr_ex
+            .points
+            .iter()
+            .map(|p| (p.scans, p.fraction_all))
+            .collect::<Vec<_>>(),
         16,
     );
 
     let lzr_max = lzr_run.fraction_of_services();
     let lzr_target = (lzr_max - 0.002).max(0.5);
-    let g = lzr_run.curve.scans_to_reach_all(lzr_target).unwrap_or(f64::NAN);
+    let g = lzr_run
+        .curve
+        .scans_to_reach_all(lzr_target)
+        .unwrap_or(f64::NAN);
     let e = lzr_ex.scans_to_reach_all(lzr_target).unwrap_or(f64::NAN);
     report.claim(
         "fig2b",
-        format!("LZR (all ports, >2 IPs): GPS reaches {:.1}% of services cheaper", 100.0 * lzr_target),
+        format!(
+            "LZR (all ports, >2 IPs): GPS reaches {:.1}% of services cheaper",
+            100.0 * lzr_target
+        ),
         "92.5% of services at 6x less bandwidth; 95% at 2x less",
-        format!("{:.1}% at {:.1}x less ({:.0} vs {:.0} scans)", 100.0 * lzr_target, ratio(e, g), g, e),
+        format!(
+            "{:.1}% at {:.1}x less ({:.0} vs {:.0} scans)",
+            100.0 * lzr_target,
+            ratio(e, g),
+            g,
+            e
+        ),
         ratio(e, g) > 1.0,
     );
 
     let lzr_norm = lzr_run.fraction_normalized();
     let nt = (lzr_norm - 0.002).max(0.05);
-    let g = lzr_run.curve.scans_to_reach_normalized(nt).unwrap_or(f64::NAN);
+    let g = lzr_run
+        .curve
+        .scans_to_reach_normalized(nt)
+        .unwrap_or(f64::NAN);
     let e = lzr_ex.scans_to_reach_normalized(nt).unwrap_or(f64::NAN);
     report.claim(
         "fig2d",
-        format!("LZR: GPS reaches {:.0}% of normalized services cheaper", 100.0 * nt),
+        format!(
+            "LZR: GPS reaches {:.0}% of normalized services cheaper",
+            100.0 * nt
+        ),
         "17% of normalized services at 15x less; 38% at 1.7x less",
-        format!("{:.1}% at {:.1}x less ({:.0} vs {:.0} scans)", 100.0 * nt, ratio(e, g), g, e),
+        format!(
+            "{:.1}% at {:.1}x less ({:.0} vs {:.0} scans)",
+            100.0 * nt,
+            ratio(e, g),
+            g,
+            e
+        ),
         ratio(e, g) > 1.0,
     );
 
-    Fig2Output { censys_run, censys_exhaustive: censys_ex, lzr_run, lzr_exhaustive: lzr_ex, report }
+    Fig2Output {
+        censys_run,
+        censys_exhaustive: censys_ex,
+        lzr_run,
+        lzr_exhaustive: lzr_ex,
+        report,
+    }
 }

@@ -18,9 +18,16 @@ use crate::{print_series, ratio, Report, Scenario};
 pub fn run(scenario: &Scenario, net: &Internet) -> Report {
     let mut report = Report::new();
     let top_k = if scenario.quick { 200 } else { 2000 };
-    let dataset = censys_dataset(net, top_k, 0.01, 0, scenario.seed ^ 0xF16_3);
+    let dataset = censys_dataset(net, top_k, 0.01, 0, scenario.seed ^ 0xF163);
 
-    let run = run_gps(net, &dataset, &GpsConfig { step_prefix: 20, ..Default::default() });
+    let run = run_gps(
+        net,
+        &dataset,
+        &GpsConfig {
+            step_prefix: 20,
+            ..Default::default()
+        },
+    );
     let exhaustive = optimal_port_order_curve(net, &dataset, usize::MAX);
 
     println!("== Figure 3: precision vs fraction of services found ==");
@@ -63,7 +70,12 @@ pub fn run(scenario: &Scenario, net: &Internet) -> Report {
         "fig3-first",
         "precision over the first 1% of services found",
         "GPS 36%, one order of magnitude above exhaustive probing",
-        format!("GPS {:.1}% vs exhaustive {:.2}% ({:.0}x)", 100.0 * first, 100.0 * ex_first, ratio(first, ex_first)),
+        format!(
+            "GPS {:.1}% vs exhaustive {:.2}% ({:.0}x)",
+            100.0 * first,
+            100.0 * ex_first,
+            ratio(first, ex_first)
+        ),
         // The simulated universe's host density (needed so small seeds can
         // see patterns) inflates exhaustive probing's precision ~20x vs the
         // real IPv4 space, compressing all precision ratios (EXPERIMENTS.md).
@@ -88,9 +100,17 @@ pub fn run(scenario: &Scenario, net: &Internet) -> Report {
         .unwrap_or(f64::NAN);
     report.claim(
         "fig3-tail",
-        format!("precision advantage at {:.0}% of services found", 100.0 * target),
+        format!(
+            "precision advantage at {:.0}% of services found",
+            100.0 * target
+        ),
         "204x more precise than exhaustive probing at the 94th percentile",
-        format!("GPS {:.3}% vs exhaustive {:.4}% ({:.0}x)", 100.0 * gps_p, 100.0 * ex_p, ratio(gps_p, ex_p)),
+        format!(
+            "GPS {:.3}% vs exhaustive {:.4}% ({:.0}x)",
+            100.0 * gps_p,
+            100.0 * ex_p,
+            ratio(gps_p, ex_p)
+        ),
         ratio(gps_p, ex_p) > 3.0,
     );
 
@@ -106,7 +126,12 @@ pub fn run(scenario: &Scenario, net: &Internet) -> Report {
         "fig3-decay",
         "precision decreases as GPS exhausts predictions in descending predictability",
         "curve decays from 36% toward the random-probe floor",
-        format!("{:.1}% (first 1%) -> {:.1}% (half coverage) -> {:.2}% (end)", 100.0 * first, 100.0 * mid, 100.0 * run.curve.last().precision),
+        format!(
+            "{:.1}% (first 1%) -> {:.1}% (half coverage) -> {:.2}% (end)",
+            100.0 * first,
+            100.0 * mid,
+            100.0 * run.curve.last().precision
+        ),
         first >= mid && mid >= run.curve.last().precision * 0.99,
     );
 

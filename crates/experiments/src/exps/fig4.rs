@@ -26,8 +26,7 @@ use crate::{ratio, Report, Scenario, Table};
 /// The 19 evaluation ports (§6.4's TCP set, mapped to anchors that exist in
 /// the synthetic universe).
 pub const EVAL_PORTS: [u16; 19] = [
-    80, 443, 22, 7547, 23, 445, 5000, 25, 3306, 8080, 554, 21, 993, 143, 995, 110, 5432, 465,
-    2323,
+    80, 443, 22, 7547, 23, 445, 5000, 25, 3306, 8080, 554, 21, 993, 143, 995, 110, 5432, 465, 2323,
 ];
 
 /// GPS's prior tuples for one target port: the (port_b, step-subnet)
@@ -64,7 +63,14 @@ pub fn run(scenario: &Scenario, net: &Internet) -> Report {
 
     // GPS per the paper's fig4 config: /16 step to balance coverage and
     // accuracy.
-    let gps = run_gps(net, &dataset, &GpsConfig { step_prefix: 16, ..Default::default() });
+    let gps = run_gps(
+        net,
+        &dataset,
+        &GpsConfig {
+            step_prefix: 16,
+            ..Default::default()
+        },
+    );
 
     let ports: Vec<Port> = EVAL_PORTS
         .iter()
@@ -89,14 +95,17 @@ pub fn run(scenario: &Scenario, net: &Internet) -> Report {
             let found = gps.found.iter().filter(|k| k.port == port).count() as u64;
             let truth = dataset.test.port_count(port);
             // Remaining cost: prediction probes GPS spent on this port.
-            let remaining =
-                gps.predictions_per_port.get(&port.0).copied().unwrap_or(0) as f64
-                    / net.universe_size() as f64;
+            let remaining = gps.predictions_per_port.get(&port.0).copied().unwrap_or(0) as f64
+                / net.universe_size() as f64;
             GpsPort {
                 port,
                 prior,
                 remaining,
-                coverage: if truth == 0 { 1.0 } else { found as f64 / truth as f64 },
+                coverage: if truth == 0 {
+                    1.0
+                } else {
+                    found as f64 / truth as f64
+                },
             }
         })
         .collect();
@@ -123,7 +132,15 @@ pub fn run(scenario: &Scenario, net: &Internet) -> Report {
 
     // -------------------------------------------------------------- tables
     println!("== Figure 4a/4b: per-port bandwidth (100%-scan units) ==");
-    let mut table = Table::new(["port", "GPS prior", "XGB prior", "GPS remaining", "XGB remaining", "GPS cov", "XGB cov"]);
+    let mut table = Table::new([
+        "port",
+        "GPS prior",
+        "XGB prior",
+        "GPS remaining",
+        "XGB remaining",
+        "GPS cov",
+        "XGB cov",
+    ]);
     let mut gps_prior_wins = 0;
     let mut gps_rem_wins = 0;
     let mut prior_ratios: Vec<f64> = Vec::new();
@@ -179,8 +196,8 @@ pub fn run(scenario: &Scenario, net: &Internet) -> Report {
     // charged for the shared training data — the paper's XGBoost trains on
     // the pre-existing Censys sample, and its fig4c x-axis is far below the
     // seed-collection cost.)
-    let gps_19 = tuples_scans(&union_tuples, net, 16)
-        + gps_ports.iter().map(|g| g.remaining).sum::<f64>();
+    let gps_19 =
+        tuples_scans(&union_tuples, net, 16) + gps_ports.iter().map(|g| g.remaining).sum::<f64>();
     let xgb_total = xgb.total_scans;
     // Amortization is the paper's real point: the XGBoost scanner spends its
     // budget on exactly these 19 ports and *cannot* scale further (§2),
@@ -188,8 +205,7 @@ pub fn run(scenario: &Scenario, net: &Internet) -> Report {
     // amortized cost: GPS's full run over every port it discovered on vs
     // the sequential scanner's budget over its 19.
     let gps_ports_covered = {
-        let ports: std::collections::HashSet<u16> =
-            gps.found.iter().map(|k| k.port.0).collect();
+        let ports: std::collections::HashSet<u16> = gps.found.iter().map(|k| k.port.0).collect();
         ports.len().max(1)
     };
     let gps_amortized = gps.total_scans() / gps_ports_covered as f64;

@@ -21,7 +21,14 @@ pub fn run(scenario: &Scenario, net: &Internet) -> Report {
     println!("== Figure 5: bandwidth vs normalized services per step size ==");
     let mut rows = Vec::new();
     for &step in &STEPS {
-        let run = run_gps(net, &dataset, &GpsConfig { step_prefix: step, ..Default::default() });
+        let run = run_gps(
+            net,
+            &dataset,
+            &GpsConfig {
+                step_prefix: step,
+                ..Default::default()
+            },
+        );
         let last = run.curve.last();
         print_series(
             &format!("step /{step} (normalized fraction, bandwidth)"),
@@ -32,11 +39,22 @@ pub fn run(scenario: &Scenario, net: &Internet) -> Report {
                 .collect::<Vec<_>>(),
             8,
         );
-        rows.push((step, last.scans, last.fraction_normalized, last.fraction_all, last.precision));
+        rows.push((
+            step,
+            last.scans,
+            last.fraction_normalized,
+            last.fraction_all,
+            last.precision,
+        ));
     }
 
-    let mut table =
-        Table::new(["step", "total scans", "normalized found", "all found", "end precision"]);
+    let mut table = Table::new([
+        "step",
+        "total scans",
+        "normalized found",
+        "all found",
+        "end precision",
+    ]);
     for &(step, scans, norm, all, prec) in &rows {
         table.row([
             format!("/{step}"),
@@ -76,7 +94,14 @@ pub fn run(scenario: &Scenario, net: &Internet) -> Report {
     let exhaustive = optimal_port_order_curve(net, &dataset, usize::MAX);
     let mut best_beating = 0.0f64;
     for &(step, _, _, _, _) in &rows {
-        let run = run_gps(net, &dataset, &GpsConfig { step_prefix: step, ..Default::default() });
+        let run = run_gps(
+            net,
+            &dataset,
+            &GpsConfig {
+                step_prefix: step,
+                ..Default::default()
+            },
+        );
         for p in &run.curve.points {
             if p.fraction_normalized > best_beating {
                 let ex = exhaustive.scans_to_reach_normalized(p.fraction_normalized);
@@ -90,7 +115,10 @@ pub fn run(scenario: &Scenario, net: &Internet) -> Report {
         "fig5-ceiling",
         "maximum normalized coverage reachable with bandwidth better than exhaustive",
         "no GPS configuration exceeds 82% of normalized services cheaper than exhaustive",
-        format!("best configuration reaches {:.1}% normalized while cheaper", 100.0 * best_beating),
+        format!(
+            "best configuration reaches {:.1}% normalized while cheaper",
+            100.0 * best_beating
+        ),
         best_beating < 0.9,
     );
 

@@ -23,7 +23,14 @@ pub fn run(scenario: &Scenario, net: &Internet) -> Report {
     println!("== Figure 6: seed-size sweep ==");
     for &frac in &SEED_FRACTIONS {
         let dataset = scenario.censys(net, frac);
-        let run = run_gps(net, &dataset, &GpsConfig { step_prefix: 16, ..Default::default() });
+        let run = run_gps(
+            net,
+            &dataset,
+            &GpsConfig {
+                step_prefix: 16,
+                ..Default::default()
+            },
+        );
         let last = run.curve.last();
         print_series(
             &format!("seed {:.1}% (bandwidth, normalized)", frac * 100.0),
@@ -34,7 +41,12 @@ pub fn run(scenario: &Scenario, net: &Internet) -> Report {
                 .collect::<Vec<_>>(),
             8,
         );
-        rows.push((frac, last.scans, last.fraction_normalized, last.fraction_all));
+        rows.push((
+            frac,
+            last.scans,
+            last.fraction_normalized,
+            last.fraction_all,
+        ));
     }
 
     let mut table = Table::new(["seed", "total scans", "normalized found", "all found"]);

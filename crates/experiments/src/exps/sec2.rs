@@ -60,10 +60,7 @@ pub fn run(scenario: &Scenario, net: &Internet) -> Report {
         candidates.extend(eip.generate(budget / 2, &mut rng));
         probes += candidates.len() as u64;
         for ip in candidates {
-            if dataset
-                .test
-                .contains(&gps_types::ServiceKey::new(ip, port))
-            {
+            if dataset.test.contains(&gps_types::ServiceKey::new(ip, port)) {
                 found += 1;
             }
         }
@@ -82,7 +79,11 @@ pub fn run(scenario: &Scenario, net: &Internet) -> Report {
         "sec2-tga",
         "per-octet TGAs recover only a small fraction of IPv4 services",
         "Entropy/IP and EIP combined find 19% of services",
-        format!("{:.1}% of services across {} ports", 100.0 * coverage, eval_ports.len()),
+        format!(
+            "{:.1}% of services across {} ports",
+            100.0 * coverage,
+            eval_ports.len()
+        ),
         coverage < 0.5,
     );
 

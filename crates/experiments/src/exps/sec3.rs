@@ -28,21 +28,35 @@ pub fn run(scenario: &Scenario, net: &Internet) -> Report {
         .collect();
 
     let all_ports = net.all_ports();
-    let mut day0_scanner = Scanner::new(net, ScanConfig { day: 0, ..Default::default() });
+    let mut day0_scanner = Scanner::new(
+        net,
+        ScanConfig {
+            day: 0,
+            ..Default::default()
+        },
+    );
     let day0 = day0_scanner.scan_ip_set(ScanPhase::Baseline, ips.iter().copied(), &all_ports);
-    let mut day10_scanner = Scanner::new(net, ScanConfig { day: 10, ..Default::default() });
+    let mut day10_scanner = Scanner::new(
+        net,
+        ScanConfig {
+            day: 10,
+            ..Default::default()
+        },
+    );
     let day10 = day10_scanner.scan_ip_set(ScanPhase::Baseline, ips.iter().copied(), &all_ports);
     // The paper's scans are LZR-filtered: drop middlebox pseudo-services
     // (which never churn and would dilute the measurement).
     let (day0, _) = filter_pseudo_services(day0);
     let (day10, _) = filter_pseudo_services(day10);
 
-    let day10_keys: std::collections::HashSet<ServiceKey> =
-        day10.iter().map(|o| o.key()).collect();
+    let day10_keys: std::collections::HashSet<ServiceKey> = day10.iter().map(|o| o.key()).collect();
 
     // All-services loss.
     let total0 = day0.len() as f64;
-    let gone = day0.iter().filter(|o| !day10_keys.contains(&o.key())).count() as f64;
+    let gone = day0
+        .iter()
+        .filter(|o| !day10_keys.contains(&o.key()))
+        .count() as f64;
     let loss_all = gone / total0;
 
     // Normalized loss: per-port disappearance averaged over ports.
@@ -63,7 +77,11 @@ pub fn run(scenario: &Scenario, net: &Internet) -> Report {
     println!("== §3: ten-day churn ==");
     println!("day-0 services observed: {}", day0.len());
     println!("day-10 services observed: {}", day10.len());
-    println!("disappeared: {:.1}% of all, {:.1}% of normalized", 100.0 * loss_all, 100.0 * loss_norm);
+    println!(
+        "disappeared: {:.1}% of all, {:.1}% of normalized",
+        100.0 * loss_all,
+        100.0 * loss_norm
+    );
 
     report.claim(
         "sec3-all",
@@ -76,7 +94,11 @@ pub fn run(scenario: &Scenario, net: &Internet) -> Report {
         "sec3-normalized",
         "normalized churn exceeds raw churn (uncommon ports churn faster)",
         "15% normalized vs 9% overall",
-        format!("{:.1}% normalized vs {:.1}% overall", 100.0 * loss_norm, 100.0 * loss_all),
+        format!(
+            "{:.1}% normalized vs {:.1}% overall",
+            100.0 * loss_norm,
+            100.0 * loss_all
+        ),
         loss_norm > loss_all,
     );
 

@@ -74,7 +74,10 @@ pub fn run(_scenario: &Scenario, net: &Internet) -> Report {
 
     // 3 — forwarding signature in the tail.
     let fwd = stats::forwarded_fraction_uncommon(net, 0, census.num_ports() / 100);
-    println!("forwarding TTL signature on the 99% most uncommon ports: {:.1}%", 100.0 * fwd);
+    println!(
+        "forwarding TTL signature on the 99% most uncommon ports: {:.1}%",
+        100.0 * fwd
+    );
     report.claim(
         "sec4-forwarding",
         "a majority of services on uncommon ports show the forwarding TTL signature",
@@ -84,7 +87,10 @@ pub fn run(_scenario: &Scenario, net: &Internet) -> Report {
     );
 
     // Bonus §3 context: top-10 port share (motivates the normalized metric).
-    println!("top-10 ports hold {:.1}% of services", 100.0 * census.share_of_top(10));
+    println!(
+        "top-10 ports hold {:.1}% of services",
+        100.0 * census.share_of_top(10)
+    );
     report.claim(
         "sec4-longtail",
         "services occupy a long tail: top-10 ports hold a minority of services",

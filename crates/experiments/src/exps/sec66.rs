@@ -17,7 +17,14 @@ use crate::{Report, Scenario};
 pub fn run(scenario: &Scenario, net: &Internet) -> Report {
     let mut report = Report::new();
     let dataset = scenario.censys(net, 0.01);
-    let run = run_gps(net, &dataset, &GpsConfig { step_prefix: 16, ..Default::default() });
+    let run = run_gps(
+        net,
+        &dataset,
+        &GpsConfig {
+            step_prefix: 16,
+            ..Default::default()
+        },
+    );
 
     // Census of the selected rules.
     let mut http = 0usize;
@@ -88,9 +95,7 @@ pub fn run(scenario: &Scenario, net: &Internet) -> Report {
     let truth_8082 = dataset.test.port_count(Port(8082));
     let found_2222 = run.found.iter().filter(|k| k.port == Port(2222)).count();
     let truth_2222 = dataset.test.port_count(Port(2222));
-    println!(
-        "discovered: 8082 {found_8082}/{truth_8082}; 2222 {found_2222}/{truth_2222}"
-    );
+    println!("discovered: 8082 {found_8082}/{truth_8082}; 2222 {found_2222}/{truth_2222}");
     report.claim(
         "sec66-payoff",
         "the anecdote rules translate into discovered services",

@@ -61,20 +61,33 @@ pub fn run(_scenario: &Scenario, net: &Internet) -> Report {
     ];
     for &(kind, paper_dim) in paper {
         let n = distinct.get(&kind).map(|s| s.len()).unwrap_or(0);
-        table.row([kind.label().to_string(), n.to_string(), paper_dim.to_string()]);
+        table.row([
+            kind.label().to_string(),
+            n.to_string(),
+            paper_dim.to_string(),
+        ]);
     }
-    table.row(["IP's /16 subnetwork".into(), slash16s.len().to_string(), "37.3K".into()]);
+    table.row([
+        "IP's /16 subnetwork".into(),
+        slash16s.len().to_string(),
+        "37.3K".into(),
+    ]);
     table.row(["IP's ASN".into(), asns.len().to_string(), "67.7K".into()]);
     table.print();
 
-    let all_populated = paper.iter().all(|&(k, _)| distinct.get(&k).map(|s| !s.is_empty()).unwrap_or(false));
+    let all_populated = paper
+        .iter()
+        .all(|&(k, _)| distinct.get(&k).map(|s| !s.is_empty()).unwrap_or(false));
     report.claim(
         "tab1-coverage",
         "all 25 features are populated in the ground truth",
         "25 features spanning all 15 bannered protocols",
         format!(
             "{} of 23 app features populated, /16s={}, ASNs={}",
-            paper.iter().filter(|&&(k, _)| distinct.get(&k).map(|s| !s.is_empty()).unwrap_or(false)).count(),
+            paper
+                .iter()
+                .filter(|&&(k, _)| distinct.get(&k).map(|s| !s.is_empty()).unwrap_or(false))
+                .count(),
             slash16s.len(),
             asns.len()
         ),

@@ -45,12 +45,20 @@ pub fn run(scenario: &Scenario, net: &Internet) -> Report {
     let run = run_gps(
         net,
         &dataset,
-        &GpsConfig { step_prefix: 16, backend: Backend::parallel(), ..Default::default() },
+        &GpsConfig {
+            step_prefix: 16,
+            backend: Backend::parallel(),
+            ..Default::default()
+        },
     );
     let single = run_gps(
         net,
         &dataset,
-        &GpsConfig { step_prefix: 16, backend: Backend::SingleCore, ..Default::default() },
+        &GpsConfig {
+            step_prefix: 16,
+            backend: Backend::SingleCore,
+            ..Default::default()
+        },
     );
 
     // Data-transfer sizes: observation rows up, prediction rows down
@@ -64,7 +72,11 @@ pub fn run(scenario: &Scenario, net: &Internet) -> Report {
     let mut table = Table::new(["stage", "bandwidth/probes", "wall-clock", "data", "cost"]);
     table.row([
         "seed scan".to_string(),
-        format!("{:.1} scans", run.ledger.full_scans_phase(ScanPhase::Seed, net.universe_size())),
+        format!(
+            "{:.1} scans",
+            run.ledger
+                .full_scans_phase(ScanPhase::Seed, net.universe_size())
+        ),
         fmt_duration(rates.scan_time(ScanPhase::Seed, run.ledger.bytes(ScanPhase::Seed))),
         String::new(),
         String::new(),
@@ -89,7 +101,11 @@ pub fn run(scenario: &Scenario, net: &Internet) -> Report {
     ]);
     table.row([
         "PFS scan (priors)".to_string(),
-        format!("{:.1} scans", run.ledger.full_scans_phase(ScanPhase::Priors, net.universe_size())),
+        format!(
+            "{:.1} scans",
+            run.ledger
+                .full_scans_phase(ScanPhase::Priors, net.universe_size())
+        ),
         fmt_duration(rates.scan_time(ScanPhase::Priors, run.ledger.bytes(ScanPhase::Priors))),
         String::new(),
         String::new(),
@@ -121,7 +137,11 @@ pub fn run(scenario: &Scenario, net: &Internet) -> Report {
     ]);
     table.row([
         "PRS scan (predictions)".to_string(),
-        format!("{:.2} scans", run.ledger.full_scans_phase(ScanPhase::Predict, net.universe_size())),
+        format!(
+            "{:.2} scans",
+            run.ledger
+                .full_scans_phase(ScanPhase::Predict, net.universe_size())
+        ),
         fmt_duration(rates.scan_time(ScanPhase::Predict, run.ledger.bytes(ScanPhase::Predict))),
         String::new(),
         String::new(),
@@ -130,8 +150,15 @@ pub fn run(scenario: &Scenario, net: &Internet) -> Report {
     table.row([
         "TOTAL".to_string(),
         format!("{:.1} scans", run.total_scans()),
-        format!("scan {} + compute {}", fmt_duration(total_scan_time), fmt_duration(run.timings.compute_total())),
-        format!("{:.2} GB", (seed_bytes + priors_bytes + predictions_bytes + engine_bytes) as f64 / 1e9),
+        format!(
+            "scan {} + compute {}",
+            fmt_duration(total_scan_time),
+            fmt_duration(run.timings.compute_total())
+        ),
+        format!(
+            "{:.2} GB",
+            (seed_bytes + priors_bytes + predictions_bytes + engine_bytes) as f64 / 1e9
+        ),
         format!("{:.2} c", cost.cost_cents(engine_bytes)),
     ]);
     table.print();
@@ -169,11 +196,19 @@ pub fn run(scenario: &Scenario, net: &Internet) -> Report {
         "collecting the seed is 97.5% of all scanning time; reusing one cuts runtime 94%",
         format!(
             "seed {:.1} of {:.1} total scans ({:.0}%)",
-            run.ledger.full_scans_phase(ScanPhase::Seed, net.universe_size()),
+            run.ledger
+                .full_scans_phase(ScanPhase::Seed, net.universe_size()),
             run.total_scans(),
-            100.0 * run.ledger.full_scans_phase(ScanPhase::Seed, net.universe_size()) / run.total_scans()
+            100.0
+                * run
+                    .ledger
+                    .full_scans_phase(ScanPhase::Seed, net.universe_size())
+                / run.total_scans()
         ),
-        run.ledger.full_scans_phase(ScanPhase::Seed, net.universe_size()) / run.total_scans() > 0.5,
+        run.ledger
+            .full_scans_phase(ScanPhase::Seed, net.universe_size())
+            / run.total_scans()
+            > 0.5,
     );
 
     report

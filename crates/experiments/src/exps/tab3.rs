@@ -66,7 +66,14 @@ fn net_name(n: NetKey) -> &'static str {
 pub fn run(scenario: &Scenario, net: &Internet) -> Report {
     let mut report = Report::new();
     let dataset = scenario.censys(net, 0.01);
-    let run = run_gps(net, &dataset, &GpsConfig { step_prefix: 16, ..Default::default() });
+    let run = run_gps(
+        net,
+        &dataset,
+        &GpsConfig {
+            step_prefix: 16,
+            ..Default::default()
+        },
+    );
 
     // Attribute every seed service to its argmax tuple shape.
     let mut per_port_truth: HashMap<u16, u64> = HashMap::new();
@@ -110,7 +117,11 @@ pub fn run(scenario: &Scenario, net: &Internet) -> Report {
     println!("== Table 3: top predictive feature shapes ==");
     let mut table = Table::new(["feature tuple", "normalized services", "services"]);
     for (shape, norm, all) in rows.iter().take(8) {
-        table.row([shape.clone(), format!("{:.1}%", 100.0 * norm), format!("{:.1}%", 100.0 * all)]);
+        table.row([
+            shape.clone(),
+            format!("{:.1}%", 100.0 * norm),
+            format!("{:.1}%", 100.0 * all),
+        ]);
     }
     table.print();
 
@@ -136,7 +147,9 @@ pub fn run(scenario: &Scenario, net: &Internet) -> Report {
 
     let top_is_transport = rows
         .first()
-        .map(|(s, _, _)| s == "Port" || s.contains("Port_Protocol") || s.contains("/16") || s.contains("ASN"))
+        .map(|(s, _, _)| {
+            s == "Port" || s.contains("Port_Protocol") || s.contains("/16") || s.contains("ASN")
+        })
         .unwrap_or(false);
     report.claim(
         "tab3-top",
@@ -150,7 +163,9 @@ pub fn run(scenario: &Scenario, net: &Internet) -> Report {
         top_is_transport,
     );
 
-    let interactions_present = rows.iter().any(|(s, _, _)| s.contains("/16") || s.contains("ASN"));
+    let interactions_present = rows
+        .iter()
+        .any(|(s, _, _)| s.contains("/16") || s.contains("ASN"));
     report.claim(
         "tab3-interactions",
         "app x network interaction tuples appear among the most predictive",

@@ -24,7 +24,11 @@ pub fn run(scenario: &Scenario, net: &Internet) -> Report {
     let run = run_gps(
         net,
         &dataset,
-        &GpsConfig { step_prefix: 16, net_features, ..Default::default() },
+        &GpsConfig {
+            step_prefix: 16,
+            net_features,
+            ..Default::default()
+        },
     );
 
     // Tally argmax wins among *network-bearing* keys only (Eq. 6): for each
@@ -91,7 +95,11 @@ pub fn run(scenario: &Scenario, net: &Internet) -> Report {
         ("/23", "3%"),
     ];
     for (name, frac) in &rows {
-        let p = paper.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or("-");
+        let p = paper
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or("-");
         table.row([name.clone(), format!("{:.1}%", 100.0 * frac), p.to_string()]);
     }
     table.print();

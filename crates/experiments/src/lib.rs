@@ -35,7 +35,10 @@ pub struct Scenario {
 impl Scenario {
     /// Parse `--quick` / `--seed N` from argv.
     pub fn from_args() -> Scenario {
-        let mut scenario = Scenario { seed: 0xC0FFEE, quick: false };
+        let mut scenario = Scenario {
+            seed: 0xC0FFEE,
+            quick: false,
+        };
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
             match arg.as_str() {
@@ -62,7 +65,10 @@ impl Scenario {
     /// The experiment universe (32 /16s standard; 6 in quick mode).
     pub fn universe(&self) -> Internet {
         let config = if self.quick {
-            UniverseConfig { num_slash16: 6, ..UniverseConfig::tiny(self.seed) }
+            UniverseConfig {
+                num_slash16: 6,
+                ..UniverseConfig::tiny(self.seed)
+            }
         } else {
             UniverseConfig::standard(self.seed)
         };
@@ -158,7 +164,11 @@ impl Report {
             "\n{} of {} claims hold{}",
             self.claims.len() - bad,
             self.claims.len(),
-            if bad > 0 { " — see DIVERGES lines" } else { "" }
+            if bad > 0 {
+                " — see DIVERGES lines"
+            } else {
+                ""
+            }
         );
     }
 }
@@ -195,7 +205,10 @@ mod tests {
 
     #[test]
     fn quick_universe_is_small() {
-        let s = Scenario { seed: 5, quick: true };
+        let s = Scenario {
+            seed: 5,
+            quick: true,
+        };
         let net = s.universe();
         assert_eq!(net.universe_size(), 6 * 65536);
         let ds = s.censys(&net, 0.05);

@@ -9,7 +9,10 @@ pub struct Table {
 
 impl Table {
     pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Table {
-        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Table {

@@ -59,7 +59,11 @@ pub struct ProbeCosts {
 
 impl Default for ProbeCosts {
     fn default() -> Self {
-        ProbeCosts { syn_bytes: 60, lzr_bytes: 180, zgrab_bytes: 1500 }
+        ProbeCosts {
+            syn_bytes: 60,
+            lzr_bytes: 180,
+            zgrab_bytes: 1500,
+        }
     }
 }
 
@@ -107,7 +111,10 @@ impl BandwidthLedger {
 
     /// Snapshot for curve sampling.
     pub fn checkpoint(&self) -> LedgerCheckpoint {
-        LedgerCheckpoint { total_probes: self.total_probes(), total_bytes: self.total_bytes() }
+        LedgerCheckpoint {
+            total_probes: self.total_probes(),
+            total_bytes: self.total_bytes(),
+        }
     }
 }
 

@@ -61,7 +61,12 @@ mod tests {
 
     #[test]
     fn server_first_protocols_cost_one_probe() {
-        for p in [Protocol::Ssh, Protocol::Smtp, Protocol::Telnet, Protocol::Mysql] {
+        for p in [
+            Protocol::Ssh,
+            Protocol::Smtp,
+            Protocol::Telnet,
+            Protocol::Mysql,
+        ] {
             assert!(is_server_first(p));
             assert_eq!(fingerprint_probes(p), 1);
         }
@@ -90,7 +95,7 @@ mod tests {
     fn every_bannered_protocol_has_finite_cost() {
         for p in Protocol::BANNERED {
             let c = fingerprint_probes(p);
-            assert!(c >= 1 && c <= 8, "{p}: {c}");
+            assert!((1..=8).contains(&c), "{p}: {c}");
         }
     }
 }

@@ -68,6 +68,9 @@ mod tests {
             content: Sym(0),
             features: vec![],
         };
-        assert_eq!(obs.key(), ServiceKey::new(Ip::from_octets(10, 0, 0, 1), Port(8080)));
+        assert_eq!(
+            obs.key(),
+            ServiceKey::new(Ip::from_octets(10, 0, 0, 1), Port(8080))
+        );
     }
 }

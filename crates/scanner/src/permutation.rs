@@ -34,7 +34,14 @@ impl CyclicPermutation {
         let generator = find_primitive_root(p, rng);
         // Random starting point in 1..p.
         let first = 1 + rng.gen_range(p - 1);
-        CyclicPermutation { n, p, generator, first, state: first, yielded: 0 }
+        CyclicPermutation {
+            n,
+            p,
+            generator,
+            first,
+            state: first,
+            yielded: 0,
+        }
     }
 
     /// Total number of elements (n).
@@ -97,12 +104,12 @@ fn is_prime(n: u64) -> bool {
     if n < 2 {
         return false;
     }
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         return n == 2;
     }
     let mut d = 3u64;
     while d * d <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             return false;
         }
         d += 2;
@@ -123,9 +130,9 @@ fn prime_factors(mut n: u64) -> Vec<u64> {
     let mut out = Vec::new();
     let mut d = 2u64;
     while d * d <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             out.push(d);
-            while n % d == 0 {
+            while n.is_multiple_of(d) {
                 n /= d;
             }
         }
@@ -206,7 +213,9 @@ mod tests {
     #[test]
     fn permutation_looks_shuffled() {
         let n = 10_000u64;
-        let vals: Vec<u64> = CyclicPermutation::new(n, &mut Rng::new(3)).take(100).collect();
+        let vals: Vec<u64> = CyclicPermutation::new(n, &mut Rng::new(3))
+            .take(100)
+            .collect();
         // The first 100 values of a random permutation should not be the
         // first 100 integers.
         let ascending = vals.windows(2).filter(|w| w[1] == w[0] + 1).count();

@@ -17,9 +17,9 @@
 //!   simulation cost is proportional to *responses*, while *charged* cost is
 //!   proportional to probes.
 
+use gps_synthnet::{Internet, ProbeView};
 use gps_types::rng::mix64;
 use gps_types::{Ip, Port, PortSet, Subnet, Sym};
-use gps_synthnet::{Internet, ProbeView};
 
 use crate::ledger::{BandwidthLedger, ProbeCosts, ScanPhase};
 use crate::observe::{LzrFingerprint, ServiceObservation, SynAck};
@@ -71,7 +71,13 @@ pub struct Scanner<'a> {
 impl<'a> Scanner<'a> {
     pub fn new(net: &'a Internet, config: ScanConfig) -> Self {
         let sentinel_content = net.interner().intern("<no-payload>");
-        Scanner { net, config, ledger: BandwidthLedger::new(), blocklist: Vec::new(), sentinel_content }
+        Scanner {
+            net,
+            config,
+            ledger: BandwidthLedger::new(),
+            blocklist: Vec::new(),
+            sentinel_content,
+        }
     }
 
     pub fn with_defaults(net: &'a Internet) -> Self {
@@ -143,7 +149,11 @@ impl<'a> Scanner<'a> {
         }
         self.net
             .probe(ip, port, self.config.day)
-            .map(|view| SynAck { ip, port, ttl: view.ttl() })
+            .map(|view| SynAck {
+                ip,
+                port,
+                ttl: view.ttl(),
+            })
     }
 
     /// LZR stage: complete the connection and fingerprint the service.
@@ -158,7 +168,8 @@ impl<'a> Scanner<'a> {
             Some(ProbeView::Pseudo { .. }) => 1,
             None => 1,
         };
-        self.ledger.charge(phase, probes, probes * self.config.costs.lzr_bytes);
+        self.ledger
+            .charge(phase, probes, probes * self.config.costs.lzr_bytes);
         match view? {
             ProbeView::Real(s) => Some(LzrFingerprint {
                 ip: syn.ip,
@@ -203,7 +214,12 @@ impl<'a> Scanner<'a> {
     }
 
     /// Full chain on one (ip, port).
-    pub fn scan_service(&mut self, phase: ScanPhase, ip: Ip, port: Port) -> Option<ServiceObservation> {
+    pub fn scan_service(
+        &mut self,
+        phase: ScanPhase,
+        ip: Ip,
+        port: Port,
+    ) -> Option<ServiceObservation> {
         let syn = self.syn_probe(phase, ip, port)?;
         let fp = self.lzr_handshake(phase, syn)?;
         Some(self.zgrab(phase, fp))
@@ -246,7 +262,8 @@ impl<'a> Scanner<'a> {
         port: Port,
     ) -> Vec<ServiceObservation> {
         let probes = self.allocated_size_within(subnet);
-        self.ledger.charge(phase, probes, probes * self.config.costs.syn_bytes);
+        self.ledger
+            .charge(phase, probes, probes * self.config.costs.syn_bytes);
 
         let day = self.config.day;
         let mut out = Vec::new();
@@ -264,7 +281,11 @@ impl<'a> Scanner<'a> {
             if self.hidden(pseudo.ip, port) || self.dropped(pseudo.ip, port) {
                 continue;
             }
-            let syn = SynAck { ip: pseudo.ip, port, ttl: pseudo.ttl };
+            let syn = SynAck {
+                ip: pseudo.ip,
+                port,
+                ttl: pseudo.ttl,
+            };
             if let Some(fp) = self.lzr_handshake(phase, syn) {
                 out.push(self.zgrab(phase, fp));
             }
@@ -289,7 +310,8 @@ impl<'a> Scanner<'a> {
 
         // Charge the full SYN sweep up front: sample × |ports| probes.
         let probes = sample_size * ports.len() as u64;
-        self.ledger.charge(phase, probes, probes * self.config.costs.syn_bytes);
+        self.ledger
+            .charge(phase, probes, probes * self.config.costs.syn_bytes);
 
         let day = self.config.day;
         let mut out = Vec::new();
@@ -306,7 +328,11 @@ impl<'a> Scanner<'a> {
                         && !self.hidden(ip, s.port)
                         && !self.dropped(ip, s.port)
                     {
-                        let syn = SynAck { ip, port: s.port, ttl: s.ttl };
+                        let syn = SynAck {
+                            ip,
+                            port: s.port,
+                            ttl: s.ttl,
+                        };
                         if let Some(fp) = self.lzr_handshake(phase, syn) {
                             out.push(self.zgrab(phase, fp));
                         }
@@ -314,16 +340,16 @@ impl<'a> Scanner<'a> {
                 }
             }
             // Middlebox pseudo-services answer on their whole range.
-            if let Ok(i) = self
-                .net
-                .pseudo_hosts()
-                .binary_search_by_key(&ip, |p| p.ip)
-            {
+            if let Ok(i) = self.net.pseudo_hosts().binary_search_by_key(&ip, |p| p.ip) {
                 let pseudo = &self.net.pseudo_hosts()[i];
                 for port_num in pseudo.first_port..=pseudo.last_port {
                     let port = Port(port_num);
                     if ports.contains(port) && !self.hidden(ip, port) && !self.dropped(ip, port) {
-                        let syn = SynAck { ip, port, ttl: pseudo.ttl };
+                        let syn = SynAck {
+                            ip,
+                            port,
+                            ttl: pseudo.ttl,
+                        };
                         if let Some(fp) = self.lzr_handshake(phase, syn) {
                             out.push(self.zgrab(phase, fp));
                         }
@@ -362,7 +388,11 @@ impl<'a> Scanner<'a> {
                         && !self.hidden(ip, s.port)
                         && !self.dropped(ip, s.port)
                     {
-                        let syn = SynAck { ip, port: s.port, ttl: s.ttl };
+                        let syn = SynAck {
+                            ip,
+                            port: s.port,
+                            ttl: s.ttl,
+                        };
                         if let Some(fp) = self.lzr_handshake(phase, syn) {
                             out.push(self.zgrab(phase, fp));
                         }
@@ -374,7 +404,11 @@ impl<'a> Scanner<'a> {
                 for port_num in pseudo.first_port..=pseudo.last_port {
                     let port = Port(port_num);
                     if ports.contains(port) && !self.hidden(ip, port) && !self.dropped(ip, port) {
-                        let syn = SynAck { ip, port, ttl: pseudo.ttl };
+                        let syn = SynAck {
+                            ip,
+                            port,
+                            ttl: pseudo.ttl,
+                        };
                         if let Some(fp) = self.lzr_handshake(phase, syn) {
                             out.push(self.zgrab(phase, fp));
                         }
@@ -383,7 +417,8 @@ impl<'a> Scanner<'a> {
             }
         }
         let probes = num_ips * ports.len() as u64;
-        self.ledger.charge(phase, probes, probes * self.config.costs.syn_bytes);
+        self.ledger
+            .charge(phase, probes, probes * self.config.costs.syn_bytes);
         out.sort_by_key(|o| (o.ip, o.port));
         out
     }
@@ -432,7 +467,9 @@ mod tests {
         let net = net();
         let mut sc = Scanner::with_defaults(&net);
         let ip = Ip(net.ips_on_port(Port(80))[0]);
-        let obs = sc.scan_service(ScanPhase::Seed, ip, Port(80)).expect("service exists");
+        let obs = sc
+            .scan_service(ScanPhase::Seed, ip, Port(80))
+            .expect("service exists");
         assert_eq!(obs.port, Port(80));
         assert!(!obs.features.is_empty(), "HTTP carries banner features");
         // One SYN + one LZR + one ZGrab charged.
@@ -444,7 +481,9 @@ mod tests {
         let net = net();
         let mut sc = Scanner::with_defaults(&net);
         // 224.0.0.1 is never allocated.
-        assert!(sc.scan_service(ScanPhase::Seed, Ip::from_octets(224, 0, 0, 1), Port(80)).is_none());
+        assert!(sc
+            .scan_service(ScanPhase::Seed, Ip::from_octets(224, 0, 0, 1), Port(80))
+            .is_none());
         assert_eq!(sc.ledger().probes(ScanPhase::Seed), 1);
     }
 
@@ -478,14 +517,20 @@ mod tests {
         let sc = Scanner::with_defaults(&net);
         let block = net.topology().blocks()[0].subnet();
         assert_eq!(sc.allocated_size_within(block), 65536);
-        assert_eq!(sc.allocated_size_within(Subnet::of_ip(block.base(), 24)), 256);
+        assert_eq!(
+            sc.allocated_size_within(Subnet::of_ip(block.base(), 24)),
+            256
+        );
         assert_eq!(
             sc.allocated_size_within(Subnet::ALL),
             net.universe_size(),
             "/0 covers exactly the allocated space"
         );
         // Unallocated /16 contributes nothing.
-        assert_eq!(sc.allocated_size_within(Subnet::of_ip(Ip::from_octets(224, 0, 0, 0), 16)), 0);
+        assert_eq!(
+            sc.allocated_size_within(Subnet::of_ip(Ip::from_octets(224, 0, 0, 0), 16)),
+            0
+        );
     }
 
     #[test]
@@ -504,7 +549,12 @@ mod tests {
                 .pseudo_hosts()
                 .binary_search_by_key(&o.ip, |p| p.ip)
                 .is_ok();
-            assert!(real || pseudo, "{}:{} observed but not in ground truth", o.ip, o.port);
+            assert!(
+                real || pseudo,
+                "{}:{} observed but not in ground truth",
+                o.ip,
+                o.port
+            );
         }
     }
 
@@ -536,7 +586,10 @@ mod tests {
         let mut lossless = Scanner::with_defaults(&net);
         let mut lossy = Scanner::new(
             &net,
-            ScanConfig { response_drop_prob: 0.5, ..Default::default() },
+            ScanConfig {
+                response_drop_prob: 0.5,
+                ..Default::default()
+            },
         );
         let block = net.topology().blocks()[0].subnet();
         let all = lossless.scan_subnet_port(ScanPhase::Priors, block, Port(80));
@@ -549,7 +602,13 @@ mod tests {
     fn churn_day_changes_results() {
         let net = net();
         let mut day0 = Scanner::with_defaults(&net);
-        let mut day10 = Scanner::new(&net, ScanConfig { day: 10, ..Default::default() });
+        let mut day10 = Scanner::new(
+            &net,
+            ScanConfig {
+                day: 10,
+                ..Default::default()
+            },
+        );
         let block = net.topology().blocks()[0].subnet();
         let now: usize = net
             .port_census(0)

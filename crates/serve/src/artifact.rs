@@ -1,0 +1,332 @@
+//! Loading a [`ModelSnapshot`] into query-ready form.
+//!
+//! A [`ServableModel`] answers two query shapes, mirroring the two
+//! prediction stages of the paper:
+//!
+//! - **cold query** (no known services): rank ports by the §5.3 priors
+//!   list restricted to the subnets containing the query IP — "which port
+//!   is most likely to host this address's *first* service";
+//! - **warm query** (caller supplies open ports it already observed, and
+//!   optionally the host's ASN): expand the evidence through the §5.4
+//!   "most predictive feature values" rules, exactly as the prediction
+//!   phase does for priors-scan responses.
+//!
+//! Application-layer keys (Eq. 5/7) require banner features that a remote
+//! query cannot carry, so serving matches on the transport and network key
+//! classes (Eq. 4/6); the snapshot still contains the full rule list, and
+//! answers are exact [`FeatureRules`] lookups — asserted by the end-to-end
+//! test suite.
+
+use std::collections::HashMap;
+
+use gps_core::model::NetKey;
+use gps_core::snapshot::{ModelManifest, ModelSnapshot};
+use gps_core::{CondKey, FeatureRules, NetFeature};
+use gps_types::{Ip, Port, Subnet};
+
+/// A ranked prediction list: `(port, probability)`, descending.
+pub type Ranked = Vec<(Port, f64)>;
+
+/// One prediction request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    pub ip: Ip,
+    /// Ports the caller already knows are open on this host (may be empty).
+    pub open: Vec<Port>,
+    /// The host's ASN, if the caller resolved it (enables Eq. 6 ASN keys).
+    pub asn: Option<u32>,
+    /// Maximum number of predictions returned; 0 means the server default.
+    pub top: usize,
+}
+
+impl Query {
+    pub fn new(ip: Ip) -> Query {
+        Query {
+            ip,
+            open: Vec::new(),
+            asn: None,
+            top: 0,
+        }
+    }
+
+    pub fn with_open(mut self, open: impl IntoIterator<Item = u16>) -> Query {
+        self.open = open.into_iter().map(Port).collect();
+        self
+    }
+}
+
+/// The query-ready artifact: rules for warm queries, a subnet-indexed
+/// priors ranking for cold queries.
+pub struct ServableModel {
+    manifest: ModelManifest,
+    rules: FeatureRules,
+    /// §5.3 priors grouped by step subnet; scores are coverage normalized
+    /// within the subnet (a probability-shaped ranking weight).
+    priors_by_subnet: HashMap<Subnet, Ranked>,
+    /// Fallback ranking for IPs in subnets the seed never saw: the global
+    /// port ranking by total coverage.
+    global_priors: Ranked,
+    /// Prefix lengths of the trained Slash net features (Eq. 6 keys).
+    net_prefixes: Vec<u8>,
+    /// Whether the model was trained with ASN keys.
+    uses_asn: bool,
+    step_prefix: u8,
+}
+
+impl ServableModel {
+    pub fn from_snapshot(snapshot: ModelSnapshot) -> ServableModel {
+        let mut priors_by_subnet: HashMap<Subnet, Ranked> = HashMap::new();
+        let mut global: HashMap<Port, f64> = HashMap::new();
+        for entry in &snapshot.priors {
+            priors_by_subnet
+                .entry(entry.subnet)
+                .or_default()
+                .push((entry.port, entry.coverage as f64));
+            *global.entry(entry.port).or_default() += entry.coverage as f64;
+        }
+        for ranked in priors_by_subnet.values_mut() {
+            normalize(ranked);
+        }
+        let mut global_priors: Ranked = global.into_iter().collect();
+        normalize(&mut global_priors);
+
+        let net_prefixes: Vec<u8> = snapshot
+            .manifest
+            .net_features
+            .iter()
+            .filter_map(|nf| match nf {
+                NetFeature::Slash(p) => Some(*p),
+                NetFeature::Asn => None,
+            })
+            .collect();
+        let uses_asn = snapshot.manifest.net_features.contains(&NetFeature::Asn);
+
+        ServableModel {
+            step_prefix: snapshot.manifest.step_prefix,
+            manifest: snapshot.manifest,
+            rules: snapshot.rules,
+            priors_by_subnet,
+            global_priors,
+            net_prefixes,
+            uses_asn,
+        }
+    }
+
+    pub fn manifest(&self) -> &ModelManifest {
+        &self.manifest
+    }
+
+    pub fn rules(&self) -> &FeatureRules {
+        &self.rules
+    }
+
+    /// The finest subnet prefix any lookup depends on. Two IPs sharing
+    /// this subnet (with identical evidence) get identical answers — the
+    /// cache key granularity and the shard-partition invariant.
+    pub fn cache_prefix(&self) -> u8 {
+        self.net_prefixes
+            .iter()
+            .copied()
+            .chain([self.step_prefix])
+            .max()
+            .unwrap_or(16)
+    }
+
+    /// Answer one query: ranked `(port, probability)`, descending, open
+    /// ports excluded, truncated to `top` (when nonzero).
+    pub fn predict(&self, query: &Query) -> Ranked {
+        let mut ranked = if query.open.is_empty() {
+            self.cold_ranking(query.ip)
+        } else {
+            self.warm_ranking(query)
+        };
+        if query.top > 0 {
+            ranked.truncate(query.top);
+        }
+        ranked
+    }
+
+    /// Cold path: priors ranking for the IP's step subnet.
+    fn cold_ranking(&self, ip: Ip) -> Ranked {
+        let subnet = Subnet::of_ip(ip, self.step_prefix);
+        self.priors_by_subnet
+            .get(&subnet)
+            .unwrap_or(&self.global_priors)
+            .clone()
+    }
+
+    /// Warm path: max rule probability over every Eq. 4/6 key derivable
+    /// from the supplied evidence.
+    fn warm_ranking(&self, query: &Query) -> Ranked {
+        let mut best: HashMap<Port, f64> = HashMap::new();
+        let mut consider = |targets: Option<&[(Port, f64)]>| {
+            for &(port, prob) in targets.unwrap_or_default() {
+                if query.open.contains(&port) {
+                    continue;
+                }
+                let slot = best.entry(port).or_insert(0.0);
+                if prob > *slot {
+                    *slot = prob;
+                }
+            }
+        };
+        for &b in &query.open {
+            consider(self.rules.get(&CondKey::Port(b)));
+            for &prefix in &self.net_prefixes {
+                let net = NetKey::Slash(prefix, Subnet::of_ip(query.ip, prefix).base().0);
+                consider(self.rules.get(&CondKey::PortNet(b, net)));
+            }
+            if self.uses_asn {
+                if let Some(asn) = query.asn {
+                    consider(self.rules.get(&CondKey::PortNet(b, NetKey::Asn(asn))));
+                }
+            }
+        }
+        let mut ranked: Ranked = best.into_iter().collect();
+        sort_ranked(&mut ranked);
+        ranked
+    }
+}
+
+/// Descending probability, port-ascending tiebreak (deterministic output).
+pub fn sort_ranked(ranked: &mut Ranked) {
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+}
+
+fn normalize(ranked: &mut Ranked) {
+    let total: f64 = ranked.iter().map(|&(_, c)| c).sum();
+    if total > 0.0 {
+        for (_, c) in ranked.iter_mut() {
+            *c /= total;
+        }
+    }
+    sort_ranked(ranked);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gps_core::snapshot::{ModelManifest, FORMAT_MAJOR, FORMAT_MINOR};
+    use gps_core::{CondModel, Interactions, PriorsEntry};
+    use std::collections::HashMap as Map;
+
+    fn snapshot() -> ModelSnapshot {
+        // Hand-built artifact: rules say 80 predicts 443 (p=.8) generally
+        // and 8080 (p=.9) within 10.1.0.0/16; priors say subnet 10.1/16
+        // leads with port 80.
+        let mut rules: Map<CondKey, Vec<(Port, f64)>> = Map::new();
+        rules.insert(
+            CondKey::Port(Port(80)),
+            vec![(Port(443), 0.8), (Port(22), 0.3)],
+        );
+        rules.insert(
+            CondKey::PortNet(Port(80), NetKey::Slash(16, Ip::from_octets(10, 1, 0, 0).0)),
+            vec![(Port(8080), 0.9)],
+        );
+        rules.insert(
+            CondKey::PortNet(Port(80), NetKey::Asn(7)),
+            vec![(Port(9000), 0.95)],
+        );
+        let priors = vec![
+            PriorsEntry {
+                port: Port(80),
+                subnet: Subnet::of_ip(Ip::from_octets(10, 1, 0, 0), 16),
+                coverage: 30,
+            },
+            PriorsEntry {
+                port: Port(22),
+                subnet: Subnet::of_ip(Ip::from_octets(10, 1, 0, 0), 16),
+                coverage: 10,
+            },
+            PriorsEntry {
+                port: Port(443),
+                subnet: Subnet::of_ip(Ip::from_octets(10, 2, 0, 0), 16),
+                coverage: 5,
+            },
+        ];
+        ModelSnapshot {
+            manifest: ModelManifest {
+                format: (FORMAT_MAJOR, FORMAT_MINOR),
+                universe_seed: 1,
+                dataset_name: "unit".into(),
+                step_prefix: 16,
+                min_prob: 1e-5,
+                interactions: Interactions::ALL,
+                net_features: vec![NetFeature::Slash(16), NetFeature::Asn],
+                hosts_in: 0,
+                distinct_keys: 0,
+                cooccur_entries: 0,
+                num_rules: 3,
+                num_priors: 3,
+                checksum: 0,
+            },
+            model: CondModel::from_parts(Map::new(), Interactions::ALL),
+            rules: FeatureRules::from_parts(rules),
+            priors,
+        }
+    }
+
+    #[test]
+    fn cold_query_ranks_subnet_priors() {
+        let model = ServableModel::from_snapshot(snapshot());
+        let ranked = model.predict(&Query::new(Ip::from_octets(10, 1, 2, 3)));
+        assert_eq!(ranked[0].0, Port(80));
+        assert!((ranked[0].1 - 0.75).abs() < 1e-12, "30/(30+10): {ranked:?}");
+        assert_eq!(ranked[1].0, Port(22));
+    }
+
+    #[test]
+    fn cold_query_unknown_subnet_falls_back_to_global() {
+        let model = ServableModel::from_snapshot(snapshot());
+        let ranked = model.predict(&Query::new(Ip::from_octets(99, 0, 0, 1)));
+        assert!(!ranked.is_empty());
+        assert_eq!(ranked[0].0, Port(80), "global leader: {ranked:?}");
+    }
+
+    #[test]
+    fn warm_query_uses_port_and_net_rules() {
+        let model = ServableModel::from_snapshot(snapshot());
+        // In 10.1/16 the net-refined rule for 8080 (0.9) outranks the
+        // generic 443 rule (0.8).
+        let ranked = model.predict(&Query::new(Ip::from_octets(10, 1, 2, 3)).with_open([80]));
+        assert_eq!(ranked[0], (Port(8080), 0.9));
+        assert_eq!(ranked[1], (Port(443), 0.8));
+        // Outside that /16 only the generic rules fire.
+        let ranked = model.predict(&Query::new(Ip::from_octets(10, 9, 2, 3)).with_open([80]));
+        assert_eq!(ranked[0], (Port(443), 0.8));
+        assert!(ranked.iter().all(|&(p, _)| p != Port(8080)));
+    }
+
+    #[test]
+    fn asn_evidence_unlocks_asn_rules() {
+        let model = ServableModel::from_snapshot(snapshot());
+        let mut query = Query::new(Ip::from_octets(99, 0, 0, 1)).with_open([80]);
+        query.asn = Some(7);
+        let ranked = model.predict(&query);
+        assert_eq!(ranked[0], (Port(9000), 0.95));
+    }
+
+    #[test]
+    fn open_ports_are_never_predicted() {
+        let model = ServableModel::from_snapshot(snapshot());
+        let ranked = model.predict(&Query::new(Ip::from_octets(10, 1, 2, 3)).with_open([80, 443]));
+        assert!(
+            ranked.iter().all(|&(p, _)| p != Port(80) && p != Port(443)),
+            "{ranked:?}"
+        );
+    }
+
+    #[test]
+    fn top_truncates() {
+        let model = ServableModel::from_snapshot(snapshot());
+        let mut query = Query::new(Ip::from_octets(10, 1, 2, 3)).with_open([80]);
+        query.top = 1;
+        assert_eq!(model.predict(&query).len(), 1);
+    }
+
+    #[test]
+    fn cache_prefix_is_finest_relevant() {
+        let model = ServableModel::from_snapshot(snapshot());
+        assert_eq!(model.cache_prefix(), 16);
+    }
+}

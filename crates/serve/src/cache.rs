@@ -1,0 +1,198 @@
+//! A fixed-capacity LRU map used for per-subnet answer caching.
+//!
+//! Each shard owns one `LruCache`, so there is no synchronization: the
+//! cache is only touched from its shard's worker thread. Implemented as a
+//! slab of entries threaded onto an intrusive doubly-linked recency list —
+//! `get` and `insert` are O(1) with no allocation after warm-up.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NONE: usize = usize::MAX;
+
+struct Entry<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// Least-recently-used cache with a hard entry capacity.
+pub struct LruCache<K, V> {
+    map: HashMap<K, usize>,
+    slab: Vec<Entry<K, V>>,
+    free: Vec<usize>,
+    /// Most recently used entry (list head).
+    head: usize,
+    /// Least recently used entry (list tail; eviction victim).
+    tail: usize,
+    capacity: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// `capacity` of 0 disables caching (every `get` misses).
+    pub fn new(capacity: usize) -> LruCache<K, V> {
+        LruCache {
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NONE,
+            tail: NONE,
+            capacity,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Look up and mark as most-recently-used.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let idx = *self.map.get(key)?;
+        self.detach(idx);
+        self.attach_front(idx);
+        Some(&self.slab[idx].value)
+    }
+
+    /// Insert, updating recency; evicts the least-recently-used entry when
+    /// at capacity.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&idx) = self.map.get(&key) {
+            self.slab[idx].value = value;
+            self.detach(idx);
+            self.attach_front(idx);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            let victim = self.tail;
+            debug_assert!(victim != NONE);
+            self.detach(victim);
+            self.map.remove(&self.slab[victim].key);
+            self.free.push(victim);
+        }
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.slab[idx] = Entry {
+                    key: key.clone(),
+                    value,
+                    prev: NONE,
+                    next: NONE,
+                };
+                idx
+            }
+            None => {
+                self.slab.push(Entry {
+                    key: key.clone(),
+                    value,
+                    prev: NONE,
+                    next: NONE,
+                });
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.attach_front(idx);
+    }
+
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev != NONE {
+            self.slab[prev].next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NONE {
+            self.slab[next].prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+        self.slab[idx].prev = NONE;
+        self.slab[idx].next = NONE;
+    }
+
+    fn attach_front(&mut self, idx: usize) {
+        self.slab[idx].next = self.head;
+        self.slab[idx].prev = NONE;
+        if self.head != NONE {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NONE {
+            self.tail = idx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss() {
+        let mut cache: LruCache<u32, &str> = LruCache::new(2);
+        assert!(cache.get(&1).is_none());
+        cache.insert(1, "one");
+        assert_eq!(cache.get(&1), Some(&"one"));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut cache: LruCache<u32, u32> = LruCache::new(2);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        cache.get(&1); // 2 is now LRU
+        cache.insert(3, 30);
+        assert_eq!(cache.get(&2), None, "LRU entry evicted");
+        assert_eq!(cache.get(&1), Some(&10));
+        assert_eq!(cache.get(&3), Some(&30));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn update_refreshes_recency_and_value() {
+        let mut cache: LruCache<u32, u32> = LruCache::new(2);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        cache.insert(1, 11); // refresh 1; 2 becomes LRU
+        cache.insert(3, 30);
+        assert_eq!(cache.get(&1), Some(&11));
+        assert_eq!(cache.get(&2), None);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut cache: LruCache<u32, u32> = LruCache::new(0);
+        cache.insert(1, 10);
+        assert!(cache.get(&1).is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn churn_stays_bounded() {
+        let mut cache: LruCache<u64, u64> = LruCache::new(64);
+        for i in 0..10_000u64 {
+            cache.insert(i % 200, i);
+            assert!(cache.len() <= 64);
+        }
+        // The 64 most recent distinct keys are present.
+        let mut present = 0;
+        for k in 0..200u64 {
+            if cache.get(&k).is_some() {
+                present += 1;
+            }
+        }
+        assert_eq!(present, 64);
+    }
+}

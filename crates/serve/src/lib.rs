@@ -1,0 +1,58 @@
+//! # gps-serve
+//!
+//! The prediction-serving subsystem: GPS's trained artifacts, persisted by
+//! `gps-core`'s [`snapshot`](gps_core::snapshot) layer, loaded behind a
+//! long-lived sharded server that answers "which ports should I probe on
+//! this IP?" queries at wire speed.
+//!
+//! The paper's pitch is that the conditional-probability model makes
+//! all-port discovery cheap to *compute* (13 minutes on a parallel engine,
+//! §6.5); an LZR-style deployment then needs those predictions *on
+//! demand*, per target, for as long as the model stays fresh. This crate
+//! is that missing half:
+//!
+//! - [`artifact`] — [`ServableModel`]: a loaded snapshot in query form
+//!   (cold queries rank §5.3 priors by subnet; warm queries expand
+//!   observed ports through the §5.4 rules);
+//! - [`server`] — [`PredictionServer`]: N shard worker threads
+//!   (hash-partitioned by the query IP's /16), bounded work queues,
+//!   opportunistic request batching, per-shard LRU answer caches, and
+//!   [`ServerStats`] counters;
+//! - [`cache`] — the O(1) LRU used by each shard;
+//! - [`proto`] — a length-prefixed JSON frame protocol over TCP plus the
+//!   blocking [`Client`] used by `gps query` and the loadgen bench.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use gps_serve::{PredictionServer, Query, ServableModel, ServeConfig};
+//! use gps_core::{censys_dataset, run_gps, GpsConfig, ModelSnapshot};
+//! use gps_synthnet::{Internet, UniverseConfig};
+//!
+//! // Train on a tiny universe and package the artifacts.
+//! let net = Internet::generate(&UniverseConfig::tiny(7));
+//! let dataset = censys_dataset(&net, 100, 0.05, 0, 1);
+//! let config = GpsConfig { seed_fraction: 0.05, step_prefix: 20, ..GpsConfig::default() };
+//! let run = run_gps(&net, &dataset, &config);
+//! let snapshot = ModelSnapshot::from_run(&run, &config, 7);
+//!
+//! // Serve it.
+//! let server = PredictionServer::start(
+//!     ServableModel::from_snapshot(snapshot),
+//!     ServeConfig { shards: 2, ..ServeConfig::default() },
+//! );
+//! let ip = gps_types::Ip(net.host_ips()[0]);
+//! let ranked = server.predict(Query::new(ip));
+//! println!("predicted {} candidate ports for {ip}", ranked.len());
+//! ```
+
+pub mod artifact;
+pub mod cache;
+pub mod proto;
+pub mod server;
+mod shard;
+
+pub use artifact::{Query, Ranked, ServableModel};
+pub use cache::LruCache;
+pub use proto::{serve_tcp, Client};
+pub use server::{PredictionServer, ServeConfig, ServerStats, StatsSnapshot};

@@ -1,0 +1,453 @@
+//! Wire protocol: length-prefixed JSON frames over TCP.
+//!
+//! Every message is a 4-byte big-endian length followed by that many bytes
+//! of JSON. Requests are objects with a `cmd` field:
+//!
+//! ```text
+//! {"cmd":"ping"}
+//! {"cmd":"predict","ip":"10.1.2.3","open":[80,443],"asn":7,"top":8}
+//! {"cmd":"batch","queries":[{"ip":...}, ...]}
+//! {"cmd":"stats"}
+//! {"cmd":"manifest"}
+//! ```
+//!
+//! Successful responses carry `"ok":true` plus the payload; failures carry
+//! `"ok":false` and an `"error"` string (a malformed request never kills
+//! the connection). The server is std-only: one OS thread per connection,
+//! which is plenty for the model-serving fan-in this subsystem targets —
+//! heavy multiplexing belongs in a fronting proxy.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+
+use crate::artifact::{Query, Ranked};
+use crate::server::PredictionServer;
+use gps_types::json::Json;
+use gps_types::{Ip, JsonCodec, Port};
+
+/// Frames above this many bytes are rejected (a length prefix is attacker
+/// input; without a cap a single frame could balloon memory).
+pub const MAX_FRAME_BYTES: u32 = 16 << 20;
+
+/// Largest batch a single `batch` request may carry.
+pub const MAX_BATCH_QUERIES: usize = 65_536;
+
+/// Most open-port evidence entries a single query may carry. Evidence
+/// becomes part of per-shard LRU cache keys, so unbounded lists from the
+/// wire would let one client pin gigabytes of key data in the caches.
+pub const MAX_OPEN_PORTS: usize = 64;
+
+/// Largest `top` a query may request over the wire (bounds response size).
+pub const MAX_TOP: usize = 65_536;
+
+/// Write one length-prefixed JSON frame.
+pub fn write_frame(w: &mut impl Write, json: &Json) -> io::Result<()> {
+    let mut text = String::new();
+    json.write(&mut text);
+    let len = u32::try_from(text.len())
+        .ok()
+        .filter(|&n| n <= MAX_FRAME_BYTES)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(text.as_bytes())?;
+    w.flush()
+}
+
+/// Read one frame; `Ok(None)` on clean EOF before a length prefix.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Json>> {
+    match read_frame_text(r)? {
+        None => Ok(None),
+        Some(text) => Json::parse(&text)
+            .map(Some)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+    }
+}
+
+/// Read one frame's payload text; `Ok(None)` on clean EOF before a length
+/// prefix. Errors here are *framing* errors (truncation, size cap,
+/// non-UTF-8): the stream position can no longer be trusted, so the
+/// connection must close. Whether the text parses is the caller's concern
+/// — the server replies to well-framed garbage instead of disconnecting.
+pub fn read_frame_text(r: &mut impl Read) -> io::Result<Option<String>> {
+    // Only EOF before the first length byte is a clean close; EOF midway
+    // through the prefix is a truncated frame from a dead peer.
+    let mut len_bytes = [0u8; 4];
+    loop {
+        match r.read(&mut len_bytes[..1]) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    r.read_exact(&mut len_bytes[1..])?;
+    let len = u32::from_be_bytes(len_bytes);
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame exceeds size cap",
+        ));
+    }
+    let mut buf = vec![0u8; len as usize];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not utf-8"))
+}
+
+/// Encode a query for the wire.
+pub fn query_to_json(query: &Query) -> Json {
+    let mut json = Json::obj();
+    json.set("ip", query.ip.to_json());
+    if !query.open.is_empty() {
+        json.set(
+            "open",
+            query.open.iter().map(|p| p.to_json()).collect::<Vec<_>>(),
+        );
+    }
+    if let Some(asn) = query.asn {
+        json.set("asn", asn);
+    }
+    if query.top > 0 {
+        json.set("top", query.top);
+    }
+    json
+}
+
+/// Decode a query from the wire.
+pub fn query_from_json(json: &Json) -> Result<Query, String> {
+    let ip =
+        Ip::from_json(json.req("ip").map_err(|e| e.to_string())?).map_err(|e| e.to_string())?;
+    let mut query = Query::new(ip);
+    if let Some(open) = json.get("open") {
+        let open = open.as_arr().ok_or("open must be an array")?;
+        if open.len() > MAX_OPEN_PORTS {
+            return Err(format!("open lists at most {MAX_OPEN_PORTS} ports"));
+        }
+        for port in open {
+            query
+                .open
+                .push(Port::from_json(port).map_err(|e| e.to_string())?);
+        }
+    }
+    if let Some(asn) = json.get("asn") {
+        query.asn = Some(
+            asn.as_u64()
+                .and_then(|v| u32::try_from(v).ok())
+                .ok_or("bad asn")?,
+        );
+    }
+    if let Some(top) = json.get("top") {
+        let top = top.as_u64().ok_or("bad top")? as usize;
+        if top > MAX_TOP {
+            return Err(format!("top is capped at {MAX_TOP}"));
+        }
+        query.top = top;
+    }
+    Ok(query)
+}
+
+/// `[[port, prob], ...]`.
+pub fn ranked_to_json(ranked: &Ranked) -> Json {
+    Json::Arr(
+        ranked
+            .iter()
+            .map(|&(port, prob)| Json::Arr(vec![port.to_json(), Json::Num(prob)]))
+            .collect(),
+    )
+}
+
+/// Inverse of [`ranked_to_json`].
+pub fn ranked_from_json(json: &Json) -> Result<Ranked, String> {
+    json.as_arr()
+        .ok_or("predictions must be an array")?
+        .iter()
+        .map(|pair| {
+            let pair = pair
+                .as_arr()
+                .filter(|p| p.len() == 2)
+                .ok_or("bad prediction pair")?;
+            let port = Port::from_json(&pair[0]).map_err(|e| e.to_string())?;
+            let prob = pair[1].as_f64().ok_or("bad probability")?;
+            Ok((port, prob))
+        })
+        .collect()
+}
+
+fn ok_response() -> Json {
+    let mut json = Json::obj();
+    json.set("ok", true);
+    json
+}
+
+fn error_response(message: impl Into<String>) -> Json {
+    let mut json = Json::obj();
+    json.set("ok", false).set("error", message.into());
+    json
+}
+
+/// Compute the response for one request frame.
+fn respond(server: &PredictionServer, request: &Json) -> Json {
+    let cmd = match request.get("cmd").and_then(Json::as_str) {
+        Some(cmd) => cmd,
+        None => return error_response("missing cmd"),
+    };
+    match cmd {
+        "ping" => {
+            let mut json = ok_response();
+            json.set("pong", true);
+            json
+        }
+        "predict" => match query_from_json(request) {
+            Ok(query) => {
+                let ranked = server.predict(query);
+                let mut json = ok_response();
+                json.set("predictions", ranked_to_json(&ranked));
+                json
+            }
+            Err(e) => error_response(e),
+        },
+        "batch" => {
+            let queries = match request.get("queries").and_then(Json::as_arr) {
+                Some(items) if items.len() <= MAX_BATCH_QUERIES => items,
+                Some(_) => return error_response("batch too large"),
+                None => return error_response("missing queries"),
+            };
+            let mut parsed = Vec::with_capacity(queries.len());
+            for q in queries {
+                match query_from_json(q) {
+                    Ok(query) => parsed.push(query),
+                    Err(e) => return error_response(e),
+                }
+            }
+            let answers = server.predict_batch(parsed);
+            let mut json = ok_response();
+            json.set(
+                "results",
+                answers
+                    .iter()
+                    .map(|r| ranked_to_json(r))
+                    .collect::<Vec<_>>(),
+            );
+            json
+        }
+        "stats" => {
+            let mut json = ok_response();
+            json.set("stats", server.stats().to_json());
+            json
+        }
+        "manifest" => {
+            let m = server.model().manifest();
+            let mut inner = Json::obj();
+            inner
+                .set("dataset", m.dataset_name.as_str())
+                .set(
+                    "universe_seed",
+                    gps_types::json::u64_to_hex(m.universe_seed),
+                )
+                .set("step_prefix", m.step_prefix)
+                .set("distinct_keys", m.distinct_keys)
+                .set("num_rules", m.num_rules)
+                .set("num_priors", m.num_priors);
+            let mut json = ok_response();
+            json.set("manifest", inner);
+            json
+        }
+        other => error_response(format!("unknown cmd {other:?}")),
+    }
+}
+
+/// Serve one accepted connection until EOF or a framing error. A frame
+/// that is well-framed but not valid JSON gets an error *response* — only
+/// breakage that desynchronizes the stream closes the connection.
+pub fn serve_connection(server: &PredictionServer, stream: TcpStream) -> io::Result<()> {
+    let mut reader = io::BufReader::new(stream.try_clone()?);
+    let mut writer = io::BufWriter::new(stream);
+    while let Some(text) = read_frame_text(&mut reader)? {
+        let response = match Json::parse(&text) {
+            Ok(request) => respond(server, &request),
+            Err(e) => error_response(format!("bad json: {e}")),
+        };
+        match write_frame(&mut writer, &response) {
+            Ok(()) => {}
+            // A legal request can still produce an over-cap response (a
+            // huge batch against a rule-rich model). Nothing was written,
+            // so the stream is intact: reply with an error instead of
+            // dropping the connection.
+            Err(e) if e.kind() == io::ErrorKind::InvalidInput => {
+                write_frame(
+                    &mut writer,
+                    &error_response("response exceeds frame size cap"),
+                )?;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Accept loop: one thread per connection. Blocks forever; run it on a
+/// dedicated thread if the caller needs to keep working.
+pub fn serve_tcp(server: Arc<PredictionServer>, listener: TcpListener) -> io::Result<()> {
+    for stream in listener.incoming() {
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let server = server.clone();
+        std::thread::Builder::new()
+            .name("gps-serve-conn".to_string())
+            .spawn(move || {
+                let _ = stream.set_nodelay(true);
+                let _ = serve_connection(&server, stream);
+            })
+            .expect("spawn connection thread");
+    }
+    Ok(())
+}
+
+/// A blocking protocol client (used by `gps query`, loadgen, and tests).
+pub struct Client {
+    reader: io::BufReader<TcpStream>,
+    writer: io::BufWriter<TcpStream>,
+}
+
+impl Client {
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: io::BufReader::new(stream.try_clone()?),
+            writer: io::BufWriter::new(stream),
+        })
+    }
+
+    fn call(&mut self, request: &Json) -> io::Result<Json> {
+        write_frame(&mut self.writer, request)?;
+        let response = read_frame(&mut self.reader)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))?;
+        match response.get("ok").and_then(Json::as_bool) {
+            Some(true) => Ok(response),
+            _ => {
+                let message = response
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown server error")
+                    .to_string();
+                Err(io::Error::other(message))
+            }
+        }
+    }
+
+    pub fn ping(&mut self) -> io::Result<()> {
+        let mut request = Json::obj();
+        request.set("cmd", "ping");
+        self.call(&request).map(|_| ())
+    }
+
+    pub fn predict(&mut self, query: &Query) -> io::Result<Ranked> {
+        let mut request = query_to_json(query);
+        request.set("cmd", "predict");
+        // `cmd` is appended after the query fields; field order is free.
+        let response = self.call(&request)?;
+        ranked_from_json(
+            response
+                .get("predictions")
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no predictions"))?,
+        )
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    pub fn predict_batch(&mut self, queries: &[Query]) -> io::Result<Vec<Ranked>> {
+        let mut request = Json::obj();
+        request.set("cmd", "batch").set(
+            "queries",
+            queries.iter().map(query_to_json).collect::<Vec<_>>(),
+        );
+        let response = self.call(&request)?;
+        response
+            .get("results")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no results"))?
+            .iter()
+            .map(|r| ranked_from_json(r).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e)))
+            .collect()
+    }
+
+    pub fn stats(&mut self) -> io::Result<Json> {
+        let mut request = Json::obj();
+        request.set("cmd", "stats");
+        let response = self.call(&request)?;
+        response
+            .get("stats")
+            .cloned()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no stats"))
+    }
+
+    pub fn manifest(&mut self) -> io::Result<Json> {
+        let mut request = Json::obj();
+        request.set("cmd", "manifest");
+        let response = self.call(&request)?;
+        response
+            .get("manifest")
+            .cloned()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no manifest"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let mut json = Json::obj();
+        json.set("cmd", "predict").set("ip", "1.2.3.4");
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &json).unwrap();
+        assert_eq!(&buf[..4], &(buf.len() as u32 - 4).to_be_bytes());
+        let parsed = read_frame(&mut buf.as_slice()).unwrap().unwrap();
+        assert_eq!(parsed, json);
+        // Clean EOF.
+        assert!(read_frame(&mut [].as_slice()).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME_BYTES + 1).to_be_bytes());
+        assert!(read_frame(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_frame_is_error() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&10u32.to_be_bytes());
+        buf.extend_from_slice(b"abc");
+        assert!(read_frame(&mut buf.as_slice()).is_err());
+        // EOF mid-length-prefix is truncation, not a clean close.
+        assert!(read_frame(&mut [0u8, 0].as_slice()).is_err());
+        // EOF before any byte IS a clean close.
+        assert!(read_frame(&mut [].as_slice()).unwrap().is_none());
+    }
+
+    #[test]
+    fn query_json_round_trip() {
+        let mut query = Query::new(Ip::from_octets(10, 1, 2, 3)).with_open([443, 80]);
+        query.asn = Some(64500);
+        query.top = 5;
+        let json = query_to_json(&query);
+        assert_eq!(query_from_json(&json).unwrap(), query);
+        // Minimal query: just an IP.
+        let minimal = query_to_json(&Query::new(Ip::from_octets(1, 1, 1, 1)));
+        let parsed = query_from_json(&minimal).unwrap();
+        assert!(parsed.open.is_empty() && parsed.asn.is_none() && parsed.top == 0);
+    }
+
+    #[test]
+    fn ranked_json_round_trip() {
+        let ranked: Ranked = vec![(Port(443), 0.875), (Port(22), 1.0 / 3.0)];
+        assert_eq!(ranked_from_json(&ranked_to_json(&ranked)).unwrap(), ranked);
+    }
+}

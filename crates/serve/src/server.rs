@@ -1,0 +1,418 @@
+//! The long-lived prediction server.
+//!
+//! [`PredictionServer::start`] loads a [`ServableModel`] behind N shard
+//! worker threads (hash-partitioned by the /16 of the query IP, so one
+//! subnet's cache entries live on exactly one shard) and answers
+//! [`predict`](PredictionServer::predict) /
+//! [`predict_batch`](PredictionServer::predict_batch) calls through
+//! bounded work queues. Counters accumulate in [`ServerStats`];
+//! [`StatsSnapshot`] is the consistent read.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::artifact::{Query, Ranked, ServableModel};
+use crate::shard::{run_shard, Job, ShardConfig, ShardHandle};
+use gps_types::json::Json;
+
+/// Serving knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads / model partitions.
+    pub shards: usize,
+    /// Bounded depth of each shard's work queue (backpressure point).
+    pub queue_depth: usize,
+    /// Max jobs a worker drains per wakeup.
+    pub max_batch: usize,
+    /// Per-shard LRU capacity, in distinct (subnet, evidence) answers.
+    pub cache_capacity: usize,
+    /// Predictions returned when a query doesn't say (`Query::top == 0`).
+    pub default_top: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 4,
+            queue_depth: 1024,
+            max_batch: 64,
+            cache_capacity: 8192,
+            default_top: 16,
+        }
+    }
+}
+
+/// Monotonic serving counters, updated by shard workers.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    pub requests: AtomicU64,
+    pub cache_hits: AtomicU64,
+    pub cache_misses: AtomicU64,
+    /// Worker wakeups (each services >= 1 job; requests/batches measures
+    /// effective batching).
+    pub batches: AtomicU64,
+    pub latency_ns_total: AtomicU64,
+    pub latency_ns_max: AtomicU64,
+    pub per_shard: Vec<AtomicU64>,
+}
+
+/// A point-in-time copy of [`ServerStats`] plus derived rates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    pub requests: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub batches: u64,
+    pub mean_latency_us: f64,
+    pub max_latency_us: f64,
+    pub per_shard: Vec<u64>,
+    pub uptime_secs: f64,
+}
+
+impl StatsSnapshot {
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    pub fn to_json(&self) -> Json {
+        let mut json = Json::obj();
+        json.set("requests", Json::Num(self.requests as f64))
+            .set("cache_hits", Json::Num(self.cache_hits as f64))
+            .set("cache_misses", Json::Num(self.cache_misses as f64))
+            .set("hit_rate", self.hit_rate())
+            .set("batches", Json::Num(self.batches as f64))
+            .set("mean_latency_us", self.mean_latency_us)
+            .set("max_latency_us", self.max_latency_us)
+            .set(
+                "per_shard",
+                self.per_shard
+                    .iter()
+                    .map(|&n| Json::Num(n as f64))
+                    .collect::<Vec<_>>(),
+            )
+            .set("uptime_secs", self.uptime_secs);
+        json
+    }
+}
+
+/// A running, queryable prediction service.
+pub struct PredictionServer {
+    model: Arc<ServableModel>,
+    shards: Vec<ShardHandle>,
+    workers: Vec<JoinHandle<()>>,
+    stats: Arc<ServerStats>,
+    started: Instant,
+    config: ServeConfig,
+}
+
+impl PredictionServer {
+    /// Spawn the shard workers and return the ready server.
+    pub fn start(model: ServableModel, config: ServeConfig) -> PredictionServer {
+        let config = ServeConfig {
+            shards: config.shards.max(1),
+            ..config
+        };
+        let model = Arc::new(model);
+        let stats = Arc::new(ServerStats {
+            per_shard: (0..config.shards).map(|_| AtomicU64::new(0)).collect(),
+            ..ServerStats::default()
+        });
+        let mut shards = Vec::with_capacity(config.shards);
+        let mut workers = Vec::with_capacity(config.shards);
+        for index in 0..config.shards {
+            let (tx, rx) = mpsc::sync_channel(config.queue_depth.max(1));
+            let shard_config = ShardConfig {
+                index,
+                cache_capacity: config.cache_capacity,
+                max_batch: config.max_batch.max(1),
+                default_top: config.default_top,
+            };
+            let model = model.clone();
+            let stats = stats.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("gps-serve-shard-{index}"))
+                    .spawn(move || run_shard(model, stats, shard_config, rx))
+                    .expect("spawn shard worker"),
+            );
+            shards.push(ShardHandle { sender: tx });
+        }
+        PredictionServer {
+            model,
+            shards,
+            workers,
+            stats,
+            started: Instant::now(),
+            config,
+        }
+    }
+
+    /// Convenience: start with defaults.
+    pub fn with_defaults(model: ServableModel) -> PredictionServer {
+        Self::start(model, ServeConfig::default())
+    }
+
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    pub fn model(&self) -> &ServableModel {
+        &self.model
+    }
+
+    /// Which shard owns an IP: hash of its /16, mod shard count. All IPs
+    /// of one /16 land on one shard, so per-subnet cache entries are never
+    /// duplicated across shards.
+    pub fn shard_of(&self, ip: gps_types::Ip) -> usize {
+        let slash16 = ip.0 >> 16;
+        // Fibonacci hashing spreads sequential /16s across shards.
+        let h = (slash16 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> 32) as usize % self.shards.len()
+    }
+
+    /// Answer one query (blocks until the owning shard replies).
+    pub fn predict(&self, query: Query) -> Arc<Ranked> {
+        let shard = self.shard_of(query.ip);
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let job = Job {
+            queries: vec![query],
+            reply: reply_tx,
+            tag: 0,
+            enqueued: Instant::now(),
+        };
+        self.shards[shard]
+            .sender
+            .send(job)
+            .expect("shard worker alive");
+        let (_, mut answers) = reply_rx.recv().expect("shard worker replies");
+        answers.pop().expect("one answer per query")
+    }
+
+    /// Answer a batch, preserving input order. Queries are partitioned by
+    /// owning shard and serviced concurrently.
+    pub fn predict_batch(&self, queries: Vec<Query>) -> Vec<Arc<Ranked>> {
+        let n = queries.len();
+        let mut by_shard: Vec<(Vec<usize>, Vec<Query>)> = (0..self.shards.len())
+            .map(|_| (Vec::new(), Vec::new()))
+            .collect();
+        for (idx, query) in queries.into_iter().enumerate() {
+            let shard = self.shard_of(query.ip);
+            by_shard[shard].0.push(idx);
+            by_shard[shard].1.push(query);
+        }
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let mut outstanding: Vec<Vec<usize>> = Vec::new();
+        for (shard, (indices, shard_queries)) in by_shard.into_iter().enumerate() {
+            if shard_queries.is_empty() {
+                continue;
+            }
+            let job = Job {
+                queries: shard_queries,
+                reply: reply_tx.clone(),
+                tag: outstanding.len(),
+                enqueued: Instant::now(),
+            };
+            self.shards[shard]
+                .sender
+                .send(job)
+                .expect("shard worker alive");
+            outstanding.push(indices);
+        }
+        drop(reply_tx);
+        let mut results: Vec<Option<Arc<Ranked>>> = vec![None; n];
+        // Shard replies arrive in arbitrary order; the echoed tag names
+        // the sub-batch each belongs to.
+        for _ in 0..outstanding.len() {
+            let (tag, answers) = reply_rx.recv().expect("shard worker replies");
+            for (&idx, answer) in outstanding[tag].iter().zip(answers) {
+                results[idx] = Some(answer);
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every query answered"))
+            .collect()
+    }
+
+    /// Consistent snapshot of the counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        let requests = self.stats.requests.load(Ordering::Relaxed);
+        let total_ns = self.stats.latency_ns_total.load(Ordering::Relaxed);
+        StatsSnapshot {
+            requests,
+            cache_hits: self.stats.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.stats.cache_misses.load(Ordering::Relaxed),
+            batches: self.stats.batches.load(Ordering::Relaxed),
+            mean_latency_us: if requests == 0 {
+                0.0
+            } else {
+                total_ns as f64 / requests as f64 / 1000.0
+            },
+            max_latency_us: self.stats.latency_ns_max.load(Ordering::Relaxed) as f64 / 1000.0,
+            per_shard: self
+                .stats
+                .per_shard
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            uptime_secs: self.started.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Stop accepting work and join every shard worker.
+    pub fn shutdown(mut self) {
+        self.shards.clear(); // drop senders; workers drain and exit
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for PredictionServer {
+    fn drop(&mut self) {
+        self.shards.clear();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gps_core::snapshot::{ModelManifest, FORMAT_MAJOR, FORMAT_MINOR};
+    use gps_core::{CondModel, FeatureRules, Interactions, NetFeature, PriorsEntry};
+    use gps_types::{Ip, Port, Subnet};
+    use std::collections::HashMap;
+
+    fn model() -> ServableModel {
+        let mut rules: HashMap<gps_core::CondKey, Vec<(Port, f64)>> = HashMap::new();
+        rules.insert(gps_core::CondKey::Port(Port(80)), vec![(Port(443), 0.9)]);
+        let snapshot = gps_core::ModelSnapshot {
+            manifest: ModelManifest {
+                format: (FORMAT_MAJOR, FORMAT_MINOR),
+                universe_seed: 0,
+                dataset_name: "unit".into(),
+                step_prefix: 16,
+                min_prob: 1e-5,
+                interactions: Interactions::ALL,
+                net_features: vec![NetFeature::Slash(16)],
+                hosts_in: 0,
+                distinct_keys: 0,
+                cooccur_entries: 0,
+                num_rules: 1,
+                num_priors: 1,
+                checksum: 0,
+            },
+            model: CondModel::from_parts(HashMap::new(), Interactions::ALL),
+            rules: FeatureRules::from_parts(rules),
+            priors: vec![PriorsEntry {
+                port: Port(22),
+                subnet: Subnet::of_ip(Ip::from_octets(10, 0, 0, 0), 16),
+                coverage: 4,
+            }],
+        };
+        ServableModel::from_snapshot(snapshot)
+    }
+
+    #[test]
+    fn predict_and_stats() {
+        let server = PredictionServer::start(
+            model(),
+            ServeConfig {
+                shards: 2,
+                ..ServeConfig::default()
+            },
+        );
+        let cold = server.predict(Query::new(Ip::from_octets(10, 0, 3, 4)));
+        assert_eq!(cold[0], (Port(22), 1.0));
+        let warm = server.predict(Query::new(Ip::from_octets(10, 0, 3, 4)).with_open([80]));
+        assert_eq!(warm[0], (Port(443), 0.9));
+        // Same subnet + evidence hits the cache.
+        let again = server.predict(Query::new(Ip::from_octets(10, 0, 9, 9)).with_open([80]));
+        assert_eq!(again, warm);
+        let stats = server.stats();
+        assert_eq!(stats.requests, 3);
+        assert!(stats.cache_hits >= 1, "{stats:?}");
+        assert_eq!(stats.per_shard.iter().sum::<u64>(), 3);
+        server.shutdown();
+    }
+
+    #[test]
+    fn batch_preserves_order_across_shards() {
+        let server = PredictionServer::start(
+            model(),
+            ServeConfig {
+                shards: 4,
+                ..ServeConfig::default()
+            },
+        );
+        let ips: Vec<Ip> = (0..64u32).map(|i| Ip((i << 16) | 5)).collect();
+        let queries: Vec<Query> = ips
+            .iter()
+            .map(|&ip| Query::new(ip).with_open([80]))
+            .collect();
+        let answers = server.predict_batch(queries.clone());
+        assert_eq!(answers.len(), 64);
+        for (query, answer) in queries.into_iter().zip(&answers) {
+            assert_eq!(**answer, *server.predict(query), "order preserved");
+        }
+    }
+
+    #[test]
+    fn empty_batch() {
+        let server = PredictionServer::with_defaults(model());
+        assert!(server.predict_batch(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn concurrent_clients_agree() {
+        let server = Arc::new(PredictionServer::start(
+            model(),
+            ServeConfig {
+                shards: 3,
+                ..ServeConfig::default()
+            },
+        ));
+        let mut handles = Vec::new();
+        for t in 0..8u32 {
+            let server = server.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u32 {
+                    let ip = Ip(((t * 37 + i) % 256) << 16 | i);
+                    let ranked = server.predict(Query::new(ip).with_open([80]));
+                    assert_eq!(ranked[0], (Port(443), 0.9));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(server.stats().requests, 1600);
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_subnet_aligned() {
+        let server = PredictionServer::start(
+            model(),
+            ServeConfig {
+                shards: 8,
+                ..ServeConfig::default()
+            },
+        );
+        for ip in [Ip::from_octets(1, 2, 3, 4), Ip::from_octets(200, 1, 0, 0)] {
+            let shard = server.shard_of(ip);
+            // Every IP in the same /16 maps to the same shard.
+            assert_eq!(shard, server.shard_of(Ip(ip.0 ^ 0xFFFF)));
+            assert!(shard < 8);
+        }
+    }
+}

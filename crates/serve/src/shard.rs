@@ -1,0 +1,124 @@
+//! Shard worker threads.
+//!
+//! The server hash-partitions queries by the /16 of the query IP across N
+//! shards. Each shard is one worker thread owning a private LRU cache and
+//! fed by a *bounded* channel — a full queue blocks producers, which is
+//! the backpressure story: the server degrades to slower accepts, never to
+//! unbounded memory.
+//!
+//! Workers drain opportunistically: after blocking on the first job they
+//! pull whatever else is already queued (up to `max_batch`) and service
+//! the whole batch before replying. Batching amortizes per-wakeup costs
+//! and keeps the cache hot across adjacent requests in a burst.
+
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, Sender, SyncSender, TryRecvError};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::artifact::{Query, Ranked, ServableModel};
+use crate::cache::LruCache;
+use crate::server::ServerStats;
+use gps_types::Subnet;
+
+/// Cache key: everything a prediction depends on, at subnet granularity.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub(crate) struct CacheKey {
+    /// Base of the query IP's subnet at the model's finest relevant prefix.
+    subnet_base: u32,
+    open: Vec<u16>,
+    asn: Option<u32>,
+    top: usize,
+}
+
+/// A unit of shard work: one or more queries plus the reply channel. The
+/// `tag` is echoed back so a caller fanning one batch across shards can
+/// match replies to sub-batches.
+pub(crate) struct Job {
+    pub queries: Vec<Query>,
+    pub reply: Sender<(usize, Vec<Arc<Ranked>>)>,
+    pub tag: usize,
+    pub enqueued: Instant,
+}
+
+pub(crate) struct ShardConfig {
+    pub index: usize,
+    pub cache_capacity: usize,
+    pub max_batch: usize,
+    pub default_top: usize,
+}
+
+/// The worker loop: runs until every [`SyncSender`] for the channel drops.
+pub(crate) fn run_shard(
+    model: Arc<ServableModel>,
+    stats: Arc<ServerStats>,
+    config: ShardConfig,
+    rx: Receiver<Job>,
+) {
+    let cache_prefix = model.cache_prefix();
+    let mut cache: LruCache<CacheKey, Arc<Ranked>> = LruCache::new(config.cache_capacity);
+    let mut batch: Vec<Job> = Vec::with_capacity(config.max_batch);
+
+    while let Ok(first) = rx.recv() {
+        batch.push(first);
+        while batch.len() < config.max_batch {
+            match rx.try_recv() {
+                Ok(job) => batch.push(job),
+                Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
+            }
+        }
+        stats.batches.fetch_add(1, Ordering::Relaxed);
+
+        for job in batch.drain(..) {
+            let mut answers = Vec::with_capacity(job.queries.len());
+            for mut query in job.queries {
+                if query.top == 0 {
+                    query.top = config.default_top;
+                }
+                // Canonical evidence order so permutations share a slot.
+                query.open.sort_unstable();
+                query.open.dedup();
+                let key = CacheKey {
+                    subnet_base: Subnet::of_ip(query.ip, cache_prefix).base().0,
+                    open: query.open.iter().map(|p| p.0).collect(),
+                    asn: query.asn,
+                    top: query.top,
+                };
+                let answer = match cache.get(&key) {
+                    Some(hit) => {
+                        stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        hit.clone()
+                    }
+                    None => {
+                        stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+                        let computed = Arc::new(model.predict(&query));
+                        cache.insert(key, computed.clone());
+                        computed
+                    }
+                };
+                answers.push(answer);
+            }
+            let n = answers.len() as u64;
+            // Counters are bumped before the reply so a caller that reads
+            // stats right after its answer arrives sees itself counted.
+            let latency_ns = job.enqueued.elapsed().as_nanos() as u64;
+            stats.requests.fetch_add(n, Ordering::Relaxed);
+            stats.per_shard[config.index].fetch_add(n, Ordering::Relaxed);
+            stats
+                .latency_ns_total
+                .fetch_add(latency_ns.saturating_mul(n), Ordering::Relaxed);
+            stats
+                .latency_ns_max
+                .fetch_max(latency_ns, Ordering::Relaxed);
+
+            // The requester may have given up (timeout); a dead reply
+            // channel is not a shard error.
+            let _ = job.reply.send((job.tag, answers));
+        }
+    }
+}
+
+/// The producer-side handle of one shard.
+pub(crate) struct ShardHandle {
+    pub sender: SyncSender<Job>,
+}

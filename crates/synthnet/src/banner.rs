@@ -41,8 +41,17 @@ pub enum Scope {
 pub fn kinds_for_protocol(proto: Protocol) -> &'static [FeatureKind] {
     use FeatureKind as F;
     match proto {
-        Protocol::Http => &[F::HttpServer, F::HttpHtmlTitle, F::HttpBodyHash, F::HttpHeader],
-        Protocol::Tls => &[F::TlsCertHash, F::TlsCertOrganization, F::TlsCertSubjectName],
+        Protocol::Http => &[
+            F::HttpServer,
+            F::HttpHtmlTitle,
+            F::HttpBodyHash,
+            F::HttpHeader,
+        ],
+        Protocol::Tls => &[
+            F::TlsCertHash,
+            F::TlsCertOrganization,
+            F::TlsCertSubjectName,
+        ],
         Protocol::Ssh => &[F::SshHostKey, F::SshBanner],
         Protocol::Vnc => &[F::VncDesktopName],
         Protocol::Smtp => &[F::SmtpBanner],
@@ -196,7 +205,8 @@ pub fn features_for_service(
         let value = match scope {
             Scope::Grouped(1) => base,
             Scope::Grouped(n) => {
-                let group = mix64(host_key, kind.index() as u64 ^ (template_id as u64) << 8) % n as u64;
+                let group =
+                    mix64(host_key, kind.index() as u64 ^ (template_id as u64) << 8) % n as u64;
                 format!("{base} [v{group}]")
             }
             Scope::PerHost => format!("{base} #{:016x}", mix64(host_key, kind.index() as u64)),
@@ -253,9 +263,18 @@ mod tests {
         let (t, id) = template("web-nginx");
         let a = features_for_service(&interner, t, id, Protocol::Tls, 1, Asn(7));
         let b = features_for_service(&interner, t, id, Protocol::Tls, 2, Asn(7));
-        let hash_a = a.iter().find(|f| f.kind == FeatureKind::TlsCertHash).unwrap();
-        let hash_b = b.iter().find(|f| f.kind == FeatureKind::TlsCertHash).unwrap();
-        assert_ne!(hash_a.value, hash_b.value, "server cert hashes are per-host");
+        let hash_a = a
+            .iter()
+            .find(|f| f.kind == FeatureKind::TlsCertHash)
+            .unwrap();
+        let hash_b = b
+            .iter()
+            .find(|f| f.kind == FeatureKind::TlsCertHash)
+            .unwrap();
+        assert_ne!(
+            hash_a.value, hash_b.value,
+            "server cert hashes are per-host"
+        );
     }
 
     #[test]
@@ -264,8 +283,14 @@ mod tests {
         let (t, id) = template("home-router-alpha");
         let a = features_for_service(&interner, t, id, Protocol::Cwmp, 1, Asn(7));
         let b = features_for_service(&interner, t, id, Protocol::Cwmp, 999, Asn(9));
-        let h_a = a.iter().find(|f| f.kind == FeatureKind::CwmpHeader).unwrap();
-        let h_b = b.iter().find(|f| f.kind == FeatureKind::CwmpHeader).unwrap();
+        let h_a = a
+            .iter()
+            .find(|f| f.kind == FeatureKind::CwmpHeader)
+            .unwrap();
+        let h_b = b
+            .iter()
+            .find(|f| f.kind == FeatureKind::CwmpHeader)
+            .unwrap();
         assert_eq!(h_a.value, h_b.value, "CWMP header is fully manufactured");
     }
 
@@ -279,7 +304,10 @@ mod tests {
         let _ = (cam, cam_id);
         // Use POP3 on a device-class template via direct call:
         let banner = |fs: &[FeatureValue]| {
-            fs.iter().find(|f| f.kind == FeatureKind::Pop3Banner).unwrap().value
+            fs.iter()
+                .find(|f| f.kind == FeatureKind::Pop3Banner)
+                .unwrap()
+                .value
         };
         let a = features_for_service(&interner, t, id, Protocol::Pop3, 1, Asn(7));
         let b = features_for_service(&interner, t, id, Protocol::Pop3, 2, Asn(7));
@@ -293,7 +321,10 @@ mod tests {
         let interner = Interner::new();
         let (t, id) = template("distributel-modem");
         let f = features_for_service(&interner, t, id, Protocol::Telnet, 5, Asn(1181));
-        let telnet = f.iter().find(|f| f.kind == FeatureKind::TelnetBanner).unwrap();
+        let telnet = f
+            .iter()
+            .find(|f| f.kind == FeatureKind::TelnetBanner)
+            .unwrap();
         let banner = interner.resolve(telnet.value);
         assert!(banner.contains("Telnet service is disabled"));
         // The protocol fingerprint rides along as a feature.
@@ -307,10 +338,17 @@ mod tests {
         let mut distinct = std::collections::HashSet::new();
         for host in 0..500u64 {
             let f = features_for_service(&interner, t, id, Protocol::Http, host, Asn(7));
-            let server = f.iter().find(|f| f.kind == FeatureKind::HttpServer).unwrap();
+            let server = f
+                .iter()
+                .find(|f| f.kind == FeatureKind::HttpServer)
+                .unwrap();
             distinct.insert(server.value);
         }
-        assert!(distinct.len() <= 3, "device HttpServer is Grouped(3), got {}", distinct.len());
+        assert!(
+            distinct.len() <= 3,
+            "device HttpServer is Grouped(3), got {}",
+            distinct.len()
+        );
         assert!(distinct.len() >= 2, "groups should actually split");
     }
 }

@@ -29,7 +29,7 @@ pub struct UniverseConfig {
     pub density_scale: f64,
     /// Fraction of hosts that are middleboxes serving "pseudo services" on
     /// >1000 contiguous ports (Appendix B measures these as dominating 96%
-    /// of ports before filtering).
+    /// > of ports before filtering).
     pub pseudo_host_fraction: f64,
     /// Multiplier on per-template port-forwarding probabilities. Forwarded
     /// services move to a uniformly random high port — the paper finds at
@@ -58,7 +58,11 @@ impl Default for UniverseConfig {
 impl UniverseConfig {
     /// A small universe for unit tests and `--quick` experiment runs.
     pub fn tiny(seed: u64) -> Self {
-        UniverseConfig { seed, num_slash16: 4, ..Default::default() }
+        UniverseConfig {
+            seed,
+            num_slash16: 4,
+            ..Default::default()
+        }
     }
 
     /// The default experiment universe (≈8.4M addresses, ≈3×10⁵ hosts).
@@ -69,12 +73,20 @@ impl UniverseConfig {
     /// of /16 blocks (a (port, /16) priors tuple costs 1/num_blocks of a
     /// full scan).
     pub fn standard(seed: u64) -> Self {
-        UniverseConfig { seed, num_slash16: 128, ..Default::default() }
+        UniverseConfig {
+            seed,
+            num_slash16: 128,
+            ..Default::default()
+        }
     }
 
     /// A larger universe for headline experiments (≈8.4M addresses).
     pub fn large(seed: u64) -> Self {
-        UniverseConfig { seed, num_slash16: 128, ..Default::default() }
+        UniverseConfig {
+            seed,
+            num_slash16: 128,
+            ..Default::default()
+        }
     }
 
     /// Total number of addresses in the simulated "IPv4 space".
@@ -123,17 +135,29 @@ mod tests {
 
     #[test]
     fn universe_size_scales_with_blocks() {
-        let c = UniverseConfig { num_slash16: 64, ..Default::default() };
+        let c = UniverseConfig {
+            num_slash16: 64,
+            ..Default::default()
+        };
         assert_eq!(c.universe_size(), 64 * 65536);
     }
 
     #[test]
     fn validation_rejects_bad_knobs() {
-        let c = UniverseConfig { num_slash16: 0, ..Default::default() };
+        let c = UniverseConfig {
+            num_slash16: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let c = UniverseConfig { density_scale: -1.0, ..Default::default() };
+        let c = UniverseConfig {
+            density_scale: -1.0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let c = UniverseConfig { pseudo_host_fraction: 0.9, ..Default::default() };
+        let c = UniverseConfig {
+            pseudo_host_fraction: 0.9,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 }

@@ -91,7 +91,10 @@ impl Host {
 
     /// Open ports alive on `day`.
     pub fn open_ports(&self, day: u16) -> impl Iterator<Item = Port> + '_ {
-        self.services.iter().filter(move |s| s.alive(day)).map(|s| s.port)
+        self.services
+            .iter()
+            .filter(move |s| s.alive(day))
+            .map(|s| s.port)
     }
 }
 
@@ -217,7 +220,10 @@ impl Internet {
         if let Ok(i) = self.pseudo.binary_search_by_key(&ip, |p| p.ip) {
             let p = &self.pseudo[i];
             if p.responds_on(port) {
-                return Some(ProbeView::Pseudo { content: p.content, ttl: p.ttl });
+                return Some(ProbeView::Pseudo {
+                    content: p.content,
+                    ttl: p.ttl,
+                });
             }
         }
         None
@@ -242,7 +248,10 @@ impl Internet {
 
     /// Sorted addresses with a real service on `port` (any lifetime).
     pub fn ips_on_port(&self, port: Port) -> &[u32] {
-        self.port_index.get(&port.0).map(Vec::as_slice).unwrap_or(&[])
+        self.port_index
+            .get(&port.0)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Addresses inside `subnet` with a real service alive on `port`.
@@ -524,7 +533,11 @@ fn instantiate_host(
         services.push(GroundService {
             port: Port(port),
             protocol: spec.protocol,
-            placement: if forwarded { PlacementKind::Forwarded } else { kind },
+            placement: if forwarded {
+                PlacementKind::Forwarded
+            } else {
+                kind
+            },
             forwarded,
             ttl,
             dies_day,
@@ -540,7 +553,11 @@ fn instantiate_host(
     }
 
     services.sort_by_key(|s| s.port);
-    Host { template: template_id, ttl_base, services }
+    Host {
+        template: template_id,
+        ttl_base,
+        services,
+    }
 }
 
 #[cfg(test)]
@@ -577,7 +594,10 @@ mod tests {
                 // compare resolved strings.
                 for (fa, fb) in sa.features.iter().zip(&sb.features) {
                     assert_eq!(fa.kind, fb.kind);
-                    assert_eq!(a.interner().resolve(fa.value), b.interner().resolve(fb.value));
+                    assert_eq!(
+                        a.interner().resolve(fa.value),
+                        b.interner().resolve(fb.value)
+                    );
                 }
             }
         }
@@ -663,7 +683,10 @@ mod tests {
         let day10 = net.total_services_on(10);
         assert!(day10 < day0, "some services must churn out");
         let loss = 1.0 - day10 as f64 / day0 as f64;
-        assert!(loss > 0.02 && loss < 0.30, "10-day loss {loss:.3} out of plausible range");
+        assert!(
+            loss > 0.02 && loss < 0.30,
+            "10-day loss {loss:.3} out of plausible range"
+        );
     }
 
     #[test]
@@ -689,7 +712,10 @@ mod tests {
             let before = ports.len();
             ports.dedup();
             assert_eq!(ports.len(), before, "duplicate port on one host");
-            assert!(ports.windows(2).all(|w| w[0] < w[1]), "services sorted by port");
+            assert!(
+                ports.windows(2).all(|w| w[0] < w[1]),
+                "services sorted by port"
+            );
         }
     }
 
@@ -712,7 +738,10 @@ mod tests {
             ..UniverseConfig::tiny(3)
         });
         // Find the freebox-like template id.
-        let fb = CATALOG.iter().position(|t| t.name == "freebox-like").unwrap() as u16;
+        let fb = CATALOG
+            .iter()
+            .position(|t| t.name == "freebox-like")
+            .unwrap() as u16;
         let mut asns = std::collections::HashSet::new();
         let mut count = 0;
         for (ip, host) in net.iter_hosts() {

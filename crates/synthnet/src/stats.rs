@@ -27,7 +27,12 @@ impl PortCensus {
         let by_count = net.port_census(day);
         let counts = by_count.iter().map(|&(p, c)| (p.0, c)).collect();
         let total_services = by_count.iter().map(|&(_, c)| c).sum();
-        PortCensus { by_count, counts, total_services, day }
+        PortCensus {
+            by_count,
+            counts,
+            total_services,
+            day,
+        }
     }
 
     /// Live service count on a port.
@@ -281,9 +286,15 @@ mod tests {
             co.overall_fraction
         );
         // Popular ports co-occur more than the tail.
-        let head: f64 =
-            co.by_port.iter().take(5).map(|&(_, f, _)| f).sum::<f64>() / 5.0;
-        let tail: f64 = co.by_port.iter().rev().take(50).map(|&(_, f, _)| f).sum::<f64>() / 50.0;
+        let head: f64 = co.by_port.iter().take(5).map(|&(_, f, _)| f).sum::<f64>() / 5.0;
+        let tail: f64 = co
+            .by_port
+            .iter()
+            .rev()
+            .take(50)
+            .map(|&(_, f, _)| f)
+            .sum::<f64>()
+            / 50.0;
         assert!(head > tail, "head {head} vs tail {tail}");
     }
 

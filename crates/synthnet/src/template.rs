@@ -13,9 +13,9 @@
 //! - [`Placement::Pool`]/[`Placement::Spread`]: firmware- or deployment-
 //!   dependent alternates (Spread pins one port per template × /16
 //!   deployment) — the predictable part of the long tail;
-//! - [`Placement::AsPool`]: the per-network management ports behind §6.6's
+//! - [`Placement::AsPool`] — the per-network management ports behind §6.6's
 //!   anecdotes (all hosts of one template inside one AS share a port);
-//! - [`Placement::RandomHigh`]: FRITZ!Box-style "random TCP port for HTTPS"
+//! - [`Placement::RandomHigh`] — FRITZ!Box-style "random TCP port for HTTPS"
 //!   (§7) — unpredictable by construction.
 //!
 //! Per-service `forward_prob` then relocates a slice of services to uniform

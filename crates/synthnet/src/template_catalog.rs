@@ -29,7 +29,12 @@ const fn w(res: f64, host: f64, ent: f64, mob: f64, acad: f64) -> [f64; 5] {
 }
 
 const fn s(protocol: Pr, placement: P, prob: f64, forward_prob: f64) -> ServiceSpec {
-    ServiceSpec { protocol, placement, prob, forward_prob }
+    ServiceSpec {
+        protocol,
+        placement,
+        prob,
+        forward_prob,
+    }
 }
 
 /// The catalog. Index into this array is the stable `TemplateId`.
@@ -43,12 +48,44 @@ pub static CATALOG: &[DeviceTemplate] = &[
         as_affinity: None,
         services: &[
             s(Pr::Http, P::Assigned, 0.18, 0.06),
-            s(Pr::Http, P::Spread { base: 8000, span: 192 }, 0.70, 0.06),
+            s(
+                Pr::Http,
+                P::Spread {
+                    base: 8000,
+                    span: 192,
+                },
+                0.70,
+                0.06,
+            ),
             s(Pr::Cwmp, P::Assigned, 0.22, 0.01),
-            s(Pr::Cwmp, P::AsPool { base: 10000, span: 2048 }, 0.75, 0.01),
+            s(
+                Pr::Cwmp,
+                P::AsPool {
+                    base: 10000,
+                    span: 2048,
+                },
+                0.75,
+                0.01,
+            ),
             s(Pr::Telnet, P::Assigned, 0.10, 0.10),
-            s(Pr::Tls, P::Spread { base: 4430, span: 96 }, 0.30, 0.06),
-            s(Pr::Unknown, P::Spread { base: 2400, span: 320 }, 0.45, 0.04),
+            s(
+                Pr::Tls,
+                P::Spread {
+                    base: 4430,
+                    span: 96,
+                },
+                0.30,
+                0.06,
+            ),
+            s(
+                Pr::Unknown,
+                P::Spread {
+                    base: 2400,
+                    span: 320,
+                },
+                0.45,
+                0.04,
+            ),
         ],
         churn_10d: 0.13,
     },
@@ -61,10 +98,26 @@ pub static CATALOG: &[DeviceTemplate] = &[
         services: &[
             s(Pr::Http, P::Assigned, 0.14, 0.05),
             s(Pr::Http, P::Pool(&[8080, 8081, 8088, 8888]), 0.40, 0.06),
-            s(Pr::Http, P::Spread { base: 3300, span: 256 }, 0.55, 0.05),
+            s(
+                Pr::Http,
+                P::Spread {
+                    base: 3300,
+                    span: 256,
+                },
+                0.55,
+                0.05,
+            ),
             s(Pr::Cwmp, P::Pool(&[7547, 5678]), 0.30, 0.01),
             s(Pr::Ssh, P::Pool(&[22, 2222]), 0.10, 0.08),
-            s(Pr::Unknown, P::AsPool { base: 11000, span: 1024 }, 0.75, 0.01),
+            s(
+                Pr::Unknown,
+                P::AsPool {
+                    base: 11000,
+                    span: 1024,
+                },
+                0.75,
+                0.01,
+            ),
         ],
         churn_10d: 0.13,
     },
@@ -77,10 +130,26 @@ pub static CATALOG: &[DeviceTemplate] = &[
         as_affinity: None,
         services: &[
             s(Pr::Http, P::Assigned, 0.30, 0.04),
-            s(Pr::Http, P::Spread { base: 1024, span: 192 }, 0.45, 0.04),
+            s(
+                Pr::Http,
+                P::Spread {
+                    base: 1024,
+                    span: 192,
+                },
+                0.45,
+                0.04,
+            ),
             s(Pr::Tls, P::RandomHigh, 0.45, 0.0),
             s(Pr::Cwmp, P::Assigned, 0.28, 0.01),
-            s(Pr::Cwmp, P::AsPool { base: 5800, span: 1024 }, 0.55, 0.01),
+            s(
+                Pr::Cwmp,
+                P::AsPool {
+                    base: 5800,
+                    span: 1024,
+                },
+                0.55,
+                0.01,
+            ),
             s(Pr::Unknown, P::Fixed(5060), 0.25, 0.03),
         ],
         churn_10d: 0.14,
@@ -124,7 +193,15 @@ pub static CATALOG: &[DeviceTemplate] = &[
             s(Pr::Http, P::Pool(&[81, 88, 8000, 8899]), 0.55, 0.12),
             s(Pr::Unknown, P::Fixed(4567), 0.45, 0.12),
             s(Pr::Telnet, P::Pool(&[23, 2323]), 0.25, 0.15),
-            s(Pr::Unknown, P::Spread { base: 9000, span: 512 }, 0.80, 0.06),
+            s(
+                Pr::Unknown,
+                P::Spread {
+                    base: 9000,
+                    span: 512,
+                },
+                0.80,
+                0.06,
+            ),
         ],
         churn_10d: 0.19,
     },
@@ -135,7 +212,15 @@ pub static CATALOG: &[DeviceTemplate] = &[
         weight: w(10.0, 0.3, 2.5, 1.5, 0.3),
         as_affinity: None,
         services: &[
-            s(Pr::Http, P::Spread { base: 10080, span: 512 }, 0.90, 0.10),
+            s(
+                Pr::Http,
+                P::Spread {
+                    base: 10080,
+                    span: 512,
+                },
+                0.90,
+                0.10,
+            ),
             s(Pr::Unknown, P::Fixed(5544), 0.60, 0.10),
             s(Pr::Telnet, P::Fixed(2323), 0.25, 0.15),
         ],
@@ -151,7 +236,15 @@ pub static CATALOG: &[DeviceTemplate] = &[
             s(Pr::Http, P::Fixed(7777), 0.80, 0.10),
             s(Pr::Http, P::Assigned, 0.18, 0.08),
             s(Pr::Telnet, P::Fixed(2323), 0.30, 0.14),
-            s(Pr::Unknown, P::Spread { base: 9300, span: 512 }, 0.55, 0.06),
+            s(
+                Pr::Unknown,
+                P::Spread {
+                    base: 9300,
+                    span: 512,
+                },
+                0.55,
+                0.06,
+            ),
         ],
         churn_10d: 0.18,
     },
@@ -165,8 +258,24 @@ pub static CATALOG: &[DeviceTemplate] = &[
             s(Pr::Http, P::Assigned, 0.20, 0.07),
             s(Pr::Unknown, P::Fixed(7215), 0.40, 0.05),
             s(Pr::Telnet, P::Assigned, 0.18, 0.12),
-            s(Pr::Cwmp, P::AsPool { base: 10005, span: 1024 }, 0.75, 0.01),
-            s(Pr::Http, P::Spread { base: 6200, span: 320 }, 0.50, 0.05),
+            s(
+                Pr::Cwmp,
+                P::AsPool {
+                    base: 10005,
+                    span: 1024,
+                },
+                0.75,
+                0.01,
+            ),
+            s(
+                Pr::Http,
+                P::Spread {
+                    base: 6200,
+                    span: 320,
+                },
+                0.50,
+                0.05,
+            ),
         ],
         churn_10d: 0.14,
     },
@@ -207,7 +316,15 @@ pub static CATALOG: &[DeviceTemplate] = &[
             s(Pr::Ftp, P::Assigned, 0.50, 0.08),
             s(Pr::Unknown, P::Fixed(445), 0.75, 0.03),
             s(Pr::Ssh, P::Assigned, 0.30, 0.06),
-            s(Pr::Unknown, P::Spread { base: 6000, span: 128 }, 0.40, 0.04),
+            s(
+                Pr::Unknown,
+                P::Spread {
+                    base: 6000,
+                    span: 128,
+                },
+                0.40,
+                0.04,
+            ),
         ],
         churn_10d: 0.08,
     },
@@ -219,7 +336,15 @@ pub static CATALOG: &[DeviceTemplate] = &[
         as_affinity: None,
         services: &[
             s(Pr::Unknown, P::Fixed(5060), 0.80, 0.04),
-            s(Pr::Http, P::Spread { base: 8800, span: 384 }, 0.75, 0.06),
+            s(
+                Pr::Http,
+                P::Spread {
+                    base: 8800,
+                    span: 384,
+                },
+                0.75,
+                0.06,
+            ),
             s(Pr::Cwmp, P::Assigned, 0.60, 0.01),
         ],
         churn_10d: 0.14,
@@ -234,8 +359,24 @@ pub static CATALOG: &[DeviceTemplate] = &[
             s(Pr::Http, P::Pool(&[80, 8080]), 0.25, 0.12),
             s(Pr::Cwmp, P::Assigned, 0.25, 0.02),
             s(Pr::Unknown, P::RandomHigh, 0.18, 0.0),
-            s(Pr::Unknown, P::AsPool { base: 9500, span: 1024 }, 0.80, 0.01),
-            s(Pr::Http, P::Spread { base: 2000, span: 384 }, 0.45, 0.08),
+            s(
+                Pr::Unknown,
+                P::AsPool {
+                    base: 9500,
+                    span: 1024,
+                },
+                0.80,
+                0.01,
+            ),
+            s(
+                Pr::Http,
+                P::Spread {
+                    base: 2000,
+                    span: 384,
+                },
+                0.45,
+                0.08,
+            ),
         ],
         churn_10d: 0.22,
     },
@@ -250,7 +391,12 @@ pub static CATALOG: &[DeviceTemplate] = &[
             s(Pr::Http, P::Assigned, 0.95, 0.01),
             s(Pr::Tls, P::Assigned, 0.85, 0.01),
             s(Pr::Ssh, P::Assigned, 0.80, 0.03),
-            s(Pr::Http, P::Pool(&[8080, 8081, 3000, 8000, 9000]), 0.30, 0.04),
+            s(
+                Pr::Http,
+                P::Pool(&[8080, 8081, 3000, 8000, 9000]),
+                0.30,
+                0.04,
+            ),
         ],
         churn_10d: 0.04,
     },
@@ -384,7 +530,15 @@ pub static CATALOG: &[DeviceTemplate] = &[
             s(Pr::Ssh, P::Assigned, 0.92, 0.04),
             s(Pr::Http, P::Pool(&[80, 8080, 3000, 8888, 8000]), 0.50, 0.05),
             s(Pr::Tls, P::Assigned, 0.30, 0.04),
-            s(Pr::Unknown, P::Spread { base: 4900, span: 512 }, 0.35, 0.0),
+            s(
+                Pr::Unknown,
+                P::Spread {
+                    base: 4900,
+                    span: 512,
+                },
+                0.35,
+                0.0,
+            ),
         ],
         churn_10d: 0.08,
     },
@@ -398,7 +552,15 @@ pub static CATALOG: &[DeviceTemplate] = &[
             s(Pr::Ssh, P::Assigned, 0.90, 0.02),
             s(Pr::Unknown, P::Fixed(10250), 0.80, 0.01),
             s(Pr::Tls, P::Fixed(6443), 0.60, 0.01),
-            s(Pr::Http, P::Spread { base: 11500, span: 700 }, 0.55, 0.0),
+            s(
+                Pr::Http,
+                P::Spread {
+                    base: 11500,
+                    span: 700,
+                },
+                0.55,
+                0.0,
+            ),
         ],
         churn_10d: 0.06,
     },
@@ -409,7 +571,15 @@ pub static CATALOG: &[DeviceTemplate] = &[
         weight: w(0.2, 6.0, 0.5, 0.1, 0.5),
         as_affinity: None,
         services: &[
-            s(Pr::Unknown, P::Spread { base: 2565, span: 512 }, 0.85, 0.0),
+            s(
+                Pr::Unknown,
+                P::Spread {
+                    base: 2565,
+                    span: 512,
+                },
+                0.85,
+                0.0,
+            ),
             s(Pr::Ssh, P::Assigned, 0.50, 0.04),
             s(Pr::Http, P::Pool(&[8080, 3000]), 0.25, 0.04),
         ],
@@ -427,7 +597,15 @@ pub static CATALOG: &[DeviceTemplate] = &[
             s(Pr::Pptp, P::Assigned, 0.65, 0.01),
             s(Pr::Ssh, P::Assigned, 0.40, 0.02),
             s(Pr::Http, P::Assigned, 0.40, 0.02),
-            s(Pr::Unknown, P::AsPool { base: 9500, span: 500 }, 0.50, 0.0),
+            s(
+                Pr::Unknown,
+                P::AsPool {
+                    base: 9500,
+                    span: 500,
+                },
+                0.50,
+                0.0,
+            ),
         ],
         churn_10d: 0.04,
     },
@@ -468,7 +646,15 @@ pub static CATALOG: &[DeviceTemplate] = &[
             s(Pr::Telnet, P::Assigned, 0.95, 0.01),
             s(Pr::Http, P::Assigned, 0.40, 0.01),
             s(Pr::Ssh, P::Assigned, 0.25, 0.01),
-            s(Pr::Unknown, P::AsPool { base: 4000, span: 400 }, 0.40, 0.0),
+            s(
+                Pr::Unknown,
+                P::AsPool {
+                    base: 4000,
+                    span: 400,
+                },
+                0.40,
+                0.0,
+            ),
         ],
         churn_10d: 0.03,
     },
@@ -480,7 +666,15 @@ pub static CATALOG: &[DeviceTemplate] = &[
         as_affinity: None,
         services: &[
             s(Pr::Unknown, P::Fixed(5061), 0.70, 0.01),
-            s(Pr::Http, P::Spread { base: 7000, span: 128 }, 0.60, 0.02),
+            s(
+                Pr::Http,
+                P::Spread {
+                    base: 7000,
+                    span: 128,
+                },
+                0.60,
+                0.02,
+            ),
             s(Pr::Tls, P::Assigned, 0.30, 0.01),
         ],
         churn_10d: 0.06,

@@ -119,7 +119,11 @@ impl Topology {
             .map(|(idx, b)| ((b.base >> 16) as u16, idx))
             .collect();
 
-        Topology { blocks, by_prefix, num_ases: asn_counter }
+        Topology {
+            blocks,
+            by_prefix,
+            num_ases: asn_counter,
+        }
     }
 
     pub fn blocks(&self) -> &[BlockInfo] {
@@ -128,7 +132,9 @@ impl Topology {
 
     /// The block containing `ip`, if the /16 is allocated.
     pub fn block_of(&self, ip: Ip) -> Option<&BlockInfo> {
-        self.by_prefix.get(&((ip.0 >> 16) as u16)).map(|&i| &self.blocks[i])
+        self.by_prefix
+            .get(&((ip.0 >> 16) as u16))
+            .map(|&i| &self.blocks[i])
     }
 
     /// ASN of `ip`, if allocated.
@@ -171,7 +177,11 @@ mod tests {
     use super::*;
 
     fn topo(n: u32, seed: u64) -> Topology {
-        let config = UniverseConfig { num_slash16: n, seed, ..Default::default() };
+        let config = UniverseConfig {
+            num_slash16: n,
+            seed,
+            ..Default::default()
+        };
         let mut rng = Rng::new(seed);
         Topology::generate(&config, &mut rng)
     }

@@ -26,11 +26,18 @@ pub enum GpsError {
 
 impl GpsError {
     pub fn parse(what: &'static str, input: &str, reason: &'static str) -> Self {
-        GpsError::Parse { what, input: input.to_string(), reason }
+        GpsError::Parse {
+            what,
+            input: input.to_string(),
+            reason,
+        }
     }
 
     pub fn config(field: &'static str, reason: impl Into<String>) -> Self {
-        GpsError::InvalidConfig { field, reason: reason.into() }
+        GpsError::InvalidConfig {
+            field,
+            reason: reason.into(),
+        }
     }
 }
 
@@ -63,7 +70,10 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("ip") && s.contains("1.2.3"));
 
-        let e = GpsError::BudgetExhausted { requested_probes: 10, remaining_probes: 3 };
+        let e = GpsError::BudgetExhausted {
+            requested_probes: 10,
+            remaining_probes: 3,
+        };
         assert!(e.to_string().contains("10"));
     }
 

@@ -234,7 +234,10 @@ mod tests {
         assert!(FeatureKind::Slash16.is_network_layer());
         assert!(FeatureKind::Asn.is_network_layer());
         assert_eq!(
-            FeatureKind::ALL.iter().filter(|k| k.is_network_layer()).count(),
+            FeatureKind::ALL
+                .iter()
+                .filter(|k| k.is_network_layer())
+                .count(),
             2
         );
     }
@@ -246,7 +249,11 @@ mod tests {
             .iter()
             .filter_map(|k| k.source_protocol())
             .collect();
-        assert_eq!(protos.len(), 15, "every bannered protocol contributes a feature");
+        assert_eq!(
+            protos.len(),
+            15,
+            "every bannered protocol contributes a feature"
+        );
     }
 
     #[test]

@@ -1,0 +1,625 @@
+//! Minimal JSON support for model artifacts and the serving wire protocol.
+//!
+//! The build environment is offline, so instead of `serde`/`serde_json` the
+//! snapshot and serving layers use this hand-rolled value type: a compact
+//! writer whose output is deterministic (object fields keep insertion
+//! order, numbers use Rust's shortest round-trippable float formatting) and
+//! a recursive-descent parser with a depth guard. Determinism matters: the
+//! snapshot checksum is computed over serialized bytes, and
+//! write-parse-write must be byte-identical for verification at load time.
+
+use std::fmt;
+
+use crate::error::GpsError;
+use crate::ip::Ip;
+use crate::port::Port;
+use crate::ServiceKey;
+
+/// Maximum nesting depth accepted by the parser (the wire protocol reads
+/// attacker-supplied bytes; unbounded recursion would be a stack overflow).
+const MAX_DEPTH: u32 = 128;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// All numbers are `f64`; integers round-trip exactly up to 2^53.
+    /// 64-bit identifiers (checksums, seeds) are stored as hex strings.
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Insertion-ordered fields (serialization must be deterministic).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Append a field to an object; panics if `self` is not an object.
+    pub fn set(&mut self, key: &str, value: impl Into<Json>) -> &mut Json {
+        match self {
+            Json::Obj(fields) => fields.push((key.to_string(), value.into())),
+            other => panic!("Json::set on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup that errors (for required fields).
+    pub fn req(&self, key: &str) -> Result<&Json, GpsError> {
+        self.get(key)
+            .ok_or_else(|| GpsError::parse("json", key, "missing required field"))
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Parse a JSON document.
+    pub fn parse(text: &str) -> Result<Json, GpsError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing data after document"));
+        }
+        Ok(value)
+    }
+
+    /// Serialize compactly (no whitespace). Deterministic for a given value.
+    pub fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(n) => {
+                debug_assert!(n.is_finite(), "JSON numbers must be finite");
+                if n.is_finite() {
+                    // Rust's float Display is the shortest representation
+                    // that parses back to the same bits - exactly what the
+                    // checksum and the predict round-trip test need.
+                    out.push_str(&n.to_string());
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.write(&mut s);
+        f.write_str(&s)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+impl From<u8> for Json {
+    fn from(v: u8) -> Json {
+        Json::Num(v as f64)
+    }
+}
+impl From<u16> for Json {
+    fn from(v: u16) -> Json {
+        Json::Num(v as f64)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Json {
+        Json::Num(v as f64)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        debug_assert!(v as u64 <= 1 << 53);
+        Json::Num(v as f64)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Json {
+        Json::Arr(v)
+    }
+}
+
+/// Types with a canonical JSON encoding (the role `serde::Serialize` +
+/// `Deserialize` play in an online build).
+pub trait JsonCodec: Sized {
+    fn to_json(&self) -> Json;
+    fn from_json(json: &Json) -> Result<Self, GpsError>;
+}
+
+impl JsonCodec for Ip {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+    fn from_json(json: &Json) -> Result<Ip, GpsError> {
+        json.as_str()
+            .ok_or_else(|| GpsError::parse("ip", &json.to_string(), "expected string"))?
+            .parse()
+    }
+}
+
+impl JsonCodec for Port {
+    fn to_json(&self) -> Json {
+        Json::Num(self.0 as f64)
+    }
+    fn from_json(json: &Json) -> Result<Port, GpsError> {
+        let n = json
+            .as_u64()
+            .ok_or_else(|| GpsError::parse("port", &json.to_string(), "expected integer"))?;
+        u16::try_from(n)
+            .map(Port)
+            .map_err(|_| GpsError::parse("port", &json.to_string(), "expected 0..=65535"))
+    }
+}
+
+impl JsonCodec for ServiceKey {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+    fn from_json(json: &Json) -> Result<ServiceKey, GpsError> {
+        let s = json
+            .as_str()
+            .ok_or_else(|| GpsError::parse("service", &json.to_string(), "expected string"))?;
+        let (ip, port) = s
+            .split_once(':')
+            .ok_or_else(|| GpsError::parse("service", s, "expected ip:port"))?;
+        Ok(ServiceKey::new(ip.parse()?, port.parse()?))
+    }
+}
+
+/// Encode a `u64` as a fixed-width hex string (JSON numbers lose precision
+/// past 2^53; checksums and seeds use this instead).
+pub fn u64_to_hex(v: u64) -> String {
+    format!("{v:016x}")
+}
+
+/// Inverse of [`u64_to_hex`].
+pub fn u64_from_hex(s: &str) -> Result<u64, GpsError> {
+    u64::from_str_radix(s, 16).map_err(|_| GpsError::parse("hex", s, "expected 64-bit hex"))
+}
+
+/// FNV-1a over bytes; the snapshot checksum.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &'static str) -> GpsError {
+        GpsError::parse("json", &format!("byte {}", self.pos), msg)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8, what: &'static str) -> Result<(), GpsError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(what))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, GpsError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self, depth: u32) -> Result<Json, GpsError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self
+            .peek()
+            .ok_or_else(|| self.err("unexpected end of input"))?
+        {
+            b'n' => self.literal("null", Json::Null),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b'[' => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.value(depth + 1)?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return Err(self.err("expected ',' or ']'")),
+                    }
+                }
+            }
+            b'{' => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.eat(b':', "expected ':'")?;
+                    self.skip_ws();
+                    let value = self.value(depth + 1)?;
+                    fields.push((key, value));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Json::Obj(fields));
+                        }
+                        _ => return Err(self.err("expected ',' or '}'")),
+                    }
+                }
+            }
+            b'-' | b'0'..=b'9' => self.number(),
+            _ => Err(self.err("unexpected character")),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, GpsError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        let n: f64 = text.parse().map_err(|_| self.err("invalid number"))?;
+        if !n.is_finite() {
+            return Err(self.err("number out of range"));
+        }
+        Ok(Json::Num(n))
+    }
+
+    fn string(&mut self) -> Result<String, GpsError> {
+        self.eat(b'"', "expected string")?;
+        let mut out = String::new();
+        loop {
+            let b = self.peek().ok_or_else(|| self.err("unterminated string"))?;
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                self.eat(b'\\', "expected low surrogate")?;
+                                self.eat(b'u', "expected low surrogate")?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            out.push(c.ok_or_else(|| self.err("invalid codepoint"))?);
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 encoded char. Validate only that
+                    // char's bytes (its length comes from the lead byte) —
+                    // validating the whole remaining input per character
+                    // would make string parsing quadratic, a DoS on the
+                    // attacker-facing wire protocol.
+                    if b < 0x20 {
+                        return Err(self.err("raw control character in string"));
+                    }
+                    let char_len = match b {
+                        0x00..=0x7F => 1,
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err(self.err("invalid utf-8")),
+                    };
+                    let end = self.pos + char_len;
+                    if end > self.bytes.len() {
+                        return Err(self.err("unterminated string"));
+                    }
+                    let piece = std::str::from_utf8(&self.bytes[self.pos..end])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    out.push_str(piece);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, GpsError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let text = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let v = u32::from_str_radix(text, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(text: &str) -> String {
+        Json::parse(text).unwrap().to_string()
+    }
+
+    #[test]
+    fn scalar_round_trips() {
+        assert_eq!(round_trip("null"), "null");
+        assert_eq!(round_trip("true"), "true");
+        assert_eq!(round_trip("false"), "false");
+        assert_eq!(round_trip("42"), "42");
+        assert_eq!(round_trip("-7.5"), "-7.5");
+        assert_eq!(round_trip("\"hi\""), "\"hi\"");
+    }
+
+    #[test]
+    fn float_round_trip_is_exact() {
+        for v in [
+            0.1,
+            1.0 / 3.0,
+            2.0 / 3.0,
+            1e-9,
+            123456.789,
+            f64::MIN_POSITIVE,
+        ] {
+            let text = Json::Num(v).to_string();
+            assert_eq!(Json::parse(&text).unwrap().as_f64(), Some(v), "{text}");
+        }
+    }
+
+    #[test]
+    fn structures_round_trip_deterministically() {
+        let text = r#"{"b":[1,2,{"x":null}],"a":"z","nested":{"k":true}}"#;
+        let once = round_trip(text);
+        let twice = round_trip(&once);
+        assert_eq!(once, twice);
+        // Field order is preserved, not sorted.
+        assert!(once.starts_with("{\"b\":"));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let s = "quote\" back\\ nl\n tab\t ctrl\u{1} unicode\u{1F980}";
+        let mut out = String::new();
+        Json::Str(s.to_string()).write(&mut out);
+        assert_eq!(Json::parse(&out).unwrap().as_str(), Some(s));
+        // Escaped \u parse.
+        assert_eq!(
+            Json::parse(r#""\u0041\ud83e\udd80""#).unwrap().as_str(),
+            Some("A🦀")
+        );
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "tru",
+            "01x",
+            "\"unterminated",
+            "\"bad escape \\q\"",
+            "[1] trailing",
+            "\"\\ud800\"",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn depth_guard() {
+        let deep = "[".repeat(500) + &"]".repeat(500);
+        assert!(Json::parse(&deep).is_err());
+    }
+
+    #[test]
+    fn object_helpers() {
+        let mut obj = Json::obj();
+        obj.set("ip", Ip::from_octets(10, 0, 0, 1).to_json())
+            .set("port", Port(80).to_json());
+        assert_eq!(
+            Ip::from_json(obj.req("ip").unwrap()).unwrap(),
+            Ip::from_octets(10, 0, 0, 1)
+        );
+        assert_eq!(Port::from_json(obj.req("port").unwrap()).unwrap(), Port(80));
+        assert!(obj.req("missing").is_err());
+    }
+
+    #[test]
+    fn service_key_codec() {
+        let key = ServiceKey::new(Ip::from_octets(1, 2, 3, 4), Port(8080));
+        let json = key.to_json();
+        assert_eq!(ServiceKey::from_json(&json).unwrap(), key);
+        assert!(ServiceKey::from_json(&Json::Str("nocolon".into())).is_err());
+    }
+
+    #[test]
+    fn hex_u64_round_trip() {
+        for v in [0u64, 1, u64::MAX, 0xDEAD_BEEF_CAFE_F00D] {
+            assert_eq!(u64_from_hex(&u64_to_hex(v)).unwrap(), v);
+        }
+        assert!(u64_from_hex("zz").is_err());
+    }
+
+    #[test]
+    fn as_u64_guards() {
+        assert_eq!(Json::Num(5.0).as_u64(), Some(5));
+        assert_eq!(Json::Num(5.5).as_u64(), None);
+        assert_eq!(Json::Num(-1.0).as_u64(), None);
+    }
+}

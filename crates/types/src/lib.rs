@@ -23,6 +23,7 @@ pub mod error;
 pub mod feature;
 pub mod intern;
 pub mod ip;
+pub mod json;
 pub mod port;
 pub mod protocol;
 pub mod rng;
@@ -32,6 +33,7 @@ pub use error::GpsError;
 pub use feature::{FeatureKind, FeatureValue, APP_FEATURE_KINDS, NET_FEATURE_KINDS};
 pub use intern::{Interner, Sym};
 pub use ip::{Asn, Ip};
+pub use json::{Json, JsonCodec};
 pub use port::{Port, PortSet, NUM_PORTS};
 pub use protocol::Protocol;
 pub use rng::Rng;

@@ -95,12 +95,18 @@ pub struct PortSet {
 impl PortSet {
     /// The empty set.
     pub fn new() -> Self {
-        PortSet { bits: Box::new([0u64; NUM_PORTS / 64]), len: 0 }
+        PortSet {
+            bits: Box::new([0u64; NUM_PORTS / 64]),
+            len: 0,
+        }
     }
 
     /// The full set of all 65,536 ports.
     pub fn all() -> Self {
-        PortSet { bits: Box::new([u64::MAX; NUM_PORTS / 64]), len: NUM_PORTS }
+        PortSet {
+            bits: Box::new([u64::MAX; NUM_PORTS / 64]),
+            len: NUM_PORTS,
+        }
     }
 
     /// Build from an iterator of ports (duplicates ignored).

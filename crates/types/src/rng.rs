@@ -280,8 +280,10 @@ mod tests {
         }
         for &c in &counts {
             let expected = n / 10;
-            assert!((c as i64 - expected as i64).unsigned_abs() < (expected / 10) as u64,
-                "bucket count {c} too far from {expected}");
+            assert!(
+                (c as i64 - expected as i64).unsigned_abs() < (expected / 10) as u64,
+                "bucket count {c} too far from {expected}"
+            );
         }
     }
 
@@ -302,7 +304,11 @@ mod tests {
         let mut sorted = xs.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(xs, (0..100).collect::<Vec<_>>(), "astronomically unlikely to be identity");
+        assert_ne!(
+            xs,
+            (0..100).collect::<Vec<_>>(),
+            "astronomically unlikely to be identity"
+        );
     }
 
     #[test]

@@ -28,7 +28,10 @@ pub struct Subnet {
 impl Subnet {
     /// The whole IPv4 space, `0.0.0.0/0` — the paper's largest step size
     /// (§7 uses /0 to maximize normalized-service discovery).
-    pub const ALL: Subnet = Subnet { base: 0, prefix_len: 0 };
+    pub const ALL: Subnet = Subnet {
+        base: 0,
+        prefix_len: 0,
+    };
 
     /// Construct from a base IP and a prefix length, masking host bits.
     ///
@@ -118,8 +121,14 @@ impl Subnet {
         let child_len = self.prefix_len + 1;
         let high_bit = 1u32 << (32 - child_len);
         Some((
-            Subnet { base: self.base, prefix_len: child_len },
-            Subnet { base: self.base | high_bit, prefix_len: child_len },
+            Subnet {
+                base: self.base,
+                prefix_len: child_len,
+            },
+            Subnet {
+                base: self.base | high_bit,
+                prefix_len: child_len,
+            },
         ))
     }
 }
@@ -236,7 +245,10 @@ mod tests {
     #[test]
     fn iter_slash32_is_single() {
         let s: Subnet = "1.2.3.4/32".parse().unwrap();
-        assert_eq!(s.iter().collect::<Vec<_>>(), vec![Ip::from_octets(1, 2, 3, 4)]);
+        assert_eq!(
+            s.iter().collect::<Vec<_>>(),
+            vec![Ip::from_octets(1, 2, 3, 4)]
+        );
     }
 
     #[test]

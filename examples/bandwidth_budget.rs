@@ -20,17 +20,28 @@ fn main() {
     );
 
     println!("\nbudget sweep (step /16):");
-    println!("{:>10}  {:>10}  {:>12}  {:>10}  {:>10}", "budget", "spent", "all found", "normalized", "truncated");
+    println!(
+        "{:>10}  {:>10}  {:>12}  {:>10}  {:>10}",
+        "budget", "spent", "all found", "normalized", "truncated"
+    );
     for budget in [50.0, 60.0, 80.0, 120.0, f64::INFINITY] {
         let config = GpsConfig {
             step_prefix: 16,
-            budget_scans: if budget.is_finite() { Some(budget) } else { None },
+            budget_scans: if budget.is_finite() {
+                Some(budget)
+            } else {
+                None
+            },
             ..GpsConfig::default()
         };
         let run = run_gps(&net, &dataset, &config);
         println!(
             "{:>10}  {:>10.1}  {:>11.1}%  {:>9.1}%  {:>10}",
-            if budget.is_finite() { format!("{budget:.0}") } else { "unlimited".to_string() },
+            if budget.is_finite() {
+                format!("{budget:.0}")
+            } else {
+                "unlimited".to_string()
+            },
             run.total_scans(),
             100.0 * run.fraction_of_services(),
             100.0 * run.fraction_normalized(),

@@ -50,7 +50,10 @@ fn main() {
     // 3. A lossy path drops 20% of responses.
     let mut lossy = Scanner::new(
         &net,
-        ScanConfig { response_drop_prob: 0.2, ..ScanConfig::default() },
+        ScanConfig {
+            response_drop_prob: 0.2,
+            ..ScanConfig::default()
+        },
     );
     let lossy_found: usize = ports
         .iter()
@@ -62,14 +65,25 @@ fn main() {
     println!(
         "  2 /16s blocklisted:     {blocked_found} services ({} shielded: {})",
         shielded.len(),
-        shielded.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(", ")
+        shielded
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     println!("  20% response loss:      {lossy_found} services");
     assert!(blocked_found < clean_found);
     assert!(lossy_found < clean_found);
 
     // End-to-end: GPS still runs to completion under loss.
-    let run = run_gps(&net, &dataset, &GpsConfig { step_prefix: 16, ..GpsConfig::default() });
+    let run = run_gps(
+        &net,
+        &dataset,
+        &GpsConfig {
+            step_prefix: 16,
+            ..GpsConfig::default()
+        },
+    );
     println!(
         "\nGPS under normal conditions: {:.1}% of services at {:.1} scans",
         100.0 * run.fraction_of_services(),

@@ -17,7 +17,14 @@ fn main() {
     let dataset = censys_dataset(&net, 2000, 0.02, 0, 7);
 
     // Train and predict on day 0.
-    let run = run_gps(&net, &dataset, &GpsConfig { step_prefix: 16, ..GpsConfig::default() });
+    let run = run_gps(
+        &net,
+        &dataset,
+        &GpsConfig {
+            step_prefix: 16,
+            ..GpsConfig::default()
+        },
+    );
     let day0_found = run.found.len();
     println!(
         "day 0: GPS discovered {day0_found} test services ({:.1}%)",
@@ -29,9 +36,18 @@ fn main() {
     println!("\nstaleness of the day-0 result set:");
     println!("{:>6}  {:>12}  {:>10}", "day", "still alive", "decay");
     for day in [0u16, 2, 5, 10] {
-        let mut scanner = Scanner::new(&net, ScanConfig { day, ..ScanConfig::default() });
+        let mut scanner = Scanner::new(
+            &net,
+            ScanConfig {
+                day,
+                ..ScanConfig::default()
+            },
+        );
         let alive = scanner
-            .scan_targets(ScanPhase::Baseline, run.found.iter().map(|k| (k.ip, k.port)))
+            .scan_targets(
+                ScanPhase::Baseline,
+                run.found.iter().map(|k| (k.ip, k.port)),
+            )
             .len();
         println!(
             "{day:>6}  {alive:>12}  {:>9.1}%",

@@ -40,12 +40,14 @@ fn main() {
             }
         }
     }
-    println!("hitlist: {} hosts with one known service each", hitlist.len());
+    println!(
+        "hitlist: {} hosts with one known service each",
+        hitlist.len()
+    );
 
     // Train once, expand the hitlist.
     let asn_of = |ip: Ip| net.asn_of(ip).map(|a| a.0);
-    let (expander, stats) =
-        KnownHostExpander::train(&corpus, &GpsConfig::default(), 1e-4, &asn_of);
+    let (expander, stats) = KnownHostExpander::train(&corpus, &GpsConfig::default(), 1e-4, &asn_of);
     println!(
         "expander: {} model keys -> {} rules",
         stats.distinct_keys,
@@ -55,7 +57,10 @@ fn main() {
     let predictions = expander.expand(&hitlist, 1_000_000, &asn_of);
     let before = scanner.ledger().total_probes();
     let confirmed = scanner
-        .scan_targets(ScanPhase::Predict, predictions.iter().map(|p| (p.ip, p.port)))
+        .scan_targets(
+            ScanPhase::Predict,
+            predictions.iter().map(|p| (p.ip, p.port)),
+        )
         .len();
     let probes = scanner.ledger().total_probes() - before;
 

@@ -32,11 +32,22 @@ fn main() {
             }
         }
     }
-    println!("hidden fleet: {} HTTP-on-8082 services somewhere in {} addresses", needle.len(), net.universe_size());
+    println!(
+        "hidden fleet: {} HTTP-on-8082 services somewhere in {} addresses",
+        needle.len(),
+        net.universe_size()
+    );
 
     // Run GPS with a modest seed on the all-ports workload.
     let dataset = lzr_dataset(&net, 0.40, 0.0625, 2, 0, 99);
-    let run = run_gps(&net, &dataset, &GpsConfig { step_prefix: 16, ..GpsConfig::default() });
+    let run = run_gps(
+        &net,
+        &dataset,
+        &GpsConfig {
+            step_prefix: 16,
+            ..GpsConfig::default()
+        },
+    );
 
     // How much of the fleet did GPS surface, and at what cost?
     let found: Vec<&ServiceKey> = run.found.iter().filter(|k| needle.contains(k)).collect();
@@ -54,10 +65,7 @@ fn main() {
             for &(port, prob) in targets.iter() {
                 if port == Port(8082) && prob > 0.5 {
                     let evidence = match key.app() {
-                        Some(f) => format!(
-                            "telnet banner {:?}",
-                            net.interner().resolve(f.value)
-                        ),
+                        Some(f) => format!("telnet banner {:?}", net.interner().resolve(f.value)),
                         None => "port 23 being open".to_string(),
                     };
                     let net_part = key

@@ -30,7 +30,14 @@ fn main() {
     );
 
     // 3. Run the four-phase GPS pipeline (§5 of the paper).
-    let run = run_gps(&net, &dataset, &GpsConfig { step_prefix: 16, ..GpsConfig::default() });
+    let run = run_gps(
+        &net,
+        &dataset,
+        &GpsConfig {
+            step_prefix: 16,
+            ..GpsConfig::default()
+        },
+    );
     println!(
         "\nGPS: {} seed observations -> {} model keys -> {} priors tuples -> {} predictions",
         run.seed_observations,

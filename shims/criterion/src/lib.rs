@@ -1,0 +1,272 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the benches use (`Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Throughput`, `black_box`, `criterion_group!`, `criterion_main!`) over a
+//! simple measure-and-print harness: per benchmark it warms up, then takes
+//! `sample_size` wall-clock samples and reports min/mean/max per iteration
+//! plus derived throughput. No statistics, plots, or baselines — the point
+//! is that `cargo bench` runs and prints honest numbers offline.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How a benchmark's work is counted for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus a parameter label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to benchmark closures; `iter` measures the closure.
+pub struct Bencher {
+    /// Total time across measured iterations of the last `iter` call.
+    elapsed: Duration,
+    /// Number of measured iterations of the last `iter` call.
+    iterations: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up + calibrate: grow the batch until it costs ~20ms.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let took = start.elapsed();
+            if took >= Duration::from_millis(20) || batch >= (1 << 20) {
+                self.elapsed = took;
+                self.iterations = batch;
+                return;
+            }
+            batch = (batch * 4).min(1 << 20);
+        }
+    }
+}
+
+struct Config {
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+fn run_one(group: &str, name: &str, config: &Config, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut per_iter: Vec<f64> = Vec::with_capacity(config.sample_size);
+    for _ in 0..config.sample_size.max(1) {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iterations: 1,
+        };
+        f(&mut b);
+        per_iter.push(b.elapsed.as_secs_f64() / b.iterations.max(1) as f64);
+    }
+    per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let min = per_iter[0];
+    let max = *per_iter.last().unwrap();
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let label = if group.is_empty() {
+        name.to_string()
+    } else {
+        format!("{group}/{name}")
+    };
+    let fmt = |secs: f64| {
+        if secs >= 1.0 {
+            format!("{secs:.3} s")
+        } else if secs >= 1e-3 {
+            format!("{:.3} ms", secs * 1e3)
+        } else if secs >= 1e-6 {
+            format!("{:.3} us", secs * 1e6)
+        } else {
+            format!("{:.1} ns", secs * 1e9)
+        }
+    };
+    let mut line = format!(
+        "bench {label:<50} [{} {} {}]",
+        fmt(min),
+        fmt(mean),
+        fmt(max)
+    );
+    if let Some(tp) = config.throughput {
+        let (count, unit) = match tp {
+            Throughput::Elements(n) => (n, "elem/s"),
+            Throughput::Bytes(n) => (n, "B/s"),
+        };
+        line.push_str(&format!(" {:.3e} {unit}", count as f64 / mean));
+    }
+    println!("{line}");
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Config,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.config.throughput = Some(tp);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            &self.name,
+            &id.into_benchmark_id().name,
+            &self.config,
+            &mut f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            &self.name,
+            &id.into_benchmark_id().name,
+            &self.config,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: Config::default(),
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one("", name, &Config::default(), &mut f);
+        self
+    }
+}
+
+/// Anything usable as a benchmark name: a string or a [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            name: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { name: self }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(1));
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("with_input", 3), &3u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+    }
+}

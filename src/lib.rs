@@ -43,6 +43,7 @@ pub use gps_baselines as baselines;
 pub use gps_core as core;
 pub use gps_engine as engine;
 pub use gps_scan as scan;
+pub use gps_serve as serve;
 pub use gps_synthnet as synthnet;
 pub use gps_types as types;
 
@@ -52,12 +53,14 @@ pub mod prelude {
         optimal_port_order_curve, oracle_curve, random_probe_curve, run_xgb_scanner,
         XgbScannerConfig,
     };
+    pub use gps_core::ModelSnapshot;
     pub use gps_core::{
         censys_dataset, lzr_dataset, run_gps, Dataset, DiscoveryCurve, GpsConfig, GpsRun,
         Interactions, MinProb, NetFeature,
     };
     pub use gps_engine::Backend;
     pub use gps_scan::{ScanConfig, ScanPhase, Scanner};
+    pub use gps_serve::{PredictionServer, Query, ServableModel, ServeConfig};
     pub use gps_synthnet::{Internet, UniverseConfig};
     pub use gps_types::{Ip, Port, PortSet, ServiceKey, Subnet};
 }

@@ -22,7 +22,11 @@ fn xgb_scanner_runs_and_reaches_targets() {
         &XgbScannerConfig {
             ports: vec![Port(80), Port(443), Port(22)],
             target_coverage: 0.7,
-            gbdt: GbdtParams { n_trees: 10, max_depth: 3, ..Default::default() },
+            gbdt: GbdtParams {
+                n_trees: 10,
+                max_depth: 3,
+                ..Default::default()
+            },
             seed: 11,
         },
     );
@@ -31,7 +35,10 @@ fn xgb_scanner_runs_and_reaches_targets() {
         assert!(o.coverage >= 0.7, "port {} at {:.2}", o.port, o.coverage);
     }
     // Sequential structure: prior bandwidth accumulates.
-    assert!(run.outcomes.windows(2).all(|w| w[1].prior_scans >= w[0].prior_scans));
+    assert!(run
+        .outcomes
+        .windows(2)
+        .all(|w| w[1].prior_scans >= w[0].prior_scans));
 }
 
 #[test]
@@ -48,7 +55,11 @@ fn gps_beats_xgb_on_prior_bandwidth_for_late_ports() {
         &XgbScannerConfig {
             ports: ports.clone(),
             target_coverage: 0.7,
-            gbdt: GbdtParams { n_trees: 10, max_depth: 3, ..Default::default() },
+            gbdt: GbdtParams {
+                n_trees: 10,
+                max_depth: 3,
+                ..Default::default()
+            },
             seed: 11,
         },
     );
@@ -57,7 +68,11 @@ fn gps_beats_xgb_on_prior_bandwidth_for_late_ports() {
     let gps = run_gps(
         &net,
         &dataset,
-        &GpsConfig { step_prefix: 16, curve_points: 16, ..GpsConfig::default() },
+        &GpsConfig {
+            step_prefix: 16,
+            curve_points: 16,
+            ..GpsConfig::default()
+        },
     );
     assert!(
         late.prior_scans > 0.5,
@@ -66,8 +81,7 @@ fn gps_beats_xgb_on_prior_bandwidth_for_late_ports() {
     );
     // GPS discovers services on far more ports than the 5 the sequential
     // scanner was pointed at — the paper's core scaling argument.
-    let gps_ports: std::collections::HashSet<u16> =
-        gps.found.iter().map(|k| k.port.0).collect();
+    let gps_ports: std::collections::HashSet<u16> = gps.found.iter().map(|k| k.port.0).collect();
     assert!(
         gps_ports.len() > ports.len() * 4,
         "GPS covered only {} ports",
@@ -82,9 +96,13 @@ fn tgas_underperform_gps_substantially() {
 
     // TGA coverage over the top ports.
     let mut rng = Rng::new(17);
-    let mut ports: Vec<(Port, u64)> =
-        dataset.test.per_port().iter().map(|(&p, &c)| (Port(p), c)).collect();
-    ports.sort_by(|a, b| b.1.cmp(&a.1));
+    let mut ports: Vec<(Port, u64)> = dataset
+        .test
+        .per_port()
+        .iter()
+        .map(|(&p, &c)| (Port(p), c))
+        .collect();
+    ports.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
     let mut tga_found = 0u64;
     let mut truth = 0u64;
     for &(port, count) in ports.iter().take(30) {
@@ -114,7 +132,11 @@ fn tgas_underperform_gps_substantially() {
     let gps = run_gps(
         &net,
         &dataset,
-        &GpsConfig { step_prefix: 16, curve_points: 16, ..GpsConfig::default() },
+        &GpsConfig {
+            step_prefix: 16,
+            curve_points: 16,
+            ..GpsConfig::default()
+        },
     );
     assert!(
         gps.fraction_of_services() > tga_cov + 0.2,
@@ -143,7 +165,10 @@ fn recommender_cannot_reach_uncommon_ports() {
         .collect();
     let model = Recommender::train(
         &interactions,
-        RecommenderParams { epochs: 3, ..Default::default() },
+        RecommenderParams {
+            epochs: 3,
+            ..Default::default()
+        },
         &mut Rng::new(23),
     );
     // Sample some test hosts; check per-port recall concentrates on popular

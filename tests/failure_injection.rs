@@ -24,7 +24,10 @@ fn scanner_under_loss_finds_subset() {
     for drop in [0.1, 0.5, 0.9] {
         let mut lossy = Scanner::new(
             &net,
-            ScanConfig { response_drop_prob: drop, ..ScanConfig::default() },
+            ScanConfig {
+                response_drop_prob: drop,
+                ..ScanConfig::default()
+            },
         );
         let found: std::collections::HashSet<_> = lossy
             .full_scan_port(ScanPhase::Baseline, port)
@@ -44,7 +47,11 @@ fn scanner_under_loss_finds_subset() {
 fn gps_degrades_gracefully_under_loss() {
     let net = universe();
     let dataset = censys_dataset(&net, 150, 0.05, 0, 5);
-    let config = GpsConfig { step_prefix: 16, curve_points: 16, ..GpsConfig::default() };
+    let config = GpsConfig {
+        step_prefix: 16,
+        curve_points: 16,
+        ..GpsConfig::default()
+    };
     let clean = run_gps(&net, &dataset, &config);
 
     // Re-run with a lossy scanner by injecting loss through the dataset's
@@ -72,7 +79,10 @@ fn ledger_monotone_under_all_conditions() {
     let net = universe();
     let mut scanner = Scanner::new(
         &net,
-        ScanConfig { response_drop_prob: 0.5, ..ScanConfig::default() },
+        ScanConfig {
+            response_drop_prob: 0.5,
+            ..ScanConfig::default()
+        },
     );
     scanner.add_blocklist(net.topology().blocks()[0].subnet());
     let mut last = 0u64;
@@ -92,10 +102,22 @@ fn day_shift_never_adds_services_to_old_set() {
     let census = gps::synthnet::PortCensus::new(&net, 0);
     let port = census.top_ports(1)[0];
     let mut day0 = Scanner::with_defaults(&net);
-    let at0: std::collections::HashSet<_> =
-        day0.full_scan_port(ScanPhase::Baseline, port).into_iter().map(|o| o.key()).collect();
-    let mut day10 = Scanner::new(&net, ScanConfig { day: 10, ..ScanConfig::default() });
-    let at10: std::collections::HashSet<_> =
-        day10.full_scan_port(ScanPhase::Baseline, port).into_iter().map(|o| o.key()).collect();
+    let at0: std::collections::HashSet<_> = day0
+        .full_scan_port(ScanPhase::Baseline, port)
+        .into_iter()
+        .map(|o| o.key())
+        .collect();
+    let mut day10 = Scanner::new(
+        &net,
+        ScanConfig {
+            day: 10,
+            ..ScanConfig::default()
+        },
+    );
+    let at10: std::collections::HashSet<_> = day10
+        .full_scan_port(ScanPhase::Baseline, port)
+        .into_iter()
+        .map(|o| o.key())
+        .collect();
     assert!(at10.is_subset(&at0));
 }

@@ -8,7 +8,11 @@ fn universe() -> Internet {
 }
 
 fn quick_config() -> GpsConfig {
-    GpsConfig { step_prefix: 16, curve_points: 32, ..GpsConfig::default() }
+    GpsConfig {
+        step_prefix: 16,
+        curve_points: 32,
+        ..GpsConfig::default()
+    }
 }
 
 #[test]
@@ -37,8 +41,13 @@ fn gps_beats_exhaustive_at_equal_coverage() {
 
     // At a mid-coverage point both systems reach, GPS must be cheaper.
     let target = (run.fraction_of_services() * 0.9).max(0.3);
-    let gps_cost = run.curve.scans_to_reach_all(target).expect("GPS reaches target");
-    let ex_cost = exhaustive.scans_to_reach_all(target).expect("exhaustive reaches target");
+    let gps_cost = run
+        .curve
+        .scans_to_reach_all(target)
+        .expect("GPS reaches target");
+    let ex_cost = exhaustive
+        .scans_to_reach_all(target)
+        .expect("exhaustive reaches target");
     assert!(
         gps_cost < ex_cost,
         "GPS ({gps_cost:.1}) must beat exhaustive ({ex_cost:.1}) at {target:.2} coverage"
@@ -70,7 +79,11 @@ fn lzr_workload_with_port_filter() {
         assert!(count > 2, "port {port} kept with {count} IPs");
     }
     let run = run_gps(&net, &dataset, &quick_config());
-    assert!(run.fraction_of_services() > 0.3, "got {}", run.fraction_of_services());
+    assert!(
+        run.fraction_of_services() > 0.3,
+        "got {}",
+        run.fraction_of_services()
+    );
 }
 
 #[test]
@@ -78,17 +91,25 @@ fn budget_constrains_total_probes() {
     let net = universe();
     let dataset = censys_dataset(&net, 200, 0.05, 0, 1);
     let free = run_gps(&net, &dataset, &quick_config());
-    let seed_cost = free.ledger.full_scans_phase(ScanPhase::Seed, net.universe_size());
+    let seed_cost = free
+        .ledger
+        .full_scans_phase(ScanPhase::Seed, net.universe_size());
     let budget = seed_cost + (free.total_scans() - seed_cost) / 2.0;
     let capped = run_gps(
         &net,
         &dataset,
-        &GpsConfig { budget_scans: Some(budget), ..quick_config() },
+        &GpsConfig {
+            budget_scans: Some(budget),
+            ..quick_config()
+        },
     );
     assert!(capped.truncated_by_budget);
     assert!(capped.total_scans() <= budget * 1.05 + 0.05);
     assert!(capped.found.len() <= free.found.len());
-    assert!(capped.found.is_subset(&free.found), "budget must only remove discoveries");
+    assert!(
+        capped.found.is_subset(&free.found),
+        "budget must only remove discoveries"
+    );
 }
 
 #[test]
@@ -100,7 +121,10 @@ fn runs_are_deterministic_across_backends_and_repeats() {
     let single = run_gps(
         &net,
         &dataset,
-        &GpsConfig { backend: Backend::SingleCore, ..quick_config() },
+        &GpsConfig {
+            backend: Backend::SingleCore,
+            ..quick_config()
+        },
     );
     assert_eq!(a.found, b.found);
     assert_eq!(a.ledger.total_probes(), b.ledger.total_probes());

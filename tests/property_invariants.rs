@@ -1,11 +1,13 @@
 //! Property-based tests over the core data structures and invariants.
 
 use std::collections::HashSet;
+use std::sync::OnceLock;
 
 use gps::core::metrics::{CoverageTracker, GroundTruth};
-use gps::core::{CondKey, CondModel, Interactions, NetFeature};
+use gps::core::{CondKey, CondModel, GpsConfig, Interactions, ModelSnapshot, NetFeature};
 use gps::engine::{Backend, ExecLedger};
 use gps::scan::{CyclicPermutation, ServiceObservation};
+use gps::serve::{Query, ServableModel};
 use gps::types::rng::Rng;
 use gps::types::{Ip, Port, ServiceKey, Subnet, Sym};
 use proptest::prelude::*;
@@ -135,7 +137,7 @@ proptest! {
                 port: Port(port),
                 ttl: 64,
                 protocol: gps::types::Protocol::Http,
-                content: Sym((ip % 13) as u32),
+                content: Sym(ip % 13),
                 features: vec![],
             })
             .collect();
@@ -143,6 +145,54 @@ proptest! {
         let (twice, stats2) = gps::core::filter_pseudo_services(once.clone());
         prop_assert_eq!(once, twice);
         prop_assert_eq!(stats2.dropped_big_hosts, 0);
+    }
+}
+
+/// A model trained once on the quick universe, paired with the same model
+/// after a save → load round trip through the snapshot text format
+/// (training and (de)serialization dominate the cost, so property cases
+/// share them).
+fn served_pair() -> &'static (ServableModel, ServableModel) {
+    static PAIR: OnceLock<(ServableModel, ServableModel)> = OnceLock::new();
+    PAIR.get_or_init(|| {
+        let net = gps::synthnet::Internet::generate(&gps::synthnet::UniverseConfig::tiny(77));
+        let dataset = gps::core::censys_dataset(&net, 200, 0.05, 0, 1);
+        let config = GpsConfig {
+            seed_fraction: 0.05,
+            step_prefix: 16,
+            ..GpsConfig::default()
+        };
+        let run = gps::core::run_gps(&net, &dataset, &config);
+        let snapshot = ModelSnapshot::from_run(&run, &config, 77);
+        let reloaded =
+            ModelSnapshot::from_json_str(&snapshot.to_json_string()).expect("round trip parses");
+        (
+            ServableModel::from_snapshot(snapshot),
+            ServableModel::from_snapshot(reloaded),
+        )
+    })
+}
+
+proptest! {
+    /// Save → load of a trained snapshot reproduces identical `predict`
+    /// output: for random IPs (cold and with random open-port evidence),
+    /// the model served from the reloaded artifact answers exactly like
+    /// the model served from the in-memory artifact. Probabilities are
+    /// compared bit-exactly — the JSON float encoding must round-trip.
+    #[test]
+    fn snapshot_round_trip_preserves_predictions(
+        ips in proptest::collection::vec(any::<u32>(), 1000..1001),
+        evidence_port in 1u16..2000,
+    ) {
+        let (original, restored) = served_pair();
+        for (i, ip) in ips.into_iter().enumerate() {
+            let mut query = Query::new(Ip(ip));
+            query.top = 16;
+            if i % 3 == 0 {
+                query.open = vec![Port(evidence_port), Port(80)];
+            }
+            prop_assert_eq!(original.predict(&query), restored.predict(&query));
+        }
     }
 }
 

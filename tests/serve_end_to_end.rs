@@ -1,0 +1,225 @@
+//! End-to-end test of the serving subsystem: train on the quick universe,
+//! export a snapshot, reload it, serve it over TCP on an ephemeral port,
+//! and hammer it from concurrent protocol clients — asserting every answer
+//! equals the direct `FeatureRules`/priors lookup on the loaded artifact.
+
+use std::collections::HashMap;
+use std::net::TcpListener;
+use std::sync::Arc;
+
+use gps::core::model::NetKey;
+use gps::core::{censys_dataset, run_gps, CondKey, GpsConfig, ModelSnapshot};
+use gps::serve::{Client, PredictionServer, Query, ServableModel, ServeConfig};
+use gps::synthnet::{Internet, UniverseConfig};
+use gps::types::rng::Rng;
+use gps::types::{Ip, Port, Subnet};
+
+fn train_and_export() -> (Internet, ModelSnapshot, std::path::PathBuf) {
+    let net = Internet::generate(&UniverseConfig::tiny(42));
+    let dataset = censys_dataset(&net, 200, 0.05, 0, 1);
+    let config = GpsConfig {
+        seed_fraction: 0.05,
+        step_prefix: 16,
+        ..GpsConfig::default()
+    };
+    let run = run_gps(&net, &dataset, &config);
+    let snapshot = ModelSnapshot::from_run(&run, &config, 42);
+    let path = std::env::temp_dir().join(format!("gps_serve_e2e_{}.json", std::process::id()));
+    snapshot.save(&path).expect("export");
+    (net, snapshot, path)
+}
+
+/// The expected warm answer, computed directly from the rules list: max
+/// probability over the Eq. 4 key and every Eq. 6 slash key of the query
+/// IP, open ports excluded — the reference the server must match.
+fn direct_rules_lookup(snapshot: &ModelSnapshot, query: &Query) -> Vec<(Port, f64)> {
+    let mut best: HashMap<Port, f64> = HashMap::new();
+    let mut open = query.open.clone();
+    open.sort_unstable();
+    open.dedup();
+    for &b in &open {
+        let mut keys = vec![CondKey::Port(b)];
+        for nf in &snapshot.manifest.net_features {
+            if let gps::core::NetFeature::Slash(prefix) = nf {
+                keys.push(CondKey::PortNet(
+                    b,
+                    NetKey::Slash(*prefix, Subnet::of_ip(query.ip, *prefix).base().0),
+                ));
+            }
+        }
+        for key in keys {
+            for &(port, prob) in snapshot.rules.get(&key).unwrap_or_default() {
+                if open.contains(&port) {
+                    continue;
+                }
+                let slot = best.entry(port).or_insert(0.0);
+                if prob > *slot {
+                    *slot = prob;
+                }
+            }
+        }
+    }
+    let mut ranked: Vec<(Port, f64)> = best.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    ranked.truncate(if query.top > 0 { query.top } else { 16 });
+    ranked
+}
+
+#[test]
+fn concurrent_tcp_clients_match_direct_lookups() {
+    let (net, _snapshot, path) = train_and_export();
+
+    // Reload from disk: the served artifact is the persisted one.
+    let loaded = ModelSnapshot::load(&path).expect("load snapshot");
+    let reference = ModelSnapshot::load(&path).expect("load reference copy");
+    assert_eq!(loaded.manifest, reference.manifest);
+
+    let server = PredictionServer::start(
+        ServableModel::from_snapshot(loaded),
+        ServeConfig {
+            shards: 4,
+            ..ServeConfig::default()
+        },
+    );
+    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral port");
+    let addr = listener.local_addr().expect("local addr");
+    let server = Arc::new(server);
+    {
+        let server = server.clone();
+        std::thread::spawn(move || gps::serve::serve_tcp(server, listener));
+    }
+
+    let reference = Arc::new(reference);
+    let host_ips = Arc::new(net.host_ips().to_vec());
+    let mut handles = Vec::new();
+    for thread_id in 0..6u64 {
+        let reference = reference.clone();
+        let host_ips = host_ips.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("connect");
+            client.ping().expect("ping");
+            let mut rng = Rng::new(0xE2E ^ thread_id);
+            let local = ServableModel::from_snapshot((*reference).clone());
+            for i in 0..150 {
+                // Mix of real-universe IPs and arbitrary ones.
+                let ip = if rng.chance(0.7) {
+                    Ip(host_ips[rng.gen_range(host_ips.len() as u64) as usize])
+                } else {
+                    Ip(rng.next_u32())
+                };
+                let mut query = Query::new(ip);
+                if i % 2 == 0 {
+                    query.open = vec![Port(443), Port(80), Port(22)]
+                        [..=(rng.gen_range(3) as usize)]
+                        .to_vec();
+                }
+                query.top = 16;
+
+                let served = client.predict(&query).expect("predict");
+                // The wire answer equals the local artifact's answer...
+                assert_eq!(served, local.predict(&query), "query {query:?}");
+                // ...and warm answers equal the direct rules lookup.
+                if !query.open.is_empty() {
+                    assert_eq!(served, direct_rules_lookup(&reference, &query), "{query:?}");
+                }
+            }
+            // Batch answers equal single answers, order preserved.
+            let batch: Vec<Query> = (0..40)
+                .map(|_| {
+                    let ip = Ip(host_ips[rng.gen_range(host_ips.len() as u64) as usize]);
+                    let mut q = Query::new(ip);
+                    q.top = 8;
+                    q
+                })
+                .collect();
+            let answers = client.predict_batch(&batch).expect("batch");
+            assert_eq!(answers.len(), batch.len());
+            for (query, answer) in batch.iter().zip(&answers) {
+                assert_eq!(*answer, local.predict(query));
+            }
+        }));
+    }
+    for handle in handles {
+        handle.join().expect("client thread");
+    }
+
+    // The server really served this traffic, and the per-subnet cache saw
+    // repeated subnets.
+    let stats = server.stats();
+    assert!(stats.requests >= 6 * 190, "requests {}", stats.requests);
+    assert!(stats.cache_hits > 0, "repeated subnets must hit the cache");
+    assert_eq!(stats.per_shard.iter().sum::<u64>(), stats.requests);
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn server_survives_malformed_frames() {
+    let (_net, snapshot, path) = train_and_export();
+    std::fs::remove_file(&path).ok();
+    let server = Arc::new(PredictionServer::start(
+        ServableModel::from_snapshot(snapshot),
+        ServeConfig {
+            shards: 2,
+            ..ServeConfig::default()
+        },
+    ));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral port");
+    let addr = listener.local_addr().expect("local addr");
+    {
+        let server = server.clone();
+        std::thread::spawn(move || gps::serve::serve_tcp(server, listener));
+    }
+
+    // A client that sends garbage JSON gets an error response (not a
+    // dropped connection), and bad requests don't poison later good ones.
+    use gps::types::Json;
+    let stream = std::net::TcpStream::connect(addr).expect("connect");
+    let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = std::io::BufWriter::new(stream);
+    let mut bad = Json::obj();
+    bad.set("cmd", "predict").set("ip", "not-an-ip");
+    gps::serve::proto::write_frame(&mut writer, &bad).expect("write");
+    let response = gps::serve::proto::read_frame(&mut reader)
+        .expect("read")
+        .expect("frame");
+    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(false));
+    assert!(response.get("error").is_some());
+
+    let mut unknown = Json::obj();
+    unknown.set("cmd", "frobnicate");
+    gps::serve::proto::write_frame(&mut writer, &unknown).expect("write");
+    let response = gps::serve::proto::read_frame(&mut reader)
+        .expect("read")
+        .expect("frame");
+    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(false));
+
+    // A well-framed frame whose payload is not JSON at all: the server
+    // replies with an error instead of dropping the connection (only
+    // framing-level breakage closes the stream).
+    {
+        use std::io::Write;
+        let garbage = b"this is not json";
+        writer
+            .write_all(&(garbage.len() as u32).to_be_bytes())
+            .expect("len");
+        writer.write_all(garbage).expect("payload");
+        writer.flush().expect("flush");
+        let response = gps::serve::proto::read_frame(&mut reader)
+            .expect("read")
+            .expect("frame");
+        assert_eq!(response.get("ok").and_then(Json::as_bool), Some(false));
+        assert!(response
+            .get("error")
+            .and_then(Json::as_str)
+            .is_some_and(|e| e.contains("bad json")));
+    }
+
+    let mut good = Json::obj();
+    good.set("cmd", "ping");
+    gps::serve::proto::write_frame(&mut writer, &good).expect("write");
+    let response = gps::serve::proto::read_frame(&mut reader)
+        .expect("read")
+        .expect("frame");
+    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+}
