@@ -20,10 +20,16 @@ pub struct Args {
     pub csv: Option<String>,
     /// Snapshot path for export-model/serve.
     pub model: String,
-    /// TCP address for serve/query.
+    /// Snapshot encoding for export-model.
+    pub format: SnapshotFormat,
+    /// TCP address for serve/query/reload.
     pub addr: String,
     /// Shard count for serve (0 = auto).
     pub shards: usize,
+    /// serve: hot-reload when the snapshot file changes on disk.
+    pub watch: bool,
+    /// reload: snapshot path to switch the server to (None = re-read).
+    pub reload_model: Option<String>,
     /// Target IP for query.
     pub ip: Option<String>,
     /// Known-open ports for query (comma separated on the wire).
@@ -44,7 +50,15 @@ pub enum Command {
     ExportModel,
     Serve,
     Query,
+    Reload,
     Help,
+}
+
+/// On-disk snapshot encoding (`gps export-model --format`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotFormat {
+    Json,
+    Binary,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,8 +92,11 @@ impl Default for Args {
             budget: None,
             csv: None,
             model: "gps-model.json".to_string(),
+            format: SnapshotFormat::Json,
             addr: "127.0.0.1:4615".to_string(),
             shards: 0,
+            watch: false,
+            reload_model: None,
             ip: None,
             open: Vec::new(),
             asn: None,
@@ -110,6 +127,7 @@ impl Args {
             "export-model" => Command::ExportModel,
             "serve" => Command::Serve,
             "query" => Command::Query,
+            "reload" => Command::Reload,
             "help" | "--help" | "-h" => Command::Help,
             other => return Err(ParseError(format!("unknown command {other:?}"))),
         };
@@ -156,7 +174,29 @@ impl Args {
                     args.budget = Some(parse_num(&value("--budget")?, "--budget")?);
                 }
                 "--csv" => args.csv = Some(value("--csv")?),
-                "--model" => args.model = value("--model")?,
+                "--model" => {
+                    // For `reload`, --model is "switch the server to this
+                    // snapshot" and its absence means "re-read the served
+                    // file" — a meaning the shared default would destroy.
+                    let v = value("--model")?;
+                    if args.command == Command::Reload {
+                        args.reload_model = Some(v);
+                    } else {
+                        args.model = v;
+                    }
+                }
+                "--format" => {
+                    args.format = match value("--format")?.as_str() {
+                        "json" => SnapshotFormat::Json,
+                        "binary" => SnapshotFormat::Binary,
+                        other => {
+                            return Err(ParseError(format!(
+                                "unknown format {other:?} (json|binary)"
+                            )))
+                        }
+                    };
+                }
+                "--watch" => args.watch = true,
                 "--addr" => args.addr = value("--addr")?,
                 "--shards" => {
                     args.shards = parse_num(&value("--shards")?, "--shards")?;
@@ -285,6 +325,46 @@ mod tests {
         assert_eq!(args.open, vec![80, 443]);
         assert_eq!(args.asn, Some(64500));
         assert_eq!(args.top, 5);
+    }
+
+    #[test]
+    fn parses_format_watch_and_reload() {
+        let args = Args::parse([
+            "export-model",
+            "--model",
+            "/tmp/m.gpsb",
+            "--format",
+            "binary",
+        ])
+        .unwrap();
+        assert_eq!(args.format, SnapshotFormat::Binary);
+        assert_eq!(args.model, "/tmp/m.gpsb");
+        assert_eq!(
+            Args::parse(["export-model"]).unwrap().format,
+            SnapshotFormat::Json,
+            "json stays the default"
+        );
+        assert!(Args::parse(["export-model", "--format", "xml"]).is_err());
+
+        let args = Args::parse(["serve", "--model", "m.gpsb", "--watch"]).unwrap();
+        assert!(args.watch);
+        assert_eq!(args.model, "m.gpsb");
+        assert!(!Args::parse(["serve"]).unwrap().watch);
+
+        // `reload --model` targets reload_model, leaving the serve/export
+        // default untouched; without it the server re-reads its own file.
+        let args = Args::parse([
+            "reload",
+            "--addr",
+            "127.0.0.1:9999",
+            "--model",
+            "/tmp/new.gpsb",
+        ])
+        .unwrap();
+        assert_eq!(args.command, Command::Reload);
+        assert_eq!(args.reload_model.as_deref(), Some("/tmp/new.gpsb"));
+        assert_eq!(args.model, "gps-model.json");
+        assert!(Args::parse(["reload"]).unwrap().reload_model.is_none());
     }
 
     #[test]

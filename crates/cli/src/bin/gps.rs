@@ -24,6 +24,7 @@ fn main() {
         Command::ExportModel => commands::cmd_export_model(&args),
         Command::Serve => commands::cmd_serve(&args),
         Command::Query => commands::cmd_query(&args),
+        Command::Reload => commands::cmd_reload(&args),
     };
     if let Err(e) = result {
         eprintln!("error: {e}");

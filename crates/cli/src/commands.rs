@@ -11,7 +11,7 @@ use gps_serve::{PredictionServer, Query, ServableModel, ServeConfig};
 use gps_synthnet::{stats, Internet, PortCensus, UniverseConfig};
 use gps_types::Ip;
 
-use crate::args::{Args, Workload};
+use crate::args::{Args, SnapshotFormat, Workload};
 
 /// Build the universe described by the common flags.
 pub fn universe(args: &Args) -> Internet {
@@ -255,12 +255,22 @@ pub fn cmd_export_model(args: &Args) -> Result<(), String> {
     };
     let run = run_gps(&net, &ds, &config);
     let snapshot = ModelSnapshot::from_run(&run, &config, args.seed);
-    snapshot
-        .save(&args.model)
-        .map_err(|e| format!("--model {}: {e}", args.model))?;
+    match args.format {
+        SnapshotFormat::Json => snapshot.save(&args.model),
+        SnapshotFormat::Binary => snapshot.save_binary(&args.model),
+    }
+    .map_err(|e| format!("--model {}: {e}", args.model))?;
     let m = &snapshot.manifest;
     println!("exported model to {}:", args.model);
-    println!("  format:       {}.{}", m.format.0, m.format.1);
+    println!(
+        "  format:       {}.{} ({})",
+        m.format.0,
+        m.format.1,
+        match args.format {
+            SnapshotFormat::Json => "json",
+            SnapshotFormat::Binary => "GPSB binary",
+        }
+    );
     println!(
         "  dataset:      {} (universe seed {:#x})",
         m.dataset_name, m.universe_seed
@@ -310,6 +320,19 @@ pub fn cmd_serve(args: &Args) -> Result<(), String> {
             ..ServeConfig::default()
         },
     );
+    // Record the source so `gps reload` (without --model) and --watch can
+    // re-read it.
+    server.set_model_path(&args.model);
+    let server = Arc::new(server);
+    let _watcher = if args.watch {
+        println!("watching {} for changes (hot reload)", args.model);
+        Some(gps_serve::watch_snapshot_file(
+            server.clone(),
+            std::time::Duration::from_millis(500),
+        ))
+    } else {
+        None
+    };
     let listener = std::net::TcpListener::bind(&args.addr)
         .map_err(|e| format!("--addr {}: {e}", args.addr))?;
     println!(
@@ -319,7 +342,24 @@ pub fn cmd_serve(args: &Args) -> Result<(), String> {
             .map(|a| a.to_string())
             .unwrap_or_else(|_| args.addr.clone()),
     );
-    gps_serve::serve_tcp(Arc::new(server), listener).map_err(|e| format!("serve: {e}"))
+    gps_serve::serve_tcp(server, listener).map_err(|e| format!("serve: {e}"))
+}
+
+/// `gps reload` — ask a running server to hot-swap its snapshot with zero
+/// downtime: the file it is already serving (picking up an atomic
+/// replace), or a different one via `--model`.
+pub fn cmd_reload(args: &Args) -> Result<(), String> {
+    let mut client =
+        gps_serve::Client::connect(&args.addr).map_err(|e| format!("--addr {}: {e}", args.addr))?;
+    let outcome = client
+        .reload(args.reload_model.as_deref())
+        .map_err(|e| format!("reload: {e}"))?;
+    println!("reloaded: generation {}", outcome.generation);
+    println!(
+        "  serving {} rules / {} priors (checksum {})",
+        outcome.num_rules, outcome.num_priors, outcome.checksum
+    );
+    Ok(())
 }
 
 /// `gps query` — one prediction request against a running `gps serve`.
@@ -444,6 +484,69 @@ mod tests {
             Some(step as u64)
         );
         std::fs::remove_file(&args.model).ok();
+    }
+
+    #[test]
+    fn binary_export_then_serve_then_wire_reload() {
+        use crate::args::{Command, SnapshotFormat};
+        let dir = std::env::temp_dir();
+        let path_a = dir.join(format!("gps_cli_reload_a_{}.gpsb", std::process::id()));
+        let path_b = dir.join(format!("gps_cli_reload_b_{}.gpsb", std::process::id()));
+
+        // Two binary snapshots from different universes (different seeds).
+        let mut args = quick_args(Command::ExportModel);
+        args.format = SnapshotFormat::Binary;
+        args.model = path_a.to_string_lossy().into_owned();
+        args.seed = 9;
+        cmd_export_model(&args).unwrap();
+        let mut args_b = args.clone();
+        args_b.model = path_b.to_string_lossy().into_owned();
+        args_b.seed = 10;
+        cmd_export_model(&args_b).unwrap();
+
+        // The exported files are GPSB and load like any snapshot.
+        assert!(std::fs::read(&path_a).unwrap().starts_with(b"GPSB"));
+        let snapshot_a = ModelSnapshot::load_serving(&path_a).unwrap();
+        let snapshot_b = ModelSnapshot::load_serving(&path_b).unwrap();
+        assert_ne!(snapshot_a.manifest.checksum, snapshot_b.manifest.checksum);
+
+        // Serve A, then hot-swap to B over the wire.
+        let server = PredictionServer::start(
+            ServableModel::from_snapshot(snapshot_a),
+            ServeConfig {
+                shards: 2,
+                ..ServeConfig::default()
+            },
+        );
+        server.set_model_path(&path_a);
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = Arc::new(server);
+        {
+            let server = server.clone();
+            std::thread::spawn(move || gps_serve::serve_tcp(server, listener));
+        }
+        let mut client = gps_serve::Client::connect(addr).unwrap();
+        let outcome = client
+            .reload(Some(path_b.to_string_lossy().as_ref()))
+            .unwrap();
+        assert_eq!(outcome.generation, 1);
+        assert_eq!(
+            outcome.checksum,
+            gps_types::json::u64_to_hex(snapshot_b.manifest.checksum),
+            "reload reply reports model B"
+        );
+        let manifest = client.manifest().unwrap();
+        assert_eq!(
+            manifest.get("checksum").and_then(|j| j.as_str()),
+            Some(outcome.checksum.as_str()),
+            "served manifest now reports model B"
+        );
+        // Reload without --model re-reads the (updated) recorded path.
+        assert_eq!(client.reload(None).unwrap().generation, 2);
+
+        std::fs::remove_file(&path_a).ok();
+        std::fs::remove_file(&path_b).ok();
     }
 
     #[test]

@@ -26,6 +26,7 @@ COMMANDS:
     export-model  Train on a workload and save the artifacts as a snapshot
     serve         Load a snapshot and answer prediction queries over TCP
     query         Ask a running server for predictions on one IP
+    reload        Hot-swap a running server's snapshot (zero downtime)
     help          Show this message
 
 COMMON OPTIONS:
@@ -41,9 +42,13 @@ RUN/COMPARE/EXPORT OPTIONS:
     --csv PATH          write the discovery curve as CSV
 
 SERVING OPTIONS:
-    --model PATH        snapshot file (default gps-model.json)
+    --model PATH        snapshot file (default gps-model.json); for
+                        `reload`, the snapshot to switch the server to
+                        (default: re-read the file it is serving)
+    --format F          export-model encoding: json | binary (GPSB)
     --addr A            TCP address (default 127.0.0.1:4615)
     --shards N          serve worker shards (default: auto)
+    --watch             serve: hot-reload when the snapshot file changes
     --ip A.B.C.D        query target
     --open P1,P2        query evidence: ports known open on the target
     --asn N             query evidence: the target's ASN
@@ -53,7 +58,8 @@ EXAMPLES:
     gps universe --blocks 16
     gps run --workload censys --seed-fraction 0.02 --step 16 --csv curve.csv
     gps compare --workload lzr
-    gps export-model --quick --model /tmp/gps-model.json
-    gps serve --model /tmp/gps-model.json --addr 127.0.0.1:4615 --shards 8
+    gps export-model --quick --model /tmp/gps-model.gpsb --format binary
+    gps serve --model /tmp/gps-model.gpsb --addr 127.0.0.1:4615 --shards 8 --watch
     gps query --addr 127.0.0.1:4615 --ip 10.1.2.3 --open 80
+    gps reload --addr 127.0.0.1:4615 --model /tmp/gps-model-v2.gpsb
 ";

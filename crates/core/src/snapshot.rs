@@ -9,9 +9,12 @@
 //! `gps export-model`, answer prediction queries for as long as the model
 //! stays fresh with `gps serve`.
 //!
-//! ## Format
+//! ## Formats
 //!
-//! One JSON document (see `gps_types::json` for why JSON and not serde):
+//! Two interchangeable on-disk encodings carry the same snapshot;
+//! [`load`](ModelSnapshot::load) auto-detects by the leading bytes.
+//!
+//! **JSON** (see `gps_types::json` for why JSON and not serde):
 //!
 //! ```text
 //! {"manifest": {format, universe_seed, dataset, config, stats, checksum},
@@ -28,6 +31,31 @@
 //! a different `format` major is rejected, a newer minor is accepted
 //! (minor bumps may only add fields, which the parser ignores).
 //!
+//! **GPSB binary** (`gps_types::binary`): JSON parsing dominates load
+//! time on big universes — every probability goes through float
+//! formatting and re-tokenization — so
+//! [`save_binary`](ModelSnapshot::save_binary) writes the same data as
+//! length-prefixed, per-section-checksummed little-endian sections:
+//!
+//! ```text
+//! "GPSB" | container version (u8)
+//! MANI section: the manifest as JSON text  (forward-compatible header)
+//! MODL section: co-occurrence model        (varint counts, binary keys)
+//! RULE section: feature rules              (f64 bit patterns, exact)
+//! PRIO section: priors scan list
+//! ```
+//!
+//! Each section is `tag | u32 length | payload | u64 FNV-1a of payload`,
+//! so corruption is pinned to a section and `load_serving` can *skip*
+//! the MODL payload (hash-verify only, never parse — the bulk of the
+//! file) while still checking the integrity of every byte. The manifest
+//! stays JSON inside its section: new manifest fields from newer minor
+//! versions ride through without a binary schema change, and the
+//! manifest `checksum` field keeps its JSON-body definition in both
+//! formats, so a snapshot converted binary→JSON is byte-identical to one
+//! saved as JSON directly. Probabilities are stored as IEEE-754 bit
+//! patterns, so a binary round trip is bit-exact by construction.
+//!
 //! Interned symbols (`Sym`) are stored as raw `u32`s: they are only
 //! meaningful together with the universe that produced them, which is
 //! itself a pure function of the recorded `universe_seed`.
@@ -36,6 +64,9 @@ use std::collections::HashMap;
 use std::fmt;
 use std::path::Path;
 
+use gps_types::binary::{
+    read_section, write_section, ByteReader, ByteWriter, GPSB_CONTAINER_VERSION, GPSB_MAGIC,
+};
 use gps_types::json::{fnv64, u64_from_hex, u64_to_hex, Json};
 use gps_types::{FeatureKind, FeatureValue, GpsError, Port, Subnet, Sym};
 
@@ -49,6 +80,18 @@ use crate::priors::PriorsEntry;
 /// changes only add fields.
 pub const FORMAT_MAJOR: u32 = 1;
 pub const FORMAT_MINOR: u32 = 0;
+
+/// GPSB section tags. MANI must come first (it gates version checks);
+/// unknown tags from newer minor versions are skipped after their
+/// checksum verifies.
+const SEC_MANIFEST: [u8; 4] = *b"MANI";
+const SEC_MODEL: [u8; 4] = *b"MODL";
+const SEC_RULES: [u8; 4] = *b"RULE";
+const SEC_PRIORS: [u8; 4] = *b"PRIO";
+
+/// Net-key discriminants inside binary conditioning keys.
+const NETKEY_SLASH: u8 = 0;
+const NETKEY_ASN: u8 = 1;
 
 /// Descriptive header of a snapshot: enough to decide whether to trust and
 /// how to query the artifact without deserializing the body.
@@ -290,32 +333,190 @@ impl ModelSnapshot {
         })
     }
 
-    /// Write the snapshot to a file.
-    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
-        // Write-then-rename so a crash mid-write (or a concurrent reader)
-        // never sees a truncated artifact and never loses the previous
-        // good one.
-        let path = path.as_ref();
-        let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, self.to_json_string())?;
-        std::fs::rename(&tmp, path)?;
-        Ok(())
+    /// Serialize the snapshot to GPSB binary bytes.
+    pub fn to_binary_bytes(&self) -> Vec<u8> {
+        // The manifest checksum keeps its JSON definition (hash of the
+        // canonical JSON manifest + body) in both formats, so converting
+        // binary->JSON reproduces the JSON file byte-for-byte. Like
+        // `to_json_string`, it is recomputed here in case the public
+        // fields were edited since construction.
+        let manifest = ModelManifest {
+            checksum: checksum_of(&self.manifest, &self.body_text()),
+            ..self.manifest.clone()
+        };
+        let mut manifest_text = String::new();
+        manifest_to_json(&manifest).write(&mut manifest_text);
+
+        let mut model_keys: Vec<(&CondKey, &KeyStats)> = self.model.iter().collect();
+        model_keys.sort_by_key(|(k, _)| **k);
+        let mut model = ByteWriter::with_capacity(32 * model_keys.len());
+        model.put_varint(model_keys.len() as u64);
+        for (key, stats) in model_keys {
+            key_to_binary(key, &mut model);
+            model.put_varint(stats.hosts as u64);
+            model.put_varint(stats.targets.len() as u64);
+            for &(port, count) in &stats.targets {
+                model.put_u16(port.0);
+                model.put_varint(count as u64);
+            }
+        }
+
+        let mut rule_rows: Vec<(&CondKey, &Vec<(Port, f64)>)> = self.rules.iter().collect();
+        rule_rows.sort_by_key(|(k, _)| **k);
+        let mut rules = ByteWriter::with_capacity(32 * rule_rows.len());
+        rules.put_varint(rule_rows.len() as u64);
+        for (key, targets) in rule_rows {
+            key_to_binary(key, &mut rules);
+            rules.put_varint(targets.len() as u64);
+            for &(port, prob) in targets {
+                rules.put_u16(port.0);
+                rules.put_f64(prob);
+            }
+        }
+
+        let mut priors = ByteWriter::with_capacity(12 * self.priors.len());
+        priors.put_varint(self.priors.len() as u64);
+        for entry in &self.priors {
+            priors.put_u16(entry.port.0);
+            priors.put_u32(entry.subnet.base().0);
+            priors.put_u8(entry.subnet.prefix_len());
+            priors.put_varint(entry.coverage);
+        }
+
+        let mut out = ByteWriter::with_capacity(
+            64 + manifest_text.len() + model.len() + rules.len() + priors.len(),
+        );
+        out.put_bytes(&GPSB_MAGIC);
+        out.put_u8(GPSB_CONTAINER_VERSION);
+        for (tag, payload) in [
+            (SEC_MANIFEST, manifest_text.as_bytes()),
+            (SEC_MODEL, &model.into_bytes()[..]),
+            (SEC_RULES, &rules.into_bytes()[..]),
+            (SEC_PRIORS, &priors.into_bytes()[..]),
+        ] {
+            write_section(&mut out, tag, payload).expect("snapshot section under 4 GiB");
+        }
+        out.into_bytes()
     }
 
-    /// Read, version-check, and checksum-verify a snapshot file.
+    /// Parse a snapshot from GPSB binary bytes, verifying the container
+    /// version, the manifest format major, and every section checksum.
+    pub fn from_binary_bytes(bytes: &[u8]) -> Result<ModelSnapshot, SnapshotError> {
+        Self::from_binary_impl(bytes, true)
+    }
+
+    fn from_binary_impl(bytes: &[u8], with_model: bool) -> Result<ModelSnapshot, SnapshotError> {
+        let mut reader = ByteReader::new(bytes);
+        if reader.take(4).ok() != Some(&GPSB_MAGIC[..]) {
+            return Err(malformed("missing GPSB magic").into());
+        }
+        let container = reader.u8()?;
+        if container != GPSB_CONTAINER_VERSION {
+            return Err(malformed("unsupported GPSB container version").into());
+        }
+
+        // The manifest section must come first: it gates the format
+        // version before any body section is interpreted.
+        let manifest_section =
+            read_section(&mut reader)?.ok_or_else(|| malformed("empty GPSB container"))?;
+        if manifest_section.tag != SEC_MANIFEST {
+            return Err(malformed("first GPSB section must be the manifest").into());
+        }
+        verify_section(&manifest_section)?;
+        let manifest_text = std::str::from_utf8(manifest_section.payload)
+            .map_err(|_| malformed("manifest is not utf-8"))?;
+        let manifest = manifest_from_json(&Json::parse(manifest_text)?)?;
+        if manifest.format.0 != FORMAT_MAJOR {
+            return Err(SnapshotError::Version {
+                found: manifest.format,
+                supported: (FORMAT_MAJOR, FORMAT_MINOR),
+            });
+        }
+
+        let mut model: Option<HashMap<CondKey, KeyStats>> = None;
+        let mut rules: Option<HashMap<CondKey, Vec<(Port, f64)>>> = None;
+        let mut priors: Option<Vec<PriorsEntry>> = None;
+        while let Some(section) = read_section(&mut reader)? {
+            // Every section is integrity-checked, including skipped and
+            // unknown ones: "loads cleanly" must mean "every byte hashes".
+            verify_section(&section)?;
+            match section.tag {
+                SEC_MODEL => {
+                    if model.is_some() {
+                        return Err(malformed("duplicate MODL section").into());
+                    }
+                    model = Some(if with_model {
+                        model_from_binary(section.payload)?
+                    } else {
+                        HashMap::new()
+                    });
+                }
+                SEC_RULES => {
+                    if rules.is_some() {
+                        return Err(malformed("duplicate RULE section").into());
+                    }
+                    rules = Some(rules_from_binary(section.payload)?);
+                }
+                SEC_PRIORS => {
+                    if priors.is_some() {
+                        return Err(malformed("duplicate PRIO section").into());
+                    }
+                    priors = Some(priors_from_binary(section.payload)?);
+                }
+                SEC_MANIFEST => return Err(malformed("duplicate MANI section").into()),
+                // Unknown tags are future minor-version sections.
+                _ => {}
+            }
+        }
+
+        Ok(ModelSnapshot {
+            model: CondModel::from_parts(
+                model.ok_or_else(|| malformed("missing MODL section"))?,
+                manifest.interactions,
+            ),
+            rules: FeatureRules::from_parts(
+                rules.ok_or_else(|| malformed("missing RULE section"))?,
+            ),
+            priors: priors.ok_or_else(|| malformed("missing PRIO section"))?,
+            manifest,
+        })
+    }
+
+    /// Write the snapshot to a file in JSON format.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+        write_atomically(path.as_ref(), self.to_json_string().as_bytes())
+    }
+
+    /// Write the snapshot to a file in GPSB binary format.
+    pub fn save_binary(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+        write_atomically(path.as_ref(), &self.to_binary_bytes())
+    }
+
+    /// Read, version-check, and checksum-verify a snapshot file. The
+    /// format is auto-detected: files opening with the `GPSB` magic are
+    /// binary, anything else is parsed as JSON.
     pub fn load(path: impl AsRef<Path>) -> Result<ModelSnapshot, SnapshotError> {
-        let text = std::fs::read_to_string(path)?;
-        Self::from_json_str(&text)
+        Self::load_impl(path.as_ref(), true)
     }
 
     /// Like [`load`](Self::load), but skips materializing the
     /// co-occurrence model — usually the largest section, and unused by
     /// the serving layer (which answers from rules + priors). The
-    /// checksum still covers the full file; the returned snapshot's
-    /// `model` is empty.
+    /// integrity checks still cover the full file (the binary format
+    /// hash-verifies the model section without parsing it); the returned
+    /// snapshot's `model` is empty.
     pub fn load_serving(path: impl AsRef<Path>) -> Result<ModelSnapshot, SnapshotError> {
-        let text = std::fs::read_to_string(path)?;
-        Self::from_json_impl(&text, false)
+        Self::load_impl(path.as_ref(), false)
+    }
+
+    fn load_impl(path: &Path, with_model: bool) -> Result<ModelSnapshot, SnapshotError> {
+        let bytes = std::fs::read(path)?;
+        if bytes.starts_with(&GPSB_MAGIC) {
+            return Self::from_binary_impl(&bytes, with_model);
+        }
+        let text = std::str::from_utf8(&bytes)
+            .map_err(|_| malformed("snapshot is neither GPSB nor utf-8 JSON"))?;
+        Self::from_json_impl(text, with_model)
     }
 
     /// Canonical serialization of the three artifacts (the checksummed
@@ -373,6 +574,169 @@ impl ModelSnapshot {
 
 fn malformed(reason: &'static str) -> GpsError {
     GpsError::parse("snapshot", "", reason)
+}
+
+/// Write-then-rename so a crash mid-write (or a concurrent reader) never
+/// sees a truncated artifact and never loses the previous good one.
+fn write_atomically(path: &Path, bytes: &[u8]) -> Result<(), SnapshotError> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Map a GPSB section checksum mismatch onto [`SnapshotError::Checksum`]
+/// so corruption reports the same way in both formats.
+fn verify_section(section: &gps_types::binary::Section<'_>) -> Result<(), SnapshotError> {
+    let computed = section.computed_checksum();
+    if section.stored_checksum != computed {
+        return Err(SnapshotError::Checksum {
+            expected: section.stored_checksum,
+            computed,
+        });
+    }
+    Ok(())
+}
+
+/// Binary key encoding, mirroring [`key_to_json`]: class discriminant,
+/// anchor port, then the class-dependent app/net parts.
+fn key_to_binary(key: &CondKey, out: &mut ByteWriter) {
+    out.put_u8(key.class());
+    out.put_u16(key.port().0);
+    if let Some(f) = key.app() {
+        out.put_u8(f.kind.index() as u8);
+        out.put_varint(f.value.0 as u64);
+    }
+    if let Some(net) = key.net() {
+        match net {
+            NetKey::Slash(len, base) => {
+                out.put_u8(NETKEY_SLASH);
+                out.put_u8(len);
+                out.put_u32(base);
+            }
+            NetKey::Asn(n) => {
+                out.put_u8(NETKEY_ASN);
+                out.put_varint(n as u64);
+            }
+        }
+    }
+}
+
+fn key_from_binary(reader: &mut ByteReader<'_>) -> Result<CondKey, GpsError> {
+    let class = reader.u8()?;
+    let port = Port(reader.u16()?);
+    let app = |reader: &mut ByteReader<'_>| -> Result<FeatureValue, GpsError> {
+        let kind_idx = reader.u8()? as usize;
+        let kind = *FeatureKind::ALL
+            .get(kind_idx)
+            .ok_or_else(|| malformed("feature kind out of range"))?;
+        let sym = reader.varint_u32()?;
+        Ok(FeatureValue::new(kind, Sym(sym)))
+    };
+    let net = |reader: &mut ByteReader<'_>| -> Result<NetKey, GpsError> {
+        match reader.u8()? {
+            NETKEY_SLASH => {
+                let len = reader.u8()?;
+                if len > 32 {
+                    return Err(malformed("bad net prefix"));
+                }
+                Ok(NetKey::Slash(len, reader.u32()?))
+            }
+            NETKEY_ASN => Ok(NetKey::Asn(reader.varint_u32()?)),
+            _ => Err(malformed("bad net key tag")),
+        }
+    };
+    match class {
+        4 => Ok(CondKey::Port(port)),
+        5 => Ok(CondKey::PortApp(port, app(reader)?)),
+        6 => Ok(CondKey::PortNet(port, net(reader)?)),
+        7 => Ok(CondKey::PortAppNet(port, app(reader)?, net(reader)?)),
+        _ => Err(malformed("unknown key class")),
+    }
+}
+
+fn model_from_binary(payload: &[u8]) -> Result<HashMap<CondKey, KeyStats>, GpsError> {
+    let mut reader = ByteReader::new(payload);
+    // Minimum entry sizes: a bare Eq. 4 key is 3 bytes, plus one-byte
+    // varints for the counts; each co-occurrence target is >= 3 bytes.
+    let count = bounded_count(&mut reader, 5)?;
+    let mut keys = HashMap::with_capacity(count);
+    for _ in 0..count {
+        let key = key_from_binary(&mut reader)?;
+        let hosts = reader.varint_u32()?;
+        let num_targets = bounded_count(&mut reader, 3)?;
+        let mut targets = Vec::with_capacity(num_targets);
+        for _ in 0..num_targets {
+            let port = Port(reader.u16()?);
+            targets.push((port, reader.varint_u32()?));
+        }
+        keys.insert(key, KeyStats { hosts, targets });
+    }
+    expect_consumed(&reader, "MODL")?;
+    Ok(keys)
+}
+
+fn rules_from_binary(payload: &[u8]) -> Result<HashMap<CondKey, Vec<(Port, f64)>>, GpsError> {
+    let mut reader = ByteReader::new(payload);
+    let count = bounded_count(&mut reader, 4)?;
+    let mut rules = HashMap::with_capacity(count);
+    for _ in 0..count {
+        let key = key_from_binary(&mut reader)?;
+        let num_targets = bounded_count(&mut reader, 10)?;
+        let mut targets = Vec::with_capacity(num_targets);
+        for _ in 0..num_targets {
+            let port = Port(reader.u16()?);
+            targets.push((port, reader.f64()?));
+        }
+        rules.insert(key, targets);
+    }
+    expect_consumed(&reader, "RULE")?;
+    Ok(rules)
+}
+
+fn priors_from_binary(payload: &[u8]) -> Result<Vec<PriorsEntry>, GpsError> {
+    let mut reader = ByteReader::new(payload);
+    let count = bounded_count(&mut reader, 8)?;
+    let mut priors = Vec::with_capacity(count);
+    for _ in 0..count {
+        let port = Port(reader.u16()?);
+        let base = reader.u32()?;
+        let prefix = reader.u8()?;
+        if prefix > 32 {
+            return Err(malformed("bad priors prefix"));
+        }
+        priors.push(PriorsEntry {
+            port,
+            subnet: Subnet::of_ip(gps_types::Ip(base), prefix),
+            coverage: reader.varint()?,
+        });
+    }
+    expect_consumed(&reader, "PRIO")?;
+    Ok(priors)
+}
+
+/// Read an element count and sanity-check it against the bytes actually
+/// present (each element costs at least `min_bytes_per_item`), so a
+/// corrupted count cannot drive a huge up-front allocation.
+fn bounded_count(
+    reader: &mut ByteReader<'_>,
+    min_bytes_per_item: usize,
+) -> Result<usize, GpsError> {
+    let count = reader.varint()?;
+    let fits = count <= (reader.remaining() / min_bytes_per_item.max(1)) as u64;
+    if !fits {
+        return Err(malformed("section count exceeds payload size"));
+    }
+    Ok(count as usize)
+}
+
+/// Trailing bytes after the declared entries mean the writer and reader
+/// disagree about the schema — reject instead of silently ignoring.
+fn expect_consumed(reader: &ByteReader<'_>, _section: &'static str) -> Result<(), GpsError> {
+    if !reader.is_empty() {
+        return Err(malformed("trailing bytes in section"));
+    }
+    Ok(())
 }
 
 /// FNV-1a over the canonical manifest serialization (checksum field
@@ -876,6 +1240,131 @@ mod tests {
             Err(SnapshotError::Checksum { .. })
         ));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn binary_round_trip_preserves_everything() {
+        let snapshot = trained_snapshot();
+        let bytes = snapshot.to_binary_bytes();
+        let loaded = ModelSnapshot::from_binary_bytes(&bytes).unwrap();
+        assert_eq!(loaded.manifest, snapshot.manifest);
+        assert_eq!(loaded.priors, snapshot.priors);
+        assert_eq!(loaded.model.len(), snapshot.model.len());
+        for (key, stats) in snapshot.model.iter() {
+            let other = loaded.model.stats(key).expect("key survives round trip");
+            assert_eq!(stats.hosts, other.hosts);
+            assert_eq!(stats.targets, other.targets);
+        }
+        assert_eq!(loaded.rules.len(), snapshot.rules.len());
+        for (key, targets) in snapshot.rules.iter() {
+            assert_eq!(loaded.rules.get(key), Some(targets.as_slice()));
+        }
+        // Binary -> JSON reproduces the directly-saved JSON byte-for-byte.
+        assert_eq!(loaded.to_json_string(), snapshot.to_json_string());
+        // And binary serialization is deterministic too.
+        assert_eq!(loaded.to_binary_bytes(), bytes);
+    }
+
+    #[test]
+    fn load_auto_detects_format_by_magic() {
+        let snapshot = trained_snapshot();
+        let dir = std::env::temp_dir();
+        let json_path = dir.join("gps_snapshot_auto.json");
+        let bin_path = dir.join("gps_snapshot_auto.gpsb");
+        snapshot.save(&json_path).unwrap();
+        snapshot.save_binary(&bin_path).unwrap();
+        assert!(std::fs::read(&bin_path).unwrap().starts_with(b"GPSB"));
+        let from_json = ModelSnapshot::load(&json_path).unwrap();
+        let from_bin = ModelSnapshot::load(&bin_path).unwrap();
+        assert_eq!(from_json.manifest, from_bin.manifest);
+        assert_eq!(from_json.priors, from_bin.priors);
+        assert_eq!(from_json.to_json_string(), from_bin.to_json_string());
+        // load_serving on the binary path skips the model but keeps the rest.
+        let served = ModelSnapshot::load_serving(&bin_path).unwrap();
+        assert!(served.model.is_empty());
+        assert_eq!(served.rules.len(), snapshot.rules.len());
+        assert_eq!(served.priors, snapshot.priors);
+        std::fs::remove_file(&json_path).ok();
+        std::fs::remove_file(&bin_path).ok();
+    }
+
+    #[test]
+    fn binary_corruption_is_rejected_per_section() {
+        let snapshot = trained_snapshot();
+        let clean = snapshot.to_binary_bytes();
+        // Flip one byte in every section payload region; each must fail
+        // with a checksum error (both on the full and the serving path).
+        let step = (clean.len() / 59).max(1);
+        let mut hits = 0;
+        for i in (5..clean.len()).step_by(step) {
+            let mut corrupt = clean.clone();
+            corrupt[i] ^= 0x10;
+            let full = ModelSnapshot::from_binary_bytes(&corrupt);
+            assert!(full.is_err(), "flip at byte {i} must not load");
+            if matches!(full, Err(SnapshotError::Checksum { .. })) {
+                hits += 1;
+            }
+            assert!(
+                ModelSnapshot::from_binary_impl(&corrupt, false).is_err(),
+                "flip at byte {i} must not load for serving either"
+            );
+        }
+        assert!(hits > 0, "at least some flips must land in payloads");
+    }
+
+    #[test]
+    fn binary_truncation_is_rejected_at_every_prefix() {
+        let snapshot = trained_snapshot();
+        let clean = snapshot.to_binary_bytes();
+        let step = (clean.len() / 97).max(1);
+        for len in (0..clean.len()).step_by(step) {
+            assert!(
+                ModelSnapshot::from_binary_bytes(&clean[..len]).is_err(),
+                "prefix of {len} bytes must not load"
+            );
+        }
+    }
+
+    #[test]
+    fn binary_rejects_foreign_versions() {
+        let snapshot = trained_snapshot();
+        let clean = snapshot.to_binary_bytes();
+        // Foreign container version.
+        let mut wrong_container = clean.clone();
+        wrong_container[4] = 99;
+        assert!(matches!(
+            ModelSnapshot::from_binary_bytes(&wrong_container),
+            Err(SnapshotError::Malformed(_))
+        ));
+        // Foreign manifest major: rewrite the manifest through the writer
+        // (a raw byte edit would — correctly — fail the section checksum).
+        let mut bumped = snapshot.clone();
+        bumped.manifest.format = (FORMAT_MAJOR + 1, 0);
+        match ModelSnapshot::from_binary_bytes(&bumped.to_binary_bytes()) {
+            Err(SnapshotError::Version { found, .. }) => assert_eq!(found.0, FORMAT_MAJOR + 1),
+            other => panic!("expected version failure, got {other:?}"),
+        }
+        // Newer minor is accepted.
+        let mut newer_minor = snapshot.clone();
+        newer_minor.manifest.format = (FORMAT_MAJOR, 99);
+        let loaded = ModelSnapshot::from_binary_bytes(&newer_minor.to_binary_bytes()).unwrap();
+        assert_eq!(loaded.manifest.format, (FORMAT_MAJOR, 99));
+        // Not-a-snapshot inputs.
+        assert!(ModelSnapshot::from_binary_bytes(b"").is_err());
+        assert!(ModelSnapshot::from_binary_bytes(b"JSON{}").is_err());
+    }
+
+    #[test]
+    fn binary_is_smaller_than_json() {
+        let snapshot = trained_snapshot();
+        let json = snapshot.to_json_string();
+        let binary = snapshot.to_binary_bytes();
+        assert!(
+            binary.len() < json.len(),
+            "binary {} >= json {}",
+            binary.len(),
+            json.len()
+        );
     }
 
     #[test]

@@ -54,6 +54,16 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         self.capacity
     }
 
+    /// Drop every entry, keeping the allocated slab for reuse. Used on
+    /// model hot-reload: cached answers belong to the old model.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NONE;
+        self.tail = NONE;
+    }
+
     /// Look up and mark as most-recently-used.
     pub fn get(&mut self, key: &K) -> Option<&V> {
         let idx = *self.map.get(key)?;
@@ -169,6 +179,21 @@ mod tests {
         cache.insert(3, 30);
         assert_eq!(cache.get(&1), Some(&11));
         assert_eq!(cache.get(&2), None);
+    }
+
+    #[test]
+    fn clear_empties_and_stays_usable() {
+        let mut cache: LruCache<u32, u32> = LruCache::new(2);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(&1), None);
+        cache.insert(3, 30);
+        cache.insert(4, 40);
+        cache.insert(5, 50);
+        assert_eq!(cache.get(&3), None, "capacity still enforced");
+        assert_eq!(cache.get(&5), Some(&50));
     }
 
     #[test]

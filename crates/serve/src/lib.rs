@@ -16,8 +16,9 @@
 //!   observed ports through the §5.4 rules);
 //! - [`server`] — [`PredictionServer`]: N shard worker threads
 //!   (hash-partitioned by the query IP's /16), bounded work queues,
-//!   opportunistic request batching, per-shard LRU answer caches, and
-//!   [`ServerStats`] counters;
+//!   opportunistic request batching, per-shard LRU answer caches,
+//!   [`ServerStats`] counters, and zero-downtime snapshot hot-reload
+//!   (epoch-published model + the [`watch_snapshot_file`] control path);
 //! - [`cache`] — the O(1) LRU used by each shard;
 //! - [`proto`] — a length-prefixed JSON frame protocol over TCP plus the
 //!   blocking [`Client`] used by `gps query` and the loadgen bench.
@@ -54,5 +55,7 @@ mod shard;
 
 pub use artifact::{Query, Ranked, ServableModel};
 pub use cache::LruCache;
-pub use proto::{serve_tcp, Client};
-pub use server::{PredictionServer, ServeConfig, ServerStats, StatsSnapshot};
+pub use proto::{serve_tcp, Client, ReloadOutcome};
+pub use server::{
+    watch_snapshot_file, PredictionServer, ReloadWatcher, ServeConfig, ServerStats, StatsSnapshot,
+};

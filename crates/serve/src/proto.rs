@@ -9,13 +9,24 @@
 //! {"cmd":"batch","queries":[{"ip":...}, ...]}
 //! {"cmd":"stats"}
 //! {"cmd":"manifest"}
+//! {"cmd":"reload"}                       — re-read the served snapshot file
+//! {"cmd":"reload","model":"/path.gpsb"}  — switch to a different snapshot
 //! ```
 //!
 //! Successful responses carry `"ok":true` plus the payload; failures carry
 //! `"ok":false` and an `"error"` string (a malformed request never kills
-//! the connection). The server is std-only: one OS thread per connection,
-//! which is plenty for the model-serving fan-in this subsystem targets —
-//! heavy multiplexing belongs in a fronting proxy.
+//! the connection). A request may carry an `"id"` (any JSON value); the
+//! response — success *or* error — echoes it verbatim, so pipelining
+//! clients can correlate failures with the request that caused them.
+//!
+//! `reload` swaps the served model with zero downtime (see
+//! `server::ModelSlot`); like `stats`, it is trusted-operator surface —
+//! anyone who can reach the port can point the server at a different
+//! snapshot *file path*, so bind to loopback or put an authenticating
+//! proxy in front, as the thread-per-connection design already assumes.
+//! The server is std-only: one OS thread per connection, which is plenty
+//! for the model-serving fan-in this subsystem targets — heavy
+//! multiplexing belongs in a fronting proxy.
 
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
@@ -238,7 +249,8 @@ fn respond(server: &PredictionServer, request: &Json) -> Json {
             json
         }
         "manifest" => {
-            let m = server.model().manifest();
+            let model = server.model();
+            let m = model.manifest();
             let mut inner = Json::obj();
             inner
                 .set("dataset", m.dataset_name.as_str())
@@ -249,10 +261,36 @@ fn respond(server: &PredictionServer, request: &Json) -> Json {
                 .set("step_prefix", m.step_prefix)
                 .set("distinct_keys", m.distinct_keys)
                 .set("num_rules", m.num_rules)
-                .set("num_priors", m.num_priors);
+                .set("num_priors", m.num_priors)
+                .set("checksum", gps_types::json::u64_to_hex(m.checksum));
             let mut json = ok_response();
-            json.set("manifest", inner);
+            json.set("manifest", inner)
+                .set("generation", Json::Num(server.generation() as f64));
             json
+        }
+        "reload" => {
+            let path = match request.get("model") {
+                None => None,
+                Some(Json::Str(s)) => Some(std::path::PathBuf::from(s)),
+                Some(_) => return error_response("model must be a path string"),
+            };
+            match server.reload_from_disk(path.as_deref()) {
+                // Describe the model *this* reload published — reading
+                // `server.model()` here could race with a concurrent
+                // reload and misattribute the manifest.
+                Ok((generation, model)) => {
+                    let m = model.manifest();
+                    let mut json = ok_response();
+                    json.set("generation", Json::Num(generation as f64))
+                        .set("num_rules", m.num_rules)
+                        .set("num_priors", m.num_priors)
+                        .set("checksum", gps_types::json::u64_to_hex(m.checksum));
+                    json
+                }
+                // The old model is still serving; the error only reports
+                // why the swap did not happen.
+                Err(e) => error_response(format!("reload failed: {e}")),
+            }
         }
         other => error_response(format!("unknown cmd {other:?}")),
     }
@@ -265,10 +303,21 @@ pub fn serve_connection(server: &PredictionServer, stream: TcpStream) -> io::Res
     let mut reader = io::BufReader::new(stream.try_clone()?);
     let mut writer = io::BufWriter::new(stream);
     while let Some(text) = read_frame_text(&mut reader)? {
-        let response = match Json::parse(&text) {
-            Ok(request) => respond(server, &request),
+        // The request id (if any) is echoed on every reply, error replies
+        // included — a pipelining client must be able to tell *which*
+        // request of a burst failed. Unparseable JSON has no extractable
+        // id, so only framing-level garbage goes un-correlated.
+        let mut request_id = None;
+        let mut response = match Json::parse(&text) {
+            Ok(request) => {
+                request_id = request.get("id").cloned();
+                respond(server, &request)
+            }
             Err(e) => error_response(format!("bad json: {e}")),
         };
+        if let Some(id) = &request_id {
+            response.set("id", id.clone());
+        }
         match write_frame(&mut writer, &response) {
             Ok(()) => {}
             // A legal request can still produce an over-cap response (a
@@ -276,10 +325,11 @@ pub fn serve_connection(server: &PredictionServer, stream: TcpStream) -> io::Res
             // so the stream is intact: reply with an error instead of
             // dropping the connection.
             Err(e) if e.kind() == io::ErrorKind::InvalidInput => {
-                write_frame(
-                    &mut writer,
-                    &error_response("response exceeds frame size cap"),
-                )?;
+                let mut oversized = error_response("response exceeds frame size cap");
+                if let Some(id) = &request_id {
+                    oversized.set("id", id.clone());
+                }
+                write_frame(&mut writer, &oversized)?;
             }
             Err(e) => return Err(e),
         }
@@ -307,10 +357,15 @@ pub fn serve_tcp(server: Arc<PredictionServer>, listener: TcpListener) -> io::Re
     Ok(())
 }
 
-/// A blocking protocol client (used by `gps query`, loadgen, and tests).
+/// A blocking protocol client (used by `gps query`, `gps reload`,
+/// loadgen, and tests). Every request carries a monotonically increasing
+/// `id`, and the echoed id on the reply — error replies included — is
+/// verified, so a desynchronized stream surfaces as a hard error instead
+/// of silently mis-attributed answers.
 pub struct Client {
     reader: io::BufReader<TcpStream>,
     writer: io::BufWriter<TcpStream>,
+    next_id: u64,
 }
 
 impl Client {
@@ -320,13 +375,26 @@ impl Client {
         Ok(Client {
             reader: io::BufReader::new(stream.try_clone()?),
             writer: io::BufWriter::new(stream),
+            next_id: 1,
         })
     }
 
-    fn call(&mut self, request: &Json) -> io::Result<Json> {
-        write_frame(&mut self.writer, request)?;
+    /// Takes the request by value: every caller builds it fresh, and a
+    /// large `batch` request would otherwise be deep-cloned just to tack
+    /// the id on.
+    fn call(&mut self, mut request: Json) -> io::Result<Json> {
+        let id = self.next_id;
+        self.next_id += 1;
+        request.set("id", Json::Num(id as f64));
+        write_frame(&mut self.writer, &request)?;
         let response = read_frame(&mut self.reader)?
             .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))?;
+        if response.get("id").and_then(Json::as_u64) != Some(id) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("response does not echo request id {id}"),
+            ));
+        }
         match response.get("ok").and_then(Json::as_bool) {
             Some(true) => Ok(response),
             _ => {
@@ -343,14 +411,14 @@ impl Client {
     pub fn ping(&mut self) -> io::Result<()> {
         let mut request = Json::obj();
         request.set("cmd", "ping");
-        self.call(&request).map(|_| ())
+        self.call(request).map(|_| ())
     }
 
     pub fn predict(&mut self, query: &Query) -> io::Result<Ranked> {
         let mut request = query_to_json(query);
         request.set("cmd", "predict");
         // `cmd` is appended after the query fields; field order is free.
-        let response = self.call(&request)?;
+        let response = self.call(request)?;
         ranked_from_json(
             response
                 .get("predictions")
@@ -365,7 +433,7 @@ impl Client {
             "queries",
             queries.iter().map(query_to_json).collect::<Vec<_>>(),
         );
-        let response = self.call(&request)?;
+        let response = self.call(request)?;
         response
             .get("results")
             .and_then(Json::as_arr)
@@ -378,7 +446,7 @@ impl Client {
     pub fn stats(&mut self) -> io::Result<Json> {
         let mut request = Json::obj();
         request.set("cmd", "stats");
-        let response = self.call(&request)?;
+        let response = self.call(request)?;
         response
             .get("stats")
             .cloned()
@@ -388,12 +456,57 @@ impl Client {
     pub fn manifest(&mut self) -> io::Result<Json> {
         let mut request = Json::obj();
         request.set("cmd", "manifest");
-        let response = self.call(&request)?;
+        let response = self.call(request)?;
         response
             .get("manifest")
             .cloned()
             .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no manifest"))
     }
+
+    /// Ask the server to hot-reload its snapshot — from `model` if given,
+    /// else from the file it is already serving. The returned outcome is
+    /// taken from the reload reply itself, so it describes exactly the
+    /// model this reload published (a follow-up `manifest` call could
+    /// race with another reload).
+    pub fn reload(&mut self, model: Option<&str>) -> io::Result<ReloadOutcome> {
+        let mut request = Json::obj();
+        request.set("cmd", "reload");
+        if let Some(path) = model {
+            request.set("model", path);
+        }
+        let response = self.call(request)?;
+        let generation = response
+            .get("generation")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no generation"))?;
+        Ok(ReloadOutcome {
+            generation,
+            num_rules: response
+                .get("num_rules")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+            num_priors: response
+                .get("num_priors")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+            checksum: response
+                .get("checksum")
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_string(),
+        })
+    }
+}
+
+/// What a successful [`Client::reload`] published, per the server's reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReloadOutcome {
+    /// The post-swap model generation.
+    pub generation: u64,
+    pub num_rules: u64,
+    pub num_priors: u64,
+    /// Hex manifest checksum of the now-serving snapshot.
+    pub checksum: String,
 }
 
 #[cfg(test)]

@@ -7,16 +7,69 @@
 //! [`predict_batch`](PredictionServer::predict_batch) calls through
 //! bounded work queues. Counters accumulate in [`ServerStats`];
 //! [`StatsSnapshot`] is the consistent read.
+//!
+//! ## Hot reload
+//!
+//! The model lives behind an epoch slot (`ModelSlot`): an
+//! `Arc<ServableModel>` plus a generation counter.
+//! [`PredictionServer::reload`] publishes a new model and bumps the
+//! generation; each shard worker notices the bump at its next wakeup,
+//! swaps its local `Arc`, and drops its answer cache (cached answers
+//! belong to the old model). Queries already being serviced finish on
+//! whichever model their shard held when it picked them up — nothing is
+//! dropped, nothing blocks, and the old model is freed when the last
+//! in-flight `Arc` clone goes away. Two control paths trigger reloads in
+//! a deployment: the `reload` wire command (`proto.rs`) and
+//! [`watch_snapshot_file`] — a SIGHUP-style path that polls the snapshot
+//! file and reloads when it is atomically replaced (snapshot saves are
+//! write-then-rename, so the watcher never reads a half-written file).
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::sync::{mpsc, Mutex, RwLock};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant, SystemTime};
 
 use crate::artifact::{Query, Ranked, ServableModel};
 use crate::shard::{run_shard, Job, ShardConfig, ShardHandle};
+use gps_core::ModelSnapshot;
 use gps_types::json::Json;
+
+/// The epoch-published model: shard workers hold an `Arc` clone and a
+/// local generation, and resynchronize whenever the generation moves.
+pub(crate) struct ModelSlot {
+    current: RwLock<Arc<ServableModel>>,
+    generation: AtomicU64,
+}
+
+impl ModelSlot {
+    fn new(model: ServableModel) -> ModelSlot {
+        ModelSlot {
+            current: RwLock::new(Arc::new(model)),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn current(&self) -> Arc<ServableModel> {
+        self.current.read().expect("model slot lock").clone()
+    }
+
+    pub(crate) fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Publish a new model and return the new generation. The generation
+    /// bump happens while the write lock is still held, so concurrent
+    /// publishers cannot interleave store and bump — the Nth store is
+    /// the Nth generation — and a reader that observes a generation
+    /// always reads that model or a newer one.
+    fn publish(&self, model: Arc<ServableModel>) -> u64 {
+        let mut current = self.current.write().expect("model slot lock");
+        *current = model;
+        self.generation.fetch_add(1, Ordering::Release) + 1
+    }
+}
 
 /// Serving knobs.
 #[derive(Debug, Clone)]
@@ -57,6 +110,8 @@ pub struct ServerStats {
     pub latency_ns_total: AtomicU64,
     pub latency_ns_max: AtomicU64,
     pub per_shard: Vec<AtomicU64>,
+    /// Completed hot reloads since start.
+    pub reloads: AtomicU64,
 }
 
 /// A point-in-time copy of [`ServerStats`] plus derived rates.
@@ -70,6 +125,9 @@ pub struct StatsSnapshot {
     pub max_latency_us: f64,
     pub per_shard: Vec<u64>,
     pub uptime_secs: f64,
+    pub reloads: u64,
+    /// Current model generation (0 = the model the server started with).
+    pub generation: u64,
 }
 
 impl StatsSnapshot {
@@ -98,14 +156,22 @@ impl StatsSnapshot {
                     .map(|&n| Json::Num(n as f64))
                     .collect::<Vec<_>>(),
             )
-            .set("uptime_secs", self.uptime_secs);
+            .set("uptime_secs", self.uptime_secs)
+            .set("reloads", Json::Num(self.reloads as f64))
+            .set("generation", Json::Num(self.generation as f64));
         json
     }
 }
 
 /// A running, queryable prediction service.
 pub struct PredictionServer {
-    model: Arc<ServableModel>,
+    slot: Arc<ModelSlot>,
+    /// Where the served snapshot came from; the default reload source.
+    model_path: Mutex<Option<PathBuf>>,
+    /// Serializes reloads, so each reply's (generation, model) pair is
+    /// the pair that reload actually published, and `model_path` always
+    /// names the serving snapshot.
+    reload_lock: Mutex<()>,
     shards: Vec<ShardHandle>,
     workers: Vec<JoinHandle<()>>,
     stats: Arc<ServerStats>,
@@ -120,7 +186,7 @@ impl PredictionServer {
             shards: config.shards.max(1),
             ..config
         };
-        let model = Arc::new(model);
+        let slot = Arc::new(ModelSlot::new(model));
         let stats = Arc::new(ServerStats {
             per_shard: (0..config.shards).map(|_| AtomicU64::new(0)).collect(),
             ..ServerStats::default()
@@ -135,18 +201,20 @@ impl PredictionServer {
                 max_batch: config.max_batch.max(1),
                 default_top: config.default_top,
             };
-            let model = model.clone();
+            let slot = slot.clone();
             let stats = stats.clone();
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("gps-serve-shard-{index}"))
-                    .spawn(move || run_shard(model, stats, shard_config, rx))
+                    .spawn(move || run_shard(slot, stats, shard_config, rx))
                     .expect("spawn shard worker"),
             );
             shards.push(ShardHandle { sender: tx });
         }
         PredictionServer {
-            model,
+            slot,
+            model_path: Mutex::new(None),
+            reload_lock: Mutex::new(()),
             shards,
             workers,
             stats,
@@ -164,8 +232,85 @@ impl PredictionServer {
         &self.config
     }
 
-    pub fn model(&self) -> &ServableModel {
-        &self.model
+    /// The currently published model. Holders keep the epoch they grabbed
+    /// alive; re-call to observe a reload.
+    pub fn model(&self) -> Arc<ServableModel> {
+        self.slot.current()
+    }
+
+    /// The model generation: 0 at start, +1 per completed reload.
+    pub fn generation(&self) -> u64 {
+        self.slot.generation()
+    }
+
+    /// Record where the served snapshot lives on disk (the default source
+    /// for [`reload_from_disk`](Self::reload_from_disk) and the file
+    /// watcher).
+    pub fn set_model_path(&self, path: impl Into<PathBuf>) {
+        *self.model_path.lock().expect("model path lock") = Some(path.into());
+    }
+
+    pub fn model_path(&self) -> Option<PathBuf> {
+        self.model_path.lock().expect("model path lock").clone()
+    }
+
+    /// Publish a new model with zero downtime and return the new
+    /// generation. In-flight queries finish on the model their shard
+    /// already holds; each shard picks up the new model (and drops its
+    /// now-stale answer cache) at its next wakeup — workers are nudged,
+    /// so even a shard receiving no traffic releases the old model
+    /// promptly instead of pinning it until its next query.
+    pub fn reload(&self, model: ServableModel) -> u64 {
+        let _guard = self.reload_lock.lock().expect("reload lock");
+        self.publish(Arc::new(model))
+    }
+
+    /// [`reload`](Self::reload)'s unlocked core; callers hold
+    /// `reload_lock`.
+    fn publish(&self, model: Arc<ServableModel>) -> u64 {
+        let generation = self.slot.publish(model);
+        self.stats.reloads.fetch_add(1, Ordering::Relaxed);
+        // Wake every shard with an empty job so idle shards swap (and
+        // free) the old epoch without waiting for traffic. A full queue
+        // means the shard is about to wake anyway — skip it.
+        for shard in &self.shards {
+            let (reply, _) = mpsc::channel();
+            let _ = shard.sender.try_send(Job {
+                queries: Vec::new(),
+                reply,
+                tag: 0,
+                enqueued: Instant::now(),
+            });
+        }
+        generation
+    }
+
+    /// Reload from a snapshot file: `path` if given, else the recorded
+    /// model path. The snapshot is fully loaded and verified *before*
+    /// anything is published — a bad file leaves the old model serving.
+    /// On success the recorded model path is updated to the source used,
+    /// and the returned model is exactly the one this call published
+    /// under the returned generation (concurrent reloads serialize).
+    pub fn reload_from_disk(
+        &self,
+        path: Option<&Path>,
+    ) -> Result<(u64, Arc<ServableModel>), String> {
+        let source = match path {
+            Some(p) => p.to_path_buf(),
+            None => self
+                .model_path()
+                .ok_or("no model path recorded and none supplied")?,
+        };
+        // Load outside the lock (it is the expensive part); publish and
+        // the path update inside it, so generation, served model, and
+        // recorded path always agree.
+        let snapshot = ModelSnapshot::load_serving(&source)
+            .map_err(|e| format!("{}: {e}", source.display()))?;
+        let model = Arc::new(ServableModel::from_snapshot(snapshot));
+        let _guard = self.reload_lock.lock().expect("reload lock");
+        let generation = self.publish(model.clone());
+        self.set_model_path(source);
+        Ok((generation, model))
     }
 
     /// Which shard owns an IP: hash of its /16, mod shard count. All IPs
@@ -264,6 +409,8 @@ impl PredictionServer {
                 .map(|c| c.load(Ordering::Relaxed))
                 .collect(),
             uptime_secs: self.started.elapsed().as_secs_f64(),
+            reloads: self.stats.reloads.load(Ordering::Relaxed),
+            generation: self.slot.generation(),
         }
     }
 
@@ -282,6 +429,106 @@ impl Drop for PredictionServer {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+    }
+}
+
+/// Handle to a running [`watch_snapshot_file`] thread; dropping it stops
+/// the watcher (joining the thread).
+pub struct ReloadWatcher {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Drop for ReloadWatcher {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// The SIGHUP-style control path: poll the server's recorded snapshot
+/// file every `interval` and hot-reload when it changes on disk.
+///
+/// Snapshot saves are write-then-rename, so a change is observed as a new
+/// (mtime, size) pair on a complete file — the watcher never reads a
+/// half-written artifact. A file that fails to load (checksum, version,
+/// io) is reported to stderr and *skipped*: the old model keeps serving,
+/// and the bad state is remembered so the error is not re-logged every
+/// poll until the file changes again.
+///
+/// Reloads through *other* control paths (the `reload` wire command)
+/// are detected via the server generation: when it moves, the watcher
+/// re-baselines its fingerprint instead of re-loading a snapshot the
+/// server already picked up — a wire reload followed by a poll must not
+/// double-bump the generation.
+pub fn watch_snapshot_file(server: Arc<PredictionServer>, interval: Duration) -> ReloadWatcher {
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = stop.clone();
+    let thread = std::thread::Builder::new()
+        .name("gps-serve-reload-watch".to_string())
+        .spawn(move || {
+            let fingerprint = |path: &Path| -> Option<(SystemTime, u64)> {
+                let meta = std::fs::metadata(path).ok()?;
+                Some((meta.modified().ok()?, meta.len()))
+            };
+            let mut last_path = server.model_path();
+            let mut last = last_path.as_deref().and_then(&fingerprint);
+            let mut last_generation = server.generation();
+            while !stop_flag.load(Ordering::Acquire) {
+                // Sleep in short slices so drop/stop is prompt even with a
+                // long poll interval.
+                let mut slept = Duration::ZERO;
+                while slept < interval && !stop_flag.load(Ordering::Acquire) {
+                    let slice = (interval - slept).min(Duration::from_millis(50));
+                    std::thread::sleep(slice);
+                    slept += slice;
+                }
+                if stop_flag.load(Ordering::Acquire) {
+                    return;
+                }
+                let Some(path) = server.model_path() else {
+                    continue;
+                };
+                let generation = server.generation();
+                if generation != last_generation || Some(&path) != last_path.as_ref() {
+                    // Someone else reloaded (wire command, possibly onto a
+                    // new path). The on-disk state is what the server now
+                    // serves: re-baseline, don't reload it again.
+                    last = fingerprint(&path);
+                    last_path = Some(path);
+                    last_generation = generation;
+                    continue;
+                }
+                let seen = fingerprint(&path);
+                if seen.is_none() || seen == last {
+                    continue;
+                }
+                if server.generation() != last_generation {
+                    // A reload raced in after the generation check above;
+                    // treat the observed file state as already served.
+                    last = seen;
+                    last_generation = server.generation();
+                    continue;
+                }
+                match server.reload_from_disk(Some(&path)) {
+                    Ok((generation, _)) => {
+                        eprintln!("reloaded {} -> generation {generation}", path.display());
+                        last_generation = generation;
+                    }
+                    Err(e) => eprintln!(
+                        "reload of {} failed (still serving old model): {e}",
+                        path.display()
+                    ),
+                }
+                last = seen;
+            }
+        })
+        .expect("spawn reload watcher");
+    ReloadWatcher {
+        stop,
+        thread: Some(thread),
     }
 }
 
@@ -397,6 +644,214 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(server.stats().requests, 1600);
+    }
+
+    /// Like [`model`], but rules say 80 predicts 8443 — distinguishable
+    /// from the original model on the same warm query.
+    fn model_v2() -> ServableModel {
+        let mut rules: HashMap<gps_core::CondKey, Vec<(Port, f64)>> = HashMap::new();
+        rules.insert(gps_core::CondKey::Port(Port(80)), vec![(Port(8443), 0.7)]);
+        let snapshot = gps_core::ModelSnapshot {
+            manifest: ModelManifest {
+                format: (FORMAT_MAJOR, FORMAT_MINOR),
+                universe_seed: 1,
+                dataset_name: "unit-v2".into(),
+                step_prefix: 16,
+                min_prob: 1e-5,
+                interactions: Interactions::ALL,
+                net_features: vec![NetFeature::Slash(16)],
+                hosts_in: 0,
+                distinct_keys: 0,
+                cooccur_entries: 0,
+                num_rules: 1,
+                num_priors: 1,
+                checksum: 0,
+            },
+            model: CondModel::from_parts(HashMap::new(), Interactions::ALL),
+            rules: FeatureRules::from_parts(rules),
+            priors: vec![PriorsEntry {
+                port: Port(2222),
+                subnet: Subnet::of_ip(Ip::from_octets(10, 0, 0, 0), 16),
+                coverage: 4,
+            }],
+        };
+        ServableModel::from_snapshot(snapshot)
+    }
+
+    #[test]
+    fn reload_swaps_model_and_invalidates_caches() {
+        let server = PredictionServer::start(
+            model(),
+            ServeConfig {
+                shards: 2,
+                ..ServeConfig::default()
+            },
+        );
+        let query = || Query::new(Ip::from_octets(10, 0, 3, 4)).with_open([80]);
+        // Warm the cache on the original model.
+        assert_eq!(server.predict(query())[0], (Port(443), 0.9));
+        assert_eq!(server.predict(query())[0], (Port(443), 0.9));
+        assert_eq!(server.generation(), 0);
+
+        let generation = server.reload(model_v2());
+        assert_eq!(generation, 1);
+        assert_eq!(server.generation(), 1);
+        // The cached pre-reload answer must not survive the swap.
+        assert_eq!(server.predict(query())[0], (Port(8443), 0.7));
+        // Cold path follows the new priors too.
+        assert_eq!(
+            server.predict(Query::new(Ip::from_octets(10, 0, 1, 1)))[0].0,
+            Port(2222)
+        );
+        let stats = server.stats();
+        assert_eq!(stats.reloads, 1);
+        assert_eq!(stats.generation, 1);
+        assert_eq!(server.model().manifest().dataset_name, "unit-v2");
+        server.shutdown();
+    }
+
+    #[test]
+    fn reload_under_concurrent_traffic_never_fails_a_query() {
+        let server = Arc::new(PredictionServer::start(
+            model(),
+            ServeConfig {
+                shards: 3,
+                ..ServeConfig::default()
+            },
+        ));
+        let mut clients = Vec::new();
+        for t in 0..4u32 {
+            let server = server.clone();
+            clients.push(std::thread::spawn(move || {
+                for i in 0..500u32 {
+                    let ip = Ip(((t * 41 + i) % 128) << 16 | i);
+                    let ranked = server.predict(Query::new(ip).with_open([80]));
+                    // Either model's answer is acceptable; an empty or
+                    // foreign answer is not.
+                    assert!(
+                        ranked[0] == (Port(443), 0.9) || ranked[0] == (Port(8443), 0.7),
+                        "unexpected answer {ranked:?}"
+                    );
+                }
+            }));
+        }
+        // Interleave several reloads with the traffic.
+        for flip in 0..6 {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            if flip % 2 == 0 {
+                server.reload(model_v2());
+            } else {
+                server.reload(model());
+            }
+        }
+        for c in clients {
+            c.join().expect("no query may fail across reloads");
+        }
+        let stats = server.stats();
+        assert_eq!(stats.requests, 4 * 500);
+        assert_eq!(stats.reloads, 6);
+        assert_eq!(stats.generation, 6);
+    }
+
+    #[test]
+    fn concurrent_reloads_get_distinct_generations() {
+        // Publish holds the slot's write lock through the generation
+        // bump, so N racing reloads must produce exactly the generations
+        // 1..=N — no duplicates, no gaps, no misattribution.
+        let server = Arc::new(PredictionServer::with_defaults(model()));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let server = server.clone();
+            handles.push(std::thread::spawn(move || server.reload(model_v2())));
+        }
+        let mut generations: Vec<u64> = handles
+            .into_iter()
+            .map(|h| h.join().expect("reload thread"))
+            .collect();
+        generations.sort_unstable();
+        assert_eq!(generations, (1..=8).collect::<Vec<u64>>());
+        assert_eq!(server.generation(), 8);
+        assert_eq!(server.stats().reloads, 8);
+    }
+
+    #[test]
+    fn watcher_reloads_when_file_changes() {
+        use gps_core::snapshot::ModelSnapshot;
+        // Build two tiny snapshots that differ in their rules.
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("gps_watch_unit_{}.gpsb", std::process::id()));
+        let make = |target: u16| {
+            let mut rules: HashMap<gps_core::CondKey, Vec<(Port, f64)>> = HashMap::new();
+            rules.insert(gps_core::CondKey::Port(Port(80)), vec![(Port(target), 0.9)]);
+            gps_core::ModelSnapshot {
+                manifest: ModelManifest {
+                    format: (FORMAT_MAJOR, FORMAT_MINOR),
+                    universe_seed: 0,
+                    // The name feeds the file size: on filesystems with
+                    // coarse mtime granularity the watcher still sees the
+                    // (mtime, size) fingerprint change.
+                    dataset_name: format!("watch-{target}"),
+                    step_prefix: 16,
+                    min_prob: 1e-5,
+                    interactions: Interactions::ALL,
+                    net_features: vec![NetFeature::Slash(16)],
+                    hosts_in: 0,
+                    distinct_keys: 0,
+                    cooccur_entries: 0,
+                    num_rules: 1,
+                    num_priors: 1,
+                    checksum: 0,
+                },
+                model: CondModel::from_parts(HashMap::new(), Interactions::ALL),
+                rules: FeatureRules::from_parts(rules),
+                priors: vec![PriorsEntry {
+                    port: Port(22),
+                    subnet: Subnet::of_ip(Ip::from_octets(10, 0, 0, 0), 16),
+                    coverage: 4,
+                }],
+            }
+        };
+        make(443).save_binary(&path).unwrap();
+        let server = Arc::new(PredictionServer::start(
+            ServableModel::from_snapshot(ModelSnapshot::load_serving(&path).unwrap()),
+            ServeConfig {
+                shards: 2,
+                ..ServeConfig::default()
+            },
+        ));
+        server.set_model_path(&path);
+        let watcher = watch_snapshot_file(server.clone(), Duration::from_millis(10));
+
+        // Replace the file (atomically, as save_binary does) and wait for
+        // the watcher to notice. Write a different mtime/size fingerprint.
+        std::thread::sleep(Duration::from_millis(30));
+        make(9999).save_binary(&path).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while server.generation() == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(server.generation(), 1, "watcher picked up the new file");
+        assert_eq!(
+            server.predict(Query::new(Ip::from_octets(10, 0, 0, 1)).with_open([80]))[0].0,
+            Port(9999)
+        );
+
+        // A reload through another control path (the wire command,
+        // switching to a different snapshot file) must NOT be repeated by
+        // the watcher: it re-baselines on the generation/path move
+        // instead of re-loading what the server already serves.
+        let path2 = dir.join(format!("gps_watch_unit_{}_v2.gpsb", std::process::id()));
+        make(1234).save_binary(&path2).unwrap();
+        assert_eq!(server.reload_from_disk(Some(&path2)).unwrap().0, 2);
+        std::thread::sleep(Duration::from_millis(150));
+        assert_eq!(
+            server.generation(),
+            2,
+            "watcher must not double-reload a snapshot another path already served"
+        );
+        drop(watcher);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&path2).ok();
     }
 
     #[test]

@@ -16,9 +16,9 @@ use std::sync::mpsc::{Receiver, Sender, SyncSender, TryRecvError};
 use std::sync::Arc;
 use std::time::Instant;
 
-use crate::artifact::{Query, Ranked, ServableModel};
+use crate::artifact::{Query, Ranked};
 use crate::cache::LruCache;
-use crate::server::ServerStats;
+use crate::server::{ModelSlot, ServerStats};
 use gps_types::Subnet;
 
 /// Cache key: everything a prediction depends on, at subnet granularity.
@@ -49,17 +49,34 @@ pub(crate) struct ShardConfig {
 }
 
 /// The worker loop: runs until every [`SyncSender`] for the channel drops.
+///
+/// The model is read through the server's epoch slot: the worker keeps a
+/// local `Arc` clone plus the generation it was published under, and
+/// checks the generation once per wakeup. On a bump it swaps to the new
+/// model and clears its answer cache (and the cache-key prefix, which is
+/// a property of the model). Jobs already drained into the current batch
+/// are answered by whichever model the check selected — a reload never
+/// drops or fails a query.
 pub(crate) fn run_shard(
-    model: Arc<ServableModel>,
+    slot: Arc<ModelSlot>,
     stats: Arc<ServerStats>,
     config: ShardConfig,
     rx: Receiver<Job>,
 ) {
-    let cache_prefix = model.cache_prefix();
+    let mut generation = slot.generation();
+    let mut model = slot.current();
+    let mut cache_prefix = model.cache_prefix();
     let mut cache: LruCache<CacheKey, Arc<Ranked>> = LruCache::new(config.cache_capacity);
     let mut batch: Vec<Job> = Vec::with_capacity(config.max_batch);
 
     while let Ok(first) = rx.recv() {
+        let current_generation = slot.generation();
+        if current_generation != generation {
+            generation = current_generation;
+            model = slot.current();
+            cache_prefix = model.cache_prefix();
+            cache.clear();
+        }
         batch.push(first);
         while batch.len() < config.max_batch {
             match rx.try_recv() {
@@ -101,15 +118,19 @@ pub(crate) fn run_shard(
             let n = answers.len() as u64;
             // Counters are bumped before the reply so a caller that reads
             // stats right after its answer arrives sees itself counted.
-            let latency_ns = job.enqueued.elapsed().as_nanos() as u64;
-            stats.requests.fetch_add(n, Ordering::Relaxed);
-            stats.per_shard[config.index].fetch_add(n, Ordering::Relaxed);
-            stats
-                .latency_ns_total
-                .fetch_add(latency_ns.saturating_mul(n), Ordering::Relaxed);
-            stats
-                .latency_ns_max
-                .fetch_max(latency_ns, Ordering::Relaxed);
+            // Query-less jobs (reload nudges) carry no requests and must
+            // not pollute the latency counters.
+            if n > 0 {
+                let latency_ns = job.enqueued.elapsed().as_nanos() as u64;
+                stats.requests.fetch_add(n, Ordering::Relaxed);
+                stats.per_shard[config.index].fetch_add(n, Ordering::Relaxed);
+                stats
+                    .latency_ns_total
+                    .fetch_add(latency_ns.saturating_mul(n), Ordering::Relaxed);
+                stats
+                    .latency_ns_max
+                    .fetch_max(latency_ns, Ordering::Relaxed);
+            }
 
             // The requester may have given up (timeout); a dead reply
             // channel is not a shard error.

@@ -19,6 +19,7 @@
 //! except the interner, mirroring the paper's requirement that per-probe cost
 //! stay negligible next to network I/O.
 
+pub mod binary;
 pub mod error;
 pub mod feature;
 pub mod intern;
@@ -29,6 +30,7 @@ pub mod protocol;
 pub mod rng;
 pub mod subnet;
 
+pub use binary::{ByteReader, ByteWriter};
 pub use error::GpsError;
 pub use feature::{FeatureKind, FeatureValue, APP_FEATURE_KINDS, NET_FEATURE_KINDS};
 pub use intern::{Interner, Sym};

@@ -148,13 +148,21 @@ proptest! {
     }
 }
 
-/// A model trained once on the quick universe, paired with the same model
-/// after a save → load round trip through the snapshot text format
-/// (training and (de)serialization dominate the cost, so property cases
-/// share them).
-fn served_pair() -> &'static (ServableModel, ServableModel) {
-    static PAIR: OnceLock<(ServableModel, ServableModel)> = OnceLock::new();
-    PAIR.get_or_init(|| {
+/// A model trained once on the quick universe, served three ways: from
+/// the in-memory artifact, after a JSON round trip, and after the full
+/// JSON → GPSB binary → JSON conversion chain. Training and
+/// (de)serialization dominate the cost, so property cases share them.
+/// The GPSB bytes ride along for the decoder-rejection properties.
+struct ServedArtifacts {
+    original: ServableModel,
+    via_json: ServableModel,
+    via_binary: ServableModel,
+    gpsb_bytes: Vec<u8>,
+}
+
+fn served_artifacts() -> &'static ServedArtifacts {
+    static ARTIFACTS: OnceLock<ServedArtifacts> = OnceLock::new();
+    ARTIFACTS.get_or_init(|| {
         let net = gps::synthnet::Internet::generate(&gps::synthnet::UniverseConfig::tiny(77));
         let dataset = gps::core::censys_dataset(&net, 200, 0.05, 0, 1);
         let config = GpsConfig {
@@ -164,35 +172,91 @@ fn served_pair() -> &'static (ServableModel, ServableModel) {
         };
         let run = gps::core::run_gps(&net, &dataset, &config);
         let snapshot = ModelSnapshot::from_run(&run, &config, 77);
-        let reloaded =
-            ModelSnapshot::from_json_str(&snapshot.to_json_string()).expect("round trip parses");
-        (
-            ServableModel::from_snapshot(snapshot),
-            ServableModel::from_snapshot(reloaded),
-        )
+        let json = snapshot.to_json_string();
+        let reloaded = ModelSnapshot::from_json_str(&json).expect("round trip parses");
+        // JSON -> binary -> JSON: the chain must be lossless down to the
+        // serialized bytes (probabilities travel as f64 bit patterns).
+        let gpsb_bytes = reloaded.to_binary_bytes();
+        let from_binary = ModelSnapshot::from_binary_bytes(&gpsb_bytes).expect("binary parses");
+        assert_eq!(
+            from_binary.to_json_string(),
+            json,
+            "JSON -> GPSB -> JSON must be byte-identical"
+        );
+        let via_binary =
+            ModelSnapshot::from_json_str(&from_binary.to_json_string()).expect("reparses");
+        ServedArtifacts {
+            original: ServableModel::from_snapshot(snapshot),
+            via_json: ServableModel::from_snapshot(reloaded),
+            via_binary: ServableModel::from_snapshot(via_binary),
+            gpsb_bytes,
+        }
     })
 }
 
 proptest! {
     /// Save → load of a trained snapshot reproduces identical `predict`
     /// output: for random IPs (cold and with random open-port evidence),
-    /// the model served from the reloaded artifact answers exactly like
-    /// the model served from the in-memory artifact. Probabilities are
-    /// compared bit-exactly — the JSON float encoding must round-trip.
+    /// the models served from the JSON round trip and from the full
+    /// JSON → binary → JSON chain answer exactly like the model served
+    /// from the in-memory artifact. Probabilities are compared
+    /// bit-exactly — both the JSON float encoding and the GPSB f64 bit
+    /// patterns must round-trip.
     #[test]
     fn snapshot_round_trip_preserves_predictions(
         ips in proptest::collection::vec(any::<u32>(), 1000..1001),
         evidence_port in 1u16..2000,
     ) {
-        let (original, restored) = served_pair();
+        let artifacts = served_artifacts();
         for (i, ip) in ips.into_iter().enumerate() {
             let mut query = Query::new(Ip(ip));
             query.top = 16;
             if i % 3 == 0 {
                 query.open = vec![Port(evidence_port), Port(80)];
             }
-            prop_assert_eq!(original.predict(&query), restored.predict(&query));
+            let expected = artifacts.original.predict(&query);
+            prop_assert_eq!(&artifacts.via_json.predict(&query), &expected);
+            prop_assert_eq!(&artifacts.via_binary.predict(&query), &expected);
         }
+    }
+
+    /// Any single corrupted byte in a GPSB snapshot makes the decoder
+    /// refuse to load it — on the full path and the model-skipping
+    /// serving path alike (the serving path must not skip *verifying*
+    /// what it does not parse).
+    #[test]
+    fn gpsb_decoder_rejects_corrupted_sections(
+        position in any::<u64>(),
+        flip in 1u8..=255,
+    ) {
+        let clean = &served_artifacts().gpsb_bytes;
+        let position = (position % clean.len() as u64) as usize;
+        let mut corrupt = clean.clone();
+        corrupt[position] ^= flip;
+        prop_assert!(
+            ModelSnapshot::from_binary_bytes(&corrupt).is_err(),
+            "flip {flip:#04x} at byte {position} must not load"
+        );
+        // The serving path sees the same corruption through a temp file.
+        let path = std::env::temp_dir().join(format!(
+            "gps_prop_corrupt_{}_{position}_{flip}.gpsb",
+            std::process::id()
+        ));
+        std::fs::write(&path, &corrupt).expect("write corrupt file");
+        let serving = ModelSnapshot::load_serving(&path);
+        std::fs::remove_file(&path).ok();
+        prop_assert!(serving.is_err(), "serving load of flipped byte {position} must fail");
+    }
+
+    /// A truncated GPSB file never loads, whatever the cut point.
+    #[test]
+    fn gpsb_decoder_rejects_truncation(cut in any::<u64>()) {
+        let clean = &served_artifacts().gpsb_bytes;
+        let cut = (cut % clean.len() as u64) as usize;
+        prop_assert!(
+            ModelSnapshot::from_binary_bytes(&clean[..cut]).is_err(),
+            "prefix of {cut} bytes must not load"
+        );
     }
 }
 

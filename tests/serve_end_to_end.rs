@@ -153,6 +153,166 @@ fn concurrent_tcp_clients_match_direct_lookups() {
     std::fs::remove_file(&path).ok();
 }
 
+/// Hot reload under fire: serve a GPSB binary snapshot over TCP, hammer
+/// it from concurrent clients, swap in a *different* model via the
+/// `reload` wire command mid-traffic, and require (a) zero failed
+/// queries throughout, (b) a generation bump, and (c) post-reload
+/// answers matching the new artifact (cache invalidation included).
+#[test]
+fn hot_reload_serves_new_model_with_zero_failed_queries() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let net_a = Internet::generate(&UniverseConfig::tiny(42));
+    let dataset_a = censys_dataset(&net_a, 200, 0.05, 0, 1);
+    let net_b = Internet::generate(&UniverseConfig::tiny(1234));
+    let dataset_b = censys_dataset(&net_b, 200, 0.05, 0, 1);
+    let config = GpsConfig {
+        seed_fraction: 0.05,
+        step_prefix: 16,
+        ..GpsConfig::default()
+    };
+    let snapshot_a = ModelSnapshot::from_run(&run_gps(&net_a, &dataset_a, &config), &config, 42);
+    let snapshot_b = ModelSnapshot::from_run(&run_gps(&net_b, &dataset_b, &config), &config, 1234);
+    let dir = std::env::temp_dir();
+    let path_a = dir.join(format!("gps_reload_e2e_a_{}.gpsb", std::process::id()));
+    let path_b = dir.join(format!("gps_reload_e2e_b_{}.gpsb", std::process::id()));
+    snapshot_a.save_binary(&path_a).expect("export a");
+    snapshot_b.save_binary(&path_b).expect("export b");
+
+    let server = PredictionServer::start(
+        ServableModel::from_snapshot(ModelSnapshot::load_serving(&path_a).expect("load a")),
+        ServeConfig {
+            shards: 4,
+            ..ServeConfig::default()
+        },
+    );
+    server.set_model_path(&path_a);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral port");
+    let addr = listener.local_addr().expect("local addr");
+    let server = Arc::new(server);
+    {
+        let server = server.clone();
+        std::thread::spawn(move || gps::serve::serve_tcp(server, listener));
+    }
+
+    // Reference answers computed directly from each artifact.
+    let model_a = ServableModel::from_snapshot(snapshot_a.clone());
+    let model_b = Arc::new(ServableModel::from_snapshot(snapshot_b.clone()));
+
+    let reloaded = Arc::new(AtomicBool::new(false));
+    let mut clients = Vec::new();
+    for thread_id in 0..6u64 {
+        let reloaded = reloaded.clone();
+        let model_b = model_b.clone();
+        let host_ips = net_a.host_ips().to_vec();
+        clients.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("connect");
+            let mut rng = Rng::new(0x5EED ^ thread_id);
+            let mut answers_from_b = 0u32;
+            let mut i = 0u32;
+            // At least 400 queries, continuing (bounded) until this
+            // thread has seen the swapped-in model answer at least once
+            // — so "the swap was observed under traffic" is asserted
+            // per-thread, not assumed from timing.
+            while i < 400 || (answers_from_b == 0 && i < 5000) {
+                let ip = if rng.chance(0.5) {
+                    Ip(host_ips[rng.gen_range(host_ips.len() as u64) as usize])
+                } else {
+                    Ip(rng.next_u32())
+                };
+                let mut query = Query::new(ip);
+                if i.is_multiple_of(2) {
+                    query.open = vec![Port(443)];
+                }
+                query.top = 16;
+                // THE zero-downtime requirement: every query, before,
+                // during, and after the swap, must succeed.
+                let served = client.predict(&query).expect("query must never fail");
+                if reloaded.load(Ordering::Acquire) && served == model_b.predict(&query) {
+                    answers_from_b += 1;
+                }
+                i += 1;
+            }
+            answers_from_b
+        }));
+    }
+
+    // Let traffic build, then swap A -> B over the wire.
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    let mut control = Client::connect(addr).expect("control connect");
+    assert_eq!(
+        control
+            .manifest()
+            .expect("manifest")
+            .get("checksum")
+            .and_then(|j| j.as_str()),
+        Some(gps::types::json::u64_to_hex(snapshot_a.manifest.checksum).as_str())
+    );
+    let outcome = control
+        .reload(Some(path_b.to_string_lossy().as_ref()))
+        .expect("wire reload");
+    assert_eq!(outcome.generation, 1);
+    assert_eq!(
+        outcome.checksum,
+        gps::types::json::u64_to_hex(snapshot_b.manifest.checksum),
+        "reload reply describes the published model"
+    );
+    reloaded.store(true, Ordering::Release);
+
+    for handle in clients {
+        let answers_from_b = handle.join().expect("client thread");
+        assert!(
+            answers_from_b > 0,
+            "every client must observe the new model while traffic is flowing"
+        );
+    }
+
+    // After the swap the served manifest and answers come from model B.
+    let manifest = control.manifest().expect("manifest after reload");
+    assert_eq!(
+        manifest.get("checksum").and_then(|j| j.as_str()),
+        Some(gps::types::json::u64_to_hex(snapshot_b.manifest.checksum).as_str()),
+        "served manifest switched to model B"
+    );
+    let mut probe = Query::new(Ip(net_b.host_ips()[0]));
+    probe.top = 16;
+    assert_eq!(
+        control.predict(&probe).expect("post-reload query"),
+        model_b.predict(&probe),
+        "post-reload answers come from the new artifact"
+    );
+    // A warm (rules-path) probe too: stale cache entries would surface here.
+    let mut warm = Query::new(Ip(net_b.host_ips()[0]));
+    warm.open = vec![Port(443)];
+    warm.top = 16;
+    assert_eq!(
+        control.predict(&warm).expect("post-reload warm query"),
+        model_b.predict(&warm)
+    );
+    let stats = control.stats().expect("stats");
+    assert_eq!(
+        stats.get("generation").and_then(|j| j.as_u64()),
+        Some(1),
+        "stats report the bumped generation"
+    );
+    assert_eq!(stats.get("reloads").and_then(|j| j.as_u64()), Some(1));
+
+    // Sanity: the swap was observable — the artifacts differ, and the two
+    // reference models disagree on the probe (so "matches B" is evidence).
+    assert_ne!(
+        snapshot_a.manifest.checksum, snapshot_b.manifest.checksum,
+        "the two snapshots must differ"
+    );
+    assert_ne!(
+        model_a.predict(&probe),
+        model_b.predict(&probe),
+        "the probe must distinguish the models"
+    );
+
+    std::fs::remove_file(&path_a).ok();
+    std::fs::remove_file(&path_b).ok();
+}
+
 #[test]
 fn server_survives_malformed_frames() {
     let (_net, snapshot, path) = train_and_export();
@@ -178,21 +338,31 @@ fn server_survives_malformed_frames() {
     let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
     let mut writer = std::io::BufWriter::new(stream);
     let mut bad = Json::obj();
-    bad.set("cmd", "predict").set("ip", "not-an-ip");
+    bad.set("cmd", "predict")
+        .set("ip", "not-an-ip")
+        .set("id", 7u32);
     gps::serve::proto::write_frame(&mut writer, &bad).expect("write");
     let response = gps::serve::proto::read_frame(&mut reader)
         .expect("read")
         .expect("frame");
     assert_eq!(response.get("ok").and_then(Json::as_bool), Some(false));
     assert!(response.get("error").is_some());
+    // Error frames echo the request id, so a pipelining client can tell
+    // *which* request of a burst failed.
+    assert_eq!(response.get("id").and_then(Json::as_u64), Some(7));
 
     let mut unknown = Json::obj();
-    unknown.set("cmd", "frobnicate");
+    unknown.set("cmd", "frobnicate").set("id", "req-xyz");
     gps::serve::proto::write_frame(&mut writer, &unknown).expect("write");
     let response = gps::serve::proto::read_frame(&mut reader)
         .expect("read")
         .expect("frame");
     assert_eq!(response.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        response.get("id").and_then(Json::as_str),
+        Some("req-xyz"),
+        "non-numeric ids echo verbatim too"
+    );
 
     // A well-framed frame whose payload is not JSON at all: the server
     // replies with an error instead of dropping the connection (only
