@@ -1,13 +1,20 @@
 //! Synthetic query-traffic generator for the prediction-serving subsystem.
 //!
-//! Trains a model on the quick universe, stands up a [`PredictionServer`],
-//! replays deterministic query traffic from client threads, and reports
-//! sustained throughput plus p50/p99 latency. Two transports:
+//! Trains one or more models on quick universes, stands up a
+//! [`PredictionServer`] (a model registry when `--models > 1`), replays
+//! deterministic query traffic from client threads, and reports sustained
+//! throughput plus p50/p99 latency. Two transports:
 //!
 //! - `engine` (default): clients call the in-process server API — measures
 //!   the shard/cache/batching engine itself;
 //! - `tcp`: clients speak the length-prefixed JSON frame protocol to a
 //!   loopback listener — measures the full wire stack.
+//!
+//! With `--models N` (N > 1) each request targets one of N registered
+//! models (round-robin-ish by rng), each trained on its own universe and
+//! queried with traffic anchored in that universe — the mixed-model
+//! pattern a one-server-many-universes deployment sees. Per-model request
+//! counts are reported at the end.
 //!
 //! Usage: `cargo run --release -p gps-bench --bin loadgen -- [options]`
 //!
@@ -16,18 +23,19 @@
 //! --clients N     concurrent client threads        (default 8)
 //! --requests N    total requests                   (default 400000)
 //! --batch N       queries per batch request, 0=single (default 0)
-//! --subnets N     distinct query /16s, controls cache hit rate (default 64)
+//! --subnets N     distinct query /16s per model, controls hit rate (default 64)
+//! --models N      registered models, mixed traffic (default 1)
 //! --warm          pre-touch every subnet before timing (default on)
 //! --no-warm       measure cold, misses included
 //! --tcp           use the TCP transport
-//! --seed N        universe seed                    (default 77)
+//! --seed N        universe seed (model i uses seed+i) (default 77)
 //! ```
 
 use std::sync::Arc;
 use std::time::Instant;
 
 use gps_core::{censys_dataset, run_gps, GpsConfig, ModelSnapshot};
-use gps_serve::{PredictionServer, Query, ServableModel, ServeConfig};
+use gps_serve::{PredictionServer, Query, ServableModel, ServeConfig, DEFAULT_MODEL_ID};
 use gps_synthnet::{Internet, UniverseConfig};
 use gps_types::rng::Rng;
 use gps_types::Ip;
@@ -38,6 +46,7 @@ struct Options {
     requests: u64,
     batch: usize,
     subnets: usize,
+    models: usize,
     warm: bool,
     tcp: bool,
     seed: u64,
@@ -51,6 +60,7 @@ impl Default for Options {
             requests: 400_000,
             batch: 0,
             subnets: 64,
+            models: 1,
             warm: true,
             tcp: false,
             seed: 77,
@@ -72,6 +82,7 @@ fn parse_options() -> Result<Options, String> {
             "--requests" => options.requests = num(&value("--requests")?)?,
             "--batch" => options.batch = num(&value("--batch")?)?,
             "--subnets" => options.subnets = num(&value("--subnets")?)?,
+            "--models" => options.models = num(&value("--models")?)?,
             "--warm" => options.warm = true,
             "--no-warm" => options.warm = false,
             "--tcp" => options.tcp = true,
@@ -83,8 +94,8 @@ fn parse_options() -> Result<Options, String> {
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
-    if options.clients == 0 || options.requests == 0 {
-        return Err("--clients and --requests must be positive".to_string());
+    if options.clients == 0 || options.requests == 0 || options.models == 0 {
+        return Err("--clients, --requests and --models must be positive".to_string());
     }
     Ok(options)
 }
@@ -93,17 +104,28 @@ fn num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
     s.parse().map_err(|_| format!("cannot parse {s:?}"))
 }
 
-/// Deterministic query mix over `subnets` distinct /16s: 80% cold queries,
-/// 20% warm (one open port of evidence).
-fn make_queries(net: &Internet, options: &Options, count: usize, rng: &mut Rng) -> Vec<Query> {
-    let host_ips = net.host_ips();
-    // Anchor subnets on real hosts so cold queries hit trained priors.
-    let anchors: Vec<Ip> = (0..options.subnets.max(1))
-        .map(|_| Ip(host_ips[rng.gen_range(host_ips.len() as u64) as usize]))
-        .collect();
+/// One trained model plus the query anchors of its universe.
+struct TrainedModel {
+    id: String,
+    model: Option<ServableModel>,
+    /// Real host IPs: cold queries against them hit trained priors. The
+    /// query mix draws random low bits within each anchor's /16.
+    host_ips: Vec<u32>,
+}
+
+/// One batch-unit of client traffic: which model, which queries. Single
+/// mode uses units of one query.
+struct TrafficUnit {
+    model: usize,
+    queries: Vec<Query>,
+}
+
+/// Deterministic query mix over `subnets` distinct /16s of one model's
+/// universe: 80% cold queries, 20% warm (one open port of evidence).
+fn make_unit(anchors: &[Ip], count: usize, rng: &mut Rng) -> Vec<Query> {
     (0..count)
         .map(|_| {
-            let anchor = *rng.choose(&anchors);
+            let anchor = *rng.choose(anchors);
             // Same /16, random low bits: exercises the per-subnet cache.
             let ip = Ip((anchor.0 & 0xFFFF_0000) | (rng.next_u32() & 0xFFFF));
             let mut query = Query::new(ip);
@@ -138,31 +160,61 @@ fn main() {
         }
     };
 
-    println!(
-        "training model on quick universe (seed {})...",
-        options.seed
-    );
-    let net = Internet::generate(&UniverseConfig::tiny(options.seed));
-    let dataset = censys_dataset(&net, 200, 0.05, 0, 1);
-    let config = GpsConfig {
-        seed_fraction: 0.05,
-        step_prefix: 16,
-        ..GpsConfig::default()
-    };
-    let run = run_gps(&net, &dataset, &config);
-    let snapshot = ModelSnapshot::from_run(&run, &config, options.seed);
-    println!(
-        "  {} model keys, {} rules, {} priors",
-        snapshot.manifest.distinct_keys, snapshot.manifest.num_rules, snapshot.manifest.num_priors
-    );
+    // Train one model per universe; model i gets seed+i. A single model
+    // keeps the pre-registry id so measurements are comparable.
+    let mut trained: Vec<TrainedModel> = Vec::with_capacity(options.models);
+    for i in 0..options.models as u64 {
+        let seed = options.seed + i;
+        println!("training model on quick universe (seed {seed})...");
+        let net = Internet::generate(&UniverseConfig::tiny(seed));
+        let dataset = censys_dataset(&net, 200, 0.05, 0, 1);
+        let config = GpsConfig {
+            seed_fraction: 0.05,
+            step_prefix: 16,
+            ..GpsConfig::default()
+        };
+        let run = run_gps(&net, &dataset, &config);
+        let snapshot = ModelSnapshot::from_run(&run, &config, seed);
+        println!(
+            "  {} model keys, {} rules, {} priors",
+            snapshot.manifest.distinct_keys,
+            snapshot.manifest.num_rules,
+            snapshot.manifest.num_priors
+        );
+        trained.push(TrainedModel {
+            id: if options.models == 1 {
+                DEFAULT_MODEL_ID.to_string()
+            } else {
+                format!("seed{seed}")
+            },
+            model: Some(ServableModel::from_snapshot(snapshot)),
+            host_ips: net.host_ips().to_vec(),
+        });
+    }
 
-    let server = Arc::new(PredictionServer::start(
-        ServableModel::from_snapshot(snapshot),
-        ServeConfig {
-            shards: options.shards,
-            ..ServeConfig::default()
-        },
-    ));
+    let server = Arc::new(
+        PredictionServer::start_named(
+            trained
+                .iter_mut()
+                .map(|t| (t.id.clone(), t.model.take().expect("trained once")))
+                .collect(),
+            ServeConfig {
+                shards: options.shards,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("registry starts"),
+    );
+    let ids: Vec<String> = trained.iter().map(|t| t.id.clone()).collect();
+    // Single-model runs stay on the id-less fast path (pre-registry
+    // numbers stay comparable); mixed runs address models by id.
+    let id_of = |model: usize| -> Option<&str> {
+        if options.models > 1 {
+            Some(ids[model].as_str())
+        } else {
+            None
+        }
+    };
 
     // TCP transport: listener + per-client connections.
     let tcp_addr = if options.tcp {
@@ -176,32 +228,76 @@ fn main() {
     };
 
     // Pre-generate per-client traffic so generation cost stays outside the
-    // timed section.
+    // timed section. Each unit is one request (or one batch frame) against
+    // one model, anchored in that model's universe.
     let per_client = (options.requests / options.clients as u64) as usize;
+    let unit_size = options.batch.max(1);
     let mut rng = Rng::new(options.seed ^ 0x10AD);
-    let traffic: Vec<Vec<Query>> = (0..options.clients)
-        .map(|_| make_queries(&net, &options, per_client, &mut rng))
+    let anchors: Vec<Vec<Ip>> = trained
+        .iter()
+        .map(|t| {
+            (0..options.subnets.max(1))
+                .map(|_| Ip(t.host_ips[rng.gen_range(t.host_ips.len() as u64) as usize]))
+                .collect()
+        })
+        .collect();
+    let traffic: Vec<Vec<TrafficUnit>> = (0..options.clients)
+        .map(|_| {
+            let mut units = Vec::new();
+            let mut generated = 0usize;
+            while generated < per_client {
+                let model = rng.gen_range(options.models as u64) as usize;
+                let count = unit_size.min(per_client - generated);
+                units.push(TrafficUnit {
+                    model,
+                    queries: make_unit(&anchors[model], count, &mut rng),
+                });
+                generated += count;
+            }
+            units
+        })
         .collect();
 
     if options.warm {
         // Touch every distinct cache slot the timed traffic will hit
-        // (dedup on the cache key granularity: subnet, evidence, top) so
-        // the timed section measures the cache-warm steady state.
+        // (dedup on the cache key granularity: model, subnet, evidence,
+        // top) so the timed section measures the cache-warm steady state.
         let mut seen = std::collections::HashSet::new();
-        let warmup: Vec<Query> = traffic
-            .iter()
-            .flatten()
-            .filter(|q| seen.insert((q.ip.0 & 0xFFFF_0000, q.open.clone(), q.asn, q.top)))
-            .cloned()
-            .collect();
-        server.predict_batch(warmup);
+        for unit in traffic.iter().flatten() {
+            let warmup: Vec<Query> = unit
+                .queries
+                .iter()
+                .filter(|q| {
+                    seen.insert((
+                        unit.model,
+                        q.ip.0 & 0xFFFF_0000,
+                        q.open.clone(),
+                        q.asn,
+                        q.top,
+                    ))
+                })
+                .cloned()
+                .collect();
+            if warmup.is_empty() {
+                continue;
+            }
+            match id_of(unit.model) {
+                None => {
+                    server.predict_batch(warmup);
+                }
+                Some(id) => {
+                    server.predict_batch_for(id, warmup).expect("warmup model");
+                }
+            }
+        }
     }
 
     println!(
-        "replaying {} requests over {} clients ({} shards, batch={}, transport={})...",
+        "replaying {} requests over {} clients ({} shards, {} model(s), batch={}, transport={})...",
         per_client * options.clients,
         options.clients,
         options.shards,
+        options.models,
         options.batch,
         if options.tcp { "tcp" } else { "engine" },
     );
@@ -209,44 +305,53 @@ fn main() {
     let reports: Vec<ClientReport> = std::thread::scope(|scope| {
         let handles: Vec<_> = traffic
             .into_iter()
-            .map(|queries| {
+            .map(|units| {
                 let server = server.clone();
-                let batch = options.batch;
+                let batched = options.batch > 1;
+                let id_of = &id_of;
                 scope.spawn(move || {
-                    let mut latencies_ns = Vec::with_capacity(queries.len());
+                    let mut latencies_ns = Vec::with_capacity(units.len());
                     let mut completed = 0u64;
-                    if let Some(addr) = tcp_addr {
-                        let mut client =
-                            gps_serve::Client::connect(addr).expect("connect loadgen client");
-                        if batch > 1 {
-                            for chunk in queries.chunks(batch) {
-                                let t0 = Instant::now();
-                                let answers = client.predict_batch(chunk).expect("batch reply");
-                                latencies_ns.push(t0.elapsed().as_nanos() as u64);
-                                completed += answers.len() as u64;
+                    let mut client = tcp_addr
+                        .map(|addr| gps_serve::Client::connect(addr).expect("connect loadgen"));
+                    for unit in units {
+                        let id = id_of(unit.model);
+                        let t0 = Instant::now();
+                        let answered = match (&mut client, batched) {
+                            (Some(client), true) => client
+                                .predict_batch_on(id, &unit.queries)
+                                .expect("batch reply")
+                                .len() as u64,
+                            (Some(client), false) => {
+                                for query in &unit.queries {
+                                    client.predict_on(id, query).expect("predict reply");
+                                }
+                                unit.queries.len() as u64
                             }
-                        } else {
-                            for query in &queries {
-                                let t0 = Instant::now();
-                                client.predict(query).expect("predict reply");
-                                latencies_ns.push(t0.elapsed().as_nanos() as u64);
-                                completed += 1;
+                            (None, true) => match id {
+                                None => server.predict_batch(unit.queries).len() as u64,
+                                Some(id) => server
+                                    .predict_batch_for(id, unit.queries)
+                                    .expect("batch model")
+                                    .len() as u64,
+                            },
+                            (None, false) => {
+                                let n = unit.queries.len() as u64;
+                                for query in unit.queries {
+                                    match id {
+                                        None => {
+                                            server.predict(query);
+                                        }
+                                        Some(id) => {
+                                            server.predict_for(id, query).expect("predict model");
+                                        }
+                                    }
+                                }
+                                n
                             }
-                        }
-                    } else if batch > 1 {
-                        for chunk in queries.chunks(batch) {
-                            let t0 = Instant::now();
-                            let answers = server.predict_batch(chunk.to_vec());
-                            latencies_ns.push(t0.elapsed().as_nanos() as u64);
-                            completed += answers.len() as u64;
-                        }
-                    } else {
-                        for query in queries {
-                            let t0 = Instant::now();
-                            let _ = server.predict(query);
-                            latencies_ns.push(t0.elapsed().as_nanos() as u64);
-                            completed += 1;
-                        }
+                        };
+                        latencies_ns.push(t0.elapsed().as_nanos() as u64);
+                        completed += answered;
                     }
                     ClientReport {
                         completed,
@@ -298,4 +403,15 @@ fn main() {
             .collect::<Vec<_>>()
             .join(", "),
     );
+    if options.models > 1 {
+        for model in &stats.models {
+            println!(
+                "  model {:<12} {} requests, hit rate {:.1}%",
+                model.id,
+                model.requests,
+                100.0 * model.cache_hits as f64
+                    / (model.cache_hits + model.cache_misses).max(1) as f64,
+            );
+        }
+    }
 }

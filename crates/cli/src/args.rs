@@ -20,16 +20,24 @@ pub struct Args {
     pub csv: Option<String>,
     /// Snapshot path for export-model/serve.
     pub model: String,
+    /// serve: every `--model` occurrence, each `name=path` or a bare
+    /// path (bare = the default model id). Empty = single-model serve
+    /// from [`Args::model`].
+    pub models: Vec<String>,
     /// Snapshot encoding for export-model.
     pub format: SnapshotFormat,
-    /// TCP address for serve/query/reload.
+    /// TCP address for serve/query/reload/models.
     pub addr: String,
     /// Shard count for serve (0 = auto).
     pub shards: usize,
-    /// serve: hot-reload when the snapshot file changes on disk.
+    /// serve: hot-reload when a registered snapshot file changes on disk.
     pub watch: bool,
     /// reload: snapshot path to switch the server to (None = re-read).
     pub reload_model: Option<String>,
+    /// reload: which model id to reload (positional; None = the default).
+    pub reload_name: Option<String>,
+    /// query: which model id to ask (None = the server's default).
+    pub query_model: Option<String>,
     /// Target IP for query.
     pub ip: Option<String>,
     /// Known-open ports for query (comma separated on the wire).
@@ -51,6 +59,7 @@ pub enum Command {
     Serve,
     Query,
     Reload,
+    Models,
     Help,
 }
 
@@ -92,11 +101,14 @@ impl Default for Args {
             budget: None,
             csv: None,
             model: "gps-model.json".to_string(),
+            models: Vec::new(),
             format: SnapshotFormat::Json,
             addr: "127.0.0.1:4615".to_string(),
             shards: 0,
             watch: false,
             reload_model: None,
+            reload_name: None,
+            query_model: None,
             ip: None,
             open: Vec::new(),
             asn: None,
@@ -128,6 +140,7 @@ impl Args {
             "serve" => Command::Serve,
             "query" => Command::Query,
             "reload" => Command::Reload,
+            "models" => Command::Models,
             "help" | "--help" | "-h" => Command::Help,
             other => return Err(ParseError(format!("unknown command {other:?}"))),
         };
@@ -175,14 +188,21 @@ impl Args {
                 }
                 "--csv" => args.csv = Some(value("--csv")?),
                 "--model" => {
-                    // For `reload`, --model is "switch the server to this
-                    // snapshot" and its absence means "re-read the served
-                    // file" — a meaning the shared default would destroy.
+                    // One flag, per-command meaning: for `reload` it is
+                    // "switch the server to this snapshot path" (absence =
+                    // re-read the served file); for `query` it is a model
+                    // *id* on the server; for `serve` it is repeatable
+                    // (`name=path` or a bare default path); elsewhere it
+                    // is the snapshot path to write/read.
                     let v = value("--model")?;
-                    if args.command == Command::Reload {
-                        args.reload_model = Some(v);
-                    } else {
-                        args.model = v;
+                    match args.command {
+                        Command::Reload => args.reload_model = Some(v),
+                        Command::Query => args.query_model = Some(v),
+                        Command::Serve => {
+                            args.model = v.clone();
+                            args.models.push(v);
+                        }
+                        _ => args.model = v,
                     }
                 }
                 "--format" => {
@@ -209,6 +229,15 @@ impl Args {
                 }
                 "--asn" => args.asn = Some(parse_num(&value("--asn")?, "--asn")?),
                 "--top" => args.top = parse_num(&value("--top")?, "--top")?,
+                // `gps reload <name>` — the one positional argument in the
+                // grammar: which registered model id to reload.
+                other
+                    if args.command == Command::Reload
+                        && !other.starts_with('-')
+                        && args.reload_name.is_none() =>
+                {
+                    args.reload_name = Some(other.to_string());
+                }
                 other => return Err(ParseError(format!("unknown flag {other:?}"))),
             }
         }
@@ -365,6 +394,46 @@ mod tests {
         assert_eq!(args.reload_model.as_deref(), Some("/tmp/new.gpsb"));
         assert_eq!(args.model, "gps-model.json");
         assert!(Args::parse(["reload"]).unwrap().reload_model.is_none());
+    }
+
+    #[test]
+    fn parses_multi_model_serve_query_and_named_reload() {
+        // serve: --model is repeatable, mixing name=path and bare paths.
+        let args = Args::parse([
+            "serve",
+            "--model",
+            "quick=/tmp/a.gpsb",
+            "--model",
+            "full=/tmp/b.gpsb",
+        ])
+        .unwrap();
+        assert_eq!(
+            args.models,
+            vec![
+                "quick=/tmp/a.gpsb".to_string(),
+                "full=/tmp/b.gpsb".to_string()
+            ]
+        );
+        let args = Args::parse(["serve"]).unwrap();
+        assert!(args.models.is_empty(), "no --model: single-model default");
+
+        // query: --model is a model *id*, not a path.
+        let args = Args::parse(["query", "--ip", "10.0.0.1", "--model", "full"]).unwrap();
+        assert_eq!(args.query_model.as_deref(), Some("full"));
+        assert_eq!(args.model, "gps-model.json", "snapshot path untouched");
+
+        // reload: positional model id, optionally with a new path.
+        let args = Args::parse(["reload", "full", "--model", "/tmp/b2.gpsb"]).unwrap();
+        assert_eq!(args.reload_name.as_deref(), Some("full"));
+        assert_eq!(args.reload_model.as_deref(), Some("/tmp/b2.gpsb"));
+        assert!(Args::parse(["reload"]).unwrap().reload_name.is_none());
+        // Only one positional is accepted.
+        assert!(Args::parse(["reload", "a", "b"]).is_err());
+
+        // models: the listing command.
+        let args = Args::parse(["models", "--addr", "127.0.0.1:9999"]).unwrap();
+        assert_eq!(args.command, Command::Models);
+        assert_eq!(args.addr, "127.0.0.1:9999");
     }
 
     #[test]

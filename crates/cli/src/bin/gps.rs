@@ -25,6 +25,7 @@ fn main() {
         Command::Serve => commands::cmd_serve(&args),
         Command::Query => commands::cmd_query(&args),
         Command::Reload => commands::cmd_reload(&args),
+        Command::Models => commands::cmd_models(&args),
     };
     if let Err(e) = result {
         eprintln!("error: {e}");

@@ -300,32 +300,71 @@ fn resolve_shards(requested: usize) -> usize {
     }
 }
 
-/// `gps serve` — load a snapshot and answer prediction queries over TCP
-/// until killed.
+/// Resolve the serve model list: every `--model` occurrence, each
+/// `name=path` or a bare path (bare = the default model id). No `--model`
+/// at all falls back to the single default snapshot path.
+fn resolve_models(args: &Args) -> Vec<(String, String)> {
+    let raw: Vec<&str> = if args.models.is_empty() {
+        vec![args.model.as_str()]
+    } else {
+        args.models.iter().map(String::as_str).collect()
+    };
+    raw.into_iter()
+        .map(|entry| match entry.split_once('=') {
+            Some((name, path)) => (name.to_string(), path.to_string()),
+            None => (gps_serve::DEFAULT_MODEL_ID.to_string(), entry.to_string()),
+        })
+        .collect()
+}
+
+/// `gps serve` — load one or more snapshots (`--model name=path`,
+/// repeatable; the first is the default model) and answer prediction
+/// queries over TCP until killed.
 pub fn cmd_serve(args: &Args) -> Result<(), String> {
-    // load_serving: the co-occurrence model (the largest section) is not
-    // used for query answering, only rules + priors are.
-    let snapshot = ModelSnapshot::load_serving(&args.model)
-        .map_err(|e| format!("--model {}: {e}", args.model))?;
+    let entries = resolve_models(args);
     let shards = resolve_shards(args.shards);
-    let m = &snapshot.manifest;
-    println!(
-        "loaded {} ({} keys, {} rules, {} priors, checksum {:016x})",
-        args.model, m.distinct_keys, m.num_rules, m.num_priors, m.checksum
-    );
-    let server = PredictionServer::start(
-        ServableModel::from_snapshot(snapshot),
+    // Fail fast across the whole registry: peek every manifest (header
+    // read, cheap) before the expensive full loads, so a typo'd path or
+    // foreign-version snapshot in slot N is reported without first
+    // loading N-1 models.
+    for (name, path) in &entries {
+        gps_serve::validate_model_id(name).map_err(|e| format!("--model {name}={path}: {e}"))?;
+        ModelSnapshot::load_manifest(path).map_err(|e| format!("--model {path}: {e}"))?;
+    }
+    let mut models = Vec::with_capacity(entries.len());
+    for (name, path) in &entries {
+        // load_serving: the co-occurrence model (the largest section) is
+        // not used for query answering, only rules + priors are.
+        let snapshot =
+            ModelSnapshot::load_serving(path).map_err(|e| format!("--model {path}: {e}"))?;
+        let m = &snapshot.manifest;
+        println!(
+            "loaded {name} from {path} ({} keys, {} rules, {} priors, checksum {:016x})",
+            m.distinct_keys, m.num_rules, m.num_priors, m.checksum
+        );
+        models.push((name.clone(), ServableModel::from_snapshot(snapshot)));
+    }
+    let server = PredictionServer::start_named(
+        models,
         ServeConfig {
             shards,
             ..ServeConfig::default()
         },
-    );
-    // Record the source so `gps reload` (without --model) and --watch can
-    // re-read it.
-    server.set_model_path(&args.model);
+    )
+    .map_err(|e| format!("--model: {e}"))?;
+    // Record each source so `gps reload` (without --model) and --watch can
+    // re-read them.
+    for (name, path) in &entries {
+        server
+            .set_model_path_of(name, path)
+            .expect("just-registered model");
+    }
     let server = Arc::new(server);
     let _watcher = if args.watch {
-        println!("watching {} for changes (hot reload)", args.model);
+        println!(
+            "watching {} snapshot file(s) for changes (hot reload)",
+            entries.len()
+        );
         Some(gps_serve::watch_snapshot_file(
             server.clone(),
             std::time::Duration::from_millis(500),
@@ -336,7 +375,8 @@ pub fn cmd_serve(args: &Args) -> Result<(), String> {
     let listener = std::net::TcpListener::bind(&args.addr)
         .map_err(|e| format!("--addr {}: {e}", args.addr))?;
     println!(
-        "serving on {} with {shards} shards (length-prefixed JSON frames; try `gps query`)",
+        "serving {} model(s) on {} with {shards} shards (length-prefixed JSON frames; try `gps query`)",
+        entries.len(),
         listener
             .local_addr()
             .map(|a| a.to_string())
@@ -345,20 +385,70 @@ pub fn cmd_serve(args: &Args) -> Result<(), String> {
     gps_serve::serve_tcp(server, listener).map_err(|e| format!("serve: {e}"))
 }
 
-/// `gps reload` — ask a running server to hot-swap its snapshot with zero
-/// downtime: the file it is already serving (picking up an atomic
-/// replace), or a different one via `--model`.
+/// `gps reload [name]` — ask a running server to hot-swap one model's
+/// snapshot with zero downtime: the default model or the given id, from
+/// the file it is already serving (picking up an atomic replace) or a
+/// different one via `--model`.
 pub fn cmd_reload(args: &Args) -> Result<(), String> {
     let mut client =
         gps_serve::Client::connect(&args.addr).map_err(|e| format!("--addr {}: {e}", args.addr))?;
     let outcome = client
-        .reload(args.reload_model.as_deref())
+        .reload_named(args.reload_name.as_deref(), args.reload_model.as_deref())
         .map_err(|e| format!("reload: {e}"))?;
-    println!("reloaded: generation {}", outcome.generation);
+    match &args.reload_name {
+        Some(name) => println!("reloaded {name}: generation {}", outcome.generation),
+        None => println!("reloaded: generation {}", outcome.generation),
+    }
     println!(
         "  serving {} rules / {} priors (checksum {})",
         outcome.num_rules, outcome.num_priors, outcome.checksum
     );
+    Ok(())
+}
+
+/// `gps models` — list every model a running server holds, with its
+/// generation and per-model counters.
+pub fn cmd_models(args: &Args) -> Result<(), String> {
+    let mut client =
+        gps_serve::Client::connect(&args.addr).map_err(|e| format!("--addr {}: {e}", args.addr))?;
+    let models = client.list_models().map_err(|e| format!("models: {e}"))?;
+    println!("{} model(s) on {}:", models.len(), args.addr);
+    for model in &models {
+        let str_of = |k: &str| {
+            model
+                .get(k)
+                .and_then(|j| j.as_str())
+                .unwrap_or("?")
+                .to_string()
+        };
+        let num_of = |k: &str| model.get(k).and_then(|j| j.as_u64()).unwrap_or(0);
+        println!(
+            "  {}{} generation {} — {} rules / {} priors (dataset {}, checksum {})",
+            str_of("name"),
+            if model.get("default").and_then(|j| j.as_bool()) == Some(true) {
+                " [default]"
+            } else {
+                ""
+            },
+            num_of("generation"),
+            num_of("num_rules"),
+            num_of("num_priors"),
+            str_of("dataset"),
+            str_of("checksum"),
+        );
+        println!(
+            "      {} requests, {} hits / {} misses, {} reloads{}",
+            num_of("requests"),
+            num_of("cache_hits"),
+            num_of("cache_misses"),
+            num_of("reloads"),
+            model
+                .get("path")
+                .and_then(|j| j.as_str())
+                .map(|p| format!(", from {p}"))
+                .unwrap_or_default(),
+        );
+    }
     Ok(())
 }
 
@@ -375,13 +465,19 @@ pub fn cmd_query(args: &Args) -> Result<(), String> {
     query.top = args.top;
     let mut client =
         gps_serve::Client::connect(&args.addr).map_err(|e| format!("--addr {}: {e}", args.addr))?;
-    let ranked = client.predict(&query).map_err(|e| format!("query: {e}"))?;
+    let ranked = client
+        .predict_on(args.query_model.as_deref(), &query)
+        .map_err(|e| format!("query: {e}"))?;
     if ranked.is_empty() {
         println!("no predictions for {ip} (unseen subnet and no matching rules)");
         return Ok(());
     }
     println!(
-        "predictions for {ip}{}:",
+        "predictions for {ip}{}{}:",
+        match &args.query_model {
+            Some(model) => format!(" (model {model})"),
+            None => String::new(),
+        },
         if args.open.is_empty() {
             String::new()
         } else {
@@ -426,6 +522,14 @@ mod tests {
         }
     }
 
+    use gps_types::testutil::TestDir;
+
+    /// CLI flag values are `String`s; bridge from the shared fixture's
+    /// `PathBuf` paths.
+    fn path_str(dir: &TestDir, name: &str) -> String {
+        dir.path(name).to_string_lossy().into_owned()
+    }
+
     #[test]
     fn all_commands_run_on_quick_universe() {
         use crate::args::Command;
@@ -437,22 +541,22 @@ mod tests {
     #[test]
     fn run_writes_csv() {
         use crate::args::Command;
-        let path = std::env::temp_dir().join("gps_cli_test_curve.csv");
+        let dir = TestDir::new("csv");
+        let path = path_str(&dir, "curve.csv");
         let mut args = quick_args(Command::Run);
-        args.csv = Some(path.to_string_lossy().into_owned());
+        args.csv = Some(path.clone());
         cmd_run(&args).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.starts_with("scans,"));
         assert!(text.lines().count() > 2);
-        std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn export_then_serve_then_query_round_trip() {
         use crate::args::Command;
-        let model_path = std::env::temp_dir().join("gps_cli_test_model.json");
+        let dir = TestDir::new("round-trip");
         let mut args = quick_args(Command::ExportModel);
-        args.model = model_path.to_string_lossy().into_owned();
+        args.model = path_str(&dir, "model.json");
         cmd_export_model(&args).unwrap();
 
         // Serve on an ephemeral port (cmd_serve blocks, so drive the
@@ -489,9 +593,9 @@ mod tests {
     #[test]
     fn binary_export_then_serve_then_wire_reload() {
         use crate::args::{Command, SnapshotFormat};
-        let dir = std::env::temp_dir();
-        let path_a = dir.join(format!("gps_cli_reload_a_{}.gpsb", std::process::id()));
-        let path_b = dir.join(format!("gps_cli_reload_b_{}.gpsb", std::process::id()));
+        let dir = TestDir::new("wire-reload");
+        let path_a = std::path::PathBuf::from(path_str(&dir, "a.gpsb"));
+        let path_b = std::path::PathBuf::from(path_str(&dir, "b.gpsb"));
 
         // Two binary snapshots from different universes (different seeds).
         let mut args = quick_args(Command::ExportModel);
@@ -544,9 +648,101 @@ mod tests {
         );
         // Reload without --model re-reads the (updated) recorded path.
         assert_eq!(client.reload(None).unwrap().generation, 2);
+    }
 
-        std::fs::remove_file(&path_a).ok();
-        std::fs::remove_file(&path_b).ok();
+    #[test]
+    fn multi_model_serve_queries_each_by_id() {
+        use crate::args::{Command, SnapshotFormat};
+        let dir = TestDir::new("multi-model");
+        let path_a = path_str(&dir, "a.gpsb");
+        let path_b = path_str(&dir, "b.gpsb");
+        let mut args = quick_args(Command::ExportModel);
+        args.format = SnapshotFormat::Binary;
+        args.model = path_a.clone();
+        args.seed = 9;
+        cmd_export_model(&args).unwrap();
+        let mut args_b = args.clone();
+        args_b.model = path_b.clone();
+        args_b.seed = 10;
+        cmd_export_model(&args_b).unwrap();
+
+        // The serve-side model list grammar.
+        let serve_args = Args::parse([
+            "serve".to_string(),
+            "--model".to_string(),
+            format!("nine={path_a}"),
+            "--model".to_string(),
+            format!("ten={path_b}"),
+        ])
+        .unwrap();
+        assert_eq!(
+            resolve_models(&serve_args),
+            vec![
+                ("nine".to_string(), path_a.clone()),
+                ("ten".to_string(), path_b.clone())
+            ]
+        );
+        // Bare path = the default id; no --model at all = the default path.
+        let bare = Args::parse(["serve", "--model", "/tmp/x.gpsb"]).unwrap();
+        assert_eq!(
+            resolve_models(&bare),
+            vec![(
+                gps_serve::DEFAULT_MODEL_ID.to_string(),
+                "/tmp/x.gpsb".to_string()
+            )]
+        );
+        assert_eq!(
+            resolve_models(&Args::parse(["serve"]).unwrap()),
+            vec![(
+                gps_serve::DEFAULT_MODEL_ID.to_string(),
+                "gps-model.json".to_string()
+            )]
+        );
+
+        // Stand the registry up the way cmd_serve does (cmd_serve blocks
+        // on its accept loop, so drive the same layers directly) and
+        // query both models over one TCP connection.
+        let snapshot_a = ModelSnapshot::load_serving(&path_a).unwrap();
+        let snapshot_b = ModelSnapshot::load_serving(&path_b).unwrap();
+        assert_ne!(snapshot_a.manifest.checksum, snapshot_b.manifest.checksum);
+        let checksum_a = snapshot_a.manifest.checksum;
+        let checksum_b = snapshot_b.manifest.checksum;
+        let server = PredictionServer::start_named(
+            vec![
+                ("nine".to_string(), ServableModel::from_snapshot(snapshot_a)),
+                ("ten".to_string(), ServableModel::from_snapshot(snapshot_b)),
+            ],
+            ServeConfig {
+                shards: 2,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || gps_serve::serve_tcp(Arc::new(server), listener));
+
+        let mut client = gps_serve::Client::connect(addr).unwrap();
+        let hex = gps_types::json::u64_to_hex;
+        for (name, checksum) in [("nine", checksum_a), ("ten", checksum_b)] {
+            let manifest = client.manifest_of(Some(name)).unwrap();
+            assert_eq!(
+                manifest.get("checksum").and_then(|j| j.as_str()),
+                Some(hex(checksum).as_str()),
+                "model {name} serves its own snapshot"
+            );
+        }
+        // The id-less manifest is the default (first) model's.
+        assert_eq!(
+            client
+                .manifest()
+                .unwrap()
+                .get("checksum")
+                .and_then(|j| j.as_str()),
+            Some(hex(checksum_a).as_str())
+        );
+        let models = client.list_models().unwrap();
+        assert_eq!(models.len(), 2);
     }
 
     #[test]

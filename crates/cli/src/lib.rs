@@ -24,9 +24,10 @@ COMMANDS:
     expand        Known-host mode (§7): expand a hitlist without a priors scan
     churn         Measure 10-day service churn (§3)
     export-model  Train on a workload and save the artifacts as a snapshot
-    serve         Load a snapshot and answer prediction queries over TCP
+    serve         Load snapshot(s) and answer prediction queries over TCP
     query         Ask a running server for predictions on one IP
     reload        Hot-swap a running server's snapshot (zero downtime)
+    models        List the models a running server holds (per-model stats)
     help          Show this message
 
 COMMON OPTIONS:
@@ -43,12 +44,15 @@ RUN/COMPARE/EXPORT OPTIONS:
 
 SERVING OPTIONS:
     --model PATH        snapshot file (default gps-model.json); for
-                        `reload`, the snapshot to switch the server to
-                        (default: re-read the file it is serving)
+                        `serve`, repeatable as NAME=PATH to serve several
+                        models keyed by id (first = default model); for
+                        `query`, a model *id* on the server; for `reload`,
+                        the snapshot to switch the server to (default:
+                        re-read the file it is serving)
     --format F          export-model encoding: json | binary (GPSB)
     --addr A            TCP address (default 127.0.0.1:4615)
     --shards N          serve worker shards (default: auto)
-    --watch             serve: hot-reload when the snapshot file changes
+    --watch             serve: hot-reload when a snapshot file changes
     --ip A.B.C.D        query target
     --open P1,P2        query evidence: ports known open on the target
     --asn N             query evidence: the target's ASN
@@ -60,6 +64,10 @@ EXAMPLES:
     gps compare --workload lzr
     gps export-model --quick --model /tmp/gps-model.gpsb --format binary
     gps serve --model /tmp/gps-model.gpsb --addr 127.0.0.1:4615 --shards 8 --watch
+    gps serve --model quick=/tmp/a.gpsb --model lzr=/tmp/b.gpsb
     gps query --addr 127.0.0.1:4615 --ip 10.1.2.3 --open 80
+    gps query --addr 127.0.0.1:4615 --ip 10.1.2.3 --model lzr
     gps reload --addr 127.0.0.1:4615 --model /tmp/gps-model-v2.gpsb
+    gps reload lzr --addr 127.0.0.1:4615
+    gps models --addr 127.0.0.1:4615
 ";

@@ -509,6 +509,72 @@ impl ModelSnapshot {
         Self::load_impl(path.as_ref(), false)
     }
 
+    /// Read only the manifest of a snapshot file — the registry helper
+    /// behind `list-models`-style tooling that must describe many
+    /// snapshots without materializing any of them. For GPSB files only
+    /// the leading MANI section is read from disk (and checksum-verified);
+    /// for JSON the document is parsed but the body is neither
+    /// checksum-verified nor decoded — full integrity is what
+    /// [`load`](Self::load)/[`load_serving`](Self::load_serving) are for.
+    /// The format major is checked in both encodings.
+    pub fn load_manifest(path: impl AsRef<Path>) -> Result<ModelManifest, SnapshotError> {
+        use std::io::Read;
+        let mut file = std::fs::File::open(path.as_ref())?;
+        let mut head = [0u8; 13];
+        let mut filled = 0;
+        while filled < head.len() {
+            match file.read(&mut head[filled..]) {
+                Ok(0) => break,
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(SnapshotError::Io(e)),
+            }
+        }
+        let manifest = if filled == head.len() && head.starts_with(&GPSB_MAGIC) {
+            // magic(4) | container(1) | tag(4) | payload length (u32 LE):
+            // enough to size a read of just the manifest frame.
+            if head[4] != GPSB_CONTAINER_VERSION {
+                return Err(malformed("unsupported GPSB container version").into());
+            }
+            if head[5..9] != SEC_MANIFEST {
+                return Err(malformed("first GPSB section must be the manifest").into());
+            }
+            let len = u32::from_le_bytes(head[9..13].try_into().unwrap()) as usize;
+            // The length field is untrusted input: bound it by the bytes
+            // actually on disk before sizing the read buffer, or a
+            // corrupt header could drive a multi-GiB allocation.
+            let on_disk = file.metadata()?.len().saturating_sub(head.len() as u64);
+            if (len as u64) + 8 > on_disk {
+                return Err(malformed("manifest section exceeds file size").into());
+            }
+            let mut frame = vec![0u8; len + 8];
+            file.read_exact(&mut frame)?;
+            let payload = &frame[..len];
+            if fnv64(payload) != u64::from_le_bytes(frame[len..].try_into().unwrap()) {
+                return Err(SnapshotError::Checksum {
+                    expected: u64::from_le_bytes(frame[len..].try_into().unwrap()),
+                    computed: fnv64(payload),
+                });
+            }
+            let text =
+                std::str::from_utf8(payload).map_err(|_| malformed("manifest is not utf-8"))?;
+            manifest_from_json(&Json::parse(text)?)?
+        } else {
+            let mut bytes = head[..filled].to_vec();
+            file.read_to_end(&mut bytes)?;
+            let text = std::str::from_utf8(&bytes)
+                .map_err(|_| malformed("snapshot is neither GPSB nor utf-8 JSON"))?;
+            manifest_from_json(Json::parse(text)?.req("manifest")?)?
+        };
+        if manifest.format.0 != FORMAT_MAJOR {
+            return Err(SnapshotError::Version {
+                found: manifest.format,
+                supported: (FORMAT_MAJOR, FORMAT_MINOR),
+            });
+        }
+        Ok(manifest)
+    }
+
     fn load_impl(path: &Path, with_model: bool) -> Result<ModelSnapshot, SnapshotError> {
         let bytes = std::fs::read(path)?;
         if bytes.starts_with(&GPSB_MAGIC) {
@@ -578,11 +644,63 @@ fn malformed(reason: &'static str) -> GpsError {
 
 /// Write-then-rename so a crash mid-write (or a concurrent reader) never
 /// sees a truncated artifact and never loses the previous good one.
+///
+/// The temp file lives in the destination directory (rename must not cross
+/// filesystems) under a name unique per (process, call) — a fixed
+/// `path.with_extension("tmp")` would let two concurrent exporters to the
+/// same destination clobber each other's temp data and rename a
+/// half-written snapshot into place. The file is fsynced before the
+/// rename, so the bytes a reader can observe under the final name are
+/// durable.
 fn write_atomically(path: &Path, bytes: &[u8]) -> Result<(), SnapshotError> {
-    let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, bytes)?;
-    std::fs::rename(&tmp, path)?;
-    Ok(())
+    use std::io::Write;
+    static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let file_name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "snapshot".to_string());
+    let tmp = path.with_file_name(format!(
+        ".{file_name}.{}.{}.tmp",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    let result = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        std::fs::remove_file(&tmp).ok();
+    }
+    result.map_err(SnapshotError::Io)
+}
+
+/// How many leading bytes [`header_fingerprint`] hashes. Covers the whole
+/// manifest in both encodings (the JSON document opens with the manifest
+/// object; a GPSB container opens with the MANI section), and the manifest
+/// embeds the body checksum — so any content change moves the fingerprint.
+pub const HEADER_FINGERPRINT_BYTES: usize = 4096;
+
+/// Cheap content fingerprint of a snapshot file: FNV-1a over its first
+/// [`HEADER_FINGERPRINT_BYTES`] bytes. Used by the serving file watcher
+/// alongside `(mtime, size)` — a same-size overwrite inside the
+/// filesystem's mtime granularity still changes the manifest header bytes
+/// (the embedded checksum covers the body), so the poll cannot miss it.
+pub fn header_fingerprint(path: impl AsRef<Path>) -> std::io::Result<u64> {
+    use std::io::Read;
+    let mut head = vec![0u8; HEADER_FINGERPRINT_BYTES];
+    let mut file = std::fs::File::open(path.as_ref())?;
+    let mut filled = 0;
+    while filled < head.len() {
+        match file.read(&mut head[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(fnv64(&head[..filled]))
 }
 
 /// Map a GPSB section checksum mismatch onto [`SnapshotError::Checksum`]
@@ -1033,7 +1151,9 @@ mod tests {
     use crate::host::group_by_host;
     use gps_engine::{Backend, ExecLedger};
     use gps_scan::ServiceObservation;
+    use gps_types::testutil::TestDir;
     use gps_types::{Ip, Protocol};
+    use std::sync::Arc;
 
     fn trained_snapshot() -> ModelSnapshot {
         let mut observations = Vec::new();
@@ -1123,12 +1243,120 @@ mod tests {
 
     #[test]
     fn save_load_file() {
+        let dir = TestDir::new("save-load");
         let snapshot = trained_snapshot();
-        let path = std::env::temp_dir().join("gps_snapshot_unit.json");
+        let path = dir.path("snapshot.json");
         snapshot.save(&path).unwrap();
         let loaded = ModelSnapshot::load(&path).unwrap();
         assert_eq!(loaded.manifest, snapshot.manifest);
-        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn concurrent_saves_to_one_destination_never_corrupt() {
+        // Racing exporters to the same path: with a shared fixed temp
+        // name, one writer's rename could publish another's half-written
+        // file. Unique temp names make every published state a complete
+        // snapshot, and no temp litter may survive.
+        let dir = TestDir::new("concurrent-save");
+        let dir_path = dir.dir().to_path_buf();
+        let path = Arc::new(dir.path("model.gpsb"));
+        let snapshot = Arc::new(trained_snapshot());
+        let mut writers = Vec::new();
+        for t in 0..4 {
+            let path = path.clone();
+            let snapshot = snapshot.clone();
+            writers.push(std::thread::spawn(move || {
+                for i in 0..12 {
+                    if (t + i) % 2 == 0 {
+                        snapshot.save_binary(&*path).expect("binary save");
+                    } else {
+                        snapshot.save(&*path).expect("json save");
+                    }
+                    // Every observable state of the file is loadable.
+                    ModelSnapshot::load(&*path).expect("snapshot stays complete");
+                }
+            }));
+        }
+        for w in writers {
+            w.join().expect("writer thread");
+        }
+        ModelSnapshot::load(&*path).unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(&dir_path)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|name| name.ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp litter: {leftovers:?}");
+    }
+
+    #[test]
+    fn header_fingerprint_tracks_content_not_just_size() {
+        let dir = TestDir::new("fingerprint");
+        let snapshot = trained_snapshot();
+        let path = dir.path("model.gpsb");
+        snapshot.save_binary(&path).unwrap();
+        let original = header_fingerprint(&path).unwrap();
+        assert_eq!(
+            header_fingerprint(&path).unwrap(),
+            original,
+            "fingerprint is deterministic"
+        );
+        // Same-size overwrite with different content: the trained model is
+        // unchanged except one priors coverage count, so file size stays
+        // identical while the body (and the manifest's embedded checksum)
+        // moves.
+        let mut tweaked = snapshot.clone();
+        tweaked.priors[0].coverage += 1;
+        tweaked.save_binary(&path).unwrap();
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            {
+                let size_probe = dir.path("probe.gpsb");
+                snapshot.save_binary(&size_probe).unwrap();
+                std::fs::metadata(&size_probe).unwrap().len()
+            },
+            "test premise: the overwrite is size-preserving"
+        );
+        assert_ne!(
+            header_fingerprint(&path).unwrap(),
+            original,
+            "content change must move the fingerprint"
+        );
+    }
+
+    #[test]
+    fn load_manifest_reads_header_only() {
+        let dir = TestDir::new("manifest-peek");
+        let snapshot = trained_snapshot();
+        let json_path = dir.path("model.json");
+        let bin_path = dir.path("model.gpsb");
+        snapshot.save(&json_path).unwrap();
+        snapshot.save_binary(&bin_path).unwrap();
+        assert_eq!(
+            ModelSnapshot::load_manifest(&json_path).unwrap(),
+            snapshot.manifest
+        );
+        assert_eq!(
+            ModelSnapshot::load_manifest(&bin_path).unwrap(),
+            snapshot.manifest
+        );
+        // GPSB: a corrupted manifest byte fails the section checksum even
+        // though nothing past the MANI frame is read.
+        let mut bytes = std::fs::read(&bin_path).unwrap();
+        bytes[20] ^= 0x01;
+        std::fs::write(&bin_path, &bytes).unwrap();
+        assert!(matches!(
+            ModelSnapshot::load_manifest(&bin_path),
+            Err(SnapshotError::Checksum { .. } | SnapshotError::Malformed(_))
+        ));
+        // Foreign major is rejected from the peek too.
+        let mut bumped = snapshot.clone();
+        bumped.manifest.format = (FORMAT_MAJOR + 1, 0);
+        bumped.save_binary(&bin_path).unwrap();
+        assert!(matches!(
+            ModelSnapshot::load_manifest(&bin_path),
+            Err(SnapshotError::Version { .. })
+        ));
     }
 
     #[test]
@@ -1220,8 +1448,9 @@ mod tests {
 
     #[test]
     fn load_serving_skips_model_but_verifies() {
+        let dir = TestDir::new("serving");
         let snapshot = trained_snapshot();
-        let path = std::env::temp_dir().join("gps_snapshot_serving_unit.json");
+        let path = dir.path("snapshot.json");
         snapshot.save(&path).unwrap();
         let served = ModelSnapshot::load_serving(&path).unwrap();
         assert!(served.model.is_empty(), "model section skipped");
@@ -1239,7 +1468,6 @@ mod tests {
             ModelSnapshot::load_serving(&path),
             Err(SnapshotError::Checksum { .. })
         ));
-        std::fs::remove_file(&path).ok();
     }
 
     #[test]
@@ -1267,10 +1495,10 @@ mod tests {
 
     #[test]
     fn load_auto_detects_format_by_magic() {
+        let dir = TestDir::new("auto-detect");
         let snapshot = trained_snapshot();
-        let dir = std::env::temp_dir();
-        let json_path = dir.join("gps_snapshot_auto.json");
-        let bin_path = dir.join("gps_snapshot_auto.gpsb");
+        let json_path = dir.path("snapshot.json");
+        let bin_path = dir.path("snapshot.gpsb");
         snapshot.save(&json_path).unwrap();
         snapshot.save_binary(&bin_path).unwrap();
         assert!(std::fs::read(&bin_path).unwrap().starts_with(b"GPSB"));
@@ -1284,8 +1512,6 @@ mod tests {
         assert!(served.model.is_empty());
         assert_eq!(served.rules.len(), snapshot.rules.len());
         assert_eq!(served.priors, snapshot.priors);
-        std::fs::remove_file(&json_path).ok();
-        std::fs::remove_file(&bin_path).ok();
     }
 
     #[test]

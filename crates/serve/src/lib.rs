@@ -14,11 +14,15 @@
 //! - [`artifact`] — [`ServableModel`]: a loaded snapshot in query form
 //!   (cold queries rank §5.3 priors by subnet; warm queries expand
 //!   observed ports through the §5.4 rules);
-//! - [`server`] — [`PredictionServer`]: N shard worker threads
+//! - [`server`] — [`PredictionServer`]: a *registry* of named models
+//!   (one per scan universe/day — compare quick vs full or LZR-filtered
+//!   vs raw from one process) behind N shard worker threads
 //!   (hash-partitioned by the query IP's /16), bounded work queues,
-//!   opportunistic request batching, per-shard LRU answer caches,
-//!   [`ServerStats`] counters, and zero-downtime snapshot hot-reload
-//!   (epoch-published model + the [`watch_snapshot_file`] control path);
+//!   opportunistic request batching, per-shard LRU answer caches keyed by
+//!   (model, generation, subnet, evidence), [`ServerStats`] counters with
+//!   a per-model breakdown, and zero-downtime snapshot hot-reload
+//!   (epoch-published models + the [`watch_snapshot_file`] control path
+//!   covering every registered snapshot file);
 //! - [`cache`] — the O(1) LRU used by each shard;
 //! - [`proto`] — a length-prefixed JSON frame protocol over TCP plus the
 //!   blocking [`Client`] used by `gps query` and the loadgen bench.
@@ -57,5 +61,6 @@ pub use artifact::{Query, Ranked, ServableModel};
 pub use cache::LruCache;
 pub use proto::{serve_tcp, Client, ReloadOutcome};
 pub use server::{
-    watch_snapshot_file, PredictionServer, ReloadWatcher, ServeConfig, ServerStats, StatsSnapshot,
+    validate_model_id, watch_snapshot_file, ModelStatsSnapshot, PredictionServer, ReloadWatcher,
+    ServeConfig, ServerStats, StatsSnapshot, DEFAULT_MODEL_ID, MAX_MODEL_ID_LEN,
 };

@@ -6,27 +6,39 @@
 //! ```text
 //! {"cmd":"ping"}
 //! {"cmd":"predict","ip":"10.1.2.3","open":[80,443],"asn":7,"top":8}
-//! {"cmd":"batch","queries":[{"ip":...}, ...]}
-//! {"cmd":"stats"}
-//! {"cmd":"manifest"}
+//! {"cmd":"predict","ip":"10.1.2.3","model":"lzr-day3"}  — pick a model id
+//! {"cmd":"batch","queries":[{"ip":...}, ...],"model":"quick"}
+//! {"cmd":"stats"}                        — includes per-model breakdown
+//! {"cmd":"manifest"}                     — optional "model" id too
 //! {"cmd":"reload"}                       — re-read the served snapshot file
 //! {"cmd":"reload","model":"/path.gpsb"}  — switch to a different snapshot
+//! {"cmd":"reload","name":"quick"}        — reload a specific model id
+//! {"cmd":"load","name":"b","model":"/b.gpsb"}  — register a new model
+//! {"cmd":"unload","name":"b"}            — drop a model (not the default)
+//! {"cmd":"list-models"}                  — every model id + its counters
 //! ```
+//!
+//! The server holds a *registry* of models keyed by id (`server.rs`); a
+//! frame without `"model"`/`"name"` routes to the default model, so
+//! pre-registry clients work unchanged. On query/batch/manifest frames
+//! `"model"` is a model *id*; on `reload`/`load` frames `"model"` remains
+//! the snapshot *path* it always was, and `"name"` carries the id.
 //!
 //! Successful responses carry `"ok":true` plus the payload; failures carry
 //! `"ok":false` and an `"error"` string (a malformed request never kills
-//! the connection). A request may carry an `"id"` (any JSON value); the
-//! response — success *or* error — echoes it verbatim, so pipelining
-//! clients can correlate failures with the request that caused them.
+//! the connection; an unknown model id is an error reply like any other).
+//! A request may carry an `"id"` (any JSON value); the response — success
+//! *or* error — echoes it verbatim, so pipelining clients can correlate
+//! failures with the request that caused them.
 //!
-//! `reload` swaps the served model with zero downtime (see
-//! `server::ModelSlot`); like `stats`, it is trusted-operator surface —
-//! anyone who can reach the port can point the server at a different
-//! snapshot *file path*, so bind to loopback or put an authenticating
-//! proxy in front, as the thread-per-connection design already assumes.
-//! The server is std-only: one OS thread per connection, which is plenty
-//! for the model-serving fan-in this subsystem targets — heavy
-//! multiplexing belongs in a fronting proxy.
+//! `reload` swaps a served model with zero downtime (see the epoch slots
+//! in `server.rs`); like `stats`, the admin commands are trusted-operator
+//! surface — anyone who can reach the port can point the server at a
+//! different snapshot *file path*, so bind to loopback or put an
+//! authenticating proxy in front, as the thread-per-connection design
+//! already assumes. The server is std-only: one OS thread per connection,
+//! which is plenty for the model-serving fan-in this subsystem targets —
+//! heavy multiplexing belongs in a fronting proxy.
 
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
@@ -198,11 +210,27 @@ fn error_response(message: impl Into<String>) -> Json {
     json
 }
 
+/// An optional string field that, when present, must actually be a
+/// string (`Ok(None)` when absent).
+fn optional_str<'a>(request: &'a Json, field: &str) -> Result<Option<&'a str>, String> {
+    match request.get(field) {
+        None => Ok(None),
+        Some(Json::Str(s)) => Ok(Some(s.as_str())),
+        Some(_) => Err(format!("{field} must be a string")),
+    }
+}
+
 /// Compute the response for one request frame.
 fn respond(server: &PredictionServer, request: &Json) -> Json {
     let cmd = match request.get("cmd").and_then(Json::as_str) {
         Some(cmd) => cmd,
         None => return error_response("missing cmd"),
+    };
+    // On query-shaped frames `"model"` is a registry id; absence means
+    // the default model (the pre-registry wire behavior, unchanged).
+    let model_id = match optional_str(request, "model") {
+        Ok(id) => id,
+        Err(e) => return error_response(e),
     };
     match cmd {
         "ping" => {
@@ -212,7 +240,13 @@ fn respond(server: &PredictionServer, request: &Json) -> Json {
         }
         "predict" => match query_from_json(request) {
             Ok(query) => {
-                let ranked = server.predict(query);
+                let ranked = match model_id {
+                    None => server.predict(query),
+                    Some(id) => match server.predict_for(id, query) {
+                        Ok(ranked) => ranked,
+                        Err(e) => return error_response(e),
+                    },
+                };
                 let mut json = ok_response();
                 json.set("predictions", ranked_to_json(&ranked));
                 json
@@ -232,7 +266,13 @@ fn respond(server: &PredictionServer, request: &Json) -> Json {
                     Err(e) => return error_response(e),
                 }
             }
-            let answers = server.predict_batch(parsed);
+            let answers = match model_id {
+                None => server.predict_batch(parsed),
+                Some(id) => match server.predict_batch_for(id, parsed) {
+                    Ok(answers) => answers,
+                    Err(e) => return error_response(e),
+                },
+            };
             let mut json = ok_response();
             json.set(
                 "results",
@@ -249,7 +289,13 @@ fn respond(server: &PredictionServer, request: &Json) -> Json {
             json
         }
         "manifest" => {
-            let model = server.model();
+            let (model, generation) = match model_id {
+                None => (server.model(), server.generation()),
+                Some(id) => match (server.model_of(id), server.generation_of(id)) {
+                    (Ok(model), Ok(generation)) => (model, generation),
+                    (Err(e), _) | (_, Err(e)) => return error_response(e),
+                },
+            };
             let m = model.manifest();
             let mut inner = Json::obj();
             inner
@@ -265,18 +311,24 @@ fn respond(server: &PredictionServer, request: &Json) -> Json {
                 .set("checksum", gps_types::json::u64_to_hex(m.checksum));
             let mut json = ok_response();
             json.set("manifest", inner)
-                .set("generation", Json::Num(server.generation() as f64));
+                .set("generation", Json::Num(generation as f64));
             json
         }
         "reload" => {
-            let path = match request.get("model") {
-                None => None,
-                Some(Json::Str(s)) => Some(std::path::PathBuf::from(s)),
-                Some(_) => return error_response("model must be a path string"),
+            // Here `"model"` keeps its pre-registry meaning — a snapshot
+            // *path* — and the registry id rides in `"name"`.
+            let path = model_id.map(std::path::PathBuf::from);
+            let name = match optional_str(request, "name") {
+                Ok(name) => name,
+                Err(e) => return error_response(e),
             };
-            match server.reload_from_disk(path.as_deref()) {
+            let result = match name {
+                None => server.reload_from_disk(path.as_deref()),
+                Some(id) => server.reload_model_from_disk(id, path.as_deref()),
+            };
+            match result {
                 // Describe the model *this* reload published — reading
-                // `server.model()` here could race with a concurrent
+                // the slot again here could race with a concurrent
                 // reload and misattribute the manifest.
                 Ok((generation, model)) => {
                     let m = model.manifest();
@@ -285,12 +337,70 @@ fn respond(server: &PredictionServer, request: &Json) -> Json {
                         .set("num_rules", m.num_rules)
                         .set("num_priors", m.num_priors)
                         .set("checksum", gps_types::json::u64_to_hex(m.checksum));
+                    if let Some(name) = name {
+                        json.set("name", name);
+                    }
                     json
                 }
                 // The old model is still serving; the error only reports
                 // why the swap did not happen.
                 Err(e) => error_response(format!("reload failed: {e}")),
             }
+        }
+        "load" => {
+            let name = match optional_str(request, "name") {
+                Ok(Some(name)) => name,
+                Ok(None) => return error_response("load requires a name"),
+                Err(e) => return error_response(e),
+            };
+            let path = match model_id {
+                Some(path) => std::path::PathBuf::from(path),
+                None => return error_response("load requires a model snapshot path"),
+            };
+            match server.load_model_from_disk(name, &path) {
+                Ok(model) => {
+                    let m = model.manifest();
+                    let mut json = ok_response();
+                    json.set("name", name)
+                        .set("num_rules", m.num_rules)
+                        .set("num_priors", m.num_priors)
+                        .set("checksum", gps_types::json::u64_to_hex(m.checksum));
+                    json
+                }
+                Err(e) => error_response(format!("load failed: {e}")),
+            }
+        }
+        "unload" => {
+            let name = match optional_str(request, "name") {
+                Ok(Some(name)) => name,
+                Ok(None) => return error_response("unload requires a name"),
+                Err(e) => return error_response(e),
+            };
+            match server.unload_model(name) {
+                Ok(()) => {
+                    let mut json = ok_response();
+                    json.set("name", name);
+                    json
+                }
+                Err(e) => error_response(format!("unload failed: {e}")),
+            }
+        }
+        "list-models" => {
+            let stats = server.stats();
+            let mut json = ok_response();
+            json.set(
+                "models",
+                stats
+                    .models
+                    .iter()
+                    .map(|m| {
+                        let mut entry = m.to_json();
+                        entry.set("name", m.id.as_str());
+                        entry
+                    })
+                    .collect::<Vec<_>>(),
+            );
+            json
         }
         other => error_response(format!("unknown cmd {other:?}")),
     }
@@ -414,10 +524,19 @@ impl Client {
         self.call(request).map(|_| ())
     }
 
+    /// Predict against the server's default model.
     pub fn predict(&mut self, query: &Query) -> io::Result<Ranked> {
+        self.predict_on(None, query)
+    }
+
+    /// Predict against a specific model id (`None` = the default model).
+    pub fn predict_on(&mut self, model: Option<&str>, query: &Query) -> io::Result<Ranked> {
         let mut request = query_to_json(query);
         request.set("cmd", "predict");
         // `cmd` is appended after the query fields; field order is free.
+        if let Some(id) = model {
+            request.set("model", id);
+        }
         let response = self.call(request)?;
         ranked_from_json(
             response
@@ -428,11 +547,23 @@ impl Client {
     }
 
     pub fn predict_batch(&mut self, queries: &[Query]) -> io::Result<Vec<Ranked>> {
+        self.predict_batch_on(None, queries)
+    }
+
+    /// Batch-predict against a specific model id (`None` = the default).
+    pub fn predict_batch_on(
+        &mut self,
+        model: Option<&str>,
+        queries: &[Query],
+    ) -> io::Result<Vec<Ranked>> {
         let mut request = Json::obj();
         request.set("cmd", "batch").set(
             "queries",
             queries.iter().map(query_to_json).collect::<Vec<_>>(),
         );
+        if let Some(id) = model {
+            request.set("model", id);
+        }
         let response = self.call(request)?;
         response
             .get("results")
@@ -454,8 +585,16 @@ impl Client {
     }
 
     pub fn manifest(&mut self) -> io::Result<Json> {
+        self.manifest_of(None)
+    }
+
+    /// Manifest of a specific model id (`None` = the default model).
+    pub fn manifest_of(&mut self, model: Option<&str>) -> io::Result<Json> {
         let mut request = Json::obj();
         request.set("cmd", "manifest");
+        if let Some(id) = model {
+            request.set("model", id);
+        }
         let response = self.call(request)?;
         response
             .get("manifest")
@@ -463,15 +602,29 @@ impl Client {
             .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no manifest"))
     }
 
-    /// Ask the server to hot-reload its snapshot — from `model` if given,
-    /// else from the file it is already serving. The returned outcome is
-    /// taken from the reload reply itself, so it describes exactly the
-    /// model this reload published (a follow-up `manifest` call could
-    /// race with another reload).
+    /// Ask the server to hot-reload its default model's snapshot — from
+    /// `model` (a path) if given, else from the file it is already
+    /// serving. The returned outcome is taken from the reload reply
+    /// itself, so it describes exactly the model this reload published (a
+    /// follow-up `manifest` call could race with another reload).
     pub fn reload(&mut self, model: Option<&str>) -> io::Result<ReloadOutcome> {
+        self.reload_named(None, model)
+    }
+
+    /// [`reload`](Self::reload) for a specific model id (`None` = the
+    /// default model); `path` optionally switches that model to a
+    /// different snapshot file.
+    pub fn reload_named(
+        &mut self,
+        name: Option<&str>,
+        path: Option<&str>,
+    ) -> io::Result<ReloadOutcome> {
         let mut request = Json::obj();
         request.set("cmd", "reload");
-        if let Some(path) = model {
+        if let Some(name) = name {
+            request.set("name", name);
+        }
+        if let Some(path) = path {
             request.set("model", path);
         }
         let response = self.call(request)?;
@@ -495,6 +648,37 @@ impl Client {
                 .unwrap_or("?")
                 .to_string(),
         })
+    }
+
+    /// Register a new model on the server from a snapshot path.
+    pub fn load_model(&mut self, name: &str, path: &str) -> io::Result<()> {
+        let mut request = Json::obj();
+        request
+            .set("cmd", "load")
+            .set("name", name)
+            .set("model", path);
+        self.call(request).map(|_| ())
+    }
+
+    /// Drop a model from the server's registry (the default cannot be
+    /// unloaded).
+    pub fn unload_model(&mut self, name: &str) -> io::Result<()> {
+        let mut request = Json::obj();
+        request.set("cmd", "unload").set("name", name);
+        self.call(request).map(|_| ())
+    }
+
+    /// Every registered model with its per-model counters, as the server
+    /// reported them (sorted by id).
+    pub fn list_models(&mut self) -> io::Result<Vec<Json>> {
+        let mut request = Json::obj();
+        request.set("cmd", "list-models");
+        let response = self.call(request)?;
+        response
+            .get("models")
+            .and_then(Json::as_arr)
+            .map(|models| models.to_vec())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no models"))
     }
 }
 

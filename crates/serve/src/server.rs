@@ -1,29 +1,50 @@
 //! The long-lived prediction server.
 //!
-//! [`PredictionServer::start`] loads a [`ServableModel`] behind N shard
-//! worker threads (hash-partitioned by the /16 of the query IP, so one
-//! subnet's cache entries live on exactly one shard) and answers
-//! [`predict`](PredictionServer::predict) /
-//! [`predict_batch`](PredictionServer::predict_batch) calls through
-//! bounded work queues. Counters accumulate in [`ServerStats`];
+//! [`PredictionServer::start_named`] loads a *registry* of
+//! [`ServableModel`]s — one per scan universe/day, keyed by a caller-chosen
+//! model id — behind N shard worker threads (hash-partitioned by the /16
+//! of the query IP, so one subnet's cache entries live on exactly one
+//! shard) and answers [`predict_for`](PredictionServer::predict_for) /
+//! [`predict_batch_for`](PredictionServer::predict_batch_for) calls
+//! through bounded work queues. The first registered model is the
+//! *default*: the id-less API ([`predict`](PredictionServer::predict),
+//! [`reload`](PredictionServer::reload), ...) and id-less wire frames
+//! route to it, so a single-model deployment behaves exactly as it did
+//! before the registry existed. Counters accumulate globally in
+//! [`ServerStats`] and per model in [`ModelStatsSnapshot`];
 //! [`StatsSnapshot`] is the consistent read.
 //!
 //! ## Hot reload
 //!
-//! The model lives behind an epoch slot (`ModelSlot`): an
-//! `Arc<ServableModel>` plus a generation counter.
-//! [`PredictionServer::reload`] publishes a new model and bumps the
-//! generation; each shard worker notices the bump at its next wakeup,
-//! swaps its local `Arc`, and drops its answer cache (cached answers
-//! belong to the old model). Queries already being serviced finish on
-//! whichever model their shard held when it picked them up — nothing is
-//! dropped, nothing blocks, and the old model is freed when the last
-//! in-flight `Arc` clone goes away. Two control paths trigger reloads in
-//! a deployment: the `reload` wire command (`proto.rs`) and
-//! [`watch_snapshot_file`] — a SIGHUP-style path that polls the snapshot
-//! file and reloads when it is atomically replaced (snapshot saves are
-//! write-then-rename, so the watcher never reads a half-written file).
+//! Each registry entry publishes its model through an epoch slot
+//! (`ModelSlot`): an `Arc<ServableModel>` plus a generation counter.
+//! [`PredictionServer::reload_model`] publishes a new model under an
+//! existing id and bumps that id's generation; shard workers notice the
+//! bump at the next job for that model and swap their local `Arc`. Shard
+//! answer caches are keyed by *(model uid, generation, subnet, evidence)*,
+//! so a reload never clears anything: the reloaded model's old entries
+//! simply become unreachable and age out of the LRU, while **every other
+//! model's hot entries survive untouched**. Queries already being
+//! serviced finish on whichever epoch their shard held when it picked
+//! them up — nothing is dropped, nothing blocks, and an old epoch is
+//! freed when the last in-flight `Arc` clone goes away. Two control paths
+//! trigger reloads in a deployment: the `reload` wire command
+//! (`proto.rs`) and [`watch_snapshot_file`] — a SIGHUP-style thread that
+//! polls every registered snapshot path and reloads the one that changed
+//! (snapshot saves are write-then-rename, so the watcher never reads a
+//! half-written file; the poll fingerprint includes a content hash of the
+//! manifest header, so a same-size overwrite inside the filesystem's
+//! mtime granularity is still seen).
+//!
+//! ## Registry membership
+//!
+//! [`load_model`](PredictionServer::load_model) /
+//! [`unload_model`](PredictionServer::unload_model) add and remove ids at
+//! runtime (the default model cannot be unloaded). Membership changes
+//! bump a registry version; workers prune their per-model epoch state at
+//! the next wakeup, so an unloaded model's memory is released promptly.
 
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -33,12 +54,41 @@ use std::time::{Duration, Instant, SystemTime};
 
 use crate::artifact::{Query, Ranked, ServableModel};
 use crate::shard::{run_shard, Job, ShardConfig, ShardHandle};
+use gps_core::snapshot::header_fingerprint;
 use gps_core::ModelSnapshot;
 use gps_types::json::Json;
 
+/// The model id the id-less API and id-less wire frames route to when the
+/// server was started through the single-model constructors.
+pub const DEFAULT_MODEL_ID: &str = "default";
+
+/// Longest accepted model id (ids travel on the wire and key hash maps).
+pub const MAX_MODEL_ID_LEN: usize = 64;
+
+/// A usable registry key: nonempty, at most [`MAX_MODEL_ID_LEN`] bytes of
+/// `[A-Za-z0-9._-]`. The charset keeps ids unambiguous in `name=path` CLI
+/// arguments and shell-quotable in wire examples.
+pub fn validate_model_id(id: &str) -> Result<(), String> {
+    if id.is_empty() {
+        return Err("model id must not be empty".to_string());
+    }
+    if id.len() > MAX_MODEL_ID_LEN {
+        return Err(format!("model id exceeds {MAX_MODEL_ID_LEN} bytes"));
+    }
+    if !id
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+    {
+        return Err(format!(
+            "model id {id:?} has characters outside [A-Za-z0-9._-]"
+        ));
+    }
+    Ok(())
+}
+
 /// The epoch-published model: shard workers hold an `Arc` clone and a
 /// local generation, and resynchronize whenever the generation moves.
-pub(crate) struct ModelSlot {
+struct ModelSlot {
     current: RwLock<Arc<ServableModel>>,
     generation: AtomicU64,
 }
@@ -51,11 +101,11 @@ impl ModelSlot {
         }
     }
 
-    pub(crate) fn current(&self) -> Arc<ServableModel> {
+    fn current(&self) -> Arc<ServableModel> {
         self.current.read().expect("model slot lock").clone()
     }
 
-    pub(crate) fn generation(&self) -> u64 {
+    fn generation(&self) -> u64 {
         self.generation.load(Ordering::Acquire)
     }
 
@@ -71,6 +121,91 @@ impl ModelSlot {
     }
 }
 
+/// Per-model monotonic counters, bumped by shard workers alongside the
+/// global [`ServerStats`].
+#[derive(Default)]
+pub(crate) struct ModelCounters {
+    pub requests: AtomicU64,
+    pub cache_hits: AtomicU64,
+    pub cache_misses: AtomicU64,
+    pub reloads: AtomicU64,
+}
+
+/// One registered model: id, epoch slot, snapshot source path, and
+/// counters. Shard cache keys embed `uid` rather than the id string — it
+/// is registry-unique for the server's lifetime, so an id that is
+/// unloaded and later re-loaded can never collide with stale cache
+/// entries of its previous incarnation.
+pub(crate) struct ModelEntry {
+    pub(crate) id: String,
+    pub(crate) uid: u64,
+    slot: ModelSlot,
+    path: Mutex<Option<PathBuf>>,
+    /// Serializes reloads of this model, so each reply's (generation,
+    /// model) pair is the pair that reload actually published, and `path`
+    /// always names the serving snapshot.
+    reload_lock: Mutex<()>,
+    pub(crate) counters: ModelCounters,
+}
+
+impl ModelEntry {
+    pub(crate) fn generation(&self) -> u64 {
+        self.slot.generation()
+    }
+
+    pub(crate) fn current(&self) -> Arc<ServableModel> {
+        self.slot.current()
+    }
+
+    fn path(&self) -> Option<PathBuf> {
+        self.path.lock().expect("model path lock").clone()
+    }
+
+    fn set_path(&self, path: impl Into<PathBuf>) {
+        *self.path.lock().expect("model path lock") = Some(path.into());
+    }
+}
+
+/// The named model map shared between the server handle and its shard
+/// workers.
+pub(crate) struct Registry {
+    models: RwLock<HashMap<String, Arc<ModelEntry>>>,
+    /// Bumped on every load/unload. Workers compare it per wakeup and
+    /// prune local epoch state for uids that left the registry.
+    membership: AtomicU64,
+}
+
+impl Registry {
+    pub(crate) fn membership(&self) -> u64 {
+        self.membership.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn live_uids(&self) -> Vec<u64> {
+        self.models
+            .read()
+            .expect("registry lock")
+            .values()
+            .map(|e| e.uid)
+            .collect()
+    }
+
+    fn get(&self, id: &str) -> Option<Arc<ModelEntry>> {
+        self.models.read().expect("registry lock").get(id).cloned()
+    }
+
+    fn entries(&self) -> Vec<Arc<ModelEntry>> {
+        let mut entries: Vec<Arc<ModelEntry>> = self
+            .models
+            .read()
+            .expect("registry lock")
+            .values()
+            .cloned()
+            .collect();
+        entries.sort_by(|a, b| a.id.cmp(&b.id));
+        entries
+    }
+}
+
 /// Serving knobs.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -80,7 +215,8 @@ pub struct ServeConfig {
     pub queue_depth: usize,
     /// Max jobs a worker drains per wakeup.
     pub max_batch: usize,
-    /// Per-shard LRU capacity, in distinct (subnet, evidence) answers.
+    /// Per-shard LRU capacity, in distinct (model, subnet, evidence)
+    /// answers — shared across every registered model.
     pub cache_capacity: usize,
     /// Predictions returned when a query doesn't say (`Query::top == 0`).
     pub default_top: usize,
@@ -98,7 +234,8 @@ impl Default for ServeConfig {
     }
 }
 
-/// Monotonic serving counters, updated by shard workers.
+/// Monotonic serving counters, updated by shard workers. Global across
+/// models; the per-model breakdown lives in [`ModelStatsSnapshot`].
 #[derive(Debug, Default)]
 pub struct ServerStats {
     pub requests: AtomicU64,
@@ -110,11 +247,72 @@ pub struct ServerStats {
     pub latency_ns_total: AtomicU64,
     pub latency_ns_max: AtomicU64,
     pub per_shard: Vec<AtomicU64>,
-    /// Completed hot reloads since start.
+    /// Completed hot reloads since start, across every model.
     pub reloads: AtomicU64,
 }
 
-/// A point-in-time copy of [`ServerStats`] plus derived rates.
+/// A point-in-time copy of one model's counters and identity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelStatsSnapshot {
+    pub id: String,
+    /// Whether the id-less API routes to this model.
+    pub is_default: bool,
+    /// 0 = the model this entry was registered with, +1 per reload.
+    pub generation: u64,
+    pub requests: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub reloads: u64,
+    /// Where the served snapshot came from, when known.
+    pub path: Option<String>,
+    pub dataset: String,
+    /// Manifest checksum of the serving snapshot.
+    pub checksum: u64,
+    pub num_rules: u64,
+    pub num_priors: u64,
+}
+
+impl ModelStatsSnapshot {
+    fn of(entry: &ModelEntry, is_default: bool) -> ModelStatsSnapshot {
+        let model = entry.current();
+        let manifest = model.manifest();
+        ModelStatsSnapshot {
+            id: entry.id.clone(),
+            is_default,
+            generation: entry.generation(),
+            requests: entry.counters.requests.load(Ordering::Relaxed),
+            cache_hits: entry.counters.cache_hits.load(Ordering::Relaxed),
+            cache_misses: entry.counters.cache_misses.load(Ordering::Relaxed),
+            reloads: entry.counters.reloads.load(Ordering::Relaxed),
+            path: entry.path().map(|p| p.display().to_string()),
+            dataset: manifest.dataset_name.clone(),
+            checksum: manifest.checksum,
+            num_rules: manifest.num_rules as u64,
+            num_priors: manifest.num_priors as u64,
+        }
+    }
+
+    pub fn to_json(&self) -> Json {
+        let mut json = Json::obj();
+        json.set("default", self.is_default)
+            .set("generation", Json::Num(self.generation as f64))
+            .set("requests", Json::Num(self.requests as f64))
+            .set("cache_hits", Json::Num(self.cache_hits as f64))
+            .set("cache_misses", Json::Num(self.cache_misses as f64))
+            .set("reloads", Json::Num(self.reloads as f64))
+            .set("dataset", self.dataset.as_str())
+            .set("checksum", gps_types::json::u64_to_hex(self.checksum))
+            .set("num_rules", Json::Num(self.num_rules as f64))
+            .set("num_priors", Json::Num(self.num_priors as f64));
+        if let Some(path) = &self.path {
+            json.set("path", path.as_str());
+        }
+        json
+    }
+}
+
+/// A point-in-time copy of [`ServerStats`] plus derived rates and the
+/// per-model breakdown.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StatsSnapshot {
     pub requests: u64,
@@ -125,9 +323,13 @@ pub struct StatsSnapshot {
     pub max_latency_us: f64,
     pub per_shard: Vec<u64>,
     pub uptime_secs: f64,
+    /// Completed reloads across every model.
     pub reloads: u64,
-    /// Current model generation (0 = the model the server started with).
+    /// The *default* model's generation (0 = the model the server started
+    /// with) — the pre-registry meaning, kept for wire compatibility.
     pub generation: u64,
+    /// Per-model counters, sorted by id.
+    pub models: Vec<ModelStatsSnapshot>,
 }
 
 impl StatsSnapshot {
@@ -141,6 +343,10 @@ impl StatsSnapshot {
     }
 
     pub fn to_json(&self) -> Json {
+        let mut models = Json::obj();
+        for model in &self.models {
+            models.set(model.id.as_str(), model.to_json());
+        }
         let mut json = Json::obj();
         json.set("requests", Json::Num(self.requests as f64))
             .set("cache_hits", Json::Num(self.cache_hits as f64))
@@ -158,20 +364,20 @@ impl StatsSnapshot {
             )
             .set("uptime_secs", self.uptime_secs)
             .set("reloads", Json::Num(self.reloads as f64))
-            .set("generation", Json::Num(self.generation as f64));
+            .set("generation", Json::Num(self.generation as f64))
+            .set("models", models);
         json
     }
 }
 
-/// A running, queryable prediction service.
+/// A running, queryable prediction service over a registry of models.
 pub struct PredictionServer {
-    slot: Arc<ModelSlot>,
-    /// Where the served snapshot came from; the default reload source.
-    model_path: Mutex<Option<PathBuf>>,
-    /// Serializes reloads, so each reply's (generation, model) pair is
-    /// the pair that reload actually published, and `model_path` always
-    /// names the serving snapshot.
-    reload_lock: Mutex<()>,
+    registry: Arc<Registry>,
+    /// The entry id-less calls route to. Fixed at start; the entry itself
+    /// is mutated by reloads (its slot), never replaced, so the hot path
+    /// never takes the registry lock.
+    default_entry: Arc<ModelEntry>,
+    next_uid: AtomicU64,
     shards: Vec<ShardHandle>,
     workers: Vec<JoinHandle<()>>,
     stats: Arc<ServerStats>,
@@ -180,13 +386,50 @@ pub struct PredictionServer {
 }
 
 impl PredictionServer {
-    /// Spawn the shard workers and return the ready server.
+    /// Spawn the shard workers and return the ready server with a single
+    /// model registered under [`DEFAULT_MODEL_ID`].
     pub fn start(model: ServableModel, config: ServeConfig) -> PredictionServer {
+        Self::start_named(vec![(DEFAULT_MODEL_ID.to_string(), model)], config)
+            .expect("default id is valid and unique")
+    }
+
+    /// Spawn the shard workers and return the ready server with every
+    /// given `(id, model)` registered. The first entry is the default
+    /// model. Fails on an empty list, an invalid id, or a duplicate id.
+    pub fn start_named(
+        models: Vec<(String, ServableModel)>,
+        config: ServeConfig,
+    ) -> Result<PredictionServer, String> {
         let config = ServeConfig {
             shards: config.shards.max(1),
             ..config
         };
-        let slot = Arc::new(ModelSlot::new(model));
+        let default_id = match models.first() {
+            Some((id, _)) => id.clone(),
+            None => return Err("at least one model is required".to_string()),
+        };
+        let mut map: HashMap<String, Arc<ModelEntry>> = HashMap::with_capacity(models.len());
+        let mut next_uid = 0u64;
+        for (id, model) in models {
+            validate_model_id(&id)?;
+            let entry = Arc::new(ModelEntry {
+                id: id.clone(),
+                uid: next_uid,
+                slot: ModelSlot::new(model),
+                path: Mutex::new(None),
+                reload_lock: Mutex::new(()),
+                counters: ModelCounters::default(),
+            });
+            next_uid += 1;
+            if map.insert(id.clone(), entry).is_some() {
+                return Err(format!("duplicate model id {id:?}"));
+            }
+        }
+        let default_entry = map[&default_id].clone();
+        let registry = Arc::new(Registry {
+            models: RwLock::new(map),
+            membership: AtomicU64::new(0),
+        });
         let stats = Arc::new(ServerStats {
             per_shard: (0..config.shards).map(|_| AtomicU64::new(0)).collect(),
             ..ServerStats::default()
@@ -201,26 +444,26 @@ impl PredictionServer {
                 max_batch: config.max_batch.max(1),
                 default_top: config.default_top,
             };
-            let slot = slot.clone();
+            let registry = registry.clone();
             let stats = stats.clone();
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("gps-serve-shard-{index}"))
-                    .spawn(move || run_shard(slot, stats, shard_config, rx))
+                    .spawn(move || run_shard(registry, stats, shard_config, rx))
                     .expect("spawn shard worker"),
             );
             shards.push(ShardHandle { sender: tx });
         }
-        PredictionServer {
-            slot,
-            model_path: Mutex::new(None),
-            reload_lock: Mutex::new(()),
+        Ok(PredictionServer {
+            registry,
+            default_entry,
+            next_uid: AtomicU64::new(next_uid),
             shards,
             workers,
             stats,
             started: Instant::now(),
             config,
-        }
+        })
     }
 
     /// Convenience: start with defaults.
@@ -232,74 +475,224 @@ impl PredictionServer {
         &self.config
     }
 
-    /// The currently published model. Holders keep the epoch they grabbed
-    /// alive; re-call to observe a reload.
+    /// The id the id-less API routes to (the first registered model).
+    pub fn default_model_id(&self) -> &str {
+        &self.default_entry.id
+    }
+
+    /// Every registered model id, sorted.
+    pub fn model_ids(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self
+            .registry
+            .models
+            .read()
+            .expect("registry lock")
+            .keys()
+            .cloned()
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    pub fn has_model(&self, id: &str) -> bool {
+        self.registry.get(id).is_some()
+    }
+
+    fn entry(&self, id: &str) -> Result<Arc<ModelEntry>, String> {
+        self.registry
+            .get(id)
+            .ok_or_else(|| format!("unknown model {id:?}"))
+    }
+
+    /// The currently published default model. Holders keep the epoch they
+    /// grabbed alive; re-call to observe a reload.
     pub fn model(&self) -> Arc<ServableModel> {
-        self.slot.current()
+        self.default_entry.current()
     }
 
-    /// The model generation: 0 at start, +1 per completed reload.
+    /// The currently published model registered under `id`.
+    pub fn model_of(&self, id: &str) -> Result<Arc<ServableModel>, String> {
+        Ok(self.entry(id)?.current())
+    }
+
+    /// The default model's generation: 0 at start, +1 per completed
+    /// reload of that model.
     pub fn generation(&self) -> u64 {
-        self.slot.generation()
+        self.default_entry.generation()
     }
 
-    /// Record where the served snapshot lives on disk (the default source
-    /// for [`reload_from_disk`](Self::reload_from_disk) and the file
-    /// watcher).
+    pub fn generation_of(&self, id: &str) -> Result<u64, String> {
+        Ok(self.entry(id)?.generation())
+    }
+
+    /// Record where the default model's snapshot lives on disk (the
+    /// default source for [`reload_from_disk`](Self::reload_from_disk)
+    /// and the file watcher).
     pub fn set_model_path(&self, path: impl Into<PathBuf>) {
-        *self.model_path.lock().expect("model path lock") = Some(path.into());
+        self.default_entry.set_path(path);
     }
 
     pub fn model_path(&self) -> Option<PathBuf> {
-        self.model_path.lock().expect("model path lock").clone()
+        self.default_entry.path()
     }
 
-    /// Publish a new model with zero downtime and return the new
-    /// generation. In-flight queries finish on the model their shard
-    /// already holds; each shard picks up the new model (and drops its
-    /// now-stale answer cache) at its next wakeup — workers are nudged,
-    /// so even a shard receiving no traffic releases the old model
-    /// promptly instead of pinning it until its next query.
+    pub fn set_model_path_of(&self, id: &str, path: impl Into<PathBuf>) -> Result<(), String> {
+        self.entry(id)?.set_path(path);
+        Ok(())
+    }
+
+    pub fn model_path_of(&self, id: &str) -> Result<Option<PathBuf>, String> {
+        Ok(self.entry(id)?.path())
+    }
+
+    /// Register a new model under `id`, optionally recording the snapshot
+    /// path it came from. Fails on an invalid or already-registered id —
+    /// replacing an existing model is what
+    /// [`reload_model`](Self::reload_model) is for.
+    pub fn load_model(
+        &self,
+        id: &str,
+        model: ServableModel,
+        path: Option<PathBuf>,
+    ) -> Result<(), String> {
+        validate_model_id(id)?;
+        let entry = Arc::new(ModelEntry {
+            id: id.to_string(),
+            uid: self.next_uid.fetch_add(1, Ordering::Relaxed),
+            slot: ModelSlot::new(model),
+            path: Mutex::new(path),
+            reload_lock: Mutex::new(()),
+            counters: ModelCounters::default(),
+        });
+        let mut models = self.registry.models.write().expect("registry lock");
+        if models.contains_key(id) {
+            return Err(format!("model {id:?} is already loaded (use reload)"));
+        }
+        models.insert(id.to_string(), entry);
+        self.registry.membership.fetch_add(1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Load a snapshot file and register it under `id`. The file is fully
+    /// loaded and verified before the registry changes — a bad file
+    /// leaves the registry untouched.
+    pub fn load_model_from_disk(
+        &self,
+        id: &str,
+        path: &Path,
+    ) -> Result<Arc<ServableModel>, String> {
+        validate_model_id(id)?;
+        let snapshot =
+            ModelSnapshot::load_serving(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let model = ServableModel::from_snapshot(snapshot);
+        self.load_model(id, model, Some(path.to_path_buf()))?;
+        self.model_of(id)
+    }
+
+    /// Remove `id` from the registry. In-flight queries against it finish
+    /// normally on the epoch their shard already picked up; subsequent
+    /// lookups fail with an unknown-model error. The default model cannot
+    /// be unloaded — id-less callers must always have somewhere to land.
+    pub fn unload_model(&self, id: &str) -> Result<(), String> {
+        if id == self.default_entry.id {
+            return Err(format!("cannot unload the default model {id:?}"));
+        }
+        let removed = {
+            let mut models = self.registry.models.write().expect("registry lock");
+            models.remove(id)
+        };
+        if removed.is_none() {
+            return Err(format!("unknown model {id:?}"));
+        }
+        self.registry.membership.fetch_add(1, Ordering::Release);
+        // Nudge idle shards so they prune the unloaded epoch promptly
+        // instead of pinning its memory until their next query.
+        self.nudge(None);
+        Ok(())
+    }
+
+    /// Publish a new model under the default id with zero downtime and
+    /// return the new generation. In-flight queries finish on the epoch
+    /// their shard already holds; each shard picks up the new model at
+    /// its next job for this id. Other models' cache entries are
+    /// untouched (cache keys embed the generation).
     pub fn reload(&self, model: ServableModel) -> u64 {
-        let _guard = self.reload_lock.lock().expect("reload lock");
-        self.publish(Arc::new(model))
+        self.reload_entry(&self.default_entry, model)
     }
 
-    /// [`reload`](Self::reload)'s unlocked core; callers hold
-    /// `reload_lock`.
-    fn publish(&self, model: Arc<ServableModel>) -> u64 {
-        let generation = self.slot.publish(model);
+    /// [`reload`](Self::reload) for an arbitrary registered id.
+    pub fn reload_model(&self, id: &str, model: ServableModel) -> Result<u64, String> {
+        Ok(self.reload_entry(&self.entry(id)?, model))
+    }
+
+    fn reload_entry(&self, entry: &Arc<ModelEntry>, model: ServableModel) -> u64 {
+        let _guard = entry.reload_lock.lock().expect("reload lock");
+        self.publish(entry, Arc::new(model))
+    }
+
+    /// The unlocked publish core; callers hold the entry's `reload_lock`.
+    fn publish(&self, entry: &Arc<ModelEntry>, model: Arc<ServableModel>) -> u64 {
+        let generation = entry.slot.publish(model);
         self.stats.reloads.fetch_add(1, Ordering::Relaxed);
-        // Wake every shard with an empty job so idle shards swap (and
-        // free) the old epoch without waiting for traffic. A full queue
-        // means the shard is about to wake anyway — skip it.
+        entry.counters.reloads.fetch_add(1, Ordering::Relaxed);
+        // Wake every shard with an empty job naming this entry, so idle
+        // shards swap (and free) the old epoch without waiting for
+        // traffic. A full queue means the shard is about to wake anyway —
+        // skip it.
+        self.nudge(Some(entry.clone()));
+        generation
+    }
+
+    /// Send an empty job to every shard: queries: none, model: `entry` (a
+    /// reload nudge — refresh that epoch) or `None` (a membership nudge —
+    /// prune unloaded epochs).
+    fn nudge(&self, entry: Option<Arc<ModelEntry>>) {
         for shard in &self.shards {
             let (reply, _) = mpsc::channel();
             let _ = shard.sender.try_send(Job {
+                model: entry.clone(),
                 queries: Vec::new(),
                 reply,
                 tag: 0,
                 enqueued: Instant::now(),
             });
         }
-        generation
     }
 
-    /// Reload from a snapshot file: `path` if given, else the recorded
-    /// model path. The snapshot is fully loaded and verified *before*
-    /// anything is published — a bad file leaves the old model serving.
-    /// On success the recorded model path is updated to the source used,
-    /// and the returned model is exactly the one this call published
-    /// under the returned generation (concurrent reloads serialize).
+    /// Reload the default model from a snapshot file: `path` if given,
+    /// else its recorded path. The snapshot is fully loaded and verified
+    /// *before* anything is published — a bad file leaves the old model
+    /// serving. On success the recorded path is updated to the source
+    /// used, and the returned model is exactly the one this call
+    /// published under the returned generation (concurrent reloads
+    /// serialize per model).
     pub fn reload_from_disk(
         &self,
         path: Option<&Path>,
     ) -> Result<(u64, Arc<ServableModel>), String> {
+        self.reload_entry_from_disk(self.default_entry.clone(), path)
+    }
+
+    /// [`reload_from_disk`](Self::reload_from_disk) for an arbitrary
+    /// registered id.
+    pub fn reload_model_from_disk(
+        &self,
+        id: &str,
+        path: Option<&Path>,
+    ) -> Result<(u64, Arc<ServableModel>), String> {
+        self.reload_entry_from_disk(self.entry(id)?, path)
+    }
+
+    fn reload_entry_from_disk(
+        &self,
+        entry: Arc<ModelEntry>,
+        path: Option<&Path>,
+    ) -> Result<(u64, Arc<ServableModel>), String> {
         let source = match path {
             Some(p) => p.to_path_buf(),
-            None => self
-                .model_path()
-                .ok_or("no model path recorded and none supplied")?,
+            None => entry
+                .path()
+                .ok_or_else(|| format!("no snapshot path recorded for model {:?}", entry.id))?,
         };
         // Load outside the lock (it is the expensive part); publish and
         // the path update inside it, so generation, served model, and
@@ -307,9 +700,9 @@ impl PredictionServer {
         let snapshot = ModelSnapshot::load_serving(&source)
             .map_err(|e| format!("{}: {e}", source.display()))?;
         let model = Arc::new(ServableModel::from_snapshot(snapshot));
-        let _guard = self.reload_lock.lock().expect("reload lock");
-        let generation = self.publish(model.clone());
-        self.set_model_path(source);
+        let _guard = entry.reload_lock.lock().expect("reload lock");
+        let generation = self.publish(&entry, model.clone());
+        entry.set_path(source);
         Ok((generation, model))
     }
 
@@ -323,11 +716,22 @@ impl PredictionServer {
         (h >> 32) as usize % self.shards.len()
     }
 
-    /// Answer one query (blocks until the owning shard replies).
+    /// Answer one query on the default model (blocks until the owning
+    /// shard replies).
     pub fn predict(&self, query: Query) -> Arc<Ranked> {
+        self.predict_entry(self.default_entry.clone(), query)
+    }
+
+    /// Answer one query on the model registered under `id`.
+    pub fn predict_for(&self, id: &str, query: Query) -> Result<Arc<Ranked>, String> {
+        Ok(self.predict_entry(self.entry(id)?, query))
+    }
+
+    fn predict_entry(&self, entry: Arc<ModelEntry>, query: Query) -> Arc<Ranked> {
         let shard = self.shard_of(query.ip);
         let (reply_tx, reply_rx) = mpsc::channel();
         let job = Job {
+            model: Some(entry),
             queries: vec![query],
             reply: reply_tx,
             tag: 0,
@@ -341,9 +745,22 @@ impl PredictionServer {
         answers.pop().expect("one answer per query")
     }
 
-    /// Answer a batch, preserving input order. Queries are partitioned by
-    /// owning shard and serviced concurrently.
+    /// Answer a batch on the default model, preserving input order.
+    /// Queries are partitioned by owning shard and serviced concurrently.
     pub fn predict_batch(&self, queries: Vec<Query>) -> Vec<Arc<Ranked>> {
+        self.predict_batch_entry(self.default_entry.clone(), queries)
+    }
+
+    /// Answer a batch on the model registered under `id`.
+    pub fn predict_batch_for(
+        &self,
+        id: &str,
+        queries: Vec<Query>,
+    ) -> Result<Vec<Arc<Ranked>>, String> {
+        Ok(self.predict_batch_entry(self.entry(id)?, queries))
+    }
+
+    fn predict_batch_entry(&self, entry: Arc<ModelEntry>, queries: Vec<Query>) -> Vec<Arc<Ranked>> {
         let n = queries.len();
         let mut by_shard: Vec<(Vec<usize>, Vec<Query>)> = (0..self.shards.len())
             .map(|_| (Vec::new(), Vec::new()))
@@ -360,6 +777,7 @@ impl PredictionServer {
                 continue;
             }
             let job = Job {
+                model: Some(entry.clone()),
                 queries: shard_queries,
                 reply: reply_tx.clone(),
                 tag: outstanding.len(),
@@ -387,10 +805,26 @@ impl PredictionServer {
             .collect()
     }
 
-    /// Consistent snapshot of the counters.
+    /// One model's counters and identity.
+    pub fn model_stats(&self, id: &str) -> Result<ModelStatsSnapshot, String> {
+        let entry = self.entry(id)?;
+        Ok(ModelStatsSnapshot::of(
+            &entry,
+            entry.uid == self.default_entry.uid,
+        ))
+    }
+
+    /// Consistent snapshot of the counters, including the per-model
+    /// breakdown (sorted by id).
     pub fn stats(&self) -> StatsSnapshot {
         let requests = self.stats.requests.load(Ordering::Relaxed);
         let total_ns = self.stats.latency_ns_total.load(Ordering::Relaxed);
+        let models = self
+            .registry
+            .entries()
+            .iter()
+            .map(|entry| ModelStatsSnapshot::of(entry, entry.uid == self.default_entry.uid))
+            .collect();
         StatsSnapshot {
             requests,
             cache_hits: self.stats.cache_hits.load(Ordering::Relaxed),
@@ -410,7 +844,8 @@ impl PredictionServer {
                 .collect(),
             uptime_secs: self.started.elapsed().as_secs_f64(),
             reloads: self.stats.reloads.load(Ordering::Relaxed),
-            generation: self.slot.generation(),
+            generation: self.default_entry.generation(),
+            models,
         }
     }
 
@@ -448,34 +883,76 @@ impl Drop for ReloadWatcher {
     }
 }
 
-/// The SIGHUP-style control path: poll the server's recorded snapshot
-/// file every `interval` and hot-reload when it changes on disk.
+/// What the watcher remembers about one snapshot file between polls.
+#[derive(Clone, Copy, PartialEq)]
+struct FileFingerprint {
+    mtime: SystemTime,
+    size: u64,
+    /// FNV-1a over the manifest header bytes
+    /// ([`gps_core::snapshot::header_fingerprint`]): a same-size overwrite
+    /// landing inside the filesystem's mtime granularity still changes the
+    /// manifest (its checksum field covers the body), so content changes
+    /// are never silently missed.
+    header: u64,
+}
+
+fn fingerprint_of(path: &Path) -> Option<FileFingerprint> {
+    let meta = std::fs::metadata(path).ok()?;
+    Some(FileFingerprint {
+        mtime: meta.modified().ok()?,
+        size: meta.len(),
+        header: header_fingerprint(path).ok()?,
+    })
+}
+
+/// Per-model poll state.
+struct WatchState {
+    path: PathBuf,
+    fingerprint: Option<FileFingerprint>,
+    generation: u64,
+}
+
+/// The SIGHUP-style control path: poll every registered model's recorded
+/// snapshot file every `interval` and hot-reload the one that changes on
+/// disk. Models loaded or unloaded while the watcher runs are picked up
+/// at the next poll; a model first seen is baselined against its current
+/// file state (the served model just came from it), not reloaded.
 ///
 /// Snapshot saves are write-then-rename, so a change is observed as a new
-/// (mtime, size) pair on a complete file — the watcher never reads a
-/// half-written artifact. A file that fails to load (checksum, version,
-/// io) is reported to stderr and *skipped*: the old model keeps serving,
-/// and the bad state is remembered so the error is not re-logged every
-/// poll until the file changes again.
+/// (mtime, size, header hash) triple on a complete file — the watcher
+/// never reads a half-written artifact. A file that fails to load
+/// (checksum, version, io) is reported to stderr and *skipped*: the old
+/// model keeps serving, and the bad state is remembered so the error is
+/// not re-logged every poll until the file changes again.
 ///
-/// Reloads through *other* control paths (the `reload` wire command)
-/// are detected via the server generation: when it moves, the watcher
-/// re-baselines its fingerprint instead of re-loading a snapshot the
-/// server already picked up — a wire reload followed by a poll must not
-/// double-bump the generation.
+/// Reloads through *other* control paths (the `reload` wire command) are
+/// detected via each model's generation: when it moves, the watcher
+/// re-baselines that model's fingerprint instead of re-loading a snapshot
+/// the server already picked up — a wire reload followed by a poll must
+/// not double-bump the generation.
 pub fn watch_snapshot_file(server: Arc<PredictionServer>, interval: Duration) -> ReloadWatcher {
     let stop = Arc::new(AtomicBool::new(false));
     let stop_flag = stop.clone();
     let thread = std::thread::Builder::new()
         .name("gps-serve-reload-watch".to_string())
         .spawn(move || {
-            let fingerprint = |path: &Path| -> Option<(SystemTime, u64)> {
-                let meta = std::fs::metadata(path).ok()?;
-                Some((meta.modified().ok()?, meta.len()))
-            };
-            let mut last_path = server.model_path();
-            let mut last = last_path.as_deref().and_then(&fingerprint);
-            let mut last_generation = server.generation();
+            let mut states: HashMap<String, WatchState> = HashMap::new();
+            // Baseline every model registered at start.
+            for id in server.model_ids() {
+                if let (Ok(Some(path)), Ok(generation)) =
+                    (server.model_path_of(&id), server.generation_of(&id))
+                {
+                    let fingerprint = fingerprint_of(&path);
+                    states.insert(
+                        id,
+                        WatchState {
+                            path,
+                            fingerprint,
+                            generation,
+                        },
+                    );
+                }
+            }
             while !stop_flag.load(Ordering::Acquire) {
                 // Sleep in short slices so drop/stop is prompt even with a
                 // long poll interval.
@@ -488,41 +965,69 @@ pub fn watch_snapshot_file(server: Arc<PredictionServer>, interval: Duration) ->
                 if stop_flag.load(Ordering::Acquire) {
                     return;
                 }
-                let Some(path) = server.model_path() else {
-                    continue;
-                };
-                let generation = server.generation();
-                if generation != last_generation || Some(&path) != last_path.as_ref() {
-                    // Someone else reloaded (wire command, possibly onto a
-                    // new path). The on-disk state is what the server now
-                    // serves: re-baseline, don't reload it again.
-                    last = fingerprint(&path);
-                    last_path = Some(path);
-                    last_generation = generation;
-                    continue;
-                }
-                let seen = fingerprint(&path);
-                if seen.is_none() || seen == last {
-                    continue;
-                }
-                if server.generation() != last_generation {
-                    // A reload raced in after the generation check above;
-                    // treat the observed file state as already served.
-                    last = seen;
-                    last_generation = server.generation();
-                    continue;
-                }
-                match server.reload_from_disk(Some(&path)) {
-                    Ok((generation, _)) => {
-                        eprintln!("reloaded {} -> generation {generation}", path.display());
-                        last_generation = generation;
+                let ids = server.model_ids();
+                states.retain(|id, _| ids.contains(id));
+                for id in ids {
+                    let Ok(Some(path)) = server.model_path_of(&id) else {
+                        continue;
+                    };
+                    let Ok(generation) = server.generation_of(&id) else {
+                        continue; // unloaded between the listing and here
+                    };
+                    let Some(state) = states.get_mut(&id) else {
+                        // Newly registered model: its served epoch came
+                        // from the file as it is now — baseline it.
+                        states.insert(
+                            id,
+                            WatchState {
+                                fingerprint: fingerprint_of(&path),
+                                path,
+                                generation,
+                            },
+                        );
+                        continue;
+                    };
+                    if generation != state.generation || path != state.path {
+                        // Someone else reloaded this model (wire command,
+                        // possibly onto a new path). The on-disk state is
+                        // what the server now serves: re-baseline, don't
+                        // reload it again.
+                        state.fingerprint = fingerprint_of(&path);
+                        state.path = path;
+                        state.generation = generation;
+                        continue;
                     }
-                    Err(e) => eprintln!(
-                        "reload of {} failed (still serving old model): {e}",
-                        path.display()
-                    ),
+                    let seen = fingerprint_of(&path);
+                    if seen.is_none() || seen == state.fingerprint {
+                        continue;
+                    }
+                    match server.generation_of(&id) {
+                        Ok(g) if g == state.generation => {}
+                        // A reload raced in after the check above (or the
+                        // model was unloaded); treat the observed file
+                        // state as already handled.
+                        Ok(g) => {
+                            state.fingerprint = seen;
+                            state.generation = g;
+                            continue;
+                        }
+                        Err(_) => continue,
+                    }
+                    match server.reload_model_from_disk(&id, Some(&path)) {
+                        Ok((generation, _)) => {
+                            eprintln!(
+                                "reloaded model {id:?} from {} -> generation {generation}",
+                                path.display()
+                            );
+                            state.generation = generation;
+                        }
+                        Err(e) => eprintln!(
+                            "reload of model {id:?} from {} failed (still serving old model): {e}",
+                            path.display()
+                        ),
+                    }
+                    state.fingerprint = seen;
                 }
-                last = seen;
             }
         })
         .expect("spawn reload watcher");
@@ -531,7 +1036,6 @@ pub fn watch_snapshot_file(server: Arc<PredictionServer>, interval: Duration) ->
         thread: Some(thread),
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -778,8 +1282,8 @@ mod tests {
     fn watcher_reloads_when_file_changes() {
         use gps_core::snapshot::ModelSnapshot;
         // Build two tiny snapshots that differ in their rules.
-        let dir = std::env::temp_dir();
-        let path = dir.join(format!("gps_watch_unit_{}.gpsb", std::process::id()));
+        let dir = gps_types::testutil::TestDir::new("watch-unit");
+        let path = dir.path("model.gpsb");
         let make = |target: u16| {
             let mut rules: HashMap<gps_core::CondKey, Vec<(Port, f64)>> = HashMap::new();
             rules.insert(gps_core::CondKey::Port(Port(80)), vec![(Port(target), 0.9)]);
@@ -840,7 +1344,7 @@ mod tests {
         // switching to a different snapshot file) must NOT be repeated by
         // the watcher: it re-baselines on the generation/path move
         // instead of re-loading what the server already serves.
-        let path2 = dir.join(format!("gps_watch_unit_{}_v2.gpsb", std::process::id()));
+        let path2 = dir.path("model-v2.gpsb");
         make(1234).save_binary(&path2).unwrap();
         assert_eq!(server.reload_from_disk(Some(&path2)).unwrap().0, 2);
         std::thread::sleep(Duration::from_millis(150));
@@ -850,8 +1354,230 @@ mod tests {
             "watcher must not double-reload a snapshot another path already served"
         );
         drop(watcher);
-        std::fs::remove_file(&path).ok();
-        std::fs::remove_file(&path2).ok();
+    }
+
+    #[test]
+    fn registry_serves_models_independently() {
+        let server = PredictionServer::start_named(
+            vec![("a".to_string(), model()), ("b".to_string(), model_v2())],
+            ServeConfig {
+                shards: 2,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(server.default_model_id(), "a");
+        assert_eq!(server.model_ids(), vec!["a".to_string(), "b".to_string()]);
+        let query = || Query::new(Ip::from_octets(10, 0, 3, 4)).with_open([80]);
+        // Same query, different answers per model; id-less routes to "a".
+        assert_eq!(
+            server.predict_for("a", query()).unwrap()[0],
+            (Port(443), 0.9)
+        );
+        assert_eq!(
+            server.predict_for("b", query()).unwrap()[0],
+            (Port(8443), 0.7)
+        );
+        assert_eq!(server.predict(query())[0], (Port(443), 0.9));
+        assert!(server
+            .predict_for("nope", query())
+            .unwrap_err()
+            .contains("unknown model"));
+        // Batches too.
+        let batch = server
+            .predict_batch_for("b", vec![query(), query()])
+            .unwrap();
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0][0], (Port(8443), 0.7));
+        // Per-model counters attribute the traffic correctly: "a" saw 2
+        // requests (1 explicit + 1 id-less), "b" saw 3 (1 + batch of 2).
+        let stats = server.stats();
+        assert_eq!(stats.models.len(), 2);
+        let of = |id: &str| stats.models.iter().find(|m| m.id == id).unwrap().clone();
+        assert_eq!(of("a").requests, 2);
+        assert_eq!(of("b").requests, 3);
+        assert!(of("a").is_default);
+        assert!(!of("b").is_default);
+        assert_eq!(stats.requests, 5, "global counters still see everything");
+        server.shutdown();
+    }
+
+    #[test]
+    fn start_named_rejects_bad_registries() {
+        assert!(PredictionServer::start_named(Vec::new(), ServeConfig::default()).is_err());
+        assert!(PredictionServer::start_named(
+            vec![("a".to_string(), model()), ("a".to_string(), model_v2())],
+            ServeConfig::default(),
+        )
+        .is_err());
+        assert!(PredictionServer::start_named(
+            vec![("bad id!".to_string(), model())],
+            ServeConfig::default(),
+        )
+        .is_err());
+        assert!(validate_model_id("quick-2026.07.25_v2").is_ok());
+        assert!(validate_model_id("").is_err());
+        assert!(validate_model_id("a=b").is_err());
+        assert!(validate_model_id(&"x".repeat(MAX_MODEL_ID_LEN + 1)).is_err());
+    }
+
+    #[test]
+    fn reloading_one_model_keeps_other_models_cached_answers() {
+        let server = PredictionServer::start_named(
+            vec![("a".to_string(), model()), ("b".to_string(), model_v2())],
+            ServeConfig {
+                shards: 2,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let query = || Query::new(Ip::from_octets(10, 0, 3, 4)).with_open([80]);
+        // Warm both models' caches.
+        let warm_b = server.predict_for("b", query()).unwrap();
+        server.predict_for("a", query()).unwrap();
+        assert_eq!(server.predict_for("b", query()).unwrap(), warm_b);
+        let hits_before = server.model_stats("b").unwrap().cache_hits;
+        assert!(hits_before >= 1);
+
+        // Reload A; B's hot entries must survive (no cache clear), so the
+        // next identical B query is *still a hit* and bit-identical.
+        server.reload_model("a", model_v2()).unwrap();
+        assert_eq!(server.generation_of("a").unwrap(), 1);
+        assert_eq!(server.generation_of("b").unwrap(), 0);
+        assert_eq!(server.predict_for("b", query()).unwrap(), warm_b);
+        let b = server.model_stats("b").unwrap();
+        assert_eq!(
+            b.cache_hits,
+            hits_before + 1,
+            "B's cached answer survived A's reload"
+        );
+        assert_eq!(b.cache_misses, 1, "B never recomputed");
+        // And A now answers from its new epoch.
+        assert_eq!(
+            server.predict_for("a", query()).unwrap()[0],
+            (Port(8443), 0.7)
+        );
+        assert_eq!(server.stats().reloads, 1);
+        assert_eq!(server.model_stats("a").unwrap().reloads, 1);
+        assert_eq!(server.model_stats("b").unwrap().reloads, 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn load_and_unload_models_at_runtime() {
+        let server = PredictionServer::start(
+            model(),
+            ServeConfig {
+                shards: 2,
+                ..ServeConfig::default()
+            },
+        );
+        let query = || Query::new(Ip::from_octets(10, 0, 3, 4)).with_open([80]);
+        server.load_model("extra", model_v2(), None).unwrap();
+        assert_eq!(
+            server.model_ids(),
+            vec![DEFAULT_MODEL_ID.to_string(), "extra".to_string()]
+        );
+        assert_eq!(
+            server.predict_for("extra", query()).unwrap()[0],
+            (Port(8443), 0.7)
+        );
+        // Double-load of a live id is an error (reload is the replace path).
+        assert!(server
+            .load_model("extra", model_v2(), None)
+            .unwrap_err()
+            .contains("already loaded"));
+        // Unload: subsequent lookups fail, the default keeps serving.
+        server.unload_model("extra").unwrap();
+        assert!(server.predict_for("extra", query()).is_err());
+        assert_eq!(server.predict(query())[0], (Port(443), 0.9));
+        assert!(server.unload_model("extra").is_err(), "already gone");
+        assert!(
+            server.unload_model(DEFAULT_MODEL_ID).is_err(),
+            "the default model must not be unloadable"
+        );
+        // Re-loading the freed id works and serves fresh state.
+        server.load_model("extra", model(), None).unwrap();
+        assert_eq!(
+            server.predict_for("extra", query()).unwrap()[0],
+            (Port(443), 0.9)
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn watcher_tracks_every_registered_model() {
+        use gps_core::snapshot::ModelSnapshot;
+        let dir = gps_types::testutil::TestDir::new("watch-multi");
+        let make = |target: u16| {
+            let mut rules: HashMap<gps_core::CondKey, Vec<(Port, f64)>> = HashMap::new();
+            rules.insert(gps_core::CondKey::Port(Port(80)), vec![(Port(target), 0.9)]);
+            gps_core::ModelSnapshot {
+                manifest: ModelManifest {
+                    format: (FORMAT_MAJOR, FORMAT_MINOR),
+                    universe_seed: 0,
+                    dataset_name: format!("watch-{target}"),
+                    step_prefix: 16,
+                    min_prob: 1e-5,
+                    interactions: Interactions::ALL,
+                    net_features: vec![NetFeature::Slash(16)],
+                    hosts_in: 0,
+                    distinct_keys: 0,
+                    cooccur_entries: 0,
+                    num_rules: 1,
+                    num_priors: 1,
+                    checksum: 0,
+                },
+                model: CondModel::from_parts(HashMap::new(), Interactions::ALL),
+                rules: FeatureRules::from_parts(rules),
+                priors: vec![PriorsEntry {
+                    port: Port(22),
+                    subnet: Subnet::of_ip(Ip::from_octets(10, 0, 0, 0), 16),
+                    coverage: 4,
+                }],
+            }
+        };
+        let path_a = dir.path("a.gpsb");
+        let path_b = dir.path("b.gpsb");
+        make(443).save_binary(&path_a).unwrap();
+        make(9000).save_binary(&path_b).unwrap();
+        let load = |p: &std::path::Path| {
+            ServableModel::from_snapshot(ModelSnapshot::load_serving(p).unwrap())
+        };
+        let server = Arc::new(
+            PredictionServer::start_named(
+                vec![
+                    ("a".to_string(), load(&path_a)),
+                    ("b".to_string(), load(&path_b)),
+                ],
+                ServeConfig {
+                    shards: 2,
+                    ..ServeConfig::default()
+                },
+            )
+            .unwrap(),
+        );
+        server.set_model_path_of("a", &path_a).unwrap();
+        server.set_model_path_of("b", &path_b).unwrap();
+        let watcher = watch_snapshot_file(server.clone(), Duration::from_millis(10));
+
+        // Replace only B's file; the watcher must reload B and leave A
+        // alone.
+        std::thread::sleep(Duration::from_millis(30));
+        make(9999).save_binary(&path_b).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while server.generation_of("b").unwrap() == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(server.generation_of("b").unwrap(), 1, "B reloaded");
+        assert_eq!(server.generation_of("a").unwrap(), 0, "A untouched");
+        let warm = Query::new(Ip::from_octets(10, 0, 0, 1)).with_open([80]);
+        assert_eq!(
+            server.predict_for("b", warm.clone()).unwrap()[0].0,
+            Port(9999)
+        );
+        assert_eq!(server.predict_for("a", warm).unwrap()[0].0, Port(443));
+        drop(watcher);
     }
 
     #[test]

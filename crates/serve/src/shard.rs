@@ -10,20 +10,31 @@
 //! pull whatever else is already queued (up to `max_batch`) and service
 //! the whole batch before replying. Batching amortizes per-wakeup costs
 //! and keeps the cache hot across adjacent requests in a burst.
+//!
+//! One cache serves every registered model: keys embed the model's
+//! registry uid *and* its generation, so a hot reload of one model never
+//! evicts another model's entries (nor even its own — the old
+//! generation's keys just become unreachable and age out of the LRU).
 
+use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{Receiver, Sender, SyncSender, TryRecvError};
 use std::sync::Arc;
 use std::time::Instant;
 
-use crate::artifact::{Query, Ranked};
+use crate::artifact::{Query, Ranked, ServableModel};
 use crate::cache::LruCache;
-use crate::server::{ModelSlot, ServerStats};
+use crate::server::{ModelEntry, Registry, ServerStats};
 use gps_types::Subnet;
 
 /// Cache key: everything a prediction depends on, at subnet granularity.
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub(crate) struct CacheKey {
+    /// Registry uid of the model that computed the answer.
+    model_uid: u64,
+    /// That model's generation at compute time — a reload retires keys
+    /// instead of clearing the cache.
+    generation: u64,
     /// Base of the query IP's subnet at the model's finest relevant prefix.
     subnet_base: u32,
     open: Vec<u16>,
@@ -31,10 +42,13 @@ pub(crate) struct CacheKey {
     top: usize,
 }
 
-/// A unit of shard work: one or more queries plus the reply channel. The
-/// `tag` is echoed back so a caller fanning one batch across shards can
-/// match replies to sub-batches.
+/// A unit of shard work: the model to answer with, one or more queries,
+/// and the reply channel. The `tag` is echoed back so a caller fanning
+/// one batch across shards can match replies to sub-batches. A query-less
+/// job is a nudge: `model: Some(..)` after a reload (refresh that epoch),
+/// `model: None` after an unload (prune via the membership check).
 pub(crate) struct Job {
+    pub model: Option<Arc<ModelEntry>>,
     pub queries: Vec<Query>,
     pub reply: Sender<(usize, Vec<Arc<Ranked>>)>,
     pub tag: usize,
@@ -48,35 +62,37 @@ pub(crate) struct ShardConfig {
     pub default_top: usize,
 }
 
+/// The worker's local copy of one model's epoch: refreshed whenever the
+/// entry's generation moves past the one recorded here.
+struct LocalEpoch {
+    generation: u64,
+    model: Arc<ServableModel>,
+    cache_prefix: u8,
+}
+
 /// The worker loop: runs until every [`SyncSender`] for the channel drops.
 ///
-/// The model is read through the server's epoch slot: the worker keeps a
-/// local `Arc` clone plus the generation it was published under, and
-/// checks the generation once per wakeup. On a bump it swaps to the new
-/// model and clears its answer cache (and the cache-key prefix, which is
-/// a property of the model). Jobs already drained into the current batch
-/// are answered by whichever model the check selected — a reload never
-/// drops or fails a query.
+/// Models are read through the registry entries carried by each job: the
+/// worker keeps an `Arc` clone plus the generation it was published
+/// under, per model uid, and checks the generation once per job. On a
+/// bump it swaps to the new epoch; the answer cache needs no clearing
+/// because its keys embed (uid, generation). Jobs already drained into
+/// the current batch are answered by whichever epoch the check selected —
+/// a reload never drops or fails a query. When the registry's membership
+/// version moves (a model was unloaded), local epochs of departed uids
+/// are pruned so their memory is released.
 pub(crate) fn run_shard(
-    slot: Arc<ModelSlot>,
+    registry: Arc<Registry>,
     stats: Arc<ServerStats>,
     config: ShardConfig,
     rx: Receiver<Job>,
 ) {
-    let mut generation = slot.generation();
-    let mut model = slot.current();
-    let mut cache_prefix = model.cache_prefix();
+    let mut membership = registry.membership();
+    let mut epochs: HashMap<u64, LocalEpoch> = HashMap::new();
     let mut cache: LruCache<CacheKey, Arc<Ranked>> = LruCache::new(config.cache_capacity);
     let mut batch: Vec<Job> = Vec::with_capacity(config.max_batch);
 
     while let Ok(first) = rx.recv() {
-        let current_generation = slot.generation();
-        if current_generation != generation {
-            generation = current_generation;
-            model = slot.current();
-            cache_prefix = model.cache_prefix();
-            cache.clear();
-        }
         batch.push(first);
         while batch.len() < config.max_batch {
             match rx.try_recv() {
@@ -86,40 +102,81 @@ pub(crate) fn run_shard(
         }
         stats.batches.fetch_add(1, Ordering::Relaxed);
 
+        let current_membership = registry.membership();
+        if current_membership != membership {
+            membership = current_membership;
+            let live = registry.live_uids();
+            epochs.retain(|uid, _| live.contains(uid));
+        }
+
+        // Set when this batch (re)inserted an epoch: a job can carry the
+        // entry of a model whose unload — and the membership prune it
+        // triggered — already completed, and retaining such an epoch with
+        // no later membership bump to prune it would pin the dead model's
+        // memory for good. Re-checking liveness once after the batch
+        // closes that window (an unload racing the re-check bumps
+        // membership again, so the wakeup-time prune catches it).
+        let mut inserted_epoch = false;
+
         for job in batch.drain(..) {
-            let mut answers = Vec::with_capacity(job.queries.len());
-            for mut query in job.queries {
-                if query.top == 0 {
-                    query.top = config.default_top;
+            if let Some(entry) = &job.model {
+                let generation = entry.generation();
+                let stale = epochs
+                    .get(&entry.uid)
+                    .is_none_or(|epoch| epoch.generation != generation);
+                if stale {
+                    let model = entry.current();
+                    epochs.insert(
+                        entry.uid,
+                        LocalEpoch {
+                            generation,
+                            cache_prefix: model.cache_prefix(),
+                            model,
+                        },
+                    );
+                    inserted_epoch = true;
                 }
-                // Canonical evidence order so permutations share a slot.
-                query.open.sort_unstable();
-                query.open.dedup();
-                let key = CacheKey {
-                    subnet_base: Subnet::of_ip(query.ip, cache_prefix).base().0,
-                    open: query.open.iter().map(|p| p.0).collect(),
-                    asn: query.asn,
-                    top: query.top,
-                };
-                let answer = match cache.get(&key) {
-                    Some(hit) => {
-                        stats.cache_hits.fetch_add(1, Ordering::Relaxed);
-                        hit.clone()
+            }
+            let mut answers = Vec::with_capacity(job.queries.len());
+            if let Some(entry) = &job.model {
+                let epoch = &epochs[&entry.uid];
+                for mut query in job.queries {
+                    if query.top == 0 {
+                        query.top = config.default_top;
                     }
-                    None => {
-                        stats.cache_misses.fetch_add(1, Ordering::Relaxed);
-                        let computed = Arc::new(model.predict(&query));
-                        cache.insert(key, computed.clone());
-                        computed
-                    }
-                };
-                answers.push(answer);
+                    // Canonical evidence order so permutations share a slot.
+                    query.open.sort_unstable();
+                    query.open.dedup();
+                    let key = CacheKey {
+                        model_uid: entry.uid,
+                        generation: epoch.generation,
+                        subnet_base: Subnet::of_ip(query.ip, epoch.cache_prefix).base().0,
+                        open: query.open.iter().map(|p| p.0).collect(),
+                        asn: query.asn,
+                        top: query.top,
+                    };
+                    let answer = match cache.get(&key) {
+                        Some(hit) => {
+                            stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                            entry.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                            hit.clone()
+                        }
+                        None => {
+                            stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+                            entry.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+                            let computed = Arc::new(epoch.model.predict(&query));
+                            cache.insert(key, computed.clone());
+                            computed
+                        }
+                    };
+                    answers.push(answer);
+                }
             }
             let n = answers.len() as u64;
             // Counters are bumped before the reply so a caller that reads
             // stats right after its answer arrives sees itself counted.
-            // Query-less jobs (reload nudges) carry no requests and must
-            // not pollute the latency counters.
+            // Query-less jobs (reload/unload nudges) carry no requests and
+            // must not pollute the latency counters.
             if n > 0 {
                 let latency_ns = job.enqueued.elapsed().as_nanos() as u64;
                 stats.requests.fetch_add(n, Ordering::Relaxed);
@@ -130,11 +187,19 @@ pub(crate) fn run_shard(
                 stats
                     .latency_ns_max
                     .fetch_max(latency_ns, Ordering::Relaxed);
+                if let Some(entry) = &job.model {
+                    entry.counters.requests.fetch_add(n, Ordering::Relaxed);
+                }
             }
 
             // The requester may have given up (timeout); a dead reply
             // channel is not a shard error.
             let _ = job.reply.send((job.tag, answers));
+        }
+
+        if inserted_epoch {
+            let live = registry.live_uids();
+            epochs.retain(|uid, _| live.contains(uid));
         }
     }
 }

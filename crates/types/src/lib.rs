@@ -29,6 +29,7 @@ pub mod port;
 pub mod protocol;
 pub mod rng;
 pub mod subnet;
+pub mod testutil;
 
 pub use binary::{ByteReader, ByteWriter};
 pub use error::GpsError;

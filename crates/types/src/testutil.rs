@@ -1,0 +1,61 @@
+//! Test fixtures shared across the workspace's test suites.
+//!
+//! Compiled into the library (Rust has no cross-crate `#[cfg(test)]`
+//! visibility) but carrying no runtime state — nothing here is reachable
+//! from production code paths.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A per-test scratch directory with a unique name (label + pid +
+/// process-wide sequence), removed on drop. Fixed file names in
+/// `std::env::temp_dir()` are flaky under parallel `cargo test` and
+/// across concurrent CI jobs; the drop cleanup is panic-safe, so failing
+/// tests do not litter the temp dir.
+pub struct TestDir(PathBuf);
+
+impl TestDir {
+    pub fn new(label: &str) -> TestDir {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "gps-test-{label}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).expect("create test dir");
+        TestDir(dir)
+    }
+
+    /// The directory itself.
+    pub fn dir(&self) -> &Path {
+        &self.0
+    }
+
+    /// A file path inside the directory.
+    pub fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TestDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_dirs_are_unique_and_cleaned_up() {
+        let a = TestDir::new("unit");
+        let b = TestDir::new("unit");
+        assert_ne!(a.dir(), b.dir());
+        std::fs::write(a.path("x.txt"), b"x").unwrap();
+        let kept = a.dir().to_path_buf();
+        drop(a);
+        assert!(!kept.exists(), "dropped dir is removed with its contents");
+        assert!(b.dir().exists());
+    }
+}

@@ -7,7 +7,7 @@ use gps::core::metrics::{CoverageTracker, GroundTruth};
 use gps::core::{CondKey, CondModel, GpsConfig, Interactions, ModelSnapshot, NetFeature};
 use gps::engine::{Backend, ExecLedger};
 use gps::scan::{CyclicPermutation, ServiceObservation};
-use gps::serve::{Query, ServableModel};
+use gps::serve::{PredictionServer, Query, ServableModel, ServeConfig};
 use gps::types::rng::Rng;
 use gps::types::{Ip, Port, ServiceKey, Subnet, Sym};
 use proptest::prelude::*;
@@ -258,6 +258,125 @@ proptest! {
             "prefix of {cut} bytes must not load"
         );
     }
+
+    /// Per-model cache isolation across reloads: with models A and B
+    /// registered, warm B's shard caches over random queries, hot-reload
+    /// A, and require that (a) B's answers stay bit-identical to its
+    /// pre-reload answers and to the direct artifact lookup, and (b) B's
+    /// warmed entries are *still cache hits* — A's reload evicted zero of
+    /// B's entries (per-model hit/miss counters prove it).
+    #[test]
+    fn reloading_one_model_leaves_other_models_caches_intact(
+        ips in proptest::collection::vec(any::<u32>(), 40..41),
+        evidence_port in 1u16..2000,
+    ) {
+        let artifacts = served_artifacts();
+        let queries: Vec<Query> = ips
+            .into_iter()
+            .enumerate()
+            .map(|(i, ip)| {
+                let mut query = Query::new(Ip(ip));
+                query.top = 16;
+                if i % 3 == 0 {
+                    query.open = vec![Port(evidence_port), Port(80)];
+                }
+                query
+            })
+            .collect();
+        // B is the trained artifact (re-materialized from the shared GPSB
+        // bytes — `ServableModel` is not Clone); A is a tiny hand-built
+        // model that the reload visibly replaces.
+        let model_b = ServableModel::from_snapshot(
+            ModelSnapshot::from_binary_bytes(&artifacts.gpsb_bytes).expect("gpsb parses"),
+        );
+        let server = PredictionServer::start_named(
+            vec![
+                ("a".to_string(), tiny_model(443)),
+                ("b".to_string(), model_b),
+            ],
+            ServeConfig { shards: 2, ..ServeConfig::default() },
+        )
+        .expect("registry starts");
+
+        // Warm pass, then a verify pass that must be all hits.
+        let expected: Vec<_> = queries
+            .iter()
+            .map(|q| server.predict_for("b", q.clone()).expect("model b"))
+            .collect();
+        for (query, expected) in queries.iter().zip(&expected) {
+            prop_assert_eq!(
+                &artifacts.original.predict(query),
+                &**expected,
+                "served B equals the direct artifact lookup"
+            );
+        }
+        let warmed = server.model_stats("b").expect("b registered");
+        for (query, expected) in queries.iter().zip(&expected) {
+            prop_assert_eq!(&server.predict_for("b", query.clone()).unwrap(), expected);
+        }
+        let before = server.model_stats("b").expect("b registered");
+        prop_assert_eq!(
+            before.cache_hits,
+            warmed.cache_hits + queries.len() as u64,
+            "every warmed query is a hit"
+        );
+
+        // Hot-reload A; B must neither recompute nor change a bit.
+        server.reload_model("a", tiny_model(8443)).expect("reload a");
+        prop_assert_eq!(server.generation_of("a").unwrap(), 1);
+        prop_assert_eq!(
+            server
+                .predict_for("a", Query::new(Ip(1)).with_open([80]))
+                .unwrap()[0]
+                .0,
+            Port(8443),
+            "A really serves its new epoch"
+        );
+        for (query, expected) in queries.iter().zip(&expected) {
+            prop_assert_eq!(&server.predict_for("b", query.clone()).unwrap(), expected);
+        }
+        let after = server.model_stats("b").expect("b registered");
+        prop_assert_eq!(
+            after.cache_hits,
+            before.cache_hits + queries.len() as u64,
+            "A's reload evicted zero of B's cache entries"
+        );
+        prop_assert_eq!(after.cache_misses, before.cache_misses, "B never recomputed");
+        server.shutdown();
+    }
+}
+
+/// A minimal distinguishable model for the registry property: one rule
+/// (80 predicts `target`) and one priors entry.
+fn tiny_model(target: u16) -> ServableModel {
+    use gps::core::snapshot::{ModelManifest, FORMAT_MAJOR, FORMAT_MINOR};
+    let mut rules: std::collections::HashMap<CondKey, Vec<(Port, f64)>> =
+        std::collections::HashMap::new();
+    rules.insert(CondKey::Port(Port(80)), vec![(Port(target), 0.9)]);
+    ServableModel::from_snapshot(ModelSnapshot {
+        manifest: ModelManifest {
+            format: (FORMAT_MAJOR, FORMAT_MINOR),
+            universe_seed: 0,
+            dataset_name: format!("tiny-{target}"),
+            step_prefix: 16,
+            min_prob: 1e-5,
+            interactions: Interactions::ALL,
+            net_features: vec![NetFeature::Slash(16)],
+            hosts_in: 0,
+            distinct_keys: 0,
+            cooccur_entries: 0,
+            num_rules: 1,
+            num_priors: 1,
+            checksum: 0,
+        },
+        model: CondModel::from_parts(std::collections::HashMap::new(), Interactions::ALL),
+        rules: gps::core::FeatureRules::from_parts(rules),
+        priors: vec![gps::core::PriorsEntry {
+            port: Port(22),
+            subnet: Subnet::of_ip(Ip(0x0A00_0000), 16),
+            coverage: 4,
+        }],
+    })
 }
 
 #[test]

@@ -313,6 +313,193 @@ fn hot_reload_serves_new_model_with_zero_failed_queries() {
     std::fs::remove_file(&path_b).ok();
 }
 
+/// Multi-model serving end to end: one server holds two models trained on
+/// different universes, one TCP connection queries both by id (answers
+/// must match each artifact's direct predictions), the unknown-model
+/// error path echoes the request id, and models can be loaded/unloaded
+/// over the wire mid-connection.
+#[test]
+fn two_models_served_by_id_over_one_connection() {
+    let config = GpsConfig {
+        seed_fraction: 0.05,
+        step_prefix: 16,
+        ..GpsConfig::default()
+    };
+    let net_a = Internet::generate(&UniverseConfig::tiny(42));
+    let net_b = Internet::generate(&UniverseConfig::tiny(1234));
+    let snapshot_a = ModelSnapshot::from_run(
+        &run_gps(&net_a, &censys_dataset(&net_a, 200, 0.05, 0, 1), &config),
+        &config,
+        42,
+    );
+    let snapshot_b = ModelSnapshot::from_run(
+        &run_gps(&net_b, &censys_dataset(&net_b, 200, 0.05, 0, 1), &config),
+        &config,
+        1234,
+    );
+    let dir = std::env::temp_dir();
+    let path_b = dir.join(format!("gps_multimodel_e2e_b_{}.gpsb", std::process::id()));
+    snapshot_b.save_binary(&path_b).expect("export b");
+    let model_a = ServableModel::from_snapshot(snapshot_a.clone());
+    let model_b = ServableModel::from_snapshot(snapshot_b.clone());
+
+    let server = PredictionServer::start_named(
+        vec![
+            (
+                "alpha".to_string(),
+                ServableModel::from_snapshot(snapshot_a.clone()),
+            ),
+            (
+                "beta".to_string(),
+                ServableModel::from_snapshot(snapshot_b.clone()),
+            ),
+        ],
+        ServeConfig {
+            shards: 4,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("registry starts");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral port");
+    let addr = listener.local_addr().expect("local addr");
+    {
+        let server = Arc::new(server);
+        std::thread::spawn(move || gps::serve::serve_tcp(server, listener));
+    }
+
+    let mut client = Client::connect(addr).expect("connect");
+    let mut rng = Rng::new(0xD0D0);
+    let hosts_a = net_a.host_ips().to_vec();
+    let hosts_b = net_b.host_ips().to_vec();
+    for i in 0..120u32 {
+        let (id, reference, hosts) = if i % 2 == 0 {
+            ("alpha", &model_a, &hosts_a)
+        } else {
+            ("beta", &model_b, &hosts_b)
+        };
+        let ip = if rng.chance(0.6) {
+            Ip(hosts[rng.gen_range(hosts.len() as u64) as usize])
+        } else {
+            Ip(rng.next_u32())
+        };
+        let mut query = Query::new(ip);
+        if i % 3 == 0 {
+            query.open = vec![Port(443)];
+        }
+        query.top = 16;
+        // Interleaved on ONE connection: each id answers from its own
+        // artifact, bit-identically.
+        let served = client.predict_on(Some(id), &query).expect("predict by id");
+        assert_eq!(served, reference.predict(&query), "model {id}, {query:?}");
+        // An id-less frame means the default (first) model.
+        if i % 10 == 0 {
+            assert_eq!(
+                client.predict(&query).expect("default"),
+                model_a.predict(&query)
+            );
+        }
+    }
+    // Batches route by id too.
+    let batch: Vec<Query> = (0..30)
+        .map(|_| {
+            let mut q = Query::new(Ip(hosts_b[rng.gen_range(hosts_b.len() as u64) as usize]));
+            q.top = 8;
+            q
+        })
+        .collect();
+    for (query, answer) in batch.iter().zip(
+        client
+            .predict_batch_on(Some("beta"), &batch)
+            .expect("batch"),
+    ) {
+        assert_eq!(answer, model_b.predict(query));
+    }
+
+    // Unknown model: an error *reply* (connection stays usable), and the
+    // raw frame proves the request id is echoed on that error.
+    {
+        use gps::types::Json;
+        let err = client
+            .predict_on(Some("nope"), &Query::new(Ip(1)))
+            .expect_err("unknown model must fail");
+        assert!(err.to_string().contains("unknown model"), "{err}");
+        let stream = std::net::TcpStream::connect(addr).expect("raw connect");
+        let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = std::io::BufWriter::new(stream);
+        let mut raw = Json::obj();
+        raw.set("cmd", "predict")
+            .set("ip", "10.0.0.1")
+            .set("model", "nope")
+            .set("id", "req-77");
+        gps::serve::proto::write_frame(&mut writer, &raw).expect("write");
+        let response = gps::serve::proto::read_frame(&mut reader)
+            .expect("read")
+            .expect("frame");
+        assert_eq!(response.get("ok").and_then(Json::as_bool), Some(false));
+        assert!(response
+            .get("error")
+            .and_then(Json::as_str)
+            .is_some_and(|e| e.contains("unknown model")));
+        assert_eq!(
+            response.get("id").and_then(Json::as_str),
+            Some("req-77"),
+            "the unknown-model error must echo the request id"
+        );
+    }
+
+    // Wire-level registry admin: load a third model, query it, unload it.
+    let names = |models: &[gps::types::Json]| -> Vec<String> {
+        models
+            .iter()
+            .filter_map(|m| m.get("name").and_then(|j| j.as_str()).map(String::from))
+            .collect()
+    };
+    assert_eq!(
+        names(&client.list_models().expect("list")),
+        ["alpha", "beta"]
+    );
+    client
+        .load_model("gamma", path_b.to_string_lossy().as_ref())
+        .expect("wire load");
+    assert_eq!(
+        names(&client.list_models().expect("list")),
+        ["alpha", "beta", "gamma"]
+    );
+    let mut probe = Query::new(Ip(net_b.host_ips()[0]));
+    probe.top = 16;
+    assert_eq!(
+        client.predict_on(Some("gamma"), &probe).expect("gamma"),
+        model_b.predict(&probe)
+    );
+    assert!(
+        client
+            .load_model("gamma", path_b.to_string_lossy().as_ref())
+            .is_err(),
+        "double-load is an error"
+    );
+    assert!(client.unload_model("alpha").is_err(), "default is pinned");
+    client.unload_model("gamma").expect("wire unload");
+    assert!(client.predict_on(Some("gamma"), &probe).is_err());
+    assert_eq!(
+        names(&client.list_models().expect("list")),
+        ["alpha", "beta"]
+    );
+
+    // Per-model stats reached the wire: both ids served traffic.
+    let stats = client.stats().expect("stats");
+    let models = stats.get("models").expect("per-model stats");
+    for id in ["alpha", "beta"] {
+        let requests = models
+            .get(id)
+            .and_then(|m| m.get("requests"))
+            .and_then(|j| j.as_u64())
+            .unwrap_or(0);
+        assert!(requests > 0, "model {id} shows its traffic: {requests}");
+    }
+
+    std::fs::remove_file(&path_b).ok();
+}
+
 #[test]
 fn server_survives_malformed_frames() {
     let (_net, snapshot, path) = train_and_export();
