@@ -3,12 +3,28 @@
 //! Trains one or more models on quick universes, stands up a
 //! [`PredictionServer`] (a model registry when `--models > 1`), replays
 //! deterministic query traffic from client threads, and reports sustained
-//! throughput plus p50/p99 latency. Two transports:
+//! throughput plus p50/p99 latency. Transports:
 //!
 //! - `engine` (default): clients call the in-process server API — measures
 //!   the shard/cache/batching engine itself;
-//! - `tcp`: clients speak the length-prefixed JSON frame protocol to a
-//!   loopback listener — measures the full wire stack.
+//! - `--tcp`: clients speak the length-prefixed JSON frame protocol to a
+//!   loopback listener — measures the full wire stack, served by
+//!   `--transport threads` (default) or `--transport events`.
+//!
+//! **Connection-scaling mode** (`--connections N`): open N persistent
+//! connections (implies `--tcp`) and spread the request load across all
+//! of them round-robin — most connections are idle at any instant, which
+//! is exactly the C10K shape an LZR-style scanning fan-in produces. The
+//! run reports the server-side live-connection count alongside latency,
+//! so "sustains N concurrent connections at p99 X" is measured, not
+//! assumed. With `--connections 0` (default) each client thread keeps one
+//! connection busy, as before.
+//!
+//! With `--addr HOST:PORT` the traffic targets an **external** `gps
+//! serve` process instead (no training, no in-process server; queries
+//! use arbitrary deterministic IPs and the default model). CI's smoke
+//! job uses this to drive a thousand connections against a real
+//! `--transport events` server while hot-reloading it.
 //!
 //! With `--models N` (N > 1) each request targets one of N registered
 //! models (round-robin-ish by rng), each trained on its own universe and
@@ -19,23 +35,29 @@
 //! Usage: `cargo run --release -p gps-bench --bin loadgen -- [options]`
 //!
 //! ```text
-//! --shards N      server shards                    (default 8)
-//! --clients N     concurrent client threads        (default 8)
-//! --requests N    total requests                   (default 400000)
-//! --batch N       queries per batch request, 0=single (default 0)
-//! --subnets N     distinct query /16s per model, controls hit rate (default 64)
-//! --models N      registered models, mixed traffic (default 1)
-//! --warm          pre-touch every subnet before timing (default on)
-//! --no-warm       measure cold, misses included
-//! --tcp           use the TCP transport
-//! --seed N        universe seed (model i uses seed+i) (default 77)
+//! --shards N       server shards                    (default 8)
+//! --clients N      concurrent client threads        (default 8)
+//! --requests N     total requests                   (default 400000)
+//! --batch N        queries per batch request, 0=single (default 0)
+//! --subnets N      distinct query /16s per model, controls hit rate (default 64)
+//! --models N       registered models, mixed traffic (default 1)
+//! --warm           pre-touch every subnet before timing (default on)
+//! --no-warm        measure cold, misses included
+//! --tcp            use the TCP transport
+//! --transport T    TCP serving transport: threads | events (default threads)
+//! --connections N  open-loop mode: hold N connections, spread load (implies --tcp)
+//! --addr A         target an external server instead of self-hosting
+//! --seed N         universe seed (model i uses seed+i) (default 77)
 //! ```
 
+use std::net::SocketAddr;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use gps_core::{censys_dataset, run_gps, GpsConfig, ModelSnapshot};
-use gps_serve::{PredictionServer, Query, ServableModel, ServeConfig, DEFAULT_MODEL_ID};
+use gps_serve::{
+    PredictionServer, Query, ServableModel, ServeConfig, TransportConfig, DEFAULT_MODEL_ID,
+};
 use gps_synthnet::{Internet, UniverseConfig};
 use gps_types::rng::Rng;
 use gps_types::Ip;
@@ -49,6 +71,9 @@ struct Options {
     models: usize,
     warm: bool,
     tcp: bool,
+    transport: String,
+    connections: usize,
+    addr: Option<String>,
     seed: u64,
 }
 
@@ -63,6 +88,9 @@ impl Default for Options {
             models: 1,
             warm: true,
             tcp: false,
+            transport: "threads".to_string(),
+            connections: 0,
+            addr: None,
             seed: 77,
         }
     }
@@ -86,6 +114,9 @@ fn parse_options() -> Result<Options, String> {
             "--warm" => options.warm = true,
             "--no-warm" => options.warm = false,
             "--tcp" => options.tcp = true,
+            "--transport" => options.transport = value("--transport")?,
+            "--connections" => options.connections = num(&value("--connections")?)?,
+            "--addr" => options.addr = Some(value("--addr")?),
             "--seed" => options.seed = num(&value("--seed")?)?,
             "--help" | "-h" => {
                 println!("see the module docs in crates/bench/src/bin/loadgen.rs");
@@ -97,6 +128,18 @@ fn parse_options() -> Result<Options, String> {
     if options.clients == 0 || options.requests == 0 || options.models == 0 {
         return Err("--clients, --requests and --models must be positive".to_string());
     }
+    if options.connections > 0 || options.addr.is_some() {
+        options.tcp = true;
+    }
+    if options.addr.is_some() && options.models > 1 {
+        return Err("--addr targets an external server; --models must stay 1".to_string());
+    }
+    if options.addr.is_some() && options.batch > 1 {
+        // Keeping the external mode single-query keeps the CI smoke
+        // latency numbers comparable with the in-process runs.
+        return Err("--addr supports single-query traffic only (--batch 0)".to_string());
+    }
+    TransportConfig::named(&options.transport).map_err(|e| format!("--transport: {e}"))?;
     Ok(options)
 }
 
@@ -151,6 +194,28 @@ fn percentile(sorted: &[u64], p: f64) -> f64 {
     sorted[idx] as f64
 }
 
+/// Connect with retries: a burst of thousands of connects can outrun the
+/// accept loop's backlog. A server that stays unreachable aborts the
+/// whole process (exit 2) — a panicking pool-builder thread would
+/// otherwise leave everyone else parked on the start barrier forever.
+fn connect_patiently(addr: SocketAddr) -> gps_serve::Client {
+    let mut delay = Duration::from_millis(5);
+    for attempt in 0..40 {
+        match gps_serve::Client::connect(addr) {
+            Ok(client) => return client,
+            Err(e) if attempt == 39 => {
+                eprintln!("error: connect to {addr}: {e}");
+                std::process::exit(2);
+            }
+            Err(_) => {
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(Duration::from_millis(200));
+            }
+        }
+    }
+    unreachable!()
+}
+
 fn main() {
     let options = match parse_options() {
         Ok(options) => options,
@@ -159,52 +224,71 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let external: Option<SocketAddr> = options.addr.as_ref().map(|addr| {
+        addr.parse()
+            .unwrap_or_else(|e| panic!("--addr {addr}: {e}"))
+    });
 
-    // Train one model per universe; model i gets seed+i. A single model
-    // keeps the pre-registry id so measurements are comparable.
+    // Train one model per universe (model i gets seed+i); external mode
+    // queries whatever the remote server serves instead.
     let mut trained: Vec<TrainedModel> = Vec::with_capacity(options.models);
-    for i in 0..options.models as u64 {
-        let seed = options.seed + i;
-        println!("training model on quick universe (seed {seed})...");
-        let net = Internet::generate(&UniverseConfig::tiny(seed));
-        let dataset = censys_dataset(&net, 200, 0.05, 0, 1);
-        let config = GpsConfig {
-            seed_fraction: 0.05,
-            step_prefix: 16,
-            ..GpsConfig::default()
-        };
-        let run = run_gps(&net, &dataset, &config);
-        let snapshot = ModelSnapshot::from_run(&run, &config, seed);
-        println!(
-            "  {} model keys, {} rules, {} priors",
-            snapshot.manifest.distinct_keys,
-            snapshot.manifest.num_rules,
-            snapshot.manifest.num_priors
-        );
+    if external.is_none() {
+        for i in 0..options.models as u64 {
+            let seed = options.seed + i;
+            println!("training model on quick universe (seed {seed})...");
+            let net = Internet::generate(&UniverseConfig::tiny(seed));
+            let dataset = censys_dataset(&net, 200, 0.05, 0, 1);
+            let config = GpsConfig {
+                seed_fraction: 0.05,
+                step_prefix: 16,
+                ..GpsConfig::default()
+            };
+            let run = run_gps(&net, &dataset, &config);
+            let snapshot = ModelSnapshot::from_run(&run, &config, seed);
+            println!(
+                "  {} model keys, {} rules, {} priors",
+                snapshot.manifest.distinct_keys,
+                snapshot.manifest.num_rules,
+                snapshot.manifest.num_priors
+            );
+            trained.push(TrainedModel {
+                id: if options.models == 1 {
+                    DEFAULT_MODEL_ID.to_string()
+                } else {
+                    format!("seed{seed}")
+                },
+                model: Some(ServableModel::from_snapshot(snapshot)),
+                host_ips: net.host_ips().to_vec(),
+            });
+        }
+    } else {
+        // Anchors are arbitrary deterministic /16s; the remote model
+        // answers whatever it answers (throughput/latency still count).
+        let mut rng = Rng::new(options.seed);
         trained.push(TrainedModel {
-            id: if options.models == 1 {
-                DEFAULT_MODEL_ID.to_string()
-            } else {
-                format!("seed{seed}")
-            },
-            model: Some(ServableModel::from_snapshot(snapshot)),
-            host_ips: net.host_ips().to_vec(),
+            id: DEFAULT_MODEL_ID.to_string(),
+            model: None,
+            host_ips: (0..4096).map(|_| rng.next_u32()).collect(),
         });
     }
 
-    let server = Arc::new(
-        PredictionServer::start_named(
-            trained
-                .iter_mut()
-                .map(|t| (t.id.clone(), t.model.take().expect("trained once")))
-                .collect(),
-            ServeConfig {
-                shards: options.shards,
-                ..ServeConfig::default()
-            },
-        )
-        .expect("registry starts"),
-    );
+    let server: Option<Arc<PredictionServer>> = if external.is_none() {
+        Some(Arc::new(
+            PredictionServer::start_named(
+                trained
+                    .iter_mut()
+                    .map(|t| (t.id.clone(), t.model.take().expect("trained once")))
+                    .collect(),
+                ServeConfig {
+                    shards: options.shards,
+                    ..ServeConfig::default()
+                },
+            )
+            .expect("registry starts"),
+        ))
+    } else {
+        None
+    };
     let ids: Vec<String> = trained.iter().map(|t| t.id.clone()).collect();
     // Single-model runs stay on the id-less fast path (pre-registry
     // numbers stay comparable); mixed runs address models by id.
@@ -216,15 +300,20 @@ fn main() {
         }
     };
 
-    // TCP transport: listener + per-client connections.
-    let tcp_addr = if options.tcp {
-        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
-        let addr = listener.local_addr().expect("local addr");
-        let server = server.clone();
-        std::thread::spawn(move || gps_serve::serve_tcp(server, listener));
-        Some(addr)
-    } else {
-        None
+    // TCP transport: a listener on the chosen serving transport (or the
+    // external server's address).
+    let tcp_addr: Option<SocketAddr> = match (&server, external) {
+        (_, Some(addr)) => Some(addr),
+        (Some(server), None) if options.tcp => {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+            let addr = listener.local_addr().expect("local addr");
+            let server = server.clone();
+            let config =
+                TransportConfig::named(&options.transport).expect("transport validated at parse");
+            std::thread::spawn(move || gps_serve::serve(server, listener, config));
+            Some(addr)
+        }
+        _ => None,
     };
 
     // Pre-generate per-client traffic so generation cost stays outside the
@@ -259,83 +348,145 @@ fn main() {
         .collect();
 
     if options.warm {
-        // Touch every distinct cache slot the timed traffic will hit
-        // (dedup on the cache key granularity: model, subnet, evidence,
-        // top) so the timed section measures the cache-warm steady state.
-        let mut seen = std::collections::HashSet::new();
-        for unit in traffic.iter().flatten() {
-            let warmup: Vec<Query> = unit
-                .queries
-                .iter()
-                .filter(|q| {
-                    seen.insert((
-                        unit.model,
-                        q.ip.0 & 0xFFFF_0000,
-                        q.open.clone(),
-                        q.asn,
-                        q.top,
-                    ))
-                })
-                .cloned()
-                .collect();
-            if warmup.is_empty() {
-                continue;
-            }
-            match id_of(unit.model) {
-                None => {
-                    server.predict_batch(warmup);
+        if let Some(server) = &server {
+            // Touch every distinct cache slot the timed traffic will hit
+            // (dedup on the cache key granularity: model, subnet,
+            // evidence, top) so the timed section measures the cache-warm
+            // steady state.
+            let mut seen = std::collections::HashSet::new();
+            for unit in traffic.iter().flatten() {
+                let warmup: Vec<Query> = unit
+                    .queries
+                    .iter()
+                    .filter(|q| {
+                        seen.insert((
+                            unit.model,
+                            q.ip.0 & 0xFFFF_0000,
+                            q.open.clone(),
+                            q.asn,
+                            q.top,
+                        ))
+                    })
+                    .cloned()
+                    .collect();
+                if warmup.is_empty() {
+                    continue;
                 }
-                Some(id) => {
-                    server.predict_batch_for(id, warmup).expect("warmup model");
+                match id_of(unit.model) {
+                    None => {
+                        server.predict_batch(warmup);
+                    }
+                    Some(id) => {
+                        server.predict_batch_for(id, warmup).expect("warmup model");
+                    }
                 }
             }
         }
     }
 
+    // Connection-scaling mode: every thread owns its share of the N
+    // persistent connections and rotates its requests across them, so
+    // at any instant (N - clients) connections sit idle on the server —
+    // the many-mostly-idle-peers shape.
+    let conns_per_thread: usize = if options.connections > 0 {
+        let per = options.connections.div_ceil(options.clients);
+        per.max(1)
+    } else {
+        0
+    };
+
     println!(
-        "replaying {} requests over {} clients ({} shards, {} model(s), batch={}, transport={})...",
+        "replaying {} requests over {} clients ({} shards, {} model(s), batch={}, transport={}{})...",
         per_client * options.clients,
         options.clients,
         options.shards,
         options.models,
         options.batch,
-        if options.tcp { "tcp" } else { "engine" },
+        match (options.tcp, external) {
+            (_, Some(_)) => "external".to_string(),
+            (true, None) => format!("tcp/{}", options.transport),
+            (false, None) => "engine".to_string(),
+        },
+        if options.connections > 0 {
+            format!(", {} connections", options.connections)
+        } else {
+            String::new()
+        },
     );
-    let started = Instant::now();
-    let reports: Vec<ClientReport> = std::thread::scope(|scope| {
+    let live_conns = std::sync::atomic::AtomicU64::new(0);
+    // Sampled while traffic flows: the server-side live-connection count
+    // (reading it after the clients hang up would report zero).
+    let peak_conns = std::sync::atomic::AtomicU64::new(0);
+    let done = std::sync::atomic::AtomicBool::new(false);
+    // Every thread finishes building its connection pool before any
+    // thread sends its first timed request: the full connection count is
+    // concurrently live for the whole measured window, and pool setup
+    // stays outside the clock.
+    let start_line = std::sync::Barrier::new(options.clients + 1);
+    let (reports, elapsed): (Vec<ClientReport>, Duration) = std::thread::scope(|scope| {
+        if options.connections > 0 {
+            let server = server.clone();
+            let done = &done;
+            let peak_conns = &peak_conns;
+            scope.spawn(move || {
+                let mut control = external.map(connect_patiently);
+                while !done.load(std::sync::atomic::Ordering::Acquire) {
+                    let active = match (&server, &mut control) {
+                        (Some(server), _) => server.stats().conns_active,
+                        (None, Some(control)) => control
+                            .stats()
+                            .ok()
+                            .and_then(|s| s.get("conns_active").and_then(|j| j.as_u64()))
+                            .unwrap_or(0),
+                        (None, None) => 0,
+                    };
+                    peak_conns.fetch_max(active, std::sync::atomic::Ordering::Relaxed);
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+            });
+        }
         let handles: Vec<_> = traffic
             .into_iter()
             .map(|units| {
                 let server = server.clone();
                 let batched = options.batch > 1;
                 let id_of = &id_of;
+                let live_conns = &live_conns;
+                let start_line = &start_line;
                 scope.spawn(move || {
                     let mut latencies_ns = Vec::with_capacity(units.len());
                     let mut completed = 0u64;
-                    let mut client = tcp_addr
-                        .map(|addr| gps_serve::Client::connect(addr).expect("connect loadgen"));
+                    // One connection per thread, or this thread's slice of
+                    // the connection pool.
+                    let mut pool: Vec<gps_serve::Client> = match (tcp_addr, conns_per_thread) {
+                        (Some(addr), 0) => vec![connect_patiently(addr)],
+                        (Some(addr), n) => {
+                            let mut pool = Vec::with_capacity(n);
+                            for _ in 0..n {
+                                pool.push(connect_patiently(addr));
+                                live_conns.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            }
+                            pool
+                        }
+                        (None, _) => Vec::new(),
+                    };
+                    let mut next_conn = 0usize;
+                    start_line.wait();
                     for unit in units {
                         let id = id_of(unit.model);
                         let t0 = Instant::now();
-                        let answered = match (&mut client, batched) {
-                            (Some(client), true) => client
-                                .predict_batch_on(id, &unit.queries)
-                                .expect("batch reply")
-                                .len() as u64,
-                            (Some(client), false) => {
-                                for query in &unit.queries {
-                                    client.predict_on(id, query).expect("predict reply");
+                        let answered = if pool.is_empty() {
+                            let server = server.as_ref().expect("in-process mode");
+                            if batched {
+                                match id {
+                                    None => server.predict_batch(unit.queries).len() as u64,
+                                    Some(id) => server
+                                        .predict_batch_for(id, unit.queries)
+                                        .expect("batch model")
+                                        .len()
+                                        as u64,
                                 }
-                                unit.queries.len() as u64
-                            }
-                            (None, true) => match id {
-                                None => server.predict_batch(unit.queries).len() as u64,
-                                Some(id) => server
-                                    .predict_batch_for(id, unit.queries)
-                                    .expect("batch model")
-                                    .len() as u64,
-                            },
-                            (None, false) => {
+                            } else {
                                 let n = unit.queries.len() as u64;
                                 for query in unit.queries {
                                     match id {
@@ -349,6 +500,21 @@ fn main() {
                                 }
                                 n
                             }
+                        } else {
+                            let turn = next_conn;
+                            next_conn = (next_conn + 1) % pool.len();
+                            let client = &mut pool[turn];
+                            if batched {
+                                client
+                                    .predict_batch_on(id, &unit.queries)
+                                    .expect("batch reply")
+                                    .len() as u64
+                            } else {
+                                for query in &unit.queries {
+                                    client.predict_on(id, query).expect("predict reply");
+                                }
+                                unit.queries.len() as u64
+                            }
                         };
                         latencies_ns.push(t0.elapsed().as_nanos() as u64);
                         completed += answered;
@@ -360,12 +526,16 @@ fn main() {
                 })
             })
             .collect();
-        handles
+        start_line.wait(); // every pool is connected; the clock starts
+        let started = Instant::now();
+        let reports: Vec<ClientReport> = handles
             .into_iter()
             .map(|h| h.join().expect("client thread"))
-            .collect()
+            .collect();
+        let elapsed = started.elapsed();
+        done.store(true, std::sync::atomic::Ordering::Release);
+        (reports, elapsed)
     });
-    let elapsed = started.elapsed();
 
     let total: u64 = reports.iter().map(|r| r.completed).sum();
     let mut latencies: Vec<u64> = reports.into_iter().flat_map(|r| r.latencies_ns).collect();
@@ -377,7 +547,6 @@ fn main() {
         "request"
     };
 
-    let stats = server.stats();
     println!("results:");
     println!("  predictions:  {total} in {:.3}s", elapsed.as_secs_f64());
     println!("  throughput:   {throughput:.0} predictions/sec");
@@ -387,31 +556,71 @@ fn main() {
         percentile(&latencies, 0.99) / 1000.0,
         latencies.last().copied().unwrap_or(0) as f64 / 1000.0,
     );
-    println!(
-        "  server:       {} served, cache hit rate {:.1}%, {:.2} requests/batch, mean queue+service {:.1}us",
-        stats.requests,
-        100.0 * stats.hit_rate(),
-        stats.requests as f64 / stats.batches.max(1) as f64,
-        stats.mean_latency_us,
-    );
-    println!(
-        "  shard load:   [{}]",
-        stats
-            .per_shard
-            .iter()
-            .map(|n| n.to_string())
-            .collect::<Vec<_>>()
-            .join(", "),
-    );
-    if options.models > 1 {
-        for model in &stats.models {
+    if options.connections > 0 {
+        println!(
+            "  connections:  {} opened and held for the whole run ({} live server-side at peak)",
+            live_conns.load(std::sync::atomic::Ordering::Relaxed),
+            peak_conns.load(std::sync::atomic::Ordering::Relaxed),
+        );
+    }
+    match (&server, external) {
+        (Some(server), _) => {
+            let stats = server.stats();
             println!(
-                "  model {:<12} {} requests, hit rate {:.1}%",
-                model.id,
-                model.requests,
-                100.0 * model.cache_hits as f64
-                    / (model.cache_hits + model.cache_misses).max(1) as f64,
+                "  server:       {} served, cache hit rate {:.1}%, {:.2} requests/batch, mean queue+service {:.1}us",
+                stats.requests,
+                100.0 * stats.hit_rate(),
+                stats.requests as f64 / stats.batches.max(1) as f64,
+                stats.mean_latency_us,
             );
+            if options.tcp {
+                println!(
+                    "  conns:        accepted {}, closed {}, timed out {}, rejected {}",
+                    stats.conns_accepted,
+                    stats.conns_closed,
+                    stats.conns_timed_out,
+                    stats.conns_rejected,
+                );
+            }
+            println!(
+                "  shard load:   [{}]",
+                stats
+                    .per_shard
+                    .iter()
+                    .map(|n| n.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            );
+            if options.models > 1 {
+                for model in &stats.models {
+                    println!(
+                        "  model {:<12} {} requests, hit rate {:.1}%",
+                        model.id,
+                        model.requests,
+                        100.0 * model.cache_hits as f64
+                            / (model.cache_hits + model.cache_misses).max(1) as f64,
+                    );
+                }
+            }
         }
+        (None, Some(addr)) => {
+            // External server: read its counters over the wire.
+            let mut control = connect_patiently(addr);
+            match control.stats() {
+                Ok(stats) => {
+                    let num = |k: &str| stats.get(k).and_then(|j| j.as_u64()).unwrap_or(0);
+                    println!(
+                        "  remote server: {} requests served, {} conns active (accepted {}, closed {}, rejected {})",
+                        num("requests"),
+                        num("conns_active"),
+                        num("conns_accepted"),
+                        num("conns_closed"),
+                        num("conns_rejected"),
+                    );
+                }
+                Err(e) => println!("  remote server: stats unavailable ({e})"),
+            }
+        }
+        (None, None) => unreachable!("either in-process or external"),
     }
 }

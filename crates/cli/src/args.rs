@@ -30,6 +30,13 @@ pub struct Args {
     pub addr: String,
     /// Shard count for serve (0 = auto).
     pub shards: usize,
+    /// serve: connection-driving strategy (threads | events).
+    pub transport: String,
+    /// serve: live-connection cap (0 = unlimited).
+    pub max_conns: usize,
+    /// serve: close connections idle this many seconds (0 = never;
+    /// fractional values accepted).
+    pub idle_timeout: f64,
     /// serve: hot-reload when a registered snapshot file changes on disk.
     pub watch: bool,
     /// reload: snapshot path to switch the server to (None = re-read).
@@ -105,6 +112,9 @@ impl Default for Args {
             format: SnapshotFormat::Json,
             addr: "127.0.0.1:4615".to_string(),
             shards: 0,
+            transport: "threads".to_string(),
+            max_conns: 0,
+            idle_timeout: 0.0,
             watch: false,
             reload_model: None,
             reload_name: None,
@@ -220,6 +230,27 @@ impl Args {
                 "--addr" => args.addr = value("--addr")?,
                 "--shards" => {
                     args.shards = parse_num(&value("--shards")?, "--shards")?;
+                }
+                "--transport" => {
+                    let t = value("--transport")?;
+                    // `events-poll` (the portable-poller variant) is
+                    // accepted for tests/debugging but not advertised.
+                    if !matches!(t.as_str(), "threads" | "events" | "events-poll") {
+                        return Err(ParseError(format!(
+                            "unknown transport {t:?} (threads|events)"
+                        )));
+                    }
+                    args.transport = t;
+                }
+                "--max-conns" => {
+                    args.max_conns = parse_num(&value("--max-conns")?, "--max-conns")?;
+                }
+                "--idle-timeout" => {
+                    let secs: f64 = parse_num(&value("--idle-timeout")?, "--idle-timeout")?;
+                    if !secs.is_finite() || secs < 0.0 {
+                        return Err(ParseError("--idle-timeout must be >= 0 seconds".into()));
+                    }
+                    args.idle_timeout = secs;
                 }
                 "--ip" => args.ip = Some(value("--ip")?),
                 "--open" => {
@@ -442,7 +473,40 @@ mod tests {
         assert_eq!(args.model, "gps-model.json");
         assert_eq!(args.addr, "127.0.0.1:4615");
         assert_eq!(args.shards, 0, "0 = auto");
+        assert_eq!(args.transport, "threads", "threads stays the default");
+        assert_eq!(args.max_conns, 0, "0 = unlimited");
+        assert_eq!(args.idle_timeout, 0.0, "0 = never");
         assert!(Args::parse(["query", "--open", "80,abc"]).is_err());
+    }
+
+    #[test]
+    fn parses_transport_flags() {
+        let args = Args::parse([
+            "serve",
+            "--transport",
+            "events",
+            "--max-conns",
+            "10000",
+            "--idle-timeout",
+            "30",
+        ])
+        .unwrap();
+        assert_eq!(args.transport, "events");
+        assert_eq!(args.max_conns, 10000);
+        assert_eq!(args.idle_timeout, 30.0);
+        // Fractional idle timeouts serve the tests' short deadlines.
+        let args = Args::parse(["serve", "--idle-timeout", "0.25"]).unwrap();
+        assert_eq!(args.idle_timeout, 0.25);
+        // The hidden poll-fallback variant parses; junk does not.
+        assert_eq!(
+            Args::parse(["serve", "--transport", "events-poll"])
+                .unwrap()
+                .transport,
+            "events-poll"
+        );
+        assert!(Args::parse(["serve", "--transport", "iouring"]).is_err());
+        assert!(Args::parse(["serve", "--idle-timeout", "-1"]).is_err());
+        assert!(Args::parse(["serve", "--max-conns"]).is_err());
     }
 
     #[test]

@@ -317,12 +317,25 @@ fn resolve_models(args: &Args) -> Vec<(String, String)> {
         .collect()
 }
 
+/// Resolve the serve transport flags into a `TransportConfig`.
+fn resolve_transport(args: &Args) -> Result<gps_serve::TransportConfig, String> {
+    let mut config = gps_serve::TransportConfig::named(&args.transport)
+        .map_err(|e| format!("--transport: {e}"))?;
+    config.max_conns = args.max_conns;
+    if args.idle_timeout > 0.0 {
+        config.idle_timeout = Some(std::time::Duration::from_secs_f64(args.idle_timeout));
+    }
+    Ok(config)
+}
+
 /// `gps serve` — load one or more snapshots (`--model name=path`,
 /// repeatable; the first is the default model) and answer prediction
-/// queries over TCP until killed.
+/// queries over TCP until killed, on the chosen transport
+/// (`--transport threads|events`).
 pub fn cmd_serve(args: &Args) -> Result<(), String> {
     let entries = resolve_models(args);
     let shards = resolve_shards(args.shards);
+    let transport = resolve_transport(args)?;
     // Fail fast across the whole registry: peek every manifest (header
     // read, cheap) before the expensive full loads, so a typo'd path or
     // foreign-version snapshot in slot N is reported without first
@@ -375,14 +388,24 @@ pub fn cmd_serve(args: &Args) -> Result<(), String> {
     let listener = std::net::TcpListener::bind(&args.addr)
         .map_err(|e| format!("--addr {}: {e}", args.addr))?;
     println!(
-        "serving {} model(s) on {} with {shards} shards (length-prefixed JSON frames; try `gps query`)",
+        "serving {} model(s) on {} with {shards} shards, {} transport{}{} (length-prefixed JSON frames; try `gps query`)",
         entries.len(),
         listener
             .local_addr()
             .map(|a| a.to_string())
             .unwrap_or_else(|_| args.addr.clone()),
+        transport.transport.name(),
+        if transport.max_conns > 0 {
+            format!(", max {} conns", transport.max_conns)
+        } else {
+            String::new()
+        },
+        match transport.idle_timeout {
+            Some(t) => format!(", idle timeout {:.1}s", t.as_secs_f64()),
+            None => String::new(),
+        },
     );
-    gps_serve::serve_tcp(server, listener).map_err(|e| format!("serve: {e}"))
+    gps_serve::serve(server, listener, transport).map_err(|e| format!("serve: {e}"))
 }
 
 /// `gps reload [name]` — ask a running server to hot-swap one model's
@@ -743,6 +766,57 @@ mod tests {
         );
         let models = client.list_models().unwrap();
         assert_eq!(models.len(), 2);
+    }
+
+    #[test]
+    fn transport_flags_resolve_and_events_transport_serves() {
+        use crate::args::Command;
+        // Flag resolution.
+        let args = Args::parse(["serve", "--transport", "events", "--max-conns", "9"]).unwrap();
+        let config = resolve_transport(&args).unwrap();
+        assert_eq!(config.transport, gps_serve::Transport::Events);
+        assert_eq!(config.max_conns, 9);
+        assert!(config.idle_timeout.is_none());
+        let args = Args::parse(["serve", "--idle-timeout", "2.5"]).unwrap();
+        let config = resolve_transport(&args).unwrap();
+        assert_eq!(config.transport, gps_serve::Transport::Threads);
+        assert_eq!(
+            config.idle_timeout,
+            Some(std::time::Duration::from_millis(2500))
+        );
+
+        // An exported model served over the events transport answers
+        // `gps query`-style traffic (cmd_serve blocks, so drive the same
+        // layers directly, exactly like the round-trip test above).
+        let dir = TestDir::new("events-round-trip");
+        let mut args = quick_args(Command::ExportModel);
+        args.model = path_str(&dir, "model.gpsb");
+        args.format = crate::args::SnapshotFormat::Binary;
+        cmd_export_model(&args).unwrap();
+        let snapshot = ModelSnapshot::load_serving(&args.model).unwrap();
+        let server = PredictionServer::start(
+            ServableModel::from_snapshot(snapshot),
+            ServeConfig {
+                shards: 2,
+                ..ServeConfig::default()
+            },
+        );
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            gps_serve::serve(
+                Arc::new(server),
+                listener,
+                gps_serve::TransportConfig::events(),
+            )
+        });
+        let mut client = gps_serve::Client::connect(addr).unwrap();
+        client.ping().unwrap();
+        let manifest = client.manifest().unwrap();
+        assert!(manifest.get("checksum").is_some());
+        client
+            .predict(&Query::new(Ip::from_octets(10, 0, 0, 1)))
+            .unwrap();
     }
 
     #[test]

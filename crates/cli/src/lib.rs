@@ -52,6 +52,10 @@ SERVING OPTIONS:
     --format F          export-model encoding: json | binary (GPSB)
     --addr A            TCP address (default 127.0.0.1:4615)
     --shards N          serve worker shards (default: auto)
+    --transport T       serve: threads (default, one thread/conn) |
+                        events (epoll event loops; holds 10k+ conns)
+    --max-conns N       serve: live-connection cap (default unlimited)
+    --idle-timeout S    serve: drop conns silent for S seconds (default never)
     --watch             serve: hot-reload when a snapshot file changes
     --ip A.B.C.D        query target
     --open P1,P2        query evidence: ports known open on the target
@@ -65,6 +69,7 @@ EXAMPLES:
     gps export-model --quick --model /tmp/gps-model.gpsb --format binary
     gps serve --model /tmp/gps-model.gpsb --addr 127.0.0.1:4615 --shards 8 --watch
     gps serve --model quick=/tmp/a.gpsb --model lzr=/tmp/b.gpsb
+    gps serve --model /tmp/a.gpsb --transport events --max-conns 20000 --idle-timeout 60
     gps query --addr 127.0.0.1:4615 --ip 10.1.2.3 --open 80
     gps query --addr 127.0.0.1:4615 --ip 10.1.2.3 --model lzr
     gps reload --addr 127.0.0.1:4615 --model /tmp/gps-model-v2.gpsb

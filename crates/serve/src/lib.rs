@@ -25,7 +25,13 @@
 //!   covering every registered snapshot file);
 //! - [`cache`] — the O(1) LRU used by each shard;
 //! - [`proto`] — a length-prefixed JSON frame protocol over TCP plus the
-//!   blocking [`Client`] used by `gps query` and the loadgen bench.
+//!   blocking [`Client`] used by `gps query` and the loadgen bench;
+//! - [`transport`] / [`net`] — how connections are driven: one thread
+//!   per connection (default) or the event-driven multiplexed transport
+//!   (`--transport events`: epoll/poll readiness loops, incremental
+//!   frame decoding, shard completion queues) for C10K-scale fan-in,
+//!   both behind the same request core and both honoring `--max-conns`
+//!   and `--idle-timeout`.
 //!
 //! ## Quick start
 //!
@@ -53,14 +59,18 @@
 
 pub mod artifact;
 pub mod cache;
+pub mod net;
 pub mod proto;
 pub mod server;
 mod shard;
+pub mod transport;
 
 pub use artifact::{Query, Ranked, ServableModel};
 pub use cache::LruCache;
+pub use net::{DecodeError, FrameDecoder};
 pub use proto::{serve_tcp, Client, ReloadOutcome};
 pub use server::{
     validate_model_id, watch_snapshot_file, ModelStatsSnapshot, PredictionServer, ReloadWatcher,
     ServeConfig, ServerStats, StatsSnapshot, DEFAULT_MODEL_ID, MAX_MODEL_ID_LEN,
 };
+pub use transport::{serve, Transport, TransportConfig};

@@ -1,0 +1,301 @@
+//! Per-connection state for the event transport.
+//!
+//! A [`Conn`] owns one nonblocking socket and everything needed to resume
+//! it mid-anything: the incremental frame decoder (reads can tear frames
+//! at any byte), the response-ordering window (pipelined requests finish
+//! out of order across shards but must be answered in request order — the
+//! blocking `Client` relies on it), and the outbound buffer with explicit
+//! backpressure.
+//!
+//! ## Bounds
+//!
+//! Everything a peer can grow is capped:
+//!
+//! - the *inbound* side buffers at most one frame (the decoder), itself
+//!   capped at `MAX_FRAME_BYTES`;
+//! - at most [`MAX_PIPELINE`] requests may be awaiting answers — frames
+//!   a read burst decodes past that park (bounded by the burst) and the
+//!   connection's read interest drops, so the kernel's receive buffer,
+//!   and then the peer's congestion window, absorb the rest (TCP
+//!   backpressure, not server memory);
+//! - once more than [`WRITE_HIGH_WATER`] response bytes are queued on a
+//!   connection, reading pauses the same way until the peer drains.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use super::decoder::FrameDecoder;
+use super::poller::Interest;
+use crate::proto::MAX_FRAME_BYTES;
+
+/// Outbound bytes queued past which the connection stops reading new
+/// requests until the peer drains.
+pub(crate) const WRITE_HIGH_WATER: usize = 256 * 1024;
+
+/// Most requests one connection may have in the answer window
+/// (submitted-or-answered but not yet serialized to the socket buffer).
+pub(crate) const MAX_PIPELINE: u64 = 128;
+
+/// Per-readiness-event read budget: a firehose connection yields to its
+/// loop-mates after this many bytes (level-triggered polling re-reports
+/// it immediately).
+pub(crate) const READ_BUDGET: usize = 64 * 1024;
+
+/// What one readable-event's worth of socket reading produced.
+pub(crate) enum ReadOutcome {
+    /// Keep serving (frames, if any, were appended to the caller's vec).
+    Progress,
+    /// Peer half-closed cleanly at a frame boundary; answer what's
+    /// outstanding, flush, then close.
+    PeerClosed,
+    /// Framing is broken (torn EOF, oversized prefix, non-UTF-8, or a
+    /// socket error): the stream position is untrustworthy. Frames
+    /// decoded *before* the break are still valid and were appended.
+    Broken,
+}
+
+pub(crate) struct Conn {
+    pub stream: TcpStream,
+    pub token: u64,
+    decoder: FrameDecoder,
+    /// Sequence assigned to the next accepted request frame.
+    next_seq: u64,
+    /// Sequence whose response goes out next (order preservation).
+    flush_seq: u64,
+    /// Responses that finished ahead of an earlier request, keyed by seq.
+    ready: HashMap<u64, Vec<u8>>,
+    /// Decoded request frames waiting for pipeline-window space: one
+    /// read burst can decode more frames than [`MAX_PIPELINE`] allows in
+    /// flight, and bytes already read from the kernel cannot be pushed
+    /// back — so the excess parks here (bounded by one read burst,
+    /// because a connection with parked frames stops reading) and the
+    /// event loop releases it as answers flush.
+    pub parked: VecDeque<String>,
+    /// Predict requests submitted to shard workers, not yet completed.
+    pub in_flight: usize,
+    out: Vec<u8>,
+    out_pos: usize,
+    pub last_activity: Instant,
+    /// The interest currently registered with the poller.
+    pub registered: Interest,
+    /// No further requests will be read (peer half-closed or framing
+    /// broke); drain outstanding answers, then close.
+    pub read_closed: bool,
+}
+
+impl Conn {
+    pub fn new(stream: TcpStream, token: u64) -> Conn {
+        Conn {
+            stream,
+            token,
+            decoder: FrameDecoder::new(MAX_FRAME_BYTES),
+            next_seq: 0,
+            flush_seq: 0,
+            ready: HashMap::new(),
+            parked: VecDeque::new(),
+            in_flight: 0,
+            out: Vec::new(),
+            out_pos: 0,
+            last_activity: Instant::now(),
+            registered: Interest::READ,
+            read_closed: false,
+        }
+    }
+
+    pub fn touch(&mut self) {
+        self.last_activity = Instant::now();
+    }
+
+    /// Claim the sequence slot for a newly accepted request.
+    pub fn next_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+
+    /// Requests accepted whose responses have not yet reached the
+    /// outbound buffer.
+    pub fn outstanding(&self) -> u64 {
+        self.next_seq - self.flush_seq
+    }
+
+    /// Outbound bytes not yet accepted by the kernel.
+    pub fn buffered(&self) -> usize {
+        self.out.len() - self.out_pos
+    }
+
+    /// Read until the socket runs dry (or the per-event budget / a pause
+    /// condition is hit), feeding the decoder; completed frames are
+    /// appended to `frames`.
+    pub fn read_ready(&mut self, scratch: &mut [u8], frames: &mut Vec<String>) -> ReadOutcome {
+        if self.read_closed {
+            return ReadOutcome::Progress;
+        }
+        let mut budget = READ_BUDGET;
+        loop {
+            match self.stream.read(scratch) {
+                Ok(0) => {
+                    return if self.decoder.at_boundary() {
+                        ReadOutcome::PeerClosed
+                    } else {
+                        // EOF inside a frame: truncation from a dead or
+                        // broken peer.
+                        ReadOutcome::Broken
+                    };
+                }
+                Ok(n) => {
+                    self.touch();
+                    if self.decoder.feed(&scratch[..n], frames).is_err() {
+                        return ReadOutcome::Broken;
+                    }
+                    budget = budget.saturating_sub(n);
+                    if budget == 0 || !self.wants().readable {
+                        return ReadOutcome::Progress;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return ReadOutcome::Progress,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return ReadOutcome::Broken,
+            }
+        }
+    }
+
+    /// Queue the serialized response for request `seq`, releasing it (and
+    /// any directly following ready responses) into the outbound buffer
+    /// in request order.
+    pub fn enqueue(&mut self, seq: u64, frame: Vec<u8>) {
+        self.ready.insert(seq, frame);
+        while let Some(bytes) = self.ready.remove(&self.flush_seq) {
+            self.out.extend_from_slice(&bytes);
+            self.flush_seq += 1;
+        }
+    }
+
+    /// Push buffered bytes into the socket until it would block or the
+    /// buffer drains. `Err` means the connection is gone.
+    pub fn flush(&mut self) -> io::Result<()> {
+        while self.out_pos < self.out.len() {
+            match self.stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    self.out_pos += n;
+                    self.touch();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if self.out_pos == self.out.len() {
+            self.out.clear();
+            self.out_pos = 0;
+        }
+        Ok(())
+    }
+
+    /// Whether a freshly decoded request may enter the pipeline window
+    /// now (otherwise it parks).
+    pub fn window_open(&self) -> bool {
+        self.outstanding() < MAX_PIPELINE
+    }
+
+    /// The interest this connection's state implies right now.
+    pub fn wants(&self) -> Interest {
+        Interest {
+            readable: !self.read_closed
+                && self.parked.is_empty()
+                && self.buffered() <= WRITE_HIGH_WATER
+                && self.window_open(),
+            writable: self.buffered() > 0,
+        }
+    }
+
+    /// Everything accepted has been answered and flushed.
+    pub fn drained(&self) -> bool {
+        self.parked.is_empty()
+            && self.in_flight == 0
+            && self.outstanding() == 0
+            && self.buffered() == 0
+    }
+
+    /// Idle past `timeout` with nothing in flight on its behalf — the
+    /// slowloris/dead-peer condition. A connection waiting on the
+    /// *server* (shard work outstanding) is never idle.
+    pub fn idle_expired(&self, timeout: Duration, now: Instant) -> bool {
+        self.in_flight == 0 && now.duration_since(self.last_activity) >= timeout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        (server, client)
+    }
+
+    #[test]
+    fn responses_release_in_request_order() {
+        let (server, _client) = pair();
+        let mut conn = Conn::new(server, 1);
+        let a = conn.next_seq();
+        let b = conn.next_seq();
+        let c = conn.next_seq();
+        assert_eq!(conn.outstanding(), 3);
+        // Completions arrive out of order; nothing flushes past a gap.
+        conn.enqueue(c, b"C".to_vec());
+        assert_eq!(conn.buffered(), 0);
+        conn.enqueue(a, b"A".to_vec());
+        assert_eq!(conn.buffered(), 1, "A releases, C still gapped behind B");
+        conn.enqueue(b, b"B".to_vec());
+        assert_eq!(conn.buffered(), 3, "B releases itself and the parked C");
+        assert_eq!(conn.outstanding(), 0);
+        assert_eq!(&conn.out, b"ABC");
+    }
+
+    #[test]
+    fn backpressure_pauses_reading() {
+        let (server, _client) = pair();
+        let mut conn = Conn::new(server, 1);
+        assert!(conn.wants().readable);
+        let seq = conn.next_seq();
+        conn.enqueue(seq, vec![0u8; WRITE_HIGH_WATER + 1]);
+        assert!(!conn.wants().readable, "over the write high-water mark");
+        assert!(conn.wants().writable);
+        // A full pipeline window pauses reads too.
+        let (server2, _client2) = pair();
+        let mut conn2 = Conn::new(server2, 2);
+        for _ in 0..MAX_PIPELINE {
+            assert!(conn2.window_open());
+            conn2.next_seq();
+        }
+        assert!(!conn2.window_open(), "window full: new frames must park");
+        assert!(!conn2.wants().readable, "pipeline window exhausted");
+        // Parked frames alone also pause reading (they must drain first).
+        let (server3, _client3) = pair();
+        let mut conn3 = Conn::new(server3, 3);
+        conn3.parked.push_back("{}".to_string());
+        assert!(!conn3.wants().readable, "parked frames pause reads");
+        assert!(!conn3.drained(), "parked frames keep the conn alive");
+    }
+
+    #[test]
+    fn idle_expiry_spares_connections_waiting_on_shards() {
+        let (server, _client) = pair();
+        let mut conn = Conn::new(server, 1);
+        let long_ago = Instant::now() + Duration::from_secs(60);
+        assert!(conn.idle_expired(Duration::from_secs(1), long_ago));
+        conn.in_flight = 1;
+        assert!(
+            !conn.idle_expired(Duration::from_secs(1), long_ago),
+            "waiting on the server is not idleness"
+        );
+    }
+}

@@ -1,0 +1,278 @@
+//! Incremental decoding of length-prefixed frames.
+//!
+//! The wire format (`proto.rs`) is a 4-byte big-endian length followed by
+//! that many bytes of UTF-8 JSON. The blocking transport can afford to
+//! `read_exact` its way through a frame; an event loop cannot block, so
+//! [`FrameDecoder`] consumes whatever bytes the socket had — a frame
+//! split at any byte boundary, several pipelined frames in one read —
+//! and yields complete payloads as they close.
+//!
+//! Both transports use this decoder (`read_frame_text` drives it with
+//! exact-sized reads), so "parses a torn length prefix correctly" is a
+//! property of one implementation, tested once, at every split point.
+
+use std::fmt;
+
+/// Why a byte stream stopped being decodable. Both are *framing* errors:
+/// the stream position can no longer be trusted and the connection must
+/// close (contrast with well-framed garbage JSON, which gets an error
+/// *reply*).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The length prefix exceeds the frame size cap — attacker-controlled
+    /// input must not size a buffer.
+    Oversize(u32),
+    /// A completed frame body is not UTF-8.
+    Utf8,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Oversize(_) => write!(f, "frame exceeds size cap"),
+            DecodeError::Utf8 => write!(f, "frame is not utf-8"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+enum State {
+    /// Collecting the 4-byte big-endian length prefix.
+    Prefix { got: usize, bytes: [u8; 4] },
+    /// Collecting `need` bytes of frame body.
+    Body { need: usize, buf: Vec<u8> },
+}
+
+/// Push-based frame decoder; one per connection, state persists across
+/// reads.
+pub struct FrameDecoder {
+    max_frame: u32,
+    state: State,
+}
+
+impl FrameDecoder {
+    pub fn new(max_frame: u32) -> FrameDecoder {
+        FrameDecoder {
+            max_frame,
+            state: State::Prefix {
+                got: 0,
+                bytes: [0; 4],
+            },
+        }
+    }
+
+    /// True when no partial frame is buffered — EOF here is a clean
+    /// close, EOF anywhere else is a truncated frame.
+    pub fn at_boundary(&self) -> bool {
+        matches!(self.state, State::Prefix { got: 0, .. })
+    }
+
+    /// Exactly how many bytes complete the current prefix or body. A
+    /// caller that reads at most this many (the blocking transport, which
+    /// creates a decoder per frame) never consumes bytes belonging to the
+    /// next frame.
+    pub fn need(&self) -> usize {
+        match &self.state {
+            State::Prefix { got, .. } => 4 - got,
+            State::Body { need, buf } => need - buf.len(),
+        }
+    }
+
+    /// Consume a chunk, appending every frame it completes to `out` (a
+    /// chunk may complete zero frames, or several). On error the decoder
+    /// is poisoned garbage — the connection owning it must close.
+    pub fn feed(&mut self, mut chunk: &[u8], out: &mut Vec<String>) -> Result<(), DecodeError> {
+        while !chunk.is_empty() {
+            match &mut self.state {
+                State::Prefix { got, bytes } => {
+                    let take = chunk.len().min(4 - *got);
+                    bytes[*got..*got + take].copy_from_slice(&chunk[..take]);
+                    *got += take;
+                    chunk = &chunk[take..];
+                    if *got == 4 {
+                        let len = u32::from_be_bytes(*bytes);
+                        if len > self.max_frame {
+                            return Err(DecodeError::Oversize(len));
+                        }
+                        if len == 0 {
+                            // A zero-length frame closes immediately (its
+                            // empty payload then fails JSON parsing, which
+                            // is the *caller's* concern — framing is fine).
+                            out.push(String::new());
+                            self.state = State::Prefix {
+                                got: 0,
+                                bytes: [0; 4],
+                            };
+                        } else {
+                            // Capacity is capped below the declared
+                            // length: a peer that *claims* a huge frame
+                            // but never sends it must not reserve that
+                            // memory (C10K × 16 MB claims would). The
+                            // buffer grows with bytes actually received.
+                            self.state = State::Body {
+                                need: len as usize,
+                                buf: Vec::with_capacity((len as usize).min(64 * 1024)),
+                            };
+                        }
+                    }
+                }
+                State::Body { need, buf } => {
+                    let take = chunk.len().min(*need - buf.len());
+                    buf.extend_from_slice(&chunk[..take]);
+                    chunk = &chunk[take..];
+                    if buf.len() == *need {
+                        let payload = std::mem::take(buf);
+                        self.state = State::Prefix {
+                            got: 0,
+                            bytes: [0; 4],
+                        };
+                        out.push(String::from_utf8(payload).map_err(|_| DecodeError::Utf8)?);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const CAP: u32 = 1 << 20;
+
+    fn encode(frames: &[&str]) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        for frame in frames {
+            bytes.extend_from_slice(&(frame.len() as u32).to_be_bytes());
+            bytes.extend_from_slice(frame.as_bytes());
+        }
+        bytes
+    }
+
+    fn decode_in_chunks(bytes: &[u8], chunk: usize) -> Vec<String> {
+        let mut decoder = FrameDecoder::new(CAP);
+        let mut out = Vec::new();
+        for piece in bytes.chunks(chunk.max(1)) {
+            decoder.feed(piece, &mut out).expect("well-formed stream");
+        }
+        assert!(decoder.at_boundary(), "stream ends on a frame boundary");
+        out
+    }
+
+    /// The load-bearing adversarial property, exhaustively: a pipelined
+    /// multi-frame stream split at *every* byte boundary decodes to the
+    /// same frames.
+    #[test]
+    fn every_split_point_yields_identical_frames() {
+        let frames = ["{\"cmd\":\"ping\"}", "", "{\"id\":7}", "x"];
+        let bytes = encode(&frames);
+        let expected: Vec<String> = frames.iter().map(|s| s.to_string()).collect();
+        for split in 0..=bytes.len() {
+            let mut decoder = FrameDecoder::new(CAP);
+            let mut out = Vec::new();
+            decoder.feed(&bytes[..split], &mut out).unwrap();
+            decoder.feed(&bytes[split..], &mut out).unwrap();
+            assert_eq!(out, expected, "split at byte {split}");
+        }
+        // And one byte at a time — maximal TCP segmentation.
+        assert_eq!(decode_in_chunks(&bytes, 1), expected);
+        // And all at once — maximal pipelining.
+        assert_eq!(decode_in_chunks(&bytes, bytes.len()), expected);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_at_the_prefix() {
+        let mut decoder = FrameDecoder::new(CAP);
+        let mut out = Vec::new();
+        // Even delivered a byte at a time, the error fires the moment the
+        // prefix completes — no body allocation happens.
+        let prefix = (CAP + 1).to_be_bytes();
+        for (i, &b) in prefix.iter().enumerate() {
+            let result = decoder.feed(&[b], &mut out);
+            if i < 3 {
+                result.unwrap();
+            } else {
+                assert_eq!(result.unwrap_err(), DecodeError::Oversize(CAP + 1));
+            }
+        }
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn non_utf8_body_is_a_framing_error() {
+        let mut decoder = FrameDecoder::new(CAP);
+        let mut out = Vec::new();
+        let mut bytes = 2u32.to_be_bytes().to_vec();
+        bytes.extend_from_slice(&[0xFF, 0xFE]);
+        assert_eq!(
+            decoder.feed(&bytes, &mut out).unwrap_err(),
+            DecodeError::Utf8
+        );
+    }
+
+    #[test]
+    fn need_tracks_exact_remaining_bytes() {
+        let mut decoder = FrameDecoder::new(CAP);
+        let mut out = Vec::new();
+        assert_eq!(decoder.need(), 4);
+        decoder.feed(&5u32.to_be_bytes()[..2], &mut out).unwrap();
+        assert_eq!(decoder.need(), 2);
+        decoder.feed(&5u32.to_be_bytes()[2..], &mut out).unwrap();
+        assert_eq!(decoder.need(), 5);
+        decoder.feed(b"he", &mut out).unwrap();
+        assert_eq!(decoder.need(), 3);
+        decoder.feed(b"llo", &mut out).unwrap();
+        assert_eq!(out, vec!["hello".to_string()]);
+        assert_eq!(decoder.need(), 4);
+        assert!(decoder.at_boundary());
+    }
+
+    proptest! {
+        /// Random frame sets under random chunkings always decode to the
+        /// original frames, regardless of how the bytes were torn.
+        #[test]
+        fn random_chunking_round_trips(
+            lens in proptest::collection::vec(0usize..200, 1..8),
+            chunk in 1usize..64,
+            fill in any::<u8>(),
+        ) {
+            let filler = (b'a' + (fill % 26)) as char;
+            let frames: Vec<String> = lens
+                .iter()
+                .map(|&n| filler.to_string().repeat(n))
+                .collect();
+            let refs: Vec<&str> = frames.iter().map(String::as_str).collect();
+            let bytes = encode(&refs);
+            prop_assert_eq!(decode_in_chunks(&bytes, chunk), frames);
+        }
+
+        /// Truncating a stream anywhere never yields a frame that wasn't
+        /// fully delivered, and never errors (truncation is only
+        /// detectable at EOF, which is the caller's signal). Mid-frame
+        /// cuts are visible as "not at a boundary".
+        #[test]
+        fn truncation_never_invents_frames(cut in 0usize..64) {
+            let frames = ["{\"cmd\":\"stats\"}", "0123456789"];
+            let bytes = encode(&frames);
+            let cut = cut.min(bytes.len());
+            let mut decoder = FrameDecoder::new(CAP);
+            let mut out = Vec::new();
+            decoder.feed(&bytes[..cut], &mut out).unwrap();
+            // Only whole frames come out, in order.
+            let frame_ends = [4 + frames[0].len(), bytes.len()];
+            let whole = frame_ends.iter().filter(|&&end| cut >= end).count();
+            prop_assert_eq!(out.len(), whole, "cut at {}", cut);
+            for (produced, original) in out.iter().zip(frames.iter()) {
+                prop_assert_eq!(produced, original);
+            }
+            prop_assert_eq!(
+                decoder.at_boundary(),
+                cut == 0 || frame_ends.contains(&cut),
+                "cut at {}", cut
+            );
+        }
+    }
+}

@@ -1,0 +1,510 @@
+//! The event-driven multiplexed transport (`gps serve --transport
+//! events`).
+//!
+//! Layout, bottom up:
+//!
+//! - `sys` — the raw readiness syscalls (`epoll_create1` /
+//!   `epoll_ctl` / `epoll_wait`, plus `poll(2)` as the portable
+//!   fallback);
+//! - `poller` — both backends behind one level-triggered interface,
+//!   and the loopback-UDP `Waker`;
+//! - `decoder` — incremental length-prefixed frame decoding (shared
+//!   with the blocking transport's `read_frame_text`);
+//! - `conn` — the per-connection state machine: decoder, response
+//!   ordering window, bounded write buffer, idle clock;
+//! - this module — the accept/dispatch loop and N event-loop threads.
+//!
+//! ## Flow
+//!
+//! The accept thread hands each connection to an event loop round-robin
+//! (after the `max_conns` gate). A loop owns its connections outright:
+//! readable sockets are drained through the decoder; each complete frame
+//! runs the shared request core (`proto::classify`). Finished responses
+//! serialize immediately; predict work fans out to the shard workers
+//! through `PredictionServer::enqueue_partitioned`, tagged so the reply
+//! lands in this loop's `CompletionQueue`, which wakes the loop. A
+//! connection's responses are released strictly in request order (the
+//! protocol is pipelined but ordered), writes are buffered with
+//! backpressure (a slow reader pauses its own reads, never the loop),
+//! and connections idle past `idle_timeout` with nothing in flight are
+//! swept — one slowloris cannot hold a thread, and ten thousand idle
+//! scanners cost only their sockets and a few hundred bytes each.
+//!
+//! Deliberate tradeoff: admin commands (`reload`/`load` do snapshot
+//! disk I/O) run inline on the event-loop thread, briefly delaying that
+//! loop's other connections. They are rare, trusted-operator actions,
+//! and the GPSB serving load they trigger is sub-millisecond to
+//! low-millisecond (see the snapshot_load bench) — well under a normal
+//! scheduling hiccup. If admin latency ever matters, the fix is a side
+//! thread completing through the same `CompletionQueue` the predicts
+//! use; the protocol needs no change.
+
+mod conn;
+mod decoder;
+mod poller;
+mod sys;
+
+pub use decoder::{DecodeError, FrameDecoder};
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::artifact::Ranked;
+use crate::proto;
+use crate::server::PredictionServer;
+use crate::shard::ReplySink;
+use crate::transport::TransportConfig;
+use conn::{Conn, ReadOutcome};
+use gps_types::json::Json;
+use poller::{wake_pair, Event, Interest, Poller, WakeReceiver, Waker};
+
+/// Poller token of the wakeup socket (connection tokens count up from 0,
+/// so they never collide).
+const WAKE_TOKEN: u64 = u64::MAX;
+
+/// Where shard workers deliver answers for jobs submitted by an event
+/// loop: a queue plus the loop's waker. Pushes coalesce — only the push
+/// into an empty queue wakes (the loop drains everything per pass).
+pub(crate) struct CompletionQueue {
+    items: Mutex<Vec<(usize, Vec<Arc<Ranked>>)>>,
+    waker: Waker,
+}
+
+impl CompletionQueue {
+    pub(crate) fn push(&self, tag: usize, answers: Vec<Arc<Ranked>>) {
+        let was_empty = {
+            let mut items = self.items.lock().expect("completion queue lock");
+            let was_empty = items.is_empty();
+            items.push((tag, answers));
+            was_empty
+        };
+        if was_empty {
+            self.waker.wake();
+        }
+    }
+
+    fn drain(&self) -> Vec<(usize, Vec<Arc<Ranked>>)> {
+        std::mem::take(&mut *self.items.lock().expect("completion queue lock"))
+    }
+}
+
+/// The accept thread's handle to one event loop.
+struct LoopHandle {
+    incoming: Arc<Mutex<Vec<TcpStream>>>,
+    waker: Waker,
+}
+
+/// One predict request awaiting shard completions.
+struct PendingPredict {
+    conn: u64,
+    seq: u64,
+    batch: bool,
+    request_id: Option<Json>,
+    results: Vec<Option<Arc<Ranked>>>,
+    /// Sub-batches still out with shard workers.
+    remaining: usize,
+}
+
+/// One shard sub-batch in flight: which pending request it belongs to
+/// and which original query indices it answers.
+struct SubJob {
+    pending: u64,
+    indices: Vec<usize>,
+}
+
+struct EventLoop {
+    server: Arc<PredictionServer>,
+    poller: Poller,
+    wake_rx: WakeReceiver,
+    incoming: Arc<Mutex<Vec<TcpStream>>>,
+    completions: Arc<CompletionQueue>,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    pending: HashMap<u64, PendingPredict>,
+    next_pending: u64,
+    subjobs: HashMap<usize, SubJob>,
+    next_tag: usize,
+    idle_timeout: Option<Duration>,
+    scratch: Vec<u8>,
+    frames: Vec<String>,
+    /// Guards against re-entering the parked-frame drain from the
+    /// `after_progress` calls that request handling itself triggers.
+    draining_parked: bool,
+}
+
+/// Accept loop + N event-loop threads. Blocks forever, like
+/// `proto::serve_tcp`.
+pub(crate) fn serve_events(
+    server: Arc<PredictionServer>,
+    listener: TcpListener,
+    config: &TransportConfig,
+) -> io::Result<()> {
+    let loops = config.event_loops_or_auto();
+    let mut handles = Vec::with_capacity(loops);
+    for index in 0..loops {
+        let mut poller = Poller::new(config.poll_fallback)?;
+        if index == 0 {
+            eprintln!(
+                "event transport: {} backend, {loops} loop(s)",
+                poller.backend()
+            );
+        }
+        let (waker, wake_rx) = wake_pair()?;
+        poller.register(wake_rx.fd(), WAKE_TOKEN, Interest::READ)?;
+        let incoming = Arc::new(Mutex::new(Vec::new()));
+        let event_loop = EventLoop {
+            server: server.clone(),
+            poller,
+            wake_rx,
+            incoming: incoming.clone(),
+            completions: Arc::new(CompletionQueue {
+                items: Mutex::new(Vec::new()),
+                waker: waker.clone(),
+            }),
+            conns: HashMap::new(),
+            next_token: 0,
+            pending: HashMap::new(),
+            next_pending: 0,
+            subjobs: HashMap::new(),
+            next_tag: 0,
+            idle_timeout: config.idle_timeout,
+            scratch: vec![0u8; 16 * 1024],
+            frames: Vec::new(),
+            draining_parked: false,
+        };
+        std::thread::Builder::new()
+            .name(format!("gps-serve-loop-{index}"))
+            .spawn(move || event_loop.run())
+            .expect("spawn event loop");
+        handles.push(LoopHandle { incoming, waker });
+    }
+    let max_conns = config.max_conns_or_unlimited();
+    let mut next = 0usize;
+    for stream in listener.incoming() {
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        if !server.server_stats().try_admit(max_conns) {
+            continue; // dropping the stream closes it
+        }
+        let handle = &handles[next % handles.len()];
+        next = next.wrapping_add(1);
+        handle.incoming.lock().expect("incoming lock").push(stream);
+        handle.waker.wake();
+    }
+    Ok(())
+}
+
+impl EventLoop {
+    fn run(mut self) {
+        // Sweep cadence: a fraction of the idle timeout, floored so a
+        // tight timeout doesn't busy-poll and capped so expiry is prompt.
+        let sweep_every = self
+            .idle_timeout
+            .map(|t| (t / 4).clamp(Duration::from_millis(10), Duration::from_millis(500)));
+        let mut last_sweep = Instant::now();
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            if self.poller.wait(sweep_every, &mut events).is_err() {
+                // Transient poll failure: don't spin the CPU.
+                std::thread::sleep(Duration::from_millis(1));
+                continue;
+            }
+            for event in events.drain(..) {
+                if event.token == WAKE_TOKEN {
+                    self.wake_rx.drain();
+                    continue;
+                }
+                self.handle_conn_event(event);
+            }
+            self.adopt_incoming();
+            self.drain_completions();
+            if let Some(every) = sweep_every {
+                if last_sweep.elapsed() >= every {
+                    last_sweep = Instant::now();
+                    self.sweep_idle();
+                }
+            }
+        }
+    }
+
+    /// Register connections the accept thread handed over.
+    fn adopt_incoming(&mut self) {
+        let streams = std::mem::take(&mut *self.incoming.lock().expect("incoming lock"));
+        for stream in streams {
+            let _ = stream.set_nodelay(true);
+            if stream.set_nonblocking(true).is_err() {
+                self.count_closed();
+                continue;
+            }
+            let token = self.next_token;
+            self.next_token += 1;
+            if self
+                .poller
+                .register(stream.as_raw_fd(), token, Interest::READ)
+                .is_err()
+            {
+                self.count_closed();
+                continue;
+            }
+            self.conns.insert(token, Conn::new(stream, token));
+        }
+    }
+
+    fn handle_conn_event(&mut self, event: Event) {
+        if event.writable {
+            let Some(conn) = self.conns.get_mut(&event.token) else {
+                return; // closed earlier this pass
+            };
+            if conn.flush().is_err() {
+                self.close(event.token, false);
+                return;
+            }
+        }
+        if event.readable || event.failed {
+            let Some(conn) = self.conns.get_mut(&event.token) else {
+                return;
+            };
+            let outcome = conn.read_ready(&mut self.scratch, &mut self.frames);
+            // Frames decoded before any break are valid — answer them.
+            // A read burst can decode more frames than the pipeline
+            // window admits (bytes already read can't be pushed back to
+            // the kernel): the excess parks on the connection and is
+            // released by `after_progress` as answers flush.
+            let frames: Vec<String> = self.frames.drain(..).collect();
+            for text in frames {
+                let park = self
+                    .conns
+                    .get(&event.token)
+                    .is_some_and(|c| !c.parked.is_empty() || !c.window_open());
+                match self.conns.get_mut(&event.token) {
+                    None => break, // connection died answering an earlier frame
+                    Some(conn) if park => conn.parked.push_back(text),
+                    Some(_) => self.handle_request(event.token, text),
+                }
+            }
+            match outcome {
+                ReadOutcome::Progress => {}
+                ReadOutcome::PeerClosed | ReadOutcome::Broken => {
+                    // Half-close, or framing broke: either way no further
+                    // requests can be read, but requests already accepted
+                    // (frames decoded before the break) still get their
+                    // answers — the blocking transport behaves the same,
+                    // answering sequentially until it hits the bad bytes.
+                    // `after_progress` closes once everything drains.
+                    if let Some(conn) = self.conns.get_mut(&event.token) {
+                        conn.read_closed = true;
+                    }
+                }
+            }
+        }
+        self.after_progress(event.token);
+    }
+
+    /// One complete frame of request text from `token`.
+    fn handle_request(&mut self, token: u64, text: String) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let seq = conn.next_seq();
+        let parsed = Json::parse(&text);
+        let (response, request_id) = match parsed {
+            Err(e) => (Some(proto::error_response(format!("bad json: {e}"))), None),
+            Ok(request) => {
+                let request_id = request.get("id").cloned();
+                match proto::classify(&self.server, &request) {
+                    proto::Action::Ready(json) => (Some(json), request_id),
+                    proto::Action::Predict {
+                        entry: _,
+                        queries,
+                        batch,
+                    } if queries.is_empty() => {
+                        (Some(proto::predict_response(&[], batch)), request_id)
+                    }
+                    proto::Action::Predict {
+                        entry,
+                        queries,
+                        batch,
+                    } => {
+                        let pending_id = self.next_pending;
+                        self.next_pending += 1;
+                        let n = queries.len();
+                        let sink = ReplySink::Queue(self.completions.clone());
+                        let server = self.server.clone();
+                        let mut remaining = 0usize;
+                        server.enqueue_partitioned(&entry, queries, &sink, |indices| {
+                            let tag = self.next_tag;
+                            self.next_tag += 1;
+                            self.subjobs.insert(
+                                tag,
+                                SubJob {
+                                    pending: pending_id,
+                                    indices,
+                                },
+                            );
+                            remaining += 1;
+                            tag
+                        });
+                        self.pending.insert(
+                            pending_id,
+                            PendingPredict {
+                                conn: token,
+                                seq,
+                                batch,
+                                request_id,
+                                results: vec![None; n],
+                                remaining,
+                            },
+                        );
+                        if let Some(conn) = self.conns.get_mut(&token) {
+                            conn.in_flight += 1;
+                        }
+                        (None, None)
+                    }
+                }
+            }
+        };
+        if let Some(response) = response {
+            self.complete(token, seq, response, request_id);
+        }
+    }
+
+    /// Shard answers that arrived since the last pass.
+    fn drain_completions(&mut self) {
+        for (tag, answers) in self.completions.drain() {
+            let Some(subjob) = self.subjobs.remove(&tag) else {
+                continue;
+            };
+            let Some(pending) = self.pending.get_mut(&subjob.pending) else {
+                continue;
+            };
+            for (&idx, answer) in subjob.indices.iter().zip(answers) {
+                pending.results[idx] = Some(answer);
+            }
+            pending.remaining -= 1;
+            if pending.remaining > 0 {
+                continue;
+            }
+            let pending = self
+                .pending
+                .remove(&subjob.pending)
+                .expect("pending present");
+            let answers: Vec<Arc<Ranked>> = pending
+                .results
+                .into_iter()
+                .map(|r| r.expect("every query answered"))
+                .collect();
+            let response = proto::predict_response(&answers, pending.batch);
+            if let Some(conn) = self.conns.get_mut(&pending.conn) {
+                conn.in_flight -= 1;
+            }
+            self.complete(pending.conn, pending.seq, response, pending.request_id);
+        }
+    }
+
+    /// Serialize a finished response into its connection's ordered
+    /// window and push whatever is now flushable.
+    fn complete(&mut self, token: u64, seq: u64, mut response: Json, request_id: Option<Json>) {
+        if let Some(id) = &request_id {
+            response.set("id", id.clone());
+        }
+        let frame = proto::encode_frame_or_error(&response, request_id.as_ref());
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return; // connection died while the answer was computed
+        };
+        conn.enqueue(seq, frame);
+        conn.touch();
+        if conn.flush().is_err() {
+            self.close(token, false);
+            return;
+        }
+        self.after_progress(token);
+    }
+
+    /// Release parked request frames into freed pipeline-window space,
+    /// re-derive poller interest after any state change, and finish off
+    /// connections that are fully drained after a half-close.
+    fn after_progress(&mut self, token: u64) {
+        // The drain is not re-entered from the `after_progress` calls
+        // that handling a released request triggers (complete → here).
+        if !self.draining_parked {
+            self.draining_parked = true;
+            while let Some(conn) = self.conns.get_mut(&token) {
+                if conn.parked.is_empty() || !conn.window_open() {
+                    break;
+                }
+                let text = conn.parked.pop_front().expect("parked nonempty");
+                self.handle_request(token, text);
+            }
+            self.draining_parked = false;
+        }
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.read_closed && conn.drained() {
+            self.close(token, false);
+            return;
+        }
+        let wants = conn.wants();
+        if wants != conn.registered {
+            let fd = conn.stream.as_raw_fd();
+            if self.poller.modify(fd, token, wants).is_err() {
+                self.close(token, false);
+                return;
+            }
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.registered = wants;
+            }
+        }
+    }
+
+    /// Close connections that idled out (nothing in flight, no bytes for
+    /// `idle_timeout` — the slowloris rule lives in
+    /// [`Conn::idle_expired`]).
+    fn sweep_idle(&mut self) {
+        let Some(timeout) = self.idle_timeout else {
+            return;
+        };
+        let now = Instant::now();
+        let expired: Vec<u64> = self
+            .conns
+            .values()
+            .filter(|c| c.idle_expired(timeout, now))
+            .map(|c| c.token)
+            .collect();
+        for token in expired {
+            self.close(token, true);
+        }
+    }
+
+    fn close(&mut self, token: u64, timed_out: bool) {
+        let Some(conn) = self.conns.remove(&token) else {
+            return;
+        };
+        let _ = self.poller.deregister(conn.stream.as_raw_fd());
+        drop(conn); // closes the socket
+        let stats = self.server.server_stats();
+        if timed_out {
+            stats.conns_timed_out.fetch_add(1, Ordering::Relaxed);
+        }
+        stats.conns_closed.fetch_add(1, Ordering::Relaxed);
+        // Pending predicts referencing this token finish harmlessly:
+        // their completions find no connection and are dropped.
+    }
+
+    /// A connection that never became a `Conn` (registration failed) is
+    /// still accounted: accepted was already counted by the accept
+    /// thread.
+    fn count_closed(&self) {
+        self.server
+            .server_stats()
+            .conns_closed
+            .fetch_add(1, Ordering::Relaxed);
+    }
+}

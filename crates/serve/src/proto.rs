@@ -35,17 +35,23 @@
 //! in `server.rs`); like `stats`, the admin commands are trusted-operator
 //! surface — anyone who can reach the port can point the server at a
 //! different snapshot *file path*, so bind to loopback or put an
-//! authenticating proxy in front, as the thread-per-connection design
-//! already assumes. The server is std-only: one OS thread per connection,
-//! which is plenty for the model-serving fan-in this subsystem targets —
-//! heavy multiplexing belongs in a fronting proxy.
+//! authenticating proxy in front. The server is std-only and speaks this
+//! protocol over either of two transports (`crate::transport`): the
+//! thread-per-connection loop in this module — simplest, lowest latency
+//! at moderate fan-in — and the event-driven loop in `crate::net`, which
+//! multiplexes tens of thousands of mostly-idle connections over a few
+//! threads. Request handling is shared (`classify` + the response
+//! builders), so the transports answer identically.
 
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use crate::artifact::{Query, Ranked};
-use crate::server::PredictionServer;
+use crate::net::FrameDecoder;
+use crate::server::{ModelEntry, PredictionServer};
+use crate::transport::TransportConfig;
 use gps_types::json::Json;
 use gps_types::{Ip, JsonCodec, Port};
 
@@ -93,30 +99,36 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Json>> {
 /// connection must close. Whether the text parses is the caller's concern
 /// — the server replies to well-framed garbage instead of disconnecting.
 pub fn read_frame_text(r: &mut impl Read) -> io::Result<Option<String>> {
-    // Only EOF before the first length byte is a clean close; EOF midway
-    // through the prefix is a truncated frame from a dead peer.
-    let mut len_bytes = [0u8; 4];
+    // Driven through the same incremental decoder the event transport
+    // uses, with exact-sized reads (`need()`), so a length prefix or body
+    // torn across arbitrarily small TCP segments reassembles correctly
+    // and no byte of the *next* frame is ever consumed. Only EOF before
+    // the first length byte is a clean close; EOF midway through a frame
+    // is truncation from a dead peer.
+    let mut decoder = FrameDecoder::new(MAX_FRAME_BYTES);
+    let mut frames = Vec::with_capacity(1);
+    let mut chunk = [0u8; 16 * 1024];
     loop {
-        match r.read(&mut len_bytes[..1]) {
-            Ok(0) => return Ok(None),
-            Ok(_) => break,
+        let want = decoder.need().min(chunk.len());
+        let n = match r.read(&mut chunk[..want]) {
+            Ok(0) => {
+                return if decoder.at_boundary() {
+                    Ok(None)
+                } else {
+                    Err(io::ErrorKind::UnexpectedEof.into())
+                };
+            }
+            Ok(n) => n,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
             Err(e) => return Err(e),
+        };
+        decoder
+            .feed(&chunk[..n], &mut frames)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        if let Some(text) = frames.pop() {
+            return Ok(Some(text));
         }
     }
-    r.read_exact(&mut len_bytes[1..])?;
-    let len = u32::from_be_bytes(len_bytes);
-    if len > MAX_FRAME_BYTES {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "frame exceeds size cap",
-        ));
-    }
-    let mut buf = vec![0u8; len as usize];
-    r.read_exact(&mut buf)?;
-    String::from_utf8(buf)
-        .map(Some)
-        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not utf-8"))
 }
 
 /// Encode a query for the wire.
@@ -198,16 +210,34 @@ pub fn ranked_from_json(json: &Json) -> Result<Ranked, String> {
         .collect()
 }
 
-fn ok_response() -> Json {
+pub(crate) fn ok_response() -> Json {
     let mut json = Json::obj();
     json.set("ok", true);
     json
 }
 
-fn error_response(message: impl Into<String>) -> Json {
+pub(crate) fn error_response(message: impl Into<String>) -> Json {
     let mut json = Json::obj();
     json.set("ok", false).set("error", message.into());
     json
+}
+
+/// Serialize a response frame; if the response exceeds the frame cap (a
+/// legal request can still produce one — a huge batch against a
+/// rule-rich model), substitute the standard over-cap error reply,
+/// carrying the request id so the client can still correlate it.
+pub(crate) fn encode_frame_or_error(response: &Json, request_id: Option<&Json>) -> Vec<u8> {
+    let mut buf = Vec::new();
+    if write_frame(&mut buf, response).is_ok() {
+        return buf;
+    }
+    buf.clear();
+    let mut oversized = error_response("response exceeds frame size cap");
+    if let Some(id) = request_id {
+        oversized.set("id", id.clone());
+    }
+    write_frame(&mut buf, &oversized).expect("error frame fits the cap");
+    buf
 }
 
 /// An optional string field that, when present, must actually be a
@@ -220,80 +250,117 @@ fn optional_str<'a>(request: &'a Json, field: &str) -> Result<Option<&'a str>, S
     }
 }
 
-/// Compute the response for one request frame.
-fn respond(server: &PredictionServer, request: &Json) -> Json {
+/// How one request frame is to be answered. `classify` is the request
+/// core both transports share: every command except the predicts is
+/// fully computed here; the predicts come back as *work* (the resolved
+/// model entry plus parsed queries), because the blocking transport
+/// executes them in place while the event transport pipelines them into
+/// the shard workers and answers when completions return. Running the
+/// same classification and the same response builders is what makes the
+/// two transports answer byte-identically — asserted by the
+/// transport-parity e2e suite.
+pub(crate) enum Action {
+    /// The response, finished.
+    Ready(Json),
+    /// Shard work: answer with [`predict_response`] once every query in
+    /// `queries` has its answer.
+    Predict {
+        entry: Arc<ModelEntry>,
+        queries: Vec<Query>,
+        /// `batch` frames answer with `"results"`, singles with
+        /// `"predictions"`.
+        batch: bool,
+    },
+}
+
+/// Build the success reply for completed predict work (both shapes).
+pub(crate) fn predict_response(answers: &[Arc<Ranked>], batch: bool) -> Json {
+    let mut json = ok_response();
+    if batch {
+        json.set(
+            "results",
+            answers
+                .iter()
+                .map(|r| ranked_to_json(r))
+                .collect::<Vec<_>>(),
+        );
+    } else {
+        json.set("predictions", ranked_to_json(&answers[0]));
+    }
+    json
+}
+
+/// Classify one request frame into a finished response or predict work.
+pub(crate) fn classify(server: &PredictionServer, request: &Json) -> Action {
+    let ready = Action::Ready;
     let cmd = match request.get("cmd").and_then(Json::as_str) {
         Some(cmd) => cmd,
-        None => return error_response("missing cmd"),
+        None => return ready(error_response("missing cmd")),
     };
     // On query-shaped frames `"model"` is a registry id; absence means
     // the default model (the pre-registry wire behavior, unchanged).
     let model_id = match optional_str(request, "model") {
         Ok(id) => id,
-        Err(e) => return error_response(e),
+        Err(e) => return ready(error_response(e)),
+    };
+    // Resolve the serving entry for the predict commands up front so the
+    // unknown-model error is identical on both shapes.
+    let resolve = |id: Option<&str>| -> Result<Arc<ModelEntry>, String> {
+        match id {
+            None => Ok(server.default_entry().clone()),
+            Some(id) => server.entry(id),
+        }
     };
     match cmd {
         "ping" => {
             let mut json = ok_response();
             json.set("pong", true);
-            json
+            ready(json)
         }
         "predict" => match query_from_json(request) {
-            Ok(query) => {
-                let ranked = match model_id {
-                    None => server.predict(query),
-                    Some(id) => match server.predict_for(id, query) {
-                        Ok(ranked) => ranked,
-                        Err(e) => return error_response(e),
-                    },
-                };
-                let mut json = ok_response();
-                json.set("predictions", ranked_to_json(&ranked));
-                json
-            }
-            Err(e) => error_response(e),
+            Ok(query) => match resolve(model_id) {
+                Ok(entry) => Action::Predict {
+                    entry,
+                    queries: vec![query],
+                    batch: false,
+                },
+                Err(e) => ready(error_response(e)),
+            },
+            Err(e) => ready(error_response(e)),
         },
         "batch" => {
             let queries = match request.get("queries").and_then(Json::as_arr) {
                 Some(items) if items.len() <= MAX_BATCH_QUERIES => items,
-                Some(_) => return error_response("batch too large"),
-                None => return error_response("missing queries"),
+                Some(_) => return ready(error_response("batch too large")),
+                None => return ready(error_response("missing queries")),
             };
             let mut parsed = Vec::with_capacity(queries.len());
             for q in queries {
                 match query_from_json(q) {
                     Ok(query) => parsed.push(query),
-                    Err(e) => return error_response(e),
+                    Err(e) => return ready(error_response(e)),
                 }
             }
-            let answers = match model_id {
-                None => server.predict_batch(parsed),
-                Some(id) => match server.predict_batch_for(id, parsed) {
-                    Ok(answers) => answers,
-                    Err(e) => return error_response(e),
+            match resolve(model_id) {
+                Ok(entry) => Action::Predict {
+                    entry,
+                    queries: parsed,
+                    batch: true,
                 },
-            };
-            let mut json = ok_response();
-            json.set(
-                "results",
-                answers
-                    .iter()
-                    .map(|r| ranked_to_json(r))
-                    .collect::<Vec<_>>(),
-            );
-            json
+                Err(e) => ready(error_response(e)),
+            }
         }
         "stats" => {
             let mut json = ok_response();
             json.set("stats", server.stats().to_json());
-            json
+            ready(json)
         }
         "manifest" => {
             let (model, generation) = match model_id {
                 None => (server.model(), server.generation()),
                 Some(id) => match (server.model_of(id), server.generation_of(id)) {
                     (Ok(model), Ok(generation)) => (model, generation),
-                    (Err(e), _) | (_, Err(e)) => return error_response(e),
+                    (Err(e), _) | (_, Err(e)) => return ready(error_response(e)),
                 },
             };
             let m = model.manifest();
@@ -312,7 +379,7 @@ fn respond(server: &PredictionServer, request: &Json) -> Json {
             let mut json = ok_response();
             json.set("manifest", inner)
                 .set("generation", Json::Num(generation as f64));
-            json
+            ready(json)
         }
         "reload" => {
             // Here `"model"` keeps its pre-registry meaning — a snapshot
@@ -320,7 +387,7 @@ fn respond(server: &PredictionServer, request: &Json) -> Json {
             let path = model_id.map(std::path::PathBuf::from);
             let name = match optional_str(request, "name") {
                 Ok(name) => name,
-                Err(e) => return error_response(e),
+                Err(e) => return ready(error_response(e)),
             };
             let result = match name {
                 None => server.reload_from_disk(path.as_deref()),
@@ -340,22 +407,22 @@ fn respond(server: &PredictionServer, request: &Json) -> Json {
                     if let Some(name) = name {
                         json.set("name", name);
                     }
-                    json
+                    ready(json)
                 }
                 // The old model is still serving; the error only reports
                 // why the swap did not happen.
-                Err(e) => error_response(format!("reload failed: {e}")),
+                Err(e) => ready(error_response(format!("reload failed: {e}"))),
             }
         }
         "load" => {
             let name = match optional_str(request, "name") {
                 Ok(Some(name)) => name,
-                Ok(None) => return error_response("load requires a name"),
-                Err(e) => return error_response(e),
+                Ok(None) => return ready(error_response("load requires a name")),
+                Err(e) => return ready(error_response(e)),
             };
             let path = match model_id {
                 Some(path) => std::path::PathBuf::from(path),
-                None => return error_response("load requires a model snapshot path"),
+                None => return ready(error_response("load requires a model snapshot path")),
             };
             match server.load_model_from_disk(name, &path) {
                 Ok(model) => {
@@ -365,24 +432,24 @@ fn respond(server: &PredictionServer, request: &Json) -> Json {
                         .set("num_rules", m.num_rules)
                         .set("num_priors", m.num_priors)
                         .set("checksum", gps_types::json::u64_to_hex(m.checksum));
-                    json
+                    ready(json)
                 }
-                Err(e) => error_response(format!("load failed: {e}")),
+                Err(e) => ready(error_response(format!("load failed: {e}"))),
             }
         }
         "unload" => {
             let name = match optional_str(request, "name") {
                 Ok(Some(name)) => name,
-                Ok(None) => return error_response("unload requires a name"),
-                Err(e) => return error_response(e),
+                Ok(None) => return ready(error_response("unload requires a name")),
+                Err(e) => return ready(error_response(e)),
             };
             match server.unload_model(name) {
                 Ok(()) => {
                     let mut json = ok_response();
                     json.set("name", name);
-                    json
+                    ready(json)
                 }
-                Err(e) => error_response(format!("unload failed: {e}")),
+                Err(e) => ready(error_response(format!("unload failed: {e}"))),
             }
         }
         "list-models" => {
@@ -400,9 +467,31 @@ fn respond(server: &PredictionServer, request: &Json) -> Json {
                     })
                     .collect::<Vec<_>>(),
             );
-            json
+            ready(json)
         }
-        other => error_response(format!("unknown cmd {other:?}")),
+        other => ready(error_response(format!("unknown cmd {other:?}"))),
+    }
+}
+
+/// Compute the response for one request frame, executing predict work in
+/// place (the blocking transports' path through the shared core).
+fn respond(server: &PredictionServer, request: &Json) -> Json {
+    match classify(server, request) {
+        Action::Ready(json) => json,
+        Action::Predict {
+            entry,
+            queries,
+            batch,
+        } => {
+            if batch {
+                let answers = server.predict_batch_entry(entry, queries);
+                predict_response(&answers, true)
+            } else {
+                let query = queries.into_iter().next().expect("one query");
+                let answer = server.predict_entry(entry, query);
+                predict_response(&[answer], false)
+            }
+        }
     }
 }
 
@@ -428,39 +517,62 @@ pub fn serve_connection(server: &PredictionServer, stream: TcpStream) -> io::Res
         if let Some(id) = &request_id {
             response.set("id", id.clone());
         }
-        match write_frame(&mut writer, &response) {
-            Ok(()) => {}
-            // A legal request can still produce an over-cap response (a
-            // huge batch against a rule-rich model). Nothing was written,
-            // so the stream is intact: reply with an error instead of
-            // dropping the connection.
-            Err(e) if e.kind() == io::ErrorKind::InvalidInput => {
-                let mut oversized = error_response("response exceeds frame size cap");
-                if let Some(id) = &request_id {
-                    oversized.set("id", id.clone());
-                }
-                write_frame(&mut writer, &oversized)?;
-            }
-            Err(e) => return Err(e),
-        }
+        // `encode_frame_or_error` substitutes the standard over-cap error
+        // reply (id included) if a legal request produced an over-cap
+        // response — the same path the event transport serializes
+        // through, so the fallback frame is byte-identical on both.
+        let frame = encode_frame_or_error(&response, request_id.as_ref());
+        writer.write_all(&frame)?;
+        writer.flush()?;
     }
     Ok(())
 }
 
 /// Accept loop: one thread per connection. Blocks forever; run it on a
-/// dedicated thread if the caller needs to keep working.
+/// dedicated thread if the caller needs to keep working. Equivalent to
+/// [`crate::transport::serve`] with a default (threads-transport)
+/// [`TransportConfig`].
 pub fn serve_tcp(server: Arc<PredictionServer>, listener: TcpListener) -> io::Result<()> {
+    serve_blocking(server, listener, &TransportConfig::default())
+}
+
+/// The thread-per-connection transport with its knobs: `max_conns` caps
+/// live connections (excess accepts are dropped on the floor, counted in
+/// `conns_rejected`), `idle_timeout` rides on `SO_RCVTIMEO` — a
+/// connection that sends no byte for that long (mid-frame or between
+/// frames alike) is closed and counted in `conns_timed_out`.
+pub(crate) fn serve_blocking(
+    server: Arc<PredictionServer>,
+    listener: TcpListener,
+    config: &TransportConfig,
+) -> io::Result<()> {
+    let max_conns = config.max_conns_or_unlimited();
+    let idle_timeout = config.idle_timeout;
     for stream in listener.incoming() {
         let stream = match stream {
             Ok(s) => s,
             Err(_) => continue,
         };
+        if !server.server_stats().try_admit(max_conns) {
+            continue; // dropping the stream closes it
+        }
         let server = server.clone();
         std::thread::Builder::new()
             .name("gps-serve-conn".to_string())
             .spawn(move || {
                 let _ = stream.set_nodelay(true);
-                let _ = serve_connection(&server, stream);
+                let _ = stream.set_read_timeout(idle_timeout);
+                let result = serve_connection(&server, stream);
+                let stats = server.server_stats();
+                if let Err(e) = result {
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) {
+                        stats.conns_timed_out.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                stats.conns_closed.fetch_add(1, Ordering::Relaxed);
             })
             .expect("spawn connection thread");
     }

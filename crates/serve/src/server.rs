@@ -53,7 +53,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant, SystemTime};
 
 use crate::artifact::{Query, Ranked, ServableModel};
-use crate::shard::{run_shard, Job, ShardConfig, ShardHandle};
+use crate::shard::{run_shard, Job, ReplySink, ShardConfig, ShardHandle};
 use gps_core::snapshot::header_fingerprint;
 use gps_core::ModelSnapshot;
 use gps_types::json::Json;
@@ -249,6 +249,37 @@ pub struct ServerStats {
     pub per_shard: Vec<AtomicU64>,
     /// Completed hot reloads since start, across every model.
     pub reloads: AtomicU64,
+    /// Connections the serving transport accepted (either transport).
+    pub conns_accepted: AtomicU64,
+    /// Connections fully closed (clean EOF, error, or timeout alike).
+    pub conns_closed: AtomicU64,
+    /// Connections closed *because* they idled past the transport's idle
+    /// timeout (also counted in `conns_closed`).
+    pub conns_timed_out: AtomicU64,
+    /// Connections dropped at accept because `max_conns` was reached
+    /// (never counted in `conns_accepted`).
+    pub conns_rejected: AtomicU64,
+}
+
+impl ServerStats {
+    /// The accept-loop gate both transports share: under `max_conns` the
+    /// connection is counted accepted and admitted; at or over it, the
+    /// rejection is counted and the caller drops the socket. Keeping the
+    /// count-and-decide in one place keeps `--max-conns` semantics
+    /// identical across transports.
+    pub(crate) fn try_admit(&self, max_conns: u64) -> bool {
+        let active = self
+            .conns_accepted
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.conns_closed.load(Ordering::Relaxed));
+        if active >= max_conns {
+            self.conns_rejected.fetch_add(1, Ordering::Relaxed);
+            false
+        } else {
+            self.conns_accepted.fetch_add(1, Ordering::Relaxed);
+            true
+        }
+    }
 }
 
 /// A point-in-time copy of one model's counters and identity.
@@ -325,6 +356,14 @@ pub struct StatsSnapshot {
     pub uptime_secs: f64,
     /// Completed reloads across every model.
     pub reloads: u64,
+    /// Transport connection counters (both transports feed them).
+    pub conns_accepted: u64,
+    pub conns_closed: u64,
+    /// `conns_accepted - conns_closed` at snapshot time: connections the
+    /// transport is holding right now.
+    pub conns_active: u64,
+    pub conns_timed_out: u64,
+    pub conns_rejected: u64,
     /// The *default* model's generation (0 = the model the server started
     /// with) — the pre-registry meaning, kept for wire compatibility.
     pub generation: u64,
@@ -364,6 +403,11 @@ impl StatsSnapshot {
             )
             .set("uptime_secs", self.uptime_secs)
             .set("reloads", Json::Num(self.reloads as f64))
+            .set("conns_accepted", Json::Num(self.conns_accepted as f64))
+            .set("conns_closed", Json::Num(self.conns_closed as f64))
+            .set("conns_active", Json::Num(self.conns_active as f64))
+            .set("conns_timed_out", Json::Num(self.conns_timed_out as f64))
+            .set("conns_rejected", Json::Num(self.conns_rejected as f64))
             .set("generation", Json::Num(self.generation as f64))
             .set("models", models);
         json
@@ -498,10 +542,22 @@ impl PredictionServer {
         self.registry.get(id).is_some()
     }
 
-    fn entry(&self, id: &str) -> Result<Arc<ModelEntry>, String> {
+    pub(crate) fn entry(&self, id: &str) -> Result<Arc<ModelEntry>, String> {
         self.registry
             .get(id)
             .ok_or_else(|| format!("unknown model {id:?}"))
+    }
+
+    /// The entry the id-less API routes to (for the transports' shared
+    /// request core).
+    pub(crate) fn default_entry(&self) -> &Arc<ModelEntry> {
+        &self.default_entry
+    }
+
+    /// The shared counters, for the transports (which account
+    /// connections) — same allocation [`stats`](Self::stats) snapshots.
+    pub(crate) fn server_stats(&self) -> &Arc<ServerStats> {
+        &self.stats
     }
 
     /// The currently published default model. Holders keep the epoch they
@@ -652,7 +708,7 @@ impl PredictionServer {
             let _ = shard.sender.try_send(Job {
                 model: entry.clone(),
                 queries: Vec::new(),
-                reply,
+                reply: ReplySink::Channel(reply),
                 tag: 0,
                 enqueued: Instant::now(),
             });
@@ -727,13 +783,13 @@ impl PredictionServer {
         Ok(self.predict_entry(self.entry(id)?, query))
     }
 
-    fn predict_entry(&self, entry: Arc<ModelEntry>, query: Query) -> Arc<Ranked> {
+    pub(crate) fn predict_entry(&self, entry: Arc<ModelEntry>, query: Query) -> Arc<Ranked> {
         let shard = self.shard_of(query.ip);
         let (reply_tx, reply_rx) = mpsc::channel();
         let job = Job {
             model: Some(entry),
             queries: vec![query],
-            reply: reply_tx,
+            reply: ReplySink::Channel(reply_tx),
             tag: 0,
             enqueued: Instant::now(),
         };
@@ -760,8 +816,22 @@ impl PredictionServer {
         Ok(self.predict_batch_entry(self.entry(id)?, queries))
     }
 
-    fn predict_batch_entry(&self, entry: Arc<ModelEntry>, queries: Vec<Query>) -> Vec<Arc<Ranked>> {
-        let n = queries.len();
+    /// Partition `queries` by owning shard and enqueue one [`Job`] per
+    /// non-empty sub-batch, each carrying a clone of `sink` and the tag
+    /// `tag_of` returns for its original-index list. This is the one
+    /// fan-out path both transports share: the blocking API parks on a
+    /// channel sink, the event transport hands out completion-queue tags
+    /// and reassembles later. Returns the number of jobs enqueued.
+    ///
+    /// `tag_of` runs *before* its job is sent, so a caller that records
+    /// the tag in a routing table is always ready for the reply.
+    pub(crate) fn enqueue_partitioned(
+        &self,
+        entry: &Arc<ModelEntry>,
+        queries: Vec<Query>,
+        sink: &ReplySink,
+        mut tag_of: impl FnMut(Vec<usize>) -> usize,
+    ) -> usize {
         let mut by_shard: Vec<(Vec<usize>, Vec<Query>)> = (0..self.shards.len())
             .map(|_| (Vec::new(), Vec::new()))
             .collect();
@@ -770,30 +840,46 @@ impl PredictionServer {
             by_shard[shard].0.push(idx);
             by_shard[shard].1.push(query);
         }
-        let (reply_tx, reply_rx) = mpsc::channel();
-        let mut outstanding: Vec<Vec<usize>> = Vec::new();
+        let mut jobs = 0;
         for (shard, (indices, shard_queries)) in by_shard.into_iter().enumerate() {
             if shard_queries.is_empty() {
                 continue;
             }
+            let tag = tag_of(indices);
             let job = Job {
                 model: Some(entry.clone()),
                 queries: shard_queries,
-                reply: reply_tx.clone(),
-                tag: outstanding.len(),
+                reply: sink.clone(),
+                tag,
                 enqueued: Instant::now(),
             };
             self.shards[shard]
                 .sender
                 .send(job)
                 .expect("shard worker alive");
-            outstanding.push(indices);
+            jobs += 1;
         }
-        drop(reply_tx);
+        jobs
+    }
+
+    pub(crate) fn predict_batch_entry(
+        &self,
+        entry: Arc<ModelEntry>,
+        queries: Vec<Query>,
+    ) -> Vec<Arc<Ranked>> {
+        let n = queries.len();
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let sink = ReplySink::Channel(reply_tx);
+        let mut outstanding: Vec<Vec<usize>> = Vec::new();
+        let jobs = self.enqueue_partitioned(&entry, queries, &sink, |indices| {
+            outstanding.push(indices);
+            outstanding.len() - 1
+        });
+        drop(sink);
         let mut results: Vec<Option<Arc<Ranked>>> = vec![None; n];
         // Shard replies arrive in arbitrary order; the echoed tag names
         // the sub-batch each belongs to.
-        for _ in 0..outstanding.len() {
+        for _ in 0..jobs {
             let (tag, answers) = reply_rx.recv().expect("shard worker replies");
             for (&idx, answer) in outstanding[tag].iter().zip(answers) {
                 results[idx] = Some(answer);
@@ -844,6 +930,15 @@ impl PredictionServer {
                 .collect(),
             uptime_secs: self.started.elapsed().as_secs_f64(),
             reloads: self.stats.reloads.load(Ordering::Relaxed),
+            conns_accepted: self.stats.conns_accepted.load(Ordering::Relaxed),
+            conns_closed: self.stats.conns_closed.load(Ordering::Relaxed),
+            conns_active: self
+                .stats
+                .conns_accepted
+                .load(Ordering::Relaxed)
+                .saturating_sub(self.stats.conns_closed.load(Ordering::Relaxed)),
+            conns_timed_out: self.stats.conns_timed_out.load(Ordering::Relaxed),
+            conns_rejected: self.stats.conns_rejected.load(Ordering::Relaxed),
             generation: self.default_entry.generation(),
             models,
         }

@@ -24,8 +24,33 @@ use std::time::Instant;
 
 use crate::artifact::{Query, Ranked, ServableModel};
 use crate::cache::LruCache;
+use crate::net::CompletionQueue;
 use crate::server::{ModelEntry, Registry, ServerStats};
 use gps_types::Subnet;
+
+/// Where a shard worker delivers a job's answers. The blocking transports
+/// park a thread on an mpsc receiver; the event transport cannot block,
+/// so its jobs complete into a per-event-loop [`CompletionQueue`] that
+/// wakes the loop instead.
+#[derive(Clone)]
+pub(crate) enum ReplySink {
+    /// One-shot (or fan-in) channel; a dead receiver means the requester
+    /// gave up, which is not a shard error.
+    Channel(Sender<(usize, Vec<Arc<Ranked>>)>),
+    /// Completion queue of the event loop that submitted the job.
+    Queue(Arc<CompletionQueue>),
+}
+
+impl ReplySink {
+    pub(crate) fn send(&self, tag: usize, answers: Vec<Arc<Ranked>>) {
+        match self {
+            ReplySink::Channel(tx) => {
+                let _ = tx.send((tag, answers));
+            }
+            ReplySink::Queue(queue) => queue.push(tag, answers),
+        }
+    }
+}
 
 /// Cache key: everything a prediction depends on, at subnet granularity.
 #[derive(Clone, PartialEq, Eq, Hash)]
@@ -50,7 +75,7 @@ pub(crate) struct CacheKey {
 pub(crate) struct Job {
     pub model: Option<Arc<ModelEntry>>,
     pub queries: Vec<Query>,
-    pub reply: Sender<(usize, Vec<Arc<Ranked>>)>,
+    pub reply: ReplySink,
     pub tag: usize,
     pub enqueued: Instant,
 }
@@ -194,7 +219,7 @@ pub(crate) fn run_shard(
 
             // The requester may have given up (timeout); a dead reply
             // channel is not a shard error.
-            let _ = job.reply.send((job.tag, answers));
+            job.reply.send(job.tag, answers);
         }
 
         if inserted_epoch {

@@ -4,8 +4,12 @@
 //! visibility) but carrying no runtime state — nothing here is reachable
 //! from production code paths.
 
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// A per-test scratch directory with a unique name (label + pid +
 /// process-wide sequence), removed on drop. Fixed file names in
@@ -43,6 +47,133 @@ impl Drop for TestDir {
     }
 }
 
+/// The serving-transport matrix the e2e / adversarial / failure-injection
+/// suites parameterize over. Names are resolved by
+/// `gps_serve::TransportConfig::named`:
+///
+/// - `threads` — the thread-per-connection transport;
+/// - `events` — the event-driven transport on the platform's best
+///   readiness backend (epoll on Linux);
+/// - `events-poll` — the event transport pinned to the portable
+///   `poll(2)` backend, so both pollers are covered on every platform.
+///
+/// Setting `GPS_TEST_TRANSPORT` (a comma-separated subset of the names)
+/// restricts the matrix — CI uses it to run the whole e2e suite once per
+/// transport explicitly.
+pub fn serve_transports() -> Vec<&'static str> {
+    const ALL: [&str; 3] = ["threads", "events", "events-poll"];
+    match std::env::var("GPS_TEST_TRANSPORT") {
+        Ok(forced) if !forced.trim().is_empty() => {
+            let picked: Vec<&'static str> = ALL
+                .into_iter()
+                .filter(|name| forced.split(',').any(|f| f.trim() == *name))
+                .collect();
+            assert!(
+                !picked.is_empty(),
+                "GPS_TEST_TRANSPORT={forced:?} names no known transport (try {ALL:?})"
+            );
+            picked
+        }
+        _ => ALL.to_vec(),
+    }
+}
+
+/// A byte-dribbling TCP proxy: forwards every accepted connection to
+/// `upstream`, one byte per write with `TCP_NODELAY` set, so the far side
+/// sees maximal segmentation — length prefixes torn across reads, frames
+/// arriving a byte at a time. Regression fixture for "the read path must
+/// not assume the 4-byte prefix arrives whole", on both the client and
+/// the server side of the protocol.
+pub struct DribbleProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl DribbleProxy {
+    pub fn start(upstream: SocketAddr) -> std::io::Result<DribbleProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_accept = stop.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name("dribble-proxy".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if stop_accept.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let Ok(client) = stream else { continue };
+                    let Ok(server) = TcpStream::connect(upstream) else {
+                        continue;
+                    };
+                    let _ = client.set_nodelay(true);
+                    let _ = server.set_nodelay(true);
+                    // One forwarder per direction; each exits on EOF or
+                    // error (dropping its sockets closes the pair).
+                    for (mut from, mut to) in [
+                        (
+                            client.try_clone().expect("clone"),
+                            server.try_clone().expect("clone"),
+                        ),
+                        (server, client),
+                    ] {
+                        let stop = stop_accept.clone();
+                        std::thread::spawn(move || {
+                            let _ = from.set_read_timeout(Some(Duration::from_millis(50)));
+                            let mut byte = [0u8; 1];
+                            while !stop.load(Ordering::Acquire) {
+                                match from.read(&mut byte) {
+                                    Ok(0) => return,
+                                    Ok(_) => {
+                                        if to.write_all(&byte).and_then(|()| to.flush()).is_err() {
+                                            return;
+                                        }
+                                    }
+                                    Err(e)
+                                        if matches!(
+                                            e.kind(),
+                                            std::io::ErrorKind::WouldBlock
+                                                | std::io::ErrorKind::TimedOut
+                                        ) =>
+                                    {
+                                        continue
+                                    }
+                                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+                                        continue
+                                    }
+                                    Err(_) => return,
+                                }
+                            }
+                        });
+                    }
+                }
+            })
+            .expect("spawn proxy");
+        Ok(DribbleProxy {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// Where clients should connect instead of the upstream.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for DribbleProxy {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop so the thread can observe the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -57,5 +188,45 @@ mod tests {
         drop(a);
         assert!(!kept.exists(), "dropped dir is removed with its contents");
         assert!(b.dir().exists());
+    }
+
+    #[test]
+    fn transport_matrix_is_nonempty_and_known() {
+        // Robust whether or not CI restricted the matrix via env.
+        let transports = serve_transports();
+        assert!(!transports.is_empty());
+        for t in transports {
+            assert!(["threads", "events", "events-poll"].contains(&t), "{t}");
+        }
+    }
+
+    #[test]
+    fn dribble_proxy_forwards_byte_streams_intact() {
+        // Upstream: a one-shot echo server.
+        let upstream = TcpListener::bind("127.0.0.1:0").unwrap();
+        let upstream_addr = upstream.local_addr().unwrap();
+        let echo = std::thread::spawn(move || {
+            let (mut conn, _) = upstream.accept().unwrap();
+            let mut buf = [0u8; 64];
+            loop {
+                match conn.read(&mut buf) {
+                    Ok(0) | Err(_) => return,
+                    Ok(n) => {
+                        if conn.write_all(&buf[..n]).is_err() {
+                            return;
+                        }
+                    }
+                }
+            }
+        });
+        let proxy = DribbleProxy::start(upstream_addr).unwrap();
+        let mut client = TcpStream::connect(proxy.addr()).unwrap();
+        client.write_all(b"dribble me").unwrap();
+        let mut got = [0u8; 10];
+        client.read_exact(&mut got).unwrap();
+        assert_eq!(&got, b"dribble me");
+        drop(client);
+        drop(proxy);
+        echo.join().unwrap();
     }
 }

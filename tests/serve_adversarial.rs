@@ -1,0 +1,384 @@
+//! Adversarial-client tests for the serving transports: slowloris
+//! half-frames, byte-dribbled requests, pipelined bursts, oversized
+//! length prefixes, trailing garbage, and connection caps. Each case
+//! runs against every transport (`gps_types::testutil::serve_transports`)
+//! where the behavior is transport-independent; the slowloris sweep and
+//! connection-cap semantics are asserted per transport with its own
+//! mechanism (poll-based sweep vs `SO_RCVTIMEO`).
+
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gps::core::snapshot::{ModelManifest, FORMAT_MAJOR, FORMAT_MINOR};
+use gps::core::{CondModel, FeatureRules, Interactions, NetFeature, PriorsEntry};
+use gps::serve::proto::{read_frame, write_frame};
+use gps::serve::{Client, PredictionServer, Query, ServableModel, ServeConfig, TransportConfig};
+use gps::types::testutil::{serve_transports, DribbleProxy};
+use gps::types::{Ip, Json, Port, Subnet};
+
+/// A tiny hand-built model (no training): 80 predicts 443, one prior.
+fn model() -> ServableModel {
+    let mut rules: HashMap<gps::core::CondKey, Vec<(Port, f64)>> = HashMap::new();
+    rules.insert(gps::core::CondKey::Port(Port(80)), vec![(Port(443), 0.9)]);
+    let snapshot = gps::core::ModelSnapshot {
+        manifest: ModelManifest {
+            format: (FORMAT_MAJOR, FORMAT_MINOR),
+            universe_seed: 0,
+            dataset_name: "adversarial".into(),
+            step_prefix: 16,
+            min_prob: 1e-5,
+            interactions: Interactions::ALL,
+            net_features: vec![NetFeature::Slash(16)],
+            hosts_in: 0,
+            distinct_keys: 0,
+            cooccur_entries: 0,
+            num_rules: 1,
+            num_priors: 1,
+            checksum: 0,
+        },
+        model: CondModel::from_parts(HashMap::new(), Interactions::ALL),
+        rules: FeatureRules::from_parts(rules),
+        priors: vec![PriorsEntry {
+            port: Port(22),
+            subnet: Subnet::of_ip(Ip::from_octets(10, 0, 0, 0), 16),
+            coverage: 4,
+        }],
+    };
+    ServableModel::from_snapshot(snapshot)
+}
+
+fn spawn(transport: &str, config: TransportConfig) -> (Arc<PredictionServer>, SocketAddr) {
+    let server = Arc::new(PredictionServer::start(
+        model(),
+        ServeConfig {
+            shards: 2,
+            ..ServeConfig::default()
+        },
+    ));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral port");
+    let addr = listener.local_addr().expect("local addr");
+    let config = TransportConfig {
+        transport: transport.parse().expect("known transport"),
+        poll_fallback: transport == "events-poll",
+        ..config
+    };
+    {
+        let server = server.clone();
+        std::thread::spawn(move || gps::serve::serve(server, listener, config));
+    }
+    (server, addr)
+}
+
+fn predict_frame(id: u64) -> Json {
+    let mut frame = Json::obj();
+    frame
+        .set("cmd", "predict")
+        .set("ip", "10.1.2.3")
+        .set("open", vec![Json::Num(80.0)])
+        .set("id", Json::Num(id as f64));
+    frame
+}
+
+/// Wait until `stream` reports EOF/error (the server closed it), within
+/// a deadline.
+fn assert_closed_within(mut stream: TcpStream, deadline: Duration, what: &str) {
+    stream
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .expect("timeout");
+    let start = Instant::now();
+    let mut buf = [0u8; 64];
+    while start.elapsed() < deadline {
+        match stream.read(&mut buf) {
+            Ok(0) => return, // FIN: server closed
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(_) => return, // RST counts as closed too
+            Ok(_) => panic!("{what}: server sent bytes to a half-dead connection"),
+        }
+    }
+    panic!("{what}: connection still open after {deadline:?}");
+}
+
+/// A slowloris peer sends half a frame and goes silent: the connection
+/// must be dropped at the idle timeout — and a healthy neighbor on the
+/// same server must never notice.
+#[test]
+fn slowloris_half_frame_is_dropped_without_stalling_neighbors() {
+    for transport in serve_transports() {
+        let (server, addr) = spawn(
+            transport,
+            TransportConfig {
+                idle_timeout: Some(Duration::from_millis(300)),
+                ..TransportConfig::default()
+            },
+        );
+
+        // The slowloris: a 4-byte prefix claiming 100 bytes, then 3 bytes
+        // of body, then silence.
+        let mut loris = TcpStream::connect(addr).expect("loris connect");
+        loris.write_all(&100u32.to_be_bytes()).expect("prefix");
+        loris.write_all(b"{\"c").expect("partial body");
+
+        // The healthy neighbor keeps querying the whole time.
+        let healthy = std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("healthy connect");
+            let deadline = Instant::now() + Duration::from_millis(900);
+            let mut served = 0u32;
+            while Instant::now() < deadline {
+                let ranked = client
+                    .predict(&Query::new(Ip::from_octets(10, 0, 0, 1)).with_open([80]))
+                    .expect("healthy queries must not stall");
+                assert_eq!(ranked[0], (Port(443), 0.9));
+                served += 1;
+            }
+            served
+        });
+
+        assert_closed_within(
+            loris,
+            Duration::from_secs(5),
+            &format!("{transport}: slowloris"),
+        );
+        let served = healthy.join().expect("healthy client");
+        assert!(
+            served > 50,
+            "{transport}: neighbor should stream answers freely, served {served}"
+        );
+        // Poll the counters: the timed-out close is visible in stats.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.stats().conns_timed_out == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let stats = server.stats();
+        assert!(
+            stats.conns_timed_out >= 1,
+            "{transport}: timeout counted, {stats:?}"
+        );
+    }
+}
+
+/// A burst of pipelined frames delivered in ONE write is answered
+/// completely, in order, with ids echoed. The burst (400 frames) is
+/// deliberately far past the event transport's 128-request pipeline
+/// window, so the overflow-parking path — frames decoded in one read
+/// beyond the window park and release as answers flush — is covered,
+/// not just the happy path.
+#[test]
+fn pipelined_burst_in_one_segment_answers_in_order() {
+    const BURST: u64 = 400;
+    for transport in serve_transports() {
+        let (_server, addr) = spawn(transport, TransportConfig::default());
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+
+        let mut burst = Vec::new();
+        for id in 0..BURST {
+            write_frame(&mut burst, &predict_frame(id)).expect("encode");
+        }
+        let mut writer = stream;
+        writer.write_all(&burst).expect("one segment");
+        writer.flush().expect("flush");
+
+        for id in 0..BURST {
+            let response = read_frame(&mut reader).expect("read").expect("frame");
+            assert_eq!(
+                response.get("id").and_then(Json::as_u64),
+                Some(id),
+                "{transport}: responses come back in request order"
+            );
+            assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+        }
+    }
+}
+
+/// The same request delivered one byte per TCP segment (server-side
+/// incremental decode) still answers correctly.
+#[test]
+fn single_bytes_per_segment_decode_into_one_request() {
+    for transport in serve_transports() {
+        let (_server, addr) = spawn(transport, TransportConfig::default());
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = stream;
+
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, &predict_frame(9)).expect("encode");
+        for &b in &bytes {
+            writer.write_all(&[b]).expect("dribble");
+            writer.flush().expect("flush");
+        }
+        let response = read_frame(&mut reader).expect("read").expect("frame");
+        assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            response.get("id").and_then(Json::as_u64),
+            Some(9),
+            "{transport}"
+        );
+    }
+}
+
+/// An oversized length prefix is a framing error: the connection closes
+/// (no reply possible — the stream position is untrustworthy), and other
+/// connections are unaffected.
+#[test]
+fn oversized_prefix_closes_only_the_offender() {
+    for transport in serve_transports() {
+        let (_server, addr) = spawn(transport, TransportConfig::default());
+        let mut offender = TcpStream::connect(addr).expect("connect");
+        offender
+            .write_all(&u32::MAX.to_be_bytes())
+            .expect("bogus prefix");
+        assert_closed_within(
+            offender,
+            Duration::from_secs(5),
+            &format!("{transport}: oversized prefix"),
+        );
+        // The server still serves fresh connections.
+        let mut client = Client::connect(addr).expect("fresh connect");
+        client.ping().expect("server alive after framing abuse");
+    }
+}
+
+/// A valid frame followed by garbage bytes: the valid request is
+/// answered; once the garbage desynchronizes framing the connection
+/// closes, without collateral damage.
+#[test]
+fn trailing_garbage_after_valid_frame() {
+    for transport in serve_transports() {
+        let (_server, addr) = spawn(transport, TransportConfig::default());
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = stream.try_clone().expect("clone");
+
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, &predict_frame(1)).expect("encode");
+        // 0xFF... reads as a ~4GB length prefix — framing death.
+        bytes.extend_from_slice(&[0xFF; 8]);
+        writer.write_all(&bytes).expect("frame + garbage");
+        writer.flush().expect("flush");
+
+        let response = read_frame(&mut reader).expect("read").expect("frame");
+        assert_eq!(
+            response.get("id").and_then(Json::as_u64),
+            Some(1),
+            "{transport}: the valid frame is answered before the garbage kills framing"
+        );
+        assert_closed_within(
+            stream,
+            Duration::from_secs(5),
+            &format!("{transport}: trailing garbage"),
+        );
+        let mut client = Client::connect(addr).expect("fresh connect");
+        client.ping().expect("server alive");
+    }
+}
+
+/// `--max-conns`: connections beyond the cap are dropped at accept and
+/// counted; closing one admits the next.
+#[test]
+fn max_conns_rejects_and_recovers() {
+    for transport in serve_transports() {
+        let (server, addr) = spawn(
+            transport,
+            TransportConfig {
+                max_conns: 2,
+                ..TransportConfig::default()
+            },
+        );
+        let mut a = Client::connect(addr).expect("conn a");
+        a.ping().expect("a serves");
+        let mut b = Client::connect(addr).expect("conn b");
+        b.ping().expect("b serves");
+
+        // Third connection: TCP connect succeeds (the kernel accepts),
+        // but the server drops it before serving — the first read sees
+        // EOF.
+        let c = TcpStream::connect(addr).expect("tcp connect");
+        assert_closed_within(
+            c,
+            Duration::from_secs(5),
+            &format!("{transport}: over-cap connection"),
+        );
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.stats().conns_rejected == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(
+            server.stats().conns_rejected >= 1,
+            "{transport}: rejection counted"
+        );
+
+        // Freeing a slot admits new connections again.
+        drop(a);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut admitted = false;
+        while !admitted && Instant::now() < deadline {
+            if let Ok(mut d) = Client::connect(addr) {
+                if d.ping().is_ok() {
+                    admitted = true;
+                }
+            }
+            if !admitted {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+        assert!(admitted, "{transport}: slot freed after close");
+        b.ping().expect("b unaffected throughout");
+    }
+}
+
+/// Regression for the `Client` read path: every response byte arriving
+/// in its own TCP segment (length prefix torn across four reads) must
+/// reassemble — covered by routing a real client through the
+/// byte-dribbling proxy.
+#[test]
+fn client_reassembles_dribbled_responses() {
+    for transport in serve_transports() {
+        let (_server, addr) = spawn(transport, TransportConfig::default());
+        let proxy = DribbleProxy::start(addr).expect("proxy");
+        let mut client = Client::connect(proxy.addr()).expect("connect via proxy");
+        client.ping().expect("ping through dribble");
+        let ranked = client
+            .predict(&Query::new(Ip::from_octets(10, 0, 0, 9)).with_open([80]))
+            .expect("predict through dribble");
+        assert_eq!(ranked[0], (Port(443), 0.9));
+        let batch = vec![
+            Query::new(Ip::from_octets(10, 0, 1, 1)),
+            Query::new(Ip::from_octets(10, 0, 2, 2)).with_open([80]),
+        ];
+        let answers = client.predict_batch(&batch).expect("batch through dribble");
+        assert_eq!(answers.len(), 2);
+        assert_eq!(answers[1][0], (Port(443), 0.9), "{transport}");
+    }
+}
+
+/// Raw protocol sanity under the dribble proxy from the server's
+/// perspective too: a request written through the proxy arrives a byte
+/// at a time and is still answered (this is the regression pairing for
+/// the incremental server-side decoder).
+#[test]
+fn server_reassembles_dribbled_requests() {
+    for transport in serve_transports() {
+        let (_server, addr) = spawn(transport, TransportConfig::default());
+        let proxy = DribbleProxy::start(addr).expect("proxy");
+        let stream = TcpStream::connect(proxy.addr()).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = BufWriter::new(stream);
+        write_frame(&mut writer, &predict_frame(4)).expect("write");
+        let response = read_frame(&mut reader).expect("read").expect("frame");
+        assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            response.get("id").and_then(Json::as_u64),
+            Some(4),
+            "{transport}"
+        );
+    }
+}

@@ -1,20 +1,41 @@
-//! End-to-end test of the serving subsystem: train on the quick universe,
-//! export a snapshot, reload it, serve it over TCP on an ephemeral port,
-//! and hammer it from concurrent protocol clients — asserting every answer
-//! equals the direct `FeatureRules`/priors lookup on the loaded artifact.
+//! End-to-end tests of the serving subsystem, parameterized over every
+//! serving transport: train on the quick universe, export a snapshot,
+//! reload it, serve it over TCP on an ephemeral port, and hammer it from
+//! concurrent protocol clients — asserting every answer equals the direct
+//! `FeatureRules`/priors lookup on the loaded artifact.
+//!
+//! Each case trains its models **once** and then replays the identical
+//! scenario against a fresh server per transport
+//! (`gps_types::testutil::serve_transports`: thread-per-connection, the
+//! epoll event transport, and the event transport pinned to the portable
+//! `poll(2)` backend), so "the transports answer identically" is the
+//! asserted contract, not an assumption. `GPS_TEST_TRANSPORT` restricts
+//! the matrix (CI runs the suite once per transport that way).
 
 use std::collections::HashMap;
-use std::net::TcpListener;
+use std::net::{SocketAddr, TcpListener};
 use std::sync::Arc;
 
 use gps::core::model::NetKey;
 use gps::core::{censys_dataset, run_gps, CondKey, GpsConfig, ModelSnapshot};
-use gps::serve::{Client, PredictionServer, Query, ServableModel, ServeConfig};
+use gps::serve::{Client, PredictionServer, Query, ServableModel, ServeConfig, TransportConfig};
 use gps::synthnet::{Internet, UniverseConfig};
 use gps::types::rng::Rng;
+use gps::types::testutil::{serve_transports, TestDir};
 use gps::types::{Ip, Port, Subnet};
 
-fn train_and_export() -> (Internet, ModelSnapshot, std::path::PathBuf) {
+/// Serve `server` on an ephemeral port with the named transport; returns
+/// the address to connect to. (The serve loop blocks forever on its own
+/// thread, exactly as `cmd_serve` runs it.)
+fn spawn_transport(server: Arc<PredictionServer>, transport: &str) -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral port");
+    let addr = listener.local_addr().expect("local addr");
+    let config = TransportConfig::named(transport).expect("known transport");
+    std::thread::spawn(move || gps::serve::serve(server, listener, config));
+    addr
+}
+
+fn train_and_export(dir: &TestDir) -> (Internet, ModelSnapshot, std::path::PathBuf) {
     let net = Internet::generate(&UniverseConfig::tiny(42));
     let dataset = censys_dataset(&net, 200, 0.05, 0, 1);
     let config = GpsConfig {
@@ -24,7 +45,7 @@ fn train_and_export() -> (Internet, ModelSnapshot, std::path::PathBuf) {
     };
     let run = run_gps(&net, &dataset, &config);
     let snapshot = ModelSnapshot::from_run(&run, &config, 42);
-    let path = std::env::temp_dir().join(format!("gps_serve_e2e_{}.json", std::process::id()));
+    let path = dir.path("model.json");
     snapshot.save(&path).expect("export");
     (net, snapshot, path)
 }
@@ -67,97 +88,103 @@ fn direct_rules_lookup(snapshot: &ModelSnapshot, query: &Query) -> Vec<(Port, f6
 
 #[test]
 fn concurrent_tcp_clients_match_direct_lookups() {
-    let (net, _snapshot, path) = train_and_export();
+    let dir = TestDir::new("serve-e2e");
+    let (net, _snapshot, path) = train_and_export(&dir);
 
     // Reload from disk: the served artifact is the persisted one.
-    let loaded = ModelSnapshot::load(&path).expect("load snapshot");
-    let reference = ModelSnapshot::load(&path).expect("load reference copy");
-    assert_eq!(loaded.manifest, reference.manifest);
-
-    let server = PredictionServer::start(
-        ServableModel::from_snapshot(loaded),
-        ServeConfig {
-            shards: 4,
-            ..ServeConfig::default()
-        },
-    );
-    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral port");
-    let addr = listener.local_addr().expect("local addr");
-    let server = Arc::new(server);
-    {
-        let server = server.clone();
-        std::thread::spawn(move || gps::serve::serve_tcp(server, listener));
-    }
-
-    let reference = Arc::new(reference);
+    let reference = Arc::new(ModelSnapshot::load(&path).expect("load reference copy"));
     let host_ips = Arc::new(net.host_ips().to_vec());
-    let mut handles = Vec::new();
-    for thread_id in 0..6u64 {
-        let reference = reference.clone();
-        let host_ips = host_ips.clone();
-        handles.push(std::thread::spawn(move || {
-            let mut client = Client::connect(addr).expect("connect");
-            client.ping().expect("ping");
-            let mut rng = Rng::new(0xE2E ^ thread_id);
-            let local = ServableModel::from_snapshot((*reference).clone());
-            for i in 0..150 {
-                // Mix of real-universe IPs and arbitrary ones.
-                let ip = if rng.chance(0.7) {
-                    Ip(host_ips[rng.gen_range(host_ips.len() as u64) as usize])
-                } else {
-                    Ip(rng.next_u32())
-                };
-                let mut query = Query::new(ip);
-                if i % 2 == 0 {
-                    query.open = vec![Port(443), Port(80), Port(22)]
-                        [..=(rng.gen_range(3) as usize)]
-                        .to_vec();
+
+    for transport in serve_transports() {
+        let loaded = ModelSnapshot::load(&path).expect("load snapshot");
+        assert_eq!(loaded.manifest, reference.manifest);
+        let server = Arc::new(PredictionServer::start(
+            ServableModel::from_snapshot(loaded),
+            ServeConfig {
+                shards: 4,
+                ..ServeConfig::default()
+            },
+        ));
+        let addr = spawn_transport(server.clone(), transport);
+
+        let mut handles = Vec::new();
+        for thread_id in 0..6u64 {
+            let reference = reference.clone();
+            let host_ips = host_ips.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                client.ping().expect("ping");
+                let mut rng = Rng::new(0xE2E ^ thread_id);
+                let local = ServableModel::from_snapshot((*reference).clone());
+                for i in 0..150 {
+                    // Mix of real-universe IPs and arbitrary ones.
+                    let ip = if rng.chance(0.7) {
+                        Ip(host_ips[rng.gen_range(host_ips.len() as u64) as usize])
+                    } else {
+                        Ip(rng.next_u32())
+                    };
+                    let mut query = Query::new(ip);
+                    if i % 2 == 0 {
+                        query.open = vec![Port(443), Port(80), Port(22)]
+                            [..=(rng.gen_range(3) as usize)]
+                            .to_vec();
+                    }
+                    query.top = 16;
+
+                    let served = client.predict(&query).expect("predict");
+                    // The wire answer equals the local artifact's answer...
+                    assert_eq!(served, local.predict(&query), "query {query:?}");
+                    // ...and warm answers equal the direct rules lookup.
+                    if !query.open.is_empty() {
+                        assert_eq!(served, direct_rules_lookup(&reference, &query), "{query:?}");
+                    }
                 }
-                query.top = 16;
-
-                let served = client.predict(&query).expect("predict");
-                // The wire answer equals the local artifact's answer...
-                assert_eq!(served, local.predict(&query), "query {query:?}");
-                // ...and warm answers equal the direct rules lookup.
-                if !query.open.is_empty() {
-                    assert_eq!(served, direct_rules_lookup(&reference, &query), "{query:?}");
+                // Batch answers equal single answers, order preserved.
+                let batch: Vec<Query> = (0..40)
+                    .map(|_| {
+                        let ip = Ip(host_ips[rng.gen_range(host_ips.len() as u64) as usize]);
+                        let mut q = Query::new(ip);
+                        q.top = 8;
+                        q
+                    })
+                    .collect();
+                let answers = client.predict_batch(&batch).expect("batch");
+                assert_eq!(answers.len(), batch.len());
+                for (query, answer) in batch.iter().zip(&answers) {
+                    assert_eq!(*answer, local.predict(query));
                 }
-            }
-            // Batch answers equal single answers, order preserved.
-            let batch: Vec<Query> = (0..40)
-                .map(|_| {
-                    let ip = Ip(host_ips[rng.gen_range(host_ips.len() as u64) as usize]);
-                    let mut q = Query::new(ip);
-                    q.top = 8;
-                    q
-                })
-                .collect();
-            let answers = client.predict_batch(&batch).expect("batch");
-            assert_eq!(answers.len(), batch.len());
-            for (query, answer) in batch.iter().zip(&answers) {
-                assert_eq!(*answer, local.predict(query));
-            }
-        }));
-    }
-    for handle in handles {
-        handle.join().expect("client thread");
-    }
+            }));
+        }
+        for handle in handles {
+            handle.join().expect("client thread");
+        }
 
-    // The server really served this traffic, and the per-subnet cache saw
-    // repeated subnets.
-    let stats = server.stats();
-    assert!(stats.requests >= 6 * 190, "requests {}", stats.requests);
-    assert!(stats.cache_hits > 0, "repeated subnets must hit the cache");
-    assert_eq!(stats.per_shard.iter().sum::<u64>(), stats.requests);
-
-    std::fs::remove_file(&path).ok();
+        // The server really served this traffic, and the per-subnet cache
+        // saw repeated subnets.
+        let stats = server.stats();
+        assert!(
+            stats.requests >= 6 * 190,
+            "{transport}: requests {}",
+            stats.requests
+        );
+        assert!(
+            stats.cache_hits > 0,
+            "{transport}: repeated subnets must hit the cache"
+        );
+        assert_eq!(stats.per_shard.iter().sum::<u64>(), stats.requests);
+        assert_eq!(
+            stats.conns_accepted, 6,
+            "{transport}: six clients connected"
+        );
+    }
 }
 
 /// Hot reload under fire: serve a GPSB binary snapshot over TCP, hammer
 /// it from concurrent clients, swap in a *different* model via the
 /// `reload` wire command mid-traffic, and require (a) zero failed
 /// queries throughout, (b) a generation bump, and (c) post-reload
-/// answers matching the new artifact (cache invalidation included).
+/// answers matching the new artifact (cache invalidation included) — on
+/// every transport.
 #[test]
 fn hot_reload_serves_new_model_with_zero_failed_queries() {
     use std::sync::atomic::{AtomicBool, Ordering};
@@ -173,151 +200,144 @@ fn hot_reload_serves_new_model_with_zero_failed_queries() {
     };
     let snapshot_a = ModelSnapshot::from_run(&run_gps(&net_a, &dataset_a, &config), &config, 42);
     let snapshot_b = ModelSnapshot::from_run(&run_gps(&net_b, &dataset_b, &config), &config, 1234);
-    let dir = std::env::temp_dir();
-    let path_a = dir.join(format!("gps_reload_e2e_a_{}.gpsb", std::process::id()));
-    let path_b = dir.join(format!("gps_reload_e2e_b_{}.gpsb", std::process::id()));
+    let dir = TestDir::new("serve-reload");
+    let path_a = dir.path("a.gpsb");
+    let path_b = dir.path("b.gpsb");
     snapshot_a.save_binary(&path_a).expect("export a");
     snapshot_b.save_binary(&path_b).expect("export b");
-
-    let server = PredictionServer::start(
-        ServableModel::from_snapshot(ModelSnapshot::load_serving(&path_a).expect("load a")),
-        ServeConfig {
-            shards: 4,
-            ..ServeConfig::default()
-        },
-    );
-    server.set_model_path(&path_a);
-    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral port");
-    let addr = listener.local_addr().expect("local addr");
-    let server = Arc::new(server);
-    {
-        let server = server.clone();
-        std::thread::spawn(move || gps::serve::serve_tcp(server, listener));
-    }
 
     // Reference answers computed directly from each artifact.
     let model_a = ServableModel::from_snapshot(snapshot_a.clone());
     let model_b = Arc::new(ServableModel::from_snapshot(snapshot_b.clone()));
 
-    let reloaded = Arc::new(AtomicBool::new(false));
-    let mut clients = Vec::new();
-    for thread_id in 0..6u64 {
-        let reloaded = reloaded.clone();
-        let model_b = model_b.clone();
-        let host_ips = net_a.host_ips().to_vec();
-        clients.push(std::thread::spawn(move || {
-            let mut client = Client::connect(addr).expect("connect");
-            let mut rng = Rng::new(0x5EED ^ thread_id);
-            let mut answers_from_b = 0u32;
-            let mut i = 0u32;
-            // At least 400 queries, continuing (bounded) until this
-            // thread has seen the swapped-in model answer at least once
-            // — so "the swap was observed under traffic" is asserted
-            // per-thread, not assumed from timing.
-            while i < 400 || (answers_from_b == 0 && i < 5000) {
-                let ip = if rng.chance(0.5) {
-                    Ip(host_ips[rng.gen_range(host_ips.len() as u64) as usize])
-                } else {
-                    Ip(rng.next_u32())
-                };
-                let mut query = Query::new(ip);
-                if i.is_multiple_of(2) {
-                    query.open = vec![Port(443)];
-                }
-                query.top = 16;
-                // THE zero-downtime requirement: every query, before,
-                // during, and after the swap, must succeed.
-                let served = client.predict(&query).expect("query must never fail");
-                if reloaded.load(Ordering::Acquire) && served == model_b.predict(&query) {
-                    answers_from_b += 1;
-                }
-                i += 1;
-            }
-            answers_from_b
-        }));
-    }
+    for transport in serve_transports() {
+        let server = PredictionServer::start(
+            ServableModel::from_snapshot(ModelSnapshot::load_serving(&path_a).expect("load a")),
+            ServeConfig {
+                shards: 4,
+                ..ServeConfig::default()
+            },
+        );
+        server.set_model_path(&path_a);
+        let addr = spawn_transport(Arc::new(server), transport);
 
-    // Let traffic build, then swap A -> B over the wire.
-    std::thread::sleep(std::time::Duration::from_millis(20));
-    let mut control = Client::connect(addr).expect("control connect");
-    assert_eq!(
-        control
-            .manifest()
-            .expect("manifest")
-            .get("checksum")
-            .and_then(|j| j.as_str()),
-        Some(gps::types::json::u64_to_hex(snapshot_a.manifest.checksum).as_str())
-    );
-    let outcome = control
-        .reload(Some(path_b.to_string_lossy().as_ref()))
-        .expect("wire reload");
-    assert_eq!(outcome.generation, 1);
-    assert_eq!(
-        outcome.checksum,
-        gps::types::json::u64_to_hex(snapshot_b.manifest.checksum),
-        "reload reply describes the published model"
-    );
-    reloaded.store(true, Ordering::Release);
+        let reloaded = Arc::new(AtomicBool::new(false));
+        let mut clients = Vec::new();
+        for thread_id in 0..6u64 {
+            let reloaded = reloaded.clone();
+            let model_b = model_b.clone();
+            let host_ips = net_a.host_ips().to_vec();
+            clients.push(std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut rng = Rng::new(0x5EED ^ thread_id);
+                let mut answers_from_b = 0u32;
+                let mut i = 0u32;
+                // At least 400 queries, continuing (bounded) until this
+                // thread has seen the swapped-in model answer at least
+                // once — so "the swap was observed under traffic" is
+                // asserted per-thread, not assumed from timing.
+                while i < 400 || (answers_from_b == 0 && i < 5000) {
+                    let ip = if rng.chance(0.5) {
+                        Ip(host_ips[rng.gen_range(host_ips.len() as u64) as usize])
+                    } else {
+                        Ip(rng.next_u32())
+                    };
+                    let mut query = Query::new(ip);
+                    if i.is_multiple_of(2) {
+                        query.open = vec![Port(443)];
+                    }
+                    query.top = 16;
+                    // THE zero-downtime requirement: every query, before,
+                    // during, and after the swap, must succeed.
+                    let served = client.predict(&query).expect("query must never fail");
+                    if reloaded.load(Ordering::Acquire) && served == model_b.predict(&query) {
+                        answers_from_b += 1;
+                    }
+                    i += 1;
+                }
+                answers_from_b
+            }));
+        }
 
-    for handle in clients {
-        let answers_from_b = handle.join().expect("client thread");
-        assert!(
-            answers_from_b > 0,
-            "every client must observe the new model while traffic is flowing"
+        // Let traffic build, then swap A -> B over the wire.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let mut control = Client::connect(addr).expect("control connect");
+        assert_eq!(
+            control
+                .manifest()
+                .expect("manifest")
+                .get("checksum")
+                .and_then(|j| j.as_str()),
+            Some(gps::types::json::u64_to_hex(snapshot_a.manifest.checksum).as_str())
+        );
+        let outcome = control
+            .reload(Some(path_b.to_string_lossy().as_ref()))
+            .expect("wire reload");
+        assert_eq!(outcome.generation, 1);
+        assert_eq!(
+            outcome.checksum,
+            gps::types::json::u64_to_hex(snapshot_b.manifest.checksum),
+            "reload reply describes the published model"
+        );
+        reloaded.store(true, Ordering::Release);
+
+        for handle in clients {
+            let answers_from_b = handle.join().expect("client thread");
+            assert!(
+                answers_from_b > 0,
+                "{transport}: every client must observe the new model while traffic flows"
+            );
+        }
+
+        // After the swap the served manifest and answers come from model B.
+        let manifest = control.manifest().expect("manifest after reload");
+        assert_eq!(
+            manifest.get("checksum").and_then(|j| j.as_str()),
+            Some(gps::types::json::u64_to_hex(snapshot_b.manifest.checksum).as_str()),
+            "{transport}: served manifest switched to model B"
+        );
+        let mut probe = Query::new(Ip(net_b.host_ips()[0]));
+        probe.top = 16;
+        assert_eq!(
+            control.predict(&probe).expect("post-reload query"),
+            model_b.predict(&probe),
+            "{transport}: post-reload answers come from the new artifact"
+        );
+        // A warm (rules-path) probe too: stale cache entries surface here.
+        let mut warm = Query::new(Ip(net_b.host_ips()[0]));
+        warm.open = vec![Port(443)];
+        warm.top = 16;
+        assert_eq!(
+            control.predict(&warm).expect("post-reload warm query"),
+            model_b.predict(&warm)
+        );
+        let stats = control.stats().expect("stats");
+        assert_eq!(
+            stats.get("generation").and_then(|j| j.as_u64()),
+            Some(1),
+            "{transport}: stats report the bumped generation"
+        );
+        assert_eq!(stats.get("reloads").and_then(|j| j.as_u64()), Some(1));
+
+        // Sanity: the swap was observable — the artifacts differ, and the
+        // two reference models disagree on the probe.
+        assert_ne!(
+            snapshot_a.manifest.checksum, snapshot_b.manifest.checksum,
+            "the two snapshots must differ"
+        );
+        assert_ne!(
+            model_a.predict(&probe),
+            model_b.predict(&probe),
+            "the probe must distinguish the models"
         );
     }
-
-    // After the swap the served manifest and answers come from model B.
-    let manifest = control.manifest().expect("manifest after reload");
-    assert_eq!(
-        manifest.get("checksum").and_then(|j| j.as_str()),
-        Some(gps::types::json::u64_to_hex(snapshot_b.manifest.checksum).as_str()),
-        "served manifest switched to model B"
-    );
-    let mut probe = Query::new(Ip(net_b.host_ips()[0]));
-    probe.top = 16;
-    assert_eq!(
-        control.predict(&probe).expect("post-reload query"),
-        model_b.predict(&probe),
-        "post-reload answers come from the new artifact"
-    );
-    // A warm (rules-path) probe too: stale cache entries would surface here.
-    let mut warm = Query::new(Ip(net_b.host_ips()[0]));
-    warm.open = vec![Port(443)];
-    warm.top = 16;
-    assert_eq!(
-        control.predict(&warm).expect("post-reload warm query"),
-        model_b.predict(&warm)
-    );
-    let stats = control.stats().expect("stats");
-    assert_eq!(
-        stats.get("generation").and_then(|j| j.as_u64()),
-        Some(1),
-        "stats report the bumped generation"
-    );
-    assert_eq!(stats.get("reloads").and_then(|j| j.as_u64()), Some(1));
-
-    // Sanity: the swap was observable — the artifacts differ, and the two
-    // reference models disagree on the probe (so "matches B" is evidence).
-    assert_ne!(
-        snapshot_a.manifest.checksum, snapshot_b.manifest.checksum,
-        "the two snapshots must differ"
-    );
-    assert_ne!(
-        model_a.predict(&probe),
-        model_b.predict(&probe),
-        "the probe must distinguish the models"
-    );
-
-    std::fs::remove_file(&path_a).ok();
-    std::fs::remove_file(&path_b).ok();
 }
 
 /// Multi-model serving end to end: one server holds two models trained on
 /// different universes, one TCP connection queries both by id (answers
 /// must match each artifact's direct predictions), the unknown-model
 /// error path echoes the request id, and models can be loaded/unloaded
-/// over the wire mid-connection.
+/// over the wire mid-connection — on every transport.
 #[test]
 fn two_models_served_by_id_over_one_connection() {
     let config = GpsConfig {
@@ -337,246 +357,252 @@ fn two_models_served_by_id_over_one_connection() {
         &config,
         1234,
     );
-    let dir = std::env::temp_dir();
-    let path_b = dir.join(format!("gps_multimodel_e2e_b_{}.gpsb", std::process::id()));
+    let dir = TestDir::new("serve-multimodel");
+    let path_b = dir.path("b.gpsb");
     snapshot_b.save_binary(&path_b).expect("export b");
     let model_a = ServableModel::from_snapshot(snapshot_a.clone());
     let model_b = ServableModel::from_snapshot(snapshot_b.clone());
 
-    let server = PredictionServer::start_named(
-        vec![
-            (
-                "alpha".to_string(),
-                ServableModel::from_snapshot(snapshot_a.clone()),
-            ),
-            (
-                "beta".to_string(),
-                ServableModel::from_snapshot(snapshot_b.clone()),
-            ),
-        ],
-        ServeConfig {
-            shards: 4,
-            ..ServeConfig::default()
-        },
-    )
-    .expect("registry starts");
-    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral port");
-    let addr = listener.local_addr().expect("local addr");
-    {
-        let server = Arc::new(server);
-        std::thread::spawn(move || gps::serve::serve_tcp(server, listener));
-    }
+    for transport in serve_transports() {
+        let server = PredictionServer::start_named(
+            vec![
+                (
+                    "alpha".to_string(),
+                    ServableModel::from_snapshot(snapshot_a.clone()),
+                ),
+                (
+                    "beta".to_string(),
+                    ServableModel::from_snapshot(snapshot_b.clone()),
+                ),
+            ],
+            ServeConfig {
+                shards: 4,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("registry starts");
+        let addr = spawn_transport(Arc::new(server), transport);
 
-    let mut client = Client::connect(addr).expect("connect");
-    let mut rng = Rng::new(0xD0D0);
-    let hosts_a = net_a.host_ips().to_vec();
-    let hosts_b = net_b.host_ips().to_vec();
-    for i in 0..120u32 {
-        let (id, reference, hosts) = if i % 2 == 0 {
-            ("alpha", &model_a, &hosts_a)
-        } else {
-            ("beta", &model_b, &hosts_b)
-        };
-        let ip = if rng.chance(0.6) {
-            Ip(hosts[rng.gen_range(hosts.len() as u64) as usize])
-        } else {
-            Ip(rng.next_u32())
-        };
-        let mut query = Query::new(ip);
-        if i % 3 == 0 {
-            query.open = vec![Port(443)];
-        }
-        query.top = 16;
-        // Interleaved on ONE connection: each id answers from its own
-        // artifact, bit-identically.
-        let served = client.predict_on(Some(id), &query).expect("predict by id");
-        assert_eq!(served, reference.predict(&query), "model {id}, {query:?}");
-        // An id-less frame means the default (first) model.
-        if i % 10 == 0 {
+        let mut client = Client::connect(addr).expect("connect");
+        let mut rng = Rng::new(0xD0D0);
+        let hosts_a = net_a.host_ips().to_vec();
+        let hosts_b = net_b.host_ips().to_vec();
+        for i in 0..120u32 {
+            let (id, reference, hosts) = if i % 2 == 0 {
+                ("alpha", &model_a, &hosts_a)
+            } else {
+                ("beta", &model_b, &hosts_b)
+            };
+            let ip = if rng.chance(0.6) {
+                Ip(hosts[rng.gen_range(hosts.len() as u64) as usize])
+            } else {
+                Ip(rng.next_u32())
+            };
+            let mut query = Query::new(ip);
+            if i % 3 == 0 {
+                query.open = vec![Port(443)];
+            }
+            query.top = 16;
+            // Interleaved on ONE connection: each id answers from its own
+            // artifact, bit-identically.
+            let served = client.predict_on(Some(id), &query).expect("predict by id");
             assert_eq!(
-                client.predict(&query).expect("default"),
-                model_a.predict(&query)
+                served,
+                reference.predict(&query),
+                "{transport}: model {id}, {query:?}"
+            );
+            // An id-less frame means the default (first) model.
+            if i % 10 == 0 {
+                assert_eq!(
+                    client.predict(&query).expect("default"),
+                    model_a.predict(&query)
+                );
+            }
+        }
+        // Batches route by id too.
+        let batch: Vec<Query> = (0..30)
+            .map(|_| {
+                let mut q = Query::new(Ip(hosts_b[rng.gen_range(hosts_b.len() as u64) as usize]));
+                q.top = 8;
+                q
+            })
+            .collect();
+        for (query, answer) in batch.iter().zip(
+            client
+                .predict_batch_on(Some("beta"), &batch)
+                .expect("batch"),
+        ) {
+            assert_eq!(answer, model_b.predict(query));
+        }
+
+        // Unknown model: an error *reply* (connection stays usable), and
+        // the raw frame proves the request id is echoed on that error.
+        {
+            use gps::types::Json;
+            let err = client
+                .predict_on(Some("nope"), &Query::new(Ip(1)))
+                .expect_err("unknown model must fail");
+            assert!(err.to_string().contains("unknown model"), "{err}");
+            let stream = std::net::TcpStream::connect(addr).expect("raw connect");
+            let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
+            let mut writer = std::io::BufWriter::new(stream);
+            let mut raw = Json::obj();
+            raw.set("cmd", "predict")
+                .set("ip", "10.0.0.1")
+                .set("model", "nope")
+                .set("id", "req-77");
+            gps::serve::proto::write_frame(&mut writer, &raw).expect("write");
+            let response = gps::serve::proto::read_frame(&mut reader)
+                .expect("read")
+                .expect("frame");
+            assert_eq!(response.get("ok").and_then(Json::as_bool), Some(false));
+            assert!(response
+                .get("error")
+                .and_then(Json::as_str)
+                .is_some_and(|e| e.contains("unknown model")));
+            assert_eq!(
+                response.get("id").and_then(Json::as_str),
+                Some("req-77"),
+                "{transport}: the unknown-model error must echo the request id"
+            );
+        }
+
+        // Wire-level registry admin: load a third model, query it, unload
+        // it.
+        let names = |models: &[gps::types::Json]| -> Vec<String> {
+            models
+                .iter()
+                .filter_map(|m| m.get("name").and_then(|j| j.as_str()).map(String::from))
+                .collect()
+        };
+        assert_eq!(
+            names(&client.list_models().expect("list")),
+            ["alpha", "beta"]
+        );
+        client
+            .load_model("gamma", path_b.to_string_lossy().as_ref())
+            .expect("wire load");
+        assert_eq!(
+            names(&client.list_models().expect("list")),
+            ["alpha", "beta", "gamma"]
+        );
+        let mut probe = Query::new(Ip(net_b.host_ips()[0]));
+        probe.top = 16;
+        assert_eq!(
+            client.predict_on(Some("gamma"), &probe).expect("gamma"),
+            model_b.predict(&probe)
+        );
+        assert!(
+            client
+                .load_model("gamma", path_b.to_string_lossy().as_ref())
+                .is_err(),
+            "double-load is an error"
+        );
+        assert!(client.unload_model("alpha").is_err(), "default is pinned");
+        client.unload_model("gamma").expect("wire unload");
+        assert!(client.predict_on(Some("gamma"), &probe).is_err());
+        assert_eq!(
+            names(&client.list_models().expect("list")),
+            ["alpha", "beta"]
+        );
+
+        // Per-model stats reached the wire: both ids served traffic.
+        let stats = client.stats().expect("stats");
+        let models = stats.get("models").expect("per-model stats");
+        for id in ["alpha", "beta"] {
+            let requests = models
+                .get(id)
+                .and_then(|m| m.get("requests"))
+                .and_then(|j| j.as_u64())
+                .unwrap_or(0);
+            assert!(
+                requests > 0,
+                "{transport}: model {id} shows its traffic: {requests}"
             );
         }
     }
-    // Batches route by id too.
-    let batch: Vec<Query> = (0..30)
-        .map(|_| {
-            let mut q = Query::new(Ip(hosts_b[rng.gen_range(hosts_b.len() as u64) as usize]));
-            q.top = 8;
-            q
-        })
-        .collect();
-    for (query, answer) in batch.iter().zip(
-        client
-            .predict_batch_on(Some("beta"), &batch)
-            .expect("batch"),
-    ) {
-        assert_eq!(answer, model_b.predict(query));
-    }
-
-    // Unknown model: an error *reply* (connection stays usable), and the
-    // raw frame proves the request id is echoed on that error.
-    {
-        use gps::types::Json;
-        let err = client
-            .predict_on(Some("nope"), &Query::new(Ip(1)))
-            .expect_err("unknown model must fail");
-        assert!(err.to_string().contains("unknown model"), "{err}");
-        let stream = std::net::TcpStream::connect(addr).expect("raw connect");
-        let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
-        let mut writer = std::io::BufWriter::new(stream);
-        let mut raw = Json::obj();
-        raw.set("cmd", "predict")
-            .set("ip", "10.0.0.1")
-            .set("model", "nope")
-            .set("id", "req-77");
-        gps::serve::proto::write_frame(&mut writer, &raw).expect("write");
-        let response = gps::serve::proto::read_frame(&mut reader)
-            .expect("read")
-            .expect("frame");
-        assert_eq!(response.get("ok").and_then(Json::as_bool), Some(false));
-        assert!(response
-            .get("error")
-            .and_then(Json::as_str)
-            .is_some_and(|e| e.contains("unknown model")));
-        assert_eq!(
-            response.get("id").and_then(Json::as_str),
-            Some("req-77"),
-            "the unknown-model error must echo the request id"
-        );
-    }
-
-    // Wire-level registry admin: load a third model, query it, unload it.
-    let names = |models: &[gps::types::Json]| -> Vec<String> {
-        models
-            .iter()
-            .filter_map(|m| m.get("name").and_then(|j| j.as_str()).map(String::from))
-            .collect()
-    };
-    assert_eq!(
-        names(&client.list_models().expect("list")),
-        ["alpha", "beta"]
-    );
-    client
-        .load_model("gamma", path_b.to_string_lossy().as_ref())
-        .expect("wire load");
-    assert_eq!(
-        names(&client.list_models().expect("list")),
-        ["alpha", "beta", "gamma"]
-    );
-    let mut probe = Query::new(Ip(net_b.host_ips()[0]));
-    probe.top = 16;
-    assert_eq!(
-        client.predict_on(Some("gamma"), &probe).expect("gamma"),
-        model_b.predict(&probe)
-    );
-    assert!(
-        client
-            .load_model("gamma", path_b.to_string_lossy().as_ref())
-            .is_err(),
-        "double-load is an error"
-    );
-    assert!(client.unload_model("alpha").is_err(), "default is pinned");
-    client.unload_model("gamma").expect("wire unload");
-    assert!(client.predict_on(Some("gamma"), &probe).is_err());
-    assert_eq!(
-        names(&client.list_models().expect("list")),
-        ["alpha", "beta"]
-    );
-
-    // Per-model stats reached the wire: both ids served traffic.
-    let stats = client.stats().expect("stats");
-    let models = stats.get("models").expect("per-model stats");
-    for id in ["alpha", "beta"] {
-        let requests = models
-            .get(id)
-            .and_then(|m| m.get("requests"))
-            .and_then(|j| j.as_u64())
-            .unwrap_or(0);
-        assert!(requests > 0, "model {id} shows its traffic: {requests}");
-    }
-
-    std::fs::remove_file(&path_b).ok();
 }
 
 #[test]
 fn server_survives_malformed_frames() {
-    let (_net, snapshot, path) = train_and_export();
-    std::fs::remove_file(&path).ok();
-    let server = Arc::new(PredictionServer::start(
-        ServableModel::from_snapshot(snapshot),
-        ServeConfig {
-            shards: 2,
-            ..ServeConfig::default()
-        },
-    ));
-    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral port");
-    let addr = listener.local_addr().expect("local addr");
-    {
-        let server = server.clone();
-        std::thread::spawn(move || gps::serve::serve_tcp(server, listener));
-    }
+    let dir = TestDir::new("serve-malformed");
+    let (_net, snapshot, _path) = train_and_export(&dir);
 
-    // A client that sends garbage JSON gets an error response (not a
-    // dropped connection), and bad requests don't poison later good ones.
-    use gps::types::Json;
-    let stream = std::net::TcpStream::connect(addr).expect("connect");
-    let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
-    let mut writer = std::io::BufWriter::new(stream);
-    let mut bad = Json::obj();
-    bad.set("cmd", "predict")
-        .set("ip", "not-an-ip")
-        .set("id", 7u32);
-    gps::serve::proto::write_frame(&mut writer, &bad).expect("write");
-    let response = gps::serve::proto::read_frame(&mut reader)
-        .expect("read")
-        .expect("frame");
-    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(false));
-    assert!(response.get("error").is_some());
-    // Error frames echo the request id, so a pipelining client can tell
-    // *which* request of a burst failed.
-    assert_eq!(response.get("id").and_then(Json::as_u64), Some(7));
+    for transport in serve_transports() {
+        let server = Arc::new(PredictionServer::start(
+            ServableModel::from_snapshot(snapshot.clone()),
+            ServeConfig {
+                shards: 2,
+                ..ServeConfig::default()
+            },
+        ));
+        let addr = spawn_transport(server.clone(), transport);
 
-    let mut unknown = Json::obj();
-    unknown.set("cmd", "frobnicate").set("id", "req-xyz");
-    gps::serve::proto::write_frame(&mut writer, &unknown).expect("write");
-    let response = gps::serve::proto::read_frame(&mut reader)
-        .expect("read")
-        .expect("frame");
-    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(false));
-    assert_eq!(
-        response.get("id").and_then(Json::as_str),
-        Some("req-xyz"),
-        "non-numeric ids echo verbatim too"
-    );
-
-    // A well-framed frame whose payload is not JSON at all: the server
-    // replies with an error instead of dropping the connection (only
-    // framing-level breakage closes the stream).
-    {
-        use std::io::Write;
-        let garbage = b"this is not json";
-        writer
-            .write_all(&(garbage.len() as u32).to_be_bytes())
-            .expect("len");
-        writer.write_all(garbage).expect("payload");
-        writer.flush().expect("flush");
+        // A client that sends garbage JSON gets an error response (not a
+        // dropped connection), and bad requests don't poison later good
+        // ones.
+        use gps::types::Json;
+        let stream = std::net::TcpStream::connect(addr).expect("connect");
+        let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = std::io::BufWriter::new(stream);
+        let mut bad = Json::obj();
+        bad.set("cmd", "predict")
+            .set("ip", "not-an-ip")
+            .set("id", 7u32);
+        gps::serve::proto::write_frame(&mut writer, &bad).expect("write");
         let response = gps::serve::proto::read_frame(&mut reader)
             .expect("read")
             .expect("frame");
         assert_eq!(response.get("ok").and_then(Json::as_bool), Some(false));
-        assert!(response
-            .get("error")
-            .and_then(Json::as_str)
-            .is_some_and(|e| e.contains("bad json")));
-    }
+        assert!(response.get("error").is_some());
+        // Error frames echo the request id, so a pipelining client can
+        // tell *which* request of a burst failed.
+        assert_eq!(response.get("id").and_then(Json::as_u64), Some(7));
 
-    let mut good = Json::obj();
-    good.set("cmd", "ping");
-    gps::serve::proto::write_frame(&mut writer, &good).expect("write");
-    let response = gps::serve::proto::read_frame(&mut reader)
-        .expect("read")
-        .expect("frame");
-    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+        let mut unknown = Json::obj();
+        unknown.set("cmd", "frobnicate").set("id", "req-xyz");
+        gps::serve::proto::write_frame(&mut writer, &unknown).expect("write");
+        let response = gps::serve::proto::read_frame(&mut reader)
+            .expect("read")
+            .expect("frame");
+        assert_eq!(response.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            response.get("id").and_then(Json::as_str),
+            Some("req-xyz"),
+            "{transport}: non-numeric ids echo verbatim too"
+        );
+
+        // A well-framed frame whose payload is not JSON at all: the
+        // server replies with an error instead of dropping the connection
+        // (only framing-level breakage closes the stream).
+        {
+            use std::io::Write;
+            let garbage = b"this is not json";
+            writer
+                .write_all(&(garbage.len() as u32).to_be_bytes())
+                .expect("len");
+            writer.write_all(garbage).expect("payload");
+            writer.flush().expect("flush");
+            let response = gps::serve::proto::read_frame(&mut reader)
+                .expect("read")
+                .expect("frame");
+            assert_eq!(response.get("ok").and_then(Json::as_bool), Some(false));
+            assert!(response
+                .get("error")
+                .and_then(Json::as_str)
+                .is_some_and(|e| e.contains("bad json")));
+        }
+
+        let mut good = Json::obj();
+        good.set("cmd", "ping");
+        gps::serve::proto::write_frame(&mut writer, &good).expect("write");
+        let response = gps::serve::proto::read_frame(&mut reader)
+            .expect("read")
+            .expect("frame");
+        assert_eq!(
+            response.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "{transport}: good requests still answered after garbage"
+        );
+    }
 }
