@@ -53,6 +53,71 @@ fn bench_prediction(c: &mut Criterion) {
         b.iter(|| build_predictions(&rules, &prior_hosts, &known, usize::MAX))
     });
     group.finish();
+
+    // The serving-side warm query: the same rules behind a
+    // `ServableModel`, answered per query. `scratch_reuse` is the shard
+    // workers' path (one `PredictScratch` per worker lifetime);
+    // `fresh_alloc` is what every query paid before — the per-query
+    // `HashMap` was the hot-path allocation this pair exists to keep
+    // honest.
+    let servable = {
+        use gps_core::snapshot::{ModelManifest, FORMAT_MAJOR, FORMAT_MINOR};
+        gps_serve::ServableModel::from_snapshot(gps_core::ModelSnapshot {
+            manifest: ModelManifest {
+                format: (FORMAT_MAJOR, FORMAT_MINOR),
+                universe_seed: 101,
+                dataset_name: "bench".into(),
+                step_prefix: 16,
+                min_prob: 1e-5,
+                interactions: Interactions::ALL,
+                net_features: net_features.to_vec(),
+                hosts_in: hosts.len(),
+                distinct_keys: 0,
+                cooccur_entries: 0,
+                num_rules: rules.len(),
+                num_priors: 0,
+                checksum: 0,
+            },
+            model: gps_core::CondModel::from_parts(Default::default(), Interactions::ALL),
+            rules,
+            priors: Vec::new(),
+        })
+    };
+    let queries: Vec<gps_serve::Query> = net
+        .host_ips()
+        .iter()
+        .take(512)
+        .enumerate()
+        .map(|(i, &ip)| {
+            let mut query = gps_serve::Query::new(Ip(ip))
+                .with_open([[80u16, 443, 22][i % 3], [21u16, 8080, 53][i % 3]]);
+            query.asn = net.asn_of(Ip(ip)).map(|a| a.0);
+            query.top = 16;
+            query
+        })
+        .collect();
+    let mut group = c.benchmark_group("serve_warm_query");
+    group.throughput(criterion::Throughput::Elements(queries.len() as u64));
+    group.bench_function("fresh_alloc", |b| {
+        b.iter(|| {
+            let mut answered = 0usize;
+            for query in &queries {
+                answered += servable.predict(query).len();
+            }
+            answered
+        })
+    });
+    group.bench_function("scratch_reuse", |b| {
+        let mut scratch = gps_serve::PredictScratch::default();
+        b.iter(|| {
+            let mut answered = 0usize;
+            for query in &queries {
+                answered += servable.predict_with(&mut scratch, query).len();
+            }
+            answered
+        })
+    });
+    group.finish();
 }
 
 criterion_group!(benches, bench_prediction);

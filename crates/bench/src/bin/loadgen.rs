@@ -45,6 +45,12 @@
 //! --no-warm        measure cold, misses included
 //! --tcp            use the TCP transport
 //! --transport T    TCP serving transport: threads | events (default threads)
+//! --wire W         TCP wire format: json | binary | both (default json;
+//!                  non-json implies --tcp; `both` replays the identical
+//!                  traffic once per format and prints them side by side)
+//! --pipeline K     single-query mode: keep K requests in flight per
+//!                  thread (default 1 = classic closed loop; implies
+//!                  --tcp; capped at the server's 128-request window)
 //! --connections N  open-loop mode: hold N connections, spread load (implies --tcp)
 //! --addr A         target an external server instead of self-hosting
 //! --seed N         universe seed (model i uses seed+i) (default 77)
@@ -56,7 +62,8 @@ use std::time::{Duration, Instant};
 
 use gps_core::{censys_dataset, run_gps, GpsConfig, ModelSnapshot};
 use gps_serve::{
-    PredictionServer, Query, ServableModel, ServeConfig, TransportConfig, DEFAULT_MODEL_ID,
+    PredictionServer, Query, ServableModel, ServeConfig, TransportConfig, WireFormat,
+    DEFAULT_MODEL_ID,
 };
 use gps_synthnet::{Internet, UniverseConfig};
 use gps_types::rng::Rng;
@@ -72,6 +79,8 @@ struct Options {
     warm: bool,
     tcp: bool,
     transport: String,
+    wire: String,
+    pipeline: usize,
     connections: usize,
     addr: Option<String>,
     seed: u64,
@@ -89,6 +98,8 @@ impl Default for Options {
             warm: true,
             tcp: false,
             transport: "threads".to_string(),
+            wire: "json".to_string(),
+            pipeline: 1,
             connections: 0,
             addr: None,
             seed: 77,
@@ -115,6 +126,8 @@ fn parse_options() -> Result<Options, String> {
             "--no-warm" => options.warm = false,
             "--tcp" => options.tcp = true,
             "--transport" => options.transport = value("--transport")?,
+            "--wire" => options.wire = value("--wire")?,
+            "--pipeline" => options.pipeline = num(&value("--pipeline")?)?,
             "--connections" => options.connections = num(&value("--connections")?)?,
             "--addr" => options.addr = Some(value("--addr")?),
             "--seed" => options.seed = num(&value("--seed")?)?,
@@ -130,6 +143,30 @@ fn parse_options() -> Result<Options, String> {
     }
     if options.connections > 0 || options.addr.is_some() {
         options.tcp = true;
+    }
+    if !matches!(options.wire.as_str(), "json" | "binary" | "both") {
+        return Err(format!(
+            "--wire: unknown wire format {:?} (json|binary|both)",
+            options.wire
+        ));
+    }
+    if options.wire != "json" {
+        // The wire format only exists on the TCP path.
+        options.tcp = true;
+    }
+    if options.pipeline == 0 {
+        return Err("--pipeline must be at least 1".to_string());
+    }
+    if options.pipeline > 1 {
+        options.tcp = true; // pipelining is a wire-level behavior
+        if options.batch > 1 {
+            return Err("--pipeline applies to single-query traffic (--batch 0)".to_string());
+        }
+        if options.pipeline > 128 {
+            // The server's per-connection pipeline window is 128; deeper
+            // client pipelines would measure server backpressure instead.
+            return Err("--pipeline is capped at 128 (the server's window)".to_string());
+        }
     }
     if options.addr.is_some() && options.models > 1 {
         return Err("--addr targets an external server; --models must stay 1".to_string());
@@ -157,7 +194,9 @@ struct TrainedModel {
 }
 
 /// One batch-unit of client traffic: which model, which queries. Single
-/// mode uses units of one query.
+/// mode uses units of one query. Cloned per wire-format wave so `--wire
+/// both` replays byte-for-byte identical traffic on each format.
+#[derive(Clone)]
 struct TrafficUnit {
     model: usize,
     queries: Vec<Query>,
@@ -198,10 +237,10 @@ fn percentile(sorted: &[u64], p: f64) -> f64 {
 /// accept loop's backlog. A server that stays unreachable aborts the
 /// whole process (exit 2) — a panicking pool-builder thread would
 /// otherwise leave everyone else parked on the start barrier forever.
-fn connect_patiently(addr: SocketAddr) -> gps_serve::Client {
+fn connect_patiently(addr: SocketAddr, wire: WireFormat) -> gps_serve::Client {
     let mut delay = Duration::from_millis(5);
     for attempt in 0..40 {
-        match gps_serve::Client::connect(addr) {
+        match gps_serve::Client::connect_with(addr, wire) {
             Ok(client) => return client,
             Err(e) if attempt == 39 => {
                 eprintln!("error: connect to {addr}: {e}");
@@ -214,6 +253,22 @@ fn connect_patiently(addr: SocketAddr) -> gps_serve::Client {
         }
     }
     unreachable!()
+}
+
+/// What one measured wave (one wire format over the full traffic set)
+/// produced.
+struct WaveResult {
+    wire: WireFormat,
+    total: u64,
+    elapsed: Duration,
+    /// Sorted request/batch latencies, nanoseconds.
+    latencies_ns: Vec<u64>,
+}
+
+impl WaveResult {
+    fn throughput(&self) -> f64 {
+        self.total as f64 / self.elapsed.as_secs_f64()
+    }
 }
 
 fn main() {
@@ -372,12 +427,18 @@ fn main() {
                 if warmup.is_empty() {
                     continue;
                 }
-                match id_of(unit.model) {
-                    None => {
-                        server.predict_batch(warmup);
-                    }
-                    Some(id) => {
-                        server.predict_batch_for(id, warmup).expect("warmup model");
+                // Single predicts, not a batch: the single path runs
+                // through the transport-level L1 answer cache, so this
+                // seeds *both* cache layers and every timed wave —
+                // json first or binary first — starts equally warm.
+                for query in warmup {
+                    match id_of(unit.model) {
+                        None => {
+                            server.predict(query);
+                        }
+                        Some(id) => {
+                            server.predict_for(id, query).expect("warmup model");
+                        }
                     }
                 }
             }
@@ -395,172 +456,276 @@ fn main() {
         0
     };
 
-    println!(
-        "replaying {} requests over {} clients ({} shards, {} model(s), batch={}, transport={}{})...",
-        per_client * options.clients,
-        options.clients,
-        options.shards,
-        options.models,
-        options.batch,
-        match (options.tcp, external) {
-            (_, Some(_)) => "external".to_string(),
-            (true, None) => format!("tcp/{}", options.transport),
-            (false, None) => "engine".to_string(),
-        },
-        if options.connections > 0 {
-            format!(", {} connections", options.connections)
-        } else {
-            String::new()
-        },
-    );
-    let live_conns = std::sync::atomic::AtomicU64::new(0);
-    // Sampled while traffic flows: the server-side live-connection count
-    // (reading it after the clients hang up would report zero).
-    let peak_conns = std::sync::atomic::AtomicU64::new(0);
-    let done = std::sync::atomic::AtomicBool::new(false);
-    // Every thread finishes building its connection pool before any
-    // thread sends its first timed request: the full connection count is
-    // concurrently live for the whole measured window, and pool setup
-    // stays outside the clock.
-    let start_line = std::sync::Barrier::new(options.clients + 1);
-    let (reports, elapsed): (Vec<ClientReport>, Duration) = std::thread::scope(|scope| {
-        if options.connections > 0 {
-            let server = server.clone();
-            let done = &done;
-            let peak_conns = &peak_conns;
-            scope.spawn(move || {
-                let mut control = external.map(connect_patiently);
-                while !done.load(std::sync::atomic::Ordering::Acquire) {
-                    let active = match (&server, &mut control) {
-                        (Some(server), _) => server.stats().conns_active,
-                        (None, Some(control)) => control
-                            .stats()
-                            .ok()
-                            .and_then(|s| s.get("conns_active").and_then(|j| j.as_u64()))
-                            .unwrap_or(0),
-                        (None, None) => 0,
-                    };
-                    peak_conns.fetch_max(active, std::sync::atomic::Ordering::Relaxed);
-                    std::thread::sleep(Duration::from_millis(25));
-                }
-            });
-        }
-        let handles: Vec<_> = traffic
-            .into_iter()
-            .map(|units| {
+    // The wire formats this invocation measures; `--wire both` replays
+    // the identical traffic once per format against the same server, so
+    // the two throughputs in one report are directly comparable.
+    let wires: Vec<WireFormat> = match options.wire.as_str() {
+        "json" => vec![WireFormat::Json],
+        "binary" => vec![WireFormat::Binary],
+        _ => vec![WireFormat::Json, WireFormat::Binary],
+    };
+
+    // One measured wave: the full traffic set over every client thread,
+    // all connections speaking `wire`.
+    let run_wave = |wire: WireFormat| -> (Vec<ClientReport>, Duration, u64, u64) {
+        let live_conns = std::sync::atomic::AtomicU64::new(0);
+        // Sampled while traffic flows: the server-side live-connection
+        // count (reading it after the clients hang up would report zero).
+        let peak_conns = std::sync::atomic::AtomicU64::new(0);
+        let done = std::sync::atomic::AtomicBool::new(false);
+        // Every thread finishes building its connection pool before any
+        // thread sends its first timed request: the full connection count
+        // is concurrently live for the whole measured window, and pool
+        // setup stays outside the clock.
+        let start_line = std::sync::Barrier::new(options.clients + 1);
+        let (reports, elapsed): (Vec<ClientReport>, Duration) = std::thread::scope(|scope| {
+            if options.connections > 0 {
                 let server = server.clone();
-                let batched = options.batch > 1;
-                let id_of = &id_of;
-                let live_conns = &live_conns;
-                let start_line = &start_line;
+                let done = &done;
+                let peak_conns = &peak_conns;
                 scope.spawn(move || {
-                    let mut latencies_ns = Vec::with_capacity(units.len());
-                    let mut completed = 0u64;
-                    // One connection per thread, or this thread's slice of
-                    // the connection pool.
-                    let mut pool: Vec<gps_serve::Client> = match (tcp_addr, conns_per_thread) {
-                        (Some(addr), 0) => vec![connect_patiently(addr)],
-                        (Some(addr), n) => {
-                            let mut pool = Vec::with_capacity(n);
-                            for _ in 0..n {
-                                pool.push(connect_patiently(addr));
-                                live_conns.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                            }
-                            pool
-                        }
-                        (None, _) => Vec::new(),
-                    };
-                    let mut next_conn = 0usize;
-                    start_line.wait();
-                    for unit in units {
-                        let id = id_of(unit.model);
-                        let t0 = Instant::now();
-                        let answered = if pool.is_empty() {
-                            let server = server.as_ref().expect("in-process mode");
-                            if batched {
-                                match id {
-                                    None => server.predict_batch(unit.queries).len() as u64,
-                                    Some(id) => server
-                                        .predict_batch_for(id, unit.queries)
-                                        .expect("batch model")
-                                        .len()
-                                        as u64,
+                    let mut control = external.map(|addr| connect_patiently(addr, wire));
+                    while !done.load(std::sync::atomic::Ordering::Acquire) {
+                        let active = match (&server, &mut control) {
+                            (Some(server), _) => server.stats().conns_active,
+                            (None, Some(control)) => control
+                                .stats()
+                                .ok()
+                                .and_then(|s| s.get("conns_active").and_then(|j| j.as_u64()))
+                                .unwrap_or(0),
+                            (None, None) => 0,
+                        };
+                        peak_conns.fetch_max(active, std::sync::atomic::Ordering::Relaxed);
+                        std::thread::sleep(Duration::from_millis(25));
+                    }
+                });
+            }
+            let handles: Vec<_> = traffic
+                .iter()
+                .map(|units| {
+                    let units = units.clone();
+                    let server = server.clone();
+                    let batched = options.batch > 1;
+                    let id_of = &id_of;
+                    let live_conns = &live_conns;
+                    let start_line = &start_line;
+                    scope.spawn(move || {
+                        let mut latencies_ns = Vec::with_capacity(units.len());
+                        let mut completed = 0u64;
+                        // One connection per thread, or this thread's
+                        // slice of the connection pool.
+                        let mut pool: Vec<gps_serve::Client> = match (tcp_addr, conns_per_thread) {
+                            (Some(addr), 0) => vec![connect_patiently(addr, wire)],
+                            (Some(addr), n) => {
+                                let mut pool = Vec::with_capacity(n);
+                                for _ in 0..n {
+                                    pool.push(connect_patiently(addr, wire));
+                                    live_conns.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                                 }
-                            } else {
-                                let n = unit.queries.len() as u64;
-                                for query in unit.queries {
+                                pool
+                            }
+                            (None, _) => Vec::new(),
+                        };
+                        let mut next_conn = 0usize;
+                        start_line.wait();
+                        // Pipelined single-query mode: keep `depth`
+                        // requests in flight per thread (the protocol
+                        // answers in request order per connection, so
+                        // receive in send order). Consecutive sends
+                        // coalesce in the client's write buffer — the
+                        // per-request syscall+wakeup cost the closed
+                        // loop pays disappears, leaving the wire codec
+                        // as the measured cost.
+                        let depth = options.pipeline;
+                        if depth > 1 && !pool.is_empty() {
+                            let mut inflight: std::collections::VecDeque<(u64, Instant, usize)> =
+                                std::collections::VecDeque::with_capacity(depth);
+                            let finish =
+                                |inflight: &mut std::collections::VecDeque<(u64, Instant, usize)>,
+                                 pool: &mut Vec<gps_serve::Client>| {
+                                    let (rid, t0, conn) =
+                                        inflight.pop_front().expect("inflight nonempty");
+                                    pool[conn].predict_recv(rid).expect("pipelined reply");
+                                    t0.elapsed().as_nanos() as u64
+                                };
+                            for unit in units {
+                                let id = id_of(unit.model);
+                                let turn = next_conn;
+                                next_conn = (next_conn + 1) % pool.len();
+                                let t0 = Instant::now();
+                                let rid = pool[turn]
+                                    .predict_send(id, &unit.queries[0])
+                                    .expect("pipelined send");
+                                inflight.push_back((rid, t0, turn));
+                                if inflight.len() >= depth {
+                                    latencies_ns.push(finish(&mut inflight, &mut pool));
+                                    completed += 1;
+                                }
+                            }
+                            while !inflight.is_empty() {
+                                latencies_ns.push(finish(&mut inflight, &mut pool));
+                                completed += 1;
+                            }
+                            return ClientReport {
+                                completed,
+                                latencies_ns,
+                            };
+                        }
+                        for unit in units {
+                            let id = id_of(unit.model);
+                            let t0 = Instant::now();
+                            let answered = if pool.is_empty() {
+                                let server = server.as_ref().expect("in-process mode");
+                                if batched {
                                     match id {
-                                        None => {
-                                            server.predict(query);
-                                        }
-                                        Some(id) => {
-                                            server.predict_for(id, query).expect("predict model");
+                                        None => server.predict_batch(unit.queries).len() as u64,
+                                        Some(id) => server
+                                            .predict_batch_for(id, unit.queries)
+                                            .expect("batch model")
+                                            .len()
+                                            as u64,
+                                    }
+                                } else {
+                                    let n = unit.queries.len() as u64;
+                                    for query in unit.queries {
+                                        match id {
+                                            None => {
+                                                server.predict(query);
+                                            }
+                                            Some(id) => {
+                                                server
+                                                    .predict_for(id, query)
+                                                    .expect("predict model");
+                                            }
                                         }
                                     }
+                                    n
                                 }
-                                n
-                            }
-                        } else {
-                            let turn = next_conn;
-                            next_conn = (next_conn + 1) % pool.len();
-                            let client = &mut pool[turn];
-                            if batched {
-                                client
-                                    .predict_batch_on(id, &unit.queries)
-                                    .expect("batch reply")
-                                    .len() as u64
                             } else {
-                                for query in &unit.queries {
-                                    client.predict_on(id, query).expect("predict reply");
+                                let turn = next_conn;
+                                next_conn = (next_conn + 1) % pool.len();
+                                let client = &mut pool[turn];
+                                if batched {
+                                    client
+                                        .predict_batch_on(id, &unit.queries)
+                                        .expect("batch reply")
+                                        .len() as u64
+                                } else {
+                                    for query in &unit.queries {
+                                        client.predict_on(id, query).expect("predict reply");
+                                    }
+                                    unit.queries.len() as u64
                                 }
-                                unit.queries.len() as u64
-                            }
-                        };
-                        latencies_ns.push(t0.elapsed().as_nanos() as u64);
-                        completed += answered;
-                    }
-                    ClientReport {
-                        completed,
-                        latencies_ns,
-                    }
+                            };
+                            latencies_ns.push(t0.elapsed().as_nanos() as u64);
+                            completed += answered;
+                        }
+                        ClientReport {
+                            completed,
+                            latencies_ns,
+                        }
+                    })
                 })
-            })
-            .collect();
-        start_line.wait(); // every pool is connected; the clock starts
-        let started = Instant::now();
-        let reports: Vec<ClientReport> = handles
-            .into_iter()
-            .map(|h| h.join().expect("client thread"))
-            .collect();
-        let elapsed = started.elapsed();
-        done.store(true, std::sync::atomic::Ordering::Release);
-        (reports, elapsed)
-    });
+                .collect();
+            start_line.wait(); // every pool is connected; the clock starts
+            let started = Instant::now();
+            let reports: Vec<ClientReport> = handles
+                .into_iter()
+                .map(|h| h.join().expect("client thread"))
+                .collect();
+            let elapsed = started.elapsed();
+            done.store(true, std::sync::atomic::Ordering::Release);
+            (reports, elapsed)
+        });
+        let live = live_conns.load(std::sync::atomic::Ordering::Relaxed);
+        let peak = peak_conns.load(std::sync::atomic::Ordering::Relaxed);
+        (reports, elapsed, live, peak)
+    };
 
-    let total: u64 = reports.iter().map(|r| r.completed).sum();
-    let mut latencies: Vec<u64> = reports.into_iter().flat_map(|r| r.latencies_ns).collect();
-    latencies.sort_unstable();
-    let throughput = total as f64 / elapsed.as_secs_f64();
     let unit = if options.batch > 1 {
         "batch"
     } else {
         "request"
     };
-
-    println!("results:");
-    println!("  predictions:  {total} in {:.3}s", elapsed.as_secs_f64());
-    println!("  throughput:   {throughput:.0} predictions/sec");
-    println!(
-        "  latency/{unit}: p50 {:.1}us  p99 {:.1}us  max {:.1}us",
-        percentile(&latencies, 0.50) / 1000.0,
-        percentile(&latencies, 0.99) / 1000.0,
-        latencies.last().copied().unwrap_or(0) as f64 / 1000.0,
-    );
-    if options.connections > 0 {
+    let mut waves: Vec<WaveResult> = Vec::new();
+    for &wire in &wires {
         println!(
-            "  connections:  {} opened and held for the whole run ({} live server-side at peak)",
-            live_conns.load(std::sync::atomic::Ordering::Relaxed),
-            peak_conns.load(std::sync::atomic::Ordering::Relaxed),
+            "replaying {} requests over {} clients ({} shards, {} model(s), batch={}, transport={}{}{})...",
+            per_client * options.clients,
+            options.clients,
+            options.shards,
+            options.models,
+            options.batch,
+            match (options.tcp, external) {
+                (_, Some(_)) => "external".to_string(),
+                (true, None) => format!("tcp/{}", options.transport),
+                (false, None) => "engine".to_string(),
+            },
+            if options.tcp {
+                format!(", wire={}", wire.name())
+            } else {
+                String::new()
+            },
+            if options.connections > 0 {
+                format!(", {} connections", options.connections)
+            } else {
+                String::new()
+            },
+        );
+        if options.pipeline > 1 {
+            println!("  (pipeline depth {} per thread)", options.pipeline);
+        }
+        let (reports, elapsed, live, peak) = run_wave(wire);
+        let total: u64 = reports.iter().map(|r| r.completed).sum();
+        let mut latencies_ns: Vec<u64> = reports.into_iter().flat_map(|r| r.latencies_ns).collect();
+        latencies_ns.sort_unstable();
+        println!("results ({}):", wire.name());
+        println!("  predictions:  {total} in {:.3}s", elapsed.as_secs_f64());
+        println!(
+            "  throughput:   {:.0} predictions/sec",
+            total as f64 / elapsed.as_secs_f64()
+        );
+        println!(
+            "  latency/{unit}: p50 {:.1}us  p99 {:.1}us  max {:.1}us",
+            percentile(&latencies_ns, 0.50) / 1000.0,
+            percentile(&latencies_ns, 0.99) / 1000.0,
+            latencies_ns.last().copied().unwrap_or(0) as f64 / 1000.0,
+        );
+        if options.connections > 0 {
+            println!(
+                "  connections:  {live} opened and held for the whole run ({peak} live server-side at peak)",
+            );
+        }
+        waves.push(WaveResult {
+            wire,
+            total,
+            elapsed,
+            latencies_ns,
+        });
+    }
+
+    // `--wire both`: the side-by-side comparison the two waves exist for.
+    if waves.len() > 1 {
+        println!("wire comparison (identical traffic, same server):");
+        println!(
+            "  {:<8} {:>16} {:>12} {:>12}",
+            "wire", "throughput", "p50", "p99"
+        );
+        for wave in &waves {
+            println!(
+                "  {:<8} {:>12.0}/sec {:>10.1}us {:>10.1}us",
+                wave.wire.name(),
+                wave.throughput(),
+                percentile(&wave.latencies_ns, 0.50) / 1000.0,
+                percentile(&wave.latencies_ns, 0.99) / 1000.0,
+            );
+        }
+        let json = &waves[0];
+        let binary = &waves[1];
+        println!(
+            "  binary is {:.2}x json throughput ({} frames)",
+            binary.throughput() / json.throughput().max(1e-9),
+            unit,
         );
     }
     match (&server, external) {
@@ -604,8 +769,9 @@ fn main() {
             }
         }
         (None, Some(addr)) => {
-            // External server: read its counters over the wire.
-            let mut control = connect_patiently(addr);
+            // External server: read its counters over the wire (the last
+            // wave's format works for admin like any other).
+            let mut control = connect_patiently(addr, wires[wires.len() - 1]);
             match control.stats() {
                 Ok(stats) => {
                     let num = |k: &str| stats.get(k).and_then(|j| j.as_u64()).unwrap_or(0);

@@ -388,7 +388,7 @@ pub fn cmd_serve(args: &Args) -> Result<(), String> {
     let listener = std::net::TcpListener::bind(&args.addr)
         .map_err(|e| format!("--addr {}: {e}", args.addr))?;
     println!(
-        "serving {} model(s) on {} with {shards} shards, {} transport{}{} (length-prefixed JSON frames; try `gps query`)",
+        "serving {} model(s) on {} with {shards} shards, {} transport{}{} (JSON or GPSQ binary frames, negotiated per connection; try `gps query`)",
         entries.len(),
         listener
             .local_addr()
@@ -475,7 +475,9 @@ pub fn cmd_models(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// `gps query` — one prediction request against a running `gps serve`.
+/// `gps query` — one prediction request against a running `gps serve`,
+/// over the JSON wire (default) or the GPSQ binary wire (`--wire
+/// binary`); both speak to any server, the format is per connection.
 pub fn cmd_query(args: &Args) -> Result<(), String> {
     let ip: Ip = args
         .ip
@@ -486,8 +488,8 @@ pub fn cmd_query(args: &Args) -> Result<(), String> {
     let mut query = Query::new(ip).with_open(args.open.iter().copied());
     query.asn = args.asn;
     query.top = args.top;
-    let mut client =
-        gps_serve::Client::connect(&args.addr).map_err(|e| format!("--addr {}: {e}", args.addr))?;
+    let mut client = gps_serve::Client::connect_with(&args.addr, args.wire)
+        .map_err(|e| format!("--addr {}: {e}", args.addr))?;
     let ranked = client
         .predict_on(args.query_model.as_deref(), &query)
         .map_err(|e| format!("query: {e}"))?;

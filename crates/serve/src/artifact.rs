@@ -55,6 +55,18 @@ impl Query {
     }
 }
 
+/// Reusable per-caller working memory for [`ServableModel::predict_with`].
+///
+/// The warm path folds every matching rule list into a best-probability
+/// map; building a fresh `HashMap` per query made that allocation the
+/// hot-path cost once answers started coming from rules instead of the
+/// LRU. A long-lived caller (each shard worker owns one) hands the same
+/// scratch back in and the map's capacity survives from query to query.
+#[derive(Default)]
+pub struct PredictScratch {
+    best: HashMap<Port, f64>,
+}
+
 /// The query-ready artifact: rules for warm queries, a subnet-indexed
 /// priors ranking for cold queries.
 pub struct ServableModel {
@@ -133,12 +145,23 @@ impl ServableModel {
     }
 
     /// Answer one query: ranked `(port, probability)`, descending, open
-    /// ports excluded, truncated to `top` (when nonzero).
+    /// ports excluded, truncated to `top` (when nonzero). Allocates fresh
+    /// working memory per call; loops should hold a [`PredictScratch`]
+    /// and use [`predict_with`](Self::predict_with).
     pub fn predict(&self, query: &Query) -> Ranked {
+        self.predict_with(&mut PredictScratch::default(), query)
+    }
+
+    /// [`predict`](Self::predict) with caller-owned scratch memory, so a
+    /// long-lived caller (a shard worker, a benchmark loop) pays the
+    /// warm path's map allocation once instead of per query. Answers are
+    /// identical to [`predict`](Self::predict) — the scratch is cleared
+    /// on entry and never read across calls.
+    pub fn predict_with(&self, scratch: &mut PredictScratch, query: &Query) -> Ranked {
         let mut ranked = if query.open.is_empty() {
             self.cold_ranking(query.ip)
         } else {
-            self.warm_ranking(query)
+            self.warm_ranking(scratch, query)
         };
         if query.top > 0 {
             ranked.truncate(query.top);
@@ -157,8 +180,11 @@ impl ServableModel {
 
     /// Warm path: max rule probability over every Eq. 4/6 key derivable
     /// from the supplied evidence.
-    fn warm_ranking(&self, query: &Query) -> Ranked {
-        let mut best: HashMap<Port, f64> = HashMap::new();
+    fn warm_ranking(&self, scratch: &mut PredictScratch, query: &Query) -> Ranked {
+        // `clear` keeps the map's capacity: across a shard worker's
+        // lifetime the rehash/allocate cost is paid once, not per query.
+        scratch.best.clear();
+        let best = &mut scratch.best;
         let mut consider = |targets: Option<&[(Port, f64)]>| {
             for &(port, prob) in targets.unwrap_or_default() {
                 if query.open.contains(&port) {
@@ -182,7 +208,9 @@ impl ServableModel {
                 }
             }
         }
-        let mut ranked: Ranked = best.into_iter().collect();
+        // `drain` rather than `into_iter`: the map (and its capacity)
+        // stays with the scratch; only the ranked Vec leaves this call.
+        let mut ranked: Ranked = scratch.best.drain().collect();
         sort_ranked(&mut ranked);
         ranked
     }

@@ -64,10 +64,11 @@ pub mod proto;
 pub mod server;
 mod shard;
 pub mod transport;
+mod wire;
 
-pub use artifact::{Query, Ranked, ServableModel};
+pub use artifact::{PredictScratch, Query, Ranked, ServableModel};
 pub use cache::LruCache;
-pub use net::{DecodeError, FrameDecoder};
+pub use net::{DecodeError, FrameDecoder, WireFormat};
 pub use proto::{serve_tcp, Client, ReloadOutcome};
 pub use server::{
     validate_model_id, watch_snapshot_file, ModelStatsSnapshot, PredictionServer, ReloadWatcher,

@@ -26,7 +26,7 @@ use std::io::{self, Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
-use super::decoder::FrameDecoder;
+use super::decoder::{FrameDecoder, WireFormat};
 use super::poller::Interest;
 use crate::proto::MAX_FRAME_BYTES;
 
@@ -72,7 +72,7 @@ pub(crate) struct Conn {
     /// back — so the excess parks here (bounded by one read burst,
     /// because a connection with parked frames stops reading) and the
     /// event loop releases it as answers flush.
-    pub parked: VecDeque<String>,
+    pub parked: VecDeque<Vec<u8>>,
     /// Predict requests submitted to shard workers, not yet completed.
     pub in_flight: usize,
     out: Vec<u8>,
@@ -108,6 +108,13 @@ impl Conn {
         self.last_activity = Instant::now();
     }
 
+    /// The wire format this connection's first frame negotiated (frames
+    /// only reach the caller after negotiation, so the JSON default is
+    /// only ever seen by code paths with no frames at all).
+    pub fn wire_format(&self) -> WireFormat {
+        self.decoder.format().unwrap_or(WireFormat::Json)
+    }
+
     /// Claim the sequence slot for a newly accepted request.
     pub fn next_seq(&mut self) -> u64 {
         let seq = self.next_seq;
@@ -129,7 +136,7 @@ impl Conn {
     /// Read until the socket runs dry (or the per-event budget / a pause
     /// condition is hit), feeding the decoder; completed frames are
     /// appended to `frames`.
-    pub fn read_ready(&mut self, scratch: &mut [u8], frames: &mut Vec<String>) -> ReadOutcome {
+    pub fn read_ready(&mut self, scratch: &mut [u8], frames: &mut Vec<Vec<u8>>) -> ReadOutcome {
         if self.read_closed {
             return ReadOutcome::Progress;
         }
@@ -162,11 +169,23 @@ impl Conn {
         }
     }
 
-    /// Queue the serialized response for request `seq`, releasing it (and
-    /// any directly following ready responses) into the outbound buffer
-    /// in request order.
-    pub fn enqueue(&mut self, seq: u64, frame: Vec<u8>) {
-        self.ready.insert(seq, frame);
+    /// Queue the response for request `seq`, releasing it (and any
+    /// directly following ready responses) into the outbound buffer in
+    /// request order. The caller *encodes* the response: when `seq` is
+    /// next in line — the common case under ordered or lightly reordered
+    /// completion — the encoder writes **directly into the connection's
+    /// outbound buffer**, zero intermediate allocation per frame. Only a
+    /// response finishing ahead of an earlier request's pays for a
+    /// parking buffer.
+    pub fn enqueue_with(&mut self, seq: u64, encode: impl FnOnce(&mut Vec<u8>)) {
+        if seq == self.flush_seq {
+            encode(&mut self.out);
+            self.flush_seq += 1;
+        } else {
+            let mut frame = Vec::new();
+            encode(&mut frame);
+            self.ready.insert(seq, frame);
+        }
         while let Some(bytes) = self.ready.remove(&self.flush_seq) {
             self.out.extend_from_slice(&bytes);
             self.flush_seq += 1;
@@ -250,11 +269,11 @@ mod tests {
         let c = conn.next_seq();
         assert_eq!(conn.outstanding(), 3);
         // Completions arrive out of order; nothing flushes past a gap.
-        conn.enqueue(c, b"C".to_vec());
+        conn.enqueue_with(c, |out| out.extend_from_slice(b"C"));
         assert_eq!(conn.buffered(), 0);
-        conn.enqueue(a, b"A".to_vec());
+        conn.enqueue_with(a, |out| out.extend_from_slice(b"A"));
         assert_eq!(conn.buffered(), 1, "A releases, C still gapped behind B");
-        conn.enqueue(b, b"B".to_vec());
+        conn.enqueue_with(b, |out| out.extend_from_slice(b"B"));
         assert_eq!(conn.buffered(), 3, "B releases itself and the parked C");
         assert_eq!(conn.outstanding(), 0);
         assert_eq!(&conn.out, b"ABC");
@@ -266,7 +285,7 @@ mod tests {
         let mut conn = Conn::new(server, 1);
         assert!(conn.wants().readable);
         let seq = conn.next_seq();
-        conn.enqueue(seq, vec![0u8; WRITE_HIGH_WATER + 1]);
+        conn.enqueue_with(seq, |out| out.resize(WRITE_HIGH_WATER + 1, 0));
         assert!(!conn.wants().readable, "over the write high-water mark");
         assert!(conn.wants().writable);
         // A full pipeline window pauses reads too.
@@ -281,9 +300,27 @@ mod tests {
         // Parked frames alone also pause reading (they must drain first).
         let (server3, _client3) = pair();
         let mut conn3 = Conn::new(server3, 3);
-        conn3.parked.push_back("{}".to_string());
+        conn3.parked.push_back(b"{}".to_vec());
         assert!(!conn3.wants().readable, "parked frames pause reads");
         assert!(!conn3.drained(), "parked frames keep the conn alive");
+    }
+
+    #[test]
+    fn in_order_completions_encode_straight_into_the_out_buffer() {
+        let (server, _client) = pair();
+        let mut conn = Conn::new(server, 1);
+        let a = conn.next_seq();
+        let b = conn.next_seq();
+        // A is next in line: its encoder must see the outbound buffer
+        // itself (watch the base pointer stay put after the write).
+        conn.enqueue_with(a, |out| {
+            assert!(out.is_empty(), "handed the real out buffer at its tail");
+            out.extend_from_slice(b"A");
+        });
+        assert_eq!(conn.buffered(), 1);
+        conn.enqueue_with(b, |out| out.extend_from_slice(b"B"));
+        assert_eq!(&conn.out, b"AB");
+        assert_eq!(conn.outstanding(), 0);
     }
 
     #[test]

@@ -44,7 +44,7 @@ mod decoder;
 mod poller;
 mod sys;
 
-pub use decoder::{DecodeError, FrameDecoder};
+pub use decoder::{DecodeError, FrameDecoder, WireFormat};
 
 use std::collections::HashMap;
 use std::io;
@@ -56,11 +56,10 @@ use std::time::{Duration, Instant};
 
 use crate::artifact::Ranked;
 use crate::proto;
-use crate::server::PredictionServer;
+use crate::server::{L1Outcome, L1Slot, PredictionServer};
 use crate::shard::ReplySink;
 use crate::transport::TransportConfig;
 use conn::{Conn, ReadOutcome};
-use gps_types::json::Json;
 use poller::{wake_pair, Event, Interest, Poller, WakeReceiver, Waker};
 
 /// Poller token of the wakeup socket (connection tokens count up from 0,
@@ -104,10 +103,14 @@ struct PendingPredict {
     conn: u64,
     seq: u64,
     batch: bool,
-    request_id: Option<Json>,
+    /// How to encode the eventual reply (format, echoed id).
+    ctx: proto::ReplyCtx,
     results: Vec<Option<Arc<Ranked>>>,
     /// Sub-batches still out with shard workers.
     remaining: usize,
+    /// Single queries that missed the transport-level L1 carry their
+    /// reserved slot, so the completed answer seeds the cache.
+    l1: Option<L1Slot>,
 }
 
 /// One shard sub-batch in flight: which pending request it belongs to
@@ -131,7 +134,7 @@ struct EventLoop {
     next_tag: usize,
     idle_timeout: Option<Duration>,
     scratch: Vec<u8>,
-    frames: Vec<String>,
+    frames: Vec<Vec<u8>>,
     /// Guards against re-entering the parked-frame drain from the
     /// `after_progress` calls that request handling itself triggers.
     draining_parked: bool,
@@ -277,16 +280,16 @@ impl EventLoop {
             // window admits (bytes already read can't be pushed back to
             // the kernel): the excess parks on the connection and is
             // released by `after_progress` as answers flush.
-            let frames: Vec<String> = self.frames.drain(..).collect();
-            for text in frames {
+            let frames: Vec<Vec<u8>> = self.frames.drain(..).collect();
+            for payload in frames {
                 let park = self
                     .conns
                     .get(&event.token)
                     .is_some_and(|c| !c.parked.is_empty() || !c.window_open());
                 match self.conns.get_mut(&event.token) {
                     None => break, // connection died answering an earlier frame
-                    Some(conn) if park => conn.parked.push_back(text),
-                    Some(_) => self.handle_request(event.token, text),
+                    Some(conn) if park => conn.parked.push_back(payload),
+                    Some(_) => self.handle_request(event.token, payload),
                 }
             }
             match outcome {
@@ -307,71 +310,83 @@ impl EventLoop {
         self.after_progress(event.token);
     }
 
-    /// One complete frame of request text from `token`.
-    fn handle_request(&mut self, token: u64, text: String) {
+    /// One complete frame payload (either wire format) from `token`.
+    fn handle_request(&mut self, token: u64, payload: Vec<u8>) {
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
         };
         let seq = conn.next_seq();
-        let parsed = Json::parse(&text);
-        let (response, request_id) = match parsed {
-            Err(e) => (Some(proto::error_response(format!("bad json: {e}"))), None),
-            Ok(request) => {
-                let request_id = request.get("id").cloned();
-                match proto::classify(&self.server, &request) {
-                    proto::Action::Ready(json) => (Some(json), request_id),
-                    proto::Action::Predict {
-                        entry: _,
-                        queries,
-                        batch,
-                    } if queries.is_empty() => {
-                        (Some(proto::predict_response(&[], batch)), request_id)
-                    }
-                    proto::Action::Predict {
-                        entry,
-                        queries,
-                        batch,
-                    } => {
-                        let pending_id = self.next_pending;
-                        self.next_pending += 1;
-                        let n = queries.len();
-                        let sink = ReplySink::Queue(self.completions.clone());
-                        let server = self.server.clone();
-                        let mut remaining = 0usize;
-                        server.enqueue_partitioned(&entry, queries, &sink, |indices| {
-                            let tag = self.next_tag;
-                            self.next_tag += 1;
-                            self.subjobs.insert(
-                                tag,
-                                SubJob {
-                                    pending: pending_id,
-                                    indices,
-                                },
-                            );
-                            remaining += 1;
-                            tag
-                        });
-                        self.pending.insert(
-                            pending_id,
-                            PendingPredict {
-                                conn: token,
-                                seq,
-                                batch,
-                                request_id,
-                                results: vec![None; n],
-                                remaining,
-                            },
-                        );
-                        if let Some(conn) = self.conns.get_mut(&token) {
-                            conn.in_flight += 1;
+        let format = conn.wire_format();
+        match proto::classify_payload(&self.server, format, &payload) {
+            proto::FrameAction::Ready(reply) => {
+                self.complete_with(token, seq, |out| proto::encode_ready(reply, out));
+            }
+            proto::FrameAction::Predict {
+                entry: _,
+                queries,
+                batch,
+                ctx,
+            } if queries.is_empty() => {
+                self.complete_with(token, seq, |out| {
+                    proto::encode_predict_reply(&ctx, &[], batch, out)
+                });
+            }
+            proto::FrameAction::Predict {
+                entry,
+                queries,
+                batch,
+                ctx,
+            } => {
+                // Warm single queries answer inline from the L1 — no
+                // shard hop, no completion-queue round trip, and the
+                // reply serializes straight into the write buffer.
+                let mut l1 = None;
+                if !batch && queries.len() == 1 {
+                    match self.server.l1_get(&entry, &queries[0]) {
+                        L1Outcome::Hit(answer) => {
+                            self.complete_with(token, seq, |out| {
+                                proto::encode_predict_reply(&ctx, &[answer], false, out)
+                            });
+                            return;
                         }
-                        (None, None)
+                        L1Outcome::Miss(slot) => l1 = Some(slot),
                     }
                 }
+                let pending_id = self.next_pending;
+                self.next_pending += 1;
+                let n = queries.len();
+                let sink = ReplySink::Queue(self.completions.clone());
+                let server = self.server.clone();
+                let mut remaining = 0usize;
+                server.enqueue_partitioned(&entry, queries, &sink, |indices| {
+                    let tag = self.next_tag;
+                    self.next_tag += 1;
+                    self.subjobs.insert(
+                        tag,
+                        SubJob {
+                            pending: pending_id,
+                            indices,
+                        },
+                    );
+                    remaining += 1;
+                    tag
+                });
+                self.pending.insert(
+                    pending_id,
+                    PendingPredict {
+                        conn: token,
+                        seq,
+                        batch,
+                        ctx,
+                        results: vec![None; n],
+                        remaining,
+                        l1,
+                    },
+                );
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.in_flight += 1;
+                }
             }
-        };
-        if let Some(response) = response {
-            self.complete(token, seq, response, request_id);
         }
     }
 
@@ -400,25 +415,28 @@ impl EventLoop {
                 .into_iter()
                 .map(|r| r.expect("every query answered"))
                 .collect();
-            let response = proto::predict_response(&answers, pending.batch);
+            if let Some(slot) = pending.l1 {
+                self.server.l1_put(slot, answers[0].clone());
+            }
             if let Some(conn) = self.conns.get_mut(&pending.conn) {
                 conn.in_flight -= 1;
             }
-            self.complete(pending.conn, pending.seq, response, pending.request_id);
+            self.complete_with(pending.conn, pending.seq, |out| {
+                proto::encode_predict_reply(&pending.ctx, &answers, pending.batch, out)
+            });
         }
     }
 
     /// Serialize a finished response into its connection's ordered
-    /// window and push whatever is now flushable.
-    fn complete(&mut self, token: u64, seq: u64, mut response: Json, request_id: Option<Json>) {
-        if let Some(id) = &request_id {
-            response.set("id", id.clone());
-        }
-        let frame = proto::encode_frame_or_error(&response, request_id.as_ref());
+    /// window and push whatever is now flushable. The encoder runs
+    /// against the connection's own outbound buffer whenever `seq` is
+    /// next in line (`Conn::enqueue_with`) — the zero-intermediate-copy
+    /// path the binary wire format is built around.
+    fn complete_with(&mut self, token: u64, seq: u64, encode: impl FnOnce(&mut Vec<u8>)) {
         let Some(conn) = self.conns.get_mut(&token) else {
             return; // connection died while the answer was computed
         };
-        conn.enqueue(seq, frame);
+        conn.enqueue_with(seq, encode);
         conn.touch();
         if conn.flush().is_err() {
             self.close(token, false);
@@ -439,8 +457,8 @@ impl EventLoop {
                 if conn.parked.is_empty() || !conn.window_open() {
                     break;
                 }
-                let text = conn.parked.pop_front().expect("parked nonempty");
-                self.handle_request(token, text);
+                let payload = conn.parked.pop_front().expect("parked nonempty");
+                self.handle_request(token, payload);
             }
             self.draining_parked = false;
         }

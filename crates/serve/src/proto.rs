@@ -1,7 +1,15 @@
-//! Wire protocol: length-prefixed JSON frames over TCP.
+//! Wire protocol: length-prefixed frames over TCP, in two negotiated
+//! payload formats.
 //!
-//! Every message is a 4-byte big-endian length followed by that many bytes
-//! of JSON. Requests are objects with a `cmd` field:
+//! Every message is a 4-byte big-endian length followed by that many
+//! payload bytes. A connection's *first* frame negotiates what the
+//! payloads are (`net::decoder`): a payload opening with the `GPSQ` magic
+//! makes it a binary session (`crate::wire` — the hot-path format: no
+//! text encode/decode, rankings as varint-delta ports + raw f64 bits);
+//! anything else is a JSON session, the original protocol described
+//! here. The choice is sticky per connection; both formats answer every
+//! command identically (asserted by the wire-format × transport parity
+//! e2e matrix). JSON requests are objects with a `cmd` field:
 //!
 //! ```text
 //! {"cmd":"ping"}
@@ -49,9 +57,11 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use crate::artifact::{Query, Ranked};
-use crate::net::FrameDecoder;
+use crate::net::{FrameDecoder, WireFormat};
 use crate::server::{ModelEntry, PredictionServer};
 use crate::transport::TransportConfig;
+use crate::wire;
+use gps_types::binary::ByteWriter;
 use gps_types::json::Json;
 use gps_types::{Ip, JsonCodec, Port};
 
@@ -99,13 +109,45 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Json>> {
 /// connection must close. Whether the text parses is the caller's concern
 /// — the server replies to well-framed garbage instead of disconnecting.
 pub fn read_frame_text(r: &mut impl Read) -> io::Result<Option<String>> {
-    // Driven through the same incremental decoder the event transport
-    // uses, with exact-sized reads (`need()`), so a length prefix or body
+    let mut decoder = FrameDecoder::new(MAX_FRAME_BYTES);
+    match read_frame_payload(r, &mut decoder)? {
+        None => Ok(None),
+        // The fresh decoder negotiated from this very frame; a GPSQ
+        // payload negotiates Binary and is refused here (the caller asked
+        // for text).
+        Some(payload) => match decoder.format() {
+            Some(WireFormat::Json) | None => {
+                Ok(Some(String::from_utf8(payload).map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "frame is not utf-8")
+                })?))
+            }
+            Some(WireFormat::Binary) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "expected a JSON frame, got GPSQ",
+            )),
+        },
+    }
+}
+
+/// Read one frame's payload bytes through a *persistent* per-connection
+/// decoder (which carries the negotiated wire format across frames);
+/// `Ok(None)` on clean EOF before a length prefix. Errors here are
+/// *framing* errors (truncation, size cap, non-UTF-8 in a JSON session, a
+/// format flip mid-session): the stream position can no longer be
+/// trusted, so the connection must close. Whether the payload parses is
+/// the caller's concern — the server replies to well-framed garbage
+/// instead of disconnecting.
+pub(crate) fn read_frame_payload(
+    r: &mut impl Read,
+    decoder: &mut FrameDecoder,
+) -> io::Result<Option<Vec<u8>>> {
+    // Driven with exact-sized reads (`need()`), so a length prefix or body
     // torn across arbitrarily small TCP segments reassembles correctly
     // and no byte of the *next* frame is ever consumed. Only EOF before
     // the first length byte is a clean close; EOF midway through a frame
-    // is truncation from a dead peer.
-    let mut decoder = FrameDecoder::new(MAX_FRAME_BYTES);
+    // is truncation from a dead peer. Exact-sized reads also mean a feed
+    // completes at most one frame, so nothing is ever buffered between
+    // calls except inside the decoder itself.
     let mut frames = Vec::with_capacity(1);
     let mut chunk = [0u8; 16 * 1024];
     loop {
@@ -125,8 +167,8 @@ pub fn read_frame_text(r: &mut impl Read) -> io::Result<Option<String>> {
         decoder
             .feed(&chunk[..n], &mut frames)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        if let Some(text) = frames.pop() {
-            return Ok(Some(text));
+        if let Some(payload) = frames.pop() {
+            return Ok(Some(payload));
         }
     }
 }
@@ -222,22 +264,197 @@ pub(crate) fn error_response(message: impl Into<String>) -> Json {
     json
 }
 
-/// Serialize a response frame; if the response exceeds the frame cap (a
-/// legal request can still produce one — a huge batch against a
-/// rule-rich model), substitute the standard over-cap error reply,
-/// carrying the request id so the client can still correlate it.
-pub(crate) fn encode_frame_or_error(response: &Json, request_id: Option<&Json>) -> Vec<u8> {
-    let mut buf = Vec::new();
-    if write_frame(&mut buf, response).is_ok() {
-        return buf;
+/// Patch the length prefix reserved at `start` once the payload is in
+/// place; `false` (with the frame rolled back) if the payload outgrew the
+/// cap.
+fn finish_frame(out: &mut Vec<u8>, start: usize) -> bool {
+    let len = out.len() - start - 4;
+    match u32::try_from(len).ok().filter(|&n| n <= MAX_FRAME_BYTES) {
+        Some(len) => {
+            out[start..start + 4].copy_from_slice(&len.to_be_bytes());
+            true
+        }
+        None => {
+            out.truncate(start);
+            false
+        }
     }
-    buf.clear();
-    let mut oversized = error_response("response exceeds frame size cap");
-    if let Some(id) = request_id {
-        oversized.set("id", id.clone());
+}
+
+/// Append one length-prefixed JSON frame to `out`; `false` if it
+/// exceeded the cap (the buffer is rolled back).
+fn append_json_frame(out: &mut Vec<u8>, json: &Json) -> bool {
+    let start = out.len();
+    out.extend_from_slice(&[0u8; 4]);
+    let mut text = String::new();
+    json.write(&mut text);
+    out.extend_from_slice(text.as_bytes());
+    finish_frame(out, start)
+}
+
+/// Append one length-prefixed GPSQ frame, encoding the payload *directly
+/// into `out`* through a [`ByteWriter`] wrapping it (no intermediate
+/// buffer — this is the zero-copy half of the binary wire path); `false`
+/// if it exceeded the cap (rolled back).
+pub(crate) fn append_binary_frame(out: &mut Vec<u8>, encode: impl FnOnce(&mut ByteWriter)) -> bool {
+    let start = out.len();
+    let mut writer = ByteWriter::from_vec(std::mem::take(out));
+    writer.put_bytes(&[0u8; 4]);
+    encode(&mut writer);
+    *out = writer.into_bytes();
+    finish_frame(out, start)
+}
+
+/// The standard substitute when a legal request produced a response past
+/// the frame cap (a huge batch against a rule-rich model can):
+pub(crate) const OVERSIZE_REPLY: &str = "response exceeds frame size cap";
+
+/// How the reply to one classified request frame must be encoded — the
+/// per-request state a transport carries from classification to reply
+/// serialization (for predict work, across the shard round trip).
+pub(crate) enum ReplyCtx {
+    /// A JSON-session frame: set the echoed id, serialize as JSON text.
+    Json { id: Option<Json> },
+    /// A native GPSQ frame: varint id, binary response body.
+    Binary { id: Option<u64> },
+    /// A GPSQ admin envelope: JSON semantics (id included) inside a
+    /// binary frame.
+    BinaryAdmin { id: Option<Json> },
+}
+
+/// A finished (no shard work) reply, ready to serialize.
+pub(crate) enum ReadyReply {
+    /// JSON response on a JSON session.
+    Json { response: Json, id: Option<Json> },
+    /// GPSQ pong.
+    Pong { id: Option<u64> },
+    /// GPSQ native error.
+    BinaryError { id: Option<u64>, message: String },
+    /// JSON response riding in a GPSQ admin envelope.
+    BinaryAdmin { response: Json, id: Option<Json> },
+}
+
+/// What one request frame classified into: a finished reply, or predict
+/// work plus the context to encode its eventual answer.
+pub(crate) enum FrameAction {
+    Ready(ReadyReply),
+    Predict {
+        entry: Arc<ModelEntry>,
+        queries: Vec<Query>,
+        /// `batch` frames answer with the batch shape, singles with the
+        /// single shape — in either format.
+        batch: bool,
+        ctx: ReplyCtx,
+    },
+}
+
+/// An error reply shaped for the reply context.
+fn ready_error(ctx: ReplyCtx, message: String) -> ReadyReply {
+    match ctx {
+        ReplyCtx::Json { id } => ReadyReply::Json {
+            response: error_response(message),
+            id,
+        },
+        ReplyCtx::Binary { id } => ReadyReply::BinaryError { id, message },
+        ReplyCtx::BinaryAdmin { id } => ReadyReply::BinaryAdmin {
+            response: error_response(message),
+            id,
+        },
     }
-    write_frame(&mut buf, &oversized).expect("error frame fits the cap");
-    buf
+}
+
+/// Serialize a finished reply as one frame appended to `out`, falling
+/// back to the standard over-cap error reply (id included, same format)
+/// if it outgrew the frame cap.
+pub(crate) fn encode_ready(reply: ReadyReply, out: &mut Vec<u8>) {
+    match reply {
+        ReadyReply::Json { mut response, id } => {
+            if let Some(id) = &id {
+                response.set("id", id.clone());
+            }
+            if !append_json_frame(out, &response) {
+                let mut oversized = error_response(OVERSIZE_REPLY);
+                if let Some(id) = &id {
+                    oversized.set("id", id.clone());
+                }
+                assert!(
+                    append_json_frame(out, &oversized),
+                    "error frame fits the cap"
+                );
+            }
+        }
+        ReadyReply::Pong { id } => {
+            assert!(
+                append_binary_frame(out, |w| wire::encode_pong(id, w)),
+                "pong fits the cap"
+            );
+        }
+        ReadyReply::BinaryError { id, message } => {
+            if !append_binary_frame(out, |w| wire::encode_error(id, &message, w)) {
+                assert!(
+                    append_binary_frame(out, |w| wire::encode_error(id, OVERSIZE_REPLY, w)),
+                    "error frame fits the cap"
+                );
+            }
+        }
+        ReadyReply::BinaryAdmin { mut response, id } => {
+            if let Some(id) = &id {
+                response.set("id", id.clone());
+            }
+            let mut text = String::new();
+            response.write(&mut text);
+            if !append_binary_frame(out, |w| wire::encode_admin_response(&text, w)) {
+                let mut oversized = error_response(OVERSIZE_REPLY);
+                if let Some(id) = &id {
+                    oversized.set("id", id.clone());
+                }
+                let mut text = String::new();
+                oversized.write(&mut text);
+                assert!(
+                    append_binary_frame(out, |w| wire::encode_admin_response(&text, w)),
+                    "error frame fits the cap"
+                );
+            }
+        }
+    }
+}
+
+/// Serialize the success reply for completed predict work as one frame
+/// appended to `out` (both shapes, both formats), with the over-cap
+/// fallback. On a binary session the ranking bytes are encoded straight
+/// into `out` — no intermediate `String` or `Vec` per frame.
+pub(crate) fn encode_predict_reply(
+    ctx: &ReplyCtx,
+    answers: &[Arc<Ranked>],
+    batch: bool,
+    out: &mut Vec<u8>,
+) {
+    match ctx {
+        ReplyCtx::Json { id } => encode_ready(
+            ReadyReply::Json {
+                response: predict_response(answers, batch),
+                id: id.clone(),
+            },
+            out,
+        ),
+        ReplyCtx::Binary { id } => {
+            if !append_binary_frame(out, |w| {
+                wire::encode_predict_response(*id, answers, batch, w)
+            }) {
+                assert!(
+                    append_binary_frame(out, |w| wire::encode_error(*id, OVERSIZE_REPLY, w)),
+                    "error frame fits the cap"
+                );
+            }
+        }
+        ReplyCtx::BinaryAdmin { id } => encode_ready(
+            ReadyReply::BinaryAdmin {
+                response: predict_response(answers, batch),
+                id: id.clone(),
+            },
+            out,
+        ),
+    }
 }
 
 /// An optional string field that, when present, must actually be a
@@ -473,59 +690,178 @@ pub(crate) fn classify(server: &PredictionServer, request: &Json) -> Action {
     }
 }
 
-/// Compute the response for one request frame, executing predict work in
-/// place (the blocking transports' path through the shared core).
-fn respond(server: &PredictionServer, request: &Json) -> Json {
-    match classify(server, request) {
-        Action::Ready(json) => json,
-        Action::Predict {
+/// Classify one raw frame payload — either wire format — into a finished
+/// reply or predict work plus its reply context. This is the one entry
+/// point both transports feed every inbound frame through, which is what
+/// makes threads/events and json/binary answer identically.
+pub(crate) fn classify_payload(
+    server: &PredictionServer,
+    format: WireFormat,
+    payload: &[u8],
+) -> FrameAction {
+    match format {
+        WireFormat::Json => match std::str::from_utf8(payload) {
+            // The decoder already enforced UTF-8 for JSON sessions; this
+            // arm only guards direct callers.
+            Err(_) => FrameAction::Ready(ReadyReply::Json {
+                response: error_response("bad json: frame is not utf-8"),
+                id: None,
+            }),
+            Ok(text) => classify_json(server, text, false),
+        },
+        WireFormat::Binary => match wire::decode_request(payload) {
+            Err(e) => FrameAction::Ready(ReadyReply::BinaryError {
+                id: e.id,
+                message: e.message,
+            }),
+            Ok(wire::Request::Ping { id }) => FrameAction::Ready(ReadyReply::Pong { id }),
+            Ok(wire::Request::Predict { id, model, query }) => predict_action(
+                server,
+                model.as_deref(),
+                vec![query],
+                false,
+                ReplyCtx::Binary { id },
+            ),
+            Ok(wire::Request::Batch { id, model, queries }) => predict_action(
+                server,
+                model.as_deref(),
+                queries,
+                true,
+                ReplyCtx::Binary { id },
+            ),
+            // Admin passthrough: JSON semantics, binary envelope. The
+            // embedded text runs through the very same JSON core.
+            Ok(wire::Request::Admin { json }) => classify_json(server, &json, true),
+        },
+    }
+}
+
+/// The JSON half of [`classify_payload`]: parse, pull the echoed id, run
+/// the shared [`classify`] core. `envelope` says the JSON arrived inside
+/// a GPSQ admin frame, so the reply must ride the same envelope.
+fn classify_json(server: &PredictionServer, text: &str, envelope: bool) -> FrameAction {
+    // The request id (if any) is echoed on every reply, error replies
+    // included — a pipelining client must be able to tell *which* request
+    // of a burst failed. Unparseable JSON has no extractable id, so only
+    // framing-level garbage goes un-correlated.
+    let (response, id) = match Json::parse(text) {
+        Err(e) => (error_response(format!("bad json: {e}")), None),
+        Ok(request) => {
+            let id = request.get("id").cloned();
+            match classify(server, &request) {
+                Action::Ready(json) => (json, id),
+                Action::Predict {
+                    entry,
+                    queries,
+                    batch,
+                } => {
+                    let ctx = if envelope {
+                        ReplyCtx::BinaryAdmin { id }
+                    } else {
+                        ReplyCtx::Json { id }
+                    };
+                    return FrameAction::Predict {
+                        entry,
+                        queries,
+                        batch,
+                        ctx,
+                    };
+                }
+            }
+        }
+    };
+    FrameAction::Ready(if envelope {
+        ReadyReply::BinaryAdmin { response, id }
+    } else {
+        ReadyReply::Json { response, id }
+    })
+}
+
+/// Resolve the model entry for native-binary predict work; an unknown id
+/// is an error reply like any other (same message as the JSON path).
+fn predict_action(
+    server: &PredictionServer,
+    model: Option<&str>,
+    queries: Vec<Query>,
+    batch: bool,
+    ctx: ReplyCtx,
+) -> FrameAction {
+    let entry = match model {
+        None => Ok(server.default_entry().clone()),
+        Some(id) => server.entry(id),
+    };
+    match entry {
+        Ok(entry) => FrameAction::Predict {
             entry,
             queries,
             batch,
-        } => {
-            if batch {
-                let answers = server.predict_batch_entry(entry, queries);
-                predict_response(&answers, true)
-            } else {
-                let query = queries.into_iter().next().expect("one query");
-                let answer = server.predict_entry(entry, query);
-                predict_response(&[answer], false)
-            }
-        }
+            ctx,
+        },
+        Err(e) => FrameAction::Ready(ready_error(ctx, e)),
     }
 }
 
 /// Serve one accepted connection until EOF or a framing error. A frame
-/// that is well-framed but not valid JSON gets an error *response* — only
-/// breakage that desynchronizes the stream closes the connection.
+/// that is well-framed but semantically garbage gets an error *response*
+/// — only breakage that desynchronizes the stream (or flips wire format
+/// mid-session) closes the connection. One frame decoder and one
+/// response buffer live for the whole connection: the decoder carries
+/// the negotiated wire format, and every reply — JSON or GPSQ — encodes
+/// into the same reused buffer instead of allocating per frame.
 pub fn serve_connection(server: &PredictionServer, stream: TcpStream) -> io::Result<()> {
     let mut reader = io::BufReader::new(stream.try_clone()?);
-    let mut writer = io::BufWriter::new(stream);
-    while let Some(text) = read_frame_text(&mut reader)? {
-        // The request id (if any) is echoed on every reply, error replies
-        // included — a pipelining client must be able to tell *which*
-        // request of a burst failed. Unparseable JSON has no extractable
-        // id, so only framing-level garbage goes un-correlated.
-        let mut request_id = None;
-        let mut response = match Json::parse(&text) {
-            Ok(request) => {
-                request_id = request.get("id").cloned();
-                respond(server, &request)
+    let mut writer = stream;
+    let mut decoder = FrameDecoder::new(MAX_FRAME_BYTES);
+    let mut response_buf: Vec<u8> = Vec::new();
+    /// Responses coalesce in the reused buffer past this only while more
+    /// pipelined requests are already buffered; then they flush in one
+    /// write.
+    const WRITE_COALESCE_CAP: usize = 64 * 1024;
+    loop {
+        let payload = match read_frame_payload(&mut reader, &mut decoder) {
+            Ok(Some(payload)) => payload,
+            // EOF or framing death: everything answered so far still
+            // goes out (a pipelined peer's valid frames are answered
+            // even when a later frame kills the connection).
+            result => {
+                if !response_buf.is_empty() {
+                    let _ = writer.write_all(&response_buf);
+                }
+                return result.map(|_| ());
             }
-            Err(e) => error_response(format!("bad json: {e}")),
         };
-        if let Some(id) = &request_id {
-            response.set("id", id.clone());
+        let format = decoder.format().unwrap_or(WireFormat::Json);
+        match classify_payload(server, format, &payload) {
+            FrameAction::Ready(reply) => encode_ready(reply, &mut response_buf),
+            FrameAction::Predict {
+                entry,
+                queries,
+                batch,
+                ctx,
+            } => {
+                // Predict work executes in place — the blocking
+                // transport's path through the shared core.
+                if batch {
+                    let answers = server.predict_batch_entry(entry, queries);
+                    encode_predict_reply(&ctx, &answers, true, &mut response_buf);
+                } else {
+                    let query = queries.into_iter().next().expect("one query");
+                    let answer = server.predict_entry(entry, query);
+                    encode_predict_reply(&ctx, &[answer], false, &mut response_buf);
+                }
+            }
         }
-        // `encode_frame_or_error` substitutes the standard over-cap error
-        // reply (id included) if a legal request produced an over-cap
-        // response — the same path the event transport serializes
-        // through, so the fallback frame is byte-identical on both.
-        let frame = encode_frame_or_error(&response, request_id.as_ref());
-        writer.write_all(&frame)?;
-        writer.flush()?;
+        // Write coalescing: while the read buffer already holds more of
+        // a pipelined burst, keep encoding into the same buffer and send
+        // the whole run of responses in one syscall once the burst (or
+        // the cap) is reached. A request/response peer sees every reply
+        // before this connection blocks on the next read, so the closed
+        // loop is never delayed.
+        if reader.buffer().is_empty() || response_buf.len() >= WRITE_COALESCE_CAP {
+            writer.write_all(&response_buf)?;
+            response_buf.clear();
+        }
     }
-    Ok(())
 }
 
 /// Accept loop: one thread per connection. Blocks forever; run it on a
@@ -580,37 +916,114 @@ pub(crate) fn serve_blocking(
 }
 
 /// A blocking protocol client (used by `gps query`, `gps reload`,
-/// loadgen, and tests). Every request carries a monotonically increasing
-/// `id`, and the echoed id on the reply — error replies included — is
+/// loadgen, and tests), speaking either wire format — pick with
+/// [`connect_with`](Client::connect_with); [`connect`](Client::connect)
+/// stays JSON. Every request carries a monotonically increasing `id`,
+/// and the echoed id on the reply — error replies included — is
 /// verified, so a desynchronized stream surfaces as a hard error instead
 /// of silently mis-attributed answers.
+///
+/// On a binary client the hot calls (`ping`, `predict`, `predict_batch`)
+/// use native GPSQ messages; the admin calls (`stats`, `manifest`,
+/// `reload`, ...) ride the GPSQ admin envelope, so every method works on
+/// either format and answers identically.
 pub struct Client {
     reader: io::BufReader<TcpStream>,
     writer: io::BufWriter<TcpStream>,
     next_id: u64,
+    wire: WireFormat,
+    /// Persistent response decoder (binary sessions): carries framing
+    /// state and catches a server that flips format mid-stream.
+    decoder: FrameDecoder,
+    /// Reused request/response scratch (binary sessions).
+    buf: Vec<u8>,
 }
 
 impl Client {
+    /// Connect speaking JSON (the historical default).
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        Self::connect_with(addr, WireFormat::Json)
+    }
+
+    /// Connect speaking the given wire format.
+    pub fn connect_with(addr: impl ToSocketAddrs, wire: WireFormat) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         Ok(Client {
             reader: io::BufReader::new(stream.try_clone()?),
             writer: io::BufWriter::new(stream),
             next_id: 1,
+            wire,
+            decoder: FrameDecoder::new(MAX_FRAME_BYTES),
+            buf: Vec::new(),
         })
+    }
+
+    /// The wire format this client negotiated.
+    pub fn wire(&self) -> WireFormat {
+        self.wire
+    }
+
+    /// Read one GPSQ response payload into a decoded [`wire::Response`].
+    fn read_binary_response(&mut self) -> io::Result<wire::Response> {
+        let payload = read_frame_payload(&mut self.reader, &mut self.decoder)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))?;
+        wire::decode_response(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    fn verify_id(&self, got: Option<u64>, want: u64) -> io::Result<()> {
+        if got == Some(want) {
+            Ok(())
+        } else {
+            Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("response does not echo request id {want}"),
+            ))
+        }
     }
 
     /// Takes the request by value: every caller builds it fresh, and a
     /// large `batch` request would otherwise be deep-cloned just to tack
-    /// the id on.
+    /// the id on. On a binary session the JSON request rides the GPSQ
+    /// admin envelope — same semantics, same replies.
     fn call(&mut self, mut request: Json) -> io::Result<Json> {
         let id = self.next_id;
         self.next_id += 1;
         request.set("id", Json::Num(id as f64));
-        write_frame(&mut self.writer, &request)?;
-        let response = read_frame(&mut self.reader)?
-            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))?;
+        let response = match self.wire {
+            WireFormat::Json => {
+                write_frame(&mut self.writer, &request)?;
+                read_frame(&mut self.reader)?
+                    .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))?
+            }
+            WireFormat::Binary => {
+                let mut text = String::new();
+                request.write(&mut text);
+                self.buf.clear();
+                if !append_binary_frame(&mut self.buf, |w| wire::encode_admin_request(&text, w)) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        "frame too large",
+                    ));
+                }
+                self.writer.write_all(&self.buf)?;
+                self.writer.flush()?;
+                match self.read_binary_response()? {
+                    wire::Response::Admin { json } => Json::parse(&json)
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?,
+                    // The server answers a broken admin *envelope* with a
+                    // native error frame (the embedded JSON never parsed,
+                    // so there is no JSON reply to wrap).
+                    wire::Response::Error { message, .. } => return Err(io::Error::other(message)),
+                    _ => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            "expected an admin envelope reply",
+                        ))
+                    }
+                }
+            }
+        };
         if response.get("id").and_then(Json::as_u64) != Some(id) {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -631,6 +1044,24 @@ impl Client {
     }
 
     pub fn ping(&mut self) -> io::Result<()> {
+        if self.wire == WireFormat::Binary {
+            let id = self.next_id;
+            self.next_id += 1;
+            self.buf.clear();
+            assert!(append_binary_frame(&mut self.buf, |w| {
+                wire::encode_ping(Some(id), w)
+            }));
+            self.writer.write_all(&self.buf)?;
+            self.writer.flush()?;
+            return match self.read_binary_response()? {
+                wire::Response::Pong { id: got } => self.verify_id(got, id),
+                wire::Response::Error { id: got, message } => {
+                    self.verify_id(got, id)?;
+                    Err(io::Error::other(message))
+                }
+                _ => Err(io::Error::new(io::ErrorKind::InvalidData, "expected pong")),
+            };
+        }
         let mut request = Json::obj();
         request.set("cmd", "ping");
         self.call(request).map(|_| ())
@@ -643,6 +1074,13 @@ impl Client {
 
     /// Predict against a specific model id (`None` = the default model).
     pub fn predict_on(&mut self, model: Option<&str>, query: &Query) -> io::Result<Ranked> {
+        if self.wire == WireFormat::Binary {
+            let mut rankings =
+                self.call_binary_predict(model, std::slice::from_ref(query), false)?;
+            return rankings
+                .pop()
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no predictions"));
+        }
         let mut request = query_to_json(query);
         request.set("cmd", "predict");
         // `cmd` is appended after the query fields; field order is free.
@@ -668,6 +1106,9 @@ impl Client {
         model: Option<&str>,
         queries: &[Query],
     ) -> io::Result<Vec<Ranked>> {
+        if self.wire == WireFormat::Binary {
+            return self.call_binary_predict(model, queries, true);
+        }
         let mut request = Json::obj();
         request.set("cmd", "batch").set(
             "queries",
@@ -684,6 +1125,144 @@ impl Client {
             .iter()
             .map(|r| ranked_from_json(r).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e)))
             .collect()
+    }
+
+    /// Send one single-query predict without waiting for the reply
+    /// (pipelined mode); returns the request id to pass to
+    /// [`predict_recv`](Self::predict_recv). The frame is buffered, not
+    /// flushed — consecutive sends coalesce into one syscall, which is
+    /// where pipelining's amortization comes from. Responses come back
+    /// in request order (the server guarantees it on both transports),
+    /// so receive in send order, per connection.
+    pub fn predict_send(&mut self, model: Option<&str>, query: &Query) -> io::Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        match self.wire {
+            WireFormat::Json => {
+                let mut request = query_to_json(query);
+                request.set("cmd", "predict");
+                if let Some(model) = model {
+                    request.set("model", model);
+                }
+                request.set("id", Json::Num(id as f64));
+                let mut text = String::new();
+                request.write(&mut text);
+                let len = u32::try_from(text.len())
+                    .ok()
+                    .filter(|&n| n <= MAX_FRAME_BYTES)
+                    .ok_or_else(|| {
+                        io::Error::new(io::ErrorKind::InvalidInput, "frame too large")
+                    })?;
+                self.writer.write_all(&len.to_be_bytes())?;
+                self.writer.write_all(text.as_bytes())?;
+            }
+            WireFormat::Binary => {
+                self.buf.clear();
+                if !append_binary_frame(&mut self.buf, |w| {
+                    wire::encode_predict(Some(id), model, query, w)
+                }) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        "frame too large",
+                    ));
+                }
+                self.writer.write_all(&self.buf)?;
+            }
+        }
+        Ok(id)
+    }
+
+    /// Receive the next pipelined predict response, which must answer
+    /// the request whose [`predict_send`](Self::predict_send) returned
+    /// `id`. Flushes any buffered sends first.
+    pub fn predict_recv(&mut self, id: u64) -> io::Result<Ranked> {
+        self.writer.flush()?;
+        match self.wire {
+            WireFormat::Json => {
+                let response = read_frame(&mut self.reader)?
+                    .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))?;
+                if response.get("id").and_then(Json::as_u64) != Some(id) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("response does not echo request id {id}"),
+                    ));
+                }
+                match response.get("ok").and_then(Json::as_bool) {
+                    Some(true) => {
+                        ranked_from_json(response.get("predictions").ok_or_else(|| {
+                            io::Error::new(io::ErrorKind::InvalidData, "no predictions")
+                        })?)
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+                    }
+                    _ => Err(io::Error::other(
+                        response
+                            .get("error")
+                            .and_then(Json::as_str)
+                            .unwrap_or("unknown server error")
+                            .to_string(),
+                    )),
+                }
+            }
+            WireFormat::Binary => match self.read_binary_response()? {
+                wire::Response::Predict { id: got, ranking } => {
+                    self.verify_id(got, id)?;
+                    Ok(ranking)
+                }
+                wire::Response::Error { id: got, message } => {
+                    self.verify_id(got, id)?;
+                    Err(io::Error::other(message))
+                }
+                _ => Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "unexpected GPSQ response kind",
+                )),
+            },
+        }
+    }
+
+    /// The native GPSQ predict path (single and batch shapes).
+    fn call_binary_predict(
+        &mut self,
+        model: Option<&str>,
+        queries: &[Query],
+        batch: bool,
+    ) -> io::Result<Vec<Ranked>> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.buf.clear();
+        let encoded = append_binary_frame(&mut self.buf, |w| {
+            if batch {
+                wire::encode_batch(Some(id), model, queries, w);
+            } else {
+                wire::encode_predict(Some(id), model, &queries[0], w);
+            }
+        });
+        if !encoded {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "frame too large",
+            ));
+        }
+        self.writer.write_all(&self.buf)?;
+        self.writer.flush()?;
+        match self.read_binary_response()? {
+            wire::Response::Predict { id: got, ranking } if !batch => {
+                self.verify_id(got, id)?;
+                Ok(vec![ranking])
+            }
+            wire::Response::Batch { id: got, rankings } if batch => {
+                self.verify_id(got, id)?;
+                Ok(rankings)
+            }
+            wire::Response::Error { id: got, message } => {
+                self.verify_id(got, id)?;
+                Err(io::Error::other(message))
+            }
+            _ => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "unexpected GPSQ response kind",
+            )),
+        }
     }
 
     pub fn stats(&mut self) -> io::Result<Json> {

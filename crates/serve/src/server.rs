@@ -53,7 +53,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant, SystemTime};
 
 use crate::artifact::{Query, Ranked, ServableModel};
-use crate::shard::{run_shard, Job, ReplySink, ShardConfig, ShardHandle};
+use crate::cache::LruCache;
+use crate::shard::{run_shard, CacheKey, Job, ReplySink, ShardConfig, ShardHandle};
 use gps_core::snapshot::header_fingerprint;
 use gps_core::ModelSnapshot;
 use gps_types::json::Json;
@@ -427,6 +428,34 @@ pub struct PredictionServer {
     stats: Arc<ServerStats>,
     started: Instant,
     config: ServeConfig,
+    /// The transport-level answer cache ("L1"): single-query requests
+    /// whose answer is already known are served on the calling thread —
+    /// no shard-channel hop, no worker wakeup, no cross-thread context
+    /// switch. Partitioned by the same /16 hash as the shards (one mutex
+    /// per partition, so conn threads rarely contend) and keyed by the
+    /// same [`CacheKey`] as the workers' private caches, generation
+    /// included — a reload retires L1 entries exactly as it retires
+    /// shard entries. Misses fall through to the shard path unchanged;
+    /// batch frames skip the L1 entirely (the shard hop amortizes over
+    /// the whole batch there).
+    l1: Vec<Mutex<LruCache<CacheKey, Arc<Ranked>>>>,
+}
+
+/// A reserved L1 slot for a query that missed: carries the computed key
+/// so the caller can [`PredictionServer::l1_put`] the shard's answer
+/// without re-canonicalizing.
+pub(crate) struct L1Slot {
+    partition: usize,
+    key: CacheKey,
+}
+
+/// What the transport-level cache said about a single query.
+pub(crate) enum L1Outcome {
+    /// Answered inline; all counters already accounted.
+    Hit(Arc<Ranked>),
+    /// Not cached: run the shard path, then hand the answer back through
+    /// [`PredictionServer::l1_put`].
+    Miss(L1Slot),
 }
 
 impl PredictionServer {
@@ -498,6 +527,9 @@ impl PredictionServer {
             );
             shards.push(ShardHandle { sender: tx });
         }
+        let l1 = (0..config.shards)
+            .map(|_| Mutex::new(LruCache::new(config.cache_capacity)))
+            .collect();
         Ok(PredictionServer {
             registry,
             default_entry,
@@ -507,6 +539,7 @@ impl PredictionServer {
             stats,
             started: Instant::now(),
             config,
+            l1,
         })
     }
 
@@ -783,7 +816,92 @@ impl PredictionServer {
         Ok(self.predict_entry(self.entry(id)?, query))
     }
 
+    /// Probe the transport-level L1 for one query's answer. A hit is
+    /// fully accounted (request, per-shard, hit, latency counters —
+    /// global and per model) and returned inline; a miss reserves the
+    /// slot for [`l1_put`](Self::l1_put) after the shard path answers.
+    pub(crate) fn l1_get(&self, entry: &Arc<ModelEntry>, query: &Query) -> L1Outcome {
+        let started = Instant::now();
+        let partition = self.shard_of(query.ip);
+        // A *consistent* (generation, model) pair: `publish` stores the
+        // model and bumps the generation under one write lock, so if the
+        // generation is unchanged across the `current()` read, the model
+        // read in between belongs to that generation. Without this, a
+        // reload landing mid-key-build could pair the old generation
+        // with the new model's cache prefix and hit another subnet's
+        // entry.
+        let (generation, cache_prefix) = loop {
+            let before = entry.generation();
+            let model = entry.current();
+            if entry.generation() == before {
+                break (before, model.cache_prefix());
+            }
+        };
+        // The same canonicalization the shard worker applies before its
+        // own cache: permutations and duplicates of the evidence share a
+        // slot, and an unset `top` means the server default.
+        let mut open: Vec<u16> = query.open.iter().map(|p| p.0).collect();
+        open.sort_unstable();
+        open.dedup();
+        let key = CacheKey {
+            model_uid: entry.uid,
+            generation,
+            subnet_base: gps_types::Subnet::of_ip(query.ip, cache_prefix).base().0,
+            open,
+            asn: query.asn,
+            top: if query.top == 0 {
+                self.config.default_top
+            } else {
+                query.top
+            },
+        };
+        let cached = self.l1[partition]
+            .lock()
+            .expect("l1 cache lock")
+            .get(&key)
+            .cloned();
+        match cached {
+            Some(answer) => {
+                // Mirror the shard worker's bookkeeping so every counter
+                // invariant (requests == Σ per_shard, hits + misses ==
+                // requests, per-model breakdowns) holds whichever layer
+                // answered.
+                let latency_ns = started.elapsed().as_nanos() as u64;
+                self.stats.requests.fetch_add(1, Ordering::Relaxed);
+                self.stats.per_shard[partition].fetch_add(1, Ordering::Relaxed);
+                self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .latency_ns_total
+                    .fetch_add(latency_ns, Ordering::Relaxed);
+                self.stats
+                    .latency_ns_max
+                    .fetch_max(latency_ns, Ordering::Relaxed);
+                entry.counters.requests.fetch_add(1, Ordering::Relaxed);
+                entry.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                L1Outcome::Hit(answer)
+            }
+            None => L1Outcome::Miss(L1Slot { partition, key }),
+        }
+    }
+
+    /// Publish a shard-computed answer into the L1 slot its miss
+    /// reserved. (The shard already counted the request; this only makes
+    /// the *next* one inline.)
+    pub(crate) fn l1_put(&self, slot: L1Slot, answer: Arc<Ranked>) {
+        self.l1[slot.partition]
+            .lock()
+            .expect("l1 cache lock")
+            .insert(slot.key, answer);
+    }
+
     pub(crate) fn predict_entry(&self, entry: Arc<ModelEntry>, query: Query) -> Arc<Ranked> {
+        // Warm single queries never leave this thread: the L1 answers
+        // without waking a shard worker. Misses pay the original path
+        // and seed the L1 on the way out.
+        let slot = match self.l1_get(&entry, &query) {
+            L1Outcome::Hit(answer) => return answer,
+            L1Outcome::Miss(slot) => slot,
+        };
         let shard = self.shard_of(query.ip);
         let (reply_tx, reply_rx) = mpsc::channel();
         let job = Job {
@@ -798,7 +916,9 @@ impl PredictionServer {
             .send(job)
             .expect("shard worker alive");
         let (_, mut answers) = reply_rx.recv().expect("shard worker replies");
-        answers.pop().expect("one answer per query")
+        let answer = answers.pop().expect("one answer per query");
+        self.l1_put(slot, answer.clone());
+        answer
     }
 
     /// Answer a batch on the default model, preserving input order.

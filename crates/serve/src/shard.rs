@@ -22,7 +22,7 @@ use std::sync::mpsc::{Receiver, Sender, SyncSender, TryRecvError};
 use std::sync::Arc;
 use std::time::Instant;
 
-use crate::artifact::{Query, Ranked, ServableModel};
+use crate::artifact::{PredictScratch, Query, Ranked, ServableModel};
 use crate::cache::LruCache;
 use crate::net::CompletionQueue;
 use crate::server::{ModelEntry, Registry, ServerStats};
@@ -53,18 +53,22 @@ impl ReplySink {
 }
 
 /// Cache key: everything a prediction depends on, at subnet granularity.
+/// Shared by the shard workers' private caches and the transport-level
+/// L1 (`server.rs`), so the two layers agree on what "the same answer"
+/// means — including that a reload retires keys by generation instead of
+/// clearing anything.
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub(crate) struct CacheKey {
     /// Registry uid of the model that computed the answer.
-    model_uid: u64,
+    pub(crate) model_uid: u64,
     /// That model's generation at compute time — a reload retires keys
     /// instead of clearing the cache.
-    generation: u64,
+    pub(crate) generation: u64,
     /// Base of the query IP's subnet at the model's finest relevant prefix.
-    subnet_base: u32,
-    open: Vec<u16>,
-    asn: Option<u32>,
-    top: usize,
+    pub(crate) subnet_base: u32,
+    pub(crate) open: Vec<u16>,
+    pub(crate) asn: Option<u32>,
+    pub(crate) top: usize,
 }
 
 /// A unit of shard work: the model to answer with, one or more queries,
@@ -116,6 +120,10 @@ pub(crate) fn run_shard(
     let mut epochs: HashMap<u64, LocalEpoch> = HashMap::new();
     let mut cache: LruCache<CacheKey, Arc<Ranked>> = LruCache::new(config.cache_capacity);
     let mut batch: Vec<Job> = Vec::with_capacity(config.max_batch);
+    // Worker-lifetime predict scratch: cache misses reuse one warm-path
+    // map instead of allocating per query (the hot-path alloc the
+    // `prediction` bench's `serve_warm_query` cases measure).
+    let mut scratch = PredictScratch::default();
 
     while let Ok(first) = rx.recv() {
         batch.push(first);
@@ -189,7 +197,7 @@ pub(crate) fn run_shard(
                         None => {
                             stats.cache_misses.fetch_add(1, Ordering::Relaxed);
                             entry.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
-                            let computed = Arc::new(epoch.model.predict(&query));
+                            let computed = Arc::new(epoch.model.predict_with(&mut scratch, &query));
                             cache.insert(key, computed.clone());
                             computed
                         }

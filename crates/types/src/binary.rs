@@ -37,6 +37,16 @@ pub const GPSB_MAGIC: [u8; 4] = *b"GPSB";
 /// the manifest and governs the payload schema.
 pub const GPSB_CONTAINER_VERSION: u8 = 1;
 
+/// Magic bytes opening every GPSQ binary *wire* payload (the query-plane
+/// sibling of GPSB: same primitives, framed per TCP message instead of
+/// per file section). A frame payload starting with these bytes
+/// negotiates a connection into the binary wire format; JSON payloads
+/// can never collide (no JSON document starts with `G`).
+pub const GPSQ_MAGIC: [u8; 4] = *b"GPSQ";
+
+/// Version byte following [`GPSQ_MAGIC`] on every binary wire message.
+pub const GPSQ_VERSION: u8 = 1;
+
 fn bad(reason: &'static str) -> GpsError {
     GpsError::parse("gpsb", "", reason)
 }
@@ -56,6 +66,14 @@ impl ByteWriter {
         ByteWriter {
             buf: Vec::with_capacity(capacity),
         }
+    }
+
+    /// Wrap an existing buffer and append to it — how the wire path
+    /// encodes straight into a connection's write buffer with no
+    /// intermediate allocation (take the buffer, wrap, encode, unwrap
+    /// with [`into_bytes`](Self::into_bytes); both directions are moves).
+    pub fn from_vec(buf: Vec<u8>) -> ByteWriter {
+        ByteWriter { buf }
     }
 
     pub fn into_bytes(self) -> Vec<u8> {
@@ -114,7 +132,31 @@ impl ByteWriter {
     pub fn put_bytes(&mut self, bytes: &[u8]) {
         self.buf.extend_from_slice(bytes);
     }
+
+    /// Zigzag-encoded signed varint: small magnitudes of either sign
+    /// encode in one byte (`0 → 0, -1 → 1, 1 → 2, -2 → 3, ...`).
+    pub fn put_zigzag(&mut self, v: i64) {
+        self.put_varint(((v << 1) ^ (v >> 63)) as u64);
+    }
+
+    /// A port list as a count plus zigzag deltas between consecutive
+    /// ports. Arbitrary order round-trips exactly; sorted or clustered
+    /// lists (the common case for both query evidence and rankings)
+    /// compress to ~1 byte per port. The GPSQ wire format's list shape.
+    pub fn put_port_deltas(&mut self, ports: impl ExactSizeIterator<Item = u16>) {
+        self.put_varint(ports.len() as u64);
+        let mut prev: i64 = 0;
+        for port in ports {
+            self.put_zigzag(port as i64 - prev);
+            prev = port as i64;
+        }
+    }
 }
+
+/// Largest port-list length [`ByteReader::port_deltas`] will decode —
+/// matches the serving layer's evidence cap plus headroom for rankings
+/// (a ranking is at most the 65,536-port space).
+pub const MAX_PORT_LIST: usize = 65_536;
 
 /// A bounds-checked cursor over untrusted GPSB bytes.
 #[derive(Debug, Clone, Copy)]
@@ -194,6 +236,36 @@ impl<'a> ByteReader<'a> {
         let len = self.varint()?;
         let len = usize::try_from(len).map_err(|_| bad("string length overflow"))?;
         std::str::from_utf8(self.take(len)?).map_err(|_| bad("string is not utf-8"))
+    }
+
+    /// Inverse of [`ByteWriter::put_zigzag`].
+    pub fn zigzag(&mut self) -> Result<i64, GpsError> {
+        let raw = self.varint()?;
+        Ok(((raw >> 1) as i64) ^ -((raw & 1) as i64))
+    }
+
+    /// Inverse of [`ByteWriter::put_port_deltas`]. Every decoded value is
+    /// range-checked back into a `u16`; the count is capped at
+    /// [`MAX_PORT_LIST`] *before* allocation (the count is attacker
+    /// input).
+    pub fn port_deltas(&mut self) -> Result<Vec<u16>, GpsError> {
+        let count = self.varint()?;
+        let count = usize::try_from(count)
+            .ok()
+            .filter(|&n| n <= MAX_PORT_LIST)
+            .ok_or_else(|| bad("port list too long"))?;
+        let mut ports = Vec::with_capacity(count);
+        let mut prev: i64 = 0;
+        for _ in 0..count {
+            // Checked: a hostile delta near i64::MAX must be an error,
+            // not a debug-build overflow panic.
+            let port = prev
+                .checked_add(self.zigzag()?)
+                .ok_or_else(|| bad("port out of range"))?;
+            prev = port;
+            ports.push(u16::try_from(port).map_err(|_| bad("port out of range"))?);
+        }
+        Ok(ports)
     }
 }
 
@@ -332,6 +404,96 @@ mod tests {
         assert!(ByteReader::new(&overflow).varint().is_err());
         // Truncated mid-varint.
         assert!(ByteReader::new(&[0x80]).varint().is_err());
+    }
+
+    #[test]
+    fn zigzag_round_trips_signed_boundaries() {
+        let cases = [
+            0i64,
+            1,
+            -1,
+            63,
+            -64,
+            64,
+            -65,
+            i64::from(u16::MAX),
+            -i64::from(u16::MAX),
+            i64::MAX,
+            i64::MIN,
+        ];
+        for &v in &cases {
+            let mut w = ByteWriter::new();
+            w.put_zigzag(v);
+            let bytes = w.into_bytes();
+            let mut r = ByteReader::new(&bytes);
+            assert_eq!(r.zigzag().unwrap(), v, "value {v}");
+            assert!(r.is_empty());
+        }
+        // Small magnitudes of either sign stay one byte.
+        for v in [-63i64, -1, 0, 1, 63] {
+            let mut w = ByteWriter::new();
+            w.put_zigzag(v);
+            assert_eq!(w.len(), 1, "value {v}");
+        }
+    }
+
+    #[test]
+    fn port_deltas_round_trip_any_order() {
+        let cases: [&[u16]; 5] = [
+            &[],
+            &[443],
+            &[22, 80, 443, 8080],       // ascending: tiny deltas
+            &[8080, 22, 65535, 0, 443], // arbitrary order still exact
+            &[80, 80, 80],              // duplicates survive
+        ];
+        for ports in cases {
+            let mut w = ByteWriter::new();
+            w.put_port_deltas(ports.iter().copied());
+            let bytes = w.into_bytes();
+            let mut r = ByteReader::new(&bytes);
+            assert_eq!(r.port_deltas().unwrap(), ports, "{ports:?}");
+            assert!(r.is_empty());
+        }
+        // Clustered ascending lists compress: count + 1–2 bytes per port.
+        let mut w = ByteWriter::new();
+        w.put_port_deltas([8000u16, 8001, 8002, 8003, 8080].into_iter());
+        assert!(w.len() <= 8, "5 clustered ports in {} bytes", w.len());
+    }
+
+    #[test]
+    fn port_deltas_reject_hostile_input() {
+        // A count past the cap must fail before allocating.
+        let mut w = ByteWriter::new();
+        w.put_varint(MAX_PORT_LIST as u64 + 1);
+        assert!(ByteReader::new(&w.into_bytes()).port_deltas().is_err());
+        // A delta walking out of u16 range is rejected.
+        let mut w = ByteWriter::new();
+        w.put_varint(2);
+        w.put_zigzag(65_535);
+        w.put_zigzag(1);
+        assert!(ByteReader::new(&w.into_bytes()).port_deltas().is_err());
+        // Negative walk below zero too.
+        let mut w = ByteWriter::new();
+        w.put_varint(1);
+        w.put_zigzag(-1);
+        assert!(ByteReader::new(&w.into_bytes()).port_deltas().is_err());
+        // A delta that would overflow the i64 accumulator is an error,
+        // not a panic (regression: this used to overflow in debug).
+        let mut w = ByteWriter::new();
+        w.put_varint(2);
+        w.put_zigzag(1);
+        w.put_zigzag(i64::MAX);
+        assert!(ByteReader::new(&w.into_bytes()).port_deltas().is_err());
+        // Truncation mid-list is an error, not a short list.
+        let mut w = ByteWriter::new();
+        w.put_port_deltas([1u16, 2, 3].into_iter());
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                ByteReader::new(&bytes[..cut]).port_deltas().is_err(),
+                "cut at {cut}"
+            );
+        }
     }
 
     #[test]

@@ -61,20 +61,32 @@ impl Drop for TestDir {
 /// restricts the matrix — CI uses it to run the whole e2e suite once per
 /// transport explicitly.
 pub fn serve_transports() -> Vec<&'static str> {
-    const ALL: [&str; 3] = ["threads", "events", "events-poll"];
-    match std::env::var("GPS_TEST_TRANSPORT") {
+    env_matrix("GPS_TEST_TRANSPORT", &["threads", "events", "events-poll"])
+}
+
+/// The wire-format matrix the serving suites cross with
+/// [`serve_transports`]: `json` (the original text protocol) and
+/// `binary` (GPSQ). Setting `GPS_TEST_WIRE` (comma-separated subset)
+/// restricts it — CI pins one binary-wire run per transport this way.
+pub fn serve_wires() -> Vec<&'static str> {
+    env_matrix("GPS_TEST_WIRE", &["json", "binary"])
+}
+
+fn env_matrix(var: &str, all: &[&'static str]) -> Vec<&'static str> {
+    match std::env::var(var) {
         Ok(forced) if !forced.trim().is_empty() => {
-            let picked: Vec<&'static str> = ALL
-                .into_iter()
+            let picked: Vec<&'static str> = all
+                .iter()
+                .copied()
                 .filter(|name| forced.split(',').any(|f| f.trim() == *name))
                 .collect();
             assert!(
                 !picked.is_empty(),
-                "GPS_TEST_TRANSPORT={forced:?} names no known transport (try {ALL:?})"
+                "{var}={forced:?} names no known value (try {all:?})"
             );
             picked
         }
-        _ => ALL.to_vec(),
+        _ => all.to_vec(),
     }
 }
 
@@ -197,6 +209,11 @@ mod tests {
         assert!(!transports.is_empty());
         for t in transports {
             assert!(["threads", "events", "events-poll"].contains(&t), "{t}");
+        }
+        let wires = serve_wires();
+        assert!(!wires.is_empty());
+        for w in wires {
+            assert!(["json", "binary"].contains(&w), "{w}");
         }
     }
 

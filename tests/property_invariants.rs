@@ -1,13 +1,13 @@
 //! Property-based tests over the core data structures and invariants.
 
 use std::collections::HashSet;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use gps::core::metrics::{CoverageTracker, GroundTruth};
 use gps::core::{CondKey, CondModel, GpsConfig, Interactions, ModelSnapshot, NetFeature};
 use gps::engine::{Backend, ExecLedger};
 use gps::scan::{CyclicPermutation, ServiceObservation};
-use gps::serve::{PredictionServer, Query, ServableModel, ServeConfig};
+use gps::serve::{Client, PredictionServer, Query, ServableModel, ServeConfig, WireFormat};
 use gps::types::rng::Rng;
 use gps::types::{Ip, Port, ServiceKey, Subnet, Sym};
 use proptest::prelude::*;
@@ -259,6 +259,59 @@ proptest! {
         );
     }
 
+    /// JSON ↔ GPSQ wire parity over the live protocol stack: the same
+    /// random request served through a JSON connection and a binary
+    /// connection of one server yields a **bit-identical** `Ranked` —
+    /// same ports in the same order, same probability bit patterns —
+    /// for cold and warm queries, single and batch shapes, against the
+    /// trained artifact's direct `predict` as the common reference.
+    #[test]
+    fn wire_formats_serve_bit_identical_predictions(
+        ips in proptest::collection::vec(any::<u32>(), 24..25),
+        evidence_port in 1u16..2000,
+        asn in any::<bool>(),
+    ) {
+        let artifacts = served_artifacts();
+        let (_server, json, binary) = parity_server();
+        let mut json = json.lock().expect("json client lock");
+        let mut binary = binary.lock().expect("binary client lock");
+        let mut queries = Vec::new();
+        for (i, ip) in ips.into_iter().enumerate() {
+            let mut query = Query::new(Ip(ip));
+            query.top = 16;
+            if i % 3 == 0 {
+                query.open = vec![Port(evidence_port), Port(80)];
+            }
+            if asn && i % 4 == 0 {
+                query.asn = Some(u32::from(evidence_port));
+            }
+            let expected = artifacts.original.predict(&query);
+            let via_json = json.predict(&query).expect("json predict");
+            let via_binary = binary.predict(&query).expect("binary predict");
+            prop_assert_eq!(&via_json, &expected, "json equals the artifact");
+            prop_assert_eq!(&via_binary.len(), &expected.len());
+            for (b, e) in via_binary.iter().zip(&expected) {
+                prop_assert_eq!(b.0, e.0, "binary ports equal the artifact's");
+                prop_assert_eq!(
+                    b.1.to_bits(),
+                    e.1.to_bits(),
+                    "binary probability bits equal the artifact's"
+                );
+            }
+            queries.push(query);
+        }
+        // One batch frame per format carries the same queries.
+        let batch_json = json.predict_batch(&queries).expect("json batch");
+        let batch_binary = binary.predict_batch(&queries).expect("binary batch");
+        for ((a, b), query) in batch_json.iter().zip(&batch_binary).zip(&queries) {
+            prop_assert_eq!(a.len(), b.len(), "batch ranking sizes for {:?}", query);
+            for (x, y) in a.iter().zip(b) {
+                prop_assert_eq!(x.0, y.0);
+                prop_assert_eq!(x.1.to_bits(), y.1.to_bits());
+            }
+        }
+    }
+
     /// Per-model cache isolation across reloads: with models A and B
     /// registered, warm B's shard caches over random queries, hot-reload
     /// A, and require that (a) B's answers stay bit-identical to its
@@ -344,6 +397,42 @@ proptest! {
         prop_assert_eq!(after.cache_misses, before.cache_misses, "B never recomputed");
         server.shutdown();
     }
+}
+
+/// One TCP server over the trained artifact plus one long-lived client
+/// per wire format, shared across property cases (server + connect setup
+/// would otherwise dominate the suite). Mutexed because proptest runs
+/// cases sequentially but the statics outlive each case.
+#[allow(clippy::type_complexity)]
+fn parity_server() -> (
+    &'static Arc<PredictionServer>,
+    &'static std::sync::Mutex<Client>,
+    &'static std::sync::Mutex<Client>,
+) {
+    use std::sync::Mutex;
+    static STATE: OnceLock<(Arc<PredictionServer>, Mutex<Client>, Mutex<Client>)> = OnceLock::new();
+    let (server, json, binary) = STATE.get_or_init(|| {
+        let model = ServableModel::from_snapshot(
+            ModelSnapshot::from_binary_bytes(&served_artifacts().gpsb_bytes).expect("gpsb parses"),
+        );
+        let server = Arc::new(PredictionServer::start(
+            model,
+            ServeConfig {
+                shards: 2,
+                ..ServeConfig::default()
+            },
+        ));
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("ephemeral port");
+        let addr = listener.local_addr().expect("local addr");
+        {
+            let server = server.clone();
+            std::thread::spawn(move || gps::serve::serve_tcp(server, listener));
+        }
+        let json = Client::connect_with(addr, WireFormat::Json).expect("json client");
+        let binary = Client::connect_with(addr, WireFormat::Binary).expect("binary client");
+        (server, Mutex::new(json), Mutex::new(binary))
+    });
+    (server, json, binary)
 }
 
 /// A minimal distinguishable model for the registry property: one rule

@@ -15,9 +15,73 @@ use std::time::{Duration, Instant};
 use gps::core::snapshot::{ModelManifest, FORMAT_MAJOR, FORMAT_MINOR};
 use gps::core::{CondModel, FeatureRules, Interactions, NetFeature, PriorsEntry};
 use gps::serve::proto::{read_frame, write_frame};
-use gps::serve::{Client, PredictionServer, Query, ServableModel, ServeConfig, TransportConfig};
+use gps::serve::{
+    Client, PredictionServer, Query, ServableModel, ServeConfig, TransportConfig, WireFormat,
+};
 use gps::types::testutil::{serve_transports, DribbleProxy};
 use gps::types::{Ip, Json, Port, Subnet};
+
+/// Hand-rolled GPSQ frames for the raw-socket adversarial cases (the
+/// real codec lives in `gps-serve`; encoding a ping by hand here keeps
+/// the test independent of it — if the layout drifts, this breaks).
+mod gpsq {
+    /// LEB128, enough for test-sized values.
+    fn varint(mut v: u64, out: &mut Vec<u8>) {
+        loop {
+            let byte = (v & 0x7F) as u8;
+            v >>= 7;
+            if v == 0 {
+                out.push(byte);
+                return;
+            }
+            out.push(byte | 0x80);
+        }
+    }
+
+    fn frame(payload: Vec<u8>) -> Vec<u8> {
+        let mut bytes = (payload.len() as u32).to_be_bytes().to_vec();
+        bytes.extend_from_slice(&payload);
+        bytes
+    }
+
+    /// A length-prefixed GPSQ ping frame carrying `id`.
+    pub fn ping_frame(id: u64) -> Vec<u8> {
+        let mut payload = b"GPSQ".to_vec();
+        payload.push(1); // version
+        payload.push(1); // kind: ping
+        payload.push(1); // flags: id present
+        varint(id, &mut payload);
+        frame(payload)
+    }
+
+    /// The id carried by a pong response payload (panics on anything
+    /// else — these tests send only pings).
+    pub fn pong_id(payload: &[u8]) -> u64 {
+        assert_eq!(&payload[..4], b"GPSQ", "magic");
+        assert_eq!(payload[4], 1, "version");
+        assert_eq!(payload[5], 1, "kind: pong");
+        assert_eq!(payload[6], 1, "flags: id");
+        let mut value = 0u64;
+        let mut shift = 0;
+        for &byte in &payload[7..] {
+            value |= u64::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                return value;
+            }
+            shift += 7;
+        }
+        panic!("truncated varint id");
+    }
+
+    /// Read one length-prefixed payload off a blocking stream.
+    pub fn read_payload(r: &mut impl std::io::Read) -> Vec<u8> {
+        let mut prefix = [0u8; 4];
+        r.read_exact(&mut prefix).expect("length prefix");
+        let mut payload = vec![0u8; u32::from_be_bytes(prefix) as usize];
+        r.read_exact(&mut payload).expect("payload");
+        payload
+    }
+}
 
 /// A tiny hand-built model (no training): 80 predicts 443, one prior.
 fn model() -> ServableModel {
@@ -332,6 +396,167 @@ fn max_conns_rejects_and_recovers() {
         }
         assert!(admitted, "{transport}: slot freed after close");
         b.ping().expect("b unaffected throughout");
+    }
+}
+
+/// A JSON frame arriving mid-binary-session is a framing error: the
+/// server cannot answer it in a format the peer's (evidently broken)
+/// encoder will parse, so the connection closes — after the valid binary
+/// frames before it were answered, and without touching any neighbor.
+#[test]
+fn json_frame_mid_binary_session_closes_only_the_offender() {
+    for transport in serve_transports() {
+        let (_server, addr) = spawn(transport, TransportConfig::default());
+
+        // A healthy JSON neighbor sharing the server the whole time.
+        let mut neighbor = Client::connect(addr).expect("neighbor connect");
+        neighbor.ping().expect("neighbor serves");
+
+        let stream = TcpStream::connect(addr).expect("offender connect");
+        stream.set_nodelay(true).expect("nodelay");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = stream.try_clone().expect("clone");
+
+        // Two valid binary pings negotiate the session and are answered.
+        writer.write_all(&gpsq::ping_frame(1)).expect("ping 1");
+        writer.write_all(&gpsq::ping_frame(2)).expect("ping 2");
+        writer.flush().expect("flush");
+        assert_eq!(gpsq::pong_id(&gpsq::read_payload(&mut reader)), 1);
+        assert_eq!(gpsq::pong_id(&gpsq::read_payload(&mut reader)), 2);
+
+        // Now a well-formed *JSON* frame on the binary session.
+        let mut intruder = Vec::new();
+        write_frame(&mut intruder, &predict_frame(3)).expect("encode");
+        writer.write_all(&intruder).expect("intruder");
+        writer.flush().expect("flush");
+        assert_closed_within(
+            stream,
+            Duration::from_secs(5),
+            &format!("{transport}: JSON mid-binary-session"),
+        );
+
+        // No collateral damage: the neighbor and fresh binary sessions
+        // keep working.
+        neighbor.ping().expect("neighbor unaffected");
+        let mut fresh = Client::connect_with(addr, WireFormat::Binary).expect("fresh binary");
+        fresh.ping().expect("server alive after format abuse");
+    }
+}
+
+/// The mirror case: a GPSQ frame arriving mid-JSON-session also closes
+/// only the offender (no mid-stream format switches in either
+/// direction).
+#[test]
+fn binary_frame_mid_json_session_closes_only_the_offender() {
+    for transport in serve_transports() {
+        let (_server, addr) = spawn(transport, TransportConfig::default());
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = stream.try_clone().expect("clone");
+
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, &predict_frame(1)).expect("encode");
+        writer.write_all(&bytes).expect("json frame");
+        writer.flush().expect("flush");
+        let response = read_frame(&mut reader).expect("read").expect("frame");
+        assert_eq!(response.get("id").and_then(Json::as_u64), Some(1));
+
+        writer.write_all(&gpsq::ping_frame(2)).expect("gpsq frame");
+        writer.flush().expect("flush");
+        assert_closed_within(
+            stream,
+            Duration::from_secs(5),
+            &format!("{transport}: GPSQ mid-JSON-session"),
+        );
+        let mut client = Client::connect(addr).expect("fresh connect");
+        client.ping().expect("server alive");
+    }
+}
+
+/// A burst of pipelined *binary* frames delivered in one write is
+/// answered completely, in order, ids echoed — the GPSQ sibling of the
+/// JSON pipelining case, past the event transport's pipeline window so
+/// parked binary frames are exercised too.
+#[test]
+fn pipelined_binary_burst_answers_in_order() {
+    const BURST: u64 = 300;
+    for transport in serve_transports() {
+        let (_server, addr) = spawn(transport, TransportConfig::default());
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = stream;
+
+        let mut burst = Vec::new();
+        for id in 0..BURST {
+            burst.extend_from_slice(&gpsq::ping_frame(id));
+        }
+        writer.write_all(&burst).expect("one segment");
+        writer.flush().expect("flush");
+        for id in 0..BURST {
+            assert_eq!(
+                gpsq::pong_id(&gpsq::read_payload(&mut reader)),
+                id,
+                "{transport}: binary responses come back in request order"
+            );
+        }
+    }
+}
+
+/// Valid binary frame, then garbage whose first bytes read as a ~4GB
+/// length prefix: the valid frame is answered, then the connection
+/// closes (framing death), like the JSON trailing-garbage case.
+#[test]
+fn trailing_garbage_after_valid_binary_frame() {
+    for transport in serve_transports() {
+        let (_server, addr) = spawn(transport, TransportConfig::default());
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = stream.try_clone().expect("clone");
+
+        let mut bytes = gpsq::ping_frame(7);
+        bytes.extend_from_slice(&[0xFF; 8]);
+        writer.write_all(&bytes).expect("frame + garbage");
+        writer.flush().expect("flush");
+        assert_eq!(
+            gpsq::pong_id(&gpsq::read_payload(&mut reader)),
+            7,
+            "{transport}: the valid binary frame is answered first"
+        );
+        assert_closed_within(
+            stream,
+            Duration::from_secs(5),
+            &format!("{transport}: binary trailing garbage"),
+        );
+        let mut client = Client::connect_with(addr, WireFormat::Binary).expect("fresh connect");
+        client.ping().expect("server alive");
+    }
+}
+
+/// The binary client through the byte-dribbling proxy: GPSQ requests and
+/// responses torn into single-byte TCP segments still reassemble (both
+/// directions of the incremental decoder, binary session).
+#[test]
+fn binary_client_survives_dribbled_bytes() {
+    for transport in serve_transports() {
+        let (_server, addr) = spawn(transport, TransportConfig::default());
+        let proxy = DribbleProxy::start(addr).expect("proxy");
+        let mut client =
+            Client::connect_with(proxy.addr(), WireFormat::Binary).expect("connect via proxy");
+        client.ping().expect("ping through dribble");
+        let ranked = client
+            .predict(&Query::new(Ip::from_octets(10, 0, 0, 9)).with_open([80]))
+            .expect("predict through dribble");
+        assert_eq!(ranked[0], (Port(443), 0.9));
+        let batch = vec![
+            Query::new(Ip::from_octets(10, 0, 1, 1)),
+            Query::new(Ip::from_octets(10, 0, 2, 2)).with_open([80]),
+        ];
+        let answers = client.predict_batch(&batch).expect("batch through dribble");
+        assert_eq!(answers.len(), 2);
+        assert_eq!(answers[1][0], (Port(443), 0.9), "{transport}");
+        // Admin envelope through the dribble too.
+        client.stats().expect("stats through dribble");
     }
 }
 

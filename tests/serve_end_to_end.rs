@@ -1,16 +1,20 @@
 //! End-to-end tests of the serving subsystem, parameterized over every
-//! serving transport: train on the quick universe, export a snapshot,
-//! reload it, serve it over TCP on an ephemeral port, and hammer it from
-//! concurrent protocol clients — asserting every answer equals the direct
-//! `FeatureRules`/priors lookup on the loaded artifact.
+//! serving transport **and both wire formats**: train on the quick
+//! universe, export a snapshot, reload it, serve it over TCP on an
+//! ephemeral port, and hammer it from concurrent protocol clients —
+//! asserting every answer equals the direct `FeatureRules`/priors lookup
+//! on the loaded artifact.
 //!
 //! Each case trains its models **once** and then replays the identical
 //! scenario against a fresh server per transport
 //! (`gps_types::testutil::serve_transports`: thread-per-connection, the
 //! epoll event transport, and the event transport pinned to the portable
-//! `poll(2)` backend), so "the transports answer identically" is the
-//! asserted contract, not an assumption. `GPS_TEST_TRANSPORT` restricts
-//! the matrix (CI runs the suite once per transport that way).
+//! `poll(2)` backend), with clients speaking each wire format of
+//! `gps_types::testutil::serve_wires` (length-prefixed JSON and GPSQ
+//! binary), so "the transports and formats answer identically" is the
+//! asserted contract, not an assumption. `GPS_TEST_TRANSPORT` /
+//! `GPS_TEST_WIRE` restrict the matrix (CI runs the suite pinned to each
+//! combination that way).
 
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener};
@@ -18,11 +22,25 @@ use std::sync::Arc;
 
 use gps::core::model::NetKey;
 use gps::core::{censys_dataset, run_gps, CondKey, GpsConfig, ModelSnapshot};
-use gps::serve::{Client, PredictionServer, Query, ServableModel, ServeConfig, TransportConfig};
+use gps::serve::{
+    Client, PredictionServer, Query, ServableModel, ServeConfig, TransportConfig, WireFormat,
+};
 use gps::synthnet::{Internet, UniverseConfig};
 use gps::types::rng::Rng;
-use gps::types::testutil::{serve_transports, TestDir};
+use gps::types::testutil::{serve_transports, serve_wires, TestDir};
 use gps::types::{Ip, Port, Subnet};
+
+/// Connect a client speaking the named wire format (`serve_wires` names).
+fn connect_wire(addr: SocketAddr, wire: &str) -> Client {
+    Client::connect_with(addr, wire.parse::<WireFormat>().expect("known wire")).expect("connect")
+}
+
+/// The wire format thread `i` of a client pool speaks: cycles through the
+/// active matrix so mixed-format traffic shares each server.
+fn wire_of(i: u64) -> &'static str {
+    let wires = serve_wires();
+    wires[(i as usize) % wires.len()]
+}
 
 /// Serve `server` on an ephemeral port with the named transport; returns
 /// the address to connect to. (The serve loop blocks forever on its own
@@ -112,7 +130,11 @@ fn concurrent_tcp_clients_match_direct_lookups() {
             let reference = reference.clone();
             let host_ips = host_ips.clone();
             handles.push(std::thread::spawn(move || {
-                let mut client = Client::connect(addr).expect("connect");
+                // Mixed-format pool: thread i speaks json or binary per
+                // the active matrix, all against one server — equality
+                // with the local artifact makes the formats bit-identical
+                // to each other by transitivity.
+                let mut client = connect_wire(addr, wire_of(thread_id));
                 client.ping().expect("ping");
                 let mut rng = Rng::new(0xE2E ^ thread_id);
                 let local = ServableModel::from_snapshot((*reference).clone());
@@ -228,7 +250,7 @@ fn hot_reload_serves_new_model_with_zero_failed_queries() {
             let model_b = model_b.clone();
             let host_ips = net_a.host_ips().to_vec();
             clients.push(std::thread::spawn(move || {
-                let mut client = Client::connect(addr).expect("connect");
+                let mut client = connect_wire(addr, wire_of(thread_id));
                 let mut rng = Rng::new(0x5EED ^ thread_id);
                 let mut answers_from_b = 0u32;
                 let mut i = 0u32;
@@ -259,9 +281,12 @@ fn hot_reload_serves_new_model_with_zero_failed_queries() {
             }));
         }
 
-        // Let traffic build, then swap A -> B over the wire.
+        // Let traffic build, then swap A -> B over the wire. The control
+        // client takes the *last* wire of the matrix, so with binary
+        // active the reload/manifest admin commands run through the GPSQ
+        // admin envelope mid-fire.
         std::thread::sleep(std::time::Duration::from_millis(20));
-        let mut control = Client::connect(addr).expect("control connect");
+        let mut control = connect_wire(addr, serve_wires().last().unwrap());
         assert_eq!(
             control
                 .manifest()
@@ -383,143 +408,240 @@ fn two_models_served_by_id_over_one_connection() {
         .expect("registry starts");
         let addr = spawn_transport(Arc::new(server), transport);
 
-        let mut client = Client::connect(addr).expect("connect");
-        let mut rng = Rng::new(0xD0D0);
-        let hosts_a = net_a.host_ips().to_vec();
-        let hosts_b = net_b.host_ips().to_vec();
-        for i in 0..120u32 {
-            let (id, reference, hosts) = if i % 2 == 0 {
-                ("alpha", &model_a, &hosts_a)
-            } else {
-                ("beta", &model_b, &hosts_b)
+        // The whole session — interleaved predicts by id, wire admin,
+        // per-model stats — replays once per wire format against the
+        // same server (the admin sequence restores registry state, so
+        // iterations are independent).
+        for wire in serve_wires() {
+            let mut client = connect_wire(addr, wire);
+            let mut rng = Rng::new(0xD0D0);
+            let hosts_a = net_a.host_ips().to_vec();
+            let hosts_b = net_b.host_ips().to_vec();
+            for i in 0..120u32 {
+                let (id, reference, hosts) = if i % 2 == 0 {
+                    ("alpha", &model_a, &hosts_a)
+                } else {
+                    ("beta", &model_b, &hosts_b)
+                };
+                let ip = if rng.chance(0.6) {
+                    Ip(hosts[rng.gen_range(hosts.len() as u64) as usize])
+                } else {
+                    Ip(rng.next_u32())
+                };
+                let mut query = Query::new(ip);
+                if i % 3 == 0 {
+                    query.open = vec![Port(443)];
+                }
+                query.top = 16;
+                // Interleaved on ONE connection: each id answers from its own
+                // artifact, bit-identically.
+                let served = client.predict_on(Some(id), &query).expect("predict by id");
+                assert_eq!(
+                    served,
+                    reference.predict(&query),
+                    "{transport}: model {id}, {query:?}"
+                );
+                // An id-less frame means the default (first) model.
+                if i % 10 == 0 {
+                    assert_eq!(
+                        client.predict(&query).expect("default"),
+                        model_a.predict(&query)
+                    );
+                }
+            }
+            // Batches route by id too.
+            let batch: Vec<Query> = (0..30)
+                .map(|_| {
+                    let mut q =
+                        Query::new(Ip(hosts_b[rng.gen_range(hosts_b.len() as u64) as usize]));
+                    q.top = 8;
+                    q
+                })
+                .collect();
+            for (query, answer) in batch.iter().zip(
+                client
+                    .predict_batch_on(Some("beta"), &batch)
+                    .expect("batch"),
+            ) {
+                assert_eq!(answer, model_b.predict(query));
+            }
+
+            // Unknown model: an error *reply* (connection stays usable), and
+            // the raw frame proves the request id is echoed on that error.
+            {
+                use gps::types::Json;
+                let err = client
+                    .predict_on(Some("nope"), &Query::new(Ip(1)))
+                    .expect_err("unknown model must fail");
+                assert!(err.to_string().contains("unknown model"), "{err}");
+                let stream = std::net::TcpStream::connect(addr).expect("raw connect");
+                let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
+                let mut writer = std::io::BufWriter::new(stream);
+                let mut raw = Json::obj();
+                raw.set("cmd", "predict")
+                    .set("ip", "10.0.0.1")
+                    .set("model", "nope")
+                    .set("id", "req-77");
+                gps::serve::proto::write_frame(&mut writer, &raw).expect("write");
+                let response = gps::serve::proto::read_frame(&mut reader)
+                    .expect("read")
+                    .expect("frame");
+                assert_eq!(response.get("ok").and_then(Json::as_bool), Some(false));
+                assert!(response
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .is_some_and(|e| e.contains("unknown model")));
+                assert_eq!(
+                    response.get("id").and_then(Json::as_str),
+                    Some("req-77"),
+                    "{transport}: the unknown-model error must echo the request id"
+                );
+            }
+
+            // Wire-level registry admin: load a third model, query it, unload
+            // it.
+            let names = |models: &[gps::types::Json]| -> Vec<String> {
+                models
+                    .iter()
+                    .filter_map(|m| m.get("name").and_then(|j| j.as_str()).map(String::from))
+                    .collect()
             };
-            let ip = if rng.chance(0.6) {
-                Ip(hosts[rng.gen_range(hosts.len() as u64) as usize])
+            assert_eq!(
+                names(&client.list_models().expect("list")),
+                ["alpha", "beta"]
+            );
+            client
+                .load_model("gamma", path_b.to_string_lossy().as_ref())
+                .expect("wire load");
+            assert_eq!(
+                names(&client.list_models().expect("list")),
+                ["alpha", "beta", "gamma"]
+            );
+            let mut probe = Query::new(Ip(net_b.host_ips()[0]));
+            probe.top = 16;
+            assert_eq!(
+                client.predict_on(Some("gamma"), &probe).expect("gamma"),
+                model_b.predict(&probe)
+            );
+            assert!(
+                client
+                    .load_model("gamma", path_b.to_string_lossy().as_ref())
+                    .is_err(),
+                "double-load is an error"
+            );
+            assert!(client.unload_model("alpha").is_err(), "default is pinned");
+            client.unload_model("gamma").expect("wire unload");
+            assert!(client.predict_on(Some("gamma"), &probe).is_err());
+            assert_eq!(
+                names(&client.list_models().expect("list")),
+                ["alpha", "beta"]
+            );
+
+            // Per-model stats reached the wire: both ids served traffic.
+            let stats = client.stats().expect("stats");
+            let models = stats.get("models").expect("per-model stats");
+            for id in ["alpha", "beta"] {
+                let requests = models
+                    .get(id)
+                    .and_then(|m| m.get("requests"))
+                    .and_then(|j| j.as_u64())
+                    .unwrap_or(0);
+                assert!(
+                    requests > 0,
+                    "{transport}/{wire}: model {id} shows its traffic: {requests}"
+                );
+            }
+        }
+    }
+}
+
+/// The parity claim head-on: one server, one JSON client and one GPSQ
+/// client, the same queries — every ranking must match **bit-exactly**
+/// (ports and probability bit patterns), single and batch shapes, cold
+/// and warm, and the manifest admin reply must agree through the admin
+/// envelope. Runs on every transport regardless of the wire matrix (the
+/// cross-format comparison is the point, so both formats always
+/// participate here).
+#[test]
+fn json_and_binary_clients_answer_bit_identically() {
+    let dir = TestDir::new("serve-wire-parity");
+    let (net, _snapshot, path) = train_and_export(&dir);
+    let host_ips = net.host_ips().to_vec();
+
+    for transport in serve_transports() {
+        let loaded = ModelSnapshot::load(&path).expect("load snapshot");
+        let server = Arc::new(PredictionServer::start(
+            ServableModel::from_snapshot(loaded),
+            ServeConfig {
+                shards: 4,
+                ..ServeConfig::default()
+            },
+        ));
+        let addr = spawn_transport(server, transport);
+        let mut json = Client::connect_with(addr, WireFormat::Json).expect("json client");
+        let mut binary = Client::connect_with(addr, WireFormat::Binary).expect("binary client");
+        json.ping().expect("json ping");
+        binary.ping().expect("binary ping");
+
+        let mut rng = Rng::new(0xB17);
+        let mut queries = Vec::new();
+        for i in 0..200u32 {
+            let ip = if rng.chance(0.7) {
+                Ip(host_ips[rng.gen_range(host_ips.len() as u64) as usize])
             } else {
                 Ip(rng.next_u32())
             };
             let mut query = Query::new(ip);
-            if i % 3 == 0 {
-                query.open = vec![Port(443)];
+            if i % 2 == 0 {
+                query.open =
+                    vec![Port(443), Port(80), Port(22)][..=(rng.gen_range(3) as usize)].to_vec();
+            }
+            if i % 7 == 0 {
+                query.asn = Some(rng.gen_range(100) as u32);
             }
             query.top = 16;
-            // Interleaved on ONE connection: each id answers from its own
-            // artifact, bit-identically.
-            let served = client.predict_on(Some(id), &query).expect("predict by id");
-            assert_eq!(
-                served,
-                reference.predict(&query),
-                "{transport}: model {id}, {query:?}"
-            );
-            // An id-less frame means the default (first) model.
-            if i % 10 == 0 {
+            let via_json = json.predict(&query).expect("json predict");
+            let via_binary = binary.predict(&query).expect("binary predict");
+            assert_eq!(via_json.len(), via_binary.len(), "{transport}: {query:?}");
+            for (a, b) in via_json.iter().zip(&via_binary) {
+                assert_eq!(a.0, b.0, "{transport}: ports agree for {query:?}");
                 assert_eq!(
-                    client.predict(&query).expect("default"),
-                    model_a.predict(&query)
+                    a.1.to_bits(),
+                    b.1.to_bits(),
+                    "{transport}: probability bits agree for {query:?}"
                 );
             }
+            queries.push(query);
         }
-        // Batches route by id too.
-        let batch: Vec<Query> = (0..30)
-            .map(|_| {
-                let mut q = Query::new(Ip(hosts_b[rng.gen_range(hosts_b.len() as u64) as usize]));
-                q.top = 8;
-                q
-            })
-            .collect();
-        for (query, answer) in batch.iter().zip(
-            client
-                .predict_batch_on(Some("beta"), &batch)
-                .expect("batch"),
-        ) {
-            assert_eq!(answer, model_b.predict(query));
+        // Batch shape too, one frame each way.
+        let batch_json = json.predict_batch(&queries).expect("json batch");
+        let batch_binary = binary.predict_batch(&queries).expect("binary batch");
+        assert_eq!(batch_json.len(), batch_binary.len());
+        for (a, b) in batch_json.iter().zip(&batch_binary) {
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.0, y.0);
+                assert_eq!(x.1.to_bits(), y.1.to_bits());
+            }
         }
-
-        // Unknown model: an error *reply* (connection stays usable), and
-        // the raw frame proves the request id is echoed on that error.
-        {
-            use gps::types::Json;
-            let err = client
-                .predict_on(Some("nope"), &Query::new(Ip(1)))
-                .expect_err("unknown model must fail");
-            assert!(err.to_string().contains("unknown model"), "{err}");
-            let stream = std::net::TcpStream::connect(addr).expect("raw connect");
-            let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
-            let mut writer = std::io::BufWriter::new(stream);
-            let mut raw = Json::obj();
-            raw.set("cmd", "predict")
-                .set("ip", "10.0.0.1")
-                .set("model", "nope")
-                .set("id", "req-77");
-            gps::serve::proto::write_frame(&mut writer, &raw).expect("write");
-            let response = gps::serve::proto::read_frame(&mut reader)
-                .expect("read")
-                .expect("frame");
-            assert_eq!(response.get("ok").and_then(Json::as_bool), Some(false));
-            assert!(response
-                .get("error")
-                .and_then(Json::as_str)
-                .is_some_and(|e| e.contains("unknown model")));
-            assert_eq!(
-                response.get("id").and_then(Json::as_str),
-                Some("req-77"),
-                "{transport}: the unknown-model error must echo the request id"
-            );
-        }
-
-        // Wire-level registry admin: load a third model, query it, unload
-        // it.
-        let names = |models: &[gps::types::Json]| -> Vec<String> {
-            models
-                .iter()
-                .filter_map(|m| m.get("name").and_then(|j| j.as_str()).map(String::from))
-                .collect()
-        };
+        // Admin parity through the envelope: identical manifest replies.
         assert_eq!(
-            names(&client.list_models().expect("list")),
-            ["alpha", "beta"]
+            json.manifest().expect("json manifest"),
+            binary.manifest().expect("binary manifest"),
+            "{transport}: manifest agrees across formats"
         );
-        client
-            .load_model("gamma", path_b.to_string_lossy().as_ref())
-            .expect("wire load");
+        // Error parity: the unknown-model message is the same string.
+        let json_err = json
+            .predict_on(Some("nope"), &queries[0])
+            .expect_err("unknown model");
+        let binary_err = binary
+            .predict_on(Some("nope"), &queries[0])
+            .expect_err("unknown model");
         assert_eq!(
-            names(&client.list_models().expect("list")),
-            ["alpha", "beta", "gamma"]
+            json_err.to_string(),
+            binary_err.to_string(),
+            "{transport}: error strings agree across formats"
         );
-        let mut probe = Query::new(Ip(net_b.host_ips()[0]));
-        probe.top = 16;
-        assert_eq!(
-            client.predict_on(Some("gamma"), &probe).expect("gamma"),
-            model_b.predict(&probe)
-        );
-        assert!(
-            client
-                .load_model("gamma", path_b.to_string_lossy().as_ref())
-                .is_err(),
-            "double-load is an error"
-        );
-        assert!(client.unload_model("alpha").is_err(), "default is pinned");
-        client.unload_model("gamma").expect("wire unload");
-        assert!(client.predict_on(Some("gamma"), &probe).is_err());
-        assert_eq!(
-            names(&client.list_models().expect("list")),
-            ["alpha", "beta"]
-        );
-
-        // Per-model stats reached the wire: both ids served traffic.
-        let stats = client.stats().expect("stats");
-        let models = stats.get("models").expect("per-model stats");
-        for id in ["alpha", "beta"] {
-            let requests = models
-                .get(id)
-                .and_then(|m| m.get("requests"))
-                .and_then(|j| j.as_u64())
-                .unwrap_or(0);
-            assert!(
-                requests > 0,
-                "{transport}: model {id} shows its traffic: {requests}"
-            );
-        }
     }
 }
 
