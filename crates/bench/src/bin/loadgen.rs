@@ -54,7 +54,17 @@
 //! --connections N  open-loop mode: hold N connections, spread load (implies --tcp)
 //! --addr A         target an external server instead of self-hosting
 //! --seed N         universe seed (model i uses seed+i) (default 77)
+//! --json-out PATH  write a machine-readable report (per-wave throughput,
+//!                  client percentiles, and the server-side latency
+//!                  histogram with p50/p90/p99/p999) — the BENCH_N.json
+//!                  artifact format
 //! ```
+//!
+//! Before each wave the server's traffic counters and histograms are
+//! zeroed via the `reset-stats` admin command (in-process or over the
+//! wire), so a `--wire both` report carries one clean per-format
+//! server-side latency distribution per wave; cache contents and model
+//! generations are untouched, keeping every wave equally warm.
 
 use std::net::SocketAddr;
 use std::sync::Arc;
@@ -66,8 +76,9 @@ use gps_serve::{
     DEFAULT_MODEL_ID,
 };
 use gps_synthnet::{Internet, UniverseConfig};
+use gps_types::json::Json;
 use gps_types::rng::Rng;
-use gps_types::Ip;
+use gps_types::{HistogramSnapshot, Ip, JsonCodec};
 
 struct Options {
     shards: usize,
@@ -84,6 +95,7 @@ struct Options {
     connections: usize,
     addr: Option<String>,
     seed: u64,
+    json_out: Option<String>,
 }
 
 impl Default for Options {
@@ -103,6 +115,7 @@ impl Default for Options {
             connections: 0,
             addr: None,
             seed: 77,
+            json_out: None,
         }
     }
 }
@@ -131,6 +144,7 @@ fn parse_options() -> Result<Options, String> {
             "--connections" => options.connections = num(&value("--connections")?)?,
             "--addr" => options.addr = Some(value("--addr")?),
             "--seed" => options.seed = num(&value("--seed")?)?,
+            "--json-out" => options.json_out = Some(value("--json-out")?),
             "--help" | "-h" => {
                 println!("see the module docs in crates/bench/src/bin/loadgen.rs");
                 std::process::exit(0);
@@ -263,12 +277,44 @@ struct WaveResult {
     elapsed: Duration,
     /// Sorted request/batch latencies, nanoseconds.
     latencies_ns: Vec<u64>,
+    /// The server-side latency histogram for this wave's wire (empty in
+    /// pure engine mode, which never crosses the wire).
+    server_hist: HistogramSnapshot,
 }
 
 impl WaveResult {
     fn throughput(&self) -> f64 {
         self.total as f64 / self.elapsed.as_secs_f64()
     }
+}
+
+/// The histogram cell label a wire format records under server-side.
+fn hist_label(wire: WireFormat) -> &'static str {
+    match wire {
+        WireFormat::Json => "json",
+        WireFormat::Binary => "gpsq",
+    }
+}
+
+/// Merge every histogram cell of `wire` out of a remote server's `stats`
+/// reply (the `"hists"` map, keyed `"<wire>/<endpoint>"`).
+fn remote_hist(control: &mut gps_serve::Client, wire: &str) -> HistogramSnapshot {
+    let mut merged = HistogramSnapshot::default();
+    if let Ok(stats) = control.stats() {
+        if let Some(Json::Obj(cells)) = stats.get("hists") {
+            for (key, value) in cells {
+                let of_wire =
+                    key.starts_with(wire) && key.as_bytes().get(wire.len()) == Some(&b'/');
+                if !of_wire {
+                    continue;
+                }
+                if let Ok(snap) = HistogramSnapshot::from_json(value) {
+                    merged.merge(&snap);
+                }
+            }
+        }
+    }
+    merged
 }
 
 fn main() {
@@ -675,6 +721,19 @@ fn main() {
         if options.pipeline > 1 {
             println!("  (pipeline depth {} per thread)", options.pipeline);
         }
+        // Zero counters + histograms before the wave (cache contents and
+        // generations survive), so the server-side distribution read
+        // afterwards covers exactly this wave's traffic.
+        match (&server, external) {
+            (Some(server), _) => server.reset_stats(),
+            (None, Some(addr)) => {
+                let mut control = connect_patiently(addr, wire);
+                if let Err(e) = control.reset_stats() {
+                    eprintln!("warning: reset-stats on {addr}: {e}");
+                }
+            }
+            (None, None) => unreachable!("either in-process or external"),
+        }
         let (reports, elapsed, live, peak) = run_wave(wire);
         let total: u64 = reports.iter().map(|r| r.completed).sum();
         let mut latencies_ns: Vec<u64> = reports.into_iter().flat_map(|r| r.latencies_ns).collect();
@@ -696,11 +755,30 @@ fn main() {
                 "  connections:  {live} opened and held for the whole run ({peak} live server-side at peak)",
             );
         }
+        let server_hist = match (&server, external) {
+            (Some(server), _) => server.stats().merged_hist(Some(hist_label(wire)), None),
+            (None, Some(addr)) => {
+                let mut control = connect_patiently(addr, wire);
+                remote_hist(&mut control, hist_label(wire))
+            }
+            (None, None) => unreachable!("either in-process or external"),
+        };
+        if !server_hist.is_empty() {
+            println!(
+                "  server hist:  p50 {:.1}us  p90 {:.1}us  p99 {:.1}us  p999 {:.1}us ({} samples)",
+                server_hist.percentile(0.50) as f64 / 1000.0,
+                server_hist.percentile(0.90) as f64 / 1000.0,
+                server_hist.percentile(0.99) as f64 / 1000.0,
+                server_hist.percentile(0.999) as f64 / 1000.0,
+                server_hist.count,
+            );
+        }
         waves.push(WaveResult {
             wire,
             total,
             elapsed,
             latencies_ns,
+            server_hist,
         });
     }
 
@@ -788,5 +866,64 @@ fn main() {
             }
         }
         (None, None) => unreachable!("either in-process or external"),
+    }
+
+    if let Some(path) = &options.json_out {
+        let mut report = Json::obj();
+        report
+            .set(
+                "command",
+                std::env::args().collect::<Vec<_>>().join(" ").as_str(),
+            )
+            .set("clients", options.clients)
+            .set("requests", Json::Num(options.requests as f64))
+            .set("shards", options.shards)
+            .set("batch", options.batch)
+            .set("pipeline", options.pipeline)
+            .set(
+                "transport",
+                match (options.tcp, external) {
+                    (_, Some(_)) => "external",
+                    (true, None) => options.transport.as_str(),
+                    (false, None) => "engine",
+                },
+            );
+        let runs: Vec<Json> = waves
+            .iter()
+            .map(|wave| {
+                let mut run = Json::obj();
+                run.set("wire", wave.wire.name())
+                    .set("predictions", Json::Num(wave.total as f64))
+                    .set("elapsed_secs", Json::Num(wave.elapsed.as_secs_f64()))
+                    .set("throughput_per_sec", Json::Num(wave.throughput()));
+                let mut client = Json::obj();
+                for (name, p) in [
+                    ("p50_us", 0.50),
+                    ("p90_us", 0.90),
+                    ("p99_us", 0.99),
+                    ("p999_us", 0.999),
+                ] {
+                    client.set(name, Json::Num(percentile(&wave.latencies_ns, p) / 1000.0));
+                }
+                run.set("client_latency", client);
+                // The authoritative quantiles: the server's own histogram
+                // (includes its p50/p90/p99/p999 via `to_json`).
+                if !wave.server_hist.is_empty() {
+                    run.set("server_hist", wave.server_hist.to_json());
+                }
+                run
+            })
+            .collect();
+        report.set("runs", runs);
+        let mut text = String::new();
+        report.write(&mut text);
+        text.push('\n');
+        match std::fs::write(path, text) {
+            Ok(()) => println!("  report:       written to {path}"),
+            Err(e) => {
+                eprintln!("error: --json-out {path}: {e}");
+                std::process::exit(2);
+            }
+        }
     }
 }

@@ -39,6 +39,13 @@ pub struct Args {
     pub idle_timeout: f64,
     /// serve: hot-reload when a registered snapshot file changes on disk.
     pub watch: bool,
+    /// serve: TCP address for the HTTP/1.1 gateway (None = no gateway).
+    pub http_addr: Option<String>,
+    /// serve: structured query-log path (one JSON line per request).
+    pub query_log: Option<String>,
+    /// serve: query log to replay through the caches at startup and
+    /// after every hot reload.
+    pub warm_from: Option<String>,
     /// reload: snapshot path to switch the server to (None = re-read).
     pub reload_model: Option<String>,
     /// reload: which model id to reload (positional; None = the default).
@@ -118,6 +125,9 @@ impl Default for Args {
             max_conns: 0,
             idle_timeout: 0.0,
             watch: false,
+            http_addr: None,
+            query_log: None,
+            warm_from: None,
             reload_model: None,
             reload_name: None,
             query_model: None,
@@ -231,6 +241,9 @@ impl Args {
                 }
                 "--watch" => args.watch = true,
                 "--addr" => args.addr = value("--addr")?,
+                "--http-addr" => args.http_addr = Some(value("--http-addr")?),
+                "--query-log" => args.query_log = Some(value("--query-log")?),
+                "--warm-from" => args.warm_from = Some(value("--warm-from")?),
                 "--shards" => {
                     args.shards = parse_num(&value("--shards")?, "--shards")?;
                 }
@@ -497,6 +510,32 @@ mod tests {
         let args = Args::parse(["query", "--ip", "10.0.0.1", "--wire", "binary"]).unwrap();
         assert_eq!(args.wire, WireFormat::Binary);
         assert!(Args::parse(["query", "--wire", "xml"]).is_err());
+    }
+
+    #[test]
+    fn parses_observability_flags() {
+        let args = Args::parse([
+            "serve",
+            "--http-addr",
+            "127.0.0.1:8080",
+            "--query-log",
+            "/tmp/queries.log",
+            "--warm-from",
+            "/tmp/warm.log",
+        ])
+        .unwrap();
+        assert_eq!(args.http_addr.as_deref(), Some("127.0.0.1:8080"));
+        assert_eq!(args.query_log.as_deref(), Some("/tmp/queries.log"));
+        assert_eq!(args.warm_from.as_deref(), Some("/tmp/warm.log"));
+
+        let args = Args::parse(["serve"]).unwrap();
+        assert!(args.http_addr.is_none(), "no gateway by default");
+        assert!(args.query_log.is_none());
+        assert!(args.warm_from.is_none());
+
+        assert!(Args::parse(["serve", "--http-addr"]).is_err());
+        assert!(Args::parse(["serve", "--query-log"]).is_err());
+        assert!(Args::parse(["serve", "--warm-from"]).is_err());
     }
 
     #[test]

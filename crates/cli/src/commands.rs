@@ -373,6 +373,21 @@ pub fn cmd_serve(args: &Args) -> Result<(), String> {
             .expect("just-registered model");
     }
     let server = Arc::new(server);
+    if let Some(path) = &args.query_log {
+        let log = gps_serve::QueryLog::open(std::path::Path::new(path))
+            .map_err(|e| format!("--query-log {path}: {e}"))?;
+        server.set_query_log(Arc::new(log));
+        println!("query log: {path}");
+    }
+    if let Some(path) = &args.warm_from {
+        // Replay before accepting traffic, and re-register the source so
+        // every hot reload re-warms the fresh generation's caches.
+        let replayed = server
+            .warm_replay(std::path::Path::new(path), None)
+            .map_err(|e| format!("--warm-from {path}: {e}"))?;
+        server.set_warm_source(path);
+        println!("warmed caches from {path}: {replayed} distinct queries replayed");
+    }
     let _watcher = if args.watch {
         println!(
             "watching {} snapshot file(s) for changes (hot reload)",
@@ -387,6 +402,20 @@ pub fn cmd_serve(args: &Args) -> Result<(), String> {
     };
     let listener = std::net::TcpListener::bind(&args.addr)
         .map_err(|e| format!("--addr {}: {e}", args.addr))?;
+    let http = match &args.http_addr {
+        Some(addr) => {
+            let http = std::net::TcpListener::bind(addr)
+                .map_err(|e| format!("--http-addr {addr}: {e}"))?;
+            println!(
+                "http gateway on {} (GET /metrics /stats /models /healthz, POST /predict /batch /reset-stats)",
+                http.local_addr()
+                    .map(|a| a.to_string())
+                    .unwrap_or_else(|_| addr.clone()),
+            );
+            Some(http)
+        }
+        None => None,
+    };
     println!(
         "serving {} model(s) on {} with {shards} shards, {} transport{}{} (JSON or GPSQ binary frames, negotiated per connection; try `gps query`)",
         entries.len(),
@@ -405,7 +434,7 @@ pub fn cmd_serve(args: &Args) -> Result<(), String> {
             None => String::new(),
         },
     );
-    gps_serve::serve(server, listener, transport).map_err(|e| format!("serve: {e}"))
+    gps_serve::serve_with_http(server, listener, http, transport).map_err(|e| format!("serve: {e}"))
 }
 
 /// `gps reload [name]` — ask a running server to hot-swap one model's
@@ -460,11 +489,16 @@ pub fn cmd_models(args: &Args) -> Result<(), String> {
             str_of("checksum"),
         );
         println!(
-            "      {} requests, {} hits / {} misses, {} reloads{}",
+            "      {} requests, {} hits / {} misses, {} reloads{}{}",
             num_of("requests"),
             num_of("cache_hits"),
             num_of("cache_misses"),
             num_of("reloads"),
+            model
+                .get("last_reload_unix")
+                .and_then(|j| j.as_u64())
+                .map(|t| format!(" (last at unix {t})"))
+                .unwrap_or_default(),
             model
                 .get("path")
                 .and_then(|j| j.as_str())

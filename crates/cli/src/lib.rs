@@ -57,6 +57,11 @@ SERVING OPTIONS:
     --max-conns N       serve: live-connection cap (default unlimited)
     --idle-timeout S    serve: drop conns silent for S seconds (default never)
     --watch             serve: hot-reload when a snapshot file changes
+    --http-addr A       serve: HTTP/1.1 gateway (GET /metrics /stats
+                        /models /healthz, POST /predict /batch /reset-stats)
+    --query-log PATH    serve: structured query log, one JSON line/request
+    --warm-from PATH    serve: replay a query log through the caches at
+                        startup and after every hot reload
     --ip A.B.C.D        query target
     --open P1,P2        query evidence: ports known open on the target
     --asn N             query evidence: the target's ASN
@@ -71,6 +76,7 @@ EXAMPLES:
     gps serve --model /tmp/gps-model.gpsb --addr 127.0.0.1:4615 --shards 8 --watch
     gps serve --model quick=/tmp/a.gpsb --model lzr=/tmp/b.gpsb
     gps serve --model /tmp/a.gpsb --transport events --max-conns 20000 --idle-timeout 60
+    gps serve --model /tmp/a.gpsb --http-addr 127.0.0.1:8080 --query-log /tmp/q.log --warm-from /tmp/q.log
     gps query --addr 127.0.0.1:4615 --ip 10.1.2.3 --open 80
     gps query --addr 127.0.0.1:4615 --ip 10.1.2.3 --model lzr
     gps query --addr 127.0.0.1:4615 --ip 10.1.2.3 --wire binary

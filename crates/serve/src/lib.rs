@@ -59,8 +59,10 @@
 
 pub mod artifact;
 pub mod cache;
+pub mod hist;
 pub mod net;
 pub mod proto;
+pub mod query_log;
 pub mod server;
 mod shard;
 pub mod transport;
@@ -68,10 +70,12 @@ mod wire;
 
 pub use artifact::{PredictScratch, Query, Ranked, ServableModel};
 pub use cache::LruCache;
+pub use hist::{EndpointLabel, HistogramSet, LatencyHistogram, WireLabel};
 pub use net::{DecodeError, FrameDecoder, WireFormat};
 pub use proto::{serve_tcp, Client, ReloadOutcome};
+pub use query_log::QueryLog;
 pub use server::{
     validate_model_id, watch_snapshot_file, ModelStatsSnapshot, PredictionServer, ReloadWatcher,
     ServeConfig, ServerStats, StatsSnapshot, DEFAULT_MODEL_ID, MAX_MODEL_ID_LEN,
 };
-pub use transport::{serve, Transport, TransportConfig};
+pub use transport::{serve, serve_with_http, Transport, TransportConfig};

@@ -27,6 +27,7 @@ use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
 use super::decoder::{FrameDecoder, WireFormat};
+use super::http::{HttpError, HttpParser, HttpRequest};
 use super::poller::Interest;
 use crate::proto::MAX_FRAME_BYTES;
 
@@ -42,6 +43,25 @@ pub(crate) const MAX_PIPELINE: u64 = 128;
 /// loop-mates after this many bytes (level-triggered polling re-reports
 /// it immediately).
 pub(crate) const READ_BUDGET: usize = 64 * 1024;
+
+/// One complete inbound request, whichever protocol the connection
+/// speaks: a length-prefixed frame payload (JSON or GPSQ) from the wire
+/// listener, or a parsed HTTP request from the gateway listener.
+pub(crate) enum Payload {
+    Frame(Vec<u8>),
+    /// Boxed so the frame variant — the high-rate path — stays small
+    /// when payload vectors are drained and moved around.
+    Http(Box<HttpRequest>),
+    /// A fatal HTTP parse failure: answer with its status, then the
+    /// connection closes (the read side is already marked broken).
+    BadHttp(HttpError),
+}
+
+/// Which inbound parser a connection runs.
+enum ConnProto {
+    Frames(FrameDecoder),
+    Http(HttpParser),
+}
 
 /// What one readable-event's worth of socket reading produced.
 pub(crate) enum ReadOutcome {
@@ -59,7 +79,11 @@ pub(crate) enum ReadOutcome {
 pub(crate) struct Conn {
     pub stream: TcpStream,
     pub token: u64,
-    decoder: FrameDecoder,
+    proto: ConnProto,
+    /// Reused frame-decoder output vec (drained into `Payload`s per read).
+    frame_scratch: Vec<Vec<u8>>,
+    /// Reused HTTP-parser output vec.
+    http_scratch: Vec<HttpRequest>,
     /// Sequence assigned to the next accepted request frame.
     next_seq: u64,
     /// Sequence whose response goes out next (order preservation).
@@ -72,7 +96,7 @@ pub(crate) struct Conn {
     /// back — so the excess parks here (bounded by one read burst,
     /// because a connection with parked frames stops reading) and the
     /// event loop releases it as answers flush.
-    pub parked: VecDeque<Vec<u8>>,
+    pub parked: VecDeque<Payload>,
     /// Predict requests submitted to shard workers, not yet completed.
     pub in_flight: usize,
     out: Vec<u8>,
@@ -87,10 +111,26 @@ pub(crate) struct Conn {
 
 impl Conn {
     pub fn new(stream: TcpStream, token: u64) -> Conn {
+        Conn::with_proto(
+            stream,
+            token,
+            ConnProto::Frames(FrameDecoder::new(MAX_FRAME_BYTES)),
+        )
+    }
+
+    /// A connection from the HTTP gateway listener: same state machine,
+    /// HTTP parser in place of the frame decoder.
+    pub fn new_http(stream: TcpStream, token: u64) -> Conn {
+        Conn::with_proto(stream, token, ConnProto::Http(HttpParser::default()))
+    }
+
+    fn with_proto(stream: TcpStream, token: u64, proto: ConnProto) -> Conn {
         Conn {
             stream,
             token,
-            decoder: FrameDecoder::new(MAX_FRAME_BYTES),
+            proto,
+            frame_scratch: Vec::new(),
+            http_scratch: Vec::new(),
             next_seq: 0,
             flush_seq: 0,
             ready: HashMap::new(),
@@ -110,9 +150,13 @@ impl Conn {
 
     /// The wire format this connection's first frame negotiated (frames
     /// only reach the caller after negotiation, so the JSON default is
-    /// only ever seen by code paths with no frames at all).
+    /// only ever seen by code paths with no frames at all). HTTP
+    /// connections report JSON — their payloads never consult it.
     pub fn wire_format(&self) -> WireFormat {
-        self.decoder.format().unwrap_or(WireFormat::Json)
+        match &self.proto {
+            ConnProto::Frames(decoder) => decoder.format().unwrap_or(WireFormat::Json),
+            ConnProto::Http(_) => WireFormat::Json,
+        }
     }
 
     /// Claim the sequence slot for a newly accepted request.
@@ -134,9 +178,9 @@ impl Conn {
     }
 
     /// Read until the socket runs dry (or the per-event budget / a pause
-    /// condition is hit), feeding the decoder; completed frames are
-    /// appended to `frames`.
-    pub fn read_ready(&mut self, scratch: &mut [u8], frames: &mut Vec<Vec<u8>>) -> ReadOutcome {
+    /// condition is hit), feeding the connection's parser; completed
+    /// requests are appended to `payloads`.
+    pub fn read_ready(&mut self, scratch: &mut [u8], payloads: &mut Vec<Payload>) -> ReadOutcome {
         if self.read_closed {
             return ReadOutcome::Progress;
         }
@@ -144,7 +188,11 @@ impl Conn {
         loop {
             match self.stream.read(scratch) {
                 Ok(0) => {
-                    return if self.decoder.at_boundary() {
+                    let boundary = match &self.proto {
+                        ConnProto::Frames(decoder) => decoder.at_boundary(),
+                        ConnProto::Http(parser) => parser.at_boundary(),
+                    };
+                    return if boundary {
                         ReadOutcome::PeerClosed
                     } else {
                         // EOF inside a frame: truncation from a dead or
@@ -154,8 +202,29 @@ impl Conn {
                 }
                 Ok(n) => {
                     self.touch();
-                    if self.decoder.feed(&scratch[..n], frames).is_err() {
-                        return ReadOutcome::Broken;
+                    match &mut self.proto {
+                        ConnProto::Frames(decoder) => {
+                            let fed = decoder.feed(&scratch[..n], &mut self.frame_scratch);
+                            payloads.extend(self.frame_scratch.drain(..).map(Payload::Frame));
+                            if fed.is_err() {
+                                return ReadOutcome::Broken;
+                            }
+                        }
+                        ConnProto::Http(parser) => {
+                            let fed = parser.feed(&scratch[..n], &mut self.http_scratch);
+                            payloads.extend(
+                                self.http_scratch
+                                    .drain(..)
+                                    .map(|request| Payload::Http(Box::new(request))),
+                            );
+                            if let Err(error) = fed {
+                                // The error response is itself a payload:
+                                // it is answered (in order) before the
+                                // broken read side closes the conn.
+                                payloads.push(Payload::BadHttp(error));
+                                return ReadOutcome::Broken;
+                            }
+                        }
                     }
                     budget = budget.saturating_sub(n);
                     if budget == 0 || !self.wants().readable {
@@ -300,7 +369,7 @@ mod tests {
         // Parked frames alone also pause reading (they must drain first).
         let (server3, _client3) = pair();
         let mut conn3 = Conn::new(server3, 3);
-        conn3.parked.push_back(b"{}".to_vec());
+        conn3.parked.push_back(Payload::Frame(b"{}".to_vec()));
         assert!(!conn3.wants().readable, "parked frames pause reads");
         assert!(!conn3.drained(), "parked frames keep the conn alive");
     }

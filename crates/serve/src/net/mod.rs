@@ -41,6 +41,7 @@
 
 mod conn;
 mod decoder;
+pub(crate) mod http;
 mod poller;
 mod sys;
 
@@ -50,16 +51,17 @@ use std::collections::HashMap;
 use std::io;
 use std::net::{TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use crate::artifact::Ranked;
+use crate::artifact::{Query, Ranked};
+use crate::hist::WireLabel;
 use crate::proto;
-use crate::server::{L1Outcome, L1Slot, PredictionServer};
+use crate::server::{CacheLayer, L1Outcome, L1Slot, ModelEntry, PredictionServer};
 use crate::shard::ReplySink;
 use crate::transport::TransportConfig;
-use conn::{Conn, ReadOutcome};
+use conn::{Conn, Payload, ReadOutcome};
 use poller::{wake_pair, Event, Interest, Poller, WakeReceiver, Waker};
 
 /// Poller token of the wakeup socket (connection tokens count up from 0,
@@ -92,9 +94,10 @@ impl CompletionQueue {
     }
 }
 
-/// The accept thread's handle to one event loop.
+/// The accept thread's handle to one event loop. Streams are tagged with
+/// whether they came from the HTTP gateway listener.
 struct LoopHandle {
-    incoming: Arc<Mutex<Vec<TcpStream>>>,
+    incoming: Arc<Mutex<Vec<(TcpStream, bool)>>>,
     waker: Waker,
 }
 
@@ -111,6 +114,15 @@ struct PendingPredict {
     /// Single queries that missed the transport-level L1 carry their
     /// reserved slot, so the completed answer seeds the cache.
     l1: Option<L1Slot>,
+    /// Observability context: the model answering, which wire the
+    /// request arrived on, when it was accepted, the first query's key
+    /// fields (for the query log), and the shard-hit counter when
+    /// cache-layer tracing is on.
+    entry: Arc<ModelEntry>,
+    wire: WireLabel,
+    started: Instant,
+    first: Option<Query>,
+    hits: Option<Arc<AtomicU64>>,
 }
 
 /// One shard sub-batch in flight: which pending request it belongs to
@@ -124,7 +136,7 @@ struct EventLoop {
     server: Arc<PredictionServer>,
     poller: Poller,
     wake_rx: WakeReceiver,
-    incoming: Arc<Mutex<Vec<TcpStream>>>,
+    incoming: Arc<Mutex<Vec<(TcpStream, bool)>>>,
     completions: Arc<CompletionQueue>,
     conns: HashMap<u64, Conn>,
     next_token: u64,
@@ -134,17 +146,21 @@ struct EventLoop {
     next_tag: usize,
     idle_timeout: Option<Duration>,
     scratch: Vec<u8>,
-    frames: Vec<Vec<u8>>,
+    frames: Vec<Payload>,
     /// Guards against re-entering the parked-frame drain from the
     /// `after_progress` calls that request handling itself triggers.
     draining_parked: bool,
 }
 
-/// Accept loop + N event-loop threads. Blocks forever, like
-/// `proto::serve_tcp`.
+/// Accept loop(s) + N event-loop threads. Blocks forever, like
+/// `proto::serve_tcp`. `listener` serves the frame protocol, `http` the
+/// HTTP gateway; both may be given (the usual `--http-addr` deployment —
+/// connections from both multiplex onto the same loops), and at least
+/// one must be.
 pub(crate) fn serve_events(
     server: Arc<PredictionServer>,
-    listener: TcpListener,
+    listener: Option<TcpListener>,
+    http: Option<TcpListener>,
     config: &TransportConfig,
 ) -> io::Result<()> {
     let loops = config.event_loops_or_auto();
@@ -186,7 +202,37 @@ pub(crate) fn serve_events(
             .expect("spawn event loop");
         handles.push(LoopHandle { incoming, waker });
     }
+    let handles = Arc::new(handles);
     let max_conns = config.max_conns_or_unlimited();
+    match (listener, http) {
+        (Some(listener), Some(http)) => {
+            let server2 = server.clone();
+            let handles2 = handles.clone();
+            std::thread::Builder::new()
+                .name("gps-http-accept".to_string())
+                .spawn(move || accept_into(server2, http, handles2, max_conns, true))
+                .expect("spawn http accept thread");
+            accept_into(server, listener, handles, max_conns, false)
+        }
+        (Some(listener), None) => accept_into(server, listener, handles, max_conns, false),
+        (None, Some(http)) => accept_into(server, http, handles, max_conns, true),
+        (None, None) => Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "serve_events needs at least one listener",
+        )),
+    }
+}
+
+/// One listener's accept loop, handing connections to the event loops
+/// round-robin. The `max_conns` gate is shared across listeners (both
+/// count into the same connection gauges).
+fn accept_into(
+    server: Arc<PredictionServer>,
+    listener: TcpListener,
+    handles: Arc<Vec<LoopHandle>>,
+    max_conns: u64,
+    is_http: bool,
+) -> io::Result<()> {
     let mut next = 0usize;
     for stream in listener.incoming() {
         let stream = match stream {
@@ -198,7 +244,11 @@ pub(crate) fn serve_events(
         }
         let handle = &handles[next % handles.len()];
         next = next.wrapping_add(1);
-        handle.incoming.lock().expect("incoming lock").push(stream);
+        handle
+            .incoming
+            .lock()
+            .expect("incoming lock")
+            .push((stream, is_http));
         handle.waker.wake();
     }
     Ok(())
@@ -237,10 +287,10 @@ impl EventLoop {
         }
     }
 
-    /// Register connections the accept thread handed over.
+    /// Register connections the accept threads handed over.
     fn adopt_incoming(&mut self) {
         let streams = std::mem::take(&mut *self.incoming.lock().expect("incoming lock"));
-        for stream in streams {
+        for (stream, is_http) in streams {
             let _ = stream.set_nodelay(true);
             if stream.set_nonblocking(true).is_err() {
                 self.count_closed();
@@ -256,7 +306,12 @@ impl EventLoop {
                 self.count_closed();
                 continue;
             }
-            self.conns.insert(token, Conn::new(stream, token));
+            let conn = if is_http {
+                Conn::new_http(stream, token)
+            } else {
+                Conn::new(stream, token)
+            };
+            self.conns.insert(token, conn);
         }
     }
 
@@ -280,7 +335,7 @@ impl EventLoop {
             // window admits (bytes already read can't be pushed back to
             // the kernel): the excess parks on the connection and is
             // released by `after_progress` as answers flush.
-            let frames: Vec<Vec<u8>> = self.frames.drain(..).collect();
+            let frames: Vec<Payload> = self.frames.drain(..).collect();
             for payload in frames {
                 let park = self
                     .conns
@@ -310,26 +365,118 @@ impl EventLoop {
         self.after_progress(event.token);
     }
 
-    /// One complete frame payload (either wire format) from `token`.
-    fn handle_request(&mut self, token: u64, payload: Vec<u8>) {
+    /// One complete payload — a length-prefixed frame (either wire
+    /// format) or a parsed HTTP request — from `token`.
+    fn handle_request(&mut self, token: u64, payload: Payload) {
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
         };
         let seq = conn.next_seq();
         let format = conn.wire_format();
-        match proto::classify_payload(&self.server, format, &payload) {
+        let started = Instant::now();
+        let (wire, action) = match payload {
+            Payload::Frame(bytes) => {
+                let wire = match format {
+                    WireFormat::Json => WireLabel::Json,
+                    WireFormat::Binary => WireLabel::Gpsq,
+                };
+                (wire, proto::classify_payload(&self.server, format, &bytes))
+            }
+            Payload::Http(request) => {
+                let keep_alive = request.keep_alive;
+                match http::route(&self.server, &request) {
+                    http::Routed::Raw {
+                        status,
+                        content_type,
+                        body,
+                    } => {
+                        // `Connection: close` stops reads *before* the
+                        // reply is queued, so `after_progress` closes the
+                        // moment the response flushes.
+                        if !keep_alive {
+                            if let Some(conn) = self.conns.get_mut(&token) {
+                                conn.read_closed = true;
+                            }
+                        }
+                        self.complete_with(token, seq, |out| {
+                            http::append_response(
+                                out,
+                                status,
+                                content_type,
+                                body.as_bytes(),
+                                keep_alive,
+                            )
+                        });
+                        proto::record_admin(&self.server, WireLabel::Http, started);
+                        return;
+                    }
+                    http::Routed::Command { text } => (
+                        WireLabel::Http,
+                        proto::classify_json(
+                            &self.server,
+                            &text,
+                            proto::ReplyShape::Http { keep_alive },
+                        ),
+                    ),
+                }
+            }
+            Payload::BadHttp(error) => {
+                // The parser already broke the read side; answer with
+                // the error page and close once it flushes.
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.read_closed = true;
+                }
+                self.complete_with(token, seq, |out| http::append_error(out, &error));
+                return;
+            }
+        };
+        self.dispatch(token, seq, wire, started, action);
+    }
+
+    /// Run one classified action: serialize finished replies inline, fan
+    /// predict work out to the shard workers. `wire` and `started` feed
+    /// the latency histograms and the query log.
+    fn dispatch(
+        &mut self,
+        token: u64,
+        seq: u64,
+        wire: WireLabel,
+        started: Instant,
+        action: proto::FrameAction,
+    ) {
+        match action {
             proto::FrameAction::Ready(reply) => {
+                if let proto::ReadyReply::Http {
+                    keep_alive: false, ..
+                } = &reply
+                {
+                    if let Some(conn) = self.conns.get_mut(&token) {
+                        conn.read_closed = true;
+                    }
+                }
                 self.complete_with(token, seq, |out| proto::encode_ready(reply, out));
+                proto::record_admin(&self.server, wire, started);
             }
             proto::FrameAction::Predict {
-                entry: _,
+                entry,
                 queries,
                 batch,
                 ctx,
             } if queries.is_empty() => {
+                self.mark_http_close(token, &ctx);
                 self.complete_with(token, seq, |out| {
                     proto::encode_predict_reply(&ctx, &[], batch, out)
                 });
+                proto::record_predict(
+                    &self.server,
+                    &entry,
+                    wire,
+                    batch,
+                    0,
+                    None,
+                    CacheLayer::Miss,
+                    started,
+                );
             }
             proto::FrameAction::Predict {
                 entry,
@@ -337,28 +484,46 @@ impl EventLoop {
                 batch,
                 ctx,
             } => {
+                let trace = self.server.query_log().is_some();
+                let first = if trace {
+                    queries.first().cloned()
+                } else {
+                    None
+                };
                 // Warm single queries answer inline from the L1 — no
                 // shard hop, no completion-queue round trip, and the
                 // reply serializes straight into the write buffer.
                 let mut l1 = None;
                 if !batch && queries.len() == 1 {
-                    match self.server.l1_get(&entry, &queries[0]) {
+                    match self.server.l1_get(&entry, &queries[0], started) {
                         L1Outcome::Hit(answer) => {
+                            self.mark_http_close(token, &ctx);
                             self.complete_with(token, seq, |out| {
                                 proto::encode_predict_reply(&ctx, &[answer], false, out)
                             });
+                            proto::record_predict(
+                                &self.server,
+                                &entry,
+                                wire,
+                                false,
+                                1,
+                                first.as_ref(),
+                                CacheLayer::L1,
+                                started,
+                            );
                             return;
                         }
                         L1Outcome::Miss(slot) => l1 = Some(slot),
                     }
                 }
+                let hits = trace.then(|| Arc::new(AtomicU64::new(0)));
                 let pending_id = self.next_pending;
                 self.next_pending += 1;
                 let n = queries.len();
                 let sink = ReplySink::Queue(self.completions.clone());
                 let server = self.server.clone();
                 let mut remaining = 0usize;
-                server.enqueue_partitioned(&entry, queries, &sink, |indices| {
+                server.enqueue_partitioned(&entry, queries, &sink, hits.as_ref(), |indices| {
                     let tag = self.next_tag;
                     self.next_tag += 1;
                     self.subjobs.insert(
@@ -381,11 +546,30 @@ impl EventLoop {
                         results: vec![None; n],
                         remaining,
                         l1,
+                        entry,
+                        wire,
+                        started,
+                        first,
+                        hits,
                     },
                 );
                 if let Some(conn) = self.conns.get_mut(&token) {
                     conn.in_flight += 1;
                 }
+            }
+        }
+    }
+
+    /// HTTP responses answering a `Connection: close` request stop the
+    /// read side before the reply is queued, so `after_progress` closes
+    /// the connection once the response flushes.
+    fn mark_http_close(&mut self, token: u64, ctx: &proto::ReplyCtx) {
+        if let proto::ReplyCtx::Http {
+            keep_alive: false, ..
+        } = ctx
+        {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.read_closed = true;
             }
         }
     }
@@ -421,6 +605,23 @@ impl EventLoop {
             if let Some(conn) = self.conns.get_mut(&pending.conn) {
                 conn.in_flight -= 1;
             }
+            let layer = match &pending.hits {
+                Some(hits) => {
+                    CacheLayer::of_shard_hits(hits.load(Ordering::Relaxed), answers.len() as u64)
+                }
+                None => CacheLayer::Miss,
+            };
+            proto::record_predict(
+                &self.server,
+                &pending.entry,
+                pending.wire,
+                pending.batch,
+                answers.len() as u64,
+                pending.first.as_ref(),
+                layer,
+                pending.started,
+            );
+            self.mark_http_close(pending.conn, &pending.ctx);
             self.complete_with(pending.conn, pending.seq, |out| {
                 proto::encode_predict_reply(&pending.ctx, &answers, pending.batch, out)
             });

@@ -55,15 +55,18 @@ use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::Instant;
 
 use crate::artifact::{Query, Ranked};
+use crate::hist::{EndpointLabel, WireLabel};
+use crate::net::http;
 use crate::net::{FrameDecoder, WireFormat};
-use crate::server::{ModelEntry, PredictionServer};
+use crate::server::{unix_now_millis, CacheLayer, ModelEntry, PredictionServer};
 use crate::transport::TransportConfig;
 use crate::wire;
 use gps_types::binary::ByteWriter;
 use gps_types::json::Json;
-use gps_types::{Ip, JsonCodec, Port};
+use gps_types::{Ip, JsonCodec, Port, QueryLogRecord};
 
 /// Frames above this many bytes are rejected (a length prefix is attacker
 /// input; without a cap a single frame could balloon memory).
@@ -320,6 +323,10 @@ pub(crate) enum ReplyCtx {
     /// A GPSQ admin envelope: JSON semantics (id included) inside a
     /// binary frame.
     BinaryAdmin { id: Option<Json> },
+    /// An HTTP request: the body is the *same* JSON text a JSON-wire
+    /// reply carries (parity by construction), wrapped in an HTTP/1.1
+    /// response head — 200 on `"ok":true`, 400 otherwise.
+    Http { id: Option<Json>, keep_alive: bool },
 }
 
 /// A finished (no shard work) reply, ready to serialize.
@@ -332,6 +339,12 @@ pub(crate) enum ReadyReply {
     BinaryError { id: Option<u64>, message: String },
     /// JSON response riding in a GPSQ admin envelope.
     BinaryAdmin { response: Json, id: Option<Json> },
+    /// JSON response riding in an HTTP/1.1 response.
+    Http {
+        response: Json,
+        id: Option<Json>,
+        keep_alive: bool,
+    },
 }
 
 /// What one request frame classified into: a finished reply, or predict
@@ -359,6 +372,11 @@ fn ready_error(ctx: ReplyCtx, message: String) -> ReadyReply {
         ReplyCtx::BinaryAdmin { id } => ReadyReply::BinaryAdmin {
             response: error_response(message),
             id,
+        },
+        ReplyCtx::Http { id, keep_alive } => ReadyReply::Http {
+            response: error_response(message),
+            id,
+            keep_alive,
         },
     }
 }
@@ -416,6 +434,25 @@ pub(crate) fn encode_ready(reply: ReadyReply, out: &mut Vec<u8>) {
                 );
             }
         }
+        ReadyReply::Http {
+            mut response,
+            id,
+            keep_alive,
+        } => {
+            if let Some(id) = &id {
+                response.set("id", id.clone());
+            }
+            // The body is exactly the JSON-wire reply text; the only
+            // HTTP-ism is the status code mirroring the `ok` flag.
+            let status = match response.get("ok").and_then(Json::as_bool) {
+                Some(true) => 200,
+                _ => 400,
+            };
+            let mut text = String::new();
+            response.write(&mut text);
+            text.push('\n');
+            http::append_response(out, status, "application/json", text.as_bytes(), keep_alive);
+        }
     }
 }
 
@@ -451,6 +488,14 @@ pub(crate) fn encode_predict_reply(
             ReadyReply::BinaryAdmin {
                 response: predict_response(answers, batch),
                 id: id.clone(),
+            },
+            out,
+        ),
+        ReplyCtx::Http { id, keep_alive } => encode_ready(
+            ReadyReply::Http {
+                response: predict_response(answers, batch),
+                id: id.clone(),
+                keep_alive: *keep_alive,
             },
             out,
         ),
@@ -571,6 +616,15 @@ pub(crate) fn classify(server: &PredictionServer, request: &Json) -> Action {
             let mut json = ok_response();
             json.set("stats", server.stats().to_json());
             ready(json)
+        }
+        "reset-stats" => {
+            // Zero traffic counters and histograms (global and per model);
+            // generations, registry membership, connection gauges, and
+            // uptime are untouched. Lets a bench reuse one server across
+            // phases without the first phase polluting the second's
+            // numbers.
+            server.reset_stats();
+            ready(ok_response())
         }
         "manifest" => {
             let (model, generation) = match model_id {
@@ -707,7 +761,7 @@ pub(crate) fn classify_payload(
                 response: error_response("bad json: frame is not utf-8"),
                 id: None,
             }),
-            Ok(text) => classify_json(server, text, false),
+            Ok(text) => classify_json(server, text, ReplyShape::Json),
         },
         WireFormat::Binary => match wire::decode_request(payload) {
             Err(e) => FrameAction::Ready(ReadyReply::BinaryError {
@@ -731,15 +785,31 @@ pub(crate) fn classify_payload(
             ),
             // Admin passthrough: JSON semantics, binary envelope. The
             // embedded text runs through the very same JSON core.
-            Ok(wire::Request::Admin { json }) => classify_json(server, &json, true),
+            Ok(wire::Request::Admin { json }) => {
+                classify_json(server, &json, ReplyShape::BinaryAdmin)
+            }
         },
     }
 }
 
+/// Which envelope a JSON-semantics reply must ride: a bare JSON frame, a
+/// GPSQ admin envelope, or an HTTP/1.1 response.
+#[derive(Clone, Copy)]
+pub(crate) enum ReplyShape {
+    Json,
+    BinaryAdmin,
+    Http { keep_alive: bool },
+}
+
 /// The JSON half of [`classify_payload`]: parse, pull the echoed id, run
-/// the shared [`classify`] core. `envelope` says the JSON arrived inside
-/// a GPSQ admin frame, so the reply must ride the same envelope.
-fn classify_json(server: &PredictionServer, text: &str, envelope: bool) -> FrameAction {
+/// the shared [`classify`] core. `shape` says which envelope the JSON
+/// arrived in — GPSQ admin frame, HTTP body — so the reply rides the
+/// same one.
+pub(crate) fn classify_json(
+    server: &PredictionServer,
+    text: &str,
+    shape: ReplyShape,
+) -> FrameAction {
     // The request id (if any) is echoed on every reply, error replies
     // included — a pipelining client must be able to tell *which* request
     // of a burst failed. Unparseable JSON has no extractable id, so only
@@ -755,10 +825,10 @@ fn classify_json(server: &PredictionServer, text: &str, envelope: bool) -> Frame
                     queries,
                     batch,
                 } => {
-                    let ctx = if envelope {
-                        ReplyCtx::BinaryAdmin { id }
-                    } else {
-                        ReplyCtx::Json { id }
+                    let ctx = match shape {
+                        ReplyShape::Json => ReplyCtx::Json { id },
+                        ReplyShape::BinaryAdmin => ReplyCtx::BinaryAdmin { id },
+                        ReplyShape::Http { keep_alive } => ReplyCtx::Http { id, keep_alive },
                     };
                     return FrameAction::Predict {
                         entry,
@@ -770,10 +840,14 @@ fn classify_json(server: &PredictionServer, text: &str, envelope: bool) -> Frame
             }
         }
     };
-    FrameAction::Ready(if envelope {
-        ReadyReply::BinaryAdmin { response, id }
-    } else {
-        ReadyReply::Json { response, id }
+    FrameAction::Ready(match shape {
+        ReplyShape::Json => ReadyReply::Json { response, id },
+        ReplyShape::BinaryAdmin => ReadyReply::BinaryAdmin { response, id },
+        ReplyShape::Http { keep_alive } => ReadyReply::Http {
+            response,
+            id,
+            keep_alive,
+        },
     })
 }
 
@@ -799,6 +873,64 @@ fn predict_action(
         },
         Err(e) => FrameAction::Ready(ready_error(ctx, e)),
     }
+}
+
+/// Per-request observability shared by both transports: record the
+/// request latency into the server-level and per-model histogram cells —
+/// a batch frame of `n` queries counts `n` samples, keeping histogram
+/// counts summable against `requests` — and, when a query log is
+/// configured, append one structured record carrying the first query's
+/// key fields (what warm replay needs back).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn record_predict(
+    server: &PredictionServer,
+    entry: &ModelEntry,
+    wire: WireLabel,
+    batch: bool,
+    n: u64,
+    first: Option<&Query>,
+    layer: CacheLayer,
+    started: Instant,
+) {
+    let latency_ns = started.elapsed().as_nanos() as u64;
+    let endpoint = if batch {
+        EndpointLabel::Batch
+    } else {
+        EndpointLabel::Single
+    };
+    // Per-model only: the server-level predict cells are derived at
+    // snapshot time by summing the models, so the hot path pays for one
+    // histogram update, not two.
+    entry
+        .counters
+        .hists
+        .cell(wire, endpoint)
+        .record_n(latency_ns, n);
+    if let (Some(log), Some(first)) = (server.query_log(), first) {
+        log.push(QueryLogRecord {
+            ts_ms: unix_now_millis(),
+            model: entry.id.clone(),
+            wire: wire.as_str().to_string(),
+            endpoint: endpoint.as_str().to_string(),
+            ip: first.ip,
+            open: first.open.iter().map(|p| p.0).collect(),
+            asn: first.asn,
+            top: first.top,
+            cache: layer.as_str().to_string(),
+            latency_ns,
+            generation: entry.generation(),
+        });
+    }
+}
+
+/// Record one admin-shaped request (anything that never reaches the
+/// shards) into the server-level histogram matrix.
+pub(crate) fn record_admin(server: &PredictionServer, wire: WireLabel, started: Instant) {
+    server
+        .server_stats()
+        .hists
+        .cell(wire, EndpointLabel::Admin)
+        .record(started.elapsed().as_nanos() as u64);
 }
 
 /// Serve one accepted connection until EOF or a framing error. A frame
@@ -830,9 +962,17 @@ pub fn serve_connection(server: &PredictionServer, stream: TcpStream) -> io::Res
                 return result.map(|_| ());
             }
         };
+        let started = Instant::now();
         let format = decoder.format().unwrap_or(WireFormat::Json);
+        let wire = match format {
+            WireFormat::Json => WireLabel::Json,
+            WireFormat::Binary => WireLabel::Gpsq,
+        };
         match classify_payload(server, format, &payload) {
-            FrameAction::Ready(reply) => encode_ready(reply, &mut response_buf),
+            FrameAction::Ready(reply) => {
+                encode_ready(reply, &mut response_buf);
+                record_admin(server, wire, started);
+            }
             FrameAction::Predict {
                 entry,
                 queries,
@@ -840,15 +980,37 @@ pub fn serve_connection(server: &PredictionServer, stream: TcpStream) -> io::Res
                 ctx,
             } => {
                 // Predict work executes in place — the blocking
-                // transport's path through the shared core.
-                if batch {
-                    let answers = server.predict_batch_entry(entry, queries);
+                // transport's path through the shared core. Cache-layer
+                // tracing costs an Arc bump per request, so it runs only
+                // when a query log wants the attribution.
+                let n = queries.len() as u64;
+                let trace = server.query_log().is_some();
+                let first = if trace {
+                    queries.first().cloned()
+                } else {
+                    None
+                };
+                let layer = if batch {
+                    let (answers, layer) =
+                        server.predict_batch_entry_traced(entry.clone(), queries, trace);
                     encode_predict_reply(&ctx, &answers, true, &mut response_buf);
+                    layer
                 } else {
                     let query = queries.into_iter().next().expect("one query");
-                    let answer = server.predict_entry(entry, query);
+                    let (answer, layer) = server.predict_entry_traced(entry.clone(), query, trace);
                     encode_predict_reply(&ctx, &[answer], false, &mut response_buf);
-                }
+                    layer
+                };
+                record_predict(
+                    server,
+                    &entry,
+                    wire,
+                    batch,
+                    n,
+                    first.as_ref(),
+                    layer,
+                    started,
+                );
             }
         }
         // Write coalescing: while the read buffer already holds more of
@@ -1273,6 +1435,13 @@ impl Client {
             .get("stats")
             .cloned()
             .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no stats"))
+    }
+
+    /// Zero the server's traffic counters and histograms (`reset-stats`).
+    pub fn reset_stats(&mut self) -> io::Result<()> {
+        let mut request = Json::obj();
+        request.set("cmd", "reset-stats");
+        self.call(request).map(|_| ())
     }
 
     pub fn manifest(&mut self) -> io::Result<Json> {

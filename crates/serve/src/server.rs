@@ -44,20 +44,24 @@
 //! bump a registry version; workers prune their per-model epoch state at
 //! the next wakeup, so an unloaded model's memory is released promptly.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::sync::{mpsc, Mutex, RwLock};
+use std::sync::{mpsc, Mutex, OnceLock, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant, SystemTime};
 
 use crate::artifact::{Query, Ranked, ServableModel};
 use crate::cache::LruCache;
+use crate::hist::HistogramSet;
+use crate::query_log::QueryLog;
 use crate::shard::{run_shard, CacheKey, Job, ReplySink, ShardConfig, ShardHandle};
 use gps_core::snapshot::header_fingerprint;
 use gps_core::ModelSnapshot;
 use gps_types::json::Json;
+use gps_types::{HistogramSnapshot, JsonCodec, QueryLogRecord};
 
 /// The model id the id-less API and id-less wire frames route to when the
 /// server was started through the single-model constructors.
@@ -85,6 +89,22 @@ pub fn validate_model_id(id: &str) -> Result<(), String> {
         ));
     }
     Ok(())
+}
+
+/// Seconds since the Unix epoch (0 if the clock is before it).
+pub(crate) fn unix_now_secs() -> u64 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Milliseconds since the Unix epoch (0 if the clock is before it).
+pub(crate) fn unix_now_millis() -> u64 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
 }
 
 /// The epoch-published model: shard workers hold an `Arc` clone and a
@@ -130,6 +150,11 @@ pub(crate) struct ModelCounters {
     pub cache_hits: AtomicU64,
     pub cache_misses: AtomicU64,
     pub reloads: AtomicU64,
+    /// Unix seconds of the last completed reload (0 = never reloaded).
+    pub last_reload_unix: AtomicU64,
+    /// Per-(wire, endpoint) latency histograms, recorded by the
+    /// transports at reply time.
+    pub hists: HistogramSet,
 }
 
 /// One registered model: id, epoch slot, snapshot source path, and
@@ -241,6 +266,9 @@ impl Default for ServeConfig {
 pub struct ServerStats {
     pub requests: AtomicU64,
     pub cache_hits: AtomicU64,
+    /// The subset of `cache_hits` answered inline by the transport-level
+    /// L1 (so `cache_hits - l1_hits` is the shard-cache layer's share).
+    pub l1_hits: AtomicU64,
     pub cache_misses: AtomicU64,
     /// Worker wakeups (each services >= 1 job; requests/batches measures
     /// effective batching).
@@ -248,6 +276,9 @@ pub struct ServerStats {
     pub latency_ns_total: AtomicU64,
     pub latency_ns_max: AtomicU64,
     pub per_shard: Vec<AtomicU64>,
+    /// Server-level per-(wire, endpoint) latency histograms, recorded by
+    /// the transports at reply time.
+    pub hists: HistogramSet,
     /// Completed hot reloads since start, across every model.
     pub reloads: AtomicU64,
     /// Connections the serving transport accepted (either transport).
@@ -281,6 +312,25 @@ impl ServerStats {
             true
         }
     }
+
+    /// Zero the traffic counters and histograms. Connection counters are
+    /// deliberately spared: [`try_admit`](Self::try_admit) derives the
+    /// active-connection count from `conns_accepted - conns_closed`, so
+    /// zeroing those mid-serve would break `--max-conns`. `reloads`
+    /// survives too — it describes configuration history, not traffic.
+    fn reset_traffic(&self) {
+        self.requests.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.l1_hits.store(0, Ordering::Relaxed);
+        self.cache_misses.store(0, Ordering::Relaxed);
+        self.batches.store(0, Ordering::Relaxed);
+        self.latency_ns_total.store(0, Ordering::Relaxed);
+        self.latency_ns_max.store(0, Ordering::Relaxed);
+        for shard in &self.per_shard {
+            shard.store(0, Ordering::Relaxed);
+        }
+        self.hists.reset();
+    }
 }
 
 /// A point-in-time copy of one model's counters and identity.
@@ -295,6 +345,9 @@ pub struct ModelStatsSnapshot {
     pub cache_hits: u64,
     pub cache_misses: u64,
     pub reloads: u64,
+    /// Unix seconds of the last completed reload; `None` when this model
+    /// has never been reloaded.
+    pub last_reload_unix: Option<u64>,
     /// Where the served snapshot came from, when known.
     pub path: Option<String>,
     pub dataset: String,
@@ -302,12 +355,15 @@ pub struct ModelStatsSnapshot {
     pub checksum: u64,
     pub num_rules: u64,
     pub num_priors: u64,
+    /// Non-empty (wire, endpoint) latency histogram cells.
+    pub hists: Vec<(&'static str, &'static str, HistogramSnapshot)>,
 }
 
 impl ModelStatsSnapshot {
     fn of(entry: &ModelEntry, is_default: bool) -> ModelStatsSnapshot {
         let model = entry.current();
         let manifest = model.manifest();
+        let last_reload = entry.counters.last_reload_unix.load(Ordering::Relaxed);
         ModelStatsSnapshot {
             id: entry.id.clone(),
             is_default,
@@ -316,6 +372,8 @@ impl ModelStatsSnapshot {
             cache_hits: entry.counters.cache_hits.load(Ordering::Relaxed),
             cache_misses: entry.counters.cache_misses.load(Ordering::Relaxed),
             reloads: entry.counters.reloads.load(Ordering::Relaxed),
+            last_reload_unix: (last_reload != 0).then_some(last_reload),
+            hists: nonempty_hists(&entry.counters.hists),
             path: entry.path().map(|p| p.display().to_string()),
             dataset: manifest.dataset_name.clone(),
             checksum: manifest.checksum,
@@ -336,19 +394,48 @@ impl ModelStatsSnapshot {
             .set("checksum", gps_types::json::u64_to_hex(self.checksum))
             .set("num_rules", Json::Num(self.num_rules as f64))
             .set("num_priors", Json::Num(self.num_priors as f64));
+        if let Some(last_reload) = self.last_reload_unix {
+            json.set("last_reload_unix", Json::Num(last_reload as f64));
+        }
         if let Some(path) = &self.path {
             json.set("path", path.as_str());
         }
+        if !self.hists.is_empty() {
+            json.set("hists", hists_to_json(&self.hists));
+        }
         json
     }
+}
+
+/// Snapshot only the histogram cells that have recorded samples (a cell
+/// for a wire the deployment never speaks stays out of `stats` replies).
+fn nonempty_hists(set: &HistogramSet) -> Vec<(&'static str, &'static str, HistogramSnapshot)> {
+    set.snapshot()
+        .into_iter()
+        .filter(|(_, _, snap)| snap.count > 0)
+        .collect()
+}
+
+/// `{"<wire>/<endpoint>": {histogram}}` — the `stats` wire encoding of a
+/// histogram cell list.
+fn hists_to_json(hists: &[(&'static str, &'static str, HistogramSnapshot)]) -> Json {
+    let mut json = Json::obj();
+    for (wire, endpoint, snap) in hists {
+        json.set(&format!("{wire}/{endpoint}"), snap.to_json());
+    }
+    json
 }
 
 /// A point-in-time copy of [`ServerStats`] plus derived rates and the
 /// per-model breakdown.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StatsSnapshot {
+    /// The serving crate's build version (`CARGO_PKG_VERSION`).
+    pub version: String,
     pub requests: u64,
     pub cache_hits: u64,
+    /// The subset of `cache_hits` answered by the transport-level L1.
+    pub l1_hits: u64,
     pub cache_misses: u64,
     pub batches: u64,
     pub mean_latency_us: f64,
@@ -368,6 +455,8 @@ pub struct StatsSnapshot {
     /// The *default* model's generation (0 = the model the server started
     /// with) — the pre-registry meaning, kept for wire compatibility.
     pub generation: u64,
+    /// Non-empty server-level (wire, endpoint) latency histogram cells.
+    pub hists: Vec<(&'static str, &'static str, HistogramSnapshot)>,
     /// Per-model counters, sorted by id.
     pub models: Vec<ModelStatsSnapshot>,
 }
@@ -388,8 +477,10 @@ impl StatsSnapshot {
             models.set(model.id.as_str(), model.to_json());
         }
         let mut json = Json::obj();
-        json.set("requests", Json::Num(self.requests as f64))
+        json.set("version", self.version.as_str())
+            .set("requests", Json::Num(self.requests as f64))
             .set("cache_hits", Json::Num(self.cache_hits as f64))
+            .set("l1_hits", Json::Num(self.l1_hits as f64))
             .set("cache_misses", Json::Num(self.cache_misses as f64))
             .set("hit_rate", self.hit_rate())
             .set("batches", Json::Num(self.batches as f64))
@@ -409,9 +500,26 @@ impl StatsSnapshot {
             .set("conns_active", Json::Num(self.conns_active as f64))
             .set("conns_timed_out", Json::Num(self.conns_timed_out as f64))
             .set("conns_rejected", Json::Num(self.conns_rejected as f64))
-            .set("generation", Json::Num(self.generation as f64))
-            .set("models", models);
+            .set("generation", Json::Num(self.generation as f64));
+        if !self.hists.is_empty() {
+            json.set("hists", hists_to_json(&self.hists));
+        }
+        json.set("models", models);
         json
+    }
+
+    /// The merged histogram over every cell matching `wire` and/or
+    /// `endpoint` (`None` = all) — e.g. `(Some("gpsq"), None)` is the
+    /// full GPSQ latency distribution. Empty when nothing matched.
+    pub fn merged_hist(&self, wire: Option<&str>, endpoint: Option<&str>) -> HistogramSnapshot {
+        let mut merged = HistogramSnapshot::default();
+        for (w, e, snap) in &self.hists {
+            if wire.is_some_and(|want| want != *w) || endpoint.is_some_and(|want| want != *e) {
+                continue;
+            }
+            merged.merge(snap);
+        }
+        merged
     }
 }
 
@@ -439,6 +547,13 @@ pub struct PredictionServer {
     /// batch frames skip the L1 entirely (the shard hop amortizes over
     /// the whole batch there).
     l1: Vec<Mutex<LruCache<CacheKey, Arc<Ranked>>>>,
+    /// The structured query log, when `--query-log` enabled it. Set once
+    /// before serving starts; the hot path pays one pointer load when
+    /// disabled.
+    query_log: OnceLock<Arc<QueryLog>>,
+    /// The query-log file `--warm-from` replays through the caches at
+    /// startup and after every hot reload.
+    warm_source: Mutex<Option<PathBuf>>,
 }
 
 /// A reserved L1 slot for a query that missed: carries the computed key
@@ -456,6 +571,42 @@ pub(crate) enum L1Outcome {
     /// Not cached: run the shard path, then hand the answer back through
     /// [`PredictionServer::l1_put`].
     Miss(L1Slot),
+}
+
+/// Which cache layer answered a request — the `cache` field of a query
+/// log line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CacheLayer {
+    /// The transport-level answer cache, inline on the conn thread.
+    L1,
+    /// Every query of the request hit its shard worker's LRU.
+    Shard,
+    /// Every query was computed fresh.
+    Miss,
+    /// A batch whose queries split between shard hits and misses.
+    Mixed,
+}
+
+impl CacheLayer {
+    pub(crate) fn as_str(self) -> &'static str {
+        match self {
+            CacheLayer::L1 => "l1",
+            CacheLayer::Shard => "shard",
+            CacheLayer::Miss => "miss",
+            CacheLayer::Mixed => "mixed",
+        }
+    }
+
+    /// Classify a completed shard round trip from its hit counter.
+    pub(crate) fn of_shard_hits(hits: u64, queries: u64) -> CacheLayer {
+        if hits == 0 {
+            CacheLayer::Miss
+        } else if hits >= queries {
+            CacheLayer::Shard
+        } else {
+            CacheLayer::Mixed
+        }
+    }
 }
 
 impl PredictionServer {
@@ -540,6 +691,8 @@ impl PredictionServer {
             started: Instant::now(),
             config,
             l1,
+            query_log: OnceLock::new(),
+            warm_source: Mutex::new(None),
         })
     }
 
@@ -724,11 +877,21 @@ impl PredictionServer {
         let generation = entry.slot.publish(model);
         self.stats.reloads.fetch_add(1, Ordering::Relaxed);
         entry.counters.reloads.fetch_add(1, Ordering::Relaxed);
+        entry
+            .counters
+            .last_reload_unix
+            .store(unix_now_secs(), Ordering::Relaxed);
         // Wake every shard with an empty job naming this entry, so idle
         // shards swap (and free) the old epoch without waiting for
         // traffic. A full queue means the shard is about to wake anyway —
         // skip it.
         self.nudge(Some(entry.clone()));
+        // A reload retires every cached answer of this model (keys embed
+        // the generation); replay the warm source, when configured, so
+        // the first post-reload query still lands warm. Synchronous on
+        // the reloading thread: the reload reply only returns once the
+        // caches are warm again.
+        self.warm_replay_from_source(Some(&entry.id));
         generation
     }
 
@@ -744,6 +907,7 @@ impl PredictionServer {
                 reply: ReplySink::Channel(reply),
                 tag: 0,
                 enqueued: Instant::now(),
+                hits: None,
             });
         }
     }
@@ -820,8 +984,12 @@ impl PredictionServer {
     /// fully accounted (request, per-shard, hit, latency counters —
     /// global and per model) and returned inline; a miss reserves the
     /// slot for [`l1_put`](Self::l1_put) after the shard path answers.
-    pub(crate) fn l1_get(&self, entry: &Arc<ModelEntry>, query: &Query) -> L1Outcome {
-        let started = Instant::now();
+    pub(crate) fn l1_get(
+        &self,
+        entry: &Arc<ModelEntry>,
+        query: &Query,
+        started: Instant,
+    ) -> L1Outcome {
         let partition = self.shard_of(query.ip);
         // A *consistent* (generation, model) pair: `publish` stores the
         // model and bumps the generation under one write lock, so if the
@@ -870,6 +1038,7 @@ impl PredictionServer {
                 self.stats.requests.fetch_add(1, Ordering::Relaxed);
                 self.stats.per_shard[partition].fetch_add(1, Ordering::Relaxed);
                 self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                self.stats.l1_hits.fetch_add(1, Ordering::Relaxed);
                 self.stats
                     .latency_ns_total
                     .fetch_add(latency_ns, Ordering::Relaxed);
@@ -895,13 +1064,27 @@ impl PredictionServer {
     }
 
     pub(crate) fn predict_entry(&self, entry: Arc<ModelEntry>, query: Query) -> Arc<Ranked> {
+        self.predict_entry_traced(entry, query, false).0
+    }
+
+    /// [`predict_entry`](Self::predict_entry), optionally tracing which
+    /// cache layer answered (`trace: false` skips the per-request hit
+    /// counter allocation and always reports `Miss` for shard rounds —
+    /// only the query log reads the layer).
+    pub(crate) fn predict_entry_traced(
+        &self,
+        entry: Arc<ModelEntry>,
+        query: Query,
+        trace: bool,
+    ) -> (Arc<Ranked>, CacheLayer) {
         // Warm single queries never leave this thread: the L1 answers
         // without waking a shard worker. Misses pay the original path
         // and seed the L1 on the way out.
-        let slot = match self.l1_get(&entry, &query) {
-            L1Outcome::Hit(answer) => return answer,
+        let slot = match self.l1_get(&entry, &query, Instant::now()) {
+            L1Outcome::Hit(answer) => return (answer, CacheLayer::L1),
             L1Outcome::Miss(slot) => slot,
         };
+        let hits = trace.then(|| Arc::new(AtomicU64::new(0)));
         let shard = self.shard_of(query.ip);
         let (reply_tx, reply_rx) = mpsc::channel();
         let job = Job {
@@ -910,6 +1093,7 @@ impl PredictionServer {
             reply: ReplySink::Channel(reply_tx),
             tag: 0,
             enqueued: Instant::now(),
+            hits: hits.clone(),
         };
         self.shards[shard]
             .sender
@@ -918,7 +1102,11 @@ impl PredictionServer {
         let (_, mut answers) = reply_rx.recv().expect("shard worker replies");
         let answer = answers.pop().expect("one answer per query");
         self.l1_put(slot, answer.clone());
-        answer
+        let layer = match hits {
+            Some(hits) => CacheLayer::of_shard_hits(hits.load(Ordering::Relaxed), 1),
+            None => CacheLayer::Miss,
+        };
+        (answer, layer)
     }
 
     /// Answer a batch on the default model, preserving input order.
@@ -950,6 +1138,7 @@ impl PredictionServer {
         entry: &Arc<ModelEntry>,
         queries: Vec<Query>,
         sink: &ReplySink,
+        hits: Option<&Arc<AtomicU64>>,
         mut tag_of: impl FnMut(Vec<usize>) -> usize,
     ) -> usize {
         let mut by_shard: Vec<(Vec<usize>, Vec<Query>)> = (0..self.shards.len())
@@ -972,6 +1161,7 @@ impl PredictionServer {
                 reply: sink.clone(),
                 tag,
                 enqueued: Instant::now(),
+                hits: hits.cloned(),
             };
             self.shards[shard]
                 .sender
@@ -987,11 +1177,23 @@ impl PredictionServer {
         entry: Arc<ModelEntry>,
         queries: Vec<Query>,
     ) -> Vec<Arc<Ranked>> {
+        self.predict_batch_entry_traced(entry, queries, false).0
+    }
+
+    /// [`predict_batch_entry`](Self::predict_batch_entry), optionally
+    /// tracing how the batch's queries split across the shard caches.
+    pub(crate) fn predict_batch_entry_traced(
+        &self,
+        entry: Arc<ModelEntry>,
+        queries: Vec<Query>,
+        trace: bool,
+    ) -> (Vec<Arc<Ranked>>, CacheLayer) {
         let n = queries.len();
+        let hits = trace.then(|| Arc::new(AtomicU64::new(0)));
         let (reply_tx, reply_rx) = mpsc::channel();
         let sink = ReplySink::Channel(reply_tx);
         let mut outstanding: Vec<Vec<usize>> = Vec::new();
-        let jobs = self.enqueue_partitioned(&entry, queries, &sink, |indices| {
+        let jobs = self.enqueue_partitioned(&entry, queries, &sink, hits.as_ref(), |indices| {
             outstanding.push(indices);
             outstanding.len() - 1
         });
@@ -1005,10 +1207,15 @@ impl PredictionServer {
                 results[idx] = Some(answer);
             }
         }
-        results
+        let answers = results
             .into_iter()
             .map(|r| r.expect("every query answered"))
-            .collect()
+            .collect();
+        let layer = match hits {
+            Some(hits) => CacheLayer::of_shard_hits(hits.load(Ordering::Relaxed), n as u64),
+            None => CacheLayer::Miss,
+        };
+        (answers, layer)
     }
 
     /// One model's counters and identity.
@@ -1025,15 +1232,33 @@ impl PredictionServer {
     pub fn stats(&self) -> StatsSnapshot {
         let requests = self.stats.requests.load(Ordering::Relaxed);
         let total_ns = self.stats.latency_ns_total.load(Ordering::Relaxed);
-        let models = self
+        let models: Vec<ModelStatsSnapshot> = self
             .registry
             .entries()
             .iter()
             .map(|entry| ModelStatsSnapshot::of(entry, entry.uid == self.default_entry.uid))
             .collect();
+        // Server-level histograms: the transports record predict traffic
+        // per model only (one hot-path update per request), so the
+        // server totals are the models summed into the server-level set,
+        // which itself holds just the admin samples.
+        let mut cells = self.stats.hists.snapshot();
+        for model in &models {
+            for (wire, endpoint, snap) in &model.hists {
+                if let Some(cell) = cells
+                    .iter_mut()
+                    .find(|(w, e, _)| w == wire && e == endpoint)
+                {
+                    cell.2.merge(snap);
+                }
+            }
+        }
+        let hists = cells.into_iter().filter(|(_, _, s)| s.count > 0).collect();
         StatsSnapshot {
+            version: env!("CARGO_PKG_VERSION").to_string(),
             requests,
             cache_hits: self.stats.cache_hits.load(Ordering::Relaxed),
+            l1_hits: self.stats.l1_hits.load(Ordering::Relaxed),
             cache_misses: self.stats.cache_misses.load(Ordering::Relaxed),
             batches: self.stats.batches.load(Ordering::Relaxed),
             mean_latency_us: if requests == 0 {
@@ -1060,8 +1285,113 @@ impl PredictionServer {
             conns_timed_out: self.stats.conns_timed_out.load(Ordering::Relaxed),
             conns_rejected: self.stats.conns_rejected.load(Ordering::Relaxed),
             generation: self.default_entry.generation(),
+            hists,
             models,
         }
+    }
+
+    /// Zero every traffic counter and histogram — global and per model —
+    /// leaving generations, registry membership, connection accounting,
+    /// reload history, and uptime untouched (the `reset-stats` admin
+    /// command). Counters mutate individually (no global stop-the-world),
+    /// so a request racing the reset may land partially on either side —
+    /// each counter is still individually consistent.
+    pub fn reset_stats(&self) {
+        self.stats.reset_traffic();
+        for entry in self.registry.entries() {
+            entry.counters.requests.store(0, Ordering::Relaxed);
+            entry.counters.cache_hits.store(0, Ordering::Relaxed);
+            entry.counters.cache_misses.store(0, Ordering::Relaxed);
+            entry.counters.hists.reset();
+        }
+    }
+
+    /// The configured query log, if any.
+    pub(crate) fn query_log(&self) -> Option<&Arc<QueryLog>> {
+        self.query_log.get()
+    }
+
+    /// Install the structured query log. May be called once; later calls
+    /// return `false` and leave the original log in place.
+    pub fn set_query_log(&self, log: Arc<QueryLog>) -> bool {
+        self.query_log.set(log).is_ok()
+    }
+
+    /// Records dropped by the query log because its ring was full (0
+    /// when no log is configured).
+    pub fn query_log_dropped(&self) -> u64 {
+        self.query_log.get().map_or(0, |log| log.dropped())
+    }
+
+    /// Configure the query-log file whose keys are replayed through both
+    /// cache layers after every hot reload (and at startup, by the CLI
+    /// calling [`warm_replay`](Self::warm_replay) directly).
+    pub fn set_warm_source(&self, path: impl Into<PathBuf>) {
+        *self.warm_source.lock().expect("warm source lock") = Some(path.into());
+    }
+
+    /// Replay the configured warm source, if any; see
+    /// [`warm_replay`](Self::warm_replay).
+    fn warm_replay_from_source(&self, only_model: Option<&str>) {
+        let source = self.warm_source.lock().expect("warm source lock").clone();
+        if let Some(source) = source {
+            if let Err(e) = self.warm_replay(&source, only_model) {
+                eprintln!("warm replay from {} failed: {e}", source.display());
+            }
+        }
+    }
+
+    /// Replay the distinct query keys of a structured query log through
+    /// the full predict path, seeding both the shard LRUs and the
+    /// transport L1 so the next real query for any replayed key is a
+    /// cache hit. `only_model` restricts the replay to one model id
+    /// (what a reload of that model uses); lines for unknown models and
+    /// unparseable lines are skipped, not errors. Replayed queries run
+    /// the normal request path and therefore count in the traffic stats.
+    /// Returns how many distinct keys were replayed.
+    pub fn warm_replay(&self, source: &Path, only_model: Option<&str>) -> io::Result<usize> {
+        /// Dedup key for replay: (model, ip, open ports, asn, top).
+        type ReplayKey = (String, u32, Vec<u16>, Option<u32>, usize);
+        let text = std::fs::read_to_string(source)?;
+        let mut seen: HashSet<ReplayKey> = HashSet::new();
+        let mut replayed = 0;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Some(record) = Json::parse(line)
+                .ok()
+                .and_then(|json| QueryLogRecord::from_json(&json).ok())
+            else {
+                continue;
+            };
+            if only_model.is_some_and(|id| id != record.model) {
+                continue;
+            }
+            let Ok(entry) = self.entry(&record.model) else {
+                continue;
+            };
+            // Dedup on the logged key fields: N lines for one cache slot
+            // replay once. (The cache key also canonicalizes `open` and
+            // defaults `top`, so this can only over-replay, never skip.)
+            if !seen.insert((
+                record.model.clone(),
+                record.ip.0,
+                record.open.clone(),
+                record.asn,
+                record.top,
+            )) {
+                continue;
+            }
+            let mut query = Query::new(record.ip);
+            query.open = record.open.iter().map(|&p| gps_types::Port(p)).collect();
+            query.asn = record.asn;
+            query.top = record.top;
+            self.predict_entry(entry, query);
+            replayed += 1;
+        }
+        Ok(replayed)
     }
 
     /// Stop accepting work and join every shard worker.

@@ -17,7 +17,7 @@
 //! generation's keys just become unreachable and age out of the LRU).
 
 use std::collections::HashMap;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender, SyncSender, TryRecvError};
 use std::sync::Arc;
 use std::time::Instant;
@@ -82,6 +82,10 @@ pub(crate) struct Job {
     pub reply: ReplySink,
     pub tag: usize,
     pub enqueued: Instant,
+    /// When set, the worker counts this job's shard-cache hits here —
+    /// how the transport attributes an answer to a cache layer in the
+    /// query log without a second lookup.
+    pub hits: Option<Arc<AtomicU64>>,
 }
 
 pub(crate) struct ShardConfig {
@@ -192,6 +196,9 @@ pub(crate) fn run_shard(
                         Some(hit) => {
                             stats.cache_hits.fetch_add(1, Ordering::Relaxed);
                             entry.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                            if let Some(hits) = &job.hits {
+                                hits.fetch_add(1, Ordering::Relaxed);
+                            }
                             hit.clone()
                         }
                         None => {

@@ -134,9 +134,43 @@ pub fn serve(
     listener: TcpListener,
     config: TransportConfig,
 ) -> io::Result<()> {
+    serve_with_http(server, listener, None, config)
+}
+
+/// [`serve`], plus an optional HTTP/1.1 gateway listener (`--http-addr`).
+///
+/// On the event transport the HTTP listener multiplexes onto the same
+/// event loops as the frame protocol — HTTP connections are just another
+/// per-connection protocol state. On the thread transport (which has no
+/// HTTP support of its own) the gateway runs on a small dedicated event
+/// loop alongside the blocking frame threads; either way both listeners
+/// answer from the same [`PredictionServer`].
+pub fn serve_with_http(
+    server: Arc<PredictionServer>,
+    listener: TcpListener,
+    http: Option<TcpListener>,
+    config: TransportConfig,
+) -> io::Result<()> {
     match config.transport {
-        Transport::Threads => crate::proto::serve_blocking(server, listener, &config),
-        Transport::Events => crate::net::serve_events(server, listener, &config),
+        Transport::Threads => {
+            if let Some(http) = http {
+                let http_server = server.clone();
+                let http_config = TransportConfig {
+                    transport: Transport::Events,
+                    event_loops: 1,
+                    ..config.clone()
+                };
+                std::thread::Builder::new()
+                    .name("gps-http".to_string())
+                    .spawn(move || {
+                        let _ =
+                            crate::net::serve_events(http_server, None, Some(http), &http_config);
+                    })
+                    .expect("spawn http gateway thread");
+            }
+            crate::proto::serve_blocking(server, listener, &config)
+        }
+        Transport::Events => crate::net::serve_events(server, Some(listener), http, &config),
     }
 }
 

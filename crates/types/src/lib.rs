@@ -25,6 +25,7 @@ pub mod feature;
 pub mod intern;
 pub mod ip;
 pub mod json;
+pub mod obs;
 pub mod port;
 pub mod protocol;
 pub mod rng;
@@ -37,6 +38,7 @@ pub use feature::{FeatureKind, FeatureValue, APP_FEATURE_KINDS, NET_FEATURE_KIND
 pub use intern::{Interner, Sym};
 pub use ip::{Asn, Ip};
 pub use json::{Json, JsonCodec};
+pub use obs::{HistogramSnapshot, QueryLogRecord};
 pub use port::{Port, PortSet, NUM_PORTS};
 pub use protocol::Protocol;
 pub use rng::Rng;
