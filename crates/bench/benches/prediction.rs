@@ -81,6 +81,7 @@ fn bench_prediction(c: &mut Criterion) {
             model: gps_core::CondModel::from_parts(Default::default(), Interactions::ALL),
             rules,
             priors: Vec::new(),
+            compiled: None,
         })
     };
     let queries: Vec<gps_serve::Query> = net

@@ -26,6 +26,9 @@ pub struct Args {
     pub models: Vec<String>,
     /// Snapshot encoding for export-model.
     pub format: SnapshotFormat,
+    /// export-model: omit the derived CMPL section from binary snapshots
+    /// (smaller file; loaders recompile at load time).
+    pub no_compiled: bool,
     /// TCP address for serve/query/reload/models.
     pub addr: String,
     /// Shard count for serve (0 = auto).
@@ -119,6 +122,7 @@ impl Default for Args {
             model: "gps-model.json".to_string(),
             models: Vec::new(),
             format: SnapshotFormat::Json,
+            no_compiled: false,
             addr: "127.0.0.1:4615".to_string(),
             shards: 0,
             transport: "threads".to_string(),
@@ -239,6 +243,7 @@ impl Args {
                         }
                     };
                 }
+                "--no-compiled" => args.no_compiled = true,
                 "--watch" => args.watch = true,
                 "--addr" => args.addr = value("--addr")?,
                 "--http-addr" => args.http_addr = Some(value("--http-addr")?),
@@ -428,6 +433,20 @@ mod tests {
             "json stays the default"
         );
         assert!(Args::parse(["export-model", "--format", "xml"]).is_err());
+
+        // --no-compiled strips the derived CMPL section from binary
+        // exports; default keeps it.
+        let args = Args::parse([
+            "export-model",
+            "--model",
+            "/tmp/m.gpsb",
+            "--format",
+            "binary",
+            "--no-compiled",
+        ])
+        .unwrap();
+        assert!(args.no_compiled);
+        assert!(!Args::parse(["export-model"]).unwrap().no_compiled);
 
         let args = Args::parse(["serve", "--model", "m.gpsb", "--watch"]).unwrap();
         assert!(args.watch);

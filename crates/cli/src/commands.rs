@@ -257,7 +257,7 @@ pub fn cmd_export_model(args: &Args) -> Result<(), String> {
     let snapshot = ModelSnapshot::from_run(&run, &config, args.seed);
     match args.format {
         SnapshotFormat::Json => snapshot.save(&args.model),
-        SnapshotFormat::Binary => snapshot.save_binary(&args.model),
+        SnapshotFormat::Binary => snapshot.save_binary_with(&args.model, !args.no_compiled),
     }
     .map_err(|e| format!("--model {}: {e}", args.model))?;
     let m = &snapshot.manifest;

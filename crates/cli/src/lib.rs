@@ -50,6 +50,8 @@ SERVING OPTIONS:
                         the snapshot to switch the server to (default:
                         re-read the file it is serving)
     --format F          export-model encoding: json | binary (GPSB)
+    --no-compiled       export-model: omit the precompiled CMPL section
+                        from binary snapshots (loaders recompile on load)
     --addr A            TCP address (default 127.0.0.1:4615)
     --shards N          serve worker shards (default: auto)
     --transport T       serve: threads (default, one thread/conn) |

@@ -18,15 +18,20 @@ use std::collections::HashSet;
 use gps_scan::ServiceObservation;
 use gps_types::Ip;
 
+use crate::compiled::CompiledRules;
 use crate::config::{GpsConfig, Interactions};
 use crate::host::{group_by_host, HostRecord};
 use crate::model::CondModel;
-use crate::predict::{build_predictions, FeatureRules, Prediction};
+use crate::predict::{build_predictions_compiled, FeatureRules, Prediction};
 
 /// A trained expander: rules distilled from a labelled corpus, applicable to
 /// any future hitlist.
+///
+/// The rules are compiled once at train time into the arena-backed
+/// [`CompiledRules`] form, so every `expand` call runs the same dense
+/// kernel the serving layer uses.
 pub struct KnownHostExpander {
-    rules: FeatureRules,
+    rules: CompiledRules,
     net_features: Vec<crate::config::NetFeature>,
     interactions: Interactions,
 }
@@ -49,7 +54,7 @@ impl KnownHostExpander {
         let rules = FeatureRules::build(&model, &hosts, min_prob);
         (
             KnownHostExpander {
-                rules,
+                rules: CompiledRules::from_rules(&rules),
                 net_features: config.net_features.clone(),
                 interactions: config.interactions,
             },
@@ -74,7 +79,7 @@ impl KnownHostExpander {
         let hosts: Vec<HostRecord> = group_by_host(hitlist, &self.net_features, asn_of);
         let known: HashSet<(u32, u16)> = hitlist.iter().map(|o| (o.ip.0, o.port.0)).collect();
         let _ = self.interactions; // rule keys already encode the classes
-        build_predictions(&self.rules, &hosts, &known, max_predictions)
+        build_predictions_compiled(&self.rules, &hosts, &known, max_predictions)
     }
 }
 

@@ -42,6 +42,7 @@
 //! assert!(run.fraction_of_services() > 0.0);
 //! ```
 
+pub mod compiled;
 pub mod config;
 pub mod dataset;
 pub mod filter;
@@ -54,6 +55,7 @@ pub mod predict;
 pub mod priors;
 pub mod snapshot;
 
+pub use compiled::{CompiledModel, CompiledPriors, CompiledRules};
 pub use config::{GpsConfig, Interactions, MinProb, NetFeature};
 pub use dataset::{censys_dataset, lzr_dataset, Dataset};
 pub use filter::{filter_pseudo_services, FilterStats, MAX_REAL_SERVICES_PER_HOST};
@@ -62,6 +64,6 @@ pub use known_hosts::KnownHostExpander;
 pub use metrics::{CoverageTracker, CurvePoint, DiscoveryCurve, GroundTruth};
 pub use model::{BuildStats, CondKey, CondModel, KeyStats, NetKey};
 pub use pipeline::{run_gps, GpsRun, PhaseTimings};
-pub use predict::{build_predictions, FeatureRules, Prediction};
+pub use predict::{build_predictions, build_predictions_compiled, FeatureRules, Prediction};
 pub use priors::{build_priors_list, PriorsEntry};
 pub use snapshot::{ModelManifest, ModelSnapshot, SnapshotError};

@@ -21,7 +21,7 @@ use crate::filter::{filter_pseudo_services, FilterStats};
 use crate::host::{group_by_host, HostRecord};
 use crate::metrics::{CoverageTracker, DiscoveryCurve};
 use crate::model::{BuildStats, CondModel};
-use crate::predict::{build_predictions, FeatureRules, Prediction};
+use crate::predict::{build_predictions_compiled, FeatureRules, Prediction};
 use crate::priors::{build_priors_list, PriorsEntry};
 
 /// Wall-clock components of a run. Scan times are simulated via the
@@ -209,10 +209,18 @@ pub fn run_gps(net: &Internet, dataset: &Dataset, config: &GpsConfig) -> GpsRun 
     // -------------------------------------------- phase 4: prediction scan
     let t0 = Instant::now();
     let rules = FeatureRules::build(&model, &seed_hosts, min_prob_used);
+    // Matching runs over the compiled arena form — the same kernel the
+    // serving layer queries, so offline and online answers share one code
+    // path (and its bit-identical parity guarantees).
+    let compiled_rules = crate::compiled::CompiledRules::from_rules(&rules);
     let prior_hosts: Vec<HostRecord> =
         group_by_host(&prior_observations, &config.net_features, &asn_of);
-    let predictions: Vec<Prediction> =
-        build_predictions(&rules, &prior_hosts, &known, config.max_predictions);
+    let predictions: Vec<Prediction> = build_predictions_compiled(
+        &compiled_rules,
+        &prior_hosts,
+        &known,
+        config.max_predictions,
+    );
     let rules_build = t0.elapsed();
 
     let predictions_total = predictions.len();

@@ -16,6 +16,7 @@ use std::collections::{HashMap, HashSet};
 
 use gps_types::{Ip, Port, ServiceKey};
 
+use crate::compiled::CompiledRules;
 use crate::host::HostRecord;
 use crate::model::{CondKey, CondModel};
 
@@ -58,7 +59,11 @@ impl FeatureRules {
             .into_iter()
             .map(|(key, ports)| {
                 let mut v: Vec<(Port, f64)> = ports.into_iter().collect();
-                v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+                // `total_cmp`, not `partial_cmp(..).unwrap()`: a NaN
+                // probability must not panic the pipeline (it sorts
+                // deterministically and never beats a real rule downstream,
+                // since `prob > slot` rejects NaN).
+                v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
                 num_rules += v.len();
                 (key, v)
             })
@@ -117,6 +122,23 @@ pub fn build_predictions(
     known: &HashSet<(u32, u16)>,
     max_predictions: usize,
 ) -> Vec<Prediction> {
+    build_predictions_compiled(
+        &CompiledRules::from_rules(rules),
+        prior_hosts,
+        known,
+        max_predictions,
+    )
+}
+
+/// [`build_predictions`] against an already-compiled rule arena — the form
+/// the pipeline and [`KnownHostExpander`](crate::KnownHostExpander) use, so
+/// repeated expansion passes skip recompilation.
+pub fn build_predictions_compiled(
+    rules: &CompiledRules,
+    prior_hosts: &[HostRecord],
+    known: &HashSet<(u32, u16)>,
+    max_predictions: usize,
+) -> Vec<Prediction> {
     let mut best: HashMap<(u32, u16), f64> = HashMap::new();
     for host in prior_hosts {
         let open: HashSet<u16> = host.services.iter().map(|s| s.port.0).collect();
@@ -128,12 +150,14 @@ pub fn build_predictions(
                 // interaction set simply contain fewer keys.
                 crate::config::Interactions::ALL,
                 &mut |key| {
-                    if let Some(targets) = rules.get(&key) {
-                        for &(port, prob) in targets {
-                            if open.contains(&port.0) || known.contains(&(host.ip.0, port.0)) {
+                    if let Some(row) = rules.row(&key) {
+                        let (ports, prob_bits) = rules.row_slices(row);
+                        for (&port, &bits) in ports.iter().zip(prob_bits) {
+                            if open.contains(&port) || known.contains(&(host.ip.0, port)) {
                                 continue;
                             }
-                            let slot = best.entry((host.ip.0, port.0)).or_insert(0.0);
+                            let prob = f64::from_bits(bits);
+                            let slot = best.entry((host.ip.0, port)).or_insert(0.0);
                             if prob > *slot {
                                 *slot = prob;
                             }
@@ -152,11 +176,11 @@ pub fn build_predictions(
             prob,
         })
         .collect();
-    // Descending predictability; deterministic tiebreak.
+    // Descending predictability; deterministic tiebreak. `total_cmp` keeps
+    // a NaN probability from panicking the sort (see `FeatureRules::build`).
     predictions.sort_by(|a, b| {
         b.prob
-            .partial_cmp(&a.prob)
-            .unwrap()
+            .total_cmp(&a.prob)
             .then(a.ip.cmp(&b.ip))
             .then(a.port.cmp(&b.port))
     });
@@ -295,6 +319,31 @@ mod tests {
         );
         let preds = build_predictions(&rules, &prior, &HashSet::new(), 1000);
         assert!(preds.is_empty(), "{preds:?}");
+    }
+
+    #[test]
+    fn nan_probability_rule_does_not_panic_or_win() {
+        // Regression: ordering used `partial_cmp(..).unwrap()`, so a NaN
+        // probability (e.g. from a hand-edited snapshot) panicked the
+        // pipeline. It must sort deterministically and never outrank a
+        // real prediction.
+        let mut raw: HashMap<CondKey, Vec<(Port, f64)>> = HashMap::new();
+        raw.insert(
+            CondKey::Port(Port(80)),
+            vec![(Port(9999), f64::NAN), (Port(8082), 0.9)],
+        );
+        let rules = FeatureRules::from_parts(raw);
+        let prior = group_by_host(&[obs(100, 80, Some(7))], &[NetFeature::Slash(16)], &|_| {
+            None
+        });
+        let preds = build_predictions(&rules, &prior, &HashSet::new(), 1000);
+        // The NaN never beats the 0.0 slot: port 9999 surfaces with the
+        // or_insert default, ranked below the real prediction.
+        assert_eq!(preds.len(), 2);
+        assert_eq!(preds[0].port, Port(8082));
+        assert!((preds[0].prob - 0.9).abs() < 1e-12);
+        assert_eq!(preds[1].port, Port(9999));
+        assert_eq!(preds[1].prob, 0.0);
     }
 
     #[test]

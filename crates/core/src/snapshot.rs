@@ -88,6 +88,12 @@ const SEC_MANIFEST: [u8; 4] = *b"MANI";
 const SEC_MODEL: [u8; 4] = *b"MODL";
 const SEC_RULES: [u8; 4] = *b"RULE";
 const SEC_PRIORS: [u8; 4] = *b"PRIO";
+/// Compiled struct-of-arrays form of RULE + PRIO (see [`crate::compiled`]):
+/// derived data, loadable with a few validated bulk reads. Optional — a
+/// container without it compiles at load time — and excluded from the
+/// manifest checksum (which keeps its JSON definition), so binary → JSON
+/// conversion stays byte-identical.
+const SEC_COMPILED: [u8; 4] = *b"CMPL";
 
 /// Net-key discriminants inside binary conditioning keys.
 const NETKEY_SLASH: u8 = 0;
@@ -126,6 +132,11 @@ pub struct ModelSnapshot {
     pub model: CondModel,
     pub rules: FeatureRules,
     pub priors: Vec<PriorsEntry>,
+    /// The compiled struct-of-arrays form of `rules` + `priors`, present
+    /// when this snapshot was loaded from a GPSB container with a `CMPL`
+    /// section. Derived data: serializers always recompile from the
+    /// authoritative fields, and loaders without it compile on demand.
+    pub compiled: Option<crate::compiled::CompiledModel>,
 }
 
 /// Errors from snapshot persistence.
@@ -198,6 +209,7 @@ impl ModelSnapshot {
             model: run.model.clone(),
             rules: run.rules.clone(),
             priors: run.priors_list.clone(),
+            compiled: None,
         };
         snapshot.manifest.checksum = checksum_of(&snapshot.manifest, &snapshot.body_text());
         snapshot
@@ -330,11 +342,20 @@ impl ModelSnapshot {
             model,
             rules,
             priors,
+            compiled: None,
         })
     }
 
-    /// Serialize the snapshot to GPSB binary bytes.
+    /// Serialize the snapshot to GPSB binary bytes, including the
+    /// compiled `CMPL` section.
     pub fn to_binary_bytes(&self) -> Vec<u8> {
+        self.to_binary_bytes_with(true)
+    }
+
+    /// [`to_binary_bytes`](Self::to_binary_bytes) with control over the
+    /// derived `CMPL` section (`gps export-model --no-compiled` writes
+    /// without it; loaders then compile at load time).
+    pub fn to_binary_bytes_with(&self, include_compiled: bool) -> Vec<u8> {
         // The manifest checksum keeps its JSON definition (hash of the
         // canonical JSON manifest + body) in both formats, so converting
         // binary->JSON reproduces the JSON file byte-for-byte. Like
@@ -344,8 +365,27 @@ impl ModelSnapshot {
             checksum: checksum_of(&self.manifest, &self.body_text()),
             ..self.manifest.clone()
         };
+        // The MANI frame additionally declares the body sections this
+        // writer emitted ("sections", binary-only; `manifest_from_json`
+        // ignores it, so the checksum and the JSON encoding are
+        // unaffected). Readers that see the list require the container's
+        // tags to match it exactly — without it, corrupting a section tag
+        // would demote that section to "unknown, skip" and a file with a
+        // missing-but-optional section (CMPL) would load cleanly.
+        let mut section_names = vec!["MODL", "RULE", "PRIO"];
+        if include_compiled {
+            section_names.push("CMPL");
+        }
+        let mut manifest_json = manifest_to_json(&manifest);
+        manifest_json.set(
+            "sections",
+            section_names
+                .iter()
+                .map(|&s| Json::Str(s.into()))
+                .collect::<Vec<_>>(),
+        );
         let mut manifest_text = String::new();
-        manifest_to_json(&manifest).write(&mut manifest_text);
+        manifest_json.write(&mut manifest_text);
 
         let mut model_keys: Vec<(&CondKey, &KeyStats)> = self.model.iter().collect();
         model_keys.sort_by_key(|(k, _)| **k);
@@ -383,17 +423,44 @@ impl ModelSnapshot {
             priors.put_varint(entry.coverage);
         }
 
+        let compiled = if include_compiled {
+            // Always compiled fresh from the authoritative fields (which
+            // are public and may have been edited), never copied from
+            // `self.compiled`. Compilation is deterministic, so identical
+            // snapshots still produce identical bytes.
+            Some(compiled_to_binary(
+                &crate::compiled::CompiledModel::compile(
+                    &self.rules,
+                    &self.priors,
+                    self.manifest.step_prefix,
+                ),
+            ))
+        } else {
+            None
+        };
+
+        let model = model.into_bytes();
+        let rules = rules.into_bytes();
+        let priors = priors.into_bytes();
         let mut out = ByteWriter::with_capacity(
-            64 + manifest_text.len() + model.len() + rules.len() + priors.len(),
+            64 + manifest_text.len()
+                + model.len()
+                + rules.len()
+                + priors.len()
+                + compiled.as_ref().map_or(0, Vec::len),
         );
         out.put_bytes(&GPSB_MAGIC);
         out.put_u8(GPSB_CONTAINER_VERSION);
-        for (tag, payload) in [
+        let mut sections = vec![
             (SEC_MANIFEST, manifest_text.as_bytes()),
-            (SEC_MODEL, &model.into_bytes()[..]),
-            (SEC_RULES, &rules.into_bytes()[..]),
-            (SEC_PRIORS, &priors.into_bytes()[..]),
-        ] {
+            (SEC_MODEL, &model[..]),
+            (SEC_RULES, &rules[..]),
+            (SEC_PRIORS, &priors[..]),
+        ];
+        if let Some(compiled) = &compiled {
+            sections.push((SEC_COMPILED, &compiled[..]));
+        }
+        for (tag, payload) in sections {
             write_section(&mut out, tag, payload).expect("snapshot section under 4 GiB");
         }
         out.into_bytes()
@@ -425,21 +492,47 @@ impl ModelSnapshot {
         verify_section(&manifest_section)?;
         let manifest_text = std::str::from_utf8(manifest_section.payload)
             .map_err(|_| malformed("manifest is not utf-8"))?;
-        let manifest = manifest_from_json(&Json::parse(manifest_text)?)?;
+        let manifest_doc = Json::parse(manifest_text)?;
+        let manifest = manifest_from_json(&manifest_doc)?;
         if manifest.format.0 != FORMAT_MAJOR {
             return Err(SnapshotError::Version {
                 found: manifest.format,
                 supported: (FORMAT_MAJOR, FORMAT_MINOR),
             });
         }
+        // The MANI frame may declare the body sections the writer emitted
+        // (older writers did not). When it does, the container's tags must
+        // match it exactly: a corrupted tag byte otherwise turns a real
+        // section into an unknown-but-checksummed one, which would be
+        // silently skipped.
+        let declared: Option<Vec<[u8; 4]>> = match manifest_doc.get("sections") {
+            None => None,
+            Some(json) => {
+                let names = json
+                    .as_arr()
+                    .ok_or_else(|| malformed("manifest sections must be an array"))?;
+                let mut tags = Vec::with_capacity(names.len());
+                for name in names {
+                    let tag: [u8; 4] = name
+                        .as_str()
+                        .and_then(|s| s.as_bytes().try_into().ok())
+                        .ok_or_else(|| malformed("bad manifest section tag"))?;
+                    tags.push(tag);
+                }
+                Some(tags)
+            }
+        };
 
         let mut model: Option<HashMap<CondKey, KeyStats>> = None;
         let mut rules: Option<HashMap<CondKey, Vec<(Port, f64)>>> = None;
         let mut priors: Option<Vec<PriorsEntry>> = None;
+        let mut compiled: Option<crate::compiled::CompiledModel> = None;
+        let mut seen: Vec<[u8; 4]> = Vec::new();
         while let Some(section) = read_section(&mut reader)? {
             // Every section is integrity-checked, including skipped and
             // unknown ones: "loads cleanly" must mean "every byte hashes".
             verify_section(&section)?;
+            seen.push(section.tag);
             match section.tag {
                 SEC_MODEL => {
                     if model.is_some() {
@@ -463,9 +556,26 @@ impl ModelSnapshot {
                     }
                     priors = Some(priors_from_binary(section.payload)?);
                 }
+                SEC_COMPILED => {
+                    if compiled.is_some() {
+                        return Err(malformed("duplicate CMPL section").into());
+                    }
+                    // A present-but-invalid CMPL section is corruption and
+                    // must fail the load; only a *missing* section falls
+                    // back to compiling at load time.
+                    compiled = Some(compiled_from_binary(section.payload, &manifest)?);
+                }
                 SEC_MANIFEST => return Err(malformed("duplicate MANI section").into()),
                 // Unknown tags are future minor-version sections.
                 _ => {}
+            }
+        }
+        if let Some(mut declared) = declared {
+            let mut found = seen;
+            declared.sort_unstable();
+            found.sort_unstable();
+            if declared != found {
+                return Err(malformed("container sections disagree with manifest").into());
             }
         }
 
@@ -478,6 +588,7 @@ impl ModelSnapshot {
                 rules.ok_or_else(|| malformed("missing RULE section"))?,
             ),
             priors: priors.ok_or_else(|| malformed("missing PRIO section"))?,
+            compiled,
             manifest,
         })
     }
@@ -490,6 +601,16 @@ impl ModelSnapshot {
     /// Write the snapshot to a file in GPSB binary format.
     pub fn save_binary(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
         write_atomically(path.as_ref(), &self.to_binary_bytes())
+    }
+
+    /// [`save_binary`](Self::save_binary) with control over the derived
+    /// `CMPL` section.
+    pub fn save_binary_with(
+        &self,
+        path: impl AsRef<Path>,
+        include_compiled: bool,
+    ) -> Result<(), SnapshotError> {
+        write_atomically(path.as_ref(), &self.to_binary_bytes_with(include_compiled))
     }
 
     /// Read, version-check, and checksum-verify a snapshot file. The
@@ -831,6 +952,128 @@ fn priors_from_binary(payload: &[u8]) -> Result<Vec<PriorsEntry>, GpsError> {
     }
     expect_consumed(&reader, "PRIO")?;
     Ok(priors)
+}
+
+/// Encode a [`CompiledModel`](crate::compiled::CompiledModel) as the CMPL
+/// section payload: the rule key table (keys sorted by `CondKey` order,
+/// each with its arena offset/len), then the rule arenas as raw
+/// little-endian arrays, then the priors index and arenas the same way.
+/// The arenas are written (and read back) as single contiguous blocks, so
+/// loading is a handful of validated bulk reads instead of a per-entry
+/// decode loop.
+fn compiled_to_binary(compiled: &crate::compiled::CompiledModel) -> Vec<u8> {
+    let (keys, offsets, lens, ports, prob_bits) = compiled.rules.parts();
+    let (step_prefix, bases, subnet_offsets, pports, pbits, global_len) = compiled.priors.parts();
+    let mut out = ByteWriter::with_capacity(
+        16 + 16 * keys.len() + 10 * ports.len() + 8 * bases.len() + 10 * pports.len(),
+    );
+    out.put_u8(step_prefix);
+    out.put_varint(keys.len() as u64);
+    for ((key, &offset), &len) in keys.iter().zip(offsets).zip(lens) {
+        key_to_binary(key, &mut out);
+        out.put_varint(offset as u64);
+        out.put_varint(len as u64);
+    }
+    out.put_varint(ports.len() as u64);
+    for &port in ports {
+        out.put_u16(port);
+    }
+    for &bits in prob_bits {
+        out.put_u64(bits);
+    }
+    out.put_varint(bases.len() as u64);
+    for &base in bases {
+        out.put_u32(base);
+    }
+    for &offset in subnet_offsets {
+        out.put_u32(offset);
+    }
+    out.put_varint(global_len as u64);
+    out.put_varint(pports.len() as u64);
+    for &port in pports {
+        out.put_u16(port);
+    }
+    for &bits in pbits {
+        out.put_u64(bits);
+    }
+    out.into_bytes()
+}
+
+/// Decode and structurally validate a CMPL section payload. The payload is
+/// checksummed like every section, but its slice tables are still treated
+/// as untrusted: `from_parts` re-validates every invariant a query indexes
+/// on, and the step prefix must agree with the manifest.
+fn compiled_from_binary(
+    payload: &[u8],
+    manifest: &ModelManifest,
+) -> Result<crate::compiled::CompiledModel, SnapshotError> {
+    let mut reader = ByteReader::new(payload);
+    let step_prefix = reader.u8()?;
+    if step_prefix != manifest.step_prefix {
+        return Err(malformed("CMPL step prefix disagrees with manifest").into());
+    }
+
+    // Rule key table: bare key (3 bytes) + offset + len varints.
+    let num_keys = bounded_count(&mut reader, 5)?;
+    let mut keys = Vec::with_capacity(num_keys);
+    let mut offsets = Vec::with_capacity(num_keys);
+    let mut lens = Vec::with_capacity(num_keys);
+    for _ in 0..num_keys {
+        keys.push(key_from_binary(&mut reader)?);
+        offsets.push(reader.varint_u32()?);
+        lens.push(reader.varint_u32()?);
+    }
+    // Rule arenas: ports then probability bits, contiguous.
+    let arena_len = bounded_count(&mut reader, 10)?;
+    let ports = bulk_u16(&mut reader, arena_len)?;
+    let prob_bits = bulk_u64(&mut reader, arena_len)?;
+    let rules = crate::compiled::CompiledRules::from_parts(keys, offsets, lens, ports, prob_bits)
+        .map_err(|_| malformed("invalid CMPL rule layout"))?;
+
+    // Priors index + arenas.
+    let num_subnets = bounded_count(&mut reader, 8)?;
+    let bases = bulk_u32(&mut reader, num_subnets)?;
+    let subnet_offsets = bulk_u32(&mut reader, num_subnets + 1)?;
+    let global_len = reader.varint_u32()?;
+    let priors_arena_len = bounded_count(&mut reader, 10)?;
+    let pports = bulk_u16(&mut reader, priors_arena_len)?;
+    let pbits = bulk_u64(&mut reader, priors_arena_len)?;
+    let priors = crate::compiled::CompiledPriors::from_parts(
+        step_prefix,
+        bases,
+        subnet_offsets,
+        pports,
+        pbits,
+        global_len,
+    )
+    .map_err(|_| malformed("invalid CMPL priors layout"))?;
+
+    expect_consumed(&reader, "CMPL")?;
+    Ok(crate::compiled::CompiledModel { rules, priors })
+}
+
+fn bulk_u16(reader: &mut ByteReader<'_>, count: usize) -> Result<Vec<u16>, GpsError> {
+    let bytes = reader.take(count * 2)?;
+    Ok(bytes
+        .chunks_exact(2)
+        .map(|c| u16::from_le_bytes([c[0], c[1]]))
+        .collect())
+}
+
+fn bulk_u32(reader: &mut ByteReader<'_>, count: usize) -> Result<Vec<u32>, GpsError> {
+    let bytes = reader.take(count * 4)?;
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+fn bulk_u64(reader: &mut ByteReader<'_>, count: usize) -> Result<Vec<u64>, GpsError> {
+    let bytes = reader.take(count * 8)?;
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect())
 }
 
 /// Read an element count and sanity-check it against the bytes actually
@@ -1207,6 +1450,7 @@ mod tests {
             model,
             rules,
             priors,
+            compiled: None,
         };
         snapshot.manifest.checksum = checksum_of(&snapshot.manifest, &snapshot.body_text());
         snapshot
@@ -1614,5 +1858,65 @@ mod tests {
         assert!(snapshot.manifest.checksum != 0);
         let loaded = ModelSnapshot::from_json_str(&snapshot.to_json_string()).unwrap();
         assert_eq!(loaded.priors, snapshot.priors);
+    }
+
+    #[test]
+    fn cmpl_section_round_trips_the_compiled_model() {
+        let snapshot = trained_snapshot();
+        let bytes = snapshot.to_binary_bytes();
+        let loaded = ModelSnapshot::from_binary_bytes(&bytes).unwrap();
+        // The loaded CMPL equals an in-process compile of the same tables
+        // (compilation is deterministic).
+        let expected = crate::compiled::CompiledModel::compile(
+            &snapshot.rules,
+            &snapshot.priors,
+            snapshot.manifest.step_prefix,
+        );
+        assert_eq!(loaded.compiled, Some(expected));
+        // The serving path carries it too.
+        let dir = TestDir::new("cmpl-serving");
+        let path = dir.path("m.gpsb");
+        snapshot.save_binary(&path).unwrap();
+        let served = ModelSnapshot::load_serving(&path).unwrap();
+        assert!(served.compiled.is_some());
+    }
+
+    #[test]
+    fn cmpl_less_binary_loads_without_compiled() {
+        let snapshot = trained_snapshot();
+        let with = snapshot.to_binary_bytes_with(true);
+        let without = snapshot.to_binary_bytes_with(false);
+        assert!(without.len() < with.len());
+        assert_eq!(snapshot.to_binary_bytes(), with, "compiled is the default");
+        // The stripped form has no CMPL section and no trace of the tag.
+        assert!(!without.windows(4).any(|w| w == SEC_COMPILED));
+        let loaded = ModelSnapshot::from_binary_bytes(&without).unwrap();
+        assert!(loaded.compiled.is_none());
+        // Everything authoritative survives identically.
+        assert_eq!(loaded.manifest, snapshot.manifest);
+        assert_eq!(loaded.to_json_string(), snapshot.to_json_string());
+        // Re-serializing regains the CMPL section: it is derived data.
+        assert_eq!(loaded.to_binary_bytes(), with);
+    }
+
+    #[test]
+    fn cmpl_tag_flip_is_rejected_via_section_manifest() {
+        // A flipped section tag turns CMPL into an unknown (but
+        // checksum-valid) section; the manifest's declared section list
+        // is what catches it.
+        let snapshot = trained_snapshot();
+        let clean = snapshot.to_binary_bytes();
+        let pos = clean
+            .windows(4)
+            .position(|w| w == SEC_COMPILED)
+            .expect("CMPL tag present");
+        for i in 0..4 {
+            let mut corrupt = clean.clone();
+            corrupt[pos + i] ^= 0x01;
+            assert!(
+                ModelSnapshot::from_binary_bytes(&corrupt).is_err(),
+                "tag byte {i} flip must not load"
+            );
+        }
     }
 }

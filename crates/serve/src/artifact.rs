@@ -13,12 +13,19 @@
 //!
 //! Application-layer keys (Eq. 5/7) require banner features that a remote
 //! query cannot carry, so serving matches on the transport and network key
-//! classes (Eq. 4/6); the snapshot still contains the full rule list, and
-//! answers are exact [`FeatureRules`] lookups — asserted by the end-to-end
-//! test suite.
+//! classes (Eq. 4/6); the snapshot still contains the full rule list.
+//!
+//! Since the kernel pass, queries run against the arena-backed
+//! [`CompiledModel`]: warm lookups walk contiguous `(port, prob-bits)`
+//! slices and fold into a port-indexed dense accumulator, cold lookups
+//! binary-search a subnet index and copy a pre-normalized slice out of the
+//! priors arena. Answers are bit-identical to the original HashMap path —
+//! kept here as [`ReferenceModel`] and asserted against it by the parity
+//! property suite.
 
 use std::collections::HashMap;
 
+use gps_core::compiled::CompiledModel;
 use gps_core::model::NetKey;
 use gps_core::snapshot::{ModelManifest, ModelSnapshot};
 use gps_core::{CondKey, FeatureRules, NetFeature};
@@ -57,27 +64,87 @@ impl Query {
 
 /// Reusable per-caller working memory for [`ServableModel::predict_with`].
 ///
-/// The warm path folds every matching rule list into a best-probability
-/// map; building a fresh `HashMap` per query made that allocation the
-/// hot-path cost once answers started coming from rules instead of the
-/// LRU. A long-lived caller (each shard worker owns one) hands the same
-/// scratch back in and the map's capacity survives from query to query.
+/// The warm fold is a port-indexed dense accumulator: one `f64` slot per
+/// possible port, epoch-stamped so "reset" is a counter bump instead of a
+/// clear, plus a touched-port list to harvest results without scanning all
+/// 65536 slots. A long-lived caller (each shard worker owns one) pays the
+/// ~1 MiB allocation once; the per-query cost is a few array stores.
 #[derive(Default)]
 pub struct PredictScratch {
-    best: HashMap<Port, f64>,
+    /// Best probability seen for each port this epoch (valid iff stamped).
+    probs: Vec<f64>,
+    /// Epoch stamp per port slot.
+    stamp: Vec<u32>,
+    /// Epoch stamp marking the query's own open ports (excluded from
+    /// answers).
+    open_stamp: Vec<u32>,
+    /// Current epoch; 0 means "never used".
+    epoch: u32,
+    /// Ports touched this epoch, in first-touch order.
+    touched: Vec<u16>,
 }
 
-/// The query-ready artifact: rules for warm queries, a subnet-indexed
-/// priors ranking for cold queries.
+impl PredictScratch {
+    /// Start a new query epoch, lazily sizing the tables on first use.
+    fn begin(&mut self) {
+        if self.probs.is_empty() {
+            self.probs = vec![0.0; 1 << 16];
+            self.stamp = vec![0; 1 << 16];
+            self.open_stamp = vec![0; 1 << 16];
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // u32 wrap: old stamps would alias the new epoch; clear once
+            // every 2^32 queries.
+            self.stamp.fill(0);
+            self.open_stamp.fill(0);
+            self.epoch = 1;
+        }
+        self.touched.clear();
+    }
+
+    #[inline]
+    fn mark_open(&mut self, port: u16) {
+        self.open_stamp[port as usize] = self.epoch;
+    }
+
+    /// Fold one rule slice, keeping the max probability per port. This
+    /// replicates the HashMap path's `or_insert(0.0)` + `prob > slot`
+    /// exactly: a first touch installs 0.0 before comparing, so a
+    /// zero-or-NaN probability still surfaces the port (at weight 0.0)
+    /// without ever outranking a real rule.
+    #[inline]
+    fn fold(&mut self, ports: &[u16], prob_bits: &[u64]) {
+        for (&port, &bits) in ports.iter().zip(prob_bits) {
+            let slot = port as usize;
+            if self.open_stamp[slot] == self.epoch {
+                continue;
+            }
+            let prob = f64::from_bits(bits);
+            if self.stamp[slot] != self.epoch {
+                self.stamp[slot] = self.epoch;
+                self.touched.push(port);
+                self.probs[slot] = if prob > 0.0 { prob } else { 0.0 };
+            } else if prob > self.probs[slot] {
+                self.probs[slot] = prob;
+            }
+        }
+    }
+
+    /// Harvest the epoch's accumulator into a fresh ranked Vec (unsorted).
+    fn take_ranked(&mut self) -> Ranked {
+        self.touched
+            .iter()
+            .map(|&port| (Port(port), self.probs[port as usize]))
+            .collect()
+    }
+}
+
+/// The query-ready artifact: a compiled rule arena for warm queries, a
+/// subnet-indexed priors arena for cold queries.
 pub struct ServableModel {
     manifest: ModelManifest,
-    rules: FeatureRules,
-    /// §5.3 priors grouped by step subnet; scores are coverage normalized
-    /// within the subnet (a probability-shaped ranking weight).
-    priors_by_subnet: HashMap<Subnet, Ranked>,
-    /// Fallback ranking for IPs in subnets the seed never saw: the global
-    /// port ranking by total coverage.
-    global_priors: Ranked,
+    compiled: CompiledModel,
     /// Prefix lengths of the trained Slash net features (Eq. 6 keys).
     net_prefixes: Vec<u8>,
     /// Whether the model was trained with ASN keys.
@@ -86,22 +153,16 @@ pub struct ServableModel {
 }
 
 impl ServableModel {
+    /// Build from a snapshot. A compiled form loaded from the snapshot's
+    /// `CMPL` section is used as-is (single validated bulk read, no
+    /// intermediate maps); otherwise the rules and priors are compiled
+    /// here in one pass.
     pub fn from_snapshot(snapshot: ModelSnapshot) -> ServableModel {
-        let mut priors_by_subnet: HashMap<Subnet, Ranked> = HashMap::new();
-        let mut global: HashMap<Port, f64> = HashMap::new();
-        for entry in &snapshot.priors {
-            priors_by_subnet
-                .entry(entry.subnet)
-                .or_default()
-                .push((entry.port, entry.coverage as f64));
-            *global.entry(entry.port).or_default() += entry.coverage as f64;
-        }
-        for ranked in priors_by_subnet.values_mut() {
-            normalize(ranked);
-        }
-        let mut global_priors: Ranked = global.into_iter().collect();
-        normalize(&mut global_priors);
-
+        let step_prefix = snapshot.manifest.step_prefix;
+        let compiled = match snapshot.compiled {
+            Some(compiled) if compiled.priors.step_prefix() == step_prefix => compiled,
+            _ => CompiledModel::compile(&snapshot.rules, &snapshot.priors, step_prefix),
+        };
         let net_prefixes: Vec<u8> = snapshot
             .manifest
             .net_features
@@ -114,11 +175,9 @@ impl ServableModel {
         let uses_asn = snapshot.manifest.net_features.contains(&NetFeature::Asn);
 
         ServableModel {
-            step_prefix: snapshot.manifest.step_prefix,
+            step_prefix,
             manifest: snapshot.manifest,
-            rules: snapshot.rules,
-            priors_by_subnet,
-            global_priors,
+            compiled,
             net_prefixes,
             uses_asn,
         }
@@ -128,8 +187,9 @@ impl ServableModel {
         &self.manifest
     }
 
-    pub fn rules(&self) -> &FeatureRules {
-        &self.rules
+    /// The compiled prediction core this model queries.
+    pub fn compiled(&self) -> &CompiledModel {
+        &self.compiled
     }
 
     /// The finest subnet prefix any lookup depends on. Two IPs sharing
@@ -154,9 +214,9 @@ impl ServableModel {
 
     /// [`predict`](Self::predict) with caller-owned scratch memory, so a
     /// long-lived caller (a shard worker, a benchmark loop) pays the
-    /// warm path's map allocation once instead of per query. Answers are
-    /// identical to [`predict`](Self::predict) — the scratch is cleared
-    /// on entry and never read across calls.
+    /// dense accumulator's allocation once instead of per query. Answers
+    /// are identical to [`predict`](Self::predict) — the scratch is
+    /// epoch-reset on entry and never read across calls.
     pub fn predict_with(&self, scratch: &mut PredictScratch, query: &Query) -> Ranked {
         let mut ranked = if query.open.is_empty() {
             self.cold_ranking(query.ip)
@@ -169,56 +229,158 @@ impl ServableModel {
         ranked
     }
 
-    /// Cold path: priors ranking for the IP's step subnet.
+    /// Cold path: the priors arena slice for the IP's step subnet (or the
+    /// global fallback), already normalized and sorted.
     fn cold_ranking(&self, ip: Ip) -> Ranked {
-        let subnet = Subnet::of_ip(ip, self.step_prefix);
-        self.priors_by_subnet
-            .get(&subnet)
-            .unwrap_or(&self.global_priors)
-            .clone()
+        let (ports, prob_bits) = self.compiled.priors.cold(ip);
+        ports
+            .iter()
+            .zip(prob_bits)
+            .map(|(&port, &bits)| (Port(port), f64::from_bits(bits)))
+            .collect()
     }
 
     /// Warm path: max rule probability over every Eq. 4/6 key derivable
-    /// from the supplied evidence.
+    /// from the supplied evidence, folded in the dense accumulator.
     fn warm_ranking(&self, scratch: &mut PredictScratch, query: &Query) -> Ranked {
-        // `clear` keeps the map's capacity: across a shard worker's
-        // lifetime the rehash/allocate cost is paid once, not per query.
-        scratch.best.clear();
-        let best = &mut scratch.best;
-        let mut consider = |targets: Option<&[(Port, f64)]>| {
-            for &(port, prob) in targets.unwrap_or_default() {
-                if query.open.contains(&port) {
-                    continue;
-                }
-                let slot = best.entry(port).or_insert(0.0);
-                if prob > *slot {
-                    *slot = prob;
-                }
-            }
-        };
+        scratch.begin();
+        for &port in &query.open {
+            scratch.mark_open(port.0);
+        }
+        let rules = &self.compiled.rules;
         for &b in &query.open {
-            consider(self.rules.get(&CondKey::Port(b)));
+            // Bare Eq. 4 key: direct-indexed, no hashing.
+            if let Some(row) = rules.port_row(b.0) {
+                let (ports, bits) = rules.row_slices(row);
+                scratch.fold(ports, bits);
+            }
             for &prefix in &self.net_prefixes {
                 let net = NetKey::Slash(prefix, Subnet::of_ip(query.ip, prefix).base().0);
-                consider(self.rules.get(&CondKey::PortNet(b, net)));
+                if let Some(row) = rules.net_row(b.0, &net) {
+                    let (ports, bits) = rules.row_slices(row);
+                    scratch.fold(ports, bits);
+                }
             }
             if self.uses_asn {
                 if let Some(asn) = query.asn {
-                    consider(self.rules.get(&CondKey::PortNet(b, NetKey::Asn(asn))));
+                    if let Some(row) = rules.net_row(b.0, &NetKey::Asn(asn)) {
+                        let (ports, bits) = rules.row_slices(row);
+                        scratch.fold(ports, bits);
+                    }
                 }
             }
         }
-        // `drain` rather than `into_iter`: the map (and its capacity)
-        // stays with the scratch; only the ranked Vec leaves this call.
-        let mut ranked: Ranked = scratch.best.drain().collect();
+        let mut ranked = scratch.take_ranked();
         sort_ranked(&mut ranked);
         ranked
     }
 }
 
+/// The original HashMap-backed serving path, retained verbatim as the
+/// differential-testing baseline: the parity property suite (and the
+/// kernel bench) assert [`ServableModel`] answers are bit-identical to
+/// this implementation on the same snapshot.
+pub struct ReferenceModel {
+    rules: FeatureRules,
+    priors_by_subnet: HashMap<Subnet, Ranked>,
+    global_priors: Ranked,
+    net_prefixes: Vec<u8>,
+    uses_asn: bool,
+    step_prefix: u8,
+}
+
+impl ReferenceModel {
+    pub fn from_snapshot(snapshot: &ModelSnapshot) -> ReferenceModel {
+        let mut priors_by_subnet: HashMap<Subnet, Ranked> = HashMap::new();
+        let mut global: HashMap<Port, f64> = HashMap::new();
+        for entry in &snapshot.priors {
+            priors_by_subnet
+                .entry(entry.subnet)
+                .or_default()
+                .push((entry.port, entry.coverage as f64));
+            *global.entry(entry.port).or_default() += entry.coverage as f64;
+        }
+        for ranked in priors_by_subnet.values_mut() {
+            normalize(ranked);
+        }
+        let mut global_priors: Ranked = global.into_iter().collect();
+        normalize(&mut global_priors);
+
+        let net_prefixes: Vec<u8> = snapshot
+            .manifest
+            .net_features
+            .iter()
+            .filter_map(|nf| match nf {
+                NetFeature::Slash(p) => Some(*p),
+                NetFeature::Asn => None,
+            })
+            .collect();
+        ReferenceModel {
+            rules: snapshot.rules.clone(),
+            priors_by_subnet,
+            global_priors,
+            net_prefixes,
+            uses_asn: snapshot.manifest.net_features.contains(&NetFeature::Asn),
+            step_prefix: snapshot.manifest.step_prefix,
+        }
+    }
+
+    /// Answer one query through the HashMap path. `best` is the caller's
+    /// reusable fold map (what `PredictScratch` used to hold).
+    pub fn predict_with(&self, best: &mut HashMap<Port, f64>, query: &Query) -> Ranked {
+        let mut ranked = if query.open.is_empty() {
+            let subnet = Subnet::of_ip(query.ip, self.step_prefix);
+            self.priors_by_subnet
+                .get(&subnet)
+                .unwrap_or(&self.global_priors)
+                .clone()
+        } else {
+            best.clear();
+            let mut consider = |targets: Option<&[(Port, f64)]>| {
+                for &(port, prob) in targets.unwrap_or_default() {
+                    if query.open.contains(&port) {
+                        continue;
+                    }
+                    let slot = best.entry(port).or_insert(0.0);
+                    if prob > *slot {
+                        *slot = prob;
+                    }
+                }
+            };
+            for &b in &query.open {
+                consider(self.rules.get(&CondKey::Port(b)));
+                for &prefix in &self.net_prefixes {
+                    let net = NetKey::Slash(prefix, Subnet::of_ip(query.ip, prefix).base().0);
+                    consider(self.rules.get(&CondKey::PortNet(b, net)));
+                }
+                if self.uses_asn {
+                    if let Some(asn) = query.asn {
+                        consider(self.rules.get(&CondKey::PortNet(b, NetKey::Asn(asn))));
+                    }
+                }
+            }
+            let mut ranked: Ranked = best.drain().collect();
+            sort_ranked(&mut ranked);
+            ranked
+        };
+        if query.top > 0 {
+            ranked.truncate(query.top);
+        }
+        ranked
+    }
+
+    pub fn predict(&self, query: &Query) -> Ranked {
+        self.predict_with(&mut HashMap::new(), query)
+    }
+}
+
 /// Descending probability, port-ascending tiebreak (deterministic output).
+/// `total_cmp`, not `partial_cmp(..).unwrap()`: a NaN-probability rule
+/// (hand-edited snapshot) must not panic the server. Unstable sort is
+/// sound here — every input has unique ports, so the port tiebreak makes
+/// the comparator a strict total order and stability can't be observed.
 pub fn sort_ranked(ranked: &mut Ranked) {
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    ranked.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
 }
 
 fn normalize(ranked: &mut Ranked) {
@@ -291,6 +453,7 @@ mod tests {
             model: CondModel::from_parts(Map::new(), Interactions::ALL),
             rules: FeatureRules::from_parts(rules),
             priors,
+            compiled: None,
         }
     }
 
@@ -356,5 +519,72 @@ mod tests {
     fn cache_prefix_is_finest_relevant() {
         let model = ServableModel::from_snapshot(snapshot());
         assert_eq!(model.cache_prefix(), 16);
+    }
+
+    #[test]
+    fn compiled_answers_match_reference_bit_for_bit() {
+        let snapshot = snapshot();
+        let reference = ReferenceModel::from_snapshot(&snapshot);
+        let model = ServableModel::from_snapshot(snapshot);
+        let mut scratch = PredictScratch::default();
+        let mut best = HashMap::new();
+        for ip in [
+            Ip::from_octets(10, 1, 2, 3),
+            Ip::from_octets(10, 2, 0, 9),
+            Ip::from_octets(99, 0, 0, 1),
+        ] {
+            for open in [vec![], vec![80u16], vec![80, 443], vec![22]] {
+                for asn in [None, Some(7), Some(8)] {
+                    for top in [0usize, 1, 3] {
+                        let mut query = Query::new(ip).with_open(open.iter().copied());
+                        query.asn = asn;
+                        query.top = top;
+                        let got = model.predict_with(&mut scratch, &query);
+                        let want = reference.predict_with(&mut best, &query);
+                        let got_bits: Vec<(u16, u64)> =
+                            got.iter().map(|&(p, v)| (p.0, v.to_bits())).collect();
+                        let want_bits: Vec<(u16, u64)> =
+                            want.iter().map(|&(p, v)| (p.0, v.to_bits())).collect();
+                        assert_eq!(got_bits, want_bits, "query {query:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_does_not_leak_across_queries() {
+        let model = ServableModel::from_snapshot(snapshot());
+        let mut scratch = PredictScratch::default();
+        let warm = Query::new(Ip::from_octets(10, 1, 2, 3)).with_open([80]);
+        let first = model.predict_with(&mut scratch, &warm);
+        // A different warm query in between must not pollute the next.
+        let mut other = Query::new(Ip::from_octets(99, 0, 0, 1)).with_open([80]);
+        other.asn = Some(7);
+        let _ = model.predict_with(&mut scratch, &other);
+        let again = model.predict_with(&mut scratch, &warm);
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    fn nan_probability_rule_does_not_panic_the_server() {
+        // Regression: `sort_ranked` used `partial_cmp(..).unwrap()`.
+        let mut snapshot = snapshot();
+        let mut rules: Map<CondKey, Vec<(Port, f64)>> = snapshot
+            .rules
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
+        rules.insert(
+            CondKey::Port(Port(22)),
+            vec![(Port(4444), f64::NAN), (Port(5555), 0.4)],
+        );
+        snapshot.rules = FeatureRules::from_parts(rules);
+        let model = ServableModel::from_snapshot(snapshot);
+        let ranked = model.predict(&Query::new(Ip::from_octets(10, 1, 2, 3)).with_open([22]));
+        // The NaN entry surfaces at its or_insert default of 0.0 and never
+        // outranks the real rule.
+        assert_eq!(ranked[0], (Port(5555), 0.4));
+        assert!(ranked.iter().any(|&(p, v)| p == Port(4444) && v == 0.0));
     }
 }

@@ -68,7 +68,7 @@ mod shard;
 pub mod transport;
 mod wire;
 
-pub use artifact::{PredictScratch, Query, Ranked, ServableModel};
+pub use artifact::{PredictScratch, Query, Ranked, ReferenceModel, ServableModel};
 pub use cache::LruCache;
 pub use hist::{EndpointLabel, HistogramSet, LatencyHistogram, WireLabel};
 pub use net::{DecodeError, FrameDecoder, WireFormat};

@@ -1615,6 +1615,7 @@ mod tests {
                 subnet: Subnet::of_ip(Ip::from_octets(10, 0, 0, 0), 16),
                 coverage: 4,
             }],
+            compiled: None,
         };
         ServableModel::from_snapshot(snapshot)
     }
@@ -1723,6 +1724,7 @@ mod tests {
                 subnet: Subnet::of_ip(Ip::from_octets(10, 0, 0, 0), 16),
                 coverage: 4,
             }],
+            compiled: None,
         };
         ServableModel::from_snapshot(snapshot)
     }
@@ -1858,6 +1860,7 @@ mod tests {
                     subnet: Subnet::of_ip(Ip::from_octets(10, 0, 0, 0), 16),
                     coverage: 4,
                 }],
+                compiled: None,
             }
         };
         make(443).save_binary(&path).unwrap();
@@ -2080,6 +2083,7 @@ mod tests {
                     subnet: Subnet::of_ip(Ip::from_octets(10, 0, 0, 0), 16),
                     coverage: 4,
                 }],
+                compiled: None,
             }
         };
         let path_a = dir.path("a.gpsb");

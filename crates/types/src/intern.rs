@@ -122,6 +122,62 @@ impl Default for Interner {
     }
 }
 
+/// A single-threaded interner mapping arbitrary hashable values to dense
+/// sequential `u32` ids, in first-insertion order.
+///
+/// Where [`Interner`] serves the parallel banner pipeline, this one serves
+/// *compilation*: turning a set of keys or payload lists into indices of a
+/// struct-of-arrays layout. Ids are contiguous from 0, so `items` doubles
+/// as the id → value table.
+#[derive(Debug, Default, Clone)]
+pub struct DenseInterner<T> {
+    ids: HashMap<T, u32>,
+    items: Vec<T>,
+}
+
+impl<T: Eq + std::hash::Hash + Clone> DenseInterner<T> {
+    pub fn new() -> Self {
+        DenseInterner {
+            ids: HashMap::new(),
+            items: Vec::new(),
+        }
+    }
+
+    /// Intern a value, returning its dense id. Idempotent.
+    pub fn intern(&mut self, value: &T) -> u32 {
+        if let Some(&id) = self.ids.get(value) {
+            return id;
+        }
+        let id = u32::try_from(self.items.len()).expect("dense interner exhausted");
+        self.items.push(value.clone());
+        self.ids.insert(value.clone(), id);
+        id
+    }
+
+    /// Look up without interning.
+    pub fn get(&self, value: &T) -> Option<u32> {
+        self.ids.get(value).copied()
+    }
+
+    /// Resolve an id back to its value.
+    pub fn resolve(&self, id: u32) -> &T {
+        &self.items[id as usize]
+    }
+
+    /// All interned values, indexed by id.
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
 impl fmt::Debug for Interner {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Interner({} strings)", self.len())
@@ -167,6 +223,21 @@ mod tests {
         let s = i.intern("present");
         assert_eq!(i.get("present"), Some(s));
         assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn dense_interner_assigns_sequential_ids() {
+        let mut d: DenseInterner<Vec<u16>> = DenseInterner::new();
+        let a = d.intern(&vec![80, 443]);
+        let b = d.intern(&vec![22]);
+        let a2 = d.intern(&vec![80, 443]);
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(a2, a);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.resolve(b), &vec![22]);
+        assert_eq!(d.get(&vec![9999]), None);
+        assert_eq!(d.items().len(), 2);
     }
 
     #[test]

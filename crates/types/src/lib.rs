@@ -35,7 +35,7 @@ pub mod testutil;
 pub use binary::{ByteReader, ByteWriter};
 pub use error::GpsError;
 pub use feature::{FeatureKind, FeatureValue, APP_FEATURE_KINDS, NET_FEATURE_KINDS};
-pub use intern::{Interner, Sym};
+pub use intern::{DenseInterner, Interner, Sym};
 pub use ip::{Asn, Ip};
 pub use json::{Json, JsonCodec};
 pub use obs::{HistogramSnapshot, QueryLogRecord};

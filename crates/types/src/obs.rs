@@ -55,7 +55,14 @@ impl HistogramSnapshot {
                 continue;
             }
             if cum + n >= target {
-                let lower = if i == 0 { 0 } else { self.bounds_ns[i - 1] };
+                // .get(): buckets may outnumber bounds in a mismatched
+                // snapshot; report max_ns rather than panic (from_json is
+                // where such layouts get rejected).
+                let lower = if i == 0 {
+                    0
+                } else {
+                    self.bounds_ns.get(i - 1).copied().unwrap_or(self.max_ns)
+                };
                 let upper = if i < self.bounds_ns.len() {
                     self.bounds_ns[i]
                 } else {

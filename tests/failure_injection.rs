@@ -166,6 +166,7 @@ mod serve_churn {
                 subnet: Subnet::of_ip(Ip::from_octets(10, 0, 0, 0), 16),
                 coverage: 4,
             }],
+            compiled: None,
         };
         ServableModel::from_snapshot(snapshot)
     }

@@ -7,7 +7,10 @@ use gps::core::metrics::{CoverageTracker, GroundTruth};
 use gps::core::{CondKey, CondModel, GpsConfig, Interactions, ModelSnapshot, NetFeature};
 use gps::engine::{Backend, ExecLedger};
 use gps::scan::{CyclicPermutation, ServiceObservation};
-use gps::serve::{Client, PredictionServer, Query, ServableModel, ServeConfig, WireFormat};
+use gps::serve::{
+    Client, PredictScratch, PredictionServer, Query, ReferenceModel, ServableModel, ServeConfig,
+    WireFormat,
+};
 use gps::types::rng::Rng;
 use gps::types::{Ip, Port, ServiceKey, Subnet, Sym};
 use proptest::prelude::*;
@@ -157,6 +160,14 @@ struct ServedArtifacts {
     original: ServableModel,
     via_json: ServableModel,
     via_binary: ServableModel,
+    /// Served straight from the GPSB bytes — `compiled` arrives through
+    /// the CMPL section's bulk load rather than being compiled in-process.
+    via_gpsb: ServableModel,
+    /// Served from CMPL-less GPSB bytes — the compile-at-load fallback
+    /// for snapshots written before the section existed.
+    via_gpsb_no_cmpl: ServableModel,
+    /// The pre-kernel HashMap implementation, the parity baseline.
+    reference: ReferenceModel,
     gpsb_bytes: Vec<u8>,
 }
 
@@ -185,10 +196,20 @@ fn served_artifacts() -> &'static ServedArtifacts {
         );
         let via_binary =
             ModelSnapshot::from_json_str(&from_binary.to_json_string()).expect("reparses");
+        assert!(
+            from_binary.compiled.is_some(),
+            "GPSB bytes carry the CMPL section"
+        );
+        let no_cmpl_bytes = reloaded.to_binary_bytes_with(false);
+        let no_cmpl = ModelSnapshot::from_binary_bytes(&no_cmpl_bytes).expect("no-CMPL parses");
+        assert!(no_cmpl.compiled.is_none(), "--no-compiled bytes lack CMPL");
         ServedArtifacts {
+            reference: ReferenceModel::from_snapshot(&snapshot),
             original: ServableModel::from_snapshot(snapshot),
             via_json: ServableModel::from_snapshot(reloaded),
             via_binary: ServableModel::from_snapshot(via_binary),
+            via_gpsb: ServableModel::from_snapshot(from_binary),
+            via_gpsb_no_cmpl: ServableModel::from_snapshot(no_cmpl),
             gpsb_bytes,
         }
     })
@@ -217,6 +238,54 @@ proptest! {
             let expected = artifacts.original.predict(&query);
             prop_assert_eq!(&artifacts.via_json.predict(&query), &expected);
             prop_assert_eq!(&artifacts.via_binary.predict(&query), &expected);
+            prop_assert_eq!(&artifacts.via_gpsb.predict(&query), &expected);
+            prop_assert_eq!(&artifacts.via_gpsb_no_cmpl.predict(&query), &expected);
+        }
+    }
+
+    /// The compiled kernel is **bit-identical** to the HashMap reference
+    /// path on random warm/cold query mixes: same ports in the same
+    /// order, same f64 bit patterns — whether the compiled form was
+    /// built in-process, bulk-loaded from the CMPL section, or
+    /// recompiled from a CMPL-less snapshot.
+    #[test]
+    fn compiled_kernel_matches_reference_bit_identical(
+        ips in proptest::collection::vec(any::<u32>(), 200..201),
+        open in proptest::collection::vec(1u16..2000, 0..6),
+        asn_raw in 0u32..100,
+        top in 0usize..20,
+    ) {
+        // Half the cases carry ASN evidence (the shim has no option::of).
+        let asn = if asn_raw < 50 { Some(asn_raw) } else { None };
+        let artifacts = served_artifacts();
+        let mut scratch = PredictScratch::default();
+        let mut best = std::collections::HashMap::new();
+        for (i, ip) in ips.into_iter().enumerate() {
+            let mut query = Query::new(Ip(ip));
+            // Cycle evidence shapes so every case mixes cold and warm.
+            if i % 3 != 0 {
+                query.open = open.iter().map(|&p| Port(p)).collect();
+            }
+            query.asn = asn;
+            query.top = top;
+            let want: Vec<(u16, u64)> = artifacts
+                .reference
+                .predict_with(&mut best, &query)
+                .iter()
+                .map(|&(p, v)| (p.0, v.to_bits()))
+                .collect();
+            for model in [
+                &artifacts.original,
+                &artifacts.via_gpsb,
+                &artifacts.via_gpsb_no_cmpl,
+            ] {
+                let got: Vec<(u16, u64)> = model
+                    .predict_with(&mut scratch, &query)
+                    .iter()
+                    .map(|&(p, v)| (p.0, v.to_bits()))
+                    .collect();
+                prop_assert_eq!(&got, &want, "query {:?}", &query);
+            }
         }
     }
 
@@ -465,6 +534,7 @@ fn tiny_model(target: u16) -> ServableModel {
             subnet: Subnet::of_ip(Ip(0x0A00_0000), 16),
             coverage: 4,
         }],
+        compiled: None,
     })
 }
 
@@ -476,5 +546,60 @@ fn interner_round_trips_arbitrary_strings() {
     let syms: Vec<_> = strings.iter().map(|s| interner.intern(s)).collect();
     for (s, sym) in strings.iter().zip(&syms) {
         assert_eq!(&*interner.resolve(*sym), s.as_str());
+    }
+}
+
+/// Compiled-vs-reference parity holds across *different* trained
+/// universes, not just the shared fixture: each seed grows a distinct
+/// rule/priors shape (different subnets, ASNs, port mixes), and the
+/// kernel must stay bit-identical on all of them — including after a
+/// GPSB round trip through the CMPL section.
+#[test]
+fn compiled_kernel_parity_across_universes() {
+    for seed in [3u64, 99, 2024] {
+        let net = gps::synthnet::Internet::generate(&gps::synthnet::UniverseConfig::tiny(seed));
+        let dataset = gps::core::censys_dataset(&net, 100, 0.05, 0, 1);
+        let config = GpsConfig::default();
+        let run = gps::core::run_gps(&net, &dataset, &config);
+        let snapshot = ModelSnapshot::from_run(&run, &config, seed);
+        let bytes = snapshot.to_binary_bytes();
+        let from_gpsb = ModelSnapshot::from_binary_bytes(&bytes).expect("gpsb parses");
+        let reference = ReferenceModel::from_snapshot(&snapshot);
+        let compiled = ServableModel::from_snapshot(snapshot);
+        let via_gpsb = ServableModel::from_snapshot(from_gpsb);
+
+        let mut scratch = PredictScratch::default();
+        let mut best = std::collections::HashMap::new();
+        let ips: Vec<Ip> = net
+            .host_ips()
+            .iter()
+            .step_by(37)
+            .map(|&ip| Ip(ip))
+            .collect();
+        for (i, &ip) in ips.iter().enumerate() {
+            let mut query = Query::new(ip);
+            match i % 3 {
+                0 => {}
+                1 => query.open = vec![Port(80)],
+                _ => {
+                    query.open = vec![Port(443), Port(22), Port(8080)];
+                    query.asn = net.asn_of(ip).map(|a| a.0);
+                }
+            }
+            query.top = 16;
+            let want: Vec<(u16, u64)> = reference
+                .predict_with(&mut best, &query)
+                .iter()
+                .map(|&(p, v)| (p.0, v.to_bits()))
+                .collect();
+            for model in [&compiled, &via_gpsb] {
+                let got: Vec<(u16, u64)> = model
+                    .predict_with(&mut scratch, &query)
+                    .iter()
+                    .map(|&(p, v)| (p.0, v.to_bits()))
+                    .collect();
+                assert_eq!(got, want, "seed {seed} query {query:?}");
+            }
+        }
     }
 }

@@ -110,6 +110,7 @@ fn model() -> ServableModel {
             subnet: Subnet::of_ip(Ip::from_octets(10, 0, 0, 0), 16),
             coverage: 4,
         }],
+        compiled: None,
     };
     ServableModel::from_snapshot(snapshot)
 }

@@ -52,6 +52,7 @@ fn snapshot() -> gps::core::ModelSnapshot {
             subnet: Subnet::of_ip(Ip::from_octets(10, 0, 0, 0), 16),
             coverage: 4,
         }],
+        compiled: None,
     }
 }
 
