@@ -185,11 +185,6 @@ fn parse_options() -> Result<Options, String> {
     if options.addr.is_some() && options.models > 1 {
         return Err("--addr targets an external server; --models must stay 1".to_string());
     }
-    if options.addr.is_some() && options.batch > 1 {
-        // Keeping the external mode single-query keeps the CI smoke
-        // latency numbers comparable with the in-process runs.
-        return Err("--addr supports single-query traffic only (--batch 0)".to_string());
-    }
     TransportConfig::named(&options.transport).map_err(|e| format!("--transport: {e}"))?;
     Ok(options)
 }

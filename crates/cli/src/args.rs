@@ -44,6 +44,14 @@ pub struct Args {
     pub watch: bool,
     /// serve: TCP address for the HTTP/1.1 gateway (None = no gateway).
     pub http_addr: Option<String>,
+    /// route: backend `gps serve` addresses (repeatable, at least one).
+    pub backends: Vec<String>,
+    /// route: health-probe cadence in seconds.
+    pub probe_interval: f64,
+    /// route: per-backend-attempt deadline in seconds.
+    pub request_timeout: f64,
+    /// route: alternate backends tried after the owner fails.
+    pub max_retries: usize,
     /// serve: structured query-log path (one JSON line per request).
     pub query_log: Option<String>,
     /// serve: query log to replay through the caches at startup and
@@ -76,9 +84,11 @@ pub enum Command {
     Churn,
     ExportModel,
     Serve,
+    Route,
     Query,
     Reload,
     Models,
+    Shutdown,
     Help,
 }
 
@@ -130,6 +140,10 @@ impl Default for Args {
             idle_timeout: 0.0,
             watch: false,
             http_addr: None,
+            backends: Vec::new(),
+            probe_interval: 0.5,
+            request_timeout: 2.0,
+            max_retries: 1,
             query_log: None,
             warm_from: None,
             reload_model: None,
@@ -165,9 +179,11 @@ impl Args {
             "churn" => Command::Churn,
             "export-model" => Command::ExportModel,
             "serve" => Command::Serve,
+            "route" => Command::Route,
             "query" => Command::Query,
             "reload" => Command::Reload,
             "models" => Command::Models,
+            "shutdown" => Command::Shutdown,
             "help" | "--help" | "-h" => Command::Help,
             other => return Err(ParseError(format!("unknown command {other:?}"))),
         };
@@ -247,6 +263,24 @@ impl Args {
                 "--watch" => args.watch = true,
                 "--addr" => args.addr = value("--addr")?,
                 "--http-addr" => args.http_addr = Some(value("--http-addr")?),
+                "--backend" => args.backends.push(value("--backend")?),
+                "--probe-interval" => {
+                    let secs: f64 = parse_num(&value("--probe-interval")?, "--probe-interval")?;
+                    if !secs.is_finite() || secs <= 0.0 {
+                        return Err(ParseError("--probe-interval must be > 0 seconds".into()));
+                    }
+                    args.probe_interval = secs;
+                }
+                "--request-timeout" => {
+                    let secs: f64 = parse_num(&value("--request-timeout")?, "--request-timeout")?;
+                    if !secs.is_finite() || secs <= 0.0 {
+                        return Err(ParseError("--request-timeout must be > 0 seconds".into()));
+                    }
+                    args.request_timeout = secs;
+                }
+                "--max-retries" => {
+                    args.max_retries = parse_num(&value("--max-retries")?, "--max-retries")?;
+                }
                 "--query-log" => args.query_log = Some(value("--query-log")?),
                 "--warm-from" => args.warm_from = Some(value("--warm-from")?),
                 "--shards" => {
@@ -585,6 +619,50 @@ mod tests {
         assert!(Args::parse(["serve", "--transport", "iouring"]).is_err());
         assert!(Args::parse(["serve", "--idle-timeout", "-1"]).is_err());
         assert!(Args::parse(["serve", "--max-conns"]).is_err());
+    }
+
+    #[test]
+    fn parses_route_and_shutdown() {
+        let args = Args::parse([
+            "route",
+            "--backend",
+            "127.0.0.1:5001",
+            "--backend",
+            "127.0.0.1:5002",
+            "--addr",
+            "127.0.0.1:4615",
+            "--http-addr",
+            "127.0.0.1:8080",
+            "--probe-interval",
+            "0.25",
+            "--request-timeout",
+            "1.5",
+            "--max-retries",
+            "3",
+        ])
+        .unwrap();
+        assert_eq!(args.command, Command::Route);
+        assert_eq!(args.backends, vec!["127.0.0.1:5001", "127.0.0.1:5002"]);
+        assert_eq!(args.http_addr.as_deref(), Some("127.0.0.1:8080"));
+        assert_eq!(args.probe_interval, 0.25);
+        assert_eq!(args.request_timeout, 1.5);
+        assert_eq!(args.max_retries, 3);
+
+        // Defaults.
+        let args = Args::parse(["route"]).unwrap();
+        assert!(args.backends.is_empty(), "cmd_route rejects this later");
+        assert_eq!(args.probe_interval, 0.5);
+        assert_eq!(args.request_timeout, 2.0);
+        assert_eq!(args.max_retries, 1);
+
+        // Bounds.
+        assert!(Args::parse(["route", "--probe-interval", "0"]).is_err());
+        assert!(Args::parse(["route", "--request-timeout", "-1"]).is_err());
+        assert!(Args::parse(["route", "--backend"]).is_err());
+
+        let args = Args::parse(["shutdown", "--addr", "127.0.0.1:4615"]).unwrap();
+        assert_eq!(args.command, Command::Shutdown);
+        assert_eq!(args.addr, "127.0.0.1:4615");
     }
 
     #[test]

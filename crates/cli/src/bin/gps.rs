@@ -23,9 +23,11 @@ fn main() {
         Command::Churn => commands::cmd_churn(&args),
         Command::ExportModel => commands::cmd_export_model(&args),
         Command::Serve => commands::cmd_serve(&args),
+        Command::Route => commands::cmd_route(&args),
         Command::Query => commands::cmd_query(&args),
         Command::Reload => commands::cmd_reload(&args),
         Command::Models => commands::cmd_models(&args),
+        Command::Shutdown => commands::cmd_shutdown(&args),
     };
     if let Err(e) = result {
         eprintln!("error: {e}");

@@ -434,7 +434,91 @@ pub fn cmd_serve(args: &Args) -> Result<(), String> {
             None => String::new(),
         },
     );
-    gps_serve::serve_with_http(server, listener, http, transport).map_err(|e| format!("serve: {e}"))
+    // Serve on background threads so this thread can watch for drain: the
+    // `shutdown` admin command (wire or HTTP) flips the server into drain,
+    // and once in-flight connections finish the process exits cleanly
+    // instead of needing a kill.
+    let accept_server = server.clone();
+    std::thread::Builder::new()
+        .name("gps-serve-accept".to_string())
+        .spawn(move || {
+            if let Err(e) = gps_serve::serve_with_http(accept_server, listener, http, transport) {
+                eprintln!("error: serve: {e}");
+                std::process::exit(1);
+            }
+        })
+        .map_err(|e| format!("serve: {e}"))?;
+    loop {
+        if server.is_draining() {
+            println!("drain requested; finishing in-flight connections");
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+            while std::time::Instant::now() < deadline && server.stats().conns_active > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            let leftover = server.stats().conns_active;
+            if leftover > 0 {
+                println!("drained (closed {leftover} idle connection(s) forcibly)");
+            } else {
+                println!("drained; exiting");
+            }
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+}
+
+/// `gps route` — the fault-tolerant routing tier: speak the full frame
+/// protocol on `--addr`, fan work out to the `--backend` servers
+/// (consistent-hashed by the query /16), retry idempotent queries around
+/// failed backends, shed with an explicit `overloaded` error when none
+/// are healthy, and drain cleanly on `shutdown`.
+pub fn cmd_route(args: &Args) -> Result<(), String> {
+    if args.backends.is_empty() {
+        return Err("route requires at least one --backend ADDR".to_string());
+    }
+    let config = gps_serve::RouterConfig {
+        backends: args.backends.clone(),
+        probe_interval: std::time::Duration::from_secs_f64(args.probe_interval),
+        request_timeout: std::time::Duration::from_secs_f64(args.request_timeout),
+        max_retries: args.max_retries,
+    };
+    let handle = gps_serve::Router::start(&args.addr, args.http_addr.as_deref(), config)
+        .map_err(|e| format!("route: {e}"))?;
+    if let Some(http) = handle.http_addr() {
+        println!("http sideline on {http} (GET /healthz /metrics /stats, POST /shutdown)");
+    }
+    println!(
+        "routing on {} over {} backend(s): {}",
+        handle.addr(),
+        args.backends.len(),
+        args.backends.join(", ")
+    );
+    loop {
+        if handle.is_draining() {
+            println!("drain requested; finishing in-flight connections");
+            if handle.wait_drained(std::time::Duration::from_secs(10)) {
+                println!("drained; exiting");
+            } else {
+                println!(
+                    "drained (abandoned {} stuck connection(s))",
+                    handle.active_conns()
+                );
+            }
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+}
+
+/// `gps shutdown` — ask a running `gps serve` or `gps route` at `--addr`
+/// to drain: stop taking new connections, finish in-flight replies,
+/// flush the query log, and exit.
+pub fn cmd_shutdown(args: &Args) -> Result<(), String> {
+    let mut client =
+        gps_serve::Client::connect(&args.addr).map_err(|e| format!("--addr {}: {e}", args.addr))?;
+    client.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+    println!("{} is draining", args.addr);
+    Ok(())
 }
 
 /// `gps reload [name]` — ask a running server to hot-swap one model's

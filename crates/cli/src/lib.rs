@@ -25,9 +25,11 @@ COMMANDS:
     churn         Measure 10-day service churn (§3)
     export-model  Train on a workload and save the artifacts as a snapshot
     serve         Load snapshot(s) and answer prediction queries over TCP
+    route         Fault-tolerant routing tier over N `gps serve` backends
     query         Ask a running server for predictions on one IP
     reload        Hot-swap a running server's snapshot (zero downtime)
     models        List the models a running server holds (per-model stats)
+    shutdown      Drain a running server or router (graceful exit)
     help          Show this message
 
 COMMON OPTIONS:
@@ -65,6 +67,15 @@ SERVING OPTIONS:
     --warm-from PATH    serve: replay a query log through the caches at
                         startup and after every hot reload
     --ip A.B.C.D        query target
+
+ROUTING OPTIONS (gps route):
+    --backend A         a backend `gps serve` address (repeat per backend)
+    --addr A            front address clients connect to
+    --http-addr A       HTTP sideline (GET /healthz /metrics /stats,
+                        POST /shutdown)
+    --probe-interval S  health-probe cadence in seconds (default 0.5)
+    --request-timeout S per-backend-attempt deadline (default 2)
+    --max-retries N     alternate backends tried per query (default 1)
     --open P1,P2        query evidence: ports known open on the target
     --asn N             query evidence: the target's ASN
     --top N             max predictions returned
@@ -85,4 +96,6 @@ EXAMPLES:
     gps reload --addr 127.0.0.1:4615 --model /tmp/gps-model-v2.gpsb
     gps reload lzr --addr 127.0.0.1:4615
     gps models --addr 127.0.0.1:4615
+    gps route --addr 127.0.0.1:4615 --backend 127.0.0.1:5001 --backend 127.0.0.1:5002
+    gps shutdown --addr 127.0.0.1:4615
 ";

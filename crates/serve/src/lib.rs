@@ -63,6 +63,7 @@ pub mod hist;
 pub mod net;
 pub mod proto;
 pub mod query_log;
+pub mod router;
 pub mod server;
 mod shard;
 pub mod transport;
@@ -72,8 +73,9 @@ pub use artifact::{PredictScratch, Query, Ranked, ReferenceModel, ServableModel}
 pub use cache::LruCache;
 pub use hist::{EndpointLabel, HistogramSet, LatencyHistogram, WireLabel};
 pub use net::{DecodeError, FrameDecoder, WireFormat};
-pub use proto::{serve_tcp, Client, ReloadOutcome};
+pub use proto::{serve_tcp, Client, ClientConfig, ClientError, ReloadOutcome};
 pub use query_log::QueryLog;
+pub use router::{Router, RouterConfig, RouterHandle};
 pub use server::{
     validate_model_id, watch_snapshot_file, ModelStatsSnapshot, PredictionServer, ReloadWatcher,
     ServeConfig, ServerStats, StatsSnapshot, DEFAULT_MODEL_ID, MAX_MODEL_ID_LEN,

@@ -283,6 +283,14 @@ impl Conn {
         Ok(())
     }
 
+    /// Whether at least one response has been released to the outbound
+    /// buffer — the drain sweep only closes connections that got their
+    /// answer (a just-accepted health check must not be cut off before
+    /// it even sends its request).
+    pub fn answered_any(&self) -> bool {
+        self.flush_seq > 0
+    }
+
     /// Whether a freshly decoded request may enter the pipeline window
     /// now (otherwise it parks).
     pub fn window_open(&self) -> bool {

@@ -275,7 +275,13 @@ impl Routed {
 /// Map one request onto the serving core.
 pub(crate) fn route(server: &PredictionServer, request: &HttpRequest) -> Routed {
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => Routed::raw(200, "text/plain", "ok\n"),
+        ("GET", "/healthz") => {
+            if server.is_draining() {
+                Routed::raw(503, "text/plain", "draining\n")
+            } else {
+                Routed::raw(200, "text/plain", "ok\n")
+            }
+        }
         ("GET", "/metrics") => {
             Routed::raw(200, "text/plain; version=0.0.4", render_metrics(server))
         }
@@ -288,10 +294,13 @@ pub(crate) fn route(server: &PredictionServer, request: &HttpRequest) -> Routed 
         ("POST", "/reset-stats") => Routed::Command {
             text: "{\"cmd\":\"reset-stats\"}".to_string(),
         },
+        ("POST", "/shutdown") => Routed::Command {
+            text: "{\"cmd\":\"shutdown\"}".to_string(),
+        },
         ("POST", "/predict") => command_from_body(request, "predict"),
         ("POST", "/batch") => command_from_body(request, "batch"),
         (_, "/healthz" | "/metrics" | "/stats" | "/models")
-        | (_, "/reset-stats" | "/predict" | "/batch") => {
+        | (_, "/reset-stats" | "/shutdown" | "/predict" | "/batch") => {
             Routed::raw(405, "text/plain", "method not allowed\n")
         }
         _ => Routed::raw(404, "text/plain", "not found\n"),
@@ -377,6 +386,13 @@ fn render_server_metrics(out: &mut String, stats: &StatsSnapshot, query_log_drop
     );
     let _ = writeln!(w, "# TYPE gps_uptime_seconds gauge");
     let _ = writeln!(w, "gps_uptime_seconds {}", stats.uptime_secs);
+
+    let _ = writeln!(
+        w,
+        "# HELP gps_draining Whether the server is draining (1 = shutdown in progress)."
+    );
+    let _ = writeln!(w, "# TYPE gps_draining gauge");
+    let _ = writeln!(w, "gps_draining {}", u8::from(stats.draining));
 
     let _ = writeln!(
         w,

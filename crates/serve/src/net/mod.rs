@@ -239,7 +239,7 @@ fn accept_into(
             Ok(s) => s,
             Err(_) => continue,
         };
-        if !server.server_stats().try_admit(max_conns) {
+        if !server.server_stats().try_admit(max_conns, is_http) {
             continue; // dropping the stream closes it
         }
         let handle = &handles[next % handles.len()];
@@ -264,7 +264,11 @@ impl EventLoop {
         let mut last_sweep = Instant::now();
         let mut events: Vec<Event> = Vec::new();
         loop {
-            if self.poller.wait(sweep_every, &mut events).is_err() {
+            // Bounded wait even without an idle timeout: a drain begun
+            // on another loop's connection (or via HTTP) must be noticed
+            // here too, not only when a socket happens to wake us.
+            let wait = sweep_every.or(Some(Duration::from_millis(250)));
+            if self.poller.wait(wait, &mut events).is_err() {
                 // Transient poll failure: don't spin the CPU.
                 std::thread::sleep(Duration::from_millis(1));
                 continue;
@@ -284,6 +288,25 @@ impl EventLoop {
                     self.sweep_idle();
                 }
             }
+            if self.server.is_draining() {
+                self.sweep_draining();
+            }
+        }
+    }
+
+    /// While the server drains, close every connection whose outstanding
+    /// work has fully flushed — in-flight replies still finish first,
+    /// and a connection that has not yet been answered at all (e.g. a
+    /// health check racing the drain) gets to ask its question.
+    fn sweep_draining(&mut self) {
+        let done: Vec<u64> = self
+            .conns
+            .values()
+            .filter(|c| c.answered_any() && c.drained())
+            .map(|c| c.token)
+            .collect();
+        for token in done {
+            self.close(token, false);
         }
     }
 
@@ -666,7 +689,9 @@ impl EventLoop {
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
         };
-        if conn.read_closed && conn.drained() {
+        if (conn.read_closed || (self.server.is_draining() && conn.answered_any()))
+            && conn.drained()
+        {
             self.close(token, false);
             return;
         }
@@ -707,14 +732,18 @@ impl EventLoop {
             return;
         };
         let _ = self.poller.deregister(conn.stream.as_raw_fd());
-        drop(conn); // closes the socket
+        // Count before dropping: the drop sends the FIN, and a peer that
+        // observes it may read the stats immediately — the counters must
+        // already agree with what it just saw.
         let stats = self.server.server_stats();
         if timed_out {
             stats.conns_timed_out.fetch_add(1, Ordering::Relaxed);
         }
         stats.conns_closed.fetch_add(1, Ordering::Relaxed);
-        // Pending predicts referencing this token finish harmlessly:
-        // their completions find no connection and are dropped.
+        // Dropping the conn closes the socket. Pending predicts
+        // referencing this token finish harmlessly: their completions
+        // find no connection and are dropped.
+        drop(conn);
     }
 
     /// A connection that never became a `Conn` (registration failed) is

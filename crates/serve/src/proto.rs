@@ -24,6 +24,9 @@
 //! {"cmd":"load","name":"b","model":"/b.gpsb"}  — register a new model
 //! {"cmd":"unload","name":"b"}            — drop a model (not the default)
 //! {"cmd":"list-models"}                  — every model id + its counters
+//! {"cmd":"shutdown"}                     — drain: stop accepting, finish
+//!                                          in-flight work, flush the query
+//!                                          log, close connections
 //! ```
 //!
 //! The server holds a *registry* of models keyed by id (`server.rs`); a
@@ -55,7 +58,7 @@ use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::artifact::{Query, Ranked};
 use crate::hist::{EndpointLabel, WireLabel};
@@ -362,7 +365,7 @@ pub(crate) enum FrameAction {
 }
 
 /// An error reply shaped for the reply context.
-fn ready_error(ctx: ReplyCtx, message: String) -> ReadyReply {
+pub(crate) fn ready_error(ctx: ReplyCtx, message: String) -> ReadyReply {
     match ctx {
         ReplyCtx::Json { id } => ReadyReply::Json {
             response: error_response(message),
@@ -723,6 +726,17 @@ pub(crate) fn classify(server: &PredictionServer, request: &Json) -> Action {
                 Err(e) => ready(error_response(format!("unload failed: {e}"))),
             }
         }
+        "shutdown" => {
+            // Enter drain: the accept gates stop admitting, the query
+            // log is flushed, and the transports close connections once
+            // their in-flight replies finish. The reply itself still
+            // goes out on this connection — drain never cuts off an
+            // answer already owed.
+            server.begin_drain();
+            let mut json = ok_response();
+            json.set("draining", true);
+            ready(json)
+        }
         "list-models" => {
             let stats = server.stats();
             let mut json = ok_response();
@@ -1023,6 +1037,14 @@ pub fn serve_connection(server: &PredictionServer, stream: TcpStream) -> io::Res
             writer.write_all(&response_buf)?;
             response_buf.clear();
         }
+        // Draining: every reply owed so far went out (including the
+        // `shutdown` ack itself); close instead of reading more work.
+        if server.is_draining() && reader.buffer().is_empty() {
+            if !response_buf.is_empty() {
+                writer.write_all(&response_buf)?;
+            }
+            return Ok(());
+        }
     }
 }
 
@@ -1051,7 +1073,7 @@ pub(crate) fn serve_blocking(
             Ok(s) => s,
             Err(_) => continue,
         };
-        if !server.server_stats().try_admit(max_conns) {
+        if !server.server_stats().try_admit(max_conns, false) {
             continue; // dropping the stream closes it
         }
         let server = server.clone();
@@ -1101,6 +1123,110 @@ pub struct Client {
     buf: Vec<u8>,
 }
 
+/// Connection settings for [`Client::connect_config`]. The plain
+/// constructors ([`Client::connect`], [`Client::connect_with`]) keep
+/// their historical no-timeout behavior; anything that must survive a
+/// hung or dead server — the router's backend connections, `gps query`
+/// against a remote box — sets deadlines here.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    pub wire: WireFormat,
+    /// Bound on TCP connect (`None` = the OS default, typically minutes).
+    pub connect_timeout: Option<Duration>,
+    /// Per-read socket deadline; an expiry surfaces as a
+    /// [`ClientError::Retryable`] timeout.
+    pub read_timeout: Option<Duration>,
+    /// Per-write socket deadline.
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            wire: WireFormat::Json,
+            connect_timeout: None,
+            read_timeout: None,
+            write_timeout: None,
+        }
+    }
+}
+
+impl ClientConfig {
+    /// All three deadlines set to `timeout` on the given wire.
+    pub fn timeouts(wire: WireFormat, timeout: Duration) -> ClientConfig {
+        ClientConfig {
+            wire,
+            connect_timeout: Some(timeout),
+            read_timeout: Some(timeout),
+            write_timeout: Some(timeout),
+        }
+    }
+}
+
+/// [`Client`] failures sorted by what the caller should do about them.
+/// Built from the `io::Result` the client methods return (the methods
+/// keep their `io::Result` signatures — every existing call site works
+/// unchanged; classify with [`ClientError::from_io`]).
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport-level failure — timeout, refused/reset connection,
+    /// server closed mid-call. The request may be retried, on this
+    /// backend after a backoff or immediately on another one; predict
+    /// queries are idempotent so a retry can never double-apply.
+    Retryable(io::Error),
+    /// Protocol breakage (desynchronized ids, malformed frames) or
+    /// local misuse (oversized frame). Retrying sends the same doomed
+    /// bytes; the connection is not trustworthy.
+    Fatal(io::Error),
+    /// The server understood the request and answered `ok:false` — an
+    /// application error ("unknown cmd", "batch too large", "unknown
+    /// model ..."). Deterministic: a retry elsewhere gets the same
+    /// answer, so forward it to whoever asked.
+    Server(String),
+}
+
+impl ClientError {
+    /// Classify an error returned by any [`Client`] method.
+    pub fn from_io(e: io::Error) -> ClientError {
+        match e.kind() {
+            // `WouldBlock` is how Unix reports an expired SO_RCVTIMEO /
+            // SO_SNDTIMEO on a blocking socket.
+            io::ErrorKind::TimedOut
+            | io::ErrorKind::WouldBlock
+            | io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::NotConnected
+            | io::ErrorKind::WriteZero
+            | io::ErrorKind::AddrNotAvailable
+            | io::ErrorKind::UnexpectedEof => ClientError::Retryable(e),
+            // The client maps `ok:false` replies to `ErrorKind::Other`
+            // with the server's message as the error text.
+            io::ErrorKind::Other => ClientError::Server(e.to_string()),
+            _ => ClientError::Fatal(e),
+        }
+    }
+
+    /// Whether retrying the request (here after a backoff, or on another
+    /// backend) can plausibly succeed.
+    pub fn retryable(&self) -> bool {
+        matches!(self, ClientError::Retryable(_))
+    }
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Retryable(e) => write!(f, "retryable: {e}"),
+            ClientError::Fatal(e) => write!(f, "fatal: {e}"),
+            ClientError::Server(message) => write!(f, "server error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
 impl Client {
     /// Connect speaking JSON (the historical default).
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
@@ -1109,13 +1235,51 @@ impl Client {
 
     /// Connect speaking the given wire format.
     pub fn connect_with(addr: impl ToSocketAddrs, wire: WireFormat) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
+        Self::connect_config(
+            addr,
+            &ClientConfig {
+                wire,
+                ..ClientConfig::default()
+            },
+        )
+    }
+
+    /// Connect with explicit timeouts (and wire format).
+    pub fn connect_config(addr: impl ToSocketAddrs, config: &ClientConfig) -> io::Result<Client> {
+        let stream = match config.connect_timeout {
+            None => TcpStream::connect(addr)?,
+            Some(timeout) => {
+                // `connect_timeout` wants one resolved address; try each
+                // resolution like `TcpStream::connect` does.
+                let mut last = None;
+                let mut stream = None;
+                for resolved in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&resolved, timeout) {
+                        Ok(s) => {
+                            stream = Some(s);
+                            break;
+                        }
+                        Err(e) => last = Some(e),
+                    }
+                }
+                match stream {
+                    Some(s) => s,
+                    None => {
+                        return Err(last.unwrap_or_else(|| {
+                            io::Error::new(io::ErrorKind::InvalidInput, "no addresses to connect")
+                        }))
+                    }
+                }
+            }
+        };
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(config.read_timeout)?;
+        stream.set_write_timeout(config.write_timeout)?;
         Ok(Client {
             reader: io::BufReader::new(stream.try_clone()?),
             writer: io::BufWriter::new(stream),
             next_id: 1,
-            wire,
+            wire: config.wire,
             decoder: FrameDecoder::new(MAX_FRAME_BYTES),
             buf: Vec::new(),
         })
@@ -1441,6 +1605,15 @@ impl Client {
     pub fn reset_stats(&mut self) -> io::Result<()> {
         let mut request = Json::obj();
         request.set("cmd", "reset-stats");
+        self.call(request).map(|_| ())
+    }
+
+    /// Ask the server to drain and shut down (`shutdown`): it stops
+    /// admitting connections, flushes its query log, answers everything
+    /// in flight — this ack included — then closes.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        let mut request = Json::obj();
+        request.set("cmd", "shutdown");
         self.call(request).map(|_| ())
     }
 

@@ -31,10 +31,14 @@ const FLUSH_INTERVAL: Duration = Duration::from_millis(50);
 
 struct Shared {
     ring: Mutex<Vec<QueryLogRecord>>,
-    /// Wakes the writer early for shutdown.
+    /// Wakes the writer early for shutdown or an explicit flush.
     wake: Condvar,
     stop: AtomicBool,
     dropped: AtomicU64,
+    /// Bumped by the writer after every drain-and-fsync cycle; `flush`
+    /// waits on it to know its records reached the file.
+    cycles: Mutex<u64>,
+    cycled: Condvar,
 }
 
 /// An open query log. Cheap to share (`Arc`); the embedded writer
@@ -54,6 +58,8 @@ impl QueryLog {
             wake: Condvar::new(),
             stop: AtomicBool::new(false),
             dropped: AtomicU64::new(0),
+            cycles: Mutex::new(0),
+            cycled: Condvar::new(),
         });
         let worker = shared.clone();
         let writer = std::thread::Builder::new()
@@ -83,6 +89,11 @@ impl QueryLog {
                         let _ = out.write_all(line.as_bytes());
                     }
                     let _ = out.flush();
+                    {
+                        let mut cycles = worker.cycles.lock().expect("query log cycles poisoned");
+                        *cycles += 1;
+                        worker.cycled.notify_all();
+                    }
                     if stopping {
                         return;
                     }
@@ -116,6 +127,36 @@ impl QueryLog {
     /// Records dropped because the ring was full.
     pub fn dropped(&self) -> u64 {
         self.shared.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Block until every record pushed before this call has been written
+    /// and flushed to the file. Waits for two full writer cycles: the
+    /// first may already have been mid-drain when we looked, the second
+    /// is guaranteed to start after our records were in the ring.
+    pub fn flush(&self) {
+        let start = *self
+            .shared
+            .cycles
+            .lock()
+            .expect("query log cycles poisoned");
+        self.shared.wake.notify_all();
+        let mut cycles = self
+            .shared
+            .cycles
+            .lock()
+            .expect("query log cycles poisoned");
+        while *cycles < start + 2 {
+            if self.shared.stop.load(Ordering::Acquire) {
+                return; // writer is exiting; Drop does the final drain
+            }
+            let (guard, _) = self
+                .shared
+                .cycled
+                .wait_timeout(cycles, FLUSH_INTERVAL)
+                .expect("query log cycles poisoned");
+            cycles = guard;
+            self.shared.wake.notify_all();
+        }
     }
 }
 
@@ -188,6 +229,24 @@ mod tests {
         drop(log);
         let text = std::fs::read_to_string(&path).unwrap();
         assert_eq!(text.lines().count(), RING_CAPACITY);
+    }
+
+    #[test]
+    fn flush_lands_pushed_records_without_dropping_the_log() {
+        let dir = TestDir::new("query-log-flush");
+        let path = dir.path("queries.log");
+        let log = QueryLog::open(&path).unwrap();
+        for n in 0..10 {
+            log.push(record(n));
+        }
+        log.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 10);
+        // The log keeps working after a flush.
+        log.push(record(10));
+        log.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 11);
     }
 
     #[test]

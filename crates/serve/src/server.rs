@@ -291,6 +291,10 @@ pub struct ServerStats {
     /// Connections dropped at accept because `max_conns` was reached
     /// (never counted in `conns_accepted`).
     pub conns_rejected: AtomicU64,
+    /// Set by the `shutdown` admin command: the server stops admitting
+    /// new connections, finishes in-flight replies, and closes. Both
+    /// transports consult it through [`try_admit`](Self::try_admit).
+    pub(crate) draining: AtomicBool,
 }
 
 impl ServerStats {
@@ -299,12 +303,18 @@ impl ServerStats {
     /// rejection is counted and the caller drops the socket. Keeping the
     /// count-and-decide in one place keeps `--max-conns` semantics
     /// identical across transports.
-    pub(crate) fn try_admit(&self, max_conns: u64) -> bool {
+    ///
+    /// While the server drains, frame connections are rejected but HTTP
+    /// (`is_http`) connections still get in — a health checker must be
+    /// able to read the 503 `"draining"` answer, and curling `/metrics`
+    /// mid-drain is how an operator watches the drain finish.
+    pub(crate) fn try_admit(&self, max_conns: u64, is_http: bool) -> bool {
         let active = self
             .conns_accepted
             .load(Ordering::Relaxed)
             .saturating_sub(self.conns_closed.load(Ordering::Relaxed));
-        if active >= max_conns {
+        let draining = self.draining.load(Ordering::Acquire) && !is_http;
+        if draining || active >= max_conns {
             self.conns_rejected.fetch_add(1, Ordering::Relaxed);
             false
         } else {
@@ -452,6 +462,9 @@ pub struct StatsSnapshot {
     pub conns_active: u64,
     pub conns_timed_out: u64,
     pub conns_rejected: u64,
+    /// Whether the server is draining (a `shutdown` command was
+    /// accepted): no new connections are admitted.
+    pub draining: bool,
     /// The *default* model's generation (0 = the model the server started
     /// with) — the pre-registry meaning, kept for wire compatibility.
     pub generation: u64,
@@ -500,6 +513,7 @@ impl StatsSnapshot {
             .set("conns_active", Json::Num(self.conns_active as f64))
             .set("conns_timed_out", Json::Num(self.conns_timed_out as f64))
             .set("conns_rejected", Json::Num(self.conns_rejected as f64))
+            .set("draining", self.draining)
             .set("generation", Json::Num(self.generation as f64));
         if !self.hists.is_empty() {
             json.set("hists", hists_to_json(&self.hists));
@@ -1284,6 +1298,7 @@ impl PredictionServer {
                 .saturating_sub(self.stats.conns_closed.load(Ordering::Relaxed)),
             conns_timed_out: self.stats.conns_timed_out.load(Ordering::Relaxed),
             conns_rejected: self.stats.conns_rejected.load(Ordering::Relaxed),
+            draining: self.is_draining(),
             generation: self.default_entry.generation(),
             hists,
             models,
@@ -1304,6 +1319,23 @@ impl PredictionServer {
             entry.counters.cache_misses.store(0, Ordering::Relaxed);
             entry.counters.hists.reset();
         }
+    }
+
+    /// Enter drain: stop admitting new connections (both transports'
+    /// accept gates reject while draining), flush the query log so every
+    /// already-served request is on disk, and let in-flight replies
+    /// finish. Idempotent. The transports and the CLI watch
+    /// [`is_draining`](Self::is_draining) to close connections and exit.
+    pub fn begin_drain(&self) {
+        self.stats.draining.store(true, Ordering::Release);
+        if let Some(log) = self.query_log.get() {
+            log.flush();
+        }
+    }
+
+    /// Whether [`begin_drain`](Self::begin_drain) has been called.
+    pub fn is_draining(&self) -> bool {
+        self.stats.draining.load(Ordering::Acquire)
     }
 
     /// The configured query log, if any.

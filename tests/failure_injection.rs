@@ -124,6 +124,347 @@ fn day_shift_never_adds_services_to_old_set() {
     assert!(at10.is_subset(&at0));
 }
 
+mod router_resilience {
+    use std::collections::HashMap;
+    use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Mutex};
+    use std::time::{Duration, Instant};
+
+    use gps::core::snapshot::{ModelManifest, FORMAT_MAJOR, FORMAT_MINOR};
+    use gps::core::{CondModel, FeatureRules, Interactions, NetFeature, PriorsEntry};
+    use gps::serve::{
+        Client, PredictionServer, Query, Router, RouterConfig, RouterHandle, ServableModel,
+        ServeConfig,
+    };
+    use gps::types::{Ip, Port, Subnet};
+
+    /// A tiny hand-built model (no training): 80 predicts 443, one prior.
+    fn model() -> ServableModel {
+        let mut rules: HashMap<gps::core::CondKey, Vec<(Port, f64)>> = HashMap::new();
+        rules.insert(gps::core::CondKey::Port(Port(80)), vec![(Port(443), 0.9)]);
+        let snapshot = gps::core::ModelSnapshot {
+            manifest: ModelManifest {
+                format: (FORMAT_MAJOR, FORMAT_MINOR),
+                universe_seed: 0,
+                dataset_name: "router".into(),
+                step_prefix: 16,
+                min_prob: 1e-5,
+                interactions: Interactions::ALL,
+                net_features: vec![NetFeature::Slash(16)],
+                hosts_in: 0,
+                distinct_keys: 0,
+                cooccur_entries: 0,
+                num_rules: 1,
+                num_priors: 1,
+                checksum: 0,
+            },
+            model: CondModel::from_parts(HashMap::new(), Interactions::ALL),
+            rules: FeatureRules::from_parts(rules),
+            priors: vec![PriorsEntry {
+                port: Port(22),
+                subnet: Subnet::of_ip(Ip::from_octets(10, 0, 0, 0), 16),
+                coverage: 4,
+            }],
+            compiled: None,
+        };
+        ServableModel::from_snapshot(snapshot)
+    }
+
+    /// A backend whose process death is simulated the hard way: stop
+    /// accepting AND slam every live connection shut (`kill -9` as seen
+    /// from the router — no FIN handshake courtesy, readers get resets).
+    struct KillableBackend {
+        addr: SocketAddr,
+        server: Arc<PredictionServer>,
+        live: Arc<Mutex<Vec<TcpStream>>>,
+        stop: Arc<AtomicBool>,
+    }
+
+    impl KillableBackend {
+        fn start(server: Arc<PredictionServer>, addr: &str) -> KillableBackend {
+            // Post-restart rebinds race the old listener's teardown.
+            let deadline = Instant::now() + Duration::from_secs(5);
+            let listener = loop {
+                match TcpListener::bind(addr) {
+                    Ok(l) => break l,
+                    Err(e) if Instant::now() < deadline => {
+                        let _ = e;
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    Err(e) => panic!("rebind {addr}: {e}"),
+                }
+            };
+            let addr = listener.local_addr().expect("local addr");
+            let live: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+            let stop = Arc::new(AtomicBool::new(false));
+            {
+                let server = server.clone();
+                let live = live.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    for stream in listener.incoming() {
+                        if stop.load(Ordering::Acquire) {
+                            return; // drops the listener, freeing the port
+                        }
+                        let stream = match stream {
+                            Ok(s) => s,
+                            Err(_) => continue,
+                        };
+                        live.lock()
+                            .expect("live list")
+                            .push(stream.try_clone().expect("clone stream"));
+                        let server = server.clone();
+                        std::thread::spawn(move || {
+                            let _ = gps::serve::proto::serve_connection(&server, stream);
+                        });
+                    }
+                });
+            }
+            KillableBackend {
+                addr,
+                server,
+                live,
+                stop,
+            }
+        }
+
+        /// Kill the backend: new connects refused, in-flight ones reset.
+        fn kill(self) -> (Arc<PredictionServer>, SocketAddr) {
+            self.stop.store(true, Ordering::Release);
+            // Unblock the accept loop so it observes `stop` and exits.
+            let _ = TcpStream::connect(self.addr);
+            for stream in self.live.lock().expect("live list").drain(..) {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+            (self.server, self.addr)
+        }
+    }
+
+    /// The router's /16 owner hash, mirrored here so tests can aim
+    /// queries at a specific backend. If this drifts from the router's
+    /// placement the `owned-by` assertions below fail loudly.
+    fn owner_of(ip: Ip, n: usize) -> usize {
+        (((ip.0 >> 16) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % n
+    }
+
+    /// An IP in `10.x.0.0/16` space owned by backend `want` of `n`.
+    fn ip_owned_by(want: usize, n: usize) -> Ip {
+        (0u32..256)
+            .map(|x| Ip::from_octets(10, x as u8, 3, 4))
+            .find(|&ip| owner_of(ip, n) == want)
+            .expect("some /16 hashes to every backend")
+    }
+
+    fn start_router(backends: &[SocketAddr]) -> RouterHandle {
+        Router::start(
+            "127.0.0.1:0",
+            None,
+            RouterConfig {
+                backends: backends.iter().map(|a| a.to_string()).collect(),
+                probe_interval: Duration::from_millis(100),
+                request_timeout: Duration::from_millis(500),
+                max_retries: 2,
+            },
+        )
+        .expect("router starts")
+    }
+
+    /// The tentpole's acceptance story: two backends behind the router,
+    /// pipelined query load running, one backend killed -9 mid-load and
+    /// restarted — every single query is answered correctly (zero failed
+    /// queries), the retry counter shows the failover did happen, nothing
+    /// was shed, and after the restart the router routes to the returned
+    /// backend again (it un-wedges).
+    #[test]
+    fn zero_failed_queries_through_backend_kill_and_restart() {
+        let b0 = KillableBackend::start(
+            Arc::new(PredictionServer::start(
+                model(),
+                ServeConfig {
+                    shards: 1,
+                    ..ServeConfig::default()
+                },
+            )),
+            "127.0.0.1:0",
+        );
+        let b1 = KillableBackend::start(
+            Arc::new(PredictionServer::start(
+                model(),
+                ServeConfig {
+                    shards: 1,
+                    ..ServeConfig::default()
+                },
+            )),
+            "127.0.0.1:0",
+        );
+        let handle = start_router(&[b0.addr, b1.addr]);
+
+        // Pipelined load across /16s owned by both backends, depth 8,
+        // running until the main thread has staged the whole kill +
+        // restart sequence through it. Every predict must come back with
+        // the model's answer; any client-visible error panics the thread
+        // and fails the test on join.
+        let router_addr = handle.addr();
+        let progress = Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let done = Arc::new(AtomicBool::new(false));
+        let load = {
+            let progress = progress.clone();
+            let done = done.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(router_addr).expect("connect router");
+                let mut inflight = std::collections::VecDeque::new();
+                let mut i = 0u32;
+                while !done.load(Ordering::Acquire) || !inflight.is_empty() {
+                    if !done.load(Ordering::Acquire) {
+                        let ip = Ip::from_octets(10, (i % 64) as u8, 1, 2);
+                        let id = client
+                            .predict_send(None, &Query::new(ip).with_open([80]))
+                            .expect("send through router");
+                        inflight.push_back(id);
+                        i += 1;
+                    }
+                    if inflight.len() >= 8 || done.load(Ordering::Acquire) {
+                        let id = inflight.pop_front().expect("inflight");
+                        let ranked = client.predict_recv(id).expect("recv through router");
+                        assert_eq!(ranked[0], (Port(443), 0.9));
+                        progress.fetch_add(1, Ordering::Release);
+                    }
+                }
+            })
+        };
+        let answered_beyond = |mark: u32| {
+            let deadline = Instant::now() + Duration::from_secs(30);
+            loop {
+                let now = progress.load(Ordering::Acquire);
+                if now > mark {
+                    return now;
+                }
+                assert!(Instant::now() < deadline, "load stalled at {now}");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        };
+
+        // Let traffic flow, kill backend 1 mid-load, force a window of
+        // queries through the dead period, then "restart the process" on
+        // the same address and push more load through the recovery.
+        let before_kill = answered_beyond(100);
+        let (server1, addr1) = b1.kill();
+        let during_death = answered_beyond(before_kill + 200);
+        let b1 = KillableBackend::start(server1, &addr1.to_string());
+        answered_beyond(during_death + 200);
+        done.store(true, Ordering::Release);
+        load.join()
+            .expect("zero failed queries through the restart");
+        assert!(
+            handle.retries_total() > 0,
+            "the kill must have forced failovers"
+        );
+        assert_eq!(handle.shed_total(), 0, "nothing was shed: b0 covered");
+
+        // Un-wedge: queries owned by the restarted backend flow to it
+        // again once the prober notices it is back.
+        let owned = ip_owned_by(1, 2);
+        let before = b1.server.stats().requests;
+        let mut client = Client::connect(handle.addr()).expect("reconnect");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let ranked = client
+                .predict_on(None, &Query::new(owned).with_open([80]))
+                .expect("post-restart predict");
+            assert_eq!(ranked[0], (Port(443), 0.9));
+            if b1.server.stats().requests > before {
+                break; // the restarted backend is serving again
+            }
+            assert!(
+                Instant::now() < deadline,
+                "router never routed back to the restarted backend"
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+
+        // Counters converge: the router's stats see every connection it
+        // still holds, and the health picture reports both backends up.
+        let stats = handle.stats_json();
+        let router = stats.get("router").expect("router section");
+        let backends = router
+            .get("backends")
+            .and_then(gps::types::Json::as_arr)
+            .expect("backends array");
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let all_up = {
+                let stats = handle.stats_json();
+                let router = stats.get("router").expect("router section");
+                router
+                    .get("backends")
+                    .and_then(gps::types::Json::as_arr)
+                    .expect("backends array")
+                    .iter()
+                    .all(|b| b.get("health").and_then(gps::types::Json::as_str) == Some("up"))
+            };
+            if all_up {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "restarted backend never probed back to up: {backends:?}"
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        drop(client);
+    }
+
+    /// Batches fan out across both backends and reassemble in request
+    /// order; killing a backend between batches just reroutes the next
+    /// one (the whole frame still succeeds).
+    #[test]
+    fn batches_survive_a_backend_kill() {
+        let b0 = KillableBackend::start(
+            Arc::new(PredictionServer::start(
+                model(),
+                ServeConfig {
+                    shards: 1,
+                    ..ServeConfig::default()
+                },
+            )),
+            "127.0.0.1:0",
+        );
+        let b1 = KillableBackend::start(
+            Arc::new(PredictionServer::start(
+                model(),
+                ServeConfig {
+                    shards: 1,
+                    ..ServeConfig::default()
+                },
+            )),
+            "127.0.0.1:0",
+        );
+        let handle = start_router(&[b0.addr, b1.addr]);
+        let mut client = Client::connect(handle.addr()).expect("connect router");
+
+        // A batch spanning /16s owned by both backends.
+        let queries: Vec<Query> = (0..32u32)
+            .map(|i| Query::new(Ip::from_octets(10, i as u8, 7, 7)).with_open([80]))
+            .collect();
+        let rankings = client.predict_batch_on(None, &queries).expect("fan-out");
+        assert_eq!(rankings.len(), 32);
+        assert!(rankings.iter().all(|r| r[0] == (Port(443), 0.9)));
+        // Both backends actually served a sub-batch.
+        assert!(b0.server.stats().requests > 0, "b0 got its partition");
+        assert!(b1.server.stats().requests > 0, "b1 got its partition");
+
+        let _ = b1.kill();
+        let rankings = client
+            .predict_batch_on(None, &queries)
+            .expect("batch after kill: rerouted, not failed");
+        assert_eq!(rankings.len(), 32);
+        assert!(rankings.iter().all(|r| r[0] == (Port(443), 0.9)));
+        assert!(handle.retries_total() > 0, "the dead partition was retried");
+        assert_eq!(handle.shed_total(), 0);
+    }
+}
+
 mod serve_churn {
     use std::collections::HashMap;
     use std::io::Write;

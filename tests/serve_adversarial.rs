@@ -608,3 +608,297 @@ fn server_reassembles_dribbled_requests() {
         );
     }
 }
+
+/// Adversarial *backends* behind the routing tier: a backend that stalls
+/// mid-request (the per-attempt deadline must fire and an alternate must
+/// answer) and a backend that replies with protocol garbage (it must be
+/// marked down without poisoning the front connection). The router's /16
+/// owner hash is mirrored here so each test can aim queries at the
+/// misbehaving backend deliberately.
+mod router_adversarial {
+    use super::*;
+    use gps::serve::{Router, RouterConfig, RouterHandle};
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn owner_of(ip: Ip, n: usize) -> usize {
+        (((ip.0 >> 16) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % n
+    }
+
+    /// An IP in `10.x.0.0/16` space owned by backend `want` of `n`.
+    fn ip_owned_by(want: usize, n: usize) -> Ip {
+        (0u32..256)
+            .map(|x| Ip::from_octets(10, x as u8, 3, 4))
+            .find(|&ip| owner_of(ip, n) == want)
+            .expect("some /16 hashes to every backend")
+    }
+
+    /// A backend that accepts, reads, and never says a word.
+    fn spawn_staller() -> (SocketAddr, Arc<AtomicU32>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind staller");
+        let addr = listener.local_addr().expect("local addr");
+        let conns = Arc::new(AtomicU32::new(0));
+        {
+            let conns = conns.clone();
+            std::thread::spawn(move || {
+                for stream in listener.incoming().flatten() {
+                    conns.fetch_add(1, Ordering::Relaxed);
+                    std::thread::spawn(move || {
+                        let mut stream = stream;
+                        let mut void = [0u8; 1024];
+                        while matches!(stream.read(&mut void), Ok(n) if n > 0) {}
+                    });
+                }
+            });
+        }
+        (addr, conns)
+    }
+
+    /// A backend that answers every connection with bytes that are not a
+    /// frame: a length prefix far past the 16 MiB cap, then junk.
+    fn spawn_garbage() -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind garbage");
+        let addr = listener.local_addr().expect("local addr");
+        std::thread::spawn(move || {
+            for stream in listener.incoming().flatten() {
+                std::thread::spawn(move || {
+                    let mut stream = stream;
+                    let mut void = [0u8; 1024];
+                    // Wait for the router's request, then poison the reply.
+                    let _ = stream.read(&mut void);
+                    let _ = stream.write_all(&[0xFF; 64]);
+                    let _ = stream.flush();
+                });
+            }
+        });
+        addr
+    }
+
+    fn backend_health(handle: &RouterHandle, idx: usize) -> String {
+        let stats = handle.stats_json();
+        stats
+            .get("router")
+            .and_then(|r| r.get("backends"))
+            .and_then(Json::as_arr)
+            .and_then(|b| b.get(idx))
+            .and_then(|b| b.get("health"))
+            .and_then(Json::as_str)
+            .expect("backend health")
+            .to_string()
+    }
+
+    fn await_down(handle: &RouterHandle, idx: usize, what: &str) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while backend_health(handle, idx) != "down" {
+            assert!(
+                Instant::now() < deadline,
+                "{what}: backend {idx} never marked down (health {})",
+                backend_health(handle, idx)
+            );
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+
+    /// A backend that accepts the request and stalls forever: the
+    /// per-attempt deadline fires, the alternate answers the query, and
+    /// once the staller is marked down later queries skip it entirely
+    /// (fast again).
+    #[test]
+    fn stalling_backend_hits_deadline_and_alternate_answers() {
+        let (_real_server, real_addr) = spawn("threads", TransportConfig::default());
+        let (stall_addr, stall_conns) = spawn_staller();
+        let handle = Router::start(
+            "127.0.0.1:0",
+            None,
+            RouterConfig {
+                backends: vec![real_addr.to_string(), stall_addr.to_string()],
+                // One probe round at startup only: the *query path* must
+                // discover the stall via its own deadline here, not lean
+                // on the prober.
+                probe_interval: Duration::from_secs(60),
+                request_timeout: Duration::from_millis(300),
+                max_retries: 2,
+            },
+        )
+        .expect("router starts");
+        let mut client = Client::connect(handle.addr()).expect("connect router");
+        let owned = ip_owned_by(1, 2); // owned by the staller
+
+        let t0 = Instant::now();
+        let ranked = client
+            .predict_on(None, &Query::new(owned).with_open([80]))
+            .expect("answered despite the stall");
+        let elapsed = t0.elapsed();
+        assert_eq!(ranked[0], (Port(443), 0.9), "alternate served the query");
+        assert!(
+            elapsed >= Duration::from_millis(250),
+            "deadline should have gated the stalled attempt, got {elapsed:?}"
+        );
+        assert!(handle.retries_total() > 0, "the stall forced a failover");
+        assert!(
+            stall_conns.load(Ordering::Relaxed) > 0,
+            "the staller really was attempted"
+        );
+
+        // The stalled attempt plus the startup probe put the staller at
+        // two failures: down. Later queries skip it without paying the
+        // deadline.
+        await_down(&handle, 1, "stall");
+        let t0 = Instant::now();
+        let ranked = client
+            .predict_on(None, &Query::new(owned).with_open([80]))
+            .expect("still answered");
+        assert_eq!(ranked[0], (Port(443), 0.9));
+        assert!(
+            t0.elapsed() < Duration::from_millis(200),
+            "a downed staller must not be waited on again, got {:?}",
+            t0.elapsed()
+        );
+    }
+
+    /// A backend that replies with garbage bytes: the router abandons the
+    /// poisoned backend connection, retries on the healthy alternate, and
+    /// the *front* connection keeps working — protocol corruption on a
+    /// backend link never propagates to clients.
+    #[test]
+    fn garbage_frame_backend_is_marked_down_without_poisoning_the_front() {
+        let (_real_server, real_addr) = spawn("threads", TransportConfig::default());
+        let garbage_addr = spawn_garbage();
+        let handle = Router::start(
+            "127.0.0.1:0",
+            None,
+            RouterConfig {
+                // Garbage backend first: index 0.
+                backends: vec![garbage_addr.to_string(), real_addr.to_string()],
+                probe_interval: Duration::from_millis(100),
+                request_timeout: Duration::from_millis(500),
+                max_retries: 2,
+            },
+        )
+        .expect("router starts");
+        let mut client = Client::connect(handle.addr()).expect("connect router");
+        let owned = ip_owned_by(0, 2); // owned by the garbage backend
+
+        let ranked = client
+            .predict_on(None, &Query::new(owned).with_open([80]))
+            .expect("answered despite the garbage");
+        assert_eq!(ranked[0], (Port(443), 0.9), "alternate served the query");
+        assert!(handle.retries_total() > 0, "the garbage forced a failover");
+
+        // The prober speaks real GPSQ at the garbage backend and keeps
+        // failing: down it goes.
+        await_down(&handle, 0, "garbage");
+
+        // Front connection not poisoned: the same client keeps getting
+        // correct answers on both partitions, and batches spanning the
+        // downed owner still come back complete.
+        for i in 0..8u32 {
+            let ip = Ip::from_octets(10, i as u8, 9, 9);
+            let ranked = client
+                .predict_on(None, &Query::new(ip).with_open([80]))
+                .expect("front connection survived");
+            assert_eq!(ranked[0], (Port(443), 0.9));
+        }
+        let batch: Vec<Query> = (0..16u32)
+            .map(|i| Query::new(Ip::from_octets(10, i as u8, 5, 5)).with_open([80]))
+            .collect();
+        let answers = client.predict_batch_on(None, &batch).expect("batch");
+        assert_eq!(answers.len(), 16);
+        assert!(answers.iter().all(|r| r[0] == (Port(443), 0.9)));
+        assert_eq!(handle.shed_total(), 0, "the healthy backend covered");
+    }
+
+    /// With *every* backend unreachable the router sheds: an explicit
+    /// `overloaded` error, immediately — not a hang, not a closed
+    /// connection — and the same front connection recovers the moment a
+    /// backend is healthy again (here: never, so it keeps shedding).
+    #[test]
+    fn all_backends_down_sheds_with_explicit_error() {
+        // Two addresses with nothing listening: connects fail instantly.
+        let dead_a = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let dead_b = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr_a = dead_a.local_addr().expect("addr");
+        let addr_b = dead_b.local_addr().expect("addr");
+        drop(dead_a);
+        drop(dead_b);
+        let handle = Router::start(
+            "127.0.0.1:0",
+            None,
+            RouterConfig {
+                backends: vec![addr_a.to_string(), addr_b.to_string()],
+                probe_interval: Duration::from_millis(100),
+                request_timeout: Duration::from_millis(300),
+                max_retries: 2,
+            },
+        )
+        .expect("router starts");
+        let mut client = Client::connect(handle.addr()).expect("connect router");
+        let err = client
+            .predict_on(None, &Query::new(Ip::from_octets(10, 1, 2, 3)))
+            .expect_err("no backend can answer");
+        assert!(
+            err.to_string().contains("overloaded"),
+            "explicit shed error, got: {err}"
+        );
+        assert!(handle.shed_total() > 0);
+        // The front connection is still alive and speaks protocol.
+        let err = client
+            .predict_on(None, &Query::new(Ip::from_octets(10, 4, 5, 6)))
+            .expect_err("still shedding");
+        assert!(err.to_string().contains("overloaded"));
+    }
+}
+
+/// Graceful drain on `gps serve` itself: the wire `shutdown` command
+/// flips the server into drain on every transport — the ack goes out,
+/// in-flight work finishes, connections close once they owe nothing, and
+/// new connections are refused.
+mod serve_drain {
+    use super::*;
+
+    #[test]
+    fn shutdown_command_drains_every_transport() {
+        for transport in serve_transports() {
+            let (server, addr) = spawn(transport, TransportConfig::default());
+
+            // A working connection that has answered traffic already.
+            let mut busy = Client::connect(addr).expect("busy client");
+            let ranked = busy
+                .predict(&Query::new(Ip::from_octets(10, 0, 1, 1)).with_open([80]))
+                .expect("pre-drain predict");
+            assert_eq!(ranked[0], (Port(443), 0.9), "{transport}");
+
+            // Another client sends the shutdown; the ack must come back
+            // before anything closes.
+            let mut admin = Client::connect(addr).expect("admin client");
+            admin.shutdown().expect("shutdown acked");
+            assert!(server.is_draining(), "{transport}: draining flag set");
+            assert!(server.stats().draining, "{transport}: stats report it");
+
+            // The answered-and-idle connection closes. The transports
+            // differ in *when*: the events loop sweeps it shut at once,
+            // while the threads transport (blocked in read) serves at
+            // most one more already-written request before noticing the
+            // drain. Any reply that does arrive must still be correct,
+            // and within two attempts the close must have landed.
+            let mut closed = false;
+            for i in 0..2u8 {
+                match busy.predict(&Query::new(Ip::from_octets(10, 0, 2 + i, 2)).with_open([80])) {
+                    Ok(ranked) => assert_eq!(ranked[0], (Port(443), 0.9), "{transport}"),
+                    Err(_) => {
+                        closed = true;
+                        break;
+                    }
+                }
+            }
+            assert!(closed, "{transport}: drained connection must close");
+
+            // New connections are refused while draining: the TCP accept
+            // may succeed but the server hangs up without answering.
+            let mut late = Client::connect(addr).expect("TCP-level connect");
+            assert!(
+                late.ping().is_err(),
+                "{transport}: draining server must not take new work"
+            );
+        }
+    }
+}
